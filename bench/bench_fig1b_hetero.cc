@@ -1,0 +1,51 @@
+// Reproduces paper Fig. 1b: pipelined execution of multi-threaded host and
+// FPGA engines. Sweeps host-thread and device counts and prints makespan,
+// overlap speed-up, device utilisation, and offload fraction from the
+// heterogeneous scheduler model.
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::sim;
+using cham::bench::fmt_seconds;
+using cham::bench::fmt_speedup;
+
+int main() {
+  std::cout << "=== Fig. 1b: host/device pipelining (model) ===\n\n";
+  std::vector<HmvpJob> jobs(24, HmvpJob{4096, 4096});
+
+  std::cout << "--- host-thread sweep (1 device, 24 jobs of 4096x4096) "
+               "---\n";
+  TablePrinter threads({"threads", "makespan", "overlap speed-up",
+                        "FPGA util", "offload"});
+  for (int t : {1, 2, 4, 8}) {
+    HeteroConfig cfg;
+    cfg.host_threads = t;
+    auto r = schedule(cfg, jobs);
+    threads.add_row({std::to_string(t), fmt_seconds(r.makespan_seconds),
+                     fmt_speedup(r.overlap_speedup),
+                     TablePrinter::num(100 * r.fpga_utilization, 1) + "%",
+                     TablePrinter::num(100 * r.offload_fraction, 1) + "%"});
+  }
+  threads.print();
+
+  std::cout << "\n--- device sweep (4 host threads) — Sec. V-B3's "
+               "multi-accelerator deployment ---\n";
+  TablePrinter devices({"devices", "makespan", "scaling", "per-device util"});
+  double base = 0;
+  for (int d : {1, 2, 3, 4}) {
+    HeteroConfig cfg;
+    cfg.devices = d;
+    cfg.host_threads = 8;
+    auto r = schedule(cfg, jobs);
+    if (d == 1) base = r.makespan_seconds;
+    devices.add_row({std::to_string(d), fmt_seconds(r.makespan_seconds),
+                     fmt_speedup(base / r.makespan_seconds),
+                     TablePrinter::num(100 * r.fpga_utilization, 1) + "%"});
+  }
+  devices.print();
+
+  std::cout << "\nThe single-buffer serial schedule pays encode+transfer on "
+               "the critical path; double buffering across threads hides "
+               "them behind compute — the behaviour Fig. 1b illustrates.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 2a: the roofline model on the Alveo U200, placing
+// NTT, key-switch, and whole-HMVP by compute intensity. The paper's
+// conclusion: individual HE operators are memory-bound, HMVP as a whole is
+// compute-bound — hence CHAM accelerates HMVP end-to-end.
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::sim;
+
+int main() {
+  std::cout << "=== Fig. 2a: roofline model (Alveo U200) ===\n\n";
+  const MachineRoof roof = u200_roof();
+  std::cout << "Peak compute: " << roof.peak_ops_per_sec / 1e12
+            << " Tops/s (6840 DSP @ 300 MHz; op = 27x18 multiply)\n";
+  std::cout << "DDR bandwidth: " << roof.mem_bytes_per_sec / 1e9 << " GB/s\n";
+  std::cout << "Ridge point: " << TablePrinter::num(roof.ridge_ops_per_byte(), 1)
+            << " ops/byte\n\n";
+
+  TablePrinter table({"Kernel", "Ops", "Bytes", "Intensity (ops/B)",
+                      "Attainable (Gops/s)", "Bound"});
+  for (const auto& k : fig2a_kernels()) {
+    const double inten = k.intensity();
+    table.add_row({k.name, TablePrinter::sci(k.ops, 2),
+                   TablePrinter::sci(k.bytes, 2), TablePrinter::num(inten, 2),
+                   TablePrinter::num(roof.attainable(inten) / 1e9, 1),
+                   inten < roof.ridge_ops_per_byte() ? "memory" : "compute"});
+  }
+  table.print();
+
+  // Sweep HMVP shapes to show where the crossover sits.
+  std::cout << "\nHMVP intensity vs shape:\n";
+  TablePrinter sweep({"m", "n", "Intensity (ops/B)", "Bound"});
+  for (std::uint64_t m : {16, 256, 4096, 8192}) {
+    for (std::uint64_t n : {256, 4096, 8192}) {
+      auto k = hmvp_kernel(m, n);
+      sweep.add_row({std::to_string(m), std::to_string(n),
+                     TablePrinter::num(k.intensity(), 1),
+                     k.intensity() < roof.ridge_ops_per_byte() ? "memory"
+                                                               : "compute"});
+    }
+  }
+  sweep.print();
+  return 0;
+}

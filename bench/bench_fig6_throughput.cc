@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 6: CHAM HMVP throughput across matrix shapes
+// (near-linear growth with m, degradation once n >= m forces multi-
+// ciphertext aggregation), with the GPU series at ~1/4.5 of CHAM.
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::sim;
+using cham::bench::fmt_speedup;
+
+int main() {
+  std::cout << "=== Fig. 6: HMVP throughput vs matrix shape ===\n"
+               "(CHAM = 2-engine device model @300 MHz; GPU = V100 model "
+               "calibrated to the paper's ratios)\n\n";
+  PipelineConfig cham;
+  GpuModel gpu(cham);
+
+  TablePrinter table({"m (rows)", "n (cols)", "CHAM Melem/s", "GPU Melem/s",
+                      "CHAM/GPU", "rows/s (CHAM)"});
+  const std::vector<std::uint64_t> ms = {16, 64, 256, 1024, 4096, 8192};
+  const std::vector<std::uint64_t> ns = {256, 1024, 4096, 8192, 16384};
+  for (auto m : ms) {
+    for (auto n : ns) {
+      const double cham_tp = hmvp_elements_per_sec(cham, m, n);
+      const double gpu_tp = gpu.hmvp_elements_per_sec(m, n);
+      const double rows_per_s = m / hmvp_seconds(cham, m, n);
+      table.add_row({std::to_string(m), std::to_string(n),
+                     TablePrinter::num(cham_tp / 1e6, 1),
+                     TablePrinter::num(gpu_tp / 1e6, 1),
+                     fmt_speedup(cham_tp / gpu_tp),
+                     TablePrinter::num(rows_per_s, 0)});
+    }
+  }
+  table.print();
+
+  std::cout << "\nShape checks:\n";
+  // Near-linear in m at fixed n.
+  const double t1 = hmvp_elements_per_sec(cham, 256, 4096);
+  const double t2 = hmvp_elements_per_sec(cham, 4096, 4096);
+  std::cout << "  throughput(m=4096)/throughput(m=256) at n=4096: "
+            << TablePrinter::num(t2 / t1, 2)
+            << " (throughput grows with m, saturating near 1 row/beat)\n";
+  // Aggregation penalty when n >= m.
+  const double small_m = hmvp_elements_per_sec(cham, 256, 16384);
+  const double big_m = hmvp_elements_per_sec(cham, 8192, 16384);
+  std::cout << "  n=16384: throughput at m=256 is "
+            << TablePrinter::num(100 * small_m / big_m, 1)
+            << "% of m=8192 (rows spanning multiple ciphertexts must be "
+               "aggregated — the n >= m degradation in the paper)\n";
+  return 0;
+}

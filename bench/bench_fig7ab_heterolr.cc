@@ -1,0 +1,151 @@
+// Reproduces paper Fig. 7a/7b: HeteroLR per-step cost (encrypt, add_vec,
+// matvec, decrypt) across dataset sizes for three backends — Paillier on
+// CPU (FATE's original), B/FV on CPU, and B/FV with the matvec offloaded
+// to the CHAM device model. End-to-end speed-up should grow from ~2x on
+// small datasets to tens of x when the matvec dominates (paper: 2–36x).
+//
+// Small shapes run the full secure protocol; paper-scale shapes are
+// extrapolated from measured per-operation costs (marked in the output).
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::bench;
+
+namespace {
+
+struct Shape {
+  std::size_t samples;
+  std::size_t features;
+  bool genuine;  // run the full protocol instead of extrapolating
+};
+
+// Measured per-primitive costs for the BFV backends.
+struct BfvStepCosts {
+  double encrypt_chunk = 0;   // one N-coefficient ciphertext
+  double add_chunk = 0;
+  double decrypt_group = 0;   // one packed output group
+};
+
+BfvStepCosts measure_bfv_costs(PaperFixture& f) {
+  BfvStepCosts c;
+  CoeffEncoder encoder(f.ctx);
+  auto msg = f.random_vector(f.ctx->n());
+  Timer t;
+  constexpr int kReps = 8;
+  Ciphertext ct;
+  for (int i = 0; i < kReps; ++i)
+    ct = f.encryptor.encrypt(encoder.encode_vector(msg));
+  c.encrypt_chunk = t.seconds() / kReps;
+  auto ct2 = f.encryptor.encrypt(encoder.encode_vector(msg));
+  t.reset();
+  for (int i = 0; i < kReps; ++i) auto s = f.evaluator.add(ct, ct2);
+  c.add_chunk = t.seconds() / kReps;
+  auto ct_q = f.evaluator.rescale(ct);
+  t.reset();
+  for (int i = 0; i < kReps; ++i) auto p = f.decryptor.decrypt(ct_q);
+  c.decrypt_group = t.seconds() / kReps;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 7a/7b: HeteroLR step costs across dataset sizes "
+               "===\n\n";
+  PaperFixture f;
+  CpuHmvpCost cpu_hmvp(f);
+  BfvStepCosts bfv = measure_bfv_costs(f);
+  const std::size_t n_ring = f.ctx->n();
+
+  // Paillier per-op costs (768-bit modulus keeps keygen quick; FATE uses
+  // 1024–2048, which would only widen the gap).
+  std::cout << "Measuring Paillier per-op costs (768-bit modulus)...\n";
+  PaillierLrBackend paillier(768, 5, 99);
+  auto pc = paillier.measure_op_costs(4);
+  std::cout << "  encrypt " << fmt_seconds(pc.encrypt_sec) << ", add "
+            << fmt_seconds(pc.add_sec) << ", scalar-mul "
+            << fmt_seconds(pc.scalar_mul_sec) << ", decrypt "
+            << fmt_seconds(pc.decrypt_sec) << "\n\n";
+
+  const std::vector<Shape> shapes = {
+      {569, 30, true},      // breast-cancer scale
+      {2048, 512, false},  {4096, 1024, false},
+      {8192, 4096, false}, {8192, 8192, false},
+  };
+
+  sim::PipelineConfig cham_cfg;
+
+  for (const auto& s : shapes) {
+    std::cout << "--- dataset " << s.samples << " x " << s.features << " ("
+              << (s.genuine ? "measured end-to-end" : "extrapolated")
+              << ") ---\n";
+    TablePrinter table({"Backend", "encrypt", "add_vec", "matvec", "decrypt",
+                        "total", "speed-up"});
+
+    const double chunks = std::ceil(static_cast<double>(s.samples) / n_ring);
+    const double groups = std::ceil(static_cast<double>(s.features) / n_ring);
+
+    LrStepTimings pail, bfv_cpu, bfv_cham;
+    if (s.genuine) {
+      Rng rng(5);
+      auto data = LrDataset::synthetic(s.samples, s.features / 2,
+                                       s.features - s.features / 2, rng);
+      auto model = train_plaintext(data, 1, 0.5, 256);
+      {
+        BfvLrBackend cpu_backend(4096, false, 21);
+        auto in = make_batch_inputs(data, model, 0, s.samples,
+                                    cpu_backend.fx(), true);
+        cpu_backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                             &bfv_cpu);
+      }
+      {
+        BfvLrBackend dev_backend(4096, true, 21);
+        auto in = make_batch_inputs(data, model, 0, s.samples,
+                                    dev_backend.fx(), true);
+        dev_backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                             &bfv_cham);
+      }
+      // Paillier at this scale is still extrapolated (569*30 scalar-muls
+      // would take minutes).
+      pail.encrypt = s.samples * pc.encrypt_sec;
+      pail.add_vec = s.samples * (pc.encrypt_sec + pc.add_sec);
+      pail.matvec = static_cast<double>(s.samples) * s.features *
+                        (pc.scalar_mul_sec + pc.add_sec) +
+                    s.features * pc.encrypt_sec;
+      pail.decrypt = s.features * pc.decrypt_sec;
+    } else {
+      pail.encrypt = s.samples * pc.encrypt_sec;
+      pail.add_vec = s.samples * (pc.encrypt_sec + pc.add_sec);
+      pail.matvec = static_cast<double>(s.samples) * s.features *
+                        (pc.scalar_mul_sec + pc.add_sec) +
+                    s.features * pc.encrypt_sec;
+      pail.decrypt = s.features * pc.decrypt_sec;
+
+      bfv_cpu.encrypt = chunks * bfv.encrypt_chunk;
+      bfv_cpu.add_vec = chunks * (bfv.encrypt_chunk + bfv.add_chunk);
+      bfv_cpu.matvec = cpu_hmvp.estimate(s.features, s.samples, n_ring);
+      bfv_cpu.decrypt = groups * bfv.decrypt_group;
+
+      bfv_cham = bfv_cpu;
+      bfv_cham.matvec =
+          sim::hmvp_seconds(cham_cfg, s.features, s.samples);
+    }
+
+    auto add_backend = [&](const std::string& name, const LrStepTimings& tm,
+                           double baseline_total) {
+      table.add_row({name, fmt_seconds(tm.encrypt), fmt_seconds(tm.add_vec),
+                     fmt_seconds(tm.matvec), fmt_seconds(tm.decrypt),
+                     fmt_seconds(tm.total()),
+                     fmt_speedup(baseline_total / tm.total())});
+    };
+    add_backend("Paillier (CPU)", pail, pail.total());
+    add_backend("B/FV (CPU)", bfv_cpu, pail.total());
+    add_backend("B/FV + CHAM", bfv_cham, pail.total());
+    table.print();
+    std::cout << "  matvec speed-up (CHAM vs B/FV CPU): "
+              << fmt_speedup(bfv_cpu.matvec / bfv_cham.matvec)
+              << "; end-to-end B/FV speed-up from CHAM: "
+              << fmt_speedup(bfv_cpu.total() / bfv_cham.total()) << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 8: HMVP latency, CPU vs GPU vs CHAM, for
+// n ∈ {256, 4096} across row counts, plus the offload fraction and
+// end-to-end speed-up statements (>90% offloaded, >10x vs CPU).
+//
+// CPU rows marked "measured" ran the full software pipeline; rows marked
+// "extrap." use the sampled per-row/per-merge cost model (see
+// bench_util.h) — unavoidable at paper scale, and identical in spirit to
+// timing a subset and scaling.
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::bench;
+using namespace cham::sim;
+
+int main() {
+  std::cout << "=== Fig. 8: HMVP latency (CPU vs GPU vs CHAM) ===\n\n";
+  PaperFixture f;
+  CpuHmvpCost cpu_cost(f);
+  PipelineConfig cham;
+  GpuModel gpu(cham);
+  const std::size_t n_ring = f.ctx->n();
+
+  for (std::size_t n : {std::size_t{256}, std::size_t{4096}}) {
+    std::cout << "--- No. of columns = " << n << " ---\n";
+    TablePrinter table({"m (rows)", "CPU", "GPU (model)", "CHAM (model)",
+                        "CHAM vs CPU", "CHAM vs GPU", "CPU source"});
+    for (std::size_t m : {std::size_t{64}, std::size_t{256},
+                          std::size_t{1024}, std::size_t{4096},
+                          std::size_t{8192}}) {
+      double cpu_s;
+      std::string source;
+      if (m <= 256) {
+        // Full software run.
+        GeneratedMatrix a(m, n, f.ctx->params().t, m * 31 + n);
+        auto ct = f.engine.encrypt_vector(f.random_vector(n), f.encryptor);
+        Timer timer;
+        f.engine.multiply(a, ct);
+        cpu_s = timer.seconds();
+        source = "measured";
+      } else {
+        cpu_s = cpu_cost.estimate(m, n, n_ring);
+        source = "extrap.";
+      }
+      const double gpu_s = gpu.hmvp_seconds(m, n);
+      const double cham_s = hmvp_seconds(cham, m, n);
+      table.add_row({std::to_string(m), fmt_seconds(cpu_s),
+                     fmt_seconds(gpu_s), fmt_seconds(cham_s),
+                     fmt_speedup(cpu_s / cham_s),
+                     fmt_speedup(gpu_s / cham_s), source});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  // Offload fraction and overlapped end-to-end speed-up (Fig. 1b model).
+  std::cout << "--- heterogeneous execution (Sec. III-C) ---\n";
+  HeteroConfig hc;
+  std::vector<HmvpJob> jobs(16, HmvpJob{4096, 4096});
+  auto sched = schedule(hc, jobs);
+  std::cout << "Offloaded computation fraction: "
+            << TablePrinter::num(100 * sched.offload_fraction, 1)
+            << "% (paper: >90%)\n";
+  std::cout << "Overlap speed-up vs unpipelined host/device: "
+            << fmt_speedup(sched.overlap_speedup) << "\n";
+  std::cout << "FPGA busy fraction: "
+            << TablePrinter::num(100 * sched.fpga_utilization, 1) << "%\n";
+
+  const double cpu_e2e = cpu_cost.estimate(4096, 4096, n_ring);
+  const double dev_e2e = sched.makespan_seconds / jobs.size();
+  std::cout << "End-to-end speed-up vs software (4096x4096 batch): "
+            << fmt_speedup(cpu_e2e / dev_e2e) << " (paper: >10x)\n";
+  return 0;
+}

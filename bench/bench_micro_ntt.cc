@@ -1,0 +1,216 @@
+// Google-benchmark microbenchmarks for the arithmetic kernels: NTT engines
+// (radix-2 vs constant-geometry), modular reduction strategies, polynomial
+// primitives, and the key HE operations. Complements the table/figure
+// benches with regression-trackable numbers.
+#include <benchmark/benchmark.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "common/random.h"
+#include "nt/cg_ntt.h"
+#include "nt/ntt.h"
+#include "ring/poly_ops.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+
+std::vector<u64> random_poly(std::size_t n, u64 q, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> a(n);
+  for (auto& c : a) c = rng.uniform(q);
+  return a;
+}
+
+void BM_NttRadix2Forward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Modulus q(kQ0);
+  NttTables t(n, q);
+  auto a = random_poly(n, kQ0, 1);
+  for (auto _ : state) {
+    t.forward(a.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttRadix2Forward)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NttRadix2Inverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Modulus q(kQ0);
+  NttTables t(n, q);
+  auto a = random_poly(n, kQ0, 2);
+  for (auto _ : state) {
+    t.inverse(a.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttRadix2Inverse)->Arg(4096);
+
+void BM_NttConstantGeometry(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Modulus q(kQ0);
+  CgNtt cg(n, q);
+  auto a = random_poly(n, kQ0, 3);
+  for (auto _ : state) {
+    cg.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttConstantGeometry)->Arg(256)->Arg(4096);
+
+void BM_ModMulBarrett(benchmark::State& state) {
+  Modulus q(kQ0);
+  Rng rng(4);
+  u64 x = rng.uniform(kQ0), y = rng.uniform(kQ0);
+  for (auto _ : state) {
+    x = q.mul(x, y ^ 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ModMulBarrett);
+
+void BM_ModMulShiftAdd(benchmark::State& state) {
+  Modulus q(kQ0);
+  Rng rng(5);
+  u64 x = rng.uniform(kQ0), y = rng.uniform(kQ0);
+  for (auto _ : state) {
+    x = q.reduce128_shift_add(static_cast<u128>(x) * (y | 1));
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ModMulShiftAdd);
+
+void BM_PolyPointwiseMul(benchmark::State& state) {
+  const std::size_t n = 4096;
+  Modulus q(kQ0);
+  auto a = random_poly(n, kQ0, 6);
+  auto b = random_poly(n, kQ0, 7);
+  std::vector<u64> c(n);
+  for (auto _ : state) {
+    poly_mul_pointwise(a.data(), b.data(), c.data(), n, q);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PolyPointwiseMul);
+
+void BM_PolyAutomorph(benchmark::State& state) {
+  const std::size_t n = 4096;
+  Modulus q(kQ0);
+  auto a = random_poly(n, kQ0, 8);
+  std::vector<u64> out(n);
+  for (auto _ : state) {
+    poly_automorph(a.data(), out.data(), n, 5, q);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PolyAutomorph);
+
+// --- HE-level operations at paper parameters -----------------------------
+
+struct HeFixture {
+  HeFixture()
+      : rng(9),
+        ctx(BfvContext::create(BfvParams::paper())),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        gk(keygen.make_galois_keys(0, {3})),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  GaloisKeys gk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+HeFixture& he_fixture() {
+  static HeFixture f;
+  return f;
+}
+
+void BM_HeEncrypt(benchmark::State& state) {
+  auto& f = he_fixture();
+  Rng rng(10);
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = rng.uniform(f.ctx->params().t);
+  auto pt = f.encoder.encode_vector(m);
+  for (auto _ : state) {
+    auto ct = f.encryptor.encrypt(pt);
+    benchmark::DoNotOptimize(ct.b.raw().data());
+  }
+}
+BENCHMARK(BM_HeEncrypt);
+
+void BM_HeDecrypt(benchmark::State& state) {
+  auto& f = he_fixture();
+  Rng rng(11);
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = rng.uniform(f.ctx->params().t);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(f.encoder.encode_vector(m)));
+  for (auto _ : state) {
+    auto pt = f.decryptor.decrypt(ct);
+    benchmark::DoNotOptimize(pt.coeffs.data());
+  }
+}
+BENCHMARK(BM_HeDecrypt);
+
+void BM_HeMultiplyPlain(benchmark::State& state) {
+  auto& f = he_fixture();
+  Rng rng(12);
+  std::vector<u64> m(f.ctx->n()), w(f.ctx->n());
+  for (auto& v : m) v = rng.uniform(f.ctx->params().t);
+  for (auto& v : w) v = rng.uniform(f.ctx->params().t);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  ct.to_ntt();
+  auto pt_ntt = f.evaluator.transform_plain_ntt(
+      f.encoder.encode_matrix_row(w, 1), f.ctx->base_qp());
+  for (auto _ : state) {
+    Ciphertext prod = ct;
+    f.evaluator.multiply_plain_ntt_inplace(prod, pt_ntt);
+    benchmark::DoNotOptimize(prod.b.raw().data());
+  }
+}
+BENCHMARK(BM_HeMultiplyPlain);
+
+void BM_HeRescale(benchmark::State& state) {
+  auto& f = he_fixture();
+  Rng rng(13);
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = rng.uniform(f.ctx->params().t);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  for (auto _ : state) {
+    auto low = f.evaluator.rescale(ct);
+    benchmark::DoNotOptimize(low.b.raw().data());
+  }
+}
+BENCHMARK(BM_HeRescale);
+
+void BM_HeKeySwitchGalois(benchmark::State& state) {
+  auto& f = he_fixture();
+  Rng rng(14);
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = rng.uniform(f.ctx->params().t);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(f.encoder.encode_vector(m)));
+  for (auto _ : state) {
+    auto rotated = f.evaluator.apply_galois(ct, 3, f.gk);
+    benchmark::DoNotOptimize(rotated.b.raw().data());
+  }
+}
+BENCHMARK(BM_HeKeySwitchGalois);
+
+}  // namespace
+}  // namespace cham
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Reproduces paper Table II: resource utilization on the Xilinx VU9P.
+#include "bench_util.h"
+
+using namespace cham;
+using namespace cham::sim;
+
+int main() {
+  std::cout << "=== Table II: resource utilization on the Xilinx VU9P ===\n\n";
+  TablePrinter table({"Module", "LUT", "FF", "BRAM", "URAM", "DSP"});
+  FpgaResources total;
+  for (const auto& row : table2_rows(EngineConfig{}, /*engines=*/2)) {
+    table.add_row({row.module, TablePrinter::num(row.used.lut, 0),
+                   TablePrinter::num(row.used.ff, 0),
+                   TablePrinter::num(row.used.bram, 0),
+                   TablePrinter::num(row.used.uram, 0),
+                   TablePrinter::num(row.used.dsp, 0)});
+    total += row.used;
+  }
+  const FpgaResources budget = vu9p_budget();
+  table.add_row({"Total*", TablePrinter::num(100.0 * total.lut / budget.lut, 2) + "%",
+                 TablePrinter::num(100.0 * total.ff / budget.ff, 2) + "%",
+                 TablePrinter::num(100.0 * total.bram / budget.bram, 2) + "%",
+                 TablePrinter::num(100.0 * total.uram / budget.uram, 2) + "%",
+                 TablePrinter::num(100.0 * total.dsp / budget.dsp, 2) + "%"});
+  table.print();
+  std::cout << "\n* percentage of total VU9P resources "
+               "(paper: 63.68% / 20.41% / 72.13% / 61.98% / 29.04%)\n";
+
+  std::cout << "\nPer-SLR placement check (Fig. 5 floorplan): engine BRAM "
+            << engine_cost(EngineConfig{}).bram << " / "
+            << vu9p_slr_budget().bram << " per SLR\n";
+  return 0;
+}

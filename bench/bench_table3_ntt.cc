@@ -1,0 +1,98 @@
+// Reproduces paper Table III (single-NTT comparison: latency, parallelism,
+// area-time product, LUT, BRAM vs HEAX and F1) plus the surrounding
+// throughput claims: CHAM NTT 195k ops/s vs HEAX 117k vs GPU 45k, and the
+// key-switch throughput vs the CPU baseline.
+#include "bench_util.h"
+#include "nt/cg_ntt.h"
+
+using namespace cham;
+using namespace cham::bench;
+
+int main() {
+  std::cout << "=== Table III: comparison of a single NTT module (N=4096) "
+               "===\n\n";
+  const std::uint64_t lat = sim::ntt_cycles(4096, 4);
+  const double atp_base = static_cast<double>(lat) * 4;  // latency x lanes
+
+  const double area_base = 3324.0 * lat;  // latency x LUT of the BRAM-only
+  TablePrinter table({"Accelerator", "Latency (cycles)", "Parallelism",
+                      "ATP (l*p)", "LUT", "BRAM", "l*u (norm.)"});
+  for (auto strategy :
+       {RamStrategy::kBramOnly, RamStrategy::kBramPlusDram,
+        RamStrategy::kDramOnly}) {
+    auto cost = ntt_module_cost(strategy);
+    table.add_row({"CHAM (" + to_string(strategy) + ")",
+                   std::to_string(lat), "4",
+                   TablePrinter::num(lat * 4 / atp_base, 2) + "x",
+                   TablePrinter::num(cost.lut, 0),
+                   TablePrinter::num(cost.bram, 0),
+                   TablePrinter::num(cost.lut * lat / area_base, 2) + "x"});
+  }
+  auto heax = sim::heax_reference();
+  table.add_row({heax.name, std::to_string(heax.ntt_latency_cycles),
+                 std::to_string(heax.parallelism),
+                 TablePrinter::num(static_cast<double>(heax.ntt_latency_cycles) *
+                                       heax.parallelism / atp_base, 2) + "x",
+                 TablePrinter::num(heax.lut, 0),
+                 TablePrinter::num(heax.bram, 0),
+                 TablePrinter::num(heax.lut * lat / area_base, 2) + "x"});
+  auto f1 = sim::f1_reference();
+  table.add_row({f1.name, std::to_string(f1.ntt_latency_cycles),
+                 std::to_string(f1.parallelism),
+                 TablePrinter::num(static_cast<double>(f1.ntt_latency_cycles) *
+                                       f1.parallelism / atp_base, 2) + "x",
+                 "-", "-", "-"});
+  table.print();
+
+  // Functional validation + software measurement of both NTT engines.
+  std::cout << "\n--- software NTT measurement (this machine) ---\n";
+  Modulus q((1ULL << 34) + (1ULL << 27) + 1);
+  NttTables radix2(4096, q);
+  CgNtt cg(4096, q);
+  Rng rng(1);
+  std::vector<u64> a(4096);
+  for (auto& c : a) c = rng.uniform(q.value());
+
+  constexpr int kReps = 2000;
+  Timer t;
+  for (int i = 0; i < kReps; ++i) radix2.forward(a.data());
+  const double radix2_ops = kReps / t.seconds();
+  t.reset();
+  std::vector<u64> b = a;
+  for (int i = 0; i < kReps / 4; ++i) cg.forward(b);
+  const double cg_ops = (kReps / 4) / t.seconds();
+
+  TablePrinter sw({"Engine", "Transforms/s (1 core)"});
+  sw.add_row({"radix-2 (software path)", TablePrinter::num(radix2_ops, 0)});
+  sw.add_row({"constant-geometry (hw dataflow)", TablePrinter::num(cg_ops, 0)});
+  sw.print();
+
+  std::cout << "\n--- NTT throughput (paper Sec. V-B1) ---\n";
+  TablePrinter tp({"Platform", "NTT ops/s"});
+  tp.add_row({"CHAM (model, 4-module group @300MHz)",
+              TablePrinter::num(sim::cham_ntt_ops_per_sec(), 0)});
+  tp.add_row({"HEAX (reported)", TablePrinter::num(heax.ntt_ops_per_sec, 0)});
+  tp.add_row({"GPU (reported)", TablePrinter::num(sim::gpu_ntt_ops_per_sec(), 0)});
+  tp.print();
+
+  // Key-switch throughput: CHAM model vs measured CPU.
+  std::cout << "\n--- key-switch throughput (paper: 65k ops/s, 105x CPU) "
+               "---\n";
+  PaperFixture f;
+  auto msg = f.random_vector(4096);
+  CoeffEncoder encoder(f.ctx);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(encoder.encode_vector(msg)));
+  constexpr int kKsReps = 50;
+  Timer kst;
+  for (int i = 0; i < kKsReps; ++i) {
+    auto rotated = f.evaluator.apply_galois(ct, 3, f.gk);
+  }
+  const double cpu_ks = kKsReps / kst.seconds();
+  const double cham_ks = f.accelerator.keyswitch_ops_per_sec();
+  TablePrinter ks({"Platform", "Key-switches/s", "Speed-up vs CPU"});
+  ks.add_row({"CPU (measured, 1 core)", TablePrinter::num(cpu_ks, 0), "1.0x"});
+  ks.add_row({"CHAM (model, 2 engines)", TablePrinter::num(cham_ks, 0),
+              fmt_speedup(cham_ks / cpu_ks)});
+  ks.print();
+  return 0;
+}

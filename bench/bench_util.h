@@ -1,0 +1,136 @@
+// Shared fixtures and measurement helpers for the figure/table
+// reproduction benches.
+//
+// CPU numbers for paper-scale shapes (up to 8192x8192) are extrapolated
+// from sampled per-row / per-merge costs — running tens of full software
+// HMVPs at N=4096 per figure would take hours without changing any
+// conclusion. Each bench prints whether a row was measured end-to-end or
+// extrapolated. Device-side numbers always come from the cycle model.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "apps/beaver.h"
+#include "apps/heterolr.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "hmvp/baseline.h"
+#include "sim/accelerator.h"
+#include "sim/dse.h"
+#include "sim/gpu_model.h"
+#include "sim/hetero.h"
+#include "sim/roofline.h"
+
+namespace cham {
+namespace bench {
+
+// Paper-parameter fixture: N=4096 context, keys, engines.
+struct PaperFixture {
+  explicit PaperFixture(u64 seed = 2023)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::paper())),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        gk(keygen.make_galois_keys(12)),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        engine(ctx, &gk),
+        accelerator(ctx, &gk, sim::PipelineConfig{}) {}
+
+  std::vector<u64> random_vector(std::size_t len) {
+    std::vector<u64> v(len);
+    for (auto& x : v) x = rng.uniform(ctx->params().t);
+    return v;
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  GaloisKeys gk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  HmvpEngine engine;
+  sim::ChamAccelerator accelerator;
+};
+
+// Sampled CPU cost model for the software HMVP: measures the per-row
+// dot-product cost (per chunk) and the per-merge packing cost on a small
+// run, then estimates any (rows, cols).
+class CpuHmvpCost {
+ public:
+  CpuHmvpCost(PaperFixture& f, std::size_t sample_rows = 32) {
+    const std::size_t n = f.ctx->n();
+    const u64 t = f.ctx->params().t;
+    // One-chunk sample.
+    {
+      GeneratedMatrix a(sample_rows, n, t, 7);
+      auto ct = f.engine.encrypt_vector(f.random_vector(n), f.encryptor);
+      Timer timer;
+      f.engine.multiply(a, ct);
+      const double total = timer.seconds();
+      // sample_rows dot products + (sample_rows-1) merges.
+      sampled_total_ = total;
+      sample_rows_ = sample_rows;
+    }
+    // Isolate the merge cost with a two-chunk sample (extra chunk time =
+    // per-chunk dot cost).
+    {
+      GeneratedMatrix a(sample_rows, 2 * n, t, 8);
+      auto ct = f.engine.encrypt_vector(f.random_vector(2 * n), f.encryptor);
+      Timer timer;
+      f.engine.multiply(a, ct);
+      two_chunk_total_ = timer.seconds();
+    }
+    chunk_sec_ = (two_chunk_total_ - sampled_total_) / sample_rows_;
+    // Rough split of the one-chunk run: row cost = chunk cost + fixed
+    // (INTT+rescale+extract) share; merge cost = the rest.
+    // Estimate fixed row share as one chunk cost (same transform count).
+    row_fixed_sec_ = chunk_sec_;
+    merge_sec_ = std::max(
+        1e-9, (sampled_total_ - sample_rows_ * (chunk_sec_ + row_fixed_sec_)) /
+                  (sample_rows_ - 1));
+  }
+
+  // Estimated software seconds for an HMVP of the given shape.
+  double estimate(std::size_t rows, std::size_t cols, std::size_t n) const {
+    const double chunks = std::ceil(static_cast<double>(cols) / n);
+    const double r = static_cast<double>(rows);
+    return r * (chunks * chunk_sec_ + row_fixed_sec_) +
+           std::max(0.0, r - 1) * merge_sec_;
+  }
+
+  double chunk_seconds() const { return chunk_sec_; }
+  double merge_seconds() const { return merge_sec_; }
+
+ private:
+  double sampled_total_ = 0;
+  double two_chunk_total_ = 0;
+  std::size_t sample_rows_ = 0;
+  double chunk_sec_ = 0;
+  double row_fixed_sec_ = 0;
+  double merge_sec_ = 0;
+};
+
+inline std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s < 1e-3) {
+    os << TablePrinter::num(s * 1e6, 1) << " us";
+  } else if (s < 1.0) {
+    os << TablePrinter::num(s * 1e3, 2) << " ms";
+  } else {
+    os << TablePrinter::num(s, 2) << " s";
+  }
+  return os.str();
+}
+
+inline std::string fmt_speedup(double x) {
+  return TablePrinter::num(x, 1) + "x";
+}
+
+}  // namespace bench
+}  // namespace cham

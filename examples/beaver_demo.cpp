@@ -1,0 +1,53 @@
+// Beaver-triple demo (paper Sec. V-B4): generate matrix-vector
+// multiplication triples with the HMVP pipeline, then consume one to run a
+// secure two-party matrix-vector product on secret-shared inputs.
+#include <iostream>
+
+#include "apps/beaver.h"
+
+int main() {
+  using namespace cham;
+
+  BeaverGenerator gen(/*n=*/256, /*use_accelerator=*/true, 5);
+  const u64 t = gen.context()->params().t;
+  Modulus mt(t);
+  Rng rng(9);
+
+  // Server holds W; triple generation is input-independent preprocessing.
+  const std::size_t m = 16, n = 256;
+  auto w = DenseMatrix::random(m, n, t, rng);
+  BeaverTimings tm;
+  BeaverTriple triple = gen.generate(w, &tm);
+  std::cout << "Generated a " << m << "x" << n << " triple: encrypt "
+            << tm.client_encrypt * 1e3 << " ms, server "
+            << tm.server_compute * 1e3 << " ms (device model), decrypt "
+            << tm.client_decrypt * 1e3 << " ms\n";
+  if (!verify_triple(w, triple, t)) {
+    std::cerr << "triple verification failed\n";
+    return 1;
+  }
+  std::cout << "Triple verifies: (W*r - s) + s == W*r.\n\n";
+
+  // Online phase: client wants W*x without revealing x; parties hold
+  // shares using the triple (Beaver's trick):
+  //   client sends e = x - r (masked input);
+  //   server computes its share W*e + s, client holds W*r - s;
+  //   share sum = W*e + s + W*r - s = W*x.
+  std::vector<u64> x(n);
+  for (auto& v : x) v = rng.uniform(t);
+  std::vector<u64> e(n);
+  for (std::size_t j = 0; j < n; ++j) e[j] = mt.sub(x[j], triple.r[j]);
+
+  auto we = HmvpEngine::reference(w, e, t);  // server-side plaintext product
+  std::vector<u64> server_share(m), reconstructed(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    server_share[i] = mt.add(we[i], triple.s[i]);
+    reconstructed[i] = mt.add(server_share[i], triple.wr_minus_s[i]);
+  }
+  auto expect = HmvpEngine::reference(w, x, t);
+  std::cout << "Secure online W*x via the triple: "
+            << (reconstructed == expect ? "matches plaintext product [ok]"
+                                        : "MISMATCH")
+            << "\n";
+  return reconstructed == expect ? 0 : 1;
+}

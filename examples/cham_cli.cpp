@@ -1,0 +1,178 @@
+// cham_cli — file-based command-line interface to the HMVP pipeline.
+//
+//   cham_cli keygen  <dir>                         generate sk/pk/galois
+//   cham_cli encrypt <dir> <out.ct> v0 v1 v2 ...   encrypt a vector
+//   cham_cli matvec  <dir> <in.ct> <out.ct> <rows> <cols> <matrix-seed>
+//                                                  multiply by a
+//                                                  pseudorandom matrix
+//   cham_cli decrypt <dir> <in.ct> <rows>          decrypt packed result
+//
+// Keys and ciphertexts are stored in the packed wire format. The matvec
+// command needs only the public material in <dir>; decrypt needs the
+// secret key. Parameters are the paper's (N=4096, t=65537).
+#include <fstream>
+#include <random>
+#include <iostream>
+
+#include "bfv/decryptor.h"
+#include "bfv/encryptor.h"
+#include "bfv/keygen.h"
+#include "hmvp/hmvp.h"
+#include "io/serialize.h"
+
+namespace {
+
+using namespace cham;
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream f(path, std::ios::binary);
+  CHAM_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f.write(reinterpret_cast<const char*>(b.data()),
+          static_cast<std::streamsize>(b.size()));
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  CHAM_CHECK_MSG(f.good(), "cannot open " << path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f), {});
+}
+
+// The secret key is serialized as a raw polynomial pair (coefficient +
+// NTT forms are rebuilt on load).
+void save_secret(const SecretKey& sk, const std::string& path) {
+  ByteWriter w;
+  save_poly(sk.s_coeff, WireFormat::kPacked, w);
+  write_file(path, w.bytes());
+}
+
+SecretKey load_secret(const BfvContextPtr& ctx, const std::string& path) {
+  auto bytes = read_file(path);
+  ByteReader r(bytes);
+  SecretKey sk;
+  sk.context = ctx;
+  sk.s_coeff = load_poly(r, ctx->base_qp());
+  sk.s_ntt = sk.s_coeff;
+  sk.s_ntt.to_ntt();
+  return sk;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  cham_cli keygen  <dir>\n"
+               "  cham_cli encrypt <dir> <out.ct> v0 v1 ...\n"
+               "  cham_cli matvec  <dir> <in.ct> <out.ct> <rows> <cols> "
+               "<matrix-seed>\n"
+               "  cham_cli decrypt <dir> <in.ct> <rows>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+  auto ctx = BfvContext::create(BfvParams::paper());
+
+  try {
+    if (cmd == "keygen") {
+      Rng rng(std::random_device{}());
+      KeyGenerator keygen(ctx, rng);
+      save_secret(keygen.secret_key(), dir + "/secret.key");
+      {
+        ByteWriter w;
+        save_public_key(keygen.make_public_key(), WireFormat::kPacked, w);
+        write_file(dir + "/public.key", w.bytes());
+      }
+      {
+        ByteWriter w;
+        save_galois_keys(keygen.make_galois_keys(12), WireFormat::kPacked, w);
+        write_file(dir + "/galois.key", w.bytes());
+      }
+      std::cout << "wrote secret.key, public.key, galois.key to " << dir
+                << "\n";
+      return 0;
+    }
+
+    if (cmd == "encrypt") {
+      if (argc < 5) return usage();
+      auto pk_bytes = read_file(dir + "/public.key");
+      ByteReader pr(pk_bytes);
+      auto pk = load_public_key(pr, ctx);
+      Rng rng(std::random_device{}());
+      Encryptor enc(ctx, &pk, nullptr, rng);
+      CoeffEncoder encoder(ctx);
+      std::vector<u64> v;
+      for (int i = 4; i < argc; ++i) {
+        v.push_back(std::strtoull(argv[i], nullptr, 10) % ctx->params().t);
+      }
+      CHAM_CHECK_MSG(!v.empty() && v.size() <= ctx->n(),
+                     "need 1.." << ctx->n() << " values");
+      auto ct = enc.encrypt(encoder.encode_vector(v));
+      ByteWriter w;
+      save_ciphertext(ct, WireFormat::kPacked, w);
+      write_file(argv[3], w.bytes());
+      std::cout << "encrypted " << v.size() << " values -> " << argv[3]
+                << " (" << w.size() << " bytes)\n";
+      return 0;
+    }
+
+    if (cmd == "matvec") {
+      if (argc != 8) return usage();
+      auto pk_bytes = read_file(dir + "/public.key");
+      ByteReader pr(pk_bytes);
+      auto pk = load_public_key(pr, ctx);
+      auto gk_bytes = read_file(dir + "/galois.key");
+      ByteReader gr(gk_bytes);
+      auto gk = load_galois_keys(gr, ctx);
+      auto ct_bytes = read_file(argv[3]);
+      ByteReader cr(ct_bytes);
+      std::vector<Ciphertext> ct_v;
+      ct_v.push_back(load_ciphertext(cr, ctx));
+      const std::size_t rows = std::strtoull(argv[5], nullptr, 10);
+      const std::size_t cols = std::strtoull(argv[6], nullptr, 10);
+      const u64 seed = std::strtoull(argv[7], nullptr, 10);
+      CHAM_CHECK_MSG(cols <= ctx->n(),
+                     "this CLI supports single-chunk vectors (cols <= N)");
+      GeneratedMatrix a(rows, cols, ctx->params().t, seed);
+      HmvpEngine engine(ctx, &gk);
+      auto res = engine.multiply(a, ct_v);
+      ByteWriter w;
+      w.u64(res.pack_count);
+      w.u64(res.packed.size());
+      for (const auto& ct : res.packed) {
+        save_ciphertext(ct, WireFormat::kPacked, w);
+      }
+      write_file(argv[4], w.bytes());
+      std::cout << "computed " << rows << "x" << cols << " HMVP -> "
+                << argv[4] << " (" << w.size() << " bytes, "
+                << res.stats.keyswitches << " key-switches)\n";
+      return 0;
+    }
+
+    if (cmd == "decrypt") {
+      if (argc != 5) return usage();
+      auto sk = load_secret(ctx, dir + "/secret.key");
+      Decryptor dec(ctx, sk);
+      auto bytes = read_file(argv[3]);
+      ByteReader r(bytes);
+      HmvpResult res;
+      res.pack_count = r.u64();
+      const std::uint64_t groups = r.u64();
+      res.rows = std::strtoull(argv[4], nullptr, 10);
+      for (std::uint64_t g = 0; g < groups; ++g) {
+        res.packed.push_back(load_ciphertext(r, ctx));
+      }
+      HmvpEngine engine(ctx, nullptr);
+      auto values = engine.decrypt_result(res, dec);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        std::cout << values[i] << (i + 1 < values.size() ? ' ' : '\n');
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

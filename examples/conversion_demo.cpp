@@ -1,0 +1,88 @@
+// Ciphertext-conversion demo — the flexibility the paper motivates in its
+// introduction: CHAM "supports different types of ciphertexts (RLWE and
+// LWE) and the conversion between them".
+//
+// Pipeline demonstrated here:
+//   RLWE  --extract-->  LWE (dim N)
+//         --key-switch--> LWE (dim 32, independent secret)   [Chen et al.]
+//         --mod-switch--> LWE (single 35-bit modulus)        [Table I]
+//   and separately: many LWEs --PackLWEs--> one RLWE.
+#include <iostream>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "lwe/lwe_ops.h"
+#include "lwe/pack.h"
+
+int main() {
+  using namespace cham;
+
+  auto ctx = BfvContext::create(BfvParams::test(64));
+  const u64 t = ctx->params().t;
+  Rng rng(13);
+  KeyGenerator keygen(ctx, rng);
+  auto pk = keygen.make_public_key();
+  auto gk = keygen.make_galois_keys(6);
+  Encryptor enc(ctx, &pk, nullptr, rng);
+  Decryptor dec(ctx, keygen.secret_key());
+  Evaluator eval(ctx);
+  CoeffEncoder encoder(ctx);
+
+  // 1. RLWE -> LWE: pull one coefficient out of a ring ciphertext.
+  std::vector<u64> msg(ctx->n());
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = (i * 37) % t;
+  auto rlwe = eval.rescale(enc.encrypt(encoder.encode_vector(msg)));
+  auto lwe = extract_lwe(rlwe, 5);
+  std::cout << "extract coeff 5: "
+            << decrypt_lwe(lwe, keygen.secret_key().s_coeff, t) << " (expect "
+            << msg[5] << ")\n";
+
+  // 2. LWE dimension switch N=64 -> 32 under an independent secret.
+  auto z = make_lwe_secret(ctx->base_q(), 32, rng);
+  RnsPoly s_q(ctx->base_q(), false);
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::copy(keygen.secret_key().s_coeff.limb(l),
+              keygen.secret_key().s_coeff.limb(l) + ctx->n(), s_q.limb(l));
+  }
+  auto switch_key = make_lwe_switch_key(s_q, z, /*log_base=*/8, rng);
+  auto lwe32 = keyswitch_lwe(lwe, switch_key);
+  std::cout << "after dim-switch to n=32: "
+            << decrypt_lwe_with(lwe32, z, t) << "\n";
+
+  // 3. Modulus switch {q0,q1} -> {q0} (70-bit -> 35-bit ciphertext).
+  auto single = RnsBase::create(ctx->n(), {ctx->params().q_primes[0]});
+  auto lwe_small = modswitch_lwe(lwe, single);
+  RnsPoly s1(single, false);
+  std::copy(keygen.secret_key().s_coeff.limb(0),
+            keygen.secret_key().s_coeff.limb(0) + ctx->n(), s1.limb(0));
+  std::cout << "after mod-switch to 35-bit modulus: "
+            << decrypt_lwe(lwe_small, s1, t) << "\n";
+
+  // 4. The reverse direction: pack 8 LWEs back into one RLWE.
+  Modulus mt(t);
+  const u64 inv8 = mt.inv(8);
+  std::vector<LweCiphertext> lwes;
+  std::vector<u64> vals;
+  for (u64 i = 0; i < 8; ++i) {
+    std::vector<u64> m(ctx->n(), 0);
+    vals.push_back(100 + i);
+    m[0] = mt.mul(vals.back(), inv8);  // pre-divide by the pack factor
+    lwes.push_back(
+        extract_lwe(eval.rescale(enc.encrypt(encoder.encode_vector(m))), 0));
+  }
+  auto packed = pack_lwes(eval, lwes, gk);
+  auto out = dec.decrypt(packed);
+  std::cout << "packed 8 LWEs -> RLWE coefficients at stride "
+            << ctx->n() / 8 << ": ";
+  bool ok = true;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const u64 got = out.coeffs[i * (ctx->n() / 8)];
+    std::cout << got << " ";
+    ok &= got == vals[i];
+  }
+  std::cout << (ok ? " [ok]" : " [MISMATCH]") << "\n";
+  return ok ? 0 : 1;
+}

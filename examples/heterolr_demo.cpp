@@ -1,0 +1,73 @@
+// HeteroLR demo: two parties train a vertically-partitioned logistic
+// regression where every exchanged residual/gradient is encrypted
+// (paper Sec. V-B3). The encrypted gradient of each step is checked
+// against the plaintext fixed-point reference, and the final model's
+// accuracy is reported.
+#include <iostream>
+
+#include "apps/heterolr.h"
+#include "common/table.h"
+
+int main() {
+  using namespace cham;
+
+  Rng rng(7);
+  const std::size_t samples = 256, fa = 8, fb = 8;
+  auto data = LrDataset::synthetic(samples, fa, fb, rng);
+  std::cout << "Synthetic vertically-partitioned dataset: " << samples
+            << " samples, party A holds " << fa << " features, party B "
+            << fb << " + labels.\n\n";
+
+  // Secure training: the BFV backend carries the encrypted protocol; the
+  // model update itself runs on the decrypted (still additively-masked in
+  // a real deployment) gradients.
+  BfvLrBackend backend(/*n=*/256, /*use_accelerator=*/false, 11);
+  const FixedPoint& fx = backend.fx();
+  LrModel model{std::vector<double>(fa, 0.0), std::vector<double>(fb, 0.0)};
+  const double lr = 0.8;
+  const std::size_t batch = 128;
+
+  LrStepTimings total_tm;
+  for (int step = 0; step < 10; ++step) {
+    const std::size_t start = (step * batch) % samples;
+    for (bool party_a : {true, false}) {
+      auto in = make_batch_inputs(data, model, start, batch, fx, party_a);
+      LrStepTimings tm;
+      auto grad = backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                                   &tm);
+      // Verify the encrypted computation against the mod-t reference.
+      auto expect = reference_gradient(in.x_t, in.ua_fixed,
+                                       in.ub_minus_y_fixed, fx);
+      if (grad != expect) {
+        std::cerr << "encrypted gradient mismatch!\n";
+        return 1;
+      }
+      auto& w = party_a ? model.wa : model.wb;
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        w[j] -= lr * fx.decode(grad[j], 3) / static_cast<double>(batch);
+      }
+      total_tm.encrypt += tm.encrypt;
+      total_tm.add_vec += tm.add_vec;
+      total_tm.matvec += tm.matvec;
+      total_tm.decrypt += tm.decrypt;
+    }
+    if (step % 3 == 0) {
+      std::cout << "step " << step
+                << ": accuracy = " << accuracy(data, model) << "\n";
+    }
+  }
+
+  std::cout << "\nFinal accuracy (secure training):   "
+            << accuracy(data, model) << "\n";
+  auto ref = train_plaintext(data, 10, lr, batch);
+  std::cout << "Reference accuracy (plain training): " << accuracy(data, ref)
+            << "\n\n";
+
+  TablePrinter tm({"Protocol phase", "total seconds"});
+  tm.add_row({"encrypt", TablePrinter::num(total_tm.encrypt, 3)});
+  tm.add_row({"add_vec", TablePrinter::num(total_tm.add_vec, 3)});
+  tm.add_row({"matvec", TablePrinter::num(total_tm.matvec, 3)});
+  tm.add_row({"decrypt", TablePrinter::num(total_tm.decrypt, 3)});
+  tm.print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "apps/beaver.h"
+
+#include "common/timer.h"
+#include "nt/bitops.h"
+
+namespace cham {
+
+bool verify_triple(const RowSource& w, const BeaverTriple& triple, u64 t) {
+  Modulus mt(t);
+  auto wr = HmvpEngine::reference(w, triple.r, t);
+  if (wr.size() != triple.s.size() || wr.size() != triple.wr_minus_s.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < wr.size(); ++i) {
+    if (mt.add(triple.wr_minus_s[i], triple.s[i]) != wr[i]) return false;
+  }
+  return true;
+}
+
+BeaverGenerator::BeaverGenerator(std::size_t n, bool use_accelerator,
+                                 u64 seed)
+    : rng_(seed),
+      ctx_(BfvContext::create([n] {
+        BfvParams p = BfvParams::paper();
+        p.n = n;
+        return p;
+      }())),
+      keygen_(std::make_unique<KeyGenerator>(ctx_, rng_)),
+      pk_(keygen_->make_public_key()),
+      gk_(keygen_->make_galois_keys(log2_exact(n))),
+      enc_(std::make_unique<Encryptor>(ctx_, &pk_, nullptr, rng_)),
+      dec_(std::make_unique<Decryptor>(ctx_, keygen_->secret_key())),
+      eval_(std::make_unique<Evaluator>(ctx_)),
+      engine_(ctx_, &gk_) {
+  if (use_accelerator) {
+    sim::PipelineConfig cfg;
+    cfg.n = n;
+    accel_ = std::make_unique<sim::ChamAccelerator>(ctx_, &gk_, cfg);
+  }
+}
+
+BeaverTriple BeaverGenerator::generate(const RowSource& w,
+                                       BeaverTimings* timings) {
+  const u64 t = ctx_->params().t;
+  BeaverTriple triple;
+  BeaverTimings local;
+
+  // Client: random r, encrypt.
+  triple.r.resize(w.cols());
+  for (auto& v : triple.r) v = rng_.uniform(t);
+  Timer timer;
+  auto ct_r = engine_.encrypt_vector(triple.r, *enc_);
+  local.client_encrypt = timer.seconds();
+
+  // Server: HMVP, then subtract the random mask s from the packed result.
+  timer.reset();
+  HmvpResult res = engine_.multiply(w, ct_r);
+  triple.s.resize(w.rows());
+  for (auto& v : triple.s) v = rng_.uniform(t);
+  // Mask: the packed layout scales messages by pack_count with stride
+  // N/pack_count; embed s accordingly and subtract Δ·s from the result.
+  const std::size_t n = ctx_->n();
+  const std::size_t stride = n / res.pack_count;
+  CoeffEncoder encoder(ctx_);
+  for (std::size_t g = 0; g < res.packed.size(); ++g) {
+    Plaintext mask;
+    mask.coeffs.assign(n, 0);
+    const std::size_t group_rows = std::min(n, w.rows() - g * n);
+    for (std::size_t r = 0; r < group_rows; ++r) {
+      mask.coeffs[r * stride] = triple.s[g * n + r];
+    }
+    Ciphertext neg = res.packed[g];
+    eval_->negate_inplace(neg);
+    eval_->add_plain_inplace(neg, mask);
+    eval_->negate_inplace(neg);  // result - Δ·mask
+    res.packed[g] = std::move(neg);
+  }
+  if (accel_) {
+    local.server_compute = accel_->time_hmvp(w.rows(), w.cols()).seconds;
+  } else {
+    local.server_compute = timer.seconds();
+  }
+
+  // Client: decrypt W·r - s.
+  timer.reset();
+  triple.wr_minus_s = engine_.decrypt_result(res, *dec_);
+  local.client_decrypt = timer.seconds();
+
+  if (timings != nullptr) {
+    timings->client_encrypt += local.client_encrypt;
+    timings->server_compute += local.server_compute;
+    timings->client_decrypt += local.client_decrypt;
+  }
+  return triple;
+}
+
+}  // namespace cham

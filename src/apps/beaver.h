@@ -1,0 +1,61 @@
+// Beaver (multiplication) triple generation for matrix-vector products
+// (paper Sec. V-B4, Delphi-style preprocessing).
+//
+// Server S holds the weight matrix W; client C samples a random vector r
+// and sends Enc(r). S samples a random mask s and returns
+// Enc(W·r - s) (computed with the coefficient-encoded HMVP plus a masked
+// plaintext addition). After decryption the parties hold additive shares
+// of W·r: the triple (r, s, W·r - s). One triple is consumed per secure
+// matrix-vector multiplication during inference.
+//
+// The baseline the paper improves on evaluates the same product with the
+// batch-encoded rotate-and-sum method on the CPU; CHAM runs the
+// coefficient method on the device model.
+#pragma once
+
+#include "hmvp/baseline.h"
+#include "hmvp/hmvp.h"
+#include "sim/accelerator.h"
+
+namespace cham {
+
+struct BeaverTriple {
+  std::vector<u64> r;           // client share (mod t)
+  std::vector<u64> s;           // server mask (mod t)
+  std::vector<u64> wr_minus_s;  // client's decrypted share (mod t)
+};
+
+// Verify the sharing: (W·r - s) + s == W·r (mod t).
+bool verify_triple(const RowSource& w, const BeaverTriple& triple, u64 t);
+
+struct BeaverTimings {
+  double client_encrypt = 0;
+  double server_compute = 0;  // HMVP + masking (device model if attached)
+  double client_decrypt = 0;
+  double total() const { return client_encrypt + server_compute + client_decrypt; }
+};
+
+class BeaverGenerator {
+ public:
+  // use_accelerator routes the server's HMVP through the CHAM model.
+  BeaverGenerator(std::size_t n, bool use_accelerator, u64 seed);
+
+  BfvContextPtr context() const { return ctx_; }
+
+  // Generate one triple for W (entries mod t).
+  BeaverTriple generate(const RowSource& w, BeaverTimings* timings = nullptr);
+
+ private:
+  Rng rng_;
+  BfvContextPtr ctx_;
+  std::unique_ptr<KeyGenerator> keygen_;
+  PublicKey pk_;
+  GaloisKeys gk_;
+  std::unique_ptr<Encryptor> enc_;
+  std::unique_ptr<Decryptor> dec_;
+  std::unique_ptr<Evaluator> eval_;
+  HmvpEngine engine_;
+  std::unique_ptr<sim::ChamAccelerator> accel_;
+};
+
+}  // namespace cham

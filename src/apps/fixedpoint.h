@@ -1,0 +1,62 @@
+// Fixed-point encoding of reals into Z_t for the protocol layers.
+//
+// Values are scaled by 2^frac_bits and stored centered mod t. Products of
+// two fixed-point values carry 2*frac_bits and are rescaled after
+// decryption (the usual MPC/HE bookkeeping in FATE-style pipelines).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "nt/modulus.h"
+
+namespace cham {
+
+class FixedPoint {
+ public:
+  FixedPoint(u64 t, int frac_bits) : t_(t), frac_bits_(frac_bits) {
+    CHAM_CHECK(frac_bits >= 0 && frac_bits < 30);
+  }
+
+  u64 t() const { return t_.value(); }
+  int frac_bits() const { return frac_bits_; }
+  double scale() const { return std::ldexp(1.0, frac_bits_); }
+
+  u64 encode(double x) const { return encode_scaled(x, 1); }
+
+  // Encode with `levels` scale factors applied (pre-scaling an operand so
+  // it aligns with a product of `levels` encodings).
+  u64 encode_scaled(double x, int levels) const {
+    const double scaled = std::nearbyint(x * std::pow(scale(), levels));
+    CHAM_CHECK_MSG(std::abs(scaled) < static_cast<double>(t_.value()) / 2,
+                   "fixed-point overflow");
+    return t_.from_signed(static_cast<std::int64_t>(scaled));
+  }
+
+  // Decode with `levels` accumulated scale factors (1 = plain value,
+  // 2 = product of two encodings, ...).
+  double decode(u64 v, int levels = 1) const {
+    const double centered = static_cast<double>(t_.to_centered(v));
+    return centered / std::pow(scale(), levels);
+  }
+
+  std::vector<u64> encode_vector(const std::vector<double>& xs) const {
+    std::vector<u64> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = encode(xs[i]);
+    return out;
+  }
+  std::vector<double> decode_vector(const std::vector<u64>& vs,
+                                    int levels = 1) const {
+    std::vector<double> out(vs.size());
+    for (std::size_t i = 0; i < vs.size(); ++i) out[i] = decode(vs[i], levels);
+    return out;
+  }
+
+ private:
+  Modulus t_;
+  int frac_bits_;
+};
+
+}  // namespace cham

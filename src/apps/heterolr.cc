@@ -1,0 +1,318 @@
+#include "apps/heterolr.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "nt/bitops.h"
+#include "nt/prime.h"
+
+namespace cham {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Plaintext modulus for the LR pipeline: ~2^31 prime leaves headroom for
+// level-3 fixed-point products summed over a 4096-row batch (f=5 bits).
+u64 lr_plain_modulus() {
+  static const u64 t = next_prime_congruent_one(1ULL << 31, 2);
+  return t;
+}
+constexpr int kLrFracBits = 5;
+}  // namespace
+
+LrDataset LrDataset::synthetic(std::size_t samples, std::size_t features_a,
+                               std::size_t features_b, Rng& rng) {
+  LrDataset d;
+  d.samples = samples;
+  d.features_a = features_a;
+  d.features_b = features_b;
+  d.xa.resize(samples * features_a);
+  d.xb.resize(samples * features_b);
+  d.y.resize(samples);
+  const std::size_t dim = features_a + features_b;
+  std::vector<double> w_star(dim);
+  for (auto& w : w_star) {
+    w = (rng.uniform_double() * 2 - 1) * 3.0 / std::sqrt(static_cast<double>(dim));
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    double dot = 0;
+    for (std::size_t j = 0; j < features_a; ++j) {
+      const double v = rng.uniform_double() * 2 - 1;
+      d.xa[i * features_a + j] = v;
+      dot += v * w_star[j];
+    }
+    for (std::size_t j = 0; j < features_b; ++j) {
+      const double v = rng.uniform_double() * 2 - 1;
+      d.xb[i * features_b + j] = v;
+      dot += v * w_star[features_a + j];
+    }
+    const double p = sigmoid(4.0 * dot);
+    d.y[i] = (rng.uniform_double() < p) ? 1.0 : 0.0;
+  }
+  return d;
+}
+
+LrModel train_plaintext(const LrDataset& data, int epochs, double lr,
+                        std::size_t batch) {
+  LrModel m;
+  m.wa.assign(data.features_a, 0.0);
+  m.wb.assign(data.features_b, 0.0);
+  for (int e = 0; e < epochs; ++e) {
+    for (std::size_t start = 0; start < data.samples; start += batch) {
+      const std::size_t end = std::min(data.samples, start + batch);
+      const std::size_t bs = end - start;
+      std::vector<double> ga(data.features_a, 0.0), gb(data.features_b, 0.0);
+      for (std::size_t i = start; i < end; ++i) {
+        double u = 0;
+        for (std::size_t j = 0; j < data.features_a; ++j)
+          u += data.xa[i * data.features_a + j] * m.wa[j];
+        for (std::size_t j = 0; j < data.features_b; ++j)
+          u += data.xb[i * data.features_b + j] * m.wb[j];
+        // Degree-1 Taylor residual, the HeteroLR approximation.
+        const double d = 0.25 * u + 0.5 - data.y[i];
+        for (std::size_t j = 0; j < data.features_a; ++j)
+          ga[j] += data.xa[i * data.features_a + j] * d;
+        for (std::size_t j = 0; j < data.features_b; ++j)
+          gb[j] += data.xb[i * data.features_b + j] * d;
+      }
+      for (std::size_t j = 0; j < data.features_a; ++j)
+        m.wa[j] -= lr * ga[j] / static_cast<double>(bs);
+      for (std::size_t j = 0; j < data.features_b; ++j)
+        m.wb[j] -= lr * gb[j] / static_cast<double>(bs);
+    }
+  }
+  return m;
+}
+
+double accuracy(const LrDataset& data, const LrModel& model) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.samples; ++i) {
+    double u = 0;
+    for (std::size_t j = 0; j < data.features_a; ++j)
+      u += data.xa[i * data.features_a + j] * model.wa[j];
+    for (std::size_t j = 0; j < data.features_b; ++j)
+      u += data.xb[i * data.features_b + j] * model.wb[j];
+    const double pred = sigmoid(u) >= 0.5 ? 1.0 : 0.0;
+    if (pred == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.samples);
+}
+
+LrBatchInputs make_batch_inputs(const LrDataset& data, const LrModel& model,
+                                std::size_t batch_start, std::size_t batch,
+                                const FixedPoint& fx, bool party_a_block) {
+  CHAM_CHECK(batch_start + batch <= data.samples);
+  const std::size_t fa = data.features_a;
+  const std::size_t fb = data.features_b;
+  const std::size_t features = party_a_block ? fa : fb;
+  LrBatchInputs in{DenseMatrix(features, batch), {}, {}};
+
+  // Transposed feature block of the requesting party, level-1 encoded.
+  for (std::size_t j = 0; j < features; ++j) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t row = batch_start + i;
+      const double v = party_a_block ? data.xa[row * fa + j]
+                                     : data.xb[row * fb + j];
+      in.x_t.at(j, i) = static_cast<std::uint32_t>(fx.encode(v));
+    }
+  }
+  // Residual halves at level 2: A's share 1/4·u_A, B's share
+  // 1/4·u_B + 1/2 - y.
+  in.ua_fixed.resize(batch);
+  in.ub_minus_y_fixed.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t row = batch_start + i;
+    double ua = 0, ub = 0;
+    for (std::size_t j = 0; j < fa; ++j)
+      ua += data.xa[row * fa + j] * model.wa[j];
+    for (std::size_t j = 0; j < fb; ++j)
+      ub += data.xb[row * fb + j] * model.wb[j];
+    in.ua_fixed[i] = fx.encode_scaled(0.25 * ua, 2);
+    in.ub_minus_y_fixed[i] =
+        fx.encode_scaled(0.25 * ub + 0.5 - data.y[row], 2);
+  }
+  return in;
+}
+
+std::vector<u64> reference_gradient(const DenseMatrix& x_t,
+                                    const std::vector<u64>& ua_fixed,
+                                    const std::vector<u64>& ub_minus_y_fixed,
+                                    const FixedPoint& fx) {
+  Modulus t(fx.t());
+  CHAM_CHECK(x_t.cols() == ua_fixed.size() &&
+             ua_fixed.size() == ub_minus_y_fixed.size());
+  std::vector<u64> grad(x_t.rows());
+  for (std::size_t j = 0; j < x_t.rows(); ++j) {
+    u64 acc = 0;
+    for (std::size_t i = 0; i < x_t.cols(); ++i) {
+      const u64 d = t.add(ua_fixed[i], ub_minus_y_fixed[i]);
+      acc = t.add(acc, t.mul(x_t.at(j, i), d));
+    }
+    grad[j] = acc;
+  }
+  return grad;
+}
+
+// ---------------------------------------------------------------- BFV
+
+BfvLrBackend::BfvLrBackend(std::size_t n, bool use_accelerator, u64 seed)
+    : rng_(seed),
+      ctx_(BfvContext::create([n] {
+        BfvParams p = BfvParams::paper();
+        p.n = n;
+        p.t = lr_plain_modulus();
+        return p;
+      }())),
+      fx_(lr_plain_modulus(), kLrFracBits),
+      keygen_(std::make_unique<KeyGenerator>(ctx_, rng_)),
+      pk_(keygen_->make_public_key()),
+      gk_(keygen_->make_galois_keys(log2_exact(n))),
+      enc_(std::make_unique<Encryptor>(ctx_, &pk_, nullptr, rng_)),
+      dec_(std::make_unique<Decryptor>(ctx_, keygen_->secret_key())),
+      eval_(std::make_unique<Evaluator>(ctx_)),
+      engine_(ctx_, &gk_) {
+  if (use_accelerator) {
+    sim::PipelineConfig cfg;
+    cfg.n = n;
+    accel_ = std::make_unique<sim::ChamAccelerator>(ctx_, &gk_, cfg);
+  }
+}
+
+std::vector<u64> BfvLrBackend::gradient(
+    const DenseMatrix& x_t, const std::vector<u64>& ua_fixed,
+    const std::vector<u64>& ub_minus_y_fixed, LrStepTimings* timings) {
+  LrStepTimings local;
+  Timer timer;
+
+  // 1. Party A encrypts its residual share.
+  auto ct_ua = engine_.encrypt_vector(ua_fixed, *enc_);
+  local.encrypt = timer.seconds();
+
+  // 2. Party B adds its plaintext share under encryption (add_vec).
+  timer.reset();
+  auto ct_p = engine_.encrypt_vector(ub_minus_y_fixed, *enc_);
+  std::vector<Ciphertext> ct_d;
+  ct_d.reserve(ct_ua.size());
+  for (std::size_t c = 0; c < ct_ua.size(); ++c) {
+    ct_d.push_back(eval_->add(ct_ua[c], ct_p[c]));
+  }
+  local.add_vec = timer.seconds();
+
+  // 3. Encrypted gradient Xᵀ·d.
+  timer.reset();
+  HmvpResult res = engine_.multiply(x_t, ct_d);
+  if (accel_) {
+    // Offloaded: the device-model latency replaces software wall time.
+    local.matvec = accel_->time_hmvp(x_t.rows(), x_t.cols()).seconds;
+  } else {
+    local.matvec = timer.seconds();
+  }
+
+  // 4. Arbiter decrypts.
+  timer.reset();
+  auto grad = engine_.decrypt_result(res, *dec_);
+  local.decrypt = timer.seconds();
+
+  if (timings != nullptr) {
+    timings->encrypt += local.encrypt;
+    timings->add_vec += local.add_vec;
+    timings->matvec += local.matvec;
+    timings->decrypt += local.decrypt;
+  }
+  return grad;
+}
+
+// -------------------------------------------------------------- Paillier
+
+PaillierLrBackend::PaillierLrBackend(int modulus_bits, int frac_bits,
+                                     u64 seed)
+    : rng_(seed),
+      fx_(lr_plain_modulus(), frac_bits),
+      kp_(paillier_keygen(modulus_bits, rng_)),
+      enc_(kp_.pk),
+      dec_(kp_.pk, kp_.sk) {}
+
+std::vector<u64> PaillierLrBackend::gradient(
+    const DenseMatrix& x_t, const std::vector<u64>& ua_fixed,
+    const std::vector<u64>& ub_minus_y_fixed, LrStepTimings* timings) {
+  LrStepTimings local;
+  Modulus t(fx_.t());
+  const BigUInt& n = kp_.pk.n;
+  auto to_big = [&](u64 v) {
+    // Centered lift mod n.
+    const std::int64_t c = t.to_centered(v);
+    return c >= 0 ? BigUInt(static_cast<u64>(c))
+                  : n - BigUInt(static_cast<u64>(-c));
+  };
+
+  Timer timer;
+  // 1. Encrypt A's residual share elementwise.
+  std::vector<BigUInt> ct_ua(ua_fixed.size());
+  for (std::size_t i = 0; i < ua_fixed.size(); ++i) {
+    ct_ua[i] = enc_.encrypt(to_big(ua_fixed[i]), rng_);
+  }
+  local.encrypt = timer.seconds();
+
+  // 2. add_vec: B folds its plaintext share in.
+  timer.reset();
+  std::vector<BigUInt> ct_d(ua_fixed.size());
+  for (std::size_t i = 0; i < ua_fixed.size(); ++i) {
+    ct_d[i] = enc_.add(ct_ua[i], enc_.encrypt(to_big(ub_minus_y_fixed[i]), rng_));
+  }
+  local.add_vec = timer.seconds();
+
+  // 3. matvec: one scalar-mul + add per matrix entry (the FATE cost).
+  timer.reset();
+  std::vector<BigUInt> ct_grad(x_t.rows());
+  for (std::size_t j = 0; j < x_t.rows(); ++j) {
+    BigUInt acc = enc_.encrypt(BigUInt(0), rng_);
+    for (std::size_t i = 0; i < x_t.cols(); ++i) {
+      acc = enc_.add(acc, enc_.scalar_mul(ct_d[i], to_big(x_t.at(j, i))));
+    }
+    ct_grad[j] = acc;
+  }
+  local.matvec = timer.seconds();
+
+  // 4. Decrypt and reduce mod t.
+  timer.reset();
+  std::vector<u64> grad(x_t.rows());
+  for (std::size_t j = 0; j < x_t.rows(); ++j) {
+    BigUInt m = dec_.decrypt(ct_grad[j]);
+    // Centered mod n -> signed -> mod t.
+    const bool negative = m > (n >> 1);
+    const BigUInt mag = negative ? n - m : m;
+    const u64 r = (mag % BigUInt(t.value())).to_u64();
+    grad[j] = negative ? t.negate(r) : r;
+  }
+  local.decrypt = timer.seconds();
+
+  if (timings != nullptr) {
+    timings->encrypt += local.encrypt;
+    timings->add_vec += local.add_vec;
+    timings->matvec += local.matvec;
+    timings->decrypt += local.decrypt;
+  }
+  return grad;
+}
+
+PaillierLrBackend::OpCosts PaillierLrBackend::measure_op_costs(int reps) {
+  OpCosts costs;
+  BigUInt m(12345);
+  Timer t;
+  BigUInt c;
+  for (int i = 0; i < reps; ++i) c = enc_.encrypt(m, rng_);
+  costs.encrypt_sec = t.seconds() / reps;
+  t.reset();
+  BigUInt c2 = c;
+  for (int i = 0; i < reps; ++i) c2 = enc_.add(c2, c);
+  costs.add_sec = t.seconds() / reps;
+  t.reset();
+  for (int i = 0; i < reps; ++i) c2 = enc_.scalar_mul(c, BigUInt(98765));
+  costs.scalar_mul_sec = t.seconds() / reps;
+  t.reset();
+  for (int i = 0; i < reps; ++i) (void)dec_.decrypt(c);
+  costs.decrypt_sec = t.seconds() / reps;
+  return costs;
+}
+
+}  // namespace cham

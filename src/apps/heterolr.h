@@ -1,0 +1,151 @@
+// HeteroLR: vertically-partitioned federated logistic regression (paper
+// Sec. V-B3, after Hardy et al. / FATE).
+//
+// Two parties hold disjoint feature columns; party B also holds labels.
+// Each mini-batch step:
+//   1. both parties compute their local logits u = X·w;
+//   2. A encrypts u_A and sends it (encrypt);
+//   3. B forms the encrypted residual d = 1/4·(u_A + u_B) - 1/2·y using
+//      one scalar multiplication and one encrypted+plain addition
+//      (add_vec), a degree-1 Taylor approximation of the sigmoid;
+//   4. both parties compute encrypted gradients Xᵀ·d (matvec — the HMVP
+//      CHAM accelerates);
+//   5. the arbiter decrypts and redistributes the update (decrypt).
+//
+// The backends differ exactly as in the paper: Paillier (FATE's original
+// scheme), B/FV on CPU, and B/FV with the matvec offloaded to the CHAM
+// device model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/fixedpoint.h"
+#include "hmvp/hmvp.h"
+#include "paillier/paillier.h"
+#include "sim/accelerator.h"
+
+namespace cham {
+
+// Synthetic vertically-partitioned dataset with a planted weight vector.
+struct LrDataset {
+  std::size_t samples = 0;
+  std::size_t features_a = 0;
+  std::size_t features_b = 0;
+  std::vector<double> xa;  // samples x features_a, row-major, in [-1, 1]
+  std::vector<double> xb;  // samples x features_b
+  std::vector<double> y;   // labels in {0, 1}
+
+  static LrDataset synthetic(std::size_t samples, std::size_t features_a,
+                             std::size_t features_b, Rng& rng);
+};
+
+struct LrModel {
+  std::vector<double> wa;
+  std::vector<double> wb;
+};
+
+// Per-step wall-clock of the protocol's four phases (Fig. 7a/7b series).
+struct LrStepTimings {
+  double encrypt = 0;
+  double add_vec = 0;
+  double matvec = 0;
+  double decrypt = 0;
+  double total() const { return encrypt + add_vec + matvec + decrypt; }
+};
+
+// Plaintext reference training (float64), used for convergence checks and
+// as the ground truth the secure step must track.
+LrModel train_plaintext(const LrDataset& data, int epochs, double lr,
+                        std::size_t batch);
+double accuracy(const LrDataset& data, const LrModel& model);
+
+// ---------------------------------------------------------------------------
+// Secure gradient backends.
+
+// B/FV backend; when an accelerator model is attached, the matvec phase is
+// timed by the device model instead of software wall-clock.
+class BfvLrBackend {
+ public:
+  // Plaintext modulus sized for level-3 fixed-point products; pass
+  // use_accelerator to route the HMVP through the CHAM model.
+  BfvLrBackend(std::size_t n, bool use_accelerator, u64 seed);
+
+  const FixedPoint& fx() const { return fx_; }
+  std::string name() const {
+    return accel_ ? "BFV+CHAM" : "BFV(CPU)";
+  }
+
+  // One full secure gradient evaluation: returns the fixed-point gradient
+  // of the batch (levels = 3 scale) and accumulates phase timings.
+  // x_t is the transposed feature block (features x batch, mod t).
+  std::vector<u64> gradient(const DenseMatrix& x_t,
+                            const std::vector<u64>& ua_fixed,
+                            const std::vector<u64>& ub_minus_y_fixed,
+                            LrStepTimings* timings);
+
+  BfvContextPtr context() const { return ctx_; }
+
+ private:
+  Rng rng_;
+  BfvContextPtr ctx_;
+  FixedPoint fx_;
+  std::unique_ptr<KeyGenerator> keygen_;
+  PublicKey pk_;
+  GaloisKeys gk_;
+  std::unique_ptr<Encryptor> enc_;
+  std::unique_ptr<Decryptor> dec_;
+  std::unique_ptr<Evaluator> eval_;
+  HmvpEngine engine_;
+  std::unique_ptr<sim::ChamAccelerator> accel_;
+};
+
+// Paillier backend (FATE baseline). Exact but O(rows*cols) modular
+// exponentiations in the matvec.
+class PaillierLrBackend {
+ public:
+  PaillierLrBackend(int modulus_bits, int frac_bits, u64 seed);
+
+  const FixedPoint& fx() const { return fx_; }
+  std::string name() const { return "Paillier(CPU)"; }
+
+  std::vector<u64> gradient(const DenseMatrix& x_t,
+                            const std::vector<u64>& ua_fixed,
+                            const std::vector<u64>& ub_minus_y_fixed,
+                            LrStepTimings* timings);
+
+  // Measured per-op costs, for extrapolating paper-scale shapes.
+  struct OpCosts {
+    double encrypt_sec = 0;
+    double add_sec = 0;
+    double scalar_mul_sec = 0;
+    double decrypt_sec = 0;
+  };
+  OpCosts measure_op_costs(int reps = 8);
+
+ private:
+  Rng rng_;
+  FixedPoint fx_;
+  PaillierKeyPair kp_;
+  PaillierEncryptor enc_;
+  PaillierDecryptor dec_;
+};
+
+// Shared protocol arithmetic: assemble the fixed-point inputs of a batch.
+struct LrBatchInputs {
+  DenseMatrix x_t;                // features x batch (mod t), party block
+  std::vector<u64> ua_fixed;      // level-2 fixed point
+  std::vector<u64> ub_minus_y_fixed;  // level-2: 1/4 u_B - 1/2 y
+};
+LrBatchInputs make_batch_inputs(const LrDataset& data, const LrModel& model,
+                                std::size_t batch_start, std::size_t batch,
+                                const FixedPoint& fx, bool party_a_block);
+
+// Plaintext mod-t reference of the same fixed-point gradient (exactness
+// oracle for the secure backends).
+std::vector<u64> reference_gradient(const DenseMatrix& x_t,
+                                    const std::vector<u64>& ua_fixed,
+                                    const std::vector<u64>& ub_minus_y_fixed,
+                                    const FixedPoint& fx);
+
+}  // namespace cham

@@ -1,0 +1,122 @@
+#include "apps/protocol.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+HmvpClient::HmvpClient(BfvContextPtr ctx, u64 seed)
+    : ctx_(ctx),
+      rng_(seed),
+      keygen_(std::make_unique<KeyGenerator>(ctx_, rng_)),
+      pk_(keygen_->make_public_key()),
+      gk_(keygen_->make_galois_keys(log2_exact(ctx_->n()))),
+      enc_(std::make_unique<Encryptor>(ctx_, &pk_, nullptr, rng_)),
+      dec_(std::make_unique<Decryptor>(ctx_, keygen_->secret_key())),
+      engine_(ctx_, &gk_) {}
+
+void HmvpClient::send_keys(Channel& to_server, WireFormat fmt) {
+  ByteWriter w;
+  save_public_key(pk_, fmt, w);
+  to_server.send(w);
+  ByteWriter wg;
+  save_galois_keys(gk_, fmt, wg);
+  to_server.send(wg);
+}
+
+void HmvpClient::send_query(const std::vector<u64>& v, Channel& to_server,
+                            WireFormat fmt) {
+  auto chunks = engine_.encrypt_vector(v, *enc_);
+  ByteWriter header;
+  header.u64(chunks.size());
+  header.u64(v.size());
+  to_server.send(header);
+  for (const auto& ct : chunks) {
+    ByteWriter w;
+    save_ciphertext(ct, fmt, w);
+    to_server.send(w);
+  }
+}
+
+std::vector<u64> HmvpClient::receive_result(std::size_t rows,
+                                            Channel& from_server) {
+  auto header = from_server.recv();
+  ByteReader hr(header);
+  const std::uint64_t groups = hr.u64();
+  const std::uint64_t pack_count = hr.u64();
+  HmvpResult res;
+  res.rows = rows;
+  res.pack_count = pack_count;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    auto blob = from_server.recv();
+    ByteReader r(blob);
+    res.packed.push_back(load_ciphertext(r, ctx_));
+  }
+  return engine_.decrypt_result(res, *dec_);
+}
+
+HmvpServer::HmvpServer(BfvContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+void HmvpServer::receive_keys(Channel& from_client) {
+  {
+    auto blob = from_client.recv();
+    ByteReader r(blob);
+    pk_ = load_public_key(r, ctx_);
+  }
+  {
+    auto blob = from_client.recv();
+    ByteReader r(blob);
+    gk_ = load_galois_keys(r, ctx_);
+  }
+  have_keys_ = true;
+  engine_ = std::make_unique<HmvpEngine>(ctx_, &gk_);
+}
+
+HmvpStats HmvpServer::answer_query(const RowSource& a, Channel& from_client,
+                                   Channel& to_client, WireFormat fmt,
+                                   int threads) {
+  CHAM_CHECK_MSG(have_keys_, "server has no keys yet");
+  auto header = from_client.recv();
+  ByteReader hr(header);
+  const std::uint64_t chunk_count = hr.u64();
+  const std::uint64_t cols = hr.u64();
+  CHAM_CHECK_MSG(cols == a.cols(), "query length does not match the matrix");
+  std::vector<Ciphertext> ct_v;
+  ct_v.reserve(chunk_count);
+  for (std::uint64_t c = 0; c < chunk_count; ++c) {
+    auto blob = from_client.recv();
+    ByteReader r(blob);
+    ct_v.push_back(load_ciphertext(r, ctx_));
+  }
+
+  HmvpResult res = engine_->multiply(a, ct_v, threads);
+
+  ByteWriter header_out;
+  header_out.u64(res.packed.size());
+  header_out.u64(res.pack_count);
+  to_client.send(header_out);
+  for (const auto& ct : res.packed) {
+    ByteWriter w;
+    save_ciphertext(ct, fmt, w);
+    to_client.send(w);
+  }
+  return res.stats;
+}
+
+ProtocolRun run_two_party_hmvp(BfvContextPtr ctx, const RowSource& a,
+                               const std::vector<u64>& v, u64 seed,
+                               WireFormat fmt) {
+  Duplex link;
+  HmvpClient client(ctx, seed);
+  HmvpServer server(ctx);
+  client.send_keys(link.a_to_b, fmt);
+  server.receive_keys(link.a_to_b);
+  client.send_query(v, link.a_to_b, fmt);
+  ProtocolRun run;
+  run.stats = server.answer_query(a, link.a_to_b, link.b_to_a, fmt);
+  run.result = client.receive_result(a.rows(), link.b_to_a);
+  run.query_bytes = link.a_to_b.bytes_sent();
+  run.response_bytes = link.b_to_a.bytes_sent();
+  return run;
+}
+
+}  // namespace cham

@@ -1,0 +1,78 @@
+// Message-driven two-party HMVP protocols over serialized channels
+// (paper Sec. II-F security model: party A holds the vector share, party B
+// the matrix; B is semi-honest).
+//
+// These wrap the HMVP engine in explicit wire exchanges so communication
+// volume is measurable (Channel accounting) and each party only touches
+// the key material its role permits: A holds the secret key; B receives
+// only the public and Galois keys.
+#pragma once
+
+#include <memory>
+
+#include "hmvp/hmvp.h"
+#include "io/channel.h"
+
+namespace cham {
+
+// Party A: owns the secret key; encrypts queries and decrypts responses.
+class HmvpClient {
+ public:
+  HmvpClient(BfvContextPtr ctx, u64 seed);
+
+  // One-time setup: serialize pk + Galois keys for the server.
+  void send_keys(Channel& to_server, WireFormat fmt = WireFormat::kPacked);
+
+  // Send Enc(v) chunks.
+  void send_query(const std::vector<u64>& v, Channel& to_server,
+                  WireFormat fmt = WireFormat::kPacked);
+
+  // Receive the packed product ciphertexts and decode rows.
+  std::vector<u64> receive_result(std::size_t rows, Channel& from_server);
+
+ private:
+  BfvContextPtr ctx_;
+  Rng rng_;
+  std::unique_ptr<KeyGenerator> keygen_;
+  PublicKey pk_;
+  GaloisKeys gk_;
+  std::unique_ptr<Encryptor> enc_;
+  std::unique_ptr<Decryptor> dec_;
+  HmvpEngine engine_;
+};
+
+// Party B: holds the plaintext matrix; computes on received ciphertexts.
+class HmvpServer {
+ public:
+  explicit HmvpServer(BfvContextPtr ctx);
+
+  void receive_keys(Channel& from_client);
+
+  // Consume a query, run Alg. 1, send the packed result.
+  // Returns the operation stats for the device model.
+  HmvpStats answer_query(const RowSource& a, Channel& from_client,
+                         Channel& to_client,
+                         WireFormat fmt = WireFormat::kPacked,
+                         int threads = 1);
+
+ private:
+  BfvContextPtr ctx_;
+  PublicKey pk_;
+  GaloisKeys gk_;
+  bool have_keys_ = false;
+  std::unique_ptr<HmvpEngine> engine_;
+};
+
+// Convenience: run a full client/server round trip in-process and return
+// the result plus the traffic volumes.
+struct ProtocolRun {
+  std::vector<u64> result;
+  std::size_t query_bytes = 0;     // client -> server (incl. one-time keys)
+  std::size_t response_bytes = 0;  // server -> client
+  HmvpStats stats;
+};
+ProtocolRun run_two_party_hmvp(BfvContextPtr ctx, const RowSource& a,
+                               const std::vector<u64>& v, u64 seed,
+                               WireFormat fmt = WireFormat::kPacked);
+
+}  // namespace cham

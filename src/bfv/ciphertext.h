@@ -1,0 +1,39 @@
+// Plaintext and ciphertext containers.
+#pragma once
+
+#include <vector>
+
+#include "bfv/context.h"
+
+namespace cham {
+
+// A plaintext is a polynomial with coefficients in [0, t). (Coefficient
+// encoding per paper Eq. 1 and batch encoding both produce this form; see
+// bfv/encoder.h.)
+struct Plaintext {
+  std::vector<u64> coeffs;
+
+  std::size_t n() const { return coeffs.size(); }
+};
+
+// RLWE ciphertext (b, a): decrypts as b + a*s = Δ·m + e. Lives either on
+// base_qp ("augmented", fresh / pre-rescale) or base_q (post-rescale).
+struct Ciphertext {
+  RnsPoly b;
+  RnsPoly a;
+
+  const RnsBasePtr& base() const { return b.base(); }
+  bool is_ntt() const { return b.is_ntt(); }
+  std::size_t n() const { return b.n(); }
+
+  void to_ntt() {
+    b.to_ntt();
+    a.to_ntt();
+  }
+  void from_ntt() {
+    b.from_ntt();
+    a.from_ntt();
+  }
+};
+
+}  // namespace cham

@@ -1,0 +1,107 @@
+#include "bfv/decryptor.h"
+
+#include <cmath>
+
+namespace cham {
+
+Decryptor::Decryptor(BfvContextPtr context, const SecretKey& sk)
+    : ctx_(std::move(context)) {
+  CHAM_CHECK(sk.context == ctx_);
+  s_ntt_qp_ = sk.s_ntt;
+  // The base_q copy: the first limbs of the coefficient-domain secret.
+  RnsPoly s_q(ctx_->base_q(), false);
+  for (std::size_t l = 0; l < s_q.limbs(); ++l) {
+    std::copy(sk.s_coeff.limb(l), sk.s_coeff.limb(l) + ctx_->n(),
+              s_q.limb(l));
+  }
+  s_q.to_ntt();
+  s_ntt_q_ = std::move(s_q);
+}
+
+const RnsPoly& Decryptor::secret_for(const RnsBasePtr& base) const {
+  if (base == ctx_->base_q()) return s_ntt_q_;
+  CHAM_CHECK_MSG(base == ctx_->base_qp(),
+                 "ciphertext base unknown to this context");
+  return s_ntt_qp_;
+}
+
+RnsPoly Decryptor::phase(const Ciphertext& ct) const {
+  CHAM_CHECK_MSG(!ct.is_ntt(), "decrypt expects coefficient-domain input");
+  if (ct.base() == ctx_->base_qp()) {
+    // Rescale the augmented ciphertext down to base_q first; this keeps
+    // the t·phase rounding inside 128 bits for any supported t and costs
+    // only negligible extra noise.
+    Ciphertext low;
+    low.b = divide_round_by_last(ct.b, ctx_->base_q());
+    low.a = divide_round_by_last(ct.a, ctx_->base_q());
+    return phase(low);
+  }
+  RnsPoly as = ct.a;
+  as.to_ntt();
+  as.mul_pointwise_inplace(secret_for(ct.base()));
+  as.from_ntt();
+  as.add_inplace(ct.b);
+  return as;
+}
+
+u64 Decryptor::round_to_message(u128 x, u128 big_q) const {
+  const u64 t = ctx_->plain_modulus().value();
+  // m = round(t*x/Q) mod t; t*x must not overflow (checked at context
+  // creation).
+  const u128 num = static_cast<u128>(t) * x + big_q / 2;
+  return static_cast<u64>((num / big_q) % t);
+}
+
+Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
+  RnsPoly ph = phase(ct);
+  const u128 big_q = ph.base()->total_modulus();
+  Plaintext pt;
+  pt.coeffs.resize(ctx_->n());
+  for (std::size_t i = 0; i < ctx_->n(); ++i) {
+    pt.coeffs[i] = round_to_message(ph.compose_coeff(i), big_q);
+  }
+  return pt;
+}
+
+u64 Decryptor::decrypt_coeff(const Ciphertext& ct, std::size_t index) const {
+  RnsPoly ph = phase(ct);
+  return round_to_message(ph.compose_coeff(index),
+                          ph.base()->total_modulus());
+}
+
+namespace {
+u128 max_noise_magnitude(const RnsPoly& ph, u64 t, std::size_t n) {
+  const u128 big_q = ph.base()->total_modulus();
+  const u128 delta = big_q / t;
+  u128 max_noise = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 x = ph.compose_coeff(i);
+    const u128 num = static_cast<u128>(t) * x + big_q / 2;
+    const u64 m = static_cast<u64>((num / big_q) % t);
+    // ν = x - Δ·m (mod Q), centered.
+    const u128 dm = delta * m;
+    u128 nu = x >= dm ? x - dm : big_q - (dm - x);
+    if (nu > big_q / 2) nu = big_q - nu;
+    max_noise = std::max(max_noise, nu);
+  }
+  return max_noise;
+}
+}  // namespace
+
+double Decryptor::noise_budget_bits(const Ciphertext& ct) const {
+  RnsPoly ph = phase(ct);
+  const u64 t = ctx_->plain_modulus().value();
+  const u128 delta = ph.base()->total_modulus() / t;
+  const u128 max_noise = max_noise_magnitude(ph, t, ctx_->n());
+  return std::log2(static_cast<double>(delta)) - 1.0 -
+         std::log2(static_cast<double>(max_noise) + 1.0);
+}
+
+double Decryptor::noise_bits(const Ciphertext& ct) const {
+  RnsPoly ph = phase(ct);
+  const u128 max_noise =
+      max_noise_magnitude(ph, ctx_->plain_modulus().value(), ctx_->n());
+  return std::log2(static_cast<double>(max_noise) + 1.0);
+}
+
+}  // namespace cham

@@ -1,0 +1,40 @@
+// Decryption and noise measurement.
+#pragma once
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+
+namespace cham {
+
+class Decryptor {
+ public:
+  Decryptor(BfvContextPtr context, const SecretKey& sk);
+
+  // Full message polynomial m = round(t * phase / Q) mod t.
+  Plaintext decrypt(const Ciphertext& ct) const;
+
+  // Decrypt only selected coefficients (used by HMVP which reads stride
+  // positions after packing).
+  u64 decrypt_coeff(const Ciphertext& ct, std::size_t index) const;
+
+  // log2 of remaining noise headroom: log2(Δ/2) - log2(max|ν|+1), where
+  // ν = phase - Δ·m. Negative means decryption is unreliable.
+  double noise_budget_bits(const Ciphertext& ct) const;
+
+  // Absolute noise magnitude log2(max|ν|+1) — what the paper's stage-4
+  // rescale shrinks.
+  double noise_bits(const Ciphertext& ct) const;
+
+  // phase = b + a*s over the ciphertext's base, coefficient domain.
+  RnsPoly phase(const Ciphertext& ct) const;
+
+ private:
+  const RnsPoly& secret_for(const RnsBasePtr& base) const;
+  u64 round_to_message(u128 x, u128 big_q) const;
+
+  BfvContextPtr ctx_;
+  RnsPoly s_ntt_q_;   // secret over base_q, NTT
+  RnsPoly s_ntt_qp_;  // secret over base_qp, NTT
+};
+
+}  // namespace cham

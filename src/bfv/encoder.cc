@@ -1,0 +1,95 @@
+#include "bfv/encoder.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+CoeffEncoder::CoeffEncoder(BfvContextPtr context) : ctx_(std::move(context)) {}
+
+Plaintext CoeffEncoder::encode_vector(const std::vector<u64>& v) const {
+  CHAM_CHECK_MSG(v.size() <= ctx_->n(), "vector longer than ring dimension");
+  const u64 t = ctx_->plain_modulus().value();
+  Plaintext pt;
+  pt.coeffs.assign(ctx_->n(), 0);
+  for (std::size_t j = 0; j < v.size(); ++j) pt.coeffs[j] = v[j] % t;
+  return pt;
+}
+
+Plaintext CoeffEncoder::encode_matrix_row(const std::vector<u64>& row,
+                                          u64 scale) const {
+  CHAM_CHECK_MSG(!row.empty(), "empty matrix row");
+  CHAM_CHECK_MSG(row.size() <= ctx_->n(), "row longer than ring dimension");
+  const Modulus& t = ctx_->plain_modulus();
+  const u64 s = scale % t.value();
+  Plaintext pt;
+  pt.coeffs.assign(ctx_->n(), 0);
+  pt.coeffs[0] = t.mul(row[0] % t.value(), s);
+  for (std::size_t j = 1; j < row.size(); ++j) {
+    pt.coeffs[ctx_->n() - j] = t.negate(t.mul(row[j] % t.value(), s));
+  }
+  return pt;
+}
+
+u64 CoeffEncoder::decode_coeff(const Plaintext& pt, std::size_t index) const {
+  CHAM_CHECK(index < pt.n());
+  return pt.coeffs[index];
+}
+
+BatchEncoder::BatchEncoder(BfvContextPtr context) : ctx_(std::move(context)) {
+  const u64 t = ctx_->plain_modulus().value();
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK_MSG((t - 1) % (2 * n) == 0,
+                 "batching requires prime t ≡ 1 (mod 2N)");
+  t_ntt_ = get_ntt_tables(n, ctx_->plain_modulus());
+
+  // NTT output index i evaluates at psi^{2*brev(i)+1}. Slot j of row r
+  // evaluates at psi^{(-1)^r * 3^j mod 2N}. Build the map.
+  const int logn = log2_exact(n);
+  std::vector<std::size_t> exp_to_index(2 * n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 e = 2 * bit_reverse(static_cast<std::uint32_t>(i), logn) + 1;
+    exp_to_index[e] = i;
+  }
+  slot_to_index_.resize(n);
+  u64 g = 1;  // 3^j mod 2N
+  const u64 two_n = 2 * n;
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    CHAM_CHECK(exp_to_index[g] != SIZE_MAX);
+    slot_to_index_[j] = exp_to_index[g];                // row 0: psi^{3^j}
+    slot_to_index_[j + n / 2] = exp_to_index[two_n - g];  // row 1: psi^{-3^j}
+    g = (g * 3) % two_n;
+  }
+}
+
+Plaintext BatchEncoder::encode(const std::vector<u64>& slots) const {
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK_MSG(slots.size() <= n, "too many slots");
+  const u64 t = ctx_->plain_modulus().value();
+  std::vector<u64> evals(n, 0);
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    evals[slot_to_index_[j]] = slots[j] % t;
+  }
+  t_ntt_->inverse(evals);
+  Plaintext pt;
+  pt.coeffs = std::move(evals);
+  return pt;
+}
+
+std::vector<u64> BatchEncoder::decode(const Plaintext& pt) const {
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK(pt.n() == n);
+  std::vector<u64> evals = pt.coeffs;
+  t_ntt_->forward(evals);
+  std::vector<u64> slots(n);
+  for (std::size_t j = 0; j < n; ++j) slots[j] = evals[slot_to_index_[j]];
+  return slots;
+}
+
+u64 BatchEncoder::rotation_galois_element(std::size_t r) const {
+  const u64 two_n = 2 * ctx_->n();
+  u64 k = 1;
+  for (std::size_t i = 0; i < r % (ctx_->n() / 2); ++i) k = (k * 3) % two_n;
+  return k;
+}
+
+}  // namespace cham

@@ -1,0 +1,86 @@
+#include "bfv/encryptor.h"
+
+#include "ring/sampling.h"
+
+namespace cham {
+
+Encryptor::Encryptor(BfvContextPtr context, const PublicKey* pk,
+                     const SecretKey* sk, Rng& rng)
+    : ctx_(std::move(context)), pk_(pk), sk_(sk), rng_(rng) {
+  CHAM_CHECK_MSG(pk_ != nullptr || sk_ != nullptr,
+                 "encryptor needs at least one key");
+}
+
+RnsPoly Encryptor::scaled_message(const Plaintext& pt) const {
+  CHAM_CHECK_MSG(pt.n() <= ctx_->n(), "plaintext longer than ring dimension");
+  const Modulus& t = ctx_->plain_modulus();
+  // Centered lift of each coefficient, then multiply by Δ' per limb.
+  RnsPoly m(ctx_->base_qp(), false);
+  const auto& delta = ctx_->delta_qp();
+  for (std::size_t i = 0; i < pt.n(); ++i) {
+    CHAM_CHECK_MSG(pt.coeffs[i] < t.value(), "plaintext coeff out of range");
+    const std::int64_t centered = t.to_centered(pt.coeffs[i]);
+    for (std::size_t l = 0; l < m.limbs(); ++l) {
+      const Modulus& ql = ctx_->base_qp()->modulus(l);
+      m.limb(l)[i] = ql.mul(ql.from_signed(centered), delta[l]);
+    }
+  }
+  return m;
+}
+
+Ciphertext Encryptor::encrypt_zero() const {
+  Ciphertext ct;
+  if (pk_ != nullptr) {
+    // u ternary; e0, e1 noise.
+    RnsPoly u = sample_ternary(ctx_->base_qp(), rng_);
+    u.to_ntt();
+    RnsPoly b = pk_->b;
+    b.mul_pointwise_inplace(u);
+    RnsPoly a = pk_->a;
+    a.mul_pointwise_inplace(u);
+    b.from_ntt();
+    a.from_ntt();
+    b.add_inplace(sample_noise(ctx_->base_qp(), rng_));
+    a.add_inplace(sample_noise(ctx_->base_qp(), rng_));
+    ct.b = std::move(b);
+    ct.a = std::move(a);
+  } else {
+    RnsPoly a = sample_uniform(ctx_->base_qp(), rng_);
+    a.set_ntt_form(true);
+    RnsPoly b = a;
+    b.mul_pointwise_inplace(sk_->s_ntt);
+    b.negate_inplace();
+    b.from_ntt();
+    a.from_ntt();
+    b.add_inplace(sample_noise(ctx_->base_qp(), rng_));
+    ct.b = std::move(b);
+    ct.a = std::move(a);
+  }
+  return ct;
+}
+
+Ciphertext Encryptor::encrypt(const Plaintext& pt) const {
+  CHAM_CHECK_MSG(pk_ != nullptr, "public key not available");
+  Ciphertext ct = encrypt_zero();
+  ct.b.add_inplace(scaled_message(pt));
+  return ct;
+}
+
+Ciphertext Encryptor::encrypt_symmetric(const Plaintext& pt) const {
+  CHAM_CHECK_MSG(sk_ != nullptr, "secret key not available");
+  RnsPoly a = sample_uniform(ctx_->base_qp(), rng_);
+  a.set_ntt_form(true);
+  RnsPoly b = a;
+  b.mul_pointwise_inplace(sk_->s_ntt);
+  b.negate_inplace();
+  b.from_ntt();
+  a.from_ntt();
+  b.add_inplace(sample_noise(ctx_->base_qp(), rng_));
+  b.add_inplace(scaled_message(pt));
+  Ciphertext ct;
+  ct.b = std::move(b);
+  ct.a = std::move(a);
+  return ct;
+}
+
+}  // namespace cham

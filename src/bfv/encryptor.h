@@ -1,0 +1,35 @@
+// Encryption (public-key and symmetric) at the augmented modulus Q·p.
+#pragma once
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+#include "common/random.h"
+
+namespace cham {
+
+class Encryptor {
+ public:
+  // Either key may be omitted (nullptr) if the matching encrypt flavour is
+  // unused.
+  Encryptor(BfvContextPtr context, const PublicKey* pk, const SecretKey* sk,
+            Rng& rng);
+
+  // Public-key encryption: ct = (u*pk.b + e0 + Δ'·m, u*pk.a + e1) over
+  // base_qp, coefficient domain.
+  Ciphertext encrypt(const Plaintext& pt) const;
+
+  // Symmetric encryption: ct = (-a*s + e + Δ'·m, a).
+  Ciphertext encrypt_symmetric(const Plaintext& pt) const;
+
+  // Encryption of zero (used by protocols for re-randomisation).
+  Ciphertext encrypt_zero() const;
+
+ private:
+  RnsPoly scaled_message(const Plaintext& pt) const;  // Δ'·m over base_qp
+  BfvContextPtr ctx_;
+  const PublicKey* pk_;
+  const SecretKey* sk_;
+  Rng& rng_;
+};
+
+}  // namespace cham

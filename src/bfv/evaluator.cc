@@ -1,0 +1,169 @@
+#include "bfv/evaluator.h"
+
+namespace cham {
+
+Evaluator::Evaluator(BfvContextPtr context) : ctx_(std::move(context)) {}
+
+Ciphertext Evaluator::add(const Ciphertext& x, const Ciphertext& y) const {
+  Ciphertext out = x;
+  add_inplace(out, y);
+  return out;
+}
+
+Ciphertext Evaluator::sub(const Ciphertext& x, const Ciphertext& y) const {
+  Ciphertext out = x;
+  sub_inplace(out, y);
+  return out;
+}
+
+void Evaluator::add_inplace(Ciphertext& x, const Ciphertext& y) const {
+  x.b.add_inplace(y.b);
+  x.a.add_inplace(y.a);
+}
+
+void Evaluator::sub_inplace(Ciphertext& x, const Ciphertext& y) const {
+  x.b.sub_inplace(y.b);
+  x.a.sub_inplace(y.a);
+}
+
+void Evaluator::negate_inplace(Ciphertext& x) const {
+  x.b.negate_inplace();
+  x.a.negate_inplace();
+}
+
+void Evaluator::add_plain_inplace(Ciphertext& x, const Plaintext& pt) const {
+  CHAM_CHECK_MSG(!x.is_ntt(), "add_plain expects coefficient domain");
+  const auto& base = x.base();
+  const auto& delta = (base == ctx_->base_qp()) ? ctx_->delta_qp()
+                                                : ctx_->delta_q();
+  const Modulus& t = ctx_->plain_modulus();
+  for (std::size_t i = 0; i < pt.n(); ++i) {
+    const std::int64_t centered = t.to_centered(pt.coeffs[i] % t.value());
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      const Modulus& ql = base->modulus(l);
+      x.b.limb(l)[i] =
+          ql.add(x.b.limb(l)[i], ql.mul(ql.from_signed(centered), delta[l]));
+    }
+  }
+}
+
+RnsPoly Evaluator::transform_plain_ntt(const Plaintext& pt,
+                                       const RnsBasePtr& base) const {
+  CHAM_CHECK(pt.n() <= base->n());
+  const Modulus& t = ctx_->plain_modulus();
+  RnsPoly out(base, false);
+  for (std::size_t i = 0; i < pt.n(); ++i) {
+    const std::int64_t centered = t.to_centered(pt.coeffs[i] % t.value());
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      out.limb(l)[i] = base->modulus(l).from_signed(centered);
+    }
+  }
+  out.to_ntt();
+  return out;
+}
+
+void Evaluator::multiply_plain_ntt_inplace(Ciphertext& x,
+                                           const RnsPoly& pt_ntt) const {
+  CHAM_CHECK_MSG(x.is_ntt(), "ciphertext must be in NTT form");
+  x.b.mul_pointwise_inplace(pt_ntt);
+  x.a.mul_pointwise_inplace(pt_ntt);
+}
+
+Ciphertext Evaluator::multiply_plain(const Ciphertext& x,
+                                     const Plaintext& pt) const {
+  CHAM_CHECK_MSG(!x.is_ntt(), "expects coefficient-domain ciphertext");
+  Ciphertext out = x;
+  out.to_ntt();
+  multiply_plain_ntt_inplace(out, transform_plain_ntt(pt, x.base()));
+  out.from_ntt();
+  return out;
+}
+
+void Evaluator::multiply_scalar_inplace(Ciphertext& x, u64 c) const {
+  const std::int64_t centered =
+      ctx_->plain_modulus().to_centered(c % ctx_->plain_modulus().value());
+  const auto& base = x.base();
+  std::vector<u64> residues(base->size());
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    residues[l] = base->modulus(l).from_signed(centered);
+  }
+  x.b.mul_scalar_inplace(residues);
+  x.a.mul_scalar_inplace(residues);
+}
+
+Ciphertext Evaluator::multiply_monomial(const Ciphertext& x,
+                                        std::size_t s) const {
+  CHAM_CHECK_MSG(!x.is_ntt(), "monomial multiply in coefficient domain");
+  Ciphertext out;
+  out.b = x.b.shiftneg(s);
+  out.a = x.a.shiftneg(s);
+  return out;
+}
+
+Ciphertext Evaluator::rescale(const Ciphertext& x) const {
+  CHAM_CHECK_MSG(x.base() == ctx_->base_qp(),
+                 "rescale applies to augmented (base_qp) ciphertexts");
+  CHAM_CHECK_MSG(!x.is_ntt(), "rescale expects coefficient domain");
+  Ciphertext out;
+  out.b = divide_round_by_last(x.b, ctx_->base_q());
+  out.a = divide_round_by_last(x.a, ctx_->base_q());
+  return out;
+}
+
+std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(
+    const RnsPoly& c, const KeySwitchKey& ksk) const {
+  CHAM_CHECK_MSG(c.base() == ctx_->base_q(),
+                 "keyswitch operates on base_q polynomials");
+  CHAM_CHECK_MSG(!c.is_ntt(), "keyswitch expects coefficient domain");
+  const std::size_t dnum = ctx_->dnum();
+  CHAM_CHECK(ksk.b.size() == dnum);
+
+  RnsPoly acc_b(ctx_->base_qp(), true);
+  RnsPoly acc_a(ctx_->base_qp(), true);
+  for (std::size_t j = 0; j < dnum; ++j) {
+    // Digit j: the j-th residue limb of c, lifted to every prime of
+    // base_qp (digits are < q_j, so plain reduction is exact).
+    RnsPoly digit(ctx_->base_qp(), false);
+    const u64* src = c.limb(j);
+    for (std::size_t l = 0; l < digit.limbs(); ++l) {
+      const u64 ql = ctx_->base_qp()->modulus(l).value();
+      u64* dst = digit.limb(l);
+      for (std::size_t i = 0; i < digit.n(); ++i) {
+        dst[i] = src[i] % ql;
+      }
+    }
+    digit.to_ntt();
+    acc_b.mul_pointwise_acc(digit, ksk.b[j]);
+    acc_a.mul_pointwise_acc(digit, ksk.a[j]);
+  }
+  acc_b.from_ntt();
+  acc_a.from_ntt();
+  return {divide_round_by_last(acc_b, ctx_->base_q()),
+          divide_round_by_last(acc_a, ctx_->base_q())};
+}
+
+Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
+                                   const GaloisKeys& gk) const {
+  CHAM_CHECK_MSG(x.base() == ctx_->base_q(),
+                 "apply_galois expects a rescaled (base_q) ciphertext");
+  CHAM_CHECK_MSG(!x.is_ntt(), "apply_galois expects coefficient domain");
+  RnsPoly b_auto = x.b.automorph(k);
+  RnsPoly a_auto = x.a.automorph(k);
+  auto [ks_b, ks_a] = keyswitch_poly(a_auto, gk.get(k));
+  Ciphertext out;
+  b_auto.add_inplace(ks_b);
+  out.b = std::move(b_auto);
+  out.a = std::move(ks_a);
+  return out;
+}
+
+Ciphertext Evaluator::rotate_rows(const Ciphertext& x, std::size_t r,
+                                  const GaloisKeys& gk) const {
+  const u64 two_n = 2 * ctx_->n();
+  u64 k = 1;
+  for (std::size_t i = 0; i < r % (ctx_->n() / 2); ++i) k = (k * 3) % two_n;
+  if (k == 1) return x;
+  return apply_galois(x, k, gk);
+}
+
+}  // namespace cham

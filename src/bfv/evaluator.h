@@ -1,0 +1,64 @@
+// Homomorphic operations: addition, plaintext multiplication, rescale by
+// the special modulus, monomial multiplication, automorphism with hybrid
+// key-switching — exactly the primitive set CHAM's pipeline implements.
+#pragma once
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+
+namespace cham {
+
+class Evaluator {
+ public:
+  explicit Evaluator(BfvContextPtr context);
+
+  // --- linear ops (any base, matching domains) ---
+  Ciphertext add(const Ciphertext& x, const Ciphertext& y) const;
+  Ciphertext sub(const Ciphertext& x, const Ciphertext& y) const;
+  void add_inplace(Ciphertext& x, const Ciphertext& y) const;
+  void sub_inplace(Ciphertext& x, const Ciphertext& y) const;
+  void negate_inplace(Ciphertext& x) const;
+
+  // ct.b += Δ·m (plaintext addition; base-appropriate Δ).
+  void add_plain_inplace(Ciphertext& x, const Plaintext& pt) const;
+
+  // Centered lift of a plaintext onto `base`, NTT form — the reusable
+  // operand for multiply_plain (HMVP precomputes these for matrix rows).
+  RnsPoly transform_plain_ntt(const Plaintext& pt, const RnsBasePtr& base) const;
+
+  // x := x ∘ pt (both polys; x must be in NTT form).
+  void multiply_plain_ntt_inplace(Ciphertext& x, const RnsPoly& pt_ntt) const;
+  // Convenience: coefficient-domain ct times plaintext, returns
+  // coefficient-domain result (3 NTTs internally — the DotProduct stage).
+  Ciphertext multiply_plain(const Ciphertext& x, const Plaintext& pt) const;
+
+  // Multiply by the small scalar c (mod t): message m -> c·m.
+  void multiply_scalar_inplace(Ciphertext& x, u64 c) const;
+
+  // Multiply by the monomial X^s, s in [0, 2N) (ShiftNeg on both polys).
+  Ciphertext multiply_monomial(const Ciphertext& x, std::size_t s) const;
+
+  // Rescale from base_qp to base_q: divide-and-round both polynomials by
+  // the special modulus (pipeline stage 4).
+  Ciphertext rescale(const Ciphertext& x) const;
+
+  // Apply the automorphism X -> X^k and switch back to the original key.
+  // Requires a base_q, coefficient-domain ciphertext and gk.has(k).
+  Ciphertext apply_galois(const Ciphertext& x, u64 k,
+                          const GaloisKeys& gk) const;
+
+  // Rotate batch-encoded slots left by r (diagonal-method baseline).
+  Ciphertext rotate_rows(const Ciphertext& x, std::size_t r,
+                         const GaloisKeys& gk) const;
+
+  // Key-switch the single polynomial c (interpreted as the a-component of
+  // a ciphertext under the KSK's source key): returns (b', a') over base_q
+  // such that b' + a'·s ≈ c·s~. Coefficient domain in and out.
+  std::pair<RnsPoly, RnsPoly> keyswitch_poly(const RnsPoly& c,
+                                             const KeySwitchKey& ksk) const;
+
+ private:
+  BfvContextPtr ctx_;
+};
+
+}  // namespace cham

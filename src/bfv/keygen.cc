@@ -1,0 +1,81 @@
+#include "bfv/keygen.h"
+
+#include "ring/sampling.h"
+
+namespace cham {
+
+KeyGenerator::KeyGenerator(BfvContextPtr context, Rng& rng)
+    : ctx_(std::move(context)), rng_(rng) {
+  sk_.context = ctx_;
+  sk_.s_coeff = sample_ternary(ctx_->base_qp(), rng_);
+  sk_.s_ntt = sk_.s_coeff;
+  sk_.s_ntt.to_ntt();
+}
+
+PublicKey KeyGenerator::make_public_key() {
+  PublicKey pk;
+  pk.context = ctx_;
+  pk.a = sample_uniform(ctx_->base_qp(), rng_);
+  pk.a.set_ntt_form(true);  // uniform in either domain
+  auto e = sample_noise(ctx_->base_qp(), rng_);
+  e.to_ntt();
+  // b = -a*s + e
+  pk.b = pk.a;
+  pk.b.mul_pointwise_inplace(sk_.s_ntt);
+  pk.b.negate_inplace();
+  pk.b.add_inplace(e);
+  return pk;
+}
+
+KeySwitchKey KeyGenerator::make_keyswitch_key(const RnsPoly& src_ntt) {
+  CHAM_CHECK(src_ntt.is_ntt() && src_ntt.base() == ctx_->base_qp());
+  KeySwitchKey ksk;
+  ksk.context = ctx_;
+  const std::size_t dnum = ctx_->dnum();
+  ksk.a.reserve(dnum);
+  ksk.b.reserve(dnum);
+  for (std::size_t j = 0; j < dnum; ++j) {
+    RnsPoly a = sample_uniform(ctx_->base_qp(), rng_);
+    a.set_ntt_form(true);
+    RnsPoly e = sample_noise(ctx_->base_qp(), rng_);
+    e.to_ntt();
+    // b_j = -a*s + e + g_j * s~
+    RnsPoly b = a;
+    b.mul_pointwise_inplace(sk_.s_ntt);
+    b.negate_inplace();
+    b.add_inplace(e);
+    RnsPoly gs = src_ntt;
+    gs.mul_scalar_inplace(ctx_->ks_gadget()[j]);
+    b.add_inplace(gs);
+    ksk.a.push_back(std::move(a));
+    ksk.b.push_back(std::move(b));
+  }
+  return ksk;
+}
+
+KeySwitchKey KeyGenerator::make_galois_key(u64 k) {
+  CHAM_CHECK_MSG(k % 2 == 1 && k > 1 && k < 2 * ctx_->n(),
+                 "Galois element must be odd in (1, 2N)");
+  // Source secret is s(X^k).
+  RnsPoly s_k = sk_.s_coeff.automorph(k);
+  s_k.to_ntt();
+  return make_keyswitch_key(s_k);
+}
+
+GaloisKeys KeyGenerator::make_galois_keys(int levels,
+                                          const std::vector<u64>& extra) {
+  CHAM_CHECK(levels >= 0 &&
+             (std::size_t{1} << levels) <= ctx_->n());
+  GaloisKeys gk;
+  gk.context = ctx_;
+  for (int l = 1; l <= levels; ++l) {
+    const u64 k = (1ULL << l) + 1;
+    gk.keys.emplace(k, make_galois_key(k));
+  }
+  for (u64 k : extra) {
+    if (!gk.has(k)) gk.keys.emplace(k, make_galois_key(k));
+  }
+  return gk;
+}
+
+}  // namespace cham

@@ -1,0 +1,35 @@
+// Key generation for the B/FV scheme.
+#pragma once
+
+#include <vector>
+
+#include "bfv/keys.h"
+#include "common/random.h"
+
+namespace cham {
+
+class KeyGenerator {
+ public:
+  KeyGenerator(BfvContextPtr context, Rng& rng);
+
+  const SecretKey& secret_key() const { return sk_; }
+
+  PublicKey make_public_key();
+
+  // KSK from an arbitrary source secret (given in NTT form over base_qp).
+  KeySwitchKey make_keyswitch_key(const RnsPoly& source_secret_ntt);
+
+  // Galois key for the automorphism X -> X^k (odd k in [3, 2N)).
+  KeySwitchKey make_galois_key(u64 k);
+
+  // All keys needed to pack up to 2^levels LWE ciphertexts
+  // (k = 2^l + 1 for l = 1..levels), plus any extra indices requested.
+  GaloisKeys make_galois_keys(int levels, const std::vector<u64>& extra = {});
+
+ private:
+  BfvContextPtr ctx_;
+  Rng& rng_;
+  SecretKey sk_;
+};
+
+}  // namespace cham

@@ -1,0 +1,51 @@
+// Key material: secret key, public key, key-switch keys and Galois keys.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bfv/context.h"
+
+namespace cham {
+
+// Ternary secret s, stored over base_qp in NTT form (the form every
+// consumer needs), plus the coefficient-domain copy for extraction into
+// LWE secret vectors.
+struct SecretKey {
+  BfvContextPtr context;
+  RnsPoly s_ntt;    // over base_qp, NTT form
+  RnsPoly s_coeff;  // over base_qp, coefficient form
+};
+
+// RLWE encryption of zero under s: (b, a) with b = -a*s + e. NTT form,
+// base_qp.
+struct PublicKey {
+  BfvContextPtr context;
+  RnsPoly b;
+  RnsPoly a;
+};
+
+// Hybrid (GHS) key-switch key from a source secret s~ to s. One RLWE pair
+// per digit j: b_j = -a_j*s + e_j + g_j*s~ over base_qp (NTT form), with
+// g_j the context's gadget constants.
+struct KeySwitchKey {
+  BfvContextPtr context;
+  std::vector<RnsPoly> b;  // dnum entries
+  std::vector<RnsPoly> a;
+};
+
+// Key-switch keys for the automorphisms X -> X^k used by PackLWEs
+// (k = 2^l + 1) or rotation (any odd k).
+struct GaloisKeys {
+  BfvContextPtr context;
+  std::map<u64, KeySwitchKey> keys;  // automorphism index -> KSK
+
+  bool has(u64 k) const { return keys.count(k) != 0; }
+  const KeySwitchKey& get(u64 k) const {
+    auto it = keys.find(k);
+    CHAM_CHECK_MSG(it != keys.end(), "missing Galois key for k=" << k);
+    return it->second;
+  }
+};
+
+}  // namespace cham

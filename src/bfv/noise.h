@@ -1,0 +1,94 @@
+// Analytic (worst-case) noise bounds for the HMVP pipeline.
+//
+// Tracks an upper bound on the invariant noise magnitude |ν| where
+// phase = Δ·m + ν, through the operations CHAM's pipeline performs:
+// fresh encryption → plaintext multiplication → rescale → packing tree.
+// The bounds are conservative ∞-norm products (no canonical-embedding
+// tightening); their purpose is to certify parameter choices — whenever
+// bound < Δ/2, decryption is guaranteed — and they are property-tested
+// against measured noise in tests/bfv/test_noise.cc.
+#pragma once
+
+#include <cmath>
+
+#include "bfv/context.h"
+
+namespace cham {
+
+class NoiseEstimator {
+ public:
+  explicit NoiseEstimator(BfvContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+  // Noise magnitude bound of a fresh public-key encryption at base_qp:
+  // ν = u·e_pk + e0 + e1·s with ternary u, s and CBD(21) noise.
+  double fresh_bound() const {
+    const double n = static_cast<double>(ctx_->n());
+    return kNoiseMax * (2.0 * n + 1.0);
+  }
+
+  // After multiplying by a plaintext with |coeffs| <= w (centered):
+  // ν' <= ν·N·w + t·N·w/2 + ... — the second term comes from the
+  // Δ·t ≡ -r (mod Q) folding of plaintext carries (r < t).
+  double after_multiply_plain(double bound, double w) const {
+    const double n = static_cast<double>(ctx_->n());
+    const double t = static_cast<double>(ctx_->params().t);
+    return bound * n * w + t * n * w / 2.0 + t;
+  }
+
+  // After dividing by the special modulus p: ν/p plus the rounding terms
+  // (1 + ||s||_1)/2 <= (N+1)/2, plus the Δ'/p-vs-Δ message drift (< t/2
+  // per unit message times up to t/2 message magnitude... bounded by t).
+  double after_rescale(double bound) const {
+    const double n = static_cast<double>(ctx_->n());
+    const double p = static_cast<double>(ctx_->params().special_prime);
+    const double t = static_cast<double>(ctx_->params().t);
+    return bound / p + (n + 1.0) / 2.0 + t;
+  }
+
+  // One PackTwoLWEs merge: ν_out <= 2·max(ν_even, ν_odd) + ks_bound.
+  double after_pack_merge(double bound) const {
+    return 2.0 * bound + keyswitch_bound();
+  }
+
+  // Packing 2^levels values: levels merges on the deepest path.
+  double after_pack_tree(double bound, int levels) const {
+    double b = bound;
+    for (int l = 0; l < levels; ++l) b = after_pack_merge(b);
+    return b;
+  }
+
+  // Hybrid key-switch additive noise: Σ_j digit_j·e_j / p + rounding.
+  double keyswitch_bound() const {
+    const double n = static_cast<double>(ctx_->n());
+    const double p = static_cast<double>(ctx_->params().special_prime);
+    double digit_sum = 0;
+    for (u64 q : ctx_->params().q_primes) digit_sum += static_cast<double>(q);
+    return digit_sum * kNoiseMax * n / p + (n + 1.0) / 2.0;
+  }
+
+  // Decryption succeeds when the bound stays below Δ/2 at base_q.
+  double decryption_threshold() const {
+    return static_cast<double>(ctx_->q_total() /
+                               ctx_->params().t) /
+           2.0;
+  }
+  bool certifies_decryption(double bound) const {
+    return bound < decryption_threshold();
+  }
+
+  // End-to-end HMVP bound for a matrix with |entries| <= w (centered)
+  // packed 2^levels deep.
+  double hmvp_bound(double w, int levels, std::size_t chunks = 1) const {
+    double b = after_multiply_plain(fresh_bound(), w) *
+               static_cast<double>(chunks);
+    b = after_rescale(b);
+    return after_pack_tree(b, levels);
+  }
+
+ private:
+  // CBD(21) maximum magnitude.
+  static constexpr double kNoiseMax = 21.0;
+  BfvContextPtr ctx_;
+};
+
+}  // namespace cham

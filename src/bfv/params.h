@@ -1,0 +1,45 @@
+// B/FV encryption parameters (paper Sec. II-F).
+//
+// The paper's production set: N = 4096, two ~35-bit ciphertext primes
+// q0 = 2^34+2^27+1 and q1 = 2^34+2^19+1 (109-bit total with the special
+// modulus), and a 39-bit special modulus p = 2^38+2^23+1 used for
+// key-switching and the post-multiplication rescale. All are low-Hamming
+// primes so the hardware reduces products with three shift-adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cham {
+
+struct BfvParams {
+  std::size_t n = 4096;        // ring dimension (power of two)
+  std::uint64_t t = 65537;     // plaintext modulus (odd; 65537 enables
+                               // SIMD batching since t ≡ 1 mod 2N)
+  std::vector<std::uint64_t> q_primes;  // ciphertext primes q_0, q_1, ...
+  std::uint64_t special_prime = 0;      // key-switch / rescale modulus p
+
+  // The paper's parameter set.
+  static BfvParams paper() {
+    BfvParams p;
+    p.n = 4096;
+    p.t = 65537;
+    p.q_primes = {(1ULL << 34) + (1ULL << 27) + 1,
+                  (1ULL << 34) + (1ULL << 19) + 1};
+    p.special_prime = (1ULL << 38) + (1ULL << 23) + 1;
+    return p;
+  }
+
+  // Same moduli, smaller ring — for fast unit tests. Valid because every
+  // paper prime satisfies q ≡ 1 (mod 2^14) or better.
+  static BfvParams test(std::size_t n = 256, std::uint64_t t = 65537) {
+    BfvParams p = paper();
+    p.n = n;
+    p.t = t;
+    return p;
+  }
+};
+
+}  // namespace cham

@@ -1,0 +1,513 @@
+#include "bignum/biguint.h"
+
+#include <algorithm>
+
+namespace cham {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+void BigUInt::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+BigUInt BigUInt::from_hex(const std::string& hex) {
+  BigUInt out;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      CHAM_CHECK_MSG(false, "invalid hex digit");
+      return out;
+    }
+    out = (out << 4) + BigUInt(static_cast<u64>(d));
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      s.push_back(digits[(words_[i] >> shift) & 0xF]);
+    }
+  }
+  const std::size_t first = s.find_first_not_of('0');
+  return s.substr(first);
+}
+
+int BigUInt::bit_length() const {
+  if (words_.empty()) return 0;
+  u64 top = words_.back();
+  int bits = 0;
+  while (top != 0) {
+    top >>= 1;
+    ++bits;
+  }
+  return static_cast<int>((words_.size() - 1) * 64) + bits;
+}
+
+bool BigUInt::bit(int i) const {
+  const std::size_t w = static_cast<std::size_t>(i) / 64;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (i % 64)) & 1;
+}
+
+std::uint64_t BigUInt::to_u64() const {
+  CHAM_CHECK_MSG(words_.size() <= 1, "value does not fit in 64 bits");
+  return words_.empty() ? 0 : words_[0];
+}
+
+BigUInt BigUInt::random_bits(int bits, Rng& rng) {
+  CHAM_CHECK(bits >= 1);
+  BigUInt out;
+  const int words = (bits + 63) / 64;
+  out.words_.resize(words);
+  for (auto& w : out.words_) w = rng.next_u64();
+  const int top_bits = bits - (words - 1) * 64;
+  u64& top = out.words_.back();
+  if (top_bits < 64) top &= (1ULL << top_bits) - 1;
+  top |= 1ULL << (top_bits - 1);  // force exact bit length
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::random_below(const BigUInt& bound, Rng& rng) {
+  CHAM_CHECK(!bound.is_zero());
+  const int bits = bound.bit_length();
+  for (;;) {
+    BigUInt c;
+    const int words = (bits + 63) / 64;
+    c.words_.resize(words);
+    for (auto& w : c.words_) w = rng.next_u64();
+    const int top_bits = bits - (words - 1) * 64;
+    if (top_bits < 64) c.words_.back() &= (1ULL << top_bits) - 1;
+    c.trim();
+    if (c < bound) return c;
+  }
+}
+
+int BigUInt::compare(const BigUInt& a, const BigUInt& b) {
+  if (a.words_.size() != b.words_.size()) {
+    return a.words_.size() < b.words_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.words_.size(); i-- > 0;) {
+    if (a.words_[i] != b.words_[i]) return a.words_[i] < b.words_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  const std::size_t n = std::max(a.words_.size(), b.words_.size());
+  out.words_.resize(n);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 s = static_cast<u128>(a.word(i)) + b.word(i) + carry;
+    out.words_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) out.words_.push_back(carry);
+  return out;
+}
+
+BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+  CHAM_CHECK_MSG(a >= b, "BigUInt subtraction underflow");
+  BigUInt out;
+  out.words_.resize(a.words_.size());
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    const u64 bi = b.word(i);
+    u64 d = a.words_[i] - bi;
+    const u64 borrow2 = (a.words_[i] < bi) ? 1 : 0;
+    const u64 d2 = d - borrow;
+    const u64 borrow3 = (d < borrow) ? 1 : 0;
+    out.words_[i] = d2;
+    borrow = borrow2 | borrow3;
+  }
+  out.trim();
+  return out;
+}
+
+namespace {
+
+// Schoolbook product of word spans into out (out has size an+bn, zeroed).
+void mul_schoolbook(const u64* a, std::size_t an, const u64* b,
+                    std::size_t bn, u64* out) {
+  for (std::size_t i = 0; i < an; ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      const u128 cur = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + bn] += carry;
+  }
+}
+
+constexpr std::size_t kKaratsubaThreshold = 24;  // words
+
+std::vector<u64> span_to_words(const u64* p, std::size_t n) {
+  std::vector<u64> v(p, p + n);
+  while (!v.empty() && v.back() == 0) v.pop_back();
+  return v;
+}
+
+void add_into(std::vector<u64>& acc, const std::vector<u64>& x,
+              std::size_t shift) {
+  if (acc.size() < x.size() + shift + 1) acc.resize(x.size() + shift + 1, 0);
+  u64 carry = 0;
+  std::size_t i = 0;
+  for (; i < x.size(); ++i) {
+    const u128 s = static_cast<u128>(acc[i + shift]) + x[i] + carry;
+    acc[i + shift] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  while (carry != 0) {
+    const u128 s = static_cast<u128>(acc[i + shift]) + carry;
+    acc[i + shift] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+    ++i;
+  }
+}
+
+// acc -= x (acc >= x guaranteed by Karatsuba's algebra).
+void sub_from(std::vector<u64>& acc, const std::vector<u64>& x) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < x.size() || borrow; ++i) {
+    const u64 xi = i < x.size() ? x[i] : 0;
+    const u64 before = acc[i];
+    const u64 mid = before - xi;
+    const u64 after = mid - borrow;
+    borrow = (before < xi) || (mid < borrow);
+    acc[i] = after;
+  }
+}
+
+std::vector<u64> add_words(const std::vector<u64>& a,
+                           const std::vector<u64>& b) {
+  std::vector<u64> out(std::max(a.size(), b.size()) + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < out.size() - 1; ++i) {
+    const u64 ai = i < a.size() ? a[i] : 0;
+    const u64 bi = i < b.size() ? b[i] : 0;
+    const u128 s = static_cast<u128>(ai) + bi + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  out.back() = carry;
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Recursive Karatsuba over word vectors.
+std::vector<u64> mul_karatsuba(const std::vector<u64>& a,
+                               const std::vector<u64>& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    std::vector<u64> out(a.size() + b.size(), 0);
+    mul_schoolbook(a.data(), a.size(), b.data(), b.size(), out.data());
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto a_lo = span_to_words(a.data(), std::min(half, a.size()));
+  const auto a_hi = a.size() > half
+                        ? span_to_words(a.data() + half, a.size() - half)
+                        : std::vector<u64>{};
+  const auto b_lo = span_to_words(b.data(), std::min(half, b.size()));
+  const auto b_hi = b.size() > half
+                        ? span_to_words(b.data() + half, b.size() - half)
+                        : std::vector<u64>{};
+
+  auto z0 = mul_karatsuba(a_lo, b_lo);
+  auto z2 = mul_karatsuba(a_hi, b_hi);
+  auto z1 = mul_karatsuba(add_words(a_lo, a_hi), add_words(b_lo, b_hi));
+  sub_from(z1, z0);
+  sub_from(z1, z2);
+  while (!z1.empty() && z1.back() == 0) z1.pop_back();
+
+  std::vector<u64> out;
+  add_into(out, z0, 0);
+  add_into(out, z1, half);
+  add_into(out, z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt();
+  BigUInt out;
+  if (std::min(a.words_.size(), b.words_.size()) < kKaratsubaThreshold) {
+    out.words_.assign(a.words_.size() + b.words_.size(), 0);
+    mul_schoolbook(a.words_.data(), a.words_.size(), b.words_.data(),
+                   b.words_.size(), out.words_.data());
+  } else {
+    out.words_ = mul_karatsuba(a.words_, b.words_);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt operator<<(const BigUInt& a, int bits) {
+  CHAM_CHECK(bits >= 0);
+  if (a.is_zero() || bits == 0) return a;
+  const int word_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  BigUInt out;
+  out.words_.assign(a.words_.size() + word_shift + 1, 0);
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    out.words_[i + word_shift] |= a.words_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.words_[i + word_shift + 1] |= a.words_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt operator>>(const BigUInt& a, int bits) {
+  CHAM_CHECK(bits >= 0);
+  const int word_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  if (static_cast<std::size_t>(word_shift) >= a.words_.size()) return {};
+  BigUInt out;
+  out.words_.assign(a.words_.size() - word_shift, 0);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = a.words_[i + word_shift] >> bit_shift;
+    if (bit_shift != 0 && i + word_shift + 1 < a.words_.size()) {
+      out.words_[i] |= a.words_[i + word_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+void BigUInt::divmod(const BigUInt& a, const BigUInt& b, BigUInt* q,
+                     BigUInt* r) {
+  CHAM_CHECK_MSG(!b.is_zero(), "division by zero");
+  if (a < b) {
+    if (q) *q = BigUInt();
+    if (r) *r = a;
+    return;
+  }
+  // Binary long division: O(bit_length(a) - bit_length(b)) shifted
+  // subtract steps, each O(words). Plenty fast for crypto sizes.
+  BigUInt quotient;
+  BigUInt rem;
+  const int shift = a.bit_length() - b.bit_length();
+  BigUInt d = b << shift;
+  rem = a;
+  quotient.words_.assign((shift + 64) / 64, 0);
+  for (int s = shift; s >= 0; --s) {
+    if (rem >= d) {
+      rem = rem - d;
+      quotient.words_[s / 64] |= 1ULL << (s % 64);
+    }
+    d = d >> 1;
+  }
+  quotient.trim();
+  if (q) *q = std::move(quotient);
+  if (r) *r = std::move(rem);
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt BigUInt::lcm(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  return (a / gcd(a, b)) * b;
+}
+
+BigUInt BigUInt::mod_inverse(const BigUInt& a, const BigUInt& m) {
+  // Extended Euclid tracking only the coefficient of a, with signs
+  // handled via parity of step count (coefficients alternate sign).
+  CHAM_CHECK(!m.is_zero());
+  BigUInt r0 = m, r1 = a % m;
+  // t as (value, is_negative)
+  BigUInt t0, t1 = BigUInt(1);
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    BigUInt q, r2;
+    divmod(r0, r1, &q, &r2);
+    // t2 = t0 - q*t1  (signed)
+    BigUInt qt = q * t1;
+    BigUInt t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // t0 and q*t1 have the same sign.
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        neg2 = neg0;
+      } else {
+        t2 = qt - t0;
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0 + qt;
+      neg2 = neg0;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    neg0 = neg1;
+    t1 = std::move(t2);
+    neg1 = neg2;
+  }
+  CHAM_CHECK_MSG(r0 == BigUInt(1), "element is not invertible");
+  BigUInt result = t0 % m;
+  if (neg0 && !result.is_zero()) result = m - result;
+  return result;
+}
+
+BigUInt BigUInt::mod_pow(const BigUInt& a, const BigUInt& e,
+                         const BigUInt& m) {
+  CHAM_CHECK(!m.is_zero());
+  if (m == BigUInt(1)) return {};
+  if (m.is_odd()) {
+    Montgomery mont(m);
+    return mont.pow(a % m, e);
+  }
+  // Generic square-and-multiply with divmod reduction.
+  BigUInt result(1);
+  BigUInt base = a % m;
+  for (int i = 0; i < e.bit_length(); ++i) {
+    if (e.bit(i)) result = (result * base) % m;
+    base = (base * base) % m;
+  }
+  return result;
+}
+
+bool BigUInt::is_probable_prime(const BigUInt& n, Rng& rng, int rounds) {
+  if (n < BigUInt(2)) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL, 41ULL, 43ULL, 47ULL}) {
+    if (n == BigUInt(p)) return true;
+    if ((n % BigUInt(p)).is_zero()) return false;
+  }
+  const BigUInt n1 = n - BigUInt(1);
+  BigUInt d = n1;
+  int r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  Montgomery mont(n);
+  for (int round = 0; round < rounds; ++round) {
+    const BigUInt a =
+        BigUInt(2) + random_below(n - BigUInt(4), rng);  // [2, n-2]
+    BigUInt x = mont.pow(a, d);
+    if (x == BigUInt(1) || x == n1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = (x * x) % n;
+      if (x == n1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUInt BigUInt::random_prime(int bits, Rng& rng) {
+  CHAM_CHECK(bits >= 8);
+  for (;;) {
+    BigUInt c = random_bits(bits, rng);
+    c.words_[0] |= 1;  // odd
+    if (is_probable_prime(c, rng)) return c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigUInt& modulus) : n_(modulus) {
+  CHAM_CHECK_MSG(n_.is_odd(), "Montgomery requires an odd modulus");
+  CHAM_CHECK(n_ > BigUInt(1));
+  k_ = n_.word_count();
+  // n' = -n^{-1} mod 2^64 via Newton iteration.
+  const u64 n0 = n_.word(0);
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  n_prime_ = ~inv + 1;  // -inv mod 2^64
+  // R^2 mod n with R = 2^{64k}.
+  BigUInt r = BigUInt(1) << static_cast<int>(64 * k_);
+  r2_ = (r * r) % n_;
+}
+
+BigUInt Montgomery::mul(const BigUInt& a, const BigUInt& b) const {
+  // CIOS Montgomery multiplication.
+  std::vector<u64> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u64 ai = a.word(i);
+    // t += ai * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(ai) * b.word(j) + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(cur);
+    t[k_ + 1] = static_cast<u64>(cur >> 64);
+    // m = t[0] * n' mod 2^64; t += m*n; t >>= 64
+    const u64 m = t[0] * n_prime_;
+    carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 c2 = static_cast<u128>(m) * n_.word(j) + t[j] + carry;
+      if (j == 0) {
+        carry = static_cast<u64>(c2 >> 64);  // low word becomes zero
+      } else {
+        t[j - 1] = static_cast<u64>(c2);
+        carry = static_cast<u64>(c2 >> 64);
+      }
+    }
+    cur = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(cur);
+    t[k_] = t[k_ + 1] + static_cast<u64>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+  BigUInt out;
+  out.words_.assign(t.begin(), t.begin() + k_ + 1);
+  out.trim();
+  if (out >= n_) out = out - n_;
+  return out;
+}
+
+BigUInt Montgomery::to_mont(const BigUInt& a) const { return mul(a % n_, r2_); }
+
+BigUInt Montgomery::from_mont(const BigUInt& a) const {
+  return mul(a, BigUInt(1));
+}
+
+BigUInt Montgomery::pow(const BigUInt& base, const BigUInt& exp) const {
+  BigUInt result = to_mont(BigUInt(1));
+  BigUInt b = to_mont(base);
+  const int bits = exp.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = mul(result, result);
+    if (exp.bit(i)) result = mul(result, b);
+  }
+  return from_mont(result);
+}
+
+}  // namespace cham

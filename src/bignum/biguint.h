@@ -1,0 +1,122 @@
+// Arbitrary-precision unsigned integers.
+//
+// Built for the Paillier baseline (src/paillier): 512–2048-bit moduli,
+// Montgomery exponentiation in the hot path, binary long division
+// elsewhere. Little-endian 64-bit limbs, always normalised (no leading
+// zero words except the canonical zero, which is an empty vector).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace cham {
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t v) {  // NOLINT: implicit by design
+    if (v != 0) words_.push_back(v);
+  }
+
+  static BigUInt from_hex(const std::string& hex);
+  std::string to_hex() const;
+
+  // Uniform in [0, bound).
+  static BigUInt random_below(const BigUInt& bound, Rng& rng);
+  // Uniform with exactly `bits` bits (MSB set).
+  static BigUInt random_bits(int bits, Rng& rng);
+
+  bool is_zero() const { return words_.empty(); }
+  bool is_odd() const { return !words_.empty() && (words_[0] & 1); }
+  int bit_length() const;
+  bool bit(int i) const;
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t i) const {
+    return i < words_.size() ? words_[i] : 0;
+  }
+  // Value as u64 (must fit).
+  std::uint64_t to_u64() const;
+
+  // Comparison: <0, 0, >0.
+  static int compare(const BigUInt& a, const BigUInt& b);
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) >= 0;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) {
+    return compare(a, b) != 0;
+  }
+
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+  // Requires a >= b.
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator<<(const BigUInt& a, int bits);
+  friend BigUInt operator>>(const BigUInt& a, int bits);
+
+  // Quotient and remainder (b != 0).
+  static void divmod(const BigUInt& a, const BigUInt& b, BigUInt* q,
+                     BigUInt* r);
+  friend BigUInt operator/(const BigUInt& a, const BigUInt& b) {
+    BigUInt q, r;
+    divmod(a, b, &q, &r);
+    return q;
+  }
+  friend BigUInt operator%(const BigUInt& a, const BigUInt& b) {
+    BigUInt q, r;
+    divmod(a, b, &q, &r);
+    return r;
+  }
+
+  static BigUInt gcd(BigUInt a, BigUInt b);
+  static BigUInt lcm(const BigUInt& a, const BigUInt& b);
+  // Modular inverse of a mod m (must exist).
+  static BigUInt mod_inverse(const BigUInt& a, const BigUInt& m);
+  // a^e mod m (m odd uses Montgomery; even m falls back to divmod).
+  static BigUInt mod_pow(const BigUInt& a, const BigUInt& e, const BigUInt& m);
+
+  // Miller–Rabin with `rounds` random bases.
+  static bool is_probable_prime(const BigUInt& n, Rng& rng, int rounds = 24);
+  // Random prime with exactly `bits` bits.
+  static BigUInt random_prime(int bits, Rng& rng);
+
+ private:
+  friend class Montgomery;
+  void trim();
+  std::vector<std::uint64_t> words_;
+};
+
+// Montgomery context for repeated multiplication mod an odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigUInt& modulus);
+
+  const BigUInt& modulus() const { return n_; }
+  BigUInt to_mont(const BigUInt& a) const;    // a*R mod n
+  BigUInt from_mont(const BigUInt& a) const;  // a*R^{-1} mod n
+  BigUInt mul(const BigUInt& a, const BigUInt& b) const;  // Montgomery product
+  BigUInt pow(const BigUInt& base, const BigUInt& exp) const;
+
+ private:
+  BigUInt n_;
+  std::size_t k_ = 0;        // limb count of n
+  std::uint64_t n_prime_ = 0;  // -n^{-1} mod 2^64
+  BigUInt r2_;               // R^2 mod n
+};
+
+}  // namespace cham

@@ -1,0 +1,308 @@
+#include "ckks/ckks.h"
+
+#include <cmath>
+
+#include "bfv/encryptor.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace ckks {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+CkksContextPtr CkksContext::create(std::size_t n) {
+  auto ctx = std::shared_ptr<CkksContext>(new CkksContext());
+  ctx->n_ = n;
+  BfvParams params = BfvParams::paper();
+  params.n = n;  // t is irrelevant for CKKS; keep the default
+  ctx->bfv_ = BfvContext::create(params);
+  ctx->scale_ = static_cast<double>(params.special_prime);
+
+  const int logn = log2_exact(n);
+  ctx->root_powers_.resize(n);
+  ctx->inv_root_powers_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = bit_reverse(static_cast<std::uint32_t>(i), logn);
+    const double angle = kPi * static_cast<double>(r) / static_cast<double>(n);
+    ctx->root_powers_[i] = std::polar(1.0, angle);
+    ctx->inv_root_powers_[i] = std::polar(1.0, -angle);
+  }
+  ctx->slot_index_.resize(n / 2);
+  ctx->conj_index_.resize(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    ctx->slot_index_[j] =
+        bit_reverse(static_cast<std::uint32_t>(j), logn);
+    ctx->conj_index_[j] =
+        bit_reverse(static_cast<std::uint32_t>(n - 1 - j), logn);
+  }
+  return ctx;
+}
+
+// ----------------------------------------------------------------- encoder
+
+CkksEncoder::CkksEncoder(CkksContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+void CkksEncoder::fft_forward(std::vector<cd>& a) const {
+  // Same Cooley–Tukey structure as NttTables::forward, over C.
+  const std::size_t n = ctx_->n_;
+  std::size_t t = n;
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const cd w = ctx_->root_powers_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const cd u = a[j];
+        const cd v = a[j + t] * w;
+        a[j] = u + v;
+        a[j + t] = u - v;
+      }
+    }
+  }
+}
+
+void CkksEncoder::fft_inverse(std::vector<cd>& a) const {
+  const std::size_t n = ctx_->n_;
+  std::size_t t = 1;
+  for (std::size_t m = n; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const cd w = ctx_->inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const cd u = a[j];
+        const cd v = a[j + t];
+        a[j] = u + v;
+        a[j + t] = (u - v) * w;
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (auto& x : a) x *= inv_n;
+}
+
+RnsPoly CkksEncoder::encode(const std::vector<cd>& slots,
+                            const RnsBasePtr& base, double scale) const {
+  if (scale == 0) scale = ctx_->scale();
+  const std::size_t n = ctx_->n_;
+  CHAM_CHECK_MSG(slots.size() <= n / 2, "too many slots");
+  std::vector<cd> evals(n, cd{0, 0});
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    evals[ctx_->slot_index_[j]] = slots[j] * scale;
+    evals[ctx_->conj_index_[j]] = std::conj(slots[j]) * scale;
+  }
+  fft_inverse(evals);
+  RnsPoly out(base, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = std::nearbyint(evals[i].real());
+    CHAM_CHECK_MSG(std::abs(c) < 4.6e18, "encoding overflow (scale too big)");
+    const std::int64_t v = static_cast<std::int64_t>(c);
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      out.limb(l)[i] = base->modulus(l).from_signed(v);
+    }
+  }
+  return out;
+}
+
+RnsPoly CkksEncoder::encode_real(const std::vector<double>& slots,
+                                 const RnsBasePtr& base, double scale) const {
+  std::vector<cd> cs(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) cs[i] = cd{slots[i], 0};
+  return encode(cs, base, scale);
+}
+
+std::vector<cd> CkksEncoder::decode(const RnsPoly& poly, double scale) const {
+  CHAM_CHECK_MSG(!poly.is_ntt(), "decode expects coefficient domain");
+  const std::size_t n = ctx_->n_;
+  const u128 big_q = poly.base()->total_modulus();
+  std::vector<cd> evals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 v = poly.compose_coeff(i);
+    const bool neg = v > big_q / 2;
+    const u128 mag = neg ? big_q - v : v;
+    const double d = static_cast<double>(mag);
+    evals[i] = cd{neg ? -d : d, 0};
+  }
+  fft_forward(evals);
+  std::vector<cd> slots(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    slots[j] = evals[ctx_->slot_index_[j]] / scale;
+  }
+  return slots;
+}
+
+// --------------------------------------------------------------- encryptor
+
+class CkksEncryptorImpl {
+ public:
+  CkksEncryptorImpl(const BfvContextPtr& bfv, const PublicKey* pk, Rng& rng)
+      : enc(bfv, pk, nullptr, rng) {}
+  Encryptor enc;
+};
+
+CkksEncryptor::CkksEncryptor(CkksContextPtr ctx, const PublicKey* pk,
+                             Rng& rng)
+    : ctx_(ctx),
+      impl_(std::make_unique<CkksEncryptorImpl>(ctx->bfv(), pk, rng)),
+      encoder_(ctx) {}
+CkksEncryptor::~CkksEncryptor() = default;
+
+CkksCiphertext CkksEncryptor::encrypt(const std::vector<cd>& slots) const {
+  CkksCiphertext out;
+  out.ct = impl_->enc.encrypt_zero();
+  out.ct.b.add_inplace(encoder_.encode(slots, ctx_->base_qp()));
+  out.scale = ctx_->scale();
+  return out;
+}
+
+CkksCiphertext CkksEncryptor::encrypt_real(
+    const std::vector<double>& slots) const {
+  std::vector<cd> cs(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) cs[i] = cd{slots[i], 0};
+  return encrypt(cs);
+}
+
+CkksCiphertext CkksEncryptor::encrypt_coeff(
+    const std::vector<double>& v) const {
+  CkksCiphertext out;
+  out.ct = impl_->enc.encrypt_zero();
+  out.ct.b.add_inplace(
+      encode_coeff_vector(ctx_, v, ctx_->base_qp(), ctx_->scale()));
+  out.scale = ctx_->scale();
+  return out;
+}
+
+// --------------------------------------------------------------- decryptor
+
+class CkksDecryptorImpl {
+ public:
+  CkksDecryptorImpl(const CkksContextPtr& ctx, const SecretKey& sk) {
+    s_qp = sk.s_ntt;
+    RnsPoly sq(ctx->base_q(), false);
+    for (std::size_t l = 0; l < sq.limbs(); ++l) {
+      std::copy(sk.s_coeff.limb(l), sk.s_coeff.limb(l) + ctx->n(),
+                sq.limb(l));
+    }
+    sq.to_ntt();
+    s_q = std::move(sq);
+  }
+  RnsPoly phase(const CkksContextPtr& ctx, const Ciphertext& ct) const {
+    const RnsPoly& s = (ct.base() == ctx->base_qp()) ? s_qp : s_q;
+    RnsPoly as = ct.a;
+    as.to_ntt();
+    as.mul_pointwise_inplace(s);
+    as.from_ntt();
+    as.add_inplace(ct.b);
+    return as;
+  }
+  RnsPoly s_qp;
+  RnsPoly s_q;
+};
+
+CkksDecryptor::CkksDecryptor(CkksContextPtr ctx, const SecretKey& sk)
+    : ctx_(ctx),
+      impl_(std::make_unique<CkksDecryptorImpl>(ctx, sk)),
+      encoder_(ctx) {}
+CkksDecryptor::~CkksDecryptor() = default;
+
+std::vector<cd> CkksDecryptor::decrypt(const CkksCiphertext& c) const {
+  CHAM_CHECK_MSG(!c.ct.is_ntt(), "decrypt expects coefficient domain");
+  CHAM_CHECK_MSG(c.scale > 0, "ciphertext has no scale");
+  return encoder_.decode(impl_->phase(ctx_, c.ct), c.scale);
+}
+
+// --------------------------------------------------------------- evaluator
+
+CkksEvaluator::CkksEvaluator(CkksContextPtr ctx)
+    : ctx_(std::move(ctx)), encoder_(ctx_) {}
+
+CkksCiphertext CkksEvaluator::add(const CkksCiphertext& x,
+                                  const CkksCiphertext& y) const {
+  CHAM_CHECK_MSG(std::abs(x.scale / y.scale - 1.0) < 1e-9,
+                 "scales must match for addition");
+  CkksCiphertext out = x;
+  out.ct.b.add_inplace(y.ct.b);
+  out.ct.a.add_inplace(y.ct.a);
+  return out;
+}
+
+CkksCiphertext CkksEvaluator::sub(const CkksCiphertext& x,
+                                  const CkksCiphertext& y) const {
+  CHAM_CHECK_MSG(std::abs(x.scale / y.scale - 1.0) < 1e-9,
+                 "scales must match for subtraction");
+  CkksCiphertext out = x;
+  out.ct.b.sub_inplace(y.ct.b);
+  out.ct.a.sub_inplace(y.ct.a);
+  return out;
+}
+
+CkksCiphertext CkksEvaluator::multiply_plain(
+    const CkksCiphertext& x, const std::vector<cd>& slots) const {
+  RnsPoly pt = encoder_.encode(slots, x.base(), ctx_->scale());
+  pt.to_ntt();
+  CkksCiphertext out = x;
+  out.ct.to_ntt();
+  out.ct.b.mul_pointwise_inplace(pt);
+  out.ct.a.mul_pointwise_inplace(pt);
+  out.ct.from_ntt();
+  out.scale = x.scale * ctx_->scale();
+  return out;
+}
+
+CkksCiphertext CkksEvaluator::multiply_row_coeff(
+    const CkksCiphertext& x, const std::vector<double>& row) const {
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK(row.size() <= n);
+  // Eq. 1 analogue: row_0 - Σ row_j X^{N-j}, scaled.
+  RnsPoly pt(x.base(), false);
+  const double s = ctx_->scale();
+  auto put = [&](std::size_t idx, double value) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(std::nearbyint(value * s));
+    for (std::size_t l = 0; l < pt.limbs(); ++l) {
+      pt.limb(l)[idx] = pt.base()->modulus(l).from_signed(v);
+    }
+  };
+  put(0, row[0]);
+  for (std::size_t j = 1; j < row.size(); ++j) put(n - j, -row[j]);
+  pt.to_ntt();
+  CkksCiphertext out = x;
+  out.ct.to_ntt();
+  out.ct.b.mul_pointwise_inplace(pt);
+  out.ct.a.mul_pointwise_inplace(pt);
+  out.ct.from_ntt();
+  out.scale = x.scale * s;
+  return out;
+}
+
+CkksCiphertext CkksEvaluator::rescale(const CkksCiphertext& x) const {
+  CHAM_CHECK_MSG(x.base() == ctx_->base_qp(),
+                 "rescale applies to base_qp ciphertexts");
+  CkksCiphertext out;
+  out.ct.b = divide_round_by_last(x.ct.b, ctx_->base_q());
+  out.ct.a = divide_round_by_last(x.ct.a, ctx_->base_q());
+  out.scale = x.scale / ctx_->scale();
+  return out;
+}
+
+RnsPoly encode_coeff_vector(const CkksContextPtr& ctx,
+                            const std::vector<double>& v,
+                            const RnsBasePtr& base, double scale) {
+  CHAM_CHECK(v.size() <= ctx->n());
+  RnsPoly out(base, false);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    const std::int64_t c =
+        static_cast<std::int64_t>(std::nearbyint(v[j] * scale));
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      out.limb(l)[j] = base->modulus(l).from_signed(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ckks
+}  // namespace cham

@@ -1,0 +1,154 @@
+// CKKS (approximate-arithmetic) scheme over the same ring / RNS / special-
+// modulus machinery as the B/FV path.
+//
+// The paper's introduction motivates multi-scheme support: hybrid
+// algorithms combine B/FV, CKKS and TFHE ciphertexts (CHIMERA, PEGASUS)
+// and CHAM's architecture is scheme-agnostic at the polynomial level —
+// every CKKS operation below maps onto the same FUs (NTT, MultPoly,
+// Rescale). Parameters mirror Sec. II-F: ciphertexts live on
+// base_qp = {q0, q1, p}; the encoding scale equals the 39-bit special
+// modulus p, so one plaintext multiplication followed by the stage-4
+// rescale returns to scale p on base_q — exactly the HMVP pipeline's
+// dataflow.
+//
+// Slots: N/2 complex values via the canonical embedding (conjugate-
+// symmetric evaluation at the odd powers of the primitive 2N-th complex
+// root), implemented with an O(N log N) negacyclic complex FFT that
+// mirrors the NTT's butterfly structure.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+#include "common/random.h"
+
+namespace cham {
+namespace ckks {
+
+using cd = std::complex<double>;
+
+class CkksContext;
+using CkksContextPtr = std::shared_ptr<const CkksContext>;
+
+class CkksContext : public std::enable_shared_from_this<CkksContext> {
+ public:
+  // Uses the paper's moduli; scale = special modulus p. Key material is
+  // shared with the B/FV stack: generate keys with KeyGenerator on the
+  // wrapped BfvContext (the plaintext modulus there is irrelevant here).
+  static CkksContextPtr create(std::size_t n = 4096);
+
+  std::size_t n() const { return n_; }
+  std::size_t slot_count() const { return n_ / 2; }
+  double scale() const { return scale_; }
+  const BfvContextPtr& bfv() const { return bfv_; }
+  const RnsBasePtr& base_q() const { return bfv_->base_q(); }
+  const RnsBasePtr& base_qp() const { return bfv_->base_qp(); }
+
+ private:
+  friend class CkksEncoder;
+  CkksContext() = default;
+  std::size_t n_ = 0;
+  double scale_ = 0;
+  BfvContextPtr bfv_;
+  // FFT tables: forward evaluates a real polynomial at psi^{2·brev(i)+1};
+  // slot j reads index slot_index_[j] (exponent 2j+1), its conjugate sits
+  // at conj_index_[j].
+  std::vector<cd> root_powers_;      // bit-reversed psi powers
+  std::vector<cd> inv_root_powers_;
+  std::vector<std::size_t> slot_index_;
+  std::vector<std::size_t> conj_index_;
+};
+
+// A CKKS ciphertext: the RLWE pair plus its current scale.
+struct CkksCiphertext {
+  Ciphertext ct;
+  double scale = 0;
+
+  const RnsBasePtr& base() const { return ct.base(); }
+};
+
+// Encode/decode between complex slot vectors and integer ring elements.
+class CkksEncoder {
+ public:
+  explicit CkksEncoder(CkksContextPtr ctx);
+
+  // Encode up to N/2 complex values at the given scale (defaults to the
+  // context scale) onto `base`.
+  RnsPoly encode(const std::vector<cd>& slots, const RnsBasePtr& base,
+                 double scale = 0) const;
+  RnsPoly encode_real(const std::vector<double>& slots, const RnsBasePtr& base,
+                      double scale = 0) const;
+
+  // Decode a coefficient-domain polynomial at the given scale.
+  std::vector<cd> decode(const RnsPoly& poly, double scale) const;
+
+ private:
+  void fft_forward(std::vector<cd>& a) const;   // coeffs -> evals (bitrev)
+  void fft_inverse(std::vector<cd>& a) const;   // evals (bitrev) -> coeffs
+  CkksContextPtr ctx_;
+};
+
+class CkksEncryptor {
+ public:
+  CkksEncryptor(CkksContextPtr ctx, const PublicKey* pk, Rng& rng);
+  ~CkksEncryptor();
+
+  // Fresh ciphertexts live on base_qp at the context scale.
+  CkksCiphertext encrypt(const std::vector<cd>& slots) const;
+  CkksCiphertext encrypt_real(const std::vector<double>& slots) const;
+  // Coefficient-encoded variant (v_j goes to coefficient j) for the
+  // Eq.-1-style dot product.
+  CkksCiphertext encrypt_coeff(const std::vector<double>& v) const;
+
+ private:
+  CkksContextPtr ctx_;
+  std::unique_ptr<class CkksEncryptorImpl> impl_;
+  CkksEncoder encoder_;
+};
+
+class CkksDecryptor {
+ public:
+  CkksDecryptor(CkksContextPtr ctx, const SecretKey& sk);
+  ~CkksDecryptor();
+
+  std::vector<cd> decrypt(const CkksCiphertext& c) const;
+
+ private:
+  CkksContextPtr ctx_;
+  std::unique_ptr<class CkksDecryptorImpl> impl_;
+  CkksEncoder encoder_;
+};
+
+class CkksEvaluator {
+ public:
+  explicit CkksEvaluator(CkksContextPtr ctx);
+
+  CkksCiphertext add(const CkksCiphertext& x, const CkksCiphertext& y) const;
+  CkksCiphertext sub(const CkksCiphertext& x, const CkksCiphertext& y) const;
+  // Slot-wise multiply by a plaintext vector (encoded at the context
+  // scale); output scale is the product of scales.
+  CkksCiphertext multiply_plain(const CkksCiphertext& x,
+                                const std::vector<cd>& slots) const;
+  // Coefficient-encoded dot-product multiply (Eq. 1 analogue): multiplies
+  // by the reversed/negated coefficient polynomial of `row`, leaving
+  // scale^2 * <row, v> in the constant coefficient.
+  CkksCiphertext multiply_row_coeff(const CkksCiphertext& x,
+                                    const std::vector<double>& row) const;
+  // Divide by the special modulus: base_qp -> base_q, scale /= p.
+  CkksCiphertext rescale(const CkksCiphertext& x) const;
+
+ private:
+  CkksContextPtr ctx_;
+  CkksEncoder encoder_;
+};
+
+// Coefficient encoding helpers for the CKKS-HMVP variant.
+RnsPoly encode_coeff_vector(const CkksContextPtr& ctx,
+                            const std::vector<double>& v,
+                            const RnsBasePtr& base, double scale);
+
+}  // namespace ckks
+}  // namespace cham

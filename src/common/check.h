@@ -1,0 +1,54 @@
+// Lightweight contract checking for the CHAM library.
+//
+// CHAM_CHECK is always on (argument / invariant validation on public API
+// boundaries); CHAM_DCHECK compiles away in NDEBUG builds (hot inner
+// loops). Failures throw, so library misuse is testable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cham {
+
+// Thrown when a CHAM_CHECK contract is violated.
+class CheckError : public std::invalid_argument {
+ public:
+  explicit CheckError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHAM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace cham
+
+#define CHAM_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::cham::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define CHAM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream cham_check_os_;                              \
+      cham_check_os_ << msg;                                          \
+      ::cham::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                   cham_check_os_.str());             \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define CHAM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CHAM_DCHECK(cond) CHAM_CHECK(cond)
+#endif

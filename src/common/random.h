@@ -1,0 +1,68 @@
+// Deterministic, fast PRNG used throughout CHAM.
+//
+// Cryptographic randomness is out of scope for this reproduction (all
+// experiments are about performance and functional correctness, not
+// deployment security), so a seedable xoshiro256** generator is used for
+// both key material and noise sampling. Every sampler in the library takes
+// a Rng& so tests are reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cham {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x243F6A8885A308D3ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) return next_u64();
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool coin() { return (next_u64() & 1) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cham

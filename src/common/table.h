@@ -1,0 +1,62 @@
+// Plain-text table printer used by the figure/table reproduction benches to
+// emit paper-style rows.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cham {
+
+// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  // Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+           << (i < row.size() ? row[i] : "");
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) print_row(r);
+    os.flush();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cham

@@ -1,0 +1,185 @@
+#include "hmvp/baseline.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+// ---------------------------------------------------------------- rotate+sum
+
+RotateSumHmvp::RotateSumHmvp(BfvContextPtr context, const GaloisKeys* gk)
+    : ctx_(std::move(context)), gk_(gk), encoder_(ctx_), eval_(ctx_) {}
+
+std::vector<u64> RotateSumHmvp::required_galois_elements() const {
+  std::vector<u64> out;
+  for (std::size_t r = 1; r < ctx_->n() / 2; r <<= 1) {
+    out.push_back(encoder_.rotation_galois_element(r));
+  }
+  return out;
+}
+
+Ciphertext RotateSumHmvp::encrypt_vector(const std::vector<u64>& v,
+                                         const Encryptor& enc) const {
+  CHAM_CHECK_MSG(v.size() <= ctx_->n() / 2, "vector must fit row-0 slots");
+  return enc.encrypt(encoder_.encode(v));
+}
+
+std::vector<Ciphertext> RotateSumHmvp::multiply(const RowSource& a,
+                                                const Ciphertext& ct_v,
+                                                BaselineStats* stats) const {
+  CHAM_CHECK(gk_ != nullptr);
+  CHAM_CHECK_MSG(a.cols() <= ctx_->n() / 2, "cols must fit row-0 slots");
+  const std::size_t half = ctx_->n() / 2;
+  std::vector<Ciphertext> out;
+  std::vector<u64> row(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    a.row(i, row.data());
+    Ciphertext prod = ct_v;
+    prod.to_ntt();
+    eval_.multiply_plain_ntt_inplace(
+        prod,
+        eval_.transform_plain_ntt(encoder_.encode(row), ct_v.base()));
+    if (stats) stats->plain_mults += 1;
+    prod.from_ntt();
+    Ciphertext acc = eval_.rescale(prod);
+    // log2(N/2) rotations: after the tree, slot 0 of row 0 holds the sum
+    // of all row-0 slots.
+    for (std::size_t r = 1; r < half; r <<= 1) {
+      Ciphertext rot = eval_.rotate_rows(acc, r, *gk_);
+      if (stats) stats->rotations += 1;
+      eval_.add_inplace(acc, rot);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+std::vector<u64> RotateSumHmvp::decrypt_result(
+    const std::vector<Ciphertext>& cts, const Decryptor& dec) const {
+  std::vector<u64> out;
+  out.reserve(cts.size());
+  for (const auto& ct : cts) {
+    out.push_back(encoder_.decode(dec.decrypt(ct))[0]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ diagonal
+
+DiagonalHmvp::DiagonalHmvp(BfvContextPtr context, const GaloisKeys* gk)
+    : ctx_(std::move(context)), gk_(gk), encoder_(ctx_), eval_(ctx_) {}
+
+std::size_t DiagonalHmvp::baby_steps(std::size_t n_cols) {
+  // Largest power of two <= sqrt(n_cols).
+  std::size_t b = 1;
+  while (b * b < n_cols) b <<= 1;
+  if (b * b > n_cols && b > 1) b >>= 1;
+  return b;
+}
+
+std::vector<u64> DiagonalHmvp::required_galois_elements(
+    std::size_t n_cols) const {
+  const std::size_t b = baby_steps(n_cols);
+  std::vector<u64> out;
+  for (std::size_t i = 1; i < b; ++i) {
+    out.push_back(encoder_.rotation_galois_element(i));
+  }
+  for (std::size_t j = 1; j < (n_cols + b - 1) / b; ++j) {
+    out.push_back(encoder_.rotation_galois_element(j * b));
+  }
+  return out;
+}
+
+Ciphertext DiagonalHmvp::encrypt_vector(const std::vector<u64>& v,
+                                        const Encryptor& enc) const {
+  const std::size_t half = ctx_->n() / 2;
+  CHAM_CHECK_MSG(is_power_of_two(v.size()) && v.size() <= half,
+                 "diagonal method needs power-of-two cols <= N/2");
+  // Tile v with period n so slot rotations act as rotations mod n.
+  std::vector<u64> slots(half);
+  for (std::size_t i = 0; i < half; ++i) slots[i] = v[i % v.size()];
+  return enc.encrypt(encoder_.encode(slots));
+}
+
+Ciphertext DiagonalHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
+                                  BaselineStats* stats) const {
+  CHAM_CHECK(gk_ != nullptr);
+  const std::size_t half = ctx_->n() / 2;
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  CHAM_CHECK_MSG(is_power_of_two(n) && n <= half && m <= half,
+                 "diagonal method shape limits");
+  const u64 t = ctx_->plain_modulus().value();
+
+  // Materialise the diagonals: diag_d[i] = A[i mod m][(i+d) mod n].
+  std::vector<std::vector<u64>> rows(m, std::vector<u64>(n));
+  for (std::size_t i = 0; i < m; ++i) a.row(i, rows[i].data());
+  auto diagonal = [&](std::size_t d) {
+    // diag_d[i] = A[i][(i+d) mod n]; slots beyond the row count are zero.
+    std::vector<u64> diag(half, 0);
+    for (std::size_t i = 0; i < m; ++i) diag[i] = rows[i][(i + d) % n] % t;
+    return diag;
+  };
+
+  const std::size_t b = baby_steps(n);
+  const std::size_t giants = (n + b - 1) / b;
+
+  // Baby steps: rot(v, i) for i in [0, b).
+  Ciphertext ct_q = eval_.rescale(ct_v);
+  std::vector<Ciphertext> baby;
+  baby.reserve(b);
+  baby.push_back(ct_q);
+  for (std::size_t i = 1; i < b; ++i) {
+    baby.push_back(eval_.rotate_rows(ct_q, i, *gk_));
+    if (stats) stats->rotations += 1;
+  }
+
+  Ciphertext result;
+  bool have_result = false;
+  for (std::size_t j = 0; j < giants; ++j) {
+    // Inner sum: Σ_i rot(diag_{jb+i}, -jb) ∘ rot(v, i).
+    Ciphertext inner;
+    bool have_inner = false;
+    for (std::size_t i = 0; i < b && j * b + i < n; ++i) {
+      auto diag = diagonal(j * b + i);
+      // Pre-rotate the plaintext right by j*b slots.
+      std::vector<u64> rotated(half);
+      for (std::size_t s = 0; s < half; ++s) {
+        rotated[(s + j * b) % half] = diag[s];
+      }
+      Ciphertext prod = baby[i];
+      prod.to_ntt();
+      eval_.multiply_plain_ntt_inplace(
+          prod,
+          eval_.transform_plain_ntt(encoder_.encode(rotated), prod.base()));
+      if (stats) stats->plain_mults += 1;
+      prod.from_ntt();
+      if (!have_inner) {
+        inner = std::move(prod);
+        have_inner = true;
+      } else {
+        eval_.add_inplace(inner, prod);
+      }
+    }
+    if (j > 0) {
+      inner = eval_.rotate_rows(inner, j * b, *gk_);
+      if (stats) stats->rotations += 1;
+    }
+    if (!have_result) {
+      result = std::move(inner);
+      have_result = true;
+    } else {
+      eval_.add_inplace(result, inner);
+    }
+  }
+  return result;
+}
+
+std::vector<u64> DiagonalHmvp::decrypt_result(const Ciphertext& ct,
+                                              std::size_t rows,
+                                              const Decryptor& dec) const {
+  auto slots = encoder_.decode(dec.decrypt(ct));
+  slots.resize(rows);
+  return slots;
+}
+
+}  // namespace cham

@@ -1,0 +1,81 @@
+// Related-work HMVP baselines (paper Sec. II-E).
+//
+// * RotateSumHmvp — "batch-encoded HMVP": one slotwise product per row
+//   followed by a log2(slots) rotate-and-add tree to sum the slots.
+//   O(m log2 N) rotations, the complexity the paper quotes for [21].
+// * DiagonalHmvp — GAZELLE's diagonal method with baby-step/giant-step
+//   hoisting: O(n) plaintext products and ~2·sqrt(n) rotations, one output
+//   ciphertext. O(m) overall, but with the heavier per-op constants the
+//   paper's coefficient method avoids.
+//
+// Both operate on batch-encoded (SIMD) ciphertexts and are used by the
+// benchmark harness for the complexity comparison.
+#pragma once
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "hmvp/matrix.h"
+
+namespace cham {
+
+struct BaselineStats {
+  std::uint64_t rotations = 0;   // ciphertext rotations (keyswitches)
+  std::uint64_t plain_mults = 0;
+};
+
+class RotateSumHmvp {
+ public:
+  RotateSumHmvp(BfvContextPtr context, const GaloisKeys* gk);
+
+  // Galois elements this method needs (rotations by powers of two).
+  std::vector<u64> required_galois_elements() const;
+
+  // Encrypt v into row-0 slots (v.size() <= N/2).
+  Ciphertext encrypt_vector(const std::vector<u64>& v,
+                            const Encryptor& enc) const;
+
+  // Per-row slotwise product + rotate-and-sum; the dot product of row i
+  // ends up in every slot of result ciphertext i.
+  std::vector<Ciphertext> multiply(const RowSource& a, const Ciphertext& ct_v,
+                                   BaselineStats* stats = nullptr) const;
+
+  std::vector<u64> decrypt_result(const std::vector<Ciphertext>& cts,
+                                  const Decryptor& dec) const;
+
+ private:
+  BfvContextPtr ctx_;
+  const GaloisKeys* gk_;
+  BatchEncoder encoder_;
+  Evaluator eval_;
+};
+
+class DiagonalHmvp {
+ public:
+  // n_cols must be a power of two <= N/2; rows <= N/2.
+  DiagonalHmvp(BfvContextPtr context, const GaloisKeys* gk);
+
+  std::vector<u64> required_galois_elements(std::size_t n_cols) const;
+
+  // Encrypt v tiled to fill the N/2 row-0 slots.
+  Ciphertext encrypt_vector(const std::vector<u64>& v,
+                            const Encryptor& enc) const;
+
+  Ciphertext multiply(const RowSource& a, const Ciphertext& ct_v,
+                      BaselineStats* stats = nullptr) const;
+
+  std::vector<u64> decrypt_result(const Ciphertext& ct, std::size_t rows,
+                                  const Decryptor& dec) const;
+
+  static std::size_t baby_steps(std::size_t n_cols);
+
+ private:
+  BfvContextPtr ctx_;
+  const GaloisKeys* gk_;
+  BatchEncoder encoder_;
+  Evaluator eval_;
+};
+
+}  // namespace cham

@@ -1,0 +1,142 @@
+#include "hmvp/conv2d.h"
+
+namespace cham {
+
+namespace {
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Conv2dEngine::Conv2dEngine(BfvContextPtr context, const GaloisKeys* gk)
+    : ctx_(std::move(context)), gk_(gk), encoder_(ctx_), eval_(ctx_) {}
+
+std::size_t Conv2dEngine::padded_count(const ConvShape& s) const {
+  return next_pow2(s.out_height() * s.out_width());
+}
+
+std::vector<Ciphertext> Conv2dEngine::encrypt_image(
+    const std::vector<std::vector<u64>>& channels, const ConvShape& shape,
+    const Encryptor& enc) const {
+  CHAM_CHECK(channels.size() == shape.channels);
+  CHAM_CHECK_MSG(shape.height * shape.width <= ctx_->n(),
+                 "image must fit one ring dimension (tile larger images)");
+  CHAM_CHECK(shape.kernel >= 1 && shape.kernel <= shape.height &&
+             shape.kernel <= shape.width);
+  std::vector<Ciphertext> out;
+  for (const auto& ch : channels) {
+    CHAM_CHECK(ch.size() == shape.height * shape.width);
+    out.push_back(enc.encrypt(encoder_.encode_vector(ch)));
+  }
+  return out;
+}
+
+Ciphertext Conv2dEngine::convolve(const std::vector<Ciphertext>& ct_image,
+                                  const std::vector<std::vector<u64>>& kernel,
+                                  const ConvShape& shape, bool repack) const {
+  CHAM_CHECK(ct_image.size() == shape.channels &&
+             kernel.size() == shape.channels);
+  const std::size_t n = ctx_->n();
+  const std::size_t k = shape.kernel;
+  const Modulus& t = ctx_->plain_modulus();
+  const std::size_t count = padded_count(shape);
+  const u64 scale =
+      repack ? t.inv(static_cast<u64>(count % t.value())) : 1;
+
+  Ciphertext acc;
+  for (std::size_t c = 0; c < shape.channels; ++c) {
+    CHAM_CHECK(kernel[c].size() == k * k);
+    // Reversed kernel embedding.
+    std::vector<u64> kpoly(n, 0);
+    for (std::size_t u = 0; u < k; ++u) {
+      for (std::size_t v = 0; v < k; ++v) {
+        const std::size_t e = (k - 1 - u) * shape.width + (k - 1 - v);
+        kpoly[e] = t.mul(kernel[c][u * k + v] % t.value(), scale);
+      }
+    }
+    Ciphertext prod = ct_image[c];
+    prod.to_ntt();
+    eval_.multiply_plain_ntt_inplace(
+        prod, eval_.transform_plain_ntt(encoder_.encode_vector(kpoly),
+                                        ctx_->base_qp()));
+    if (c == 0) {
+      acc = std::move(prod);
+    } else {
+      eval_.add_inplace(acc, prod);
+    }
+  }
+  acc.from_ntt();
+  Ciphertext rescaled = eval_.rescale(acc);
+  if (!repack) return rescaled;
+
+  CHAM_CHECK_MSG(gk_ != nullptr, "repacking requires Galois keys");
+  std::vector<LweCiphertext> lwes;
+  lwes.reserve(count);
+  for (std::size_t r = 0; r < shape.out_height(); ++r) {
+    for (std::size_t col = 0; col < shape.out_width(); ++col) {
+      const std::size_t e = (r + k - 1) * shape.width + (col + k - 1);
+      lwes.push_back(extract_lwe(rescaled, e));
+    }
+  }
+  while (lwes.size() < count) {
+    LweCiphertext zero;
+    zero.base = ctx_->base_q();
+    zero.b.assign(ctx_->base_q()->size(), 0);
+    zero.a = RnsPoly(ctx_->base_q(), false);
+    lwes.push_back(std::move(zero));
+  }
+  return count == 1 ? lwe_to_rlwe(lwes[0]) : pack_lwes(eval_, lwes, *gk_);
+}
+
+std::vector<u64> Conv2dEngine::decrypt_output(const Ciphertext& ct,
+                                              const ConvShape& shape,
+                                              bool repacked,
+                                              const Decryptor& dec) const {
+  const std::size_t oh = shape.out_height();
+  const std::size_t ow = shape.out_width();
+  Plaintext pt = dec.decrypt(ct);
+  std::vector<u64> out(oh * ow);
+  if (repacked) {
+    const std::size_t stride = ctx_->n() / padded_count(shape);
+    for (std::size_t i = 0; i < oh * ow; ++i) out[i] = pt.coeffs[i * stride];
+  } else {
+    const std::size_t k = shape.kernel;
+    for (std::size_t r = 0; r < oh; ++r) {
+      for (std::size_t c = 0; c < ow; ++c) {
+        out[r * ow + c] = pt.coeffs[(r + k - 1) * shape.width + (c + k - 1)];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<u64> Conv2dEngine::reference(
+    const std::vector<std::vector<u64>>& channels,
+    const std::vector<std::vector<u64>>& kernel, const ConvShape& shape,
+    u64 t) {
+  Modulus mt(t);
+  const std::size_t oh = shape.out_height();
+  const std::size_t ow = shape.out_width();
+  const std::size_t k = shape.kernel;
+  std::vector<u64> out(oh * ow, 0);
+  for (std::size_t ch = 0; ch < shape.channels; ++ch) {
+    for (std::size_t r = 0; r < oh; ++r) {
+      for (std::size_t c = 0; c < ow; ++c) {
+        u64 acc = out[r * ow + c];
+        for (std::size_t u = 0; u < k; ++u) {
+          for (std::size_t v = 0; v < k; ++v) {
+            acc = mt.add(acc,
+                         mt.mul(channels[ch][(r + u) * shape.width + c + v] % t,
+                                kernel[ch][u * k + v] % t));
+          }
+        }
+        out[r * ow + c] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cham

@@ -1,0 +1,69 @@
+// 2-D / 3-D (multi-channel) homomorphic convolution via coefficient
+// packing — the extension the paper points to in Sec. II-E ("Alg. 1 can be
+// extended to other linear functions, such as 2-D and 3-D convolutions",
+// citing Cheetah).
+//
+// A H×W image becomes the polynomial Σ x[i][j] X^{iW+j}; a k×k kernel is
+// embedded reversed: Σ w[u][v] X^{(k-1-u)W + (k-1-v)}. In the product,
+// every term of the valid-convolution output y[r][c] lands on the single
+// exponent (r+k-1)·W + (c+k-1), so the outputs can be read (or extracted
+// as LWEs and re-packed) from those coefficients. Requires H·W <= N.
+// Multi-channel (3-D) convolution accumulates the per-channel products in
+// the NTT domain before the single rescale.
+#pragma once
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "lwe/pack.h"
+
+namespace cham {
+
+struct ConvShape {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t kernel = 0;  // k×k
+  std::size_t channels = 1;
+
+  std::size_t out_height() const { return height - kernel + 1; }
+  std::size_t out_width() const { return width - kernel + 1; }
+};
+
+class Conv2dEngine {
+ public:
+  Conv2dEngine(BfvContextPtr context, const GaloisKeys* gk);
+
+  // Encode + encrypt one channel image[c][i*W+j], one ciphertext per
+  // channel.
+  std::vector<Ciphertext> encrypt_image(
+      const std::vector<std::vector<u64>>& channels, const ConvShape& shape,
+      const Encryptor& enc) const;
+
+  // Homomorphic valid convolution with kernel[c][u*k+v] (entries mod t),
+  // summed over channels. Returns a ciphertext whose coefficients at the
+  // output exponents hold y[r][c]; if `repack` is true the outputs are
+  // extracted and packed densely (requires Galois keys).
+  Ciphertext convolve(const std::vector<Ciphertext>& ct_image,
+                      const std::vector<std::vector<u64>>& kernel,
+                      const ConvShape& shape, bool repack) const;
+
+  // Read the output feature map (row-major, out_h × out_w).
+  std::vector<u64> decrypt_output(const Ciphertext& ct, const ConvShape& shape,
+                                  bool repacked, const Decryptor& dec) const;
+
+  // Plaintext reference.
+  static std::vector<u64> reference(
+      const std::vector<std::vector<u64>>& channels,
+      const std::vector<std::vector<u64>>& kernel, const ConvShape& shape,
+      u64 t);
+
+ private:
+  std::size_t padded_count(const ConvShape& shape) const;
+  BfvContextPtr ctx_;
+  const GaloisKeys* gk_;
+  CoeffEncoder encoder_;
+  Evaluator eval_;
+};
+
+}  // namespace cham

@@ -1,0 +1,278 @@
+#include "hmvp/hmvp.h"
+
+#include <thread>
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+namespace {
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HmvpEngine::HmvpEngine(BfvContextPtr context, const GaloisKeys* gk)
+    : ctx_(std::move(context)), gk_(gk), encoder_(ctx_), eval_(ctx_) {}
+
+std::vector<Ciphertext> HmvpEngine::encrypt_vector(
+    const std::vector<u64>& v, const Encryptor& enc) const {
+  CHAM_CHECK_MSG(!v.empty(), "empty vector");
+  const std::size_t n = ctx_->n();
+  std::vector<Ciphertext> out;
+  for (std::size_t start = 0; start < v.size(); start += n) {
+    const std::size_t len = std::min(n, v.size() - start);
+    std::vector<u64> chunk(v.begin() + start, v.begin() + start + len);
+    out.push_back(enc.encrypt(encoder_.encode_vector(chunk)));
+  }
+  return out;
+}
+
+Plaintext HmvpEngine::encode_row_chunk(const u64* row, std::size_t cols,
+                                       std::size_t chunk, u64 scale) const {
+  const std::size_t n = ctx_->n();
+  const std::size_t start = chunk * n;
+  CHAM_CHECK(start < cols);
+  const std::size_t len = std::min(n, cols - start);
+  std::vector<u64> part(row + start, row + start + len);
+  return encoder_.encode_matrix_row(part, scale);
+}
+
+HmvpResult HmvpEngine::multiply(const RowSource& a,
+                                const std::vector<Ciphertext>& ct_v,
+                                int threads) const {
+  CHAM_CHECK_MSG(threads >= 1, "thread count must be positive");
+  const std::size_t n = ctx_->n();
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  CHAM_CHECK_MSG(rows >= 1 && cols >= 1, "empty matrix");
+  const std::size_t chunks = (cols + n - 1) / n;
+  CHAM_CHECK_MSG(ct_v.size() == chunks,
+                 "vector ciphertext count must match ceil(cols/N)");
+  for (const auto& ct : ct_v) {
+    CHAM_CHECK_MSG(ct.base() == ctx_->base_qp() && !ct.is_ntt(),
+                   "vector ciphertexts must be augmented, coefficient form");
+  }
+
+  HmvpResult res;
+  res.rows = rows;
+  const std::size_t groups = (rows + n - 1) / n;
+  const std::size_t rows_last = rows - (groups - 1) * n;
+  // All groups share one pack geometry (that of a full group; the last,
+  // possibly smaller, group is padded to the same shape for a uniform
+  // output layout).
+  res.pack_count = next_pow2(groups > 1 ? n : rows_last);
+  CHAM_CHECK_MSG(gk_ != nullptr || res.pack_count == 1,
+                 "Galois keys required to pack more than one row");
+
+  const Modulus& t = ctx_->plain_modulus();
+  const u64 scale = t.inv(static_cast<u64>(res.pack_count % t.value()));
+
+  // Stage 1 for the ciphertext side happens once: transform every chunk of
+  // ct(v) to the NTT domain and reuse it for all rows.
+  std::vector<Ciphertext> ct_ntt = ct_v;
+  for (auto& ct : ct_ntt) {
+    ct.to_ntt();
+    res.stats.forward_ntts += 2 * ct.b.limbs();
+  }
+
+  // One row's dot product -> extracted LWE; thread-safe (all shared state
+  // is read-only), stats accumulate into the caller-provided struct.
+  auto process_row = [&](std::size_t row_index, std::vector<u64>& row_buf,
+                         HmvpStats& stats) {
+    a.row(row_index, row_buf.data());
+    // Dot product: accumulate chunk products in the NTT domain.
+    Ciphertext acc;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      Plaintext pt = encode_row_chunk(row_buf.data(), cols, c, scale);
+      RnsPoly pt_ntt = eval_.transform_plain_ntt(pt, ctx_->base_qp());
+      stats.forward_ntts += pt_ntt.limbs();
+      Ciphertext prod = ct_ntt[c];
+      eval_.multiply_plain_ntt_inplace(prod, pt_ntt);
+      stats.pointwise_mults += 2 * prod.b.limbs();
+      if (c == 0) {
+        acc = std::move(prod);
+      } else {
+        eval_.add_inplace(acc, prod);
+      }
+    }
+    acc.from_ntt();
+    stats.inverse_ntts += 2 * acc.b.limbs();
+    Ciphertext rescaled = eval_.rescale(acc);
+    stats.rescales += 1;
+    stats.extracts += 1;
+    return extract_lwe(rescaled, 0);
+  };
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t group_rows = std::min(n, rows - g * n);
+    std::vector<LweCiphertext> lwes(group_rows);
+    if (threads == 1 || group_rows < 2) {
+      std::vector<u64> row_buf(cols);
+      for (std::size_t r = 0; r < group_rows; ++r) {
+        lwes[r] = process_row(g * n + r, row_buf, res.stats);
+      }
+    } else {
+      const int nthreads =
+          static_cast<int>(std::min<std::size_t>(threads, group_rows));
+      std::vector<HmvpStats> local(nthreads);
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads);
+      for (int tid = 0; tid < nthreads; ++tid) {
+        pool.emplace_back([&, tid] {
+          std::vector<u64> row_buf(cols);
+          for (std::size_t r = tid; r < group_rows;
+               r += static_cast<std::size_t>(nthreads)) {
+            lwes[r] = process_row(g * n + r, row_buf, local[tid]);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      for (const auto& s : local) {
+        res.stats.forward_ntts += s.forward_ntts;
+        res.stats.inverse_ntts += s.inverse_ntts;
+        res.stats.pointwise_mults += s.pointwise_mults;
+        res.stats.rescales += s.rescales;
+        res.stats.extracts += s.extracts;
+      }
+    }
+    // Pad to the pack geometry with zero LWEs (trivial encryptions of 0).
+    lwes.reserve(res.pack_count);
+    while (lwes.size() < res.pack_count) {
+      LweCiphertext zero;
+      zero.base = ctx_->base_q();
+      zero.b.assign(ctx_->base_q()->size(), 0);
+      zero.a = RnsPoly(ctx_->base_q(), false);
+      lwes.push_back(std::move(zero));
+    }
+    Ciphertext packed =
+        (res.pack_count == 1)
+            ? lwe_to_rlwe(lwes[0])
+            : pack_lwes(eval_, lwes, *gk_);
+    res.stats.pack_merges += res.pack_count - 1;
+    res.stats.keyswitches += res.pack_count - 1;
+    res.packed.push_back(std::move(packed));
+  }
+  return res;
+}
+
+EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a) const {
+  const std::size_t n = ctx_->n();
+  EncodedMatrix enc;
+  enc.rows_ = a.rows();
+  enc.cols_ = a.cols();
+  enc.chunks_ = (a.cols() + n - 1) / n;
+  const std::size_t groups = (a.rows() + n - 1) / n;
+  const std::size_t rows_last = a.rows() - (groups - 1) * n;
+  enc.pack_count_ = next_pow2(groups > 1 ? n : rows_last);
+  const Modulus& t = ctx_->plain_modulus();
+  const u64 scale = t.inv(static_cast<u64>(enc.pack_count_ % t.value()));
+
+  enc.row_chunks_.reserve(a.rows() * enc.chunks_);
+  std::vector<u64> row_buf(a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    a.row(r, row_buf.data());
+    for (std::size_t c = 0; c < enc.chunks_; ++c) {
+      Plaintext pt = encode_row_chunk(row_buf.data(), a.cols(), c, scale);
+      enc.row_chunks_.push_back(
+          eval_.transform_plain_ntt(pt, ctx_->base_qp()));
+    }
+  }
+  return enc;
+}
+
+HmvpResult HmvpEngine::multiply_encoded(
+    const EncodedMatrix& a, const std::vector<Ciphertext>& ct_v) const {
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK_MSG(ct_v.size() == a.chunks_,
+                 "vector ciphertext count must match ceil(cols/N)");
+  HmvpResult res;
+  res.rows = a.rows_;
+  res.pack_count = a.pack_count_;
+  CHAM_CHECK_MSG(gk_ != nullptr || res.pack_count == 1,
+                 "Galois keys required to pack more than one row");
+
+  std::vector<Ciphertext> ct_ntt = ct_v;
+  for (auto& ct : ct_ntt) {
+    CHAM_CHECK_MSG(ct.base() == ctx_->base_qp() && !ct.is_ntt(),
+                   "vector ciphertexts must be augmented, coefficient form");
+    ct.to_ntt();
+    res.stats.forward_ntts += 2 * ct.b.limbs();
+  }
+
+  const std::size_t groups = (a.rows_ + n - 1) / n;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t group_rows = std::min(n, a.rows_ - g * n);
+    std::vector<LweCiphertext> lwes;
+    lwes.reserve(res.pack_count);
+    for (std::size_t r = 0; r < group_rows; ++r) {
+      Ciphertext acc;
+      for (std::size_t c = 0; c < a.chunks_; ++c) {
+        const RnsPoly& pt_ntt =
+            a.row_chunks_[(g * n + r) * a.chunks_ + c];
+        Ciphertext prod = ct_ntt[c];
+        eval_.multiply_plain_ntt_inplace(prod, pt_ntt);
+        res.stats.pointwise_mults += 2 * prod.b.limbs();
+        if (c == 0) {
+          acc = std::move(prod);
+        } else {
+          eval_.add_inplace(acc, prod);
+        }
+      }
+      acc.from_ntt();
+      res.stats.inverse_ntts += 2 * acc.b.limbs();
+      Ciphertext rescaled = eval_.rescale(acc);
+      res.stats.rescales += 1;
+      res.stats.extracts += 1;
+      lwes.push_back(extract_lwe(rescaled, 0));
+    }
+    while (lwes.size() < res.pack_count) {
+      LweCiphertext zero;
+      zero.base = ctx_->base_q();
+      zero.b.assign(ctx_->base_q()->size(), 0);
+      zero.a = RnsPoly(ctx_->base_q(), false);
+      lwes.push_back(std::move(zero));
+    }
+    res.packed.push_back(res.pack_count == 1 ? lwe_to_rlwe(lwes[0])
+                                             : pack_lwes(eval_, lwes, *gk_));
+    res.stats.pack_merges += res.pack_count - 1;
+    res.stats.keyswitches += res.pack_count - 1;
+  }
+  return res;
+}
+
+std::vector<u64> HmvpEngine::decrypt_result(const HmvpResult& res,
+                                            const Decryptor& dec) const {
+  const std::size_t n = ctx_->n();
+  const std::size_t stride = n / res.pack_count;
+  std::vector<u64> out(res.rows);
+  for (std::size_t g = 0; g < res.packed.size(); ++g) {
+    Plaintext pt = dec.decrypt(res.packed[g]);
+    const std::size_t group_rows = std::min(n, res.rows - g * n);
+    for (std::size_t r = 0; r < group_rows; ++r) {
+      out[g * n + r] = pt.coeffs[r * stride];
+    }
+  }
+  return out;
+}
+
+std::vector<u64> HmvpEngine::reference(const RowSource& a,
+                                       const std::vector<u64>& v, u64 t) {
+  CHAM_CHECK(v.size() == a.cols());
+  Modulus mt(t);
+  std::vector<u64> out(a.rows());
+  std::vector<u64> row(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    a.row(i, row.data());
+    u64 acc = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc = mt.add(acc, mt.mul(row[j] % t, v[j] % t));
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace cham

@@ -1,0 +1,111 @@
+// Homomorphic matrix-vector product (paper Alg. 1) — CHAM's target
+// workload, built from coefficient encoding (Eq. 1), plaintext
+// multiplication, rescale, LWE extraction (Eq. 3) and PackLWEs packing.
+//
+// Shapes beyond one ring dimension are tiled:
+//  * cols > N: the vector is split into ceil(cols/N) chunk ciphertexts;
+//    a row's dot product accumulates one plaintext multiplication per
+//    chunk before extraction (the paper notes this aggregation cost for
+//    n >= m in Fig. 6).
+//  * rows > N: outputs are emitted as ceil(rows/N) packed ciphertexts.
+#pragma once
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "hmvp/matrix.h"
+#include "lwe/pack.h"
+
+namespace cham {
+
+// Operation counts for one HMVP evaluation, cross-checked against the
+// accelerator model.
+struct HmvpStats {
+  std::uint64_t forward_ntts = 0;   // plaintext-side NTTs (stage 1)
+  std::uint64_t inverse_ntts = 0;   // product INTTs (stage 3), per limb
+  std::uint64_t pointwise_mults = 0;  // limb-polynomial MultPoly ops
+  std::uint64_t rescales = 0;
+  std::uint64_t extracts = 0;
+  std::uint64_t pack_merges = 0;  // PackTwoLWEs invocations
+  std::uint64_t keyswitches = 0;
+};
+
+// Result: one packed ciphertext per group of up to N rows, plus the layout
+// needed to read the outputs back.
+struct HmvpResult {
+  std::vector<Ciphertext> packed;
+  std::size_t rows = 0;
+  std::size_t pack_count = 0;  // LWEs packed per group (power of two)
+  HmvpStats stats;
+
+  // Coefficient index of row r (within its group's ciphertext).
+  std::size_t coeff_index(std::size_t r, std::size_t n) const {
+    return (r % n) * (n / pack_count);
+  }
+};
+
+// A matrix pre-encoded into NTT-domain Eq.-1 polynomials. Amortises the
+// per-row encode+NTT across repeated products with the same matrix — the
+// HeteroLR case, where X^T is fixed across training iterations. Memory:
+// rows*chunks polynomials of 3N words each; prefer the streaming
+// HmvpEngine::multiply for very large matrices.
+class EncodedMatrix {
+ public:
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t pack_count() const { return pack_count_; }
+
+ private:
+  friend class HmvpEngine;
+  std::size_t rows_ = 0, cols_ = 0, chunks_ = 0, pack_count_ = 0;
+  std::vector<RnsPoly> row_chunks_;  // [row * chunks + chunk], NTT base_qp
+};
+
+class HmvpEngine {
+ public:
+  // gk must hold Galois keys up to level log2(min(N, next_pow2(rows))).
+  HmvpEngine(BfvContextPtr context, const GaloisKeys* gk);
+
+  // Encrypt the input vector (splitting into chunks of N).
+  std::vector<Ciphertext> encrypt_vector(const std::vector<u64>& v,
+                                         const Encryptor& enc) const;
+
+  // Alg. 1: A · v homomorphically. ct_v are the chunk ciphertexts of v
+  // (augmented level, coefficient domain). `threads` parallelises the
+  // per-row dot products across host threads (Sec. III-C's multi-threaded
+  // host); the packing tree itself stays sequential per group.
+  HmvpResult multiply(const RowSource& a, const std::vector<Ciphertext>& ct_v,
+                      int threads = 1) const;
+
+  // Pre-encode a matrix for repeated products (see EncodedMatrix).
+  EncodedMatrix encode_matrix(const RowSource& a) const;
+  // Alg. 1 against a pre-encoded matrix: skips the per-row encode+NTT.
+  HmvpResult multiply_encoded(const EncodedMatrix& a,
+                              const std::vector<Ciphertext>& ct_v) const;
+
+  // Decrypt + decode the result vector (length a.rows()).
+  std::vector<u64> decrypt_result(const HmvpResult& res,
+                                  const Decryptor& dec) const;
+
+  // Plaintext reference A·v mod t.
+  static std::vector<u64> reference(const RowSource& a,
+                                    const std::vector<u64>& v, u64 t);
+
+  // Eq. 1 chunk encoding, exposed for the accelerator model: encodes
+  // row entries [chunk*N, chunk*N + len) with the packing correction
+  // factor folded in.
+  Plaintext encode_row_chunk(const u64* row, std::size_t cols,
+                             std::size_t chunk, u64 scale) const;
+
+  const BfvContextPtr& context() const { return ctx_; }
+
+ private:
+  BfvContextPtr ctx_;
+  const GaloisKeys* gk_;
+  CoeffEncoder encoder_;
+  Evaluator eval_;
+};
+
+}  // namespace cham

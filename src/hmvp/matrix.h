@@ -1,0 +1,83 @@
+// Matrix row sources for HMVP.
+//
+// The engine pulls rows through an interface so benchmarks can run
+// paper-scale shapes (8192×8192) from a pseudorandom generator without
+// materialising gigabytes, while applications use a dense in-memory
+// matrix (entries stored as u32; every plaintext modulus we use fits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace cham {
+
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  // Write row i (cols() entries, already reduced mod t) into out.
+  virtual void row(std::size_t i, std::uint64_t* out) const = 0;
+};
+
+// Dense in-memory matrix with entries in [0, t), t < 2^32.
+class DenseMatrix : public RowSource {
+ public:
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static DenseMatrix random(std::size_t rows, std::size_t cols,
+                            std::uint64_t t, Rng& rng) {
+    CHAM_CHECK(t <= (1ULL << 32));
+    DenseMatrix m(rows, cols);
+    for (auto& v : m.data_) v = static_cast<std::uint32_t>(rng.uniform(t));
+    return m;
+  }
+
+  std::size_t rows() const override { return rows_; }
+  std::size_t cols() const override { return cols_; }
+  void row(std::size_t i, std::uint64_t* out) const override {
+    CHAM_CHECK(i < rows_);
+    const std::uint32_t* src = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] = src[j];
+  }
+
+  std::uint32_t& at(std::size_t i, std::size_t j) {
+    CHAM_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  std::uint32_t at(std::size_t i, std::size_t j) const {
+    CHAM_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint32_t> data_;
+};
+
+// Pseudorandom matrix generated on the fly from a seed (constant memory).
+class GeneratedMatrix : public RowSource {
+ public:
+  GeneratedMatrix(std::size_t rows, std::size_t cols, std::uint64_t t,
+                  std::uint64_t seed)
+      : rows_(rows), cols_(cols), t_(t), seed_(seed) {}
+
+  std::size_t rows() const override { return rows_; }
+  std::size_t cols() const override { return cols_; }
+  void row(std::size_t i, std::uint64_t* out) const override {
+    CHAM_CHECK(i < rows_);
+    Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    for (std::size_t j = 0; j < cols_; ++j) out[j] = rng.uniform(t_);
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::uint64_t t_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cham

@@ -1,0 +1,330 @@
+#include "io/serialize.h"
+
+#include <algorithm>
+
+namespace cham {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4348414D;  // "CHAM"
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kTagPoly = 1;
+constexpr std::uint8_t kTagCiphertext = 2;
+constexpr std::uint8_t kTagPlaintext = 3;
+constexpr std::uint8_t kTagLwe = 4;
+constexpr std::uint8_t kTagPublicKey = 5;
+constexpr std::uint8_t kTagGaloisKeys = 6;
+constexpr std::uint8_t kTagKskEntry = 7;
+
+void write_header(ByteWriter& out, std::uint8_t tag) {
+  out.u32(kMagic);
+  out.u8(kVersion);
+  out.u8(tag);
+}
+
+void read_header(ByteReader& in, std::uint8_t expected_tag) {
+  CHAM_CHECK_MSG(in.u32() == kMagic, "bad magic (not a CHAM blob)");
+  CHAM_CHECK_MSG(in.u8() == kVersion, "unsupported serialization version");
+  CHAM_CHECK_MSG(in.u8() == expected_tag, "unexpected blob type");
+}
+
+// Identify the base by its prime list so the receiver can validate.
+void write_base_id(const RnsBasePtr& base, ByteWriter& out) {
+  out.u64(base->n());
+  out.u32(static_cast<std::uint32_t>(base->size()));
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    out.u64(base->modulus(l).value());
+  }
+}
+
+RnsBasePtr match_base(ByteReader& in, const BfvContextPtr& ctx) {
+  const std::uint64_t n = in.u64();
+  const std::uint32_t limbs = in.u32();
+  std::vector<u64> primes(limbs);
+  for (auto& p : primes) p = in.u64();
+  for (const RnsBasePtr& base : {ctx->base_q(), ctx->base_qp()}) {
+    if (base->n() != n || base->size() != limbs) continue;
+    bool match = true;
+    for (std::size_t l = 0; l < limbs; ++l) {
+      if (base->modulus(l).value() != primes[l]) match = false;
+    }
+    if (match) return base;
+  }
+  CHAM_CHECK_MSG(false, "blob's RNS base does not match this context");
+  return nullptr;
+}
+
+void save_poly_body(const RnsPoly& p, WireFormat fmt, ByteWriter& out) {
+  write_base_id(p.base(), out);
+  out.u8(p.is_ntt() ? 1 : 0);
+  out.u8(static_cast<std::uint8_t>(fmt));
+  for (std::size_t l = 0; l < p.limbs(); ++l) {
+    const int bits =
+        fmt == WireFormat::kRaw ? 64 : p.base()->modulus(l).bit_count();
+    out.packed_words(p.limb(l), p.n(), bits);
+  }
+}
+
+RnsPoly load_poly_body(ByteReader& in, const RnsBasePtr& base) {
+  RnsPoly p(base, false);
+  p.set_ntt_form(in.u8() != 0);
+  const auto fmt = static_cast<WireFormat>(in.u8());
+  CHAM_CHECK_MSG(fmt == WireFormat::kRaw || fmt == WireFormat::kPacked,
+                 "unknown wire format");
+  for (std::size_t l = 0; l < p.limbs(); ++l) {
+    const int bits =
+        fmt == WireFormat::kRaw ? 64 : base->modulus(l).bit_count();
+    in.packed_words(p.limb(l), p.n(), bits);
+    const u64 q = base->modulus(l).value();
+    for (std::size_t i = 0; i < p.n(); ++i) {
+      CHAM_CHECK_MSG(p.limb(l)[i] < q, "coefficient out of range");
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- writer
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::packed_words(const std::uint64_t* vals, std::size_t count,
+                              int bits) {
+  CHAM_CHECK(bits >= 1 && bits <= 64);
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = vals[i];
+    if (bits < 64) {
+      CHAM_CHECK_MSG(v < (1ULL << bits), "value exceeds packed bit width");
+    }
+    int remaining = bits;
+    while (remaining > 0) {
+      const int take = std::min(remaining, 64 - acc_bits);
+      acc |= (v & ((take == 64) ? ~0ULL : ((1ULL << take) - 1))) << acc_bits;
+      v >>= take == 64 ? 0 : take;
+      acc_bits += take;
+      remaining -= take;
+      if (acc_bits == 64) {
+        u64(acc);
+        acc = 0;
+        acc_bits = 0;
+      }
+    }
+  }
+  if (acc_bits > 0) u64(acc);
+}
+
+// ----------------------------------------------------------------- reader
+
+std::uint8_t ByteReader::u8() {
+  CHAM_CHECK_MSG(pos_ < size_, "truncated blob");
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return v;
+}
+
+void ByteReader::packed_words(std::uint64_t* vals, std::size_t count,
+                              int bits) {
+  CHAM_CHECK(bits >= 1 && bits <= 64);
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    int got = 0;
+    while (got < bits) {
+      if (acc_bits == 0) {
+        acc = u64();
+        acc_bits = 64;
+      }
+      const int take = std::min(bits - got, acc_bits);
+      v |= (acc & ((take == 64) ? ~0ULL : ((1ULL << take) - 1))) << got;
+      acc >>= take == 64 ? 0 : take;
+      acc_bits -= take;
+      got += take;
+    }
+    vals[i] = v;
+  }
+}
+
+// ------------------------------------------------------------ public API
+
+void save_poly(const RnsPoly& p, WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagPoly);
+  save_poly_body(p, fmt, out);
+}
+
+RnsPoly load_poly(ByteReader& in, const RnsBasePtr& base) {
+  read_header(in, kTagPoly);
+  // Validate the declared base against the expected one.
+  const std::uint64_t n = in.u64();
+  const std::uint32_t limbs = in.u32();
+  CHAM_CHECK_MSG(n == base->n() && limbs == base->size(),
+                 "poly base mismatch");
+  for (std::size_t l = 0; l < limbs; ++l) {
+    CHAM_CHECK_MSG(in.u64() == base->modulus(l).value(),
+                   "poly base prime mismatch");
+  }
+  return load_poly_body(in, base);
+}
+
+void save_ciphertext(const Ciphertext& ct, WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagCiphertext);
+  save_poly_body(ct.b, fmt, out);
+  save_poly_body(ct.a, fmt, out);
+}
+
+Ciphertext load_ciphertext(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagCiphertext);
+  Ciphertext ct;
+  {
+    auto base = match_base(in, ctx);
+    ct.b = load_poly_body(in, base);
+  }
+  {
+    auto base = match_base(in, ctx);
+    ct.a = load_poly_body(in, base);
+  }
+  CHAM_CHECK_MSG(ct.b.base() == ct.a.base() &&
+                     ct.b.is_ntt() == ct.a.is_ntt(),
+                 "inconsistent ciphertext components");
+  return ct;
+}
+
+void save_plaintext(const Plaintext& pt, const BfvContextPtr& ctx,
+                    WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagPlaintext);
+  out.u64(ctx->params().t);
+  out.u64(pt.n());
+  const int bits =
+      fmt == WireFormat::kRaw ? 64 : ctx->plain_modulus().bit_count();
+  out.u8(static_cast<std::uint8_t>(bits));
+  out.packed_words(pt.coeffs.data(), pt.n(), bits);
+}
+
+Plaintext load_plaintext(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagPlaintext);
+  CHAM_CHECK_MSG(in.u64() == ctx->params().t, "plaintext modulus mismatch");
+  const std::uint64_t n = in.u64();
+  CHAM_CHECK_MSG(n <= ctx->n(), "plaintext longer than ring dimension");
+  const int bits = in.u8();
+  Plaintext pt;
+  pt.coeffs.resize(n);
+  in.packed_words(pt.coeffs.data(), n, bits);
+  for (u64 c : pt.coeffs) {
+    CHAM_CHECK_MSG(c < ctx->params().t, "plaintext coefficient out of range");
+  }
+  return pt;
+}
+
+void save_lwe(const LweCiphertext& lwe, WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagLwe);
+  write_base_id(lwe.base, out);
+  for (std::size_t l = 0; l < lwe.base->size(); ++l) out.u64(lwe.b[l]);
+  save_poly_body(lwe.a, fmt, out);
+}
+
+LweCiphertext load_lwe(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagLwe);
+  LweCiphertext lwe;
+  lwe.base = match_base(in, ctx);
+  lwe.b.resize(lwe.base->size());
+  for (auto& b : lwe.b) {
+    b = in.u64();
+  }
+  for (std::size_t l = 0; l < lwe.base->size(); ++l) {
+    CHAM_CHECK_MSG(lwe.b[l] < lwe.base->modulus(l).value(),
+                   "LWE b residue out of range");
+  }
+  auto inner_base = match_base(in, ctx);
+  CHAM_CHECK(inner_base == lwe.base);
+  lwe.a = load_poly_body(in, lwe.base);
+  return lwe;
+}
+
+void save_public_key(const PublicKey& pk, WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagPublicKey);
+  save_poly_body(pk.b, fmt, out);
+  save_poly_body(pk.a, fmt, out);
+}
+
+PublicKey load_public_key(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagPublicKey);
+  PublicKey pk;
+  pk.context = ctx;
+  {
+    auto base = match_base(in, ctx);
+    CHAM_CHECK_MSG(base == ctx->base_qp(), "public key must be over base_qp");
+    pk.b = load_poly_body(in, base);
+  }
+  {
+    auto base = match_base(in, ctx);
+    pk.a = load_poly_body(in, base);
+  }
+  return pk;
+}
+
+void save_galois_keys(const GaloisKeys& gk, WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagGaloisKeys);
+  out.u32(static_cast<std::uint32_t>(gk.keys.size()));
+  for (const auto& [k, ksk] : gk.keys) {
+    out.u8(kTagKskEntry);
+    out.u64(k);
+    out.u32(static_cast<std::uint32_t>(ksk.b.size()));
+    for (std::size_t j = 0; j < ksk.b.size(); ++j) {
+      save_poly_body(ksk.b[j], fmt, out);
+      save_poly_body(ksk.a[j], fmt, out);
+    }
+  }
+}
+
+GaloisKeys load_galois_keys(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagGaloisKeys);
+  GaloisKeys gk;
+  gk.context = ctx;
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CHAM_CHECK_MSG(in.u8() == kTagKskEntry, "corrupt Galois key entry");
+    const u64 k = in.u64();
+    CHAM_CHECK_MSG(k % 2 == 1 && k > 1 && k < 2 * ctx->n(),
+                   "invalid Galois element");
+    KeySwitchKey ksk;
+    ksk.context = ctx;
+    const std::uint32_t dnum = in.u32();
+    CHAM_CHECK_MSG(dnum == ctx->dnum(), "KSK digit count mismatch");
+    for (std::uint32_t j = 0; j < dnum; ++j) {
+      auto base_b = match_base(in, ctx);
+      CHAM_CHECK_MSG(base_b == ctx->base_qp(), "KSK must be over base_qp");
+      ksk.b.push_back(load_poly_body(in, base_b));
+      auto base_a = match_base(in, ctx);
+      ksk.a.push_back(load_poly_body(in, base_a));
+    }
+    gk.keys.emplace(k, std::move(ksk));
+  }
+  return gk;
+}
+
+std::size_t ciphertext_wire_bytes(const Ciphertext& ct, WireFormat fmt) {
+  ByteWriter w;
+  save_ciphertext(ct, fmt, w);
+  return w.size();
+}
+
+}  // namespace cham

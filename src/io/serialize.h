@@ -1,0 +1,83 @@
+// Binary serialization for keys, plaintexts and ciphertexts.
+//
+// Two coefficient encodings:
+//  * raw   — 8 bytes per coefficient (fast path, host-local);
+//  * packed — ceil(bits(q_i)) bits per coefficient (wire format; a base_q
+//    ciphertext shrinks from 256 KiB to ~70 KiB, matching the paper's
+//    two-35-bit-limb sizing).
+//
+// Every blob starts with a magic/version header and the structural
+// metadata needed to validate it against the receiving context; malformed
+// input throws CheckError rather than yielding garbage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+#include "lwe/lwe.h"
+
+namespace cham {
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Append `count` values of `bits` bits each (LSB-first bit stream).
+  void packed_words(const std::uint64_t* vals, std::size_t count, int bits);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  void packed_words(std::uint64_t* vals, std::size_t count, int bits);
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+enum class WireFormat : std::uint8_t { kRaw = 0, kPacked = 1 };
+
+// --- polynomials / ciphertexts -------------------------------------------
+void save_poly(const RnsPoly& p, WireFormat fmt, ByteWriter& out);
+RnsPoly load_poly(ByteReader& in, const RnsBasePtr& base);
+
+void save_ciphertext(const Ciphertext& ct, WireFormat fmt, ByteWriter& out);
+Ciphertext load_ciphertext(ByteReader& in, const BfvContextPtr& ctx);
+
+void save_plaintext(const Plaintext& pt, const BfvContextPtr& ctx,
+                    WireFormat fmt, ByteWriter& out);
+Plaintext load_plaintext(ByteReader& in, const BfvContextPtr& ctx);
+
+void save_lwe(const LweCiphertext& lwe, WireFormat fmt, ByteWriter& out);
+LweCiphertext load_lwe(ByteReader& in, const BfvContextPtr& ctx);
+
+// --- keys ------------------------------------------------------------------
+void save_public_key(const PublicKey& pk, WireFormat fmt, ByteWriter& out);
+PublicKey load_public_key(ByteReader& in, const BfvContextPtr& ctx);
+
+void save_galois_keys(const GaloisKeys& gk, WireFormat fmt, ByteWriter& out);
+GaloisKeys load_galois_keys(ByteReader& in, const BfvContextPtr& ctx);
+
+// Serialized size in bytes without materialising the buffer.
+std::size_t ciphertext_wire_bytes(const Ciphertext& ct, WireFormat fmt);
+
+}  // namespace cham

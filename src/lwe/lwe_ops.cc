@@ -1,0 +1,229 @@
+#include "lwe/lwe_ops.h"
+
+namespace cham {
+
+namespace {
+void check_same_base(const LweCiphertext& x, const LweCiphertext& y) {
+  CHAM_CHECK_MSG(x.base == y.base, "LWE operands must share a base");
+}
+}  // namespace
+
+LweCiphertext lwe_add(const LweCiphertext& x, const LweCiphertext& y) {
+  check_same_base(x, y);
+  LweCiphertext out = x;
+  for (std::size_t l = 0; l < x.base->size(); ++l) {
+    out.b[l] = x.base->modulus(l).add(x.b[l], y.b[l]);
+  }
+  out.a.add_inplace(y.a);
+  return out;
+}
+
+LweCiphertext lwe_sub(const LweCiphertext& x, const LweCiphertext& y) {
+  check_same_base(x, y);
+  LweCiphertext out = x;
+  for (std::size_t l = 0; l < x.base->size(); ++l) {
+    out.b[l] = x.base->modulus(l).sub(x.b[l], y.b[l]);
+  }
+  out.a.sub_inplace(y.a);
+  return out;
+}
+
+LweCiphertext lwe_mul_scalar(const LweCiphertext& x, u64 c) {
+  LweCiphertext out = x;
+  for (std::size_t l = 0; l < x.base->size(); ++l) {
+    const Modulus& q = x.base->modulus(l);
+    out.b[l] = q.mul(x.b[l], c % q.value());
+  }
+  out.a.mul_scalar_inplace(c);
+  return out;
+}
+
+LweCiphertext modswitch_lwe(const LweCiphertext& x, RnsBasePtr target) {
+  CHAM_CHECK_MSG(target->is_prefix_of(*x.base),
+                 "target base must be the source base minus its last limb");
+  const std::size_t k = target->size();
+  const Modulus& p = x.base->modulus(k);
+  const u64 pv = p.value();
+  const u64 half = pv >> 1;
+
+  LweCiphertext out;
+  out.base = target;
+  out.b.resize(k);
+  // Scalar part: same centered divide-and-round as the polynomial case.
+  const u64 rb = x.b[k];
+  for (std::size_t l = 0; l < k; ++l) {
+    const Modulus& ql = target->modulus(l);
+    const u64 p_inv = ql.inv(pv % ql.value());
+    u64 diff;
+    if (rb > half) {
+      diff = ql.add(x.b[l], (pv - rb) % ql.value());
+    } else {
+      diff = ql.sub(x.b[l], rb % ql.value());
+    }
+    out.b[l] = ql.mul(diff, p_inv);
+  }
+  out.a = divide_round_by_last(x.a, target);
+  return out;
+}
+
+LweSecret make_lwe_secret(RnsBasePtr base, std::size_t n_out, Rng& rng) {
+  CHAM_CHECK(n_out >= 1 && n_out <= base->n());
+  LweSecret z;
+  z.base = base;
+  z.n_out = n_out;
+  z.z = RnsPoly(base, false);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.uniform(3)) - 1;
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      z.z.limb(l)[i] = base->modulus(l).from_signed(v);
+    }
+  }
+  return z;
+}
+
+namespace {
+
+// LWE encryption of a raw (phase-level) payload under z: b = payload -
+// <a, z> + e per limb, a uniform over the first n_out positions.
+LweCiphertext encrypt_payload(const std::vector<u64>& payload,
+                              const LweSecret& z, Rng& rng) {
+  const RnsBasePtr& base = z.base;
+  LweCiphertext ct;
+  ct.base = base;
+  ct.b.resize(base->size());
+  ct.a = RnsPoly(base, false);
+  // CBD(21) noise shared across limbs (one integer).
+  int noise = 0;
+  {
+    const u64 bits = rng.next_u64();
+    for (int i = 0; i < 21; ++i) noise += (bits >> i) & 1;
+    for (int i = 21; i < 42; ++i) noise -= (bits >> i) & 1;
+  }
+  // Each a_i must be one uniform integer below Q represented consistently
+  // across limbs: sample once, reduce per limb.
+  CHAM_CHECK(base->size() <= 8);
+  u64 residues[8];
+  for (std::size_t i = 0; i < z.n_out; ++i) {
+    u128 v = (static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64();
+    v %= base->total_modulus();
+    base->decompose(v, residues);
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      ct.a.limb(l)[i] = residues[l];
+    }
+  }
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    const Modulus& q = base->modulus(l);
+    const u64* a = ct.a.limb(l);
+    const u64* zz = z.z.limb(l);
+    u64 dot = 0;
+    for (std::size_t i = 0; i < z.n_out; ++i) {
+      dot = q.add(dot, q.mul(a[i], zz[i]));
+    }
+    u64 b = q.sub(payload[l] % q.value(), dot);
+    b = q.add(b, q.from_signed(noise));
+    ct.b[l] = b;
+  }
+  return ct;
+}
+
+}  // namespace
+
+LweSwitchKey make_lwe_switch_key(const RnsPoly& s_coeff, const LweSecret& z,
+                                 int log_base, Rng& rng) {
+  CHAM_CHECK(log_base >= 1 && log_base <= 30);
+  CHAM_CHECK_MSG(!s_coeff.is_ntt(), "ring secret must be in coefficient form");
+  const RnsBasePtr& base = z.base;
+  CHAM_CHECK_MSG(s_coeff.n() == base->n(),
+                 "ring secret dimension must match the base");
+  CHAM_CHECK(base->size() <= 8);
+
+  LweSwitchKey key;
+  key.base = base;
+  key.n_in = base->n();
+  key.n_out = z.n_out;
+  key.log_base = log_base;
+  key.digits.resize(base->size());
+  key.slots_per_coeff = 0;
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    key.digits[l] =
+        (base->modulus(l).bit_count() + log_base - 1) / log_base;
+    key.slots_per_coeff += key.digits[l];
+  }
+
+  key.entries.reserve(key.n_in * key.slots_per_coeff);
+  std::vector<u64> payload(base->size());
+  for (std::size_t i = 0; i < key.n_in; ++i) {
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      const Modulus& ql = base->modulus(l);
+      // s_i as the residue on limb l (the CRT gadget g_l zeroes the other
+      // limbs).
+      const u64 s_il = s_coeff.limb(l)[i];
+      u64 bpow = 1 % ql.value();
+      for (int j = 0; j < key.digits[l]; ++j) {
+        std::fill(payload.begin(), payload.end(), 0);
+        payload[l] = ql.mul(s_il, bpow);
+        key.entries.push_back(encrypt_payload(payload, z, rng));
+        bpow = ql.mul(bpow, (1ULL << log_base) % ql.value());
+      }
+    }
+  }
+  return key;
+}
+
+LweCiphertext keyswitch_lwe(const LweCiphertext& x, const LweSwitchKey& key) {
+  CHAM_CHECK_MSG(x.base == key.base, "ciphertext/key base mismatch");
+  CHAM_CHECK(x.n() == key.n_in);
+  const RnsBasePtr& base = key.base;
+  const u64 mask = (1ULL << key.log_base) - 1;
+
+  LweCiphertext out;
+  out.base = base;
+  out.b = x.b;
+  out.a = RnsPoly(base, false);
+
+  for (std::size_t i = 0; i < key.n_in; ++i) {
+    std::size_t slot = 0;
+    for (std::size_t l = 0; l < base->size(); ++l) {
+      u64 v = x.a.limb(l)[i];
+      for (int j = 0; j < key.digits[l]; ++j, ++slot) {
+        const u64 d = v & mask;
+        v >>= key.log_base;
+        if (d == 0) continue;
+        const LweCiphertext& entry = key.at(i, slot);
+        for (std::size_t lp = 0; lp < base->size(); ++lp) {
+          const Modulus& q = base->modulus(lp);
+          const u64 dl = d % q.value();
+          out.b[lp] = q.add(out.b[lp], q.mul(entry.b[lp], dl));
+          const u64* ea = entry.a.limb(lp);
+          u64* oa = out.a.limb(lp);
+          for (std::size_t k2 = 0; k2 < key.n_out; ++k2) {
+            oa[k2] = q.add(oa[k2], q.mul(ea[k2], dl));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+u64 decrypt_lwe_with(const LweCiphertext& x, const LweSecret& z, u64 t) {
+  CHAM_CHECK(x.base == z.base);
+  const RnsBasePtr& base = x.base;
+  std::vector<u64> phase(base->size());
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    const Modulus& q = base->modulus(l);
+    u64 acc = x.b[l];
+    const u64* a = x.a.limb(l);
+    const u64* zz = z.z.limb(l);
+    for (std::size_t i = 0; i < z.n_out; ++i) {
+      acc = q.add(acc, q.mul(a[i], zz[i]));
+    }
+    phase[l] = acc;
+  }
+  const u128 big_q = base->total_modulus();
+  const u128 v = base->compose(phase.data());
+  const u128 num = static_cast<u128>(t) * v + big_q / 2;
+  return static_cast<u64>((num / big_q) % t);
+}
+
+}  // namespace cham

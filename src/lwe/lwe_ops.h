@@ -1,0 +1,68 @@
+// Additional LWE-side conversions (the flexibility CHAM's Sec. IV-B PPUs
+// provide: MODSWITCH, plus LWE-to-LWE key-switching à la Chen et al.).
+//
+//  * modswitch_lwe — divide-and-round an LWE ciphertext by the last RNS
+//    limb (e.g. base_q -> {q0}), the cheap noise-for-modulus trade used
+//    when handing ciphertexts to small-modulus backends (TFHE-style).
+//  * LweSwitchKey / keyswitch_lwe — re-encrypt an LWE ciphertext from the
+//    ring secret (dimension N) to an independent LWE secret of dimension
+//    n_out, with base-B digit decomposition. This is the "conversion
+//    between ciphertext types" building block of the hybrid-scheme
+//    algorithms the paper targets.
+#pragma once
+
+#include "bfv/keys.h"
+#include "common/random.h"
+#include "lwe/lwe.h"
+
+namespace cham {
+
+// Linear ops on LWE ciphertexts (same base).
+LweCiphertext lwe_add(const LweCiphertext& x, const LweCiphertext& y);
+LweCiphertext lwe_sub(const LweCiphertext& x, const LweCiphertext& y);
+// Multiply by a small scalar c (mod t message semantics).
+LweCiphertext lwe_mul_scalar(const LweCiphertext& x, u64 c);
+
+// Divide-and-round by the base's last prime (Table I MODSWITCH).
+LweCiphertext modswitch_lwe(const LweCiphertext& x, RnsBasePtr target);
+
+// Key material for dimension/key switching of LWE ciphertexts.
+struct LweSwitchKey {
+  RnsBasePtr base;             // ciphertext base (shared with inputs)
+  std::size_t n_in = 0;        // source dimension (ring N)
+  std::size_t n_out = 0;       // target dimension
+  int log_base = 0;            // digit width B = 2^log_base
+  std::vector<int> digits;     // digits per limb: ceil(bits(q_l)/log_base)
+  // key[i][l][j]: LWE_z(s_i * B^j mod q_l lifted via CRT), dimension n_out.
+  // Stored flat: index = (i * total_digit_slots) + slot.
+  std::vector<LweCiphertext> entries;
+  std::size_t slots_per_coeff = 0;
+
+  const LweCiphertext& at(std::size_t i, std::size_t slot) const {
+    return entries[i * slots_per_coeff + slot];
+  }
+};
+
+// Target secret: an independent ternary vector of dimension n_out,
+// represented over the same base (first n_out coefficients used).
+struct LweSecret {
+  RnsBasePtr base;
+  std::size_t n_out = 0;
+  RnsPoly z;  // coefficient form, dimension base->n() with zeros past n_out
+};
+
+LweSecret make_lwe_secret(RnsBasePtr base, std::size_t n_out, Rng& rng);
+
+// Generate the switch key from ring secret s (coefficient form over a base
+// whose first limbs match `base`) to z.
+LweSwitchKey make_lwe_switch_key(const RnsPoly& s_coeff,
+                                 const LweSecret& z, int log_base, Rng& rng);
+
+// Switch an LWE ciphertext (dimension N, secret s) to dimension n_out
+// (secret z). Output a-vector occupies the first n_out positions.
+LweCiphertext keyswitch_lwe(const LweCiphertext& x, const LweSwitchKey& key);
+
+// Decrypt with an LweSecret (any dimension).
+u64 decrypt_lwe_with(const LweCiphertext& x, const LweSecret& z, u64 t);
+
+}  // namespace cham

@@ -1,0 +1,54 @@
+#include "lwe/pack.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
+                         const Ciphertext& ct_even, const Ciphertext& ct_odd,
+                         const GaloisKeys& gk) {
+  const std::size_t n = ct_even.n();
+  CHAM_CHECK(level_log >= 1 &&
+             (std::size_t{1} << level_log) <= n);
+  const std::size_t mono = n >> level_log;  // X^{N/2^l}
+  const u64 k = (1ULL << level_log) + 1;
+
+  Ciphertext ct_mono = eval.multiply_monomial(ct_odd, mono);
+  Ciphertext ct_plus = eval.add(ct_even, ct_mono);
+  Ciphertext ct_minus = eval.sub(ct_even, ct_mono);
+  Ciphertext ct_auto = eval.apply_galois(ct_minus, k, gk);
+  eval.add_inplace(ct_plus, ct_auto);
+  return ct_plus;
+}
+
+namespace {
+
+// Recursive Alg. 3 over a strided view: packs lwes[offset + i*stride] for
+// i in [0, count).
+Ciphertext pack_recursive(const Evaluator& eval,
+                          const std::vector<LweCiphertext>& lwes,
+                          std::size_t offset, std::size_t stride,
+                          std::size_t count, const GaloisKeys& gk) {
+  if (count == 1) return lwe_to_rlwe(lwes[offset]);
+  const std::size_t half = count / 2;
+  Ciphertext even =
+      pack_recursive(eval, lwes, offset, stride * 2, half, gk);
+  Ciphertext odd =
+      pack_recursive(eval, lwes, offset + stride, stride * 2, half, gk);
+  return pack_two_lwes(eval, log2_exact(count), even, odd, gk);
+}
+
+}  // namespace
+
+Ciphertext pack_lwes(const Evaluator& eval,
+                     const std::vector<LweCiphertext>& lwes,
+                     const GaloisKeys& gk) {
+  CHAM_CHECK_MSG(!lwes.empty(), "nothing to pack");
+  CHAM_CHECK_MSG(is_power_of_two(lwes.size()),
+                 "pack_lwes needs a power-of-two count (pad with zero LWEs)");
+  CHAM_CHECK_MSG(lwes.size() <= lwes[0].n(),
+                 "cannot pack more LWEs than ring coefficients");
+  return pack_recursive(eval, lwes, 0, 1, lwes.size(), gk);
+}
+
+}  // namespace cham

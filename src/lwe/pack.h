@@ -1,0 +1,39 @@
+// LWE -> RLWE packing (paper Algs. 2 & 3, after Chen et al.).
+//
+// pack_lwes combines 2^K LWE ciphertexts into one RLWE ciphertext whose
+// plaintext holds 2^K · m_i at coefficient i · (N / 2^K). The 2^K factor
+// is inherent to the trace-style doubling; callers fold (2^K)^{-1} mod t
+// into their plaintext encoding (see hmvp/).
+//
+// Each merge level l (producing packs of 2^l) multiplies the odd pack by
+// the monomial X^{N/2^l} and applies the automorphism X -> X^{2^l + 1}:
+// with stride s = N/2^l, the element k = 2^l+1 satisfies k·s ≡ s + N
+// (mod 2N), so the automorphism fixes even multiples of s and negates odd
+// ones — giving the even/odd cancellation of the reduction tree. (The
+// paper's Alg. 2 prints the exponent as "2l+1"; 2^l + 1 is the element
+// that makes the tree correct, and our tests verify the round trip.)
+#pragma once
+
+#include <vector>
+
+#include "bfv/evaluator.h"
+#include "lwe/lwe.h"
+
+namespace cham {
+
+// Alg. 2. `level_log` = l: inputs are packs of 2^{l-1} LWEs each; output
+// packs 2^l. Requires gk.has(2^l + 1).
+Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
+                         const Ciphertext& ct_even, const Ciphertext& ct_odd,
+                         const GaloisKeys& gk);
+
+// Alg. 3. lwes.size() must be a power of two <= N. Returns the packed
+// RLWE ciphertext (base_q, coefficient domain).
+Ciphertext pack_lwes(const Evaluator& eval,
+                     const std::vector<LweCiphertext>& lwes,
+                     const GaloisKeys& gk);
+
+// Statistics of the last pack_lwes call are intentionally not kept here;
+// the accelerator model (src/sim) accounts for the reduction tree itself.
+
+}  // namespace cham

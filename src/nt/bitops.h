@@ -1,0 +1,50 @@
+// Bit-manipulation helpers shared by the NTT engines and samplers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace cham {
+
+constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// floor(log2(v)); v must be nonzero.
+constexpr int log2_floor(std::uint64_t v) {
+  int r = -1;
+  while (v != 0) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+// log2 of a power of two.
+inline int log2_exact(std::uint64_t v) {
+  CHAM_DCHECK(is_power_of_two(v));
+  return log2_floor(v);
+}
+
+// Reverse the low `bits` bits of v.
+constexpr std::uint32_t bit_reverse(std::uint32_t v, int bits) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+// Number of set bits.
+constexpr int popcount_u64(std::uint64_t v) {
+  int c = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace cham

@@ -1,0 +1,119 @@
+#include "nt/cg_ntt.h"
+
+#include "nt/bitops.h"
+#include "nt/prime.h"
+
+namespace cham {
+
+CgNtt::CgNtt(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+  CHAM_CHECK_MSG(is_power_of_two(n) && n >= 2, "ring dimension must be 2^k");
+  CHAM_CHECK_MSG((q.value() - 1) % (2 * n) == 0,
+                 "modulus must be ≡ 1 (mod 2n)");
+  log_n_ = log2_exact(n);
+  psi_ = primitive_root_of_unity(q, 2 * n);
+  n_inv_ = make_shoup(q.inv(static_cast<u64>(n % q.value())), q);
+
+  // Subproblem-tree exponents. The root factors X^N + 1 = X^N - psi^N.
+  // A node X^{2^k} - psi^E splits with twiddle psi^{E/2} into children
+  // with exponents E/2 ("-" branch) and E/2 + N ("+" branch, since
+  // -psi^{E/2} = psi^{E/2+N}). At stage s, butterfly j belongs to the
+  // subproblem whose branch bits are the low s bits of j, most recent
+  // branch in bit 0.
+  twiddles_.resize(log_n_);
+  inv_twiddles_.resize(log_n_);
+  for (int s = 0; s < log_n_; ++s) {
+    const std::size_t groups = std::size_t{1} << s;
+    twiddles_[s].resize(groups);
+    inv_twiddles_[s].resize(groups);
+    for (std::size_t u = 0; u < groups; ++u) {
+      u64 e = static_cast<u64>(n_);
+      for (int i = 0; i < s; ++i) {
+        const u64 branch = (u >> (s - 1 - i)) & 1;
+        e = e / 2 + branch * static_cast<u64>(n_);
+      }
+      const u64 w = q.pow(psi_, e / 2);
+      twiddles_[s][u] = make_shoup(w, q);
+      inv_twiddles_[s][u] = make_shoup(q.inv(w), q);
+    }
+  }
+}
+
+void CgNtt::forward(std::vector<u64>& a) const {
+  CHAM_CHECK(a.size() == n_);
+  const u64 q = q_.value();
+  std::vector<u64> ping(a), pong(n_);
+  u64* src = ping.data();
+  u64* dst = pong.data();
+  const std::size_t half = n_ / 2;
+  for (int s = 0; s < log_n_; ++s) {
+    const std::size_t mask = (std::size_t{1} << s) - 1;
+    for (std::size_t j = 0; j < half; ++j) {
+      const ShoupMul& w = twiddles_[s][j & mask];
+      const u64 x = src[j];
+      const u64 y = mul_shoup(src[j + half], w, q);
+      u64 sum = x + y;
+      dst[2 * j] = sum >= q ? sum - q : sum;
+      dst[2 * j + 1] = x >= y ? x - y : x + q - y;
+    }
+    std::swap(src, dst);
+  }
+  // After the last swap `src` points at the result buffer.
+  std::copy(src, src + n_, a.begin());
+}
+
+void CgNtt::inverse(std::vector<u64>& a) const {
+  CHAM_CHECK(a.size() == n_);
+  const u64 q = q_.value();
+  std::vector<u64> ping(a), pong(n_);
+  u64* src = ping.data();
+  u64* dst = pong.data();
+  const std::size_t half = n_ / 2;
+  for (int s = log_n_ - 1; s >= 0; --s) {
+    const std::size_t mask = (std::size_t{1} << s) - 1;
+    for (std::size_t j = 0; j < half; ++j) {
+      const ShoupMul& winv = inv_twiddles_[s][j & mask];
+      const u64 u = src[2 * j];
+      const u64 v = src[2 * j + 1];
+      u64 sum = u + v;
+      dst[j] = sum >= q ? sum - q : sum;
+      dst[j + half] = mul_shoup(u >= v ? u - v : u + q - v, winv, q);
+    }
+    std::swap(src, dst);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    a[i] = mul_shoup(src[i], n_inv_, q);
+  }
+}
+
+std::uint64_t CgNtt::cycles(std::size_t n, int n_bf) {
+  CHAM_CHECK(is_power_of_two(n) && n_bf >= 1);
+  return (static_cast<std::uint64_t>(n) / 2 *
+          static_cast<std::uint64_t>(log2_exact(n))) /
+         static_cast<std::uint64_t>(n_bf);
+}
+
+std::vector<CgNtt::BankBeat> CgNtt::stage_read_schedule(std::size_t n,
+                                                        int banks) {
+  CHAM_CHECK(is_power_of_two(n) && banks >= 2 &&
+             is_power_of_two(static_cast<u64>(banks)));
+  // Up-and-down order: [0..B-1], [N/2..N/2+B-1], [B..2B-1], ... Every beat
+  // reads `banks` consecutive coefficients, which land in distinct banks
+  // because coefficients are striped round-robin.
+  std::vector<BankBeat> beats;
+  const std::size_t half = n / 2;
+  const std::size_t b = static_cast<std::size_t>(banks);
+  for (std::size_t base = 0; base < half; base += b) {
+    for (std::size_t start : {base, base + half}) {
+      BankBeat beat;
+      for (std::size_t k = 0; k < b; ++k) {
+        const std::size_t idx = start + k;
+        beat.reads.emplace_back(static_cast<int>(idx % b),
+                                static_cast<std::uint64_t>(idx / b));
+      }
+      beats.push_back(std::move(beat));
+    }
+  }
+  return beats;
+}
+
+}  // namespace cham

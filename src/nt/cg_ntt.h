@@ -1,0 +1,69 @@
+// Constant-geometry (Pease) negacyclic NTT — the dataflow CHAM implements
+// in hardware (paper Alg. 4, Figs. 3–4).
+//
+// Every stage applies the same fixed wiring: butterfly j reads positions
+// (j, j + N/2) of the source buffer and writes positions (2j, 2j+1) of the
+// destination buffer ("ping-pong" RAMs). The forward transform emits
+// bit-reversed order; the inverse runs the mirrored network. Twiddle
+// factors are organised exactly as in Fig. 4: stage s uses 2^s distinct
+// factors, N-1 in total, so each butterfly unit can stream its factors
+// from a private ROM bank.
+//
+// Functional results are bit-exact with nt/ntt.h up to output order (both
+// use the same bit-reversed convention, so they agree exactly; tests
+// assert this). The class also exposes the hardware cost/bank-access
+// model used by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nt/modulus.h"
+
+namespace cham {
+
+class CgNtt {
+ public:
+  CgNtt(std::size_t n, const Modulus& q);
+
+  std::size_t n() const { return n_; }
+  const Modulus& modulus() const { return q_; }
+
+  // Out-of-place style transform over an internal ping-pong buffer; `a` is
+  // read and overwritten with the result (bit-reversed order).
+  void forward(std::vector<u64>& a) const;
+  // Inverse: bit-reversed in, normal order out (scaled by 1/n).
+  void inverse(std::vector<u64>& a) const;
+
+  // --- hardware model ---------------------------------------------------
+
+  // Clock cycles for one transform with n_bf butterfly units:
+  // (N/2 * log2 N) / n_bf  (paper Table III: N=4096, n_bf=4 -> 6144).
+  static std::uint64_t cycles(std::size_t n, int n_bf);
+
+  // One read beat of the up-and-down schedule: which (bank, address) pairs
+  // are touched. With 2*n_bf banks the schedule is conflict-free: each
+  // beat touches every bank exactly once. Used by simulator tests.
+  struct BankBeat {
+    std::vector<std::pair<int, std::uint64_t>> reads;  // (bank, address)
+  };
+  // Beats of one stage for a polynomial striped round-robin over
+  // `banks` RAM banks (coefficient i lives in bank i % banks at address
+  // i / banks). Reads follow the paper's up-and-down order.
+  static std::vector<BankBeat> stage_read_schedule(std::size_t n, int banks);
+
+ private:
+  u64 twiddle_exponent(int stage, std::size_t j) const;
+
+  std::size_t n_;
+  int log_n_;
+  Modulus q_;
+  u64 psi_;
+  ShoupMul n_inv_;
+  // twiddles_[s][u]: stage-s factor for branch id u = j & (2^s - 1);
+  // inv_twiddles_ holds the inverses for the mirrored network.
+  std::vector<std::vector<ShoupMul>> twiddles_;
+  std::vector<std::vector<ShoupMul>> inv_twiddles_;
+};
+
+}  // namespace cham

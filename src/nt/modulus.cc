@@ -1,0 +1,124 @@
+#include "nt/modulus.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+Modulus::Modulus(u64 value) : value_(value) {
+  CHAM_CHECK_MSG(value >= 2, "modulus must be >= 2");
+  CHAM_CHECK_MSG(value < (1ULL << 62), "modulus must be < 2^62");
+  bits_ = log2_floor(value) + 1;
+
+  // floor(2^128 / q) = floor((2^128 - 1) / q) unless q | 2^128, which is
+  // impossible for odd q > 1; for even q it could differ by one, handled
+  // by checking the remainder.
+  u128 all_ones = ~static_cast<u128>(0);
+  barrett_ratio_ = all_ones / value_;
+  if (all_ones % value_ == static_cast<u128>(value_ - 1)) {
+    barrett_ratio_ += 1;
+  }
+
+  // Detect q = 2^a + 2^b + 1 with a > b >= 1.
+  if (popcount_u64(value_) == 3 && (value_ & 1) != 0) {
+    u64 rest = value_ - 1;
+    int b = log2_floor(rest & (~rest + 1));
+    int a = log2_floor(rest);
+    if ((1ULL << a) + (1ULL << b) + 1 == value_ && a > b && b >= 1) {
+      low_hamming_ = true;
+      exp_a_ = a;
+      exp_b_ = b;
+    }
+  }
+}
+
+u64 Modulus::reduce128(u128 z) const {
+  // q_hat = floor(z * ratio / 2^128), computed from 64-bit words.
+  u64 zlo = static_cast<u64>(z);
+  u64 zhi = static_cast<u64>(z >> 64);
+  u64 rlo = static_cast<u64>(barrett_ratio_);
+  u64 rhi = static_cast<u64>(barrett_ratio_ >> 64);
+
+  // (zhi*2^64 + zlo) * (rhi*2^64 + rlo) >> 128
+  u128 lolo = static_cast<u128>(zlo) * rlo;
+  u128 lohi = static_cast<u128>(zlo) * rhi;
+  u128 hilo = static_cast<u128>(zhi) * rlo;
+  u128 hihi = static_cast<u128>(zhi) * rhi;
+
+  u128 mid = (lolo >> 64) + static_cast<u64>(lohi) + static_cast<u64>(hilo);
+  u128 q_hat = hihi + (lohi >> 64) + (hilo >> 64) + (mid >> 64);
+
+  u64 r = static_cast<u64>(z - q_hat * value_);
+  while (r >= value_) r -= value_;
+  return r;
+}
+
+u64 Modulus::reduce128_shift_add(u128 z) const {
+  CHAM_CHECK_MSG(low_hamming_, "shift-add reduction needs q = 2^a+2^b+1");
+  // 2^a = -(2^b + 1) (mod q). Repeatedly fold the high part
+  // hi = floor(z / 2^a):  z  ->  lo - (hi << b) - hi.
+  // Each fold shrinks the magnitude by a factor of ~2^(a-b); a signed
+  // accumulator tracks the (possibly negative) intermediate value.
+  const int a = exp_a_;
+  const int b = exp_b_;
+  const u128 mask = (static_cast<u128>(1) << a) - 1;
+
+  bool neg = false;
+  // Work on the magnitude; track the sign separately so shifts are on
+  // unsigned values.
+  u128 mag = z;
+  while (mag >> a) {
+    u128 hi = mag >> a;
+    u128 lo = mag & mask;
+    u128 fold = (hi << b) + hi;
+    if (!neg) {
+      if (fold > lo) {
+        mag = fold - lo;
+        neg = true;
+      } else {
+        mag = lo - fold;
+      }
+    } else {
+      // value = -(mag); -(hi*2^a + lo) == -(lo) + fold (mod q)
+      if (fold >= lo) {
+        mag = fold - lo;
+        neg = false;
+      } else {
+        mag = lo - fold;
+      }
+    }
+  }
+  u64 r = static_cast<u64>(mag % value_);
+  if (neg && r != 0) r = value_ - r;
+  return r;
+}
+
+u64 Modulus::pow(u64 base, u64 exponent) const {
+  base = base >= value_ ? base % value_ : base;
+  u64 result = 1;
+  while (exponent != 0) {
+    if (exponent & 1) result = mul(result, base);
+    base = mul(base, base);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+u64 Modulus::inv(u64 x) const {
+  CHAM_CHECK_MSG(x != 0, "cannot invert zero");
+  // Extended Euclid on (q, x).
+  std::int64_t t0 = 0, t1 = 1;
+  u64 r0 = value_, r1 = x % value_;
+  while (r1 != 0) {
+    u64 qt = r0 / r1;
+    u64 r2 = r0 - qt * r1;
+    std::int64_t t2 = t0 - static_cast<std::int64_t>(qt) * t1;
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t1 = t2;
+  }
+  CHAM_CHECK_MSG(r0 == 1, "element is not a unit");
+  return from_signed(t0);
+}
+
+}  // namespace cham

@@ -1,0 +1,122 @@
+// 64-bit modular arithmetic.
+//
+// Three reduction strategies coexist, mirroring the paper:
+//  * Barrett reduction (generic software path; precomputed floor(2^128/q)).
+//  * Shoup multiplication (precomputed per-constant quotient; used in NTT
+//    butterflies where one operand is a fixed twiddle factor).
+//  * Shift-add reduction for low-Hamming-weight moduli of the form
+//    q = 2^a + 2^b + 1 — the trick CHAM's hardware uses so a modular
+//    multiply costs "three shifts and additions" instead of DSP-heavy
+//    generic reduction (paper Sec. IV-A3). Software keeps Barrett as the
+//    fast path; shift-add is validated against it and drives the
+//    hardware resource model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace cham {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+// An odd prime modulus q < 2^62 with precomputed Barrett constants.
+class Modulus {
+ public:
+  Modulus() = default;
+  explicit Modulus(u64 value);
+
+  u64 value() const { return value_; }
+  int bit_count() const { return bits_; }
+
+  // True if q = 2^a + 2^b + 1 (the paper's hardware-friendly form).
+  bool is_low_hamming() const { return low_hamming_; }
+  int exp_a() const { return exp_a_; }
+  int exp_b() const { return exp_b_; }
+
+  // --- element ops (operands must already be < q) ---
+  u64 add(u64 x, u64 y) const {
+    CHAM_DCHECK(x < value_ && y < value_);
+    u64 s = x + y;
+    return s >= value_ ? s - value_ : s;
+  }
+  u64 sub(u64 x, u64 y) const {
+    CHAM_DCHECK(x < value_ && y < value_);
+    return x >= y ? x - y : x + value_ - y;
+  }
+  u64 negate(u64 x) const {
+    CHAM_DCHECK(x < value_);
+    return x == 0 ? 0 : value_ - x;
+  }
+
+  // Barrett reduction of a full 128-bit value.
+  u64 reduce128(u128 z) const;
+  // Reduce an arbitrary 64-bit value (may be >= q).
+  u64 reduce(u64 z) const { return reduce128(z); }
+
+  u64 mul(u64 x, u64 y) const {
+    CHAM_DCHECK(x < value_ && y < value_);
+    return reduce128(static_cast<u128>(x) * y);
+  }
+
+  // Shift-add reduction (only valid for low-Hamming moduli); functionally
+  // identical to reduce128, used to model / validate the hardware path.
+  u64 reduce128_shift_add(u128 z) const;
+
+  u64 pow(u64 base, u64 exponent) const;
+  // Multiplicative inverse; x must be a unit mod q.
+  u64 inv(u64 x) const;
+
+  // Centered representative in (-q/2, q/2].
+  std::int64_t to_centered(u64 x) const {
+    CHAM_DCHECK(x < value_);
+    return x > value_ / 2 ? static_cast<std::int64_t>(x) -
+                                static_cast<std::int64_t>(value_)
+                          : static_cast<std::int64_t>(x);
+  }
+  // Map a signed value into [0, q).
+  u64 from_signed(std::int64_t v) const {
+    std::int64_t r = v % static_cast<std::int64_t>(value_);
+    if (r < 0) r += static_cast<std::int64_t>(value_);
+    return static_cast<u64>(r);
+  }
+
+  friend bool operator==(const Modulus& a, const Modulus& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  u64 value_ = 0;
+  u128 barrett_ratio_ = 0;  // floor(2^128 / q)
+  int bits_ = 0;
+  bool low_hamming_ = false;
+  int exp_a_ = 0;
+  int exp_b_ = 0;
+};
+
+// Precomputed Shoup pair for multiplying by a fixed constant w mod q:
+// quotient = floor(w * 2^64 / q). mul_shoup does one high-half multiply,
+// one low multiply, one subtraction and one conditional correction —
+// exactly the structure CHAM's butterfly units implement.
+struct ShoupMul {
+  u64 operand = 0;   // w
+  u64 quotient = 0;  // floor(w << 64 / q)
+};
+
+inline ShoupMul make_shoup(u64 operand, const Modulus& q) {
+  CHAM_DCHECK(operand < q.value());
+  return ShoupMul{operand,
+                  static_cast<u64>((static_cast<u128>(operand) << 64) /
+                                   q.value())};
+}
+
+// x * w mod q with precomputed Shoup quotient. Requires q < 2^63.
+inline u64 mul_shoup(u64 x, const ShoupMul& w, u64 q) {
+  u64 hi = static_cast<u64>((static_cast<u128>(x) * w.quotient) >> 64);
+  u64 r = x * w.operand - hi * q;
+  return r >= q ? r - q : r;
+}
+
+}  // namespace cham

@@ -1,0 +1,106 @@
+#include "nt/ntt.h"
+
+#include <map>
+#include <mutex>
+
+#include "nt/bitops.h"
+#include "nt/prime.h"
+
+namespace cham {
+
+NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+  CHAM_CHECK_MSG(is_power_of_two(n) && n >= 2, "ring dimension must be 2^k");
+  CHAM_CHECK_MSG((q.value() - 1) % (2 * n) == 0,
+                 "modulus must be ≡ 1 (mod 2n) for the negacyclic NTT");
+  log_n_ = log2_exact(n);
+  psi_ = primitive_root_of_unity(q, 2 * n);
+  psi_inv_ = q.inv(psi_);
+  n_inv_ = make_shoup(q.inv(static_cast<u64>(n % q.value())), q);
+
+  root_powers_.resize(n);
+  inv_root_powers_.resize(n);
+  u64 fwd = 1, inv = 1;
+  std::vector<u64> fwd_pow(n), inv_pow(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd_pow[i] = fwd;
+    inv_pow[i] = inv;
+    fwd = q.mul(fwd, psi_);
+    inv = q.mul(inv, psi_inv_);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r =
+        bit_reverse(static_cast<std::uint32_t>(i), log_n_);
+    root_powers_[i] = make_shoup(fwd_pow[r], q);
+    inv_root_powers_[i] = make_shoup(inv_pow[r], q);
+  }
+}
+
+void NttTables::forward(u64* a) const {
+  const u64 q = q_.value();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const ShoupMul& w = root_powers_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = mul_shoup(a[j + t], w, q);
+        u64 s = u + v;
+        a[j] = s >= q ? s - q : s;
+        a[j + t] = u >= v ? u - v : u + q - v;
+      }
+    }
+  }
+}
+
+void NttTables::inverse(u64* a) const {
+  const u64 q = q_.value();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const ShoupMul& w = inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + t];
+        u64 s = u + v;
+        a[j] = s >= q ? s - q : s;
+        a[j + t] = mul_shoup(u >= v ? u - v : u + q - v, w, q);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    a[j] = mul_shoup(a[j], n_inv_, q);
+  }
+}
+
+void pointwise_multiply(const u64* a, const u64* b, u64* c, std::size_t n,
+                        const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = q.mul(a[i], b[i]);
+}
+
+void pointwise_multiply_accumulate(const u64* a, const u64* b, u64* c,
+                                   std::size_t n, const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = q.add(c[i], q.mul(a[i], b[i]));
+}
+
+std::shared_ptr<const NttTables> get_ntt_tables(std::size_t n,
+                                                const Modulus& q) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, u64>,
+                  std::shared_ptr<const NttTables>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(n, q.value());
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto tables = std::make_shared<const NttTables>(n, q);
+  cache.emplace(key, tables);
+  return tables;
+}
+
+}  // namespace cham

@@ -1,0 +1,60 @@
+// Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+//
+// This is the library's fast software path: an in-place radix-2 transform
+// (Cooley–Tukey forward producing bit-reversed order, Gentleman–Sande
+// inverse consuming it) with Shoup-precomputed twiddles. The paper's
+// constant-geometry hardware dataflow lives in nt/cg_ntt.h and is verified
+// against this implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nt/modulus.h"
+
+namespace cham {
+
+class NttTables {
+ public:
+  // n must be a power of two and q ≡ 1 (mod 2n).
+  NttTables(std::size_t n, const Modulus& q);
+
+  std::size_t n() const { return n_; }
+  int log_n() const { return log_n_; }
+  const Modulus& modulus() const { return q_; }
+  u64 psi() const { return psi_; }
+
+  // In-place forward NTT: normal coefficient order in, bit-reversed out.
+  void forward(u64* a) const;
+  // In-place inverse NTT: bit-reversed in, normal order out (scaled by 1/n).
+  void inverse(u64* a) const;
+
+  void forward(std::vector<u64>& a) const { forward(a.data()); }
+  void inverse(std::vector<u64>& a) const { inverse(a.data()); }
+
+ private:
+  std::size_t n_;
+  int log_n_;
+  Modulus q_;
+  u64 psi_;      // primitive 2n-th root of unity
+  u64 psi_inv_;  // psi^{-1}
+  ShoupMul n_inv_;
+  // root_powers_[i] = psi^{bitrev(i, log n)}, inv_root_powers_[i] =
+  // psi^{-bitrev(i, log n)}; both as Shoup pairs.
+  std::vector<ShoupMul> root_powers_;
+  std::vector<ShoupMul> inv_root_powers_;
+};
+
+// Coefficient-wise c = a ∘ b (all length n, values < q).
+void pointwise_multiply(const u64* a, const u64* b, u64* c, std::size_t n,
+                        const Modulus& q);
+// c += a ∘ b
+void pointwise_multiply_accumulate(const u64* a, const u64* b, u64* c,
+                                   std::size_t n, const Modulus& q);
+
+// Shared cache of NTT tables keyed by (n, q). Contexts hold shared_ptrs.
+std::shared_ptr<const NttTables> get_ntt_tables(std::size_t n,
+                                                const Modulus& q);
+
+}  // namespace cham

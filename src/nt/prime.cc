@@ -1,0 +1,116 @@
+#include "nt/prime.h"
+
+#include <array>
+
+namespace cham {
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    u64 x = 1;
+    {
+      // pow a^d mod n using 128-bit products (n < 2^64).
+      u64 base = a % n;
+      u64 e = d;
+      while (e != 0) {
+        if (e & 1) x = static_cast<u64>(static_cast<u128>(x) * base % n);
+        base = static_cast<u64>(static_cast<u128>(base) * base % n);
+        e >>= 1;
+      }
+    }
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = static_cast<u64>(static_cast<u128>(x) * x % n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 next_prime_congruent_one(u64 start, u64 m) {
+  CHAM_CHECK(m >= 1);
+  u64 p = start + ((start % m == 1) ? 0 : (m + 1 - (start % m)) % m);
+  if (p < start) p += m;
+  while (p < (1ULL << 62)) {
+    if (is_prime(p)) return p;
+    p += m;
+  }
+  CHAM_CHECK_MSG(false, "no NTT prime found below 2^62");
+  return 0;
+}
+
+std::vector<u64> generate_ntt_primes(int bits, u64 n, int count) {
+  CHAM_CHECK(bits >= 10 && bits <= 61);
+  CHAM_CHECK(count >= 1);
+  std::vector<u64> out;
+  u64 step = 2 * n;
+  u64 candidate = (1ULL << bits) + 1;
+  candidate -= (candidate - 1) % step;  // candidate ≡ 1 (mod 2n)
+  while (static_cast<int>(out.size()) < count) {
+    candidate -= step;
+    CHAM_CHECK_MSG(candidate > (1ULL << (bits - 1)),
+                   "ran out of primes of requested size");
+    if (is_prime(candidate)) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<u64> prime_factors(u64 n) {
+  std::vector<u64> factors;
+  for (u64 d = 2; d * d <= n; d += (d == 2 ? 1 : 2)) {
+    if (n % d == 0) {
+      factors.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+u64 find_generator(const Modulus& q) {
+  const u64 order = q.value() - 1;
+  const auto factors = prime_factors(order);
+  for (u64 g = 2; g < q.value(); ++g) {
+    bool ok = true;
+    for (u64 f : factors) {
+      if (q.pow(g, order / f) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  CHAM_CHECK_MSG(false, "no generator found (modulus not prime?)");
+  return 0;
+}
+
+u64 primitive_root_of_unity(const Modulus& q, u64 m) {
+  CHAM_CHECK_MSG((q.value() - 1) % m == 0, "m must divide q-1");
+  const u64 g = find_generator(q);
+  const u64 w = q.pow(g, (q.value() - 1) / m);
+  CHAM_CHECK(q.pow(w, m) == 1);
+  if (m % 2 == 0) {
+    CHAM_CHECK(q.pow(w, m / 2) == q.value() - 1);
+  }
+  return w;
+}
+
+}  // namespace cham

@@ -1,0 +1,31 @@
+// Primality testing, NTT-prime generation, and root-of-unity search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nt/modulus.h"
+
+namespace cham {
+
+// Deterministic Miller–Rabin for 64-bit integers.
+bool is_prime(u64 n);
+
+// Smallest prime p >= start with p ≡ 1 (mod m). Throws if none below 2^62.
+u64 next_prime_congruent_one(u64 start, u64 m);
+
+// Generate `count` distinct NTT-friendly primes of roughly `bits` bits for
+// ring dimension n (i.e. p ≡ 1 mod 2n), descending from 2^bits.
+std::vector<u64> generate_ntt_primes(int bits, u64 n, int count);
+
+// Prime factors (without multiplicity) of n, by trial division. n < 2^62.
+std::vector<u64> prime_factors(u64 n);
+
+// A generator of the multiplicative group Z_q^* (q prime).
+u64 find_generator(const Modulus& q);
+
+// A primitive m-th root of unity mod q; requires m | q-1. The result w
+// satisfies w^m = 1 and w^(m/2) = -1 (for even m).
+u64 primitive_root_of_unity(const Modulus& q, u64 m);
+
+}  // namespace cham

@@ -1,0 +1,54 @@
+#include "paillier/paillier.h"
+
+namespace cham {
+
+PaillierKeyPair paillier_keygen(int modulus_bits, Rng& rng) {
+  CHAM_CHECK(modulus_bits >= 64);
+  const int half = modulus_bits / 2;
+  BigUInt p, q, n;
+  do {
+    p = BigUInt::random_prime(half, rng);
+    q = BigUInt::random_prime(modulus_bits - half, rng);
+    n = p * q;
+  } while (p == q || n.bit_length() < modulus_bits - 1);
+
+  PaillierKeyPair kp;
+  kp.pk.n = n;
+  kp.pk.n_squared = n * n;
+  kp.pk.mont_n2 = std::make_shared<Montgomery>(kp.pk.n_squared);
+  kp.sk.lambda = BigUInt::lcm(p - BigUInt(1), q - BigUInt(1));
+  // μ = (L(g^λ mod n²))^{-1} mod n with g = n+1:
+  // (1+n)^λ = 1 + λ·n (mod n²)  =>  L(...) = λ mod n.
+  kp.sk.mu = BigUInt::mod_inverse(kp.sk.lambda % n, n);
+  return kp;
+}
+
+BigUInt PaillierEncryptor::encrypt(const BigUInt& m, Rng& rng) const {
+  CHAM_CHECK_MSG(m < pk_.n, "plaintext must be below n");
+  // (1 + m*n) * r^n mod n²
+  BigUInt r;
+  do {
+    r = BigUInt::random_below(pk_.n, rng);
+  } while (r.is_zero());
+  const BigUInt rn = pk_.mont_n2->pow(r, pk_.n);
+  const BigUInt gm = (BigUInt(1) + m * pk_.n) % pk_.n_squared;
+  return (gm * rn) % pk_.n_squared;
+}
+
+BigUInt PaillierEncryptor::add(const BigUInt& c1, const BigUInt& c2) const {
+  return (c1 * c2) % pk_.n_squared;
+}
+
+BigUInt PaillierEncryptor::scalar_mul(const BigUInt& c,
+                                      const BigUInt& k) const {
+  return pk_.mont_n2->pow(c, k);
+}
+
+BigUInt PaillierDecryptor::decrypt(const BigUInt& c) const {
+  const BigUInt x = pk_.mont_n2->pow(c, sk_.lambda);
+  // L(x) = (x - 1) / n
+  const BigUInt l = (x - BigUInt(1)) / pk_.n;
+  return (l * sk_.mu) % pk_.n;
+}
+
+}  // namespace cham

@@ -1,0 +1,67 @@
+// Paillier additively-homomorphic cryptosystem — the baseline FATE uses
+// for HeteroLR before the paper swaps it for B/FV (Sec. V-B3).
+//
+// Standard scheme with the g = n+1 optimisation:
+//   Enc(m; r) = (1 + m·n) · r^n  mod n²
+//   Dec(c)    = L(c^λ mod n²) · μ mod n,  L(x) = (x-1)/n
+// Homomorphic addition = ciphertext product; plaintext scaling =
+// ciphertext exponentiation. A matrix-vector product therefore costs one
+// modular exponentiation per matrix entry — the cost profile the paper's
+// CPU baseline exhibits.
+#pragma once
+
+#include <memory>
+
+#include "bignum/biguint.h"
+
+namespace cham {
+
+struct PaillierPublicKey {
+  BigUInt n;
+  BigUInt n_squared;
+  std::shared_ptr<Montgomery> mont_n2;  // shared Montgomery ctx for n²
+};
+
+struct PaillierSecretKey {
+  BigUInt lambda;  // lcm(p-1, q-1)
+  BigUInt mu;      // (L(g^λ mod n²))^{-1} mod n
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pk;
+  PaillierSecretKey sk;
+};
+
+// Key generation with an n of ~`modulus_bits` bits.
+PaillierKeyPair paillier_keygen(int modulus_bits, Rng& rng);
+
+class PaillierEncryptor {
+ public:
+  explicit PaillierEncryptor(PaillierPublicKey pk) : pk_(std::move(pk)) {}
+
+  // m must be < n.
+  BigUInt encrypt(const BigUInt& m, Rng& rng) const;
+  // Additive homomorphism: Enc(m1 + m2).
+  BigUInt add(const BigUInt& c1, const BigUInt& c2) const;
+  // Enc(k · m).
+  BigUInt scalar_mul(const BigUInt& c, const BigUInt& k) const;
+
+  const PaillierPublicKey& pk() const { return pk_; }
+
+ private:
+  PaillierPublicKey pk_;
+};
+
+class PaillierDecryptor {
+ public:
+  PaillierDecryptor(PaillierPublicKey pk, PaillierSecretKey sk)
+      : pk_(std::move(pk)), sk_(std::move(sk)) {}
+
+  BigUInt decrypt(const BigUInt& c) const;
+
+ private:
+  PaillierPublicKey pk_;
+  PaillierSecretKey sk_;
+};
+
+}  // namespace cham

@@ -1,0 +1,90 @@
+#include "ring/poly_ops.h"
+
+#include <algorithm>
+
+namespace cham {
+
+void poly_add(const u64* a, const u64* b, u64* out, std::size_t n,
+              const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q.add(a[i], b[i]);
+}
+
+void poly_sub(const u64* a, const u64* b, u64* out, std::size_t n,
+              const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q.sub(a[i], b[i]);
+}
+
+void poly_negate(const u64* a, u64* out, std::size_t n, const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q.negate(a[i]);
+}
+
+void poly_mul_pointwise(const u64* a, const u64* b, u64* out, std::size_t n,
+                        const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q.mul(a[i], b[i]);
+}
+
+void poly_mul_pointwise_acc(const u64* a, const u64* b, u64* out,
+                            std::size_t n, const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = q.add(out[i], q.mul(a[i], b[i]));
+}
+
+void poly_mul_scalar(const u64* a, u64 c, u64* out, std::size_t n,
+                     const Modulus& q) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q.mul(a[i], c);
+}
+
+void poly_rev(const u64* a, u64* out, std::size_t n) {
+  if (a == out) {
+    std::reverse(out, out + n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[n - 1 - i];
+}
+
+void poly_shiftneg(const u64* a, u64* out, std::size_t n, std::size_t s,
+                   const Modulus& q) {
+  CHAM_CHECK(a != out);
+  CHAM_CHECK_MSG(s < 2 * n, "shift must be in [0, 2N)");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + s;          // X^i * X^s = X^j
+    const std::size_t wraps = j / n;      // each wrap over X^N negates
+    const std::size_t pos = j % n;
+    out[pos] = (wraps % 2 == 0) ? a[i] : q.negate(a[i]);
+  }
+}
+
+void poly_automorph(const u64* a, u64* out, std::size_t n, u64 k,
+                    const Modulus& q) {
+  CHAM_CHECK(a != out);
+  CHAM_CHECK_MSG(k % 2 == 1 && k < 2 * n,
+                 "automorphism index must be odd and < 2N");
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 j = (static_cast<u64>(i) * k) % (2 * n);
+    if (j < n) {
+      out[j] = a[i];
+    } else {
+      out[j - n] = q.negate(a[i]);
+    }
+  }
+}
+
+void poly_mul_negacyclic_schoolbook(const u64* a, const u64* b, u64* out,
+                                    std::size_t n, const Modulus& q) {
+  CHAM_CHECK(a != out && b != out);
+  std::fill(out, out + n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = q.mul(a[i], b[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        out[k] = q.add(out[k], prod);
+      } else {
+        out[k - n] = q.sub(out[k - n], prod);
+      }
+    }
+  }
+}
+
+}  // namespace cham

@@ -1,0 +1,51 @@
+// Span-based polynomial primitives over Z_q[X]/(X^N + 1) — the functions
+// CHAM's polynomial processing units implement (paper Table I): ModAdd,
+// ModMul, Rev, ShiftNeg, Automorph, plus negation and scalar multiply.
+// All operate coefficient-wise on length-n arrays with entries < q.
+#pragma once
+
+#include <cstdint>
+
+#include "nt/modulus.h"
+
+namespace cham {
+
+// out = a + b
+void poly_add(const u64* a, const u64* b, u64* out, std::size_t n,
+              const Modulus& q);
+// out = a - b
+void poly_sub(const u64* a, const u64* b, u64* out, std::size_t n,
+              const Modulus& q);
+// out = -a
+void poly_negate(const u64* a, u64* out, std::size_t n, const Modulus& q);
+// out = a ∘ b (coefficient-wise product; meaningful in NTT domain, and in
+// the coefficient domain it is the PPU's ModMul primitive)
+void poly_mul_pointwise(const u64* a, const u64* b, u64* out, std::size_t n,
+                        const Modulus& q);
+// out += a ∘ b
+void poly_mul_pointwise_acc(const u64* a, const u64* b, u64* out,
+                            std::size_t n, const Modulus& q);
+// out = c * a for scalar c < q
+void poly_mul_scalar(const u64* a, u64 c, u64* out, std::size_t n,
+                     const Modulus& q);
+
+// Rev (Table I): out = [a_{N-1}, ..., a_1, a_0]. Supports in-place.
+void poly_rev(const u64* a, u64* out, std::size_t n);
+
+// out = a(X) * X^s in the negacyclic ring, s in [0, 2N). Coefficients that
+// wrap past X^N pick up a sign (ShiftNeg in Table I). Does NOT support
+// aliasing of a and out.
+void poly_shiftneg(const u64* a, u64* out, std::size_t n, std::size_t s,
+                   const Modulus& q);
+
+// out = a(X^k) for odd k in [1, 2N) (Automorph in Table I):
+// a_i -> (-1)^{floor(ik/N)} a at index ik mod N. Does NOT support aliasing.
+void poly_automorph(const u64* a, u64* out, std::size_t n, u64 k,
+                    const Modulus& q);
+
+// Schoolbook negacyclic convolution out = a * b mod (X^N + 1); O(N^2)
+// reference used by tests to validate the NTT path.
+void poly_mul_negacyclic_schoolbook(const u64* a, const u64* b, u64* out,
+                                    std::size_t n, const Modulus& q);
+
+}  // namespace cham

@@ -1,0 +1,255 @@
+#include "ring/rns.h"
+
+#include <cmath>
+
+namespace cham {
+
+RnsBasePtr RnsBase::create(std::size_t n, const std::vector<u64>& primes) {
+  CHAM_CHECK_MSG(!primes.empty(), "RNS base needs at least one prime");
+  auto base = std::shared_ptr<RnsBase>(new RnsBase());
+  base->n_ = n;
+  double bits = 0;
+  for (u64 p : primes) {
+    Modulus m(p);
+    bits += std::log2(static_cast<double>(p));
+    base->moduli_.push_back(m);
+    base->ntt_.push_back(get_ntt_tables(n, m));
+  }
+  CHAM_CHECK_MSG(bits < 127.0, "total modulus must fit in 128 bits");
+  for (std::size_t i = 0; i + 1 < primes.size(); ++i) {
+    for (std::size_t j = i + 1; j < primes.size(); ++j) {
+      CHAM_CHECK_MSG(primes[i] != primes[j], "RNS primes must be distinct");
+    }
+  }
+
+  const std::size_t k = primes.size();
+  base->inv_.resize(k);
+  base->partial_.resize(k);
+  base->shift_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Modulus& qj = base->moduli_[j];
+    u64 prod = 1;  // Π_{l<j} q_l mod q_j
+    base->partial_[j].resize(j + 1);
+    base->partial_[j][0] = 1 % qj.value();
+    u128 shift = 1;
+    for (std::size_t l = 0; l < j; ++l) {
+      prod = qj.mul(prod, primes[l] % qj.value());
+      base->partial_[j][l + 1] = prod;
+      shift *= primes[l];
+    }
+    base->shift_[j] = shift;
+    base->inv_[j] = (j == 0) ? 1 : qj.inv(prod);
+    base->total_ *= primes[j];
+  }
+  return base;
+}
+
+double RnsBase::total_modulus_log2() const {
+  double bits = 0;
+  for (const auto& m : moduli_) bits += std::log2(static_cast<double>(m.value()));
+  return bits;
+}
+
+u128 RnsBase::compose(const u64* residues) const {
+  // Garner mixed-radix: x = y_0 + y_1 q_0 + y_2 q_0 q_1 + ...
+  const std::size_t k = moduli_.size();
+  u128 value = 0;
+  std::vector<u64> y(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Modulus& qj = moduli_[j];
+    // acc = (y_0 + y_1 P_1 + ... + y_{j-1} P_{j-1}) mod q_j
+    u64 acc = 0;
+    for (std::size_t l = 0; l < j; ++l) {
+      acc = qj.add(acc, qj.mul(y[l] % qj.value(), partial_[j][l]));
+    }
+    const u64 xj = residues[j] % qj.value();
+    y[j] = qj.mul(qj.sub(xj, acc), inv_[j]);
+    value += static_cast<u128>(y[j]) * shift_[j];
+  }
+  return value;
+}
+
+void RnsBase::decompose(u128 value, u64* residues_out) const {
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    residues_out[i] = static_cast<u64>(value % moduli_[i].value());
+  }
+}
+
+bool RnsBase::is_prefix_of(const RnsBase& other) const {
+  if (n_ != other.n_ || size() + 1 != other.size()) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (moduli_[i].value() != other.moduli_[i].value()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+RnsPoly::RnsPoly(RnsBasePtr base, bool ntt_form)
+    : base_(std::move(base)), ntt_form_(ntt_form) {
+  CHAM_CHECK(base_ != nullptr);
+  data_.assign(base_->size() * base_->n(), 0);
+}
+
+void RnsPoly::set_zero() { std::fill(data_.begin(), data_.end(), 0); }
+
+bool RnsPoly::is_zero() const {
+  for (u64 v : data_)
+    if (v != 0) return false;
+  return true;
+}
+
+void RnsPoly::to_ntt() {
+  CHAM_CHECK_MSG(!ntt_form_, "already in NTT form");
+  for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).forward(limb(l));
+  ntt_form_ = true;
+}
+
+void RnsPoly::from_ntt() {
+  CHAM_CHECK_MSG(ntt_form_, "not in NTT form");
+  for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).inverse(limb(l));
+  ntt_form_ = false;
+}
+
+void RnsPoly::check_compatible(const RnsPoly& o) const {
+  CHAM_CHECK_MSG(base_ == o.base_, "operands must share an RNS base");
+  CHAM_CHECK_MSG(ntt_form_ == o.ntt_form_, "operands must share a domain");
+}
+
+void RnsPoly::add_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_add(limb(l), o.limb(l), limb(l), n(), base_->modulus(l));
+}
+
+void RnsPoly::sub_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_sub(limb(l), o.limb(l), limb(l), n(), base_->modulus(l));
+}
+
+void RnsPoly::negate_inplace() {
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_negate(limb(l), limb(l), n(), base_->modulus(l));
+}
+
+void RnsPoly::mul_pointwise_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  CHAM_CHECK_MSG(ntt_form_, "pointwise ring product requires NTT form");
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_mul_pointwise(limb(l), o.limb(l), limb(l), n(), base_->modulus(l));
+}
+
+void RnsPoly::mul_pointwise_acc(const RnsPoly& a, const RnsPoly& b) {
+  a.check_compatible(b);
+  CHAM_CHECK(base_ == a.base_ && ntt_form_ && a.ntt_form_);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_mul_pointwise_acc(a.limb(l), b.limb(l), limb(l), n(),
+                           base_->modulus(l));
+}
+
+void RnsPoly::mul_scalar_inplace(const std::vector<u64>& residues) {
+  CHAM_CHECK(residues.size() == limbs());
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_mul_scalar(limb(l), residues[l], limb(l), n(), base_->modulus(l));
+}
+
+void RnsPoly::mul_scalar_inplace(u64 c) {
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_mul_scalar(limb(l), c % base_->modulus(l).value(), limb(l), n(),
+                    base_->modulus(l));
+}
+
+RnsPoly RnsPoly::automorph(u64 k) const {
+  CHAM_CHECK_MSG(!ntt_form_, "automorphism implemented in coefficient domain");
+  RnsPoly out(base_, false);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_automorph(limb(l), out.limb(l), n(), k, base_->modulus(l));
+  return out;
+}
+
+RnsPoly RnsPoly::shiftneg(std::size_t s) const {
+  CHAM_CHECK_MSG(!ntt_form_, "ShiftNeg implemented in coefficient domain");
+  RnsPoly out(base_, false);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_shiftneg(limb(l), out.limb(l), n(), s, base_->modulus(l));
+  return out;
+}
+
+RnsPoly RnsPoly::rev() const {
+  RnsPoly out(base_, ntt_form_);
+  for (std::size_t l = 0; l < limbs(); ++l) poly_rev(limb(l), out.limb(l), n());
+  return out;
+}
+
+u128 RnsPoly::compose_coeff(std::size_t i) const {
+  CHAM_CHECK_MSG(!ntt_form_, "compose requires coefficient domain");
+  CHAM_CHECK(i < n());
+  std::vector<u64> residues(limbs());
+  for (std::size_t l = 0; l < limbs(); ++l) residues[l] = limb(l)[i];
+  return base_->compose(residues.data());
+}
+
+RnsPoly add(const RnsPoly& a, const RnsPoly& b) {
+  RnsPoly out = a;
+  out.add_inplace(b);
+  return out;
+}
+
+RnsPoly sub(const RnsPoly& a, const RnsPoly& b) {
+  RnsPoly out = a;
+  out.sub_inplace(b);
+  return out;
+}
+
+RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target) {
+  CHAM_CHECK_MSG(!x.is_ntt(), "rescale requires coefficient domain");
+  CHAM_CHECK_MSG(target->is_prefix_of(*x.base()),
+                 "target base must be the source base minus its last limb");
+  const std::size_t k = target->size();
+  const Modulus& p = x.base()->modulus(k);
+  const u64 pv = p.value();
+  const u64 half = pv >> 1;
+
+  RnsPoly out(target, false);
+  const u64* xp = x.limb(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    const Modulus& ql = target->modulus(l);
+    const u64 p_inv = ql.inv(pv % ql.value());
+    const u64* xl = x.limb(l);
+    u64* ol = out.limb(l);
+    for (std::size_t i = 0; i < x.n(); ++i) {
+      // Centered remainder r' of x mod p, so (x - r')/p = round(x/p).
+      const u64 r = xp[i];
+      u64 diff;
+      if (r > half) {
+        // r' = r - p (negative): x_l - r' = x_l + (p - r)
+        diff = ql.add(xl[i], (pv - r) % ql.value());
+      } else {
+        diff = ql.sub(xl[i], r % ql.value());
+      }
+      ol[i] = ql.mul(diff, p_inv);
+    }
+  }
+  return out;
+}
+
+RnsPoly lift_centered(const RnsPoly& x, RnsBasePtr target) {
+  CHAM_CHECK_MSG(!x.is_ntt(), "lift requires coefficient domain");
+  CHAM_CHECK(target->n() == x.n());
+  const u128 q = x.base()->total_modulus();
+  RnsPoly out(target, false);
+  for (std::size_t i = 0; i < x.n(); ++i) {
+    const u128 v = x.compose_coeff(i);
+    const bool negative = v > q / 2;
+    const u128 mag = negative ? q - v : v;
+    for (std::size_t l = 0; l < target->size(); ++l) {
+      const Modulus& m = target->modulus(l);
+      const u64 r = static_cast<u64>(mag % m.value());
+      out.limb(l)[i] = negative ? m.negate(r) : r;
+    }
+  }
+  return out;
+}
+
+}  // namespace cham

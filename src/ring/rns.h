@@ -1,0 +1,121 @@
+// RNS (residue number system) polynomials.
+//
+// A ciphertext polynomial lives in Z_Q[X]/(X^N+1) with Q a product of
+// word-sized NTT primes; it is stored as one length-N limb per prime
+// (limb-major layout). RnsBase bundles the primes, their NTT tables, and
+// the CRT precomputations (Garner mixed-radix constants) shared by all
+// polynomials over the same basis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nt/modulus.h"
+#include "nt/ntt.h"
+#include "ring/poly_ops.h"
+
+namespace cham {
+
+class RnsBase;
+using RnsBasePtr = std::shared_ptr<const RnsBase>;
+
+class RnsBase : public std::enable_shared_from_this<RnsBase> {
+ public:
+  static RnsBasePtr create(std::size_t n, const std::vector<u64>& primes);
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return moduli_.size(); }
+  const Modulus& modulus(std::size_t i) const { return moduli_[i]; }
+  const std::vector<Modulus>& moduli() const { return moduli_; }
+  const NttTables& ntt(std::size_t i) const { return *ntt_[i]; }
+
+  // Q = Π q_i; total bit width must stay below 128.
+  u128 total_modulus() const { return total_; }
+  double total_modulus_log2() const;
+
+  // Garner composition: CRT residues (one per limb) -> integer in [0, Q).
+  u128 compose(const u64* residues) const;
+  // Residues of an arbitrary u128 value.
+  void decompose(u128 value, u64* residues_out) const;
+
+  // True if `other` equals this base without its last limb.
+  bool is_prefix_of(const RnsBase& other) const;
+
+ private:
+  RnsBase() = default;
+  std::size_t n_ = 0;
+  std::vector<Modulus> moduli_;
+  std::vector<std::shared_ptr<const NttTables>> ntt_;
+  u128 total_ = 1;
+  // Garner: inv_[j] = (Π_{i<j} q_i)^{-1} mod q_j;
+  // partial_[j][i] = (Π_{l<i} q_l) mod q_j (for i <= j);
+  // shift_[j] = Π_{l<j} q_l as u128.
+  std::vector<u64> inv_;
+  std::vector<std::vector<u64>> partial_;
+  std::vector<u128> shift_;
+};
+
+// An RNS polynomial bound to a base; tracks whether limbs are in NTT form.
+class RnsPoly {
+ public:
+  RnsPoly() = default;
+  explicit RnsPoly(RnsBasePtr base, bool ntt_form = false);
+
+  const RnsBasePtr& base() const { return base_; }
+  std::size_t n() const { return base_->n(); }
+  std::size_t limbs() const { return base_->size(); }
+  bool is_ntt() const { return ntt_form_; }
+  void set_ntt_form(bool v) { ntt_form_ = v; }
+
+  u64* limb(std::size_t l) { return data_.data() + l * n(); }
+  const u64* limb(std::size_t l) const { return data_.data() + l * n(); }
+  std::vector<u64>& raw() { return data_; }
+  const std::vector<u64>& raw() const { return data_; }
+
+  void set_zero();
+  bool is_zero() const;
+
+  // Domain conversion (in place).
+  void to_ntt();
+  void from_ntt();
+
+  // Arithmetic (element-wise per limb; operands must share base & domain).
+  void add_inplace(const RnsPoly& o);
+  void sub_inplace(const RnsPoly& o);
+  void negate_inplace();
+  void mul_pointwise_inplace(const RnsPoly& o);    // requires NTT form
+  void mul_pointwise_acc(const RnsPoly& a, const RnsPoly& b);  // this += a∘b
+  // Multiply by a scalar given as per-limb residues.
+  void mul_scalar_inplace(const std::vector<u64>& residues);
+  void mul_scalar_inplace(u64 c);  // c reduced per limb
+
+  // Table-I structural ops (coefficient domain only).
+  RnsPoly automorph(u64 k) const;
+  RnsPoly shiftneg(std::size_t s) const;  // *X^s
+  RnsPoly rev() const;
+
+  // Centered coefficient i as an integer (coefficient domain).
+  u128 compose_coeff(std::size_t i) const;
+
+  friend RnsPoly add(const RnsPoly& a, const RnsPoly& b);
+  friend RnsPoly sub(const RnsPoly& a, const RnsPoly& b);
+
+ private:
+  void check_compatible(const RnsPoly& o) const;
+  RnsBasePtr base_;
+  bool ntt_form_ = false;
+  std::vector<u64> data_;
+};
+
+// Divide-and-round by the base's last prime: maps a coefficient-domain
+// polynomial over {q_0..q_{k-1}, p} to round(x / p) over {q_0..q_{k-1}}
+// (the paper's Rescale, pipeline stage 4; also BFV modulus switching).
+RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target);
+
+// Exact lift of a coefficient-domain polynomial onto a larger base whose
+// first limbs match. New limbs get the centered representative reduced mod
+// the new primes (valid when coefficients are "small", e.g. RNS digits).
+RnsPoly lift_centered(const RnsPoly& x, RnsBasePtr target);
+
+}  // namespace cham

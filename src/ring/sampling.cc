@@ -1,0 +1,57 @@
+#include "ring/sampling.h"
+
+#include "nt/bitops.h"
+
+namespace cham {
+
+RnsPoly sample_uniform(RnsBasePtr base, Rng& rng) {
+  RnsPoly out(base, false);
+  for (std::size_t l = 0; l < out.limbs(); ++l) {
+    const u64 q = base->modulus(l).value();
+    u64* c = out.limb(l);
+    for (std::size_t i = 0; i < out.n(); ++i) c[i] = rng.uniform(q);
+  }
+  return out;
+}
+
+namespace {
+// Write the signed coefficient v (small) into every limb at index i.
+void store_signed(RnsPoly& p, std::size_t i, std::int64_t v) {
+  for (std::size_t l = 0; l < p.limbs(); ++l) {
+    p.limb(l)[i] = p.base()->modulus(l).from_signed(v);
+  }
+}
+}  // namespace
+
+RnsPoly sample_ternary(RnsBasePtr base, Rng& rng) {
+  RnsPoly out(base, false);
+  for (std::size_t i = 0; i < out.n(); ++i) {
+    const u64 r = rng.uniform(3);
+    store_signed(out, i, static_cast<std::int64_t>(r) - 1);
+  }
+  return out;
+}
+
+RnsPoly sample_noise(RnsBasePtr base, Rng& rng) {
+  RnsPoly out(base, false);
+  constexpr u64 kMask21 = (1ULL << 21) - 1;
+  for (std::size_t i = 0; i < out.n(); ++i) {
+    const u64 bits = rng.next_u64();
+    const int a = popcount_u64(bits & kMask21);
+    const int b = popcount_u64((bits >> 21) & kMask21);
+    store_signed(out, i, a - b);
+  }
+  return out;
+}
+
+RnsPoly from_signed_coeffs(RnsBasePtr base,
+                           const std::vector<std::int64_t>& coeffs) {
+  CHAM_CHECK(coeffs.size() <= base->n());
+  RnsPoly out(base, false);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    store_signed(out, i, coeffs[i]);
+  }
+  return out;
+}
+
+}  // namespace cham

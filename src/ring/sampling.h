@@ -1,0 +1,23 @@
+// Random polynomial samplers used by key generation and encryption.
+#pragma once
+
+#include "common/random.h"
+#include "ring/rns.h"
+
+namespace cham {
+
+// Uniform over Z_Q (independently uniform per limb, equivalent by CRT).
+RnsPoly sample_uniform(RnsBasePtr base, Rng& rng);
+
+// Ternary secret: coefficients in {-1, 0, 1}, each represented per limb.
+RnsPoly sample_ternary(RnsBasePtr base, Rng& rng);
+
+// Centered binomial with parameter k=21 (sigma ≈ 3.24, the usual RLWE
+// noise width): e = popcount(a) - popcount(b) over 21-bit masks.
+RnsPoly sample_noise(RnsBasePtr base, Rng& rng);
+
+// Signed integer coefficients applied to every limb (for tests/encoders).
+RnsPoly from_signed_coeffs(RnsBasePtr base,
+                           const std::vector<std::int64_t>& coeffs);
+
+}  // namespace cham

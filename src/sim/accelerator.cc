@@ -1,0 +1,43 @@
+#include "sim/accelerator.h"
+
+#include "common/timer.h"
+
+namespace cham {
+namespace sim {
+
+ChamAccelerator::ChamAccelerator(BfvContextPtr context, const GaloisKeys* gk,
+                                 PipelineConfig cfg)
+    : ctx_(std::move(context)), engine_(ctx_, gk), cfg_(cfg) {
+  CHAM_CHECK_MSG(cfg_.n == ctx_->n(),
+                 "pipeline config ring dimension must match the context");
+}
+
+AcceleratorReport ChamAccelerator::run_hmvp(
+    const RowSource& a, const std::vector<Ciphertext>& ct_v,
+    bool functional) const {
+  AcceleratorReport rep;
+  rep.timing = simulate_hmvp(cfg_, a.rows(), a.cols());
+  rep.device_seconds = rep.timing.seconds;
+  if (functional) {
+    Timer t;
+    rep.result = engine_.multiply(a, ct_v);
+    rep.software_seconds = t.seconds();
+  }
+  return rep;
+}
+
+PipelineResult ChamAccelerator::time_hmvp(std::size_t rows,
+                                          std::size_t cols) const {
+  return simulate_hmvp(cfg_, rows, cols);
+}
+
+double ChamAccelerator::keyswitch_ops_per_sec() const {
+  // One PackTwoLWEs merge (one key-switch) per beat per pack unit/engine.
+  const double per_engine =
+      cfg_.clock_hz / static_cast<double>(cfg_.beat_cycles()) *
+      static_cast<double>(cfg_.pack_units);
+  return per_engine * cfg_.engines;
+}
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,53 @@
+// ChamAccelerator: the functional + timed model of the deployed device.
+//
+// Functionally it executes the exact HMVP algorithm through the software
+// library (bit-exact results, so every simulator answer decrypts
+// correctly); timing comes from the beat-level pipeline model at 300 MHz.
+// This mirrors the paper's substitution of the physical VU9P board: the
+// arithmetic is real, only the clock is modelled.
+#pragma once
+
+#include "hmvp/hmvp.h"
+#include "sim/pipeline.h"
+#include "sim/resources.h"
+
+namespace cham {
+namespace sim {
+
+struct AcceleratorReport {
+  HmvpResult result;          // bit-exact ciphertext outputs
+  PipelineResult timing;      // modelled device time
+  double device_seconds = 0;  // = timing.seconds
+  double software_seconds = 0;  // wall-clock of the functional execution
+};
+
+class ChamAccelerator {
+ public:
+  ChamAccelerator(BfvContextPtr context, const GaloisKeys* gk,
+                  PipelineConfig cfg = {});
+
+  const PipelineConfig& config() const { return cfg_; }
+
+  // Run an HMVP: returns real ciphertexts plus modelled timing. If
+  // `functional` is false, only the timing model runs (used for
+  // paper-scale sweeps where executing 8192x8192 in software per point
+  // would be wasteful).
+  AcceleratorReport run_hmvp(const RowSource& a,
+                             const std::vector<Ciphertext>& ct_v,
+                             bool functional = true) const;
+
+  // Timing-only entry point.
+  PipelineResult time_hmvp(std::size_t rows, std::size_t cols) const;
+
+  // Device-side throughput metrics.
+  double ntt_ops_per_sec() const { return cham_ntt_ops_per_sec(cfg_.n, cfg_.ntt_pe); }
+  double keyswitch_ops_per_sec() const;
+
+ private:
+  BfvContextPtr ctx_;
+  HmvpEngine engine_;
+  PipelineConfig cfg_;
+};
+
+}  // namespace sim
+}  // namespace cham

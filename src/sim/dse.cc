@@ -1,0 +1,112 @@
+#include "sim/dse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cham {
+namespace sim {
+
+void evaluate_design_point(DesignPoint& p, std::size_t n) {
+  // --- throughput -----------------------------------------------------
+  // Beat = NTT latency; merging pipeline stages below the natural nine
+  // serialises transform groups that would otherwise overlap.
+  const double beat_cycles =
+      static_cast<double>(ntt_cycles(n, p.ntt_pe)) *
+      std::max(1.0, std::ceil(9.0 / std::min(p.stages, 9)));
+  // Dot-product path needs kDotForwardNtts + kDotInverseNtts transforms
+  // per row; the engine's NTT modules bound the sustained row rate at one
+  // row per beat maximum (the Rescale/Extract stage is single-issue).
+  const double rows_per_beat =
+      std::min(1.0, static_cast<double>(p.ntt_modules) /
+                        (kDotForwardNtts + kDotInverseNtts));
+  // Packing: one merge per beat per PackTwoLWEs unit; an m-row group needs
+  // m-1 merges, so packing keeps up whenever pack_units >= rows_per_beat.
+  const double merges_per_beat = static_cast<double>(p.pack_units);
+  const double group_rate =
+      std::min(rows_per_beat, merges_per_beat);  // rows sustained per beat
+  const double rows = static_cast<double>(n);    // 4096x4096 reference HMVP
+  const double beats = rows / group_rate / p.engines + 32.0;  // + fill/drain
+  const double seconds = beats * beat_cycles / kClockHz;
+  p.elements_per_sec = rows * static_cast<double>(n) / seconds;
+
+  // --- resources --------------------------------------------------------
+  EngineConfig cfg;
+  cfg.ntt_modules = p.ntt_modules;
+  cfg.ntt_pe = p.ntt_pe;
+  cfg.pack_units = p.pack_units;
+  FpgaResources engine = engine_cost(cfg);
+  // Extra pipeline stages add inter-stage buffering; fewer stages save it.
+  const double stage_buffer_bram = 8.0;  // per stage beyond/below nine
+  engine.bram += (p.stages - 9) * stage_buffer_bram;
+  engine.lut += (p.stages - 9) * 1500.0;
+  p.resources = engine * static_cast<double>(p.engines) + platform_cost();
+  p.utilization = p.resources.utilization(vu9p_budget());
+  // Feasible = whole-chip utilisation under the paper's 75% routing cap,
+  // AND each engine placeable within one SLR (Fig. 5 floorplan).
+  p.feasible = p.resources.fits(vu9p_budget(), 0.75) &&
+               engine.fits(vu9p_slr_budget(), 1.0);
+}
+
+std::vector<DesignPoint> explore_design_space(std::size_t n) {
+  std::vector<DesignPoint> points;
+  for (int stages : {5, 7, 9, 11}) {
+    for (int engines : {1, 2, 3}) {
+      for (int ntt_modules : {3, 6, 9, 12}) {
+        for (int ntt_pe : {2, 4, 8, 16}) {
+          for (int pack_units : {1, 2}) {
+            DesignPoint p;
+            p.stages = stages;
+            p.engines = engines;
+            p.ntt_modules = ntt_modules;
+            p.ntt_pe = ntt_pe;
+            p.pack_units = pack_units;
+            evaluate_design_point(p, n);
+            points.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  // Pareto frontier among feasible points: no other feasible point has
+  // both higher throughput and lower-or-equal utilisation.
+  for (auto& p : points) {
+    if (!p.feasible) continue;
+    p.pareto = true;
+    for (const auto& q : points) {
+      if (!q.feasible || &q == &p) continue;
+      // 1% tolerance: model-noise ties (e.g. the paper's two equal
+      // optima) must not knock each other off the frontier.
+      if (q.elements_per_sec > p.elements_per_sec * 1.01 &&
+          q.utilization <= p.utilization) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+DesignPoint cham_design_point() {
+  DesignPoint p;
+  p.stages = 9;
+  p.engines = 2;
+  p.ntt_modules = 6;
+  p.ntt_pe = 4;
+  p.pack_units = 1;
+  evaluate_design_point(p);
+  return p;
+}
+
+DesignPoint cham_alternate_design_point() {
+  DesignPoint p;
+  p.stages = 9;
+  p.engines = 1;
+  p.ntt_modules = 6;
+  p.ntt_pe = 8;
+  p.pack_units = 1;
+  evaluate_design_point(p);
+  return p;
+}
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,47 @@
+// Design-space exploration (paper Sec. III-B, Fig. 2b).
+//
+// Enumerates candidate configurations — pipeline split, number of compute
+// engines / NTT modules / PackTwoLWEs units, butterfly parallelism — and
+// prices each by (a) HMVP throughput from an analytic form of the
+// pipeline model and (b) FPGA resources from the calibrated cost tables.
+// A point is feasible when every resource category stays under the 75%
+// utilisation cap the paper imposes for routability.
+#pragma once
+
+#include <vector>
+
+#include "sim/pipeline.h"
+#include "sim/resources.h"
+
+namespace cham {
+namespace sim {
+
+struct DesignPoint {
+  int stages = 9;        // macro-pipeline split
+  int engines = 2;
+  int ntt_modules = 6;   // per engine, dot-product path
+  int ntt_pe = 4;        // butterflies per NTT module
+  int pack_units = 1;    // PackTwoLWEs modules per engine
+
+  // Evaluated metrics:
+  double elements_per_sec = 0;  // 4096x4096 HMVP element throughput
+  double utilization = 0;       // max resource category vs VU9P
+  FpgaResources resources;
+  bool feasible = false;
+  bool pareto = false;
+};
+
+// Analytic per-point evaluation (shared with Fig. 2b and tests).
+void evaluate_design_point(DesignPoint& p, std::size_t n = 4096);
+
+// Enumerate the full space, mark feasibility and the Pareto frontier
+// (maximise throughput, minimise utilisation).
+std::vector<DesignPoint> explore_design_space(std::size_t n = 4096);
+
+// The configuration CHAM ships (first optimum in the paper).
+DesignPoint cham_design_point();
+// The equally-performing single-engine/8-PE optimum.
+DesignPoint cham_alternate_design_point();
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,74 @@
+// Functional-unit timing models and reference accelerator constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace sim {
+
+// CHAM's production clock (paper Sec. V-A).
+inline constexpr double kClockHz = 300e6;
+
+// Constant-geometry NTT latency: (N/2 · log2 N) / n_bf cycles.
+inline std::uint64_t ntt_cycles(std::size_t n, int n_bf) {
+  CHAM_CHECK(is_power_of_two(n) && n_bf >= 1);
+  return static_cast<std::uint64_t>(n) / 2 *
+         static_cast<std::uint64_t>(log2_exact(n)) /
+         static_cast<std::uint64_t>(n_bf);
+}
+
+// Coefficient-wise stage latency with `lanes` parallel lanes.
+inline std::uint64_t elementwise_cycles(std::size_t n, int lanes) {
+  CHAM_CHECK(lanes >= 1);
+  return (static_cast<std::uint64_t>(n) + lanes - 1) / lanes;
+}
+
+// Per-row transform counts in the dot-product path (augmented base has 3
+// limbs): 3 forward NTTs for the Eq.-1 plaintext, 6 inverse NTTs for the
+// two product polynomials.
+inline constexpr int kDotForwardNtts = 3;
+inline constexpr int kDotInverseNtts = 6;
+// Per-merge transform counts in the PackTwoLWEs path: dnum·3 = 6 digit
+// forward NTTs + 6 inverse NTTs after the key-switch inner product.
+inline constexpr int kPackForwardNtts = 6;
+inline constexpr int kPackInverseNtts = 6;
+
+// Reference numbers from the papers compared against (Table III and the
+// surrounding text).
+struct ReferencePoint {
+  std::string name;
+  std::uint64_t ntt_latency_cycles;
+  int parallelism;     // butterfly lanes
+  double lut;          // LUT / ALM count (0 = not reported)
+  double bram;         // BRAM blocks
+  double ntt_ops_per_sec;  // reported throughput (0 = n/a)
+};
+
+inline ReferencePoint heax_reference() {
+  // HEAX (ASPLOS'20), Intel FPGA, N = 2^12 configuration.
+  return {"HEAX", 6144, 4, 22316, 11, 117e3};
+}
+
+inline ReferencePoint f1_reference() {
+  // F1 (MICRO'21) ASIC NTT: 202-cycle latency with 896 lanes.
+  return {"F1", 202, 896, 0, 0, 0};
+}
+
+inline double gpu_ntt_ops_per_sec() {
+  // The GPU point the paper quotes: single CUDA kernel, 1024 threads.
+  return 45e3;
+}
+
+// CHAM's NTT throughput metric as the paper computes it: a group of four
+// NTT modules completing transforms back-to-back at 300 MHz
+// (4 × 300e6 / 6144 ≈ 195k ops/s, Sec. V-B1).
+inline double cham_ntt_ops_per_sec(std::size_t n = 4096, int n_bf = 4) {
+  return 4.0 * kClockHz / static_cast<double>(ntt_cycles(n, n_bf));
+}
+
+}  // namespace sim
+}  // namespace cham

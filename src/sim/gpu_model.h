@@ -1,0 +1,54 @@
+// Analytic comparison models for the platforms the paper evaluates
+// against but which are not available here: the NVIDIA Tesla V100 GPU and
+// the F1 ASIC. Both are calibrated to the ratios the paper itself reports
+// (DESIGN.md "Substitutions"): the GPU delivers ~4.5x lower HMVP
+// throughput than CHAM and 1.4–3.3x higher latency; its NTT runs at
+// 45k ops/s.
+#pragma once
+
+#include <cmath>
+
+#include "sim/pipeline.h"
+
+namespace cham {
+namespace sim {
+
+class GpuModel {
+ public:
+  explicit GpuModel(PipelineConfig cham_cfg = {}) : cham_cfg_(cham_cfg) {}
+
+  // HMVP latency: CHAM's modelled latency times a shape-dependent factor.
+  // Small matrices suffer more from kernel-launch overhead (factor ~3.3),
+  // large ones stream better (factor ~1.4) — matching the latency band the
+  // paper reports in Fig. 8 (CHAM at 0.3x–0.7x of the GPU).
+  double hmvp_seconds(std::uint64_t rows, std::uint64_t cols) const {
+    const double cham = sim::hmvp_seconds(cham_cfg_, rows, cols);
+    const double factor = latency_factor(rows);
+    const double launch_overhead = 120e-6;  // per-HMVP kernel launches
+    return cham * factor + launch_overhead;
+  }
+
+  // Sustained throughput under batched streaming: the paper reports CHAM
+  // at 4.5x the GPU's HMVP throughput (Fig. 6) — a separate calibration
+  // from the single-shot latency band above, because batching hides
+  // different overheads on the two platforms.
+  double hmvp_elements_per_sec(std::uint64_t rows, std::uint64_t cols) const {
+    return sim::hmvp_elements_per_sec(cham_cfg_, rows, cols) / 4.5;
+  }
+
+  static double ntt_ops_per_sec() { return 45e3; }
+
+  static double latency_factor(std::uint64_t rows) {
+    // Interpolate 3.3 (small) -> 1.4 (large) on log2(rows).
+    if (rows <= 16) return 3.3;
+    if (rows >= 8192) return 1.4;
+    double t = (std::log2(static_cast<double>(rows)) - 4.0) / (13.0 - 4.0);
+    return 3.3 + t * (1.4 - 3.3);
+  }
+
+ private:
+  PipelineConfig cham_cfg_;
+};
+
+}  // namespace sim
+}  // namespace cham

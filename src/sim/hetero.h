@@ -1,0 +1,58 @@
+// Heterogeneous CPU+FPGA execution model (paper Sec. III-C, Fig. 1b).
+//
+// Host threads pipeline {encode, H2D transfer} against FPGA compute and
+// D2H readback; per-thread input/output RAM buffers on the device let a
+// thread's transfer overlap another thread's compute. The model schedules
+// a batch of HMVP jobs and reports the makespan, per-resource busy time,
+// and the offload fraction (paper reports >90% of computation offloaded
+// and >10x end-to-end speed-up over the CPU).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pipeline.h"
+
+namespace cham {
+namespace sim {
+
+struct HeteroConfig {
+  PipelineConfig fpga;       // device pipeline model
+  int host_threads = 4;
+  int devices = 1;           // FPGA cards ("deployed in multiple hardware
+                             // accelerators", Sec. V-B3); each has its own
+                             // PCIe link
+  double pcie_bytes_per_sec = 12e9;   // effective Gen3 x16, per device
+  double host_encode_bytes_per_sec = 8e9;  // Eq.-1 encoding (memcpy-bound)
+};
+
+struct HmvpJob {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  double h2d_bytes() const {
+    // Matrix entries (16-bit) + vector ciphertext (6 polys).
+    return static_cast<double>(rows) * static_cast<double>(cols) * 2.0 +
+           6.0 * 4096.0 * 8.0;
+  }
+  double d2h_bytes() const {
+    // One packed ciphertext (4 polys) per 4096-row group.
+    return ((rows + 4095) / 4096) * 4.0 * 4096.0 * 8.0;
+  }
+};
+
+struct HeteroResult {
+  double makespan_seconds = 0;
+  double fpga_busy_seconds = 0;
+  double pcie_busy_seconds = 0;
+  double host_busy_seconds = 0;
+  double serial_seconds = 0;       // no overlap (single buffer, 1 thread)
+  double overlap_speedup = 0;      // serial / makespan
+  double offload_fraction = 0;     // device compute / (device + host work)
+  double fpga_utilization = 0;     // busy / makespan
+};
+
+// Schedule `jobs` over the host/device pipeline.
+HeteroResult schedule(const HeteroConfig& cfg, const std::vector<HmvpJob>& jobs);
+
+}  // namespace sim
+}  // namespace cham

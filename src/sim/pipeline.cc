@@ -1,0 +1,186 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cham {
+namespace sim {
+
+namespace {
+
+constexpr int kDotDepth = 4;    // stages 1-4
+constexpr int kPackLatency = 5;  // stages 5-9
+
+std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+int log2u(std::uint64_t v) {
+  int l = 0;
+  while ((1ULL << l) < v) ++l;
+  return l;
+}
+
+}  // namespace
+
+PipelineResult simulate_engine(const PipelineConfig& cfg,
+                               const HmvpShape& shape) {
+  CHAM_CHECK(shape.leaves >= 1 && (shape.leaves & (shape.leaves - 1)) == 0);
+  CHAM_CHECK(shape.groups >= 1 && shape.chunks >= 1);
+
+  PipelineResult res;
+  std::uint64_t beat = 0;
+
+  const std::uint64_t rows_per_group =
+      (shape.rows + shape.groups - 1) / shape.groups;
+  std::uint64_t rows_left_total = shape.rows;
+
+  for (std::uint64_t g = 0; g < shape.groups; ++g) {
+    const std::uint64_t group_rows = std::min(rows_per_group, rows_left_total);
+    rows_left_total -= group_rows;
+    if (group_rows == 0) break;
+
+    const int levels = log2u(shape.leaves);
+    // avail[l]: completed results at tree level l awaiting their sibling.
+    std::vector<std::uint64_t> avail(levels + 1, 0);
+    // Zero-padded leaves are ready immediately.
+    avail[0] = shape.leaves - group_rows;
+
+    // In-flight merges: completion beat -> output level.
+    std::vector<std::pair<std::uint64_t, int>> inflight;
+
+    std::uint64_t rows_emitted = 0;     // LWEs out of stage 4
+    std::uint64_t chunk_progress = 0;   // beats spent on current row
+    std::uint64_t lwe_buffer = 0;
+    std::uint64_t merges_done = 0;
+    const std::uint64_t total_merges = shape.leaves - 1;
+    const std::uint64_t fill = kDotDepth * shape.chunks;
+
+    std::uint64_t group_start = beat;
+    while (merges_done < total_merges || avail[levels] < 1) {
+      if (levels == 0) break;  // single leaf, nothing to merge
+      ++beat;
+
+      // Retire in-flight merges finishing this beat.
+      for (auto it = inflight.begin(); it != inflight.end();) {
+        if (it->first == beat) {
+          avail[static_cast<std::size_t>(it->second)] += 1;
+          it = inflight.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      // Dot path: one chunk of work per beat after the pipeline fill.
+      bool dot_active = false;
+      if (rows_emitted < group_rows && beat > group_start + fill - 1) {
+        if (lwe_buffer < static_cast<std::uint64_t>(cfg.lwe_buffer_cap)) {
+          ++chunk_progress;
+          dot_active = true;
+          if (chunk_progress == shape.chunks) {
+            chunk_progress = 0;
+            ++rows_emitted;
+            ++lwe_buffer;
+          }
+        } else {
+          ++res.stall_beats;  // reduce-buffer backlog preempts the pipeline
+        }
+      } else if (rows_emitted < group_rows) {
+        dot_active = true;  // filling
+      }
+      if (dot_active) ++res.dot_busy_beats;
+
+      // Move buffered LWEs into the leaf level of the reduce tree.
+      while (lwe_buffer > 0) {
+        --lwe_buffer;
+        avail[0] += 1;
+      }
+
+      // Pack issue: higher levels first (intermediate results preempt).
+      int issued = 0;
+      for (int l = levels - 1; l >= 0 && issued < cfg.pack_units; --l) {
+        while (avail[static_cast<std::size_t>(l)] >= 2 &&
+               issued < cfg.pack_units) {
+          avail[static_cast<std::size_t>(l)] -= 2;
+          inflight.emplace_back(beat + kPackLatency, l + 1);
+          ++merges_done;
+          ++issued;
+        }
+      }
+      if (issued > 0) res.pack_busy_beats += issued;
+
+      CHAM_CHECK_MSG(beat < group_start + (group_rows + 16) *
+                                (shape.chunks + 1) * 64 + 4096,
+                     "pipeline simulation failed to converge");
+    }
+    // Account the dot-path fill for a single-leaf group too.
+    if (levels == 0) {
+      beat += fill + group_rows * shape.chunks;
+      res.dot_busy_beats += group_rows * shape.chunks;
+    }
+  }
+
+  res.beats = beat;
+  res.cycles = beat * cfg.beat_cycles();
+  res.seconds = static_cast<double>(res.cycles) / cfg.clock_hz;
+  res.merges = shape.groups * (shape.leaves - 1);
+  if (beat > 0) {
+    res.dot_utilization =
+        static_cast<double>(res.dot_busy_beats) / static_cast<double>(beat);
+    res.pack_utilization =
+        static_cast<double>(res.pack_busy_beats) / static_cast<double>(beat);
+  }
+  return res;
+}
+
+PipelineResult simulate_hmvp(const PipelineConfig& cfg, std::uint64_t rows,
+                             std::uint64_t cols) {
+  CHAM_CHECK(rows >= 1 && cols >= 1);
+  const std::uint64_t n = cfg.n;
+  const std::uint64_t chunks = (cols + n - 1) / n;
+  const std::uint64_t groups = (rows + n - 1) / n;
+
+  // Rows are interleaved over engines; each engine packs its own subtree.
+  const std::uint64_t engines = static_cast<std::uint64_t>(cfg.engines);
+  const std::uint64_t rows_per_engine = (rows + engines - 1) / engines;
+  const std::uint64_t groups_per_engine =
+      std::max<std::uint64_t>(1, (groups + engines - 1) / engines * 1);
+
+  HmvpShape shape;
+  shape.rows = rows_per_engine;
+  shape.chunks = chunks;
+  shape.groups = (rows_per_engine + n - 1) / n;
+  const std::uint64_t rows_in_group =
+      std::min<std::uint64_t>(rows_per_engine, n);
+  shape.leaves = next_pow2(std::max<std::uint64_t>(1, rows_in_group));
+  (void)groups_per_engine;
+
+  PipelineResult res = simulate_engine(cfg, shape);
+
+  // Cross-engine combine: log2(engines) merge levels on one engine.
+  if (engines > 1) {
+    const std::uint64_t extra = log2u(next_pow2(engines));
+    res.beats += extra * kPackLatency;
+    res.merges += engines - 1;
+    res.pack_busy_beats += engines - 1;
+  }
+  res.cycles = res.beats * cfg.beat_cycles();
+  res.seconds = static_cast<double>(res.cycles) / cfg.clock_hz;
+  return res;
+}
+
+double hmvp_seconds(const PipelineConfig& cfg, std::uint64_t rows,
+                    std::uint64_t cols) {
+  return simulate_hmvp(cfg, rows, cols).seconds;
+}
+
+double hmvp_elements_per_sec(const PipelineConfig& cfg, std::uint64_t rows,
+                             std::uint64_t cols) {
+  const double s = hmvp_seconds(cfg, rows, cols);
+  return static_cast<double>(rows) * static_cast<double>(cols) / s;
+}
+
+}  // namespace sim
+}  // namespace cham

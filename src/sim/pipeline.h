@@ -1,0 +1,71 @@
+// Beat-level model of CHAM's 9-stage macro-pipeline (paper Sec. III-A,
+// Fig. 1a).
+//
+// Every stage is engineered to a common beat equal to the slowest FU — the
+// constant-geometry NTT at (N/2·log2 N)/n_bf cycles. Per beat, the
+// dot-product path (stages 1–4: NTT, MultPoly, INTT, Rescale+Extract)
+// advances one row-chunk, and each PackTwoLWEs module (stages 5–9) can
+// issue one merge with a 5-beat completion latency. Intermediate
+// reduction results wait in the reduce buffer; higher tree levels preempt
+// leaf merges, and a full LWE output buffer stalls the dot-product path —
+// the stall behaviour described for the reduce buffer in Sec. III-A.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fu_models.h"
+
+namespace cham {
+namespace sim {
+
+struct PipelineConfig {
+  std::size_t n = 4096;
+  int ntt_pe = 4;        // butterflies per NTT module
+  int engines = 2;       // compute engines
+  int pack_units = 1;    // PackTwoLWEs modules per engine
+  int lwe_buffer_cap = 4;  // stage-4 output double buffering
+  double clock_hz = kClockHz;
+
+  std::uint64_t beat_cycles() const { return ntt_cycles(n, ntt_pe); }
+};
+
+struct PipelineResult {
+  std::uint64_t beats = 0;
+  std::uint64_t cycles = 0;
+  double seconds = 0;
+  std::uint64_t dot_busy_beats = 0;
+  std::uint64_t pack_busy_beats = 0;
+  std::uint64_t stall_beats = 0;  // dot path stalled by the pack tree
+  double dot_utilization = 0;
+  double pack_utilization = 0;
+  std::uint64_t merges = 0;
+};
+
+// Workload shape: `rows` dot products, each touching `chunks` vector
+// ciphertexts; rows are packed per-group into trees of `leaves`
+// (power of two; zero-padding is free — padded leaves are available
+// immediately).
+struct HmvpShape {
+  std::uint64_t rows = 0;
+  std::uint64_t chunks = 1;
+  std::uint64_t leaves = 0;   // pack tree size per group
+  std::uint64_t groups = 1;   // ceil(rows / N)
+};
+
+// Simulate one engine processing `rows` of each group sequentially.
+PipelineResult simulate_engine(const PipelineConfig& cfg,
+                               const HmvpShape& shape);
+
+// Full-accelerator HMVP latency: rows split across engines, plus the
+// cross-engine combining merges. Returns the critical path.
+PipelineResult simulate_hmvp(const PipelineConfig& cfg, std::uint64_t rows,
+                             std::uint64_t cols);
+
+// Convenience throughput metrics for Fig. 6 / Fig. 8.
+double hmvp_elements_per_sec(const PipelineConfig& cfg, std::uint64_t rows,
+                             std::uint64_t cols);
+double hmvp_seconds(const PipelineConfig& cfg, std::uint64_t rows,
+                    std::uint64_t cols);
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,108 @@
+// FPGA resource accounting (paper Table II, Fig. 5).
+//
+// Per-FU costs are calibrated against the paper's published numbers
+// (Table III NTT rows; Table II engine/platform totals) rather than
+// re-synthesised: the model's purpose is to let the design-space
+// exploration (Fig. 2b) price candidate configurations consistently and
+// to reproduce the utilisation table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cham {
+
+struct FpgaResources {
+  double lut = 0;
+  double ff = 0;
+  double bram = 0;  // 36 kbit blocks
+  double uram = 0;
+  double dsp = 0;
+
+  FpgaResources& operator+=(const FpgaResources& o) {
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    uram += o.uram;
+    dsp += o.dsp;
+    return *this;
+  }
+  friend FpgaResources operator+(FpgaResources a, const FpgaResources& b) {
+    a += b;
+    return a;
+  }
+  friend FpgaResources operator*(FpgaResources a, double k) {
+    a.lut *= k;
+    a.ff *= k;
+    a.bram *= k;
+    a.uram *= k;
+    a.dsp *= k;
+    return a;
+  }
+
+  // True if every category of `this` fits within `budget` at the given
+  // utilisation cap (the paper keeps every category below 75% to ease
+  // place-and-route).
+  bool fits(const FpgaResources& budget, double cap = 0.75) const;
+  // Max utilisation fraction across categories.
+  double utilization(const FpgaResources& budget) const;
+};
+
+// Chip budgets.
+FpgaResources vu9p_budget();  // Xilinx VU9P (production board)
+FpgaResources u200_budget();  // Alveo U200 (prototyping; same VU9P die)
+// One super logic region (the VU9P has three; the floorplan in Fig. 5
+// places each compute engine within a single SLR, so an engine must fit).
+FpgaResources vu9p_slr_budget();
+
+// RAM implementation strategy for the NTT twiddle ROMs / local buffers
+// (paper Table III evaluates all three).
+enum class RamStrategy { kBramOnly, kBramPlusDram, kDramOnly };
+std::string to_string(RamStrategy s);
+
+// Per-FU resource costs.
+// Single NTT module (4 butterfly units) under a RAM strategy — LUT/BRAM
+// straight from paper Table III.
+FpgaResources ntt_module_cost(RamStrategy s);
+// NTT module with `pe` butterflies: logic scales with pe; RAM scales
+// superlinearly above 4 because the 2·pe banks drop below the minimum
+// BRAM depth and waste capacity (the paper's reason for capping n_bf,
+// Sec. IV-A: "CHAM prefers fully utilized RAMs").
+FpgaResources ntt_module_cost_scaled(RamStrategy s, int pe);
+// Polynomial processing unit (one lane of ModAdd/ModMul/Rev/ShiftNeg/...).
+FpgaResources ppu_cost();
+// Modular multiplier lane (shift-add, low-Hamming modulus).
+FpgaResources modmul_cost();
+// Key-switch inner-product unit (per digit).
+FpgaResources keyswitch_cost();
+// Reduce buffer for the packing tree (per 2^k-entry level set).
+FpgaResources reduce_buffer_cost();
+
+// A full compute-engine configuration.
+struct EngineConfig {
+  int ntt_modules = 6;        // NTT/INTT units in the engine
+  int ntt_pe = 4;             // butterflies per NTT module
+  int pack_units = 1;         // PackTwoLWEs modules
+  int ppu_lanes = 8;
+  RamStrategy ram = RamStrategy::kBramOnly;
+};
+
+// Aggregate cost of one engine under `cfg`; calibrated so the paper's
+// configuration (6 NTT, 4 PE, 1 pack unit) reproduces Table II's
+// per-engine row.
+FpgaResources engine_cost(const EngineConfig& cfg);
+
+// Shell/platform cost (Vitis platform + host interface), Table II row 3.
+FpgaResources platform_cost();
+
+// Table II utilisation summary for `engines` engines on the VU9P.
+struct UtilizationRow {
+  std::string module;
+  FpgaResources used;
+};
+std::vector<UtilizationRow> table2_rows(const EngineConfig& cfg, int engines);
+
+}  // namespace cham

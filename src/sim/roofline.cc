@@ -1,0 +1,73 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cham {
+namespace sim {
+
+MachineRoof u200_roof() {
+  return {6840.0 * kClockHz, 76.8e9};
+}
+
+namespace {
+// DSP ops in one poly transform: N/2·log2 N butterflies, one modmul each.
+double ntt_ops(std::size_t n) {
+  return static_cast<double>(n) / 2 * log2_exact(n) * kOpsPerModMul;
+}
+}  // namespace
+
+KernelPoint ntt_kernel(std::size_t n) {
+  KernelPoint k;
+  k.name = "NTT";
+  k.ops = ntt_ops(n);
+  // Read and write the polynomial (8 B coefficients); twiddles in ROM.
+  k.bytes = 2.0 * static_cast<double>(n) * 8.0;
+  return k;
+}
+
+KernelPoint keyswitch_kernel(std::size_t n) {
+  KernelPoint k;
+  k.name = "Key-switch";
+  const double limbs = 3.0;  // base_qp
+  const double dnum = 2.0;
+  // dnum digit forward NTTs (x limbs) + inner products + 2·limbs inverse
+  // NTTs + divide-by-p.
+  k.ops = dnum * limbs * ntt_ops(n)                       // digit NTTs
+          + dnum * 2.0 * limbs * n * kOpsPerModMul        // KSK inner prod
+          + 2.0 * limbs * ntt_ops(n)                      // inverse NTTs
+          + 2.0 * 2.0 * n * kOpsPerModMul;                // rescale by p
+  // Input a-poly (2 limbs), KSK (dnum·2·limbs polys), output (2·2 limbs).
+  k.bytes = (2.0 + dnum * 2.0 * limbs + 4.0) * n * 8.0;
+  return k;
+}
+
+KernelPoint hmvp_kernel(std::uint64_t rows, std::uint64_t cols,
+                        std::size_t n) {
+  KernelPoint k;
+  k.name = "HMVP";
+  const double limbs = 3.0;
+  const double chunks = std::max<double>(1.0, std::ceil(
+      static_cast<double>(cols) / static_cast<double>(n)));
+  const double r = static_cast<double>(rows);
+  // Per row: plaintext NTTs + pointwise products + inverse NTTs + rescale;
+  // per merge (~one per row): a key-switch worth of work.
+  const double per_row = chunks * (limbs * ntt_ops(n) +
+                                   2.0 * limbs * n * kOpsPerModMul) +
+                         2.0 * limbs * ntt_ops(n) + 2.0 * 2.0 * n * 4.0;
+  const double per_merge = keyswitch_kernel(n).ops;
+  k.ops = r * per_row + (r - 1) * per_merge;
+  // Matrix entries streamed once (16-bit), vector ciphertext in + packed
+  // results out; key material resident on-chip.
+  k.bytes = r * static_cast<double>(cols) * 2.0 +
+            chunks * 2.0 * limbs * n * 8.0 +
+            std::ceil(r / n) * 4.0 * n * 8.0;
+  return k;
+}
+
+std::vector<KernelPoint> fig2a_kernels() {
+  return {ntt_kernel(), keyswitch_kernel(), hmvp_kernel(4096, 4096)};
+}
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,62 @@
+// Roofline model on the Alveo U200 (paper Fig. 2a).
+//
+// "Operation" = one 27x18 integer multiplication (one DSP slice issue),
+// exactly the paper's unit. Peak compute = DSP count x clock; memory roof
+// = DDR4 bandwidth. Kernels are characterised by their op count and DDR
+// traffic; HMVP-as-a-whole has far higher compute intensity than the
+// individual HE operators, which is the argument for accelerating HMVP
+// end-to-end instead of NTT/key-switch in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fu_models.h"
+
+namespace cham {
+namespace sim {
+
+struct MachineRoof {
+  double peak_ops_per_sec;   // DSP ops/s
+  double mem_bytes_per_sec;  // DDR bandwidth
+  double ridge_ops_per_byte() const {
+    return peak_ops_per_sec / mem_bytes_per_sec;
+  }
+  // Attainable performance at a given intensity.
+  double attainable(double ops_per_byte) const {
+    return std::min(peak_ops_per_sec, mem_bytes_per_sec * ops_per_byte);
+  }
+};
+
+// U200: 6840 DSPs @ 300 MHz, 4x DDR4-2400 (76.8 GB/s).
+MachineRoof u200_roof();
+
+struct KernelPoint {
+  std::string name;
+  double ops = 0;             // DSP-mult operations
+  double bytes = 0;           // DDR traffic
+  double intensity() const { return ops / bytes; }
+};
+
+// A 35-bit modular multiply = 4 DSP-sized partial products (the shift-add
+// reduction is LUT-only).
+inline constexpr double kOpsPerModMul = 4.0;
+
+// Single negacyclic NTT of one degree-N polynomial (data streamed from
+// DDR: read + write, twiddles on-chip).
+KernelPoint ntt_kernel(std::size_t n = 4096);
+
+// One hybrid key-switch (dnum=2, 3 limbs, KSK streamed from DDR once).
+KernelPoint keyswitch_kernel(std::size_t n = 4096);
+
+// Whole coefficient-encoded HMVP, m x n matrix (entries streamed once as
+// 16-bit words), vector ciphertext resident on-chip.
+KernelPoint hmvp_kernel(std::uint64_t rows, std::uint64_t cols,
+                        std::size_t n = 4096);
+
+// All three points of Fig. 2a.
+std::vector<KernelPoint> fig2a_kernels();
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,56 @@
+// Device-model extensions for the non-B/FV schemes (future-work direction:
+// the paper's introduction positions CHAM as the substrate for hybrid
+// B/FV + CKKS + TFHE algorithms, and all three reduce to the same FUs).
+//
+//  * CKKS HMVP is byte-for-byte the B/FV dataflow (NTT -> MultPoly ->
+//    INTT -> Rescale) — reuse simulate_hmvp directly.
+//  * A TFHE gate bootstrap is a chain of n_lwe CMux gates, each an RGSW
+//    external product: 2*ell digit forward NTTs + 2 inverse NTTs of the
+//    blind-rotation ring, plus element-wise work that the PPU lanes hide
+//    under the transforms. The model maps those transforms onto the
+//    engine's NTT modules at the device beat.
+#pragma once
+
+#include "sim/pipeline.h"
+
+namespace cham {
+namespace sim {
+
+struct TfheModelParams {
+  std::size_t ring_n = 1024;  // blind-rotation ring
+  std::size_t lwe_n = 256;    // CMux count per bootstrap
+  int ell = 5;                // RGSW gadget rows per component
+  int ntt_modules = 6;        // engine transform units available
+};
+
+// Cycles for one gate bootstrap on one compute engine.
+inline std::uint64_t tfhe_bootstrap_cycles(const TfheModelParams& p,
+                                           const PipelineConfig& cfg) {
+  const std::uint64_t transforms_per_cmux =
+      2ULL * static_cast<std::uint64_t>(p.ell) + 2ULL;
+  const std::uint64_t total = transforms_per_cmux * p.lwe_n;
+  // Transforms schedule across the engine's NTT modules; the external
+  // products are sequentially dependent per CMux, but digit NTTs within
+  // one CMux are independent, so the modules stay busy.
+  const std::uint64_t rounds =
+      (total + static_cast<std::uint64_t>(p.ntt_modules) - 1) /
+      static_cast<std::uint64_t>(p.ntt_modules);
+  return rounds * ntt_cycles(p.ring_n, cfg.ntt_pe);
+}
+
+// Bootstrapped gates per second across the whole device.
+inline double tfhe_gates_per_sec(const TfheModelParams& p,
+                                 const PipelineConfig& cfg) {
+  return cfg.clock_hz * cfg.engines /
+         static_cast<double>(tfhe_bootstrap_cycles(p, cfg));
+}
+
+// CKKS HMVP shares the B/FV pipeline exactly.
+inline PipelineResult simulate_ckks_hmvp(const PipelineConfig& cfg,
+                                         std::uint64_t rows,
+                                         std::uint64_t cols) {
+  return simulate_hmvp(cfg, rows, cols);
+}
+
+}  // namespace sim
+}  // namespace cham

@@ -1,0 +1,276 @@
+#include "tfhe/tfhe.h"
+
+#include "nt/bitops.h"
+#include "ring/sampling.h"
+
+namespace cham {
+namespace tfhe {
+
+namespace {
+// CBD(21) noise value.
+int sample_noise_int(Rng& rng) {
+  const u64 bits = rng.next_u64();
+  int e = 0;
+  for (int i = 0; i < 21; ++i) e += (bits >> i) & 1;
+  for (int i = 21; i < 42; ++i) e -= (bits >> i) & 1;
+  return e;
+}
+}  // namespace
+
+std::shared_ptr<TfheContext> TfheContext::create(const TfheParams& params,
+                                                 Rng& rng) {
+  CHAM_CHECK(is_power_of_two(params.ring_n) && params.ring_n >= 16);
+  CHAM_CHECK(params.lwe_n >= 4 && params.lwe_n <= params.ring_n);
+  CHAM_CHECK(params.log_base >= 2 && params.log_base <= 16);
+  auto ctx = std::shared_ptr<TfheContext>(new TfheContext());
+  ctx->params_ = params;
+  ctx->q_ = Modulus(params.q);
+  ctx->ell_ = (ctx->q_.bit_count() + params.log_base - 1) / params.log_base;
+  ctx->ring_base_ = RnsBase::create(params.ring_n, {params.q});
+  ctx->generate_keys(rng);
+  return ctx;
+}
+
+void TfheContext::generate_keys(Rng& rng) {
+  // Ring secret (ternary).
+  ring_secret_ = sample_ternary(ring_base_, rng);
+
+  // Binary user LWE secret.
+  lwe_secret_.base = ring_base_;
+  lwe_secret_.n_out = params_.lwe_n;
+  lwe_secret_.z = RnsPoly(ring_base_, false);
+  lwe_secret_bits_.resize(params_.lwe_n);
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    const int bit = static_cast<int>(rng.uniform(2));
+    lwe_secret_bits_[i] = bit;
+    lwe_secret_.z.limb(0)[i] = static_cast<u64>(bit);
+  }
+
+  // Bootstrapping key: RGSW(z_i).
+  bsk_.reserve(params_.lwe_n);
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    bsk_.push_back(rgsw_encrypt(static_cast<u64>(lwe_secret_bits_[i]), rng));
+  }
+
+  // Keyswitch ring secret -> user secret.
+  ksk_ = make_lwe_switch_key(ring_secret_, lwe_secret_, params_.ks_log_base,
+                             rng);
+}
+
+LweCiphertext TfheContext::encrypt_bit(int bit, Rng& rng) const {
+  CHAM_CHECK(bit == 0 || bit == 1);
+  const u64 q = q_.value();
+  const u64 eighth = q / 8;
+  LweCiphertext ct;
+  ct.base = ring_base_;
+  ct.b.resize(1);
+  ct.a = RnsPoly(ring_base_, false);
+  u64* a = ct.a.limb(0);
+  u64 dot = 0;
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    a[i] = rng.uniform(q);
+    if (lwe_secret_bits_[i]) dot = q_.add(dot, a[i]);
+  }
+  // message: TRUE -> +q/8, FALSE -> -q/8.
+  u64 b = bit ? eighth : q_.negate(eighth);
+  b = q_.sub(b, dot);
+  b = q_.add(b, q_.from_signed(sample_noise_int(rng)));
+  ct.b[0] = b;
+  return ct;
+}
+
+u64 TfheContext::phase(const LweCiphertext& c) const {
+  const u64* a = c.a.limb(0);
+  u64 acc = c.b[0];
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    if (lwe_secret_bits_[i]) acc = q_.add(acc, a[i]);
+  }
+  return acc;
+}
+
+int TfheContext::decrypt_bit(const LweCiphertext& c) const {
+  // Positive centered phase -> 1.
+  return q_.to_centered(phase(c)) > 0 ? 1 : 0;
+}
+
+RgswCiphertext TfheContext::rgsw_encrypt(u64 message, Rng& rng) const {
+  RgswCiphertext g;
+  const std::size_t rows = 2 * static_cast<std::size_t>(ell_);
+  g.b.reserve(rows);
+  g.a.reserve(rows);
+  RnsPoly s_ntt = ring_secret_;
+  s_ntt.to_ntt();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int j = static_cast<int>(r % static_cast<std::size_t>(ell_));
+    const bool second = r >= static_cast<std::size_t>(ell_);
+    // RLWE(0): (b, a) with b = -a*s + e.
+    RnsPoly a = sample_uniform(ring_base_, rng);
+    a.set_ntt_form(true);
+    RnsPoly e = sample_noise(ring_base_, rng);
+    e.to_ntt();
+    RnsPoly b = a;
+    b.mul_pointwise_inplace(s_ntt);
+    b.negate_inplace();
+    b.add_inplace(e);
+    // Add the gadget payload m*B^j to the b-component (first ell rows) or
+    // the a-component (second ell rows).
+    const u64 payload =
+        q_.mul(message % q_.value(),
+               q_.pow(1ULL << params_.log_base, static_cast<u64>(j)));
+    if (payload != 0) {
+      // Constant polynomial `payload` in NTT form is `payload` everywhere.
+      RnsPoly cpoly(ring_base_, true);
+      std::fill(cpoly.limb(0), cpoly.limb(0) + ring_base_->n(), payload);
+      if (second) {
+        a.add_inplace(cpoly);
+      } else {
+        b.add_inplace(cpoly);
+      }
+    }
+    g.b.push_back(std::move(b));
+    g.a.push_back(std::move(a));
+  }
+  return g;
+}
+
+void TfheContext::external_product(const RgswCiphertext& g, RnsPoly& b,
+                                   RnsPoly& a) const {
+  CHAM_CHECK(!b.is_ntt() && !a.is_ntt());
+  const std::size_t n = ring_base_->n();
+  const u64 mask = (1ULL << params_.log_base) - 1;
+  RnsPoly acc_b(ring_base_, true);
+  RnsPoly acc_a(ring_base_, true);
+  RnsPoly digit(ring_base_, false);
+
+  for (int j = 0; j < ell_; ++j) {
+    const int shift = j * params_.log_base;
+    // Digit of the b-component -> rows [0, ell).
+    {
+      const u64* src = b.limb(0);
+      u64* dst = digit.limb(0);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = (src[i] >> shift) & mask;
+      digit.set_ntt_form(false);
+      digit.to_ntt();
+      acc_b.mul_pointwise_acc(digit, g.b[static_cast<std::size_t>(j)]);
+      acc_a.mul_pointwise_acc(digit, g.a[static_cast<std::size_t>(j)]);
+      digit.set_ntt_form(false);  // contents are overwritten next round
+    }
+    // Digit of the a-component -> rows [ell, 2*ell).
+    {
+      const u64* src = a.limb(0);
+      u64* dst = digit.limb(0);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = (src[i] >> shift) & mask;
+      digit.to_ntt();
+      acc_b.mul_pointwise_acc(
+          digit, g.b[static_cast<std::size_t>(ell_ + j)]);
+      acc_a.mul_pointwise_acc(
+          digit, g.a[static_cast<std::size_t>(ell_ + j)]);
+      digit.set_ntt_form(false);
+    }
+  }
+  acc_b.from_ntt();
+  acc_a.from_ntt();
+  b = std::move(acc_b);
+  a = std::move(acc_a);
+}
+
+void TfheContext::blind_rotate(const std::vector<u64>& a_tilde, u64 b_tilde,
+                               RnsPoly& acc_b, RnsPoly& acc_a) const {
+  const std::size_t n = ring_base_->n();
+  const std::size_t two_n = 2 * n;
+  // Test vector: q/8 at every coefficient, rotated by X^{-b~}.
+  RnsPoly test(ring_base_, false);
+  std::fill(test.limb(0), test.limb(0) + n, q_.value() / 8);
+  const std::size_t shift = (two_n - (b_tilde % two_n)) % two_n;
+  acc_b = shift == 0 ? test : test.shiftneg(shift);
+  acc_a = RnsPoly(ring_base_, false);
+
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    const u64 k = a_tilde[i] % two_n;
+    if (k == 0) continue;
+    // CMux: acc += (X^{-k} - 1) * (BSK_i ⊡ acc).
+    RnsPoly tb = acc_b;
+    RnsPoly ta = acc_a;
+    external_product(bsk_[i], tb, ta);
+    const std::size_t s = two_n - k;  // in (0, 2N)
+    RnsPoly rb = tb.shiftneg(s);
+    RnsPoly ra = ta.shiftneg(s);
+    rb.sub_inplace(tb);
+    ra.sub_inplace(ta);
+    acc_b.add_inplace(rb);
+    acc_a.add_inplace(ra);
+  }
+}
+
+LweCiphertext TfheContext::bootstrap_msb(const LweCiphertext& c) const {
+  const u64 q = q_.value();
+  const std::size_t two_n = 2 * ring_base_->n();
+  // Mod-switch the phase arithmetic to Z_{2N}.
+  auto switch_down = [&](u64 v) {
+    // round(2N * v / q)
+    const u128 num = static_cast<u128>(v) * two_n + q / 2;
+    return static_cast<u64>((num / q) % two_n);
+  };
+  std::vector<u64> a_tilde(params_.lwe_n);
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    a_tilde[i] = switch_down(c.a.limb(0)[i]);
+  }
+  const u64 b_tilde = switch_down(c.b[0]);
+
+  RnsPoly acc_b, acc_a;
+  blind_rotate(a_tilde, b_tilde, acc_b, acc_a);
+
+  // Extract coefficient 0: LWE under the ring secret...
+  Ciphertext rlwe;
+  rlwe.b = std::move(acc_b);
+  rlwe.a = std::move(acc_a);
+  LweCiphertext big = extract_lwe(rlwe, 0);
+  // ...and switch back to the user secret.
+  return keyswitch_lwe(big, ksk_);
+}
+
+namespace {
+LweCiphertext trivial_plus(const LweCiphertext& x, u64 value,
+                           const Modulus& q) {
+  LweCiphertext out = x;
+  out.b[0] = q.add(out.b[0], value % q.value());
+  return out;
+}
+}  // namespace
+
+LweCiphertext TfheContext::gate_not(const LweCiphertext& a) const {
+  LweCiphertext out = a;
+  out.b[0] = q_.negate(out.b[0]);
+  for (std::size_t i = 0; i < params_.lwe_n; ++i) {
+    out.a.limb(0)[i] = q_.negate(out.a.limb(0)[i]);
+  }
+  return out;
+}
+
+LweCiphertext TfheContext::gate_nand(const LweCiphertext& a,
+                                     const LweCiphertext& b) const {
+  // bootstrap(q/8 - a - b)
+  LweCiphertext t = gate_not(lwe_add(a, b));
+  t = trivial_plus(t, q_.value() / 8, q_);
+  return bootstrap_msb(t);
+}
+
+LweCiphertext TfheContext::gate_and(const LweCiphertext& a,
+                                    const LweCiphertext& b) const {
+  // bootstrap(a + b - q/8)
+  LweCiphertext t = lwe_add(a, b);
+  t = trivial_plus(t, q_.negate(q_.value() / 8), q_);
+  return bootstrap_msb(t);
+}
+
+LweCiphertext TfheContext::gate_or(const LweCiphertext& a,
+                                   const LweCiphertext& b) const {
+  // bootstrap(a + b + q/8)
+  LweCiphertext t = lwe_add(a, b);
+  t = trivial_plus(t, q_.value() / 8, q_);
+  return bootstrap_msb(t);
+}
+
+}  // namespace tfhe
+}  // namespace cham

@@ -1,0 +1,109 @@
+// TFHE/FHEW-style gate bootstrapping over the library's ring arithmetic.
+//
+// The paper's introduction motivates CHAM by the rise of hybrid-scheme
+// algorithms (B/FV + CKKS + TFHE, e.g. CHIMERA and PEGASUS): linear layers
+// run under B/FV/CKKS, non-linear functions under TFHE. This module
+// supplies the TFHE side using the same building blocks the accelerator
+// provides — negacyclic NTT, polynomial shift (MultMono), sample
+// extraction, LWE key switching:
+//
+//   LWE(m)  --modswitch to 2N-->  blind rotation over R_q (n CMux gates,
+//   each an RGSW external product)  --extract_lwe-->  LWE under the ring
+//   key  --keyswitch_lwe-->  LWE under the original key.
+//
+// Messages are bits encoded at q/4; `bootstrap_msb` refreshes noise and
+// evaluates the sign test, and NAND/AND/OR gates derive from it.
+// Parameters are deliberately small (N=1024, one 35-bit paper prime,
+// n_lwe a few hundred) — this is a functional reproduction of the scheme
+// CHAM's conversion layer is designed to interoperate with.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "lwe/lwe_ops.h"
+
+namespace cham {
+namespace tfhe {
+
+struct TfheParams {
+  std::size_t ring_n = 1024;   // blind-rotation ring dimension
+  u64 q = (1ULL << 34) + (1ULL << 27) + 1;  // paper prime q0
+  std::size_t lwe_n = 256;     // LWE dimension of the user-facing cts
+  int log_base = 7;            // RGSW gadget digit width
+  int ks_log_base = 8;         // LWE keyswitch digit width
+};
+
+// RGSW ciphertext: 2*ell RLWE rows (gadget encryptions of m and m*s),
+// stored in NTT form for fast external products.
+struct RgswCiphertext {
+  // rows[j]: (b, a) pair over the single-limb base, NTT domain.
+  std::vector<RnsPoly> b;
+  std::vector<RnsPoly> a;
+};
+
+class TfheContext {
+ public:
+  static std::shared_ptr<TfheContext> create(const TfheParams& params,
+                                             Rng& rng);
+
+  const TfheParams& params() const { return params_; }
+  const RnsBasePtr& ring_base() const { return ring_base_; }
+  int ell() const { return ell_; }
+
+  // --- user-facing LWE bits under the small-dimension secret ------------
+  // Encrypt a bit (message m*q/4 + e).
+  LweCiphertext encrypt_bit(int bit, Rng& rng) const;
+  int decrypt_bit(const LweCiphertext& c) const;
+  // Raw phase (for noise inspection in tests).
+  u64 phase(const LweCiphertext& c) const;
+
+  // --- bootstrapping ------------------------------------------------------
+  // Refresh: output encrypts q/8*(+1) if phase(c) ∈ (0, q/2), q/8*(-1)
+  // otherwise, plus the constant q/8 -> fresh encryptions of the msb test.
+  LweCiphertext bootstrap_msb(const LweCiphertext& c) const;
+
+  // Boolean gates on bit ciphertexts (each ends with a bootstrap, so
+  // outputs are fresh).
+  LweCiphertext gate_nand(const LweCiphertext& a, const LweCiphertext& b) const;
+  LweCiphertext gate_and(const LweCiphertext& a, const LweCiphertext& b) const;
+  LweCiphertext gate_or(const LweCiphertext& a, const LweCiphertext& b) const;
+  LweCiphertext gate_not(const LweCiphertext& a) const;
+
+  // The user-facing LWE secret — hybrid pipelines build bridge key-switch
+  // keys from another scheme's ring secret to this (see
+  // examples/hybrid_demo.cpp).
+  const LweSecret& user_secret() const { return lwe_secret_; }
+
+  // Internals exposed for tests.
+  RgswCiphertext rgsw_encrypt(u64 message, Rng& rng) const;  // small m
+  // RLWE external product: RGSW(m) ⊡ (b, a) -> RLWE(m * pt).
+  void external_product(const RgswCiphertext& g, RnsPoly& b, RnsPoly& a) const;
+
+ private:
+  TfheContext() = default;
+  void generate_keys(Rng& rng);
+  // Blind rotation of the test vector by -phase(c~) with c~ mod 2N.
+  void blind_rotate(const std::vector<u64>& a_tilde, u64 b_tilde,
+                    RnsPoly& acc_b, RnsPoly& acc_a) const;
+
+  TfheParams params_;
+  int ell_ = 0;
+  RnsBasePtr ring_base_;   // {q}, dimension ring_n
+  Modulus q_;
+  // Ring secret (for blind rotation + extraction).
+  RnsPoly ring_secret_;    // coefficient form
+  // User LWE secret (binary) of dimension lwe_n over ring_base_ layout.
+  LweSecret lwe_secret_;
+  std::vector<int> lwe_secret_bits_;
+  // Bootstrapping key: RGSW encryptions of each LWE secret bit.
+  std::vector<RgswCiphertext> bsk_;
+  // Keyswitch ring-dim -> lwe_n.
+  LweSwitchKey ksk_;
+};
+
+using TfheContextPtr = std::shared_ptr<TfheContext>;
+
+}  // namespace tfhe
+}  // namespace cham

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "apps/beaver.h"
+#include "apps/heterolr.h"
+
+namespace cham {
+namespace {
+
+// ------------------------------------------------------------ fixed point
+
+TEST(FixedPoint, EncodeDecodeRoundTrip) {
+  FixedPoint fx(65537, 6);
+  for (double x : {0.0, 1.0, -1.0, 0.5, -0.25, 3.14159, -2.71828}) {
+    EXPECT_NEAR(fx.decode(fx.encode(x)), x, 1.0 / 64 + 1e-12) << x;
+  }
+}
+
+TEST(FixedPoint, ProductLevels) {
+  FixedPoint fx(1ULL << 31 | 11, 6);  // odd modulus
+  Modulus t(fx.t());
+  const double a = 1.5, b = -2.25;
+  const u64 prod = t.mul(fx.encode(a), fx.encode(b));
+  EXPECT_NEAR(fx.decode(prod, 2), a * b, 1e-2);
+}
+
+TEST(FixedPoint, OverflowThrows) {
+  FixedPoint fx(65537, 10);
+  EXPECT_THROW(fx.encode(100.0), CheckError);  // 100*2^10 > t/2
+  EXPECT_NO_THROW(fx.encode(10.0));
+}
+
+TEST(FixedPoint, VectorHelpers) {
+  FixedPoint fx(65537, 4);
+  std::vector<double> xs{0.5, -0.5, 2.0};
+  auto enc = fx.encode_vector(xs);
+  auto dec = fx.decode_vector(enc);
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(dec[i], xs[i], 1e-9);
+}
+
+// -------------------------------------------------------------- dataset/LR
+
+TEST(HeteroLr, SyntheticDatasetShapes) {
+  Rng rng(1);
+  auto d = LrDataset::synthetic(100, 8, 12, rng);
+  EXPECT_EQ(d.xa.size(), 100u * 8);
+  EXPECT_EQ(d.xb.size(), 100u * 12);
+  EXPECT_EQ(d.y.size(), 100u);
+  int ones = 0;
+  for (double v : d.y) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    ones += v == 1.0;
+  }
+  EXPECT_GT(ones, 10);
+  EXPECT_LT(ones, 90);
+}
+
+TEST(HeteroLr, PlaintextTrainingConverges) {
+  Rng rng(2);
+  auto d = LrDataset::synthetic(600, 10, 10, rng);
+  auto model = train_plaintext(d, /*epochs=*/40, /*lr=*/0.8, /*batch=*/64);
+  EXPECT_GT(accuracy(d, model), 0.80);
+  LrModel zero{std::vector<double>(10, 0), std::vector<double>(10, 0)};
+  EXPECT_GT(accuracy(d, model), accuracy(d, zero));
+}
+
+TEST(HeteroLr, BfvGradientMatchesModTReference) {
+  Rng rng(3);
+  auto d = LrDataset::synthetic(64, 6, 6, rng);
+  BfvLrBackend backend(64, /*use_accelerator=*/false, 99);
+  auto model = train_plaintext(d, 2, 0.5, 32);
+  auto in = make_batch_inputs(d, model, 0, 64, backend.fx(), true);
+  LrStepTimings tm;
+  auto grad = backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed, &tm);
+  EXPECT_EQ(grad,
+            reference_gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                               backend.fx()));
+  EXPECT_GT(tm.total(), 0.0);
+  EXPECT_GT(tm.matvec, 0.0);
+}
+
+TEST(HeteroLr, BfvGradientApproximatesRealGradient) {
+  Rng rng(4);
+  auto d = LrDataset::synthetic(64, 4, 4, rng);
+  BfvLrBackend backend(64, false, 7);
+  auto model = train_plaintext(d, 1, 0.5, 64);
+  auto in = make_batch_inputs(d, model, 0, 64, backend.fx(), true);
+  auto grad = backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                               nullptr);
+  // Compare against the float64 gradient of the same residual.
+  for (std::size_t j = 0; j < d.features_a; ++j) {
+    double expect = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+      double ua = 0, ub = 0;
+      for (std::size_t k = 0; k < d.features_a; ++k)
+        ua += d.xa[i * d.features_a + k] * model.wa[k];
+      for (std::size_t k = 0; k < d.features_b; ++k)
+        ub += d.xb[i * d.features_b + k] * model.wb[k];
+      const double res = 0.25 * (ua + ub) + 0.5 - d.y[i];
+      expect += d.xa[i * d.features_a + j] * res;
+    }
+    EXPECT_NEAR(backend.fx().decode(grad[j], 3), expect, 64 * 0.15)
+        << "feature " << j;
+  }
+}
+
+TEST(HeteroLr, AcceleratedBackendSameResultDifferentClock) {
+  Rng rng(5);
+  auto d = LrDataset::synthetic(32, 4, 4, rng);
+  BfvLrBackend cpu(64, false, 42);
+  BfvLrBackend dev(64, true, 42);  // same seed -> same keys/ciphertexts
+  auto model = train_plaintext(d, 1, 0.5, 32);
+  auto in = make_batch_inputs(d, model, 0, 32, cpu.fx(), false);
+  LrStepTimings tc, td;
+  auto g1 = cpu.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed, &tc);
+  auto g2 = dev.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed, &td);
+  EXPECT_EQ(g1, g2);
+  // The device-model matvec time is deterministic model output.
+  EXPECT_GT(td.matvec, 0.0);
+}
+
+TEST(HeteroLr, PaillierGradientMatchesModTReference) {
+  Rng rng(6);
+  auto d = LrDataset::synthetic(16, 4, 4, rng);
+  PaillierLrBackend backend(256, 5, 11);
+  auto model = train_plaintext(d, 1, 0.5, 16);
+  auto in = make_batch_inputs(d, model, 0, 16, backend.fx(), true);
+  LrStepTimings tm;
+  auto grad = backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed, &tm);
+  EXPECT_EQ(grad,
+            reference_gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
+                               backend.fx()));
+  EXPECT_GT(tm.matvec, 0.0);
+}
+
+TEST(HeteroLr, PaillierOpCostsPositive) {
+  PaillierLrBackend backend(256, 5, 13);
+  auto costs = backend.measure_op_costs(2);
+  EXPECT_GT(costs.encrypt_sec, 0.0);
+  EXPECT_GT(costs.scalar_mul_sec, 0.0);
+  EXPECT_GT(costs.decrypt_sec, 0.0);
+  // Homomorphic add (one bignum product) is much cheaper than encryption
+  // (an n-bit exponentiation).
+  EXPECT_LT(costs.add_sec, costs.encrypt_sec);
+}
+
+// ----------------------------------------------------------------- Beaver
+
+TEST(Beaver, TripleVerifies) {
+  Rng rng(7);
+  BeaverGenerator gen(64, false, 3);
+  auto w = DenseMatrix::random(32, 64, gen.context()->params().t, rng);
+  BeaverTimings tm;
+  auto triple = gen.generate(w, &tm);
+  EXPECT_TRUE(verify_triple(w, triple, gen.context()->params().t));
+  EXPECT_GT(tm.total(), 0.0);
+}
+
+TEST(Beaver, MaskActuallyMasks) {
+  // wr_minus_s must differ from W·r (the mask hides the result).
+  Rng rng(8);
+  BeaverGenerator gen(64, false, 5);
+  auto w = DenseMatrix::random(16, 64, gen.context()->params().t, rng);
+  auto triple = gen.generate(w);
+  auto wr = HmvpEngine::reference(w, triple.r, gen.context()->params().t);
+  EXPECT_NE(triple.wr_minus_s, wr);
+}
+
+TEST(Beaver, NonSquareShapes) {
+  Rng rng(9);
+  BeaverGenerator gen(64, false, 7);
+  const u64 t = gen.context()->params().t;
+  for (auto [m, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 64}, {100, 64}, {7, 130}}) {
+    auto w = DenseMatrix::random(m, n, t, rng);
+    auto triple = gen.generate(w);
+    EXPECT_TRUE(verify_triple(w, triple, t)) << m << "x" << n;
+  }
+}
+
+TEST(Beaver, AcceleratedGeneratorVerifiesToo) {
+  Rng rng(10);
+  BeaverGenerator gen(64, true, 7);
+  auto w = DenseMatrix::random(32, 64, gen.context()->params().t, rng);
+  BeaverTimings tm;
+  auto triple = gen.generate(w, &tm);
+  EXPECT_TRUE(verify_triple(w, triple, gen.context()->params().t));
+  EXPECT_GT(tm.server_compute, 0.0);
+}
+
+TEST(Beaver, VerifyRejectsCorruptedTriple) {
+  Rng rng(11);
+  BeaverGenerator gen(64, false, 9);
+  const u64 t = gen.context()->params().t;
+  auto w = DenseMatrix::random(8, 64, t, rng);
+  auto triple = gen.generate(w);
+  triple.s[3] = (triple.s[3] + 1) % t;
+  EXPECT_FALSE(verify_triple(w, triple, t));
+}
+
+}  // namespace
+}  // namespace cham

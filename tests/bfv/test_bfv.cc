@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "common/random.h"
+
+namespace cham {
+namespace {
+
+struct BfvFixture {
+  explicit BfvFixture(std::size_t n = 256, u64 t = 65537, u64 seed = 123)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n, t))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, &keygen.secret_key(), rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+
+  std::vector<u64> random_message(std::size_t len) {
+    std::vector<u64> m(len);
+    for (auto& v : m) v = rng.uniform(ctx->params().t);
+    return m;
+  }
+};
+
+TEST(BfvContext, ValidatesParams) {
+  BfvParams p = BfvParams::test();
+  p.t = 65536;  // even
+  EXPECT_THROW(BfvContext::create(p), CheckError);
+  p = BfvParams::test();
+  p.q_primes.clear();
+  EXPECT_THROW(BfvContext::create(p), CheckError);
+  p = BfvParams::test();
+  p.q_primes[0] = 1ULL << 34;  // not prime
+  EXPECT_THROW(BfvContext::create(p), CheckError);
+  p = BfvParams::test();
+  p.n = 100;  // not a power of two
+  EXPECT_THROW(BfvContext::create(p), CheckError);
+}
+
+TEST(BfvContext, PaperParams) {
+  auto ctx = BfvContext::create(BfvParams::paper());
+  EXPECT_EQ(ctx->n(), 4096u);
+  EXPECT_EQ(ctx->base_q()->size(), 2u);
+  EXPECT_EQ(ctx->base_qp()->size(), 3u);
+  // Paper Sec. II-F: ~109-bit total with special modulus, ~70-bit q.
+  EXPECT_NEAR(ctx->base_qp()->total_modulus_log2(), 108.0, 2.0);
+  EXPECT_NEAR(ctx->base_q()->total_modulus_log2(), 69.0, 2.0);
+}
+
+TEST(Bfv, EncryptDecryptRoundTrip) {
+  BfvFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto back = f.decryptor.decrypt(ct);
+  EXPECT_EQ(back.coeffs, m);
+}
+
+TEST(Bfv, SymmetricEncryptDecrypt) {
+  BfvFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt_symmetric(f.encoder.encode_vector(m));
+  EXPECT_EQ(f.decryptor.decrypt(ct).coeffs, m);
+}
+
+TEST(Bfv, FreshNoiseBudgetIsLarge) {
+  BfvFixture f;
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(f.random_message(8)));
+  // Noise is measured after the decryptor's internal mod-switch to base_q:
+  // Δ_q ~ 2^52 for t=2^16 and the switched fresh noise is near the
+  // rounding floor, leaving a large budget.
+  EXPECT_GT(f.decryptor.noise_budget_bits(ct), 30.0);
+}
+
+TEST(Bfv, EncryptZeroDecryptsToZero) {
+  BfvFixture f;
+  auto ct = f.encryptor.encrypt_zero();
+  auto pt = f.decryptor.decrypt(ct);
+  for (u64 c : pt.coeffs) EXPECT_EQ(c, 0u);
+}
+
+TEST(Bfv, AdditionHomomorphism) {
+  BfvFixture f;
+  auto m1 = f.random_message(f.ctx->n());
+  auto m2 = f.random_message(f.ctx->n());
+  auto ct1 = f.encryptor.encrypt(f.encoder.encode_vector(m1));
+  auto ct2 = f.encryptor.encrypt(f.encoder.encode_vector(m2));
+  auto sum = f.evaluator.add(ct1, ct2);
+  auto diff = f.evaluator.sub(ct1, ct2);
+  const u64 t = f.ctx->params().t;
+  auto s = f.decryptor.decrypt(sum);
+  auto d = f.decryptor.decrypt(diff);
+  for (std::size_t i = 0; i < f.ctx->n(); ++i) {
+    EXPECT_EQ(s.coeffs[i], (m1[i] + m2[i]) % t);
+    EXPECT_EQ(d.coeffs[i], (m1[i] + t - m2[i]) % t);
+  }
+}
+
+TEST(Bfv, NegateHomomorphism) {
+  BfvFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  f.evaluator.negate_inplace(ct);
+  auto d = f.decryptor.decrypt(ct);
+  const u64 t = f.ctx->params().t;
+  for (std::size_t i = 0; i < f.ctx->n(); ++i)
+    EXPECT_EQ(d.coeffs[i], (t - m[i]) % t);
+}
+
+TEST(Bfv, AddPlain) {
+  BfvFixture f;
+  auto m1 = f.random_message(f.ctx->n());
+  auto m2 = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m1));
+  f.evaluator.add_plain_inplace(ct, f.encoder.encode_vector(m2));
+  auto d = f.decryptor.decrypt(ct);
+  const u64 t = f.ctx->params().t;
+  for (std::size_t i = 0; i < f.ctx->n(); ++i)
+    EXPECT_EQ(d.coeffs[i], (m1[i] + m2[i]) % t);
+}
+
+// Negacyclic convolution of messages mod t — reference for multiply_plain.
+std::vector<u64> negacyclic_mod_t(const std::vector<u64>& a,
+                                  const std::vector<u64>& b, u64 t) {
+  const std::size_t n = a.size();
+  std::vector<u64> out(n, 0);
+  Modulus mt(t);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      u64 prod = mt.mul(a[i] % t, b[j] % t);
+      std::size_t k = i + j;
+      if (k < n) {
+        out[k] = mt.add(out[k], prod);
+      } else {
+        out[k - n] = mt.sub(out[k - n], prod);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Bfv, MultiplyPlainMatchesConvolution) {
+  BfvFixture f(128);
+  // Keep plaintext multiplier small so noise stays manageable pre-rescale.
+  std::vector<u64> m = f.random_message(f.ctx->n());
+  std::vector<u64> w(f.ctx->n());
+  for (auto& v : w) v = f.rng.uniform(256);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto prod = f.evaluator.multiply_plain(ct, f.encoder.encode_vector(w));
+  auto expect = negacyclic_mod_t(m, w, f.ctx->params().t);
+  EXPECT_EQ(f.decryptor.decrypt(prod).coeffs, expect);
+}
+
+TEST(Bfv, RescalePreservesMessageAndCutsNoise) {
+  BfvFixture f(128);
+  auto m = f.random_message(f.ctx->n());
+  std::vector<u64> w(f.ctx->n());
+  for (auto& v : w) v = f.rng.uniform(1024);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto prod = f.evaluator.multiply_plain(ct, f.encoder.encode_vector(w));
+  auto rescaled = f.evaluator.rescale(prod);
+  EXPECT_EQ(rescaled.base(), f.ctx->base_q());
+  auto expect = negacyclic_mod_t(m, w, f.ctx->params().t);
+  EXPECT_EQ(f.decryptor.decrypt(rescaled).coeffs, expect);
+  // The rescale's purpose (pipeline stage 4): the multiplication noise
+  // (~log2(e·||w||_1) ≈ 21 bits here) is divided by the 39-bit special
+  // modulus, landing near the rounding floor; ample budget remains.
+  EXPECT_LT(f.decryptor.noise_bits(rescaled), 16.0);
+  EXPECT_GT(f.decryptor.noise_budget_bits(rescaled), 20.0);
+  // Explicit rescale and the decryptor's internal mod-switch agree.
+  EXPECT_EQ(f.decryptor.decrypt(prod).coeffs, expect);
+}
+
+TEST(Bfv, MultiplyMonomialShiftsCoefficients) {
+  BfvFixture f(64);
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  const std::size_t s = 5;
+  auto shifted = f.evaluator.multiply_monomial(ct, s);
+  auto d = f.decryptor.decrypt(shifted);
+  const u64 t = f.ctx->params().t;
+  for (std::size_t i = 0; i < f.ctx->n(); ++i) {
+    const std::size_t j = (i + s) % f.ctx->n();
+    const bool wrap = i + s >= f.ctx->n();
+    EXPECT_EQ(d.coeffs[j], wrap ? (t - m[i]) % t : m[i]);
+  }
+}
+
+TEST(Bfv, MultiplyMonomialFullRotationNegates) {
+  BfvFixture f(64);
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto rot = f.evaluator.multiply_monomial(ct, 2 * f.ctx->n() - 1);
+  rot = f.evaluator.multiply_monomial(rot, 1);  // total X^{2N} = identity
+  EXPECT_EQ(f.decryptor.decrypt(rot).coeffs, m);
+}
+
+TEST(Bfv, MultiplyScalar) {
+  BfvFixture f(64);
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  f.evaluator.multiply_scalar_inplace(ct, 7);
+  auto d = f.decryptor.decrypt(ct);
+  const u64 t = f.ctx->params().t;
+  for (std::size_t i = 0; i < f.ctx->n(); ++i)
+    EXPECT_EQ(d.coeffs[i], (m[i] * 7) % t);
+}
+
+TEST(Bfv, ApplyGaloisMatchesPlaintextAutomorphism) {
+  BfvFixture f(64);
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto ct_q = f.evaluator.rescale(ct);
+  const u64 k = 5;
+  auto gk = f.keygen.make_galois_keys(0, {k});
+  auto rotated = f.evaluator.apply_galois(ct_q, k, gk);
+  auto d = f.decryptor.decrypt(rotated);
+
+  // Expected: m(X^k) mod t.
+  const std::size_t n = f.ctx->n();
+  Modulus mt(f.ctx->params().t);
+  std::vector<u64> expect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 j = (i * k) % (2 * n);
+    if (j < n) {
+      expect[j] = m[i] % mt.value();
+    } else {
+      expect[j - n] = mt.negate(m[i] % mt.value());
+    }
+  }
+  EXPECT_EQ(d.coeffs, expect);
+}
+
+TEST(Bfv, GaloisKeyRequired) {
+  BfvFixture f(64);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(f.random_message(8)));
+  auto ct_q = f.evaluator.rescale(ct);
+  GaloisKeys empty;
+  empty.context = f.ctx;
+  EXPECT_THROW(f.evaluator.apply_galois(ct_q, 3, empty), CheckError);
+}
+
+TEST(Bfv, DotProductViaEq1Encoding) {
+  // The core Eq. 2 property: constant coefficient of the product is the
+  // inner product <A_i, v>.
+  BfvFixture f(256);
+  const std::size_t n = f.ctx->n();
+  const u64 t = f.ctx->params().t;
+  auto v = f.random_message(n);
+  auto row = f.random_message(n);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(v));
+  auto prod =
+      f.evaluator.multiply_plain(ct, f.encoder.encode_matrix_row(row, 1));
+  auto rescaled = f.evaluator.rescale(prod);
+  Modulus mt(t);
+  u64 expect = 0;
+  for (std::size_t j = 0; j < n; ++j)
+    expect = mt.add(expect, mt.mul(row[j] % t, v[j] % t));
+  EXPECT_EQ(f.decryptor.decrypt_coeff(rescaled, 0), expect);
+}
+
+TEST(Bfv, EncoderRejectsEmptyRow) {
+  BfvFixture f(64);
+  EXPECT_THROW(f.encoder.encode_matrix_row({}, 1), CheckError);
+  EXPECT_THROW(f.encoder.encode_matrix_row(std::vector<u64>(65, 1), 1),
+               CheckError);
+}
+
+TEST(Bfv, RotateRowsByZeroIsIdentity) {
+  BfvFixture f(64);
+  BatchEncoder be(f.ctx);
+  auto slots = f.random_message(f.ctx->n());
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(be.encode(slots)));
+  GaloisKeys empty;
+  empty.context = f.ctx;
+  auto same = f.evaluator.rotate_rows(ct, 0, empty);  // no key needed
+  EXPECT_EQ(be.decode(f.decryptor.decrypt(same)), slots);
+  EXPECT_EQ(be.rotation_galois_element(0), 1u);
+}
+
+TEST(Bfv, DecryptRejectsNttForm) {
+  BfvFixture f(64);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(f.random_message(8)));
+  ct.to_ntt();
+  EXPECT_THROW(f.decryptor.decrypt(ct), CheckError);
+}
+
+// --- parameterized over ring dimension and plaintext modulus ---
+
+struct BfvParamCase {
+  std::size_t n;
+  u64 t;
+};
+
+class BfvParamTest : public ::testing::TestWithParam<BfvParamCase> {};
+
+TEST_P(BfvParamTest, EndToEndDotProduct) {
+  const auto [n, t] = GetParam();
+  BfvFixture f(n, t, /*seed=*/n + t);
+  auto v = f.random_message(n);
+  auto row = f.random_message(n);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(v));
+  auto prod =
+      f.evaluator.multiply_plain(ct, f.encoder.encode_matrix_row(row, 1));
+  auto rescaled = f.evaluator.rescale(prod);
+  Modulus mt(t);
+  u64 expect = 0;
+  for (std::size_t j = 0; j < n; ++j)
+    expect = mt.add(expect, mt.mul(row[j] % t, v[j] % t));
+  EXPECT_EQ(f.decryptor.decrypt_coeff(rescaled, 0), expect);
+  EXPECT_GT(f.decryptor.noise_budget_bits(rescaled), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BfvParamTest,
+    ::testing::Values(BfvParamCase{64, 65537}, BfvParamCase{256, 65537},
+                      BfvParamCase{1024, 65537}, BfvParamCase{4096, 65537},
+                      BfvParamCase{256, 40961}, BfvParamCase{256, 12289},
+                      BfvParamCase{64, 257}, BfvParamCase{4096, 786433}));
+
+TEST(BatchEncoder, EncodeDecodeRoundTrip) {
+  BfvFixture f(256);
+  BatchEncoder be(f.ctx);
+  auto slots = f.random_message(f.ctx->n());
+  auto pt = be.encode(slots);
+  EXPECT_EQ(be.decode(pt), slots);
+}
+
+TEST(BatchEncoder, EncryptedSlotwiseProduct) {
+  BfvFixture f(256);
+  BatchEncoder be(f.ctx);
+  auto s1 = f.random_message(f.ctx->n());
+  std::vector<u64> s2(f.ctx->n());
+  for (auto& v : s2) v = f.rng.uniform(512);
+  auto ct = f.encryptor.encrypt(be.encode(s1));
+  auto prod = f.evaluator.multiply_plain(ct, be.encode(s2));
+  auto slots = be.decode(f.decryptor.decrypt(f.evaluator.rescale(prod)));
+  Modulus mt(f.ctx->params().t);
+  for (std::size_t i = 0; i < f.ctx->n(); ++i) {
+    EXPECT_EQ(slots[i], mt.mul(s1[i], s2[i]));
+  }
+}
+
+TEST(BatchEncoder, RotationRotatesRows) {
+  BfvFixture f(64);
+  BatchEncoder be(f.ctx);
+  const std::size_t n = f.ctx->n();
+  auto slots = f.random_message(n);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(be.encode(slots)));
+  const std::size_t r = 3;
+  auto gk = f.keygen.make_galois_keys(0, {be.rotation_galois_element(r)});
+  auto rot = f.evaluator.rotate_rows(ct, r, gk);
+  auto out = be.decode(f.decryptor.decrypt(rot));
+  const std::size_t half = n / 2;
+  for (std::size_t j = 0; j < half; ++j) {
+    EXPECT_EQ(out[j], slots[(j + r) % half]) << j;
+    EXPECT_EQ(out[half + j], slots[half + (j + r) % half]) << j;
+  }
+}
+
+TEST(BatchEncoder, RowSwap) {
+  BfvFixture f(64);
+  BatchEncoder be(f.ctx);
+  const std::size_t n = f.ctx->n();
+  auto slots = f.random_message(n);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(be.encode(slots)));
+  const u64 k = be.row_swap_galois_element();
+  auto gk = f.keygen.make_galois_keys(0, {k});
+  auto swapped = f.evaluator.apply_galois(ct, k, gk);
+  auto out = be.decode(f.decryptor.decrypt(swapped));
+  const std::size_t half = n / 2;
+  for (std::size_t j = 0; j < half; ++j) {
+    EXPECT_EQ(out[j], slots[half + j]);
+    EXPECT_EQ(out[half + j], slots[j]);
+  }
+}
+
+TEST(BatchEncoder, RequiresCompatibleT) {
+  // t = 257: 2N = 128 does not divide 256? It does for n=64... use n=256:
+  // 2N = 512 does not divide 256.
+  auto ctx = BfvContext::create(BfvParams::test(256, 257));
+  EXPECT_THROW(BatchEncoder be(ctx), CheckError);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,122 @@
+// Failure-injection tests: corrupted ciphertexts, exhausted noise budgets,
+// and mismatched key material must degrade loudly (wrong decryptions that
+// the noise meter flags, or thrown contract errors) — never crash or
+// silently succeed.
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+
+namespace cham {
+namespace {
+
+struct InjectFixture {
+  explicit InjectFixture(u64 seed = 51)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(64))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+TEST(FailureInjection, CorruptedLimbChangesDecryption) {
+  InjectFixture f;
+  std::vector<u64> m(f.ctx->n(), 7);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  // Flip a mid-significance chunk of one coefficient of the a-polynomial.
+  ct.a.limb(0)[5] ^= 0x3FFFFFF;
+  auto out = f.decryptor.decrypt(ct);  // must not crash
+  EXPECT_NE(out.coeffs, m);
+  // The noise meter must report a blown budget: a garbage phase leaves a
+  // uniform residual just under Δ/2, so the budget collapses to ~0 bits
+  // (a healthy fresh ciphertext shows >30).
+  EXPECT_LT(f.decryptor.noise_budget_bits(ct), 1.0);
+}
+
+TEST(FailureInjection, NoiseExhaustionIsDetectedBeforeCorruption) {
+  InjectFixture f;
+  std::vector<u64> m(f.ctx->n(), 3);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(f.encoder.encode_vector(m)));
+  // Repeated scalar multiplication doubles the noise each step. The
+  // meter's guarantee: while it shows comfortable headroom (> 2 bits),
+  // decryption is correct; and the budget must eventually collapse with
+  // decryption failing shortly after. (At the exact boundary step the
+  // residual re-anchors to the wrong lattice point, so the meter cannot
+  // flag that single step after the fact — the guarantee is the
+  // *pre-failure* headroom.)
+  bool failed_with_headroom = false;
+  bool eventually_broke = false;
+  double last_budget = f.decryptor.noise_budget_bits(ct);
+  for (int step = 0; step < 64; ++step) {
+    f.evaluator.multiply_scalar_inplace(ct, 2);
+    for (auto& v : m) v = (v * 2) % f.ctx->params().t;
+    const double budget_before_check = last_budget;  // headroom going in
+    const bool decrypts = f.decryptor.decrypt(ct).coeffs == m;
+    last_budget = f.decryptor.noise_budget_bits(ct);
+    if (!decrypts) {
+      eventually_broke = true;
+      // One doubling consumes ~1 bit; failure from >2 bits of headroom
+      // would mean the meter lied.
+      if (budget_before_check > 2.0) failed_with_headroom = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(eventually_broke) << "noise never exhausted in 64 doublings";
+  EXPECT_FALSE(failed_with_headroom)
+      << "decryption failed from >2 bits of reported headroom";
+}
+
+TEST(FailureInjection, WrongSecretKeyYieldsGarbage) {
+  InjectFixture f;
+  Rng rng2(999);
+  KeyGenerator other(f.ctx, rng2);
+  Decryptor wrong(f.ctx, other.secret_key());
+  std::vector<u64> m(f.ctx->n(), 123);
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  EXPECT_NE(wrong.decrypt(ct).coeffs, m);
+  EXPECT_LT(wrong.noise_budget_bits(ct), 1.0);
+}
+
+TEST(FailureInjection, MixedContextOperandsThrow) {
+  InjectFixture f;
+  auto ctx2 = BfvContext::create(BfvParams::test(128));
+  Rng rng2(5);
+  KeyGenerator kg2(ctx2, rng2);
+  auto pk2 = kg2.make_public_key();
+  Encryptor enc2(ctx2, &pk2, nullptr, rng2);
+  CoeffEncoder encoder2(ctx2);
+  auto ct1 = f.encryptor.encrypt(f.encoder.encode_vector({1}));
+  auto ct2 = enc2.encrypt(encoder2.encode_vector({2}));
+  EXPECT_THROW(f.evaluator.add(ct1, ct2), CheckError);
+}
+
+TEST(FailureInjection, GaloisKeyFromWrongSecretBreaksLoudly) {
+  InjectFixture f;
+  Rng rng2(77);
+  KeyGenerator other(f.ctx, rng2);
+  auto wrong_gk = other.make_galois_keys(0, {3});
+  std::vector<u64> m(f.ctx->n(), 9);
+  auto ct = f.evaluator.rescale(f.encryptor.encrypt(f.encoder.encode_vector(m)));
+  auto rotated = f.evaluator.apply_galois(ct, 3, wrong_gk);
+  // Result must be garbage (and flagged), not silently plausible.
+  EXPECT_LT(f.decryptor.noise_budget_bits(rotated), 1.0);
+  EXPECT_NE(f.decryptor.decrypt(rotated).coeffs, m);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,140 @@
+// Property tests: measured noise never exceeds the analytic bounds, and
+// whenever the estimator certifies decryption, decryption succeeds.
+#include "bfv/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "hmvp/hmvp.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+struct NoiseFixture {
+  explicit NoiseFixture(std::size_t n = 128, u64 seed = 31)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        gk(keygen.make_galois_keys(log2_exact(n))),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx),
+        estimator(ctx) {}
+
+  double measured_noise(const Ciphertext& ct) {
+    return std::exp2(decryptor.noise_bits(ct));
+  }
+
+  std::vector<u64> random_message(std::size_t len, u64 cap = 0) {
+    const u64 bound = cap == 0 ? ctx->params().t : cap;
+    std::vector<u64> m(len);
+    for (auto& v : m) v = rng.uniform(bound);
+    return m;
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  GaloisKeys gk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+  NoiseEstimator estimator;
+};
+
+TEST(Noise, FreshBoundHolds) {
+  NoiseFixture f;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto ct = f.encryptor.encrypt(
+        f.encoder.encode_vector(f.random_message(f.ctx->n())));
+    // The decryptor measures after the internal mod-switch to base_q, so
+    // compare against the rescaled fresh bound.
+    const double bound = f.estimator.after_rescale(f.estimator.fresh_bound());
+    EXPECT_LE(f.measured_noise(ct), bound);
+  }
+}
+
+TEST(Noise, MultiplyPlainBoundHolds) {
+  NoiseFixture f;
+  for (u64 w : {2ULL, 64ULL, 1024ULL, 32768ULL}) {
+    auto ct = f.encryptor.encrypt(
+        f.encoder.encode_vector(f.random_message(f.ctx->n())));
+    auto prod = f.evaluator.multiply_plain(
+        ct, f.encoder.encode_vector(f.random_message(f.ctx->n(), w)));
+    auto rescaled = f.evaluator.rescale(prod);
+    const double centered_w = static_cast<double>(w) / 2.0 + 1;
+    const double bound = f.estimator.after_rescale(
+        f.estimator.after_multiply_plain(f.estimator.fresh_bound(),
+                                         centered_w));
+    EXPECT_LE(f.measured_noise(rescaled), bound) << "w=" << w;
+    EXPECT_TRUE(f.estimator.certifies_decryption(bound));
+  }
+}
+
+TEST(Noise, HmvpEndToEndBoundHoldsAndCertifies) {
+  NoiseFixture f;
+  HmvpEngine engine(f.ctx, &f.gk);
+  const std::size_t m = f.ctx->n();  // full pack, deepest tree
+  auto a = DenseMatrix::random(m, f.ctx->n(), f.ctx->params().t, f.rng);
+  auto v = f.random_message(f.ctx->n());
+  auto ct_v = engine.encrypt_vector(v, f.encryptor);
+  auto res = engine.multiply(a, ct_v);
+  const int levels = log2_exact(res.pack_count);
+  const double w = static_cast<double>(f.ctx->params().t) / 2.0 + 1;
+  const double bound = f.estimator.hmvp_bound(w, levels);
+  EXPECT_LE(f.measured_noise(res.packed[0]), bound);
+  EXPECT_TRUE(f.estimator.certifies_decryption(bound))
+      << "paper parameters must certify a full-depth pack";
+  // And indeed it decrypts correctly:
+  EXPECT_EQ(engine.decrypt_result(res, f.decryptor),
+            HmvpEngine::reference(a, v, f.ctx->params().t));
+}
+
+TEST(Noise, PackTreeGrowthIsGeometric) {
+  NoiseFixture f;
+  const double b0 = 100.0;
+  const double b1 = f.estimator.after_pack_tree(b0, 1);
+  const double b4 = f.estimator.after_pack_tree(b0, 4);
+  EXPECT_GT(b1, 2 * b0);
+  EXPECT_GT(b4, 16 * b0);
+  EXPECT_LT(b4, 16 * b1);  // key-switch terms amortise sub-geometrically
+}
+
+TEST(Noise, PaperParametersCertifyFullPipeline) {
+  // At N=4096, t=65537, full 4096-deep pack with worst-case entries.
+  auto ctx = BfvContext::create(BfvParams::paper());
+  NoiseEstimator est(ctx);
+  const double w = 65537.0 / 2;
+  EXPECT_TRUE(est.certifies_decryption(est.hmvp_bound(w, 12)))
+      << "bound " << std::log2(est.hmvp_bound(w, 12)) << " bits vs Δ/2 "
+      << std::log2(est.decryption_threshold());
+}
+
+TEST(Noise, OversizedPlaintextModulusFailsCertification) {
+  // With t ~ 2^45 the same pipeline must NOT certify (Δ too small).
+  BfvParams p = BfvParams::paper();
+  p.t = (1ULL << 45) + 5;  // odd
+  auto ctx = BfvContext::create(p);
+  NoiseEstimator est(ctx);
+  EXPECT_FALSE(
+      est.certifies_decryption(est.hmvp_bound(static_cast<double>(p.t) / 2, 12)));
+}
+
+TEST(Noise, ChunksScaleTheBound) {
+  NoiseFixture f;
+  const double one = f.estimator.hmvp_bound(100.0, 4, 1);
+  const double four = f.estimator.hmvp_bound(100.0, 4, 4);
+  EXPECT_GT(four, one);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,118 @@
+// Randomized integration property test: apply a random sequence of
+// homomorphic operations to a ciphertext while mirroring every operation
+// on a plaintext shadow; decryption must match the shadow at every step.
+// This catches cross-operation interactions (domain bugs, base mixing,
+// noise blowups) that single-op unit tests cannot.
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "common/random.h"
+
+namespace cham {
+namespace {
+
+class OpSequenceTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(OpSequenceTest, RandomProgramMatchesShadow) {
+  const u64 seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 64;
+  auto ctx = BfvContext::create(BfvParams::test(n));
+  const u64 t = ctx->params().t;
+  Modulus mt(t);
+  KeyGenerator keygen(ctx, rng);
+  auto pk = keygen.make_public_key();
+  auto gk = keygen.make_galois_keys(0, {3, 5, 9, 2 * n - 1});
+  Encryptor enc(ctx, &pk, nullptr, rng);
+  Decryptor dec(ctx, keygen.secret_key());
+  Evaluator eval(ctx);
+  CoeffEncoder encoder(ctx);
+
+  // Shadow state: message polynomial mod t.
+  std::vector<u64> shadow(n);
+  for (auto& v : shadow) v = rng.uniform(t);
+  Ciphertext ct = eval.rescale(enc.encrypt(encoder.encode_vector(shadow)));
+
+  auto shadow_automorph = [&](u64 k) {
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 j = (i * k) % (2 * n);
+      if (j < n) {
+        out[j] = shadow[i];
+      } else {
+        out[j - n] = mt.negate(shadow[i]);
+      }
+    }
+    shadow = out;
+  };
+  auto shadow_monomial = [&](std::size_t s) {
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = i + s;
+      const bool neg = (j / n) % 2 == 1;
+      out[j % n] = neg ? mt.negate(shadow[i]) : shadow[i];
+    }
+    shadow = out;
+  };
+
+  const int steps = 24;
+  for (int step = 0; step < steps; ++step) {
+    switch (rng.uniform(6)) {
+      case 0: {  // add fresh ciphertext
+        std::vector<u64> m(n);
+        for (auto& v : m) v = rng.uniform(t);
+        auto other = eval.rescale(enc.encrypt(encoder.encode_vector(m)));
+        eval.add_inplace(ct, other);
+        for (std::size_t i = 0; i < n; ++i)
+          shadow[i] = mt.add(shadow[i], m[i]);
+        break;
+      }
+      case 1: {  // add plaintext
+        std::vector<u64> m(n);
+        for (auto& v : m) v = rng.uniform(t);
+        eval.add_plain_inplace(ct, encoder.encode_vector(m));
+        for (std::size_t i = 0; i < n; ++i)
+          shadow[i] = mt.add(shadow[i], m[i]);
+        break;
+      }
+      case 2: {  // negate
+        eval.negate_inplace(ct);
+        for (auto& v : shadow) v = mt.negate(v);
+        break;
+      }
+      case 3: {  // small scalar multiply
+        const u64 c = 1 + rng.uniform(6);
+        eval.multiply_scalar_inplace(ct, c);
+        for (auto& v : shadow) v = mt.mul(v, c);
+        break;
+      }
+      case 4: {  // monomial multiply
+        const std::size_t s = rng.uniform(2 * n);
+        ct = eval.multiply_monomial(ct, s);
+        shadow_monomial(s);
+        break;
+      }
+      case 5: {  // Galois automorphism with key-switch
+        static const u64 ks[] = {3, 5, 9, 127};
+        const u64 k = ks[rng.uniform(4)] % (2 * n);
+        ct = eval.apply_galois(ct, k, gk);
+        shadow_automorph(k);
+        break;
+      }
+    }
+    ASSERT_EQ(dec.decrypt(ct).coeffs, shadow)
+        << "diverged at step " << step << " (seed " << seed << ")";
+    ASSERT_GT(dec.noise_budget_bits(ct), 0.0)
+        << "noise exhausted at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpSequenceTest,
+                         ::testing::Range<u64>(1, 13));
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,210 @@
+#include "bignum/biguint.h"
+
+#include <gtest/gtest.h>
+
+namespace cham {
+namespace {
+
+TEST(BigUInt, HexRoundTrip) {
+  for (const char* h : {"0", "1", "ff", "deadbeef", "123456789abcdef0",
+                        "fedcba98765432100123456789abcdef"}) {
+    EXPECT_EQ(BigUInt::from_hex(h).to_hex(), h);
+  }
+  EXPECT_THROW(BigUInt::from_hex("xyz"), CheckError);
+}
+
+TEST(BigUInt, BitLength) {
+  EXPECT_EQ(BigUInt(0).bit_length(), 0);
+  EXPECT_EQ(BigUInt(1).bit_length(), 1);
+  EXPECT_EQ(BigUInt(255).bit_length(), 8);
+  EXPECT_EQ(BigUInt(256).bit_length(), 9);
+  EXPECT_EQ((BigUInt(1) << 100).bit_length(), 101);
+}
+
+TEST(BigUInt, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto a = BigUInt::random_bits(100 + static_cast<int>(rng.uniform(100)), rng);
+    auto b = BigUInt::random_bits(50 + static_cast<int>(rng.uniform(100)), rng);
+    auto s = a + b;
+    EXPECT_EQ(s - b, a);
+    EXPECT_EQ(s - a, b);
+    EXPECT_TRUE(s >= a && s >= b);
+  }
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), CheckError);
+}
+
+TEST(BigUInt, SmallArithmeticMatchesU64) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.uniform(1u << 31);
+    const std::uint64_t b = rng.uniform(1u << 31) + 1;
+    EXPECT_EQ((BigUInt(a) + BigUInt(b)).to_u64(), a + b);
+    EXPECT_EQ((BigUInt(a) * BigUInt(b)).to_u64(), a * b);
+    EXPECT_EQ((BigUInt(a) / BigUInt(b)).to_u64(), a / b);
+    EXPECT_EQ((BigUInt(a) % BigUInt(b)).to_u64(), a % b);
+  }
+}
+
+TEST(BigUInt, MulDivRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    auto a = BigUInt::random_bits(300, rng);
+    auto b = BigUInt::random_bits(150, rng);
+    auto prod = a * b;
+    EXPECT_EQ(prod / a, b);
+    EXPECT_EQ(prod / b, a);
+    EXPECT_TRUE((prod % a).is_zero());
+    // (a*b + r) / b == a with r < b
+    auto r = BigUInt::random_below(b, rng);
+    EXPECT_EQ((prod + r) / b, a);
+    EXPECT_EQ((prod + r) % b, r);
+  }
+}
+
+TEST(BigUInt, KaratsubaMatchesSchoolbookScale) {
+  // Cross the Karatsuba threshold (24 words = 1536 bits) and verify via
+  // the division round trip plus a distributivity identity.
+  Rng rng(42);
+  for (int bits : {1600, 3200, 6400}) {
+    auto a = BigUInt::random_bits(bits, rng);
+    auto b = BigUInt::random_bits(bits - 13, rng);
+    auto c = BigUInt::random_bits(200, rng);
+    auto prod = a * b;
+    EXPECT_EQ(prod / a, b) << bits;
+    EXPECT_EQ(prod % b, BigUInt(0)) << bits;
+    // (a + c) * b == a*b + c*b
+    EXPECT_EQ((a + c) * b, prod + c * b) << bits;
+    // Commutativity across the uneven-size path.
+    EXPECT_EQ(a * c, c * a) << bits;
+  }
+}
+
+TEST(BigUInt, KaratsubaHugeOperands) {
+  Rng rng(43);
+  auto a = BigUInt::random_bits(12000, rng);
+  auto b = BigUInt::random_bits(11000, rng);
+  auto p = a * b;
+  EXPECT_EQ(p.bit_length(), a.bit_length() + b.bit_length() - 1 + (p.bit(a.bit_length() + b.bit_length() - 1) ? 1 : 0));
+  EXPECT_EQ(p / b, a);
+}
+
+TEST(BigUInt, ShiftRoundTrip) {
+  Rng rng(4);
+  auto a = BigUInt::random_bits(200, rng);
+  for (int s : {1, 7, 63, 64, 65, 128, 200}) {
+    EXPECT_EQ((a << s) >> s, a);
+    EXPECT_EQ((a << s).bit_length(), a.bit_length() + s);
+  }
+  EXPECT_TRUE((a >> 500).is_zero());
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(5) / BigUInt(0), CheckError);
+}
+
+TEST(BigUInt, GcdLcm) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(12), BigUInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigUInt::lcm(BigUInt(4), BigUInt(6)).to_u64(), 12u);
+  Rng rng(5);
+  auto a = BigUInt::random_bits(120, rng);
+  auto b = BigUInt::random_bits(130, rng);
+  auto g = BigUInt::gcd(a, b);
+  EXPECT_TRUE((a % g).is_zero());
+  EXPECT_TRUE((b % g).is_zero());
+  EXPECT_EQ(BigUInt::gcd(a, BigUInt(0)), a);
+}
+
+TEST(BigUInt, ModInverse) {
+  Rng rng(6);
+  const auto m = BigUInt::random_prime(128, rng);
+  for (int i = 0; i < 50; ++i) {
+    auto a = BigUInt(1) + BigUInt::random_below(m - BigUInt(1), rng);
+    auto inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt(6), BigUInt(9)), CheckError);
+}
+
+TEST(BigUInt, ModPowMatchesNaive) {
+  Rng rng(7);
+  const auto m = BigUInt::random_prime(96, rng);
+  for (int i = 0; i < 20; ++i) {
+    auto a = BigUInt::random_below(m, rng);
+    const std::uint64_t e = rng.uniform(50);
+    BigUInt naive(1);
+    for (std::uint64_t j = 0; j < e; ++j) naive = (naive * a) % m;
+    EXPECT_EQ(BigUInt::mod_pow(a, BigUInt(e), m), naive) << "e=" << e;
+  }
+}
+
+TEST(BigUInt, ModPowFermat) {
+  Rng rng(8);
+  const auto p = BigUInt::random_prime(160, rng);
+  for (int i = 0; i < 10; ++i) {
+    auto a = BigUInt(1) + BigUInt::random_below(p - BigUInt(1), rng);
+    EXPECT_EQ(BigUInt::mod_pow(a, p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUInt, ModPowEvenModulus) {
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(3), BigUInt(5), BigUInt(100)).to_u64(),
+            43u);  // 3^5 = 243 ≡ 43 (mod 100)
+}
+
+TEST(Montgomery, MulMatchesNaive) {
+  Rng rng(9);
+  const auto m = BigUInt::random_prime(192, rng);
+  Montgomery mont(m);
+  for (int i = 0; i < 100; ++i) {
+    auto a = BigUInt::random_below(m, rng);
+    auto b = BigUInt::random_below(m, rng);
+    auto got = mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % m);
+  }
+}
+
+TEST(Montgomery, ToFromRoundTrip) {
+  Rng rng(10);
+  const auto m = BigUInt::random_prime(128, rng);
+  Montgomery mont(m);
+  for (int i = 0; i < 50; ++i) {
+    auto a = BigUInt::random_below(m, rng);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUInt(100)), CheckError);
+}
+
+TEST(BigUInt, PrimalityKnownValues) {
+  Rng rng(11);
+  EXPECT_TRUE(BigUInt::is_probable_prime(BigUInt(2), rng));
+  EXPECT_TRUE(BigUInt::is_probable_prime(BigUInt(65537), rng));
+  EXPECT_FALSE(BigUInt::is_probable_prime(BigUInt(65536), rng));
+  EXPECT_FALSE(BigUInt::is_probable_prime(BigUInt(561), rng));  // Carmichael
+  // 2^127 - 1 is a Mersenne prime.
+  EXPECT_TRUE(BigUInt::is_probable_prime(
+      (BigUInt(1) << 127) - BigUInt(1), rng));
+  EXPECT_FALSE(BigUInt::is_probable_prime(
+      (BigUInt(1) << 127) - BigUInt(3), rng));
+}
+
+TEST(BigUInt, RandomPrimeHasRequestedSize) {
+  Rng rng(12);
+  auto p = BigUInt::random_prime(96, rng);
+  EXPECT_EQ(p.bit_length(), 96);
+  EXPECT_TRUE(p.is_odd());
+}
+
+TEST(BigUInt, RandomBelowIsBelow) {
+  Rng rng(13);
+  auto bound = BigUInt::random_bits(90, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(BigUInt::random_below(bound, rng) < bound);
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,86 @@
+// Property tests for the CKKS encoder's algebraic structure.
+#include <gtest/gtest.h>
+
+#include "bfv/keygen.h"
+#include "ckks/ckks.h"
+
+namespace cham {
+namespace ckks {
+namespace {
+
+TEST(CkksProperties, EncodingIsAdditive) {
+  auto ctx = CkksContext::create(128);
+  CkksEncoder enc(ctx);
+  Rng rng(1);
+  std::vector<cd> s1(ctx->slot_count()), s2(ctx->slot_count()), sum;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    s1[i] = cd{rng.uniform_double() * 4 - 2, rng.uniform_double() * 4 - 2};
+    s2[i] = cd{rng.uniform_double() * 4 - 2, rng.uniform_double() * 4 - 2};
+    sum.push_back(s1[i] + s2[i]);
+  }
+  auto p1 = enc.encode(s1, ctx->base_q());
+  auto p2 = enc.encode(s2, ctx->base_q());
+  p1.add_inplace(p2);
+  auto back = enc.decode(p1, ctx->scale());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    EXPECT_LT(std::abs(back[i] - sum[i]), 1e-5) << i;
+  }
+}
+
+TEST(CkksProperties, NegacyclicProductIsSlotwise) {
+  // encode(a) * encode(b) in the ring (schoolbook negacyclic over the
+  // integers, done via the NTT limbs) decodes to the slotwise product at
+  // scale^2 — the canonical-embedding homomorphism.
+  auto ctx = CkksContext::create(64);
+  CkksEncoder enc(ctx);
+  Rng rng(2);
+  std::vector<cd> s1(ctx->slot_count()), s2(ctx->slot_count());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    s1[i] = cd{rng.uniform_double() * 2 - 1, rng.uniform_double() * 2 - 1};
+    s2[i] = cd{rng.uniform_double() * 2 - 1, rng.uniform_double() * 2 - 1};
+  }
+  // Use a reduced scale so scale^2 (and the product's coefficients) stay
+  // far below q0*q1 — the full context scale squared would wrap mod Q.
+  const double scale = 1 << 20;
+  auto p1 = enc.encode(s1, ctx->base_q(), scale);
+  auto p2 = enc.encode(s2, ctx->base_q(), scale);
+  p1.to_ntt();
+  p2.to_ntt();
+  p1.mul_pointwise_inplace(p2);
+  p1.from_ntt();
+  auto back = enc.decode(p1, scale * scale);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_LT(std::abs(back[i] - s1[i] * s2[i]), 1e-5) << i;
+  }
+}
+
+TEST(CkksProperties, RealInputsGiveRealPolynomials) {
+  // Conjugate symmetry: encoding real slots must produce a polynomial
+  // whose decode has negligible imaginary parts.
+  auto ctx = CkksContext::create(128);
+  CkksEncoder enc(ctx);
+  std::vector<double> xs(ctx->slot_count());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = std::sin(0.7 * i);
+  auto poly = enc.encode_real(xs, ctx->base_q());
+  auto back = enc.decode(poly, ctx->scale());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_LT(std::abs(back[i].imag()), 1e-6);
+    EXPECT_NEAR(back[i].real(), xs[i], 1e-6);
+  }
+}
+
+TEST(CkksProperties, ScaleRoundingErrorShrinksWithScale) {
+  auto ctx = CkksContext::create(64);
+  CkksEncoder enc(ctx);
+  std::vector<cd> s(ctx->slot_count(), cd{1.0 / 3.0, 0});
+  auto coarse = enc.decode(enc.encode(s, ctx->base_q(), 1 << 12), 1 << 12);
+  auto fine = enc.decode(enc.encode(s, ctx->base_q(), 1ULL << 30),
+                         static_cast<double>(1ULL << 30));
+  const double ec = std::abs(coarse[0] - s[0]);
+  const double ef = std::abs(fine[0] - s[0]);
+  EXPECT_LT(ef, ec);
+}
+
+}  // namespace
+}  // namespace ckks
+}  // namespace cham

@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace cham {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    CHAM_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(CHAM_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(5);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(5);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  const double s1 = t.seconds();
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GE(t.seconds(), s1);  // monotone
+  t.reset();
+  EXPECT_LT(t.seconds(), s1 + 1.0);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"A", "BBBB"});
+  t.add_row({"xx", "y"});
+  t.add_row({"1", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(1000, 0), "1000");
+  EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace cham

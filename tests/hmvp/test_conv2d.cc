@@ -1,0 +1,105 @@
+#include "hmvp/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "bfv/keygen.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+struct ConvFixture {
+  explicit ConvFixture(std::size_t n = 256, u64 seed = 5)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        gk(keygen.make_galois_keys(log2_exact(n))),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        engine(ctx, &gk) {}
+
+  std::vector<std::vector<u64>> random_channels(const ConvShape& s,
+                                                u64 cap = 0) {
+    const u64 t = cap == 0 ? ctx->params().t : cap;
+    std::vector<std::vector<u64>> chans(s.channels);
+    for (auto& c : chans) {
+      c.resize(s.height * s.width);
+      for (auto& v : c) v = rng.uniform(t);
+    }
+    return chans;
+  }
+
+  void check(const ConvShape& shape, bool repack) {
+    auto image = random_channels(shape);
+    auto kernel = std::vector<std::vector<u64>>(shape.channels);
+    for (auto& k : kernel) {
+      k.resize(shape.kernel * shape.kernel);
+      for (auto& v : k) v = rng.uniform(ctx->params().t);
+    }
+    auto ct = engine.encrypt_image(image, shape, encryptor);
+    auto out_ct = engine.convolve(ct, kernel, shape, repack);
+    auto got = engine.decrypt_output(out_ct, shape, repack, decryptor);
+    auto expect =
+        Conv2dEngine::reference(image, kernel, shape, ctx->params().t);
+    EXPECT_EQ(got, expect);
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  GaloisKeys gk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Conv2dEngine engine;
+};
+
+TEST(Conv2d, SingleChannelNoRepack) {
+  ConvFixture f;
+  f.check(ConvShape{8, 8, 3, 1}, /*repack=*/false);
+}
+
+TEST(Conv2d, SingleChannelRepacked) {
+  ConvFixture f;
+  f.check(ConvShape{8, 8, 3, 1}, /*repack=*/true);
+}
+
+TEST(Conv2d, KernelOne) {
+  ConvFixture f;
+  f.check(ConvShape{4, 8, 1, 1}, false);
+}
+
+TEST(Conv2d, FullImageKernel) {
+  // k == H == W: single output value.
+  ConvFixture f;
+  f.check(ConvShape{5, 5, 5, 1}, true);
+}
+
+TEST(Conv2d, MultiChannel3d) {
+  ConvFixture f;
+  f.check(ConvShape{8, 8, 3, 4}, false);
+  f.check(ConvShape{6, 6, 2, 3}, true);
+}
+
+TEST(Conv2d, RectangularImage) {
+  ConvFixture f;
+  f.check(ConvShape{4, 16, 3, 1}, true);
+}
+
+TEST(Conv2d, RejectsOversizedImage) {
+  ConvFixture f(64);
+  ConvShape s{16, 16, 3, 1};  // 256 > 64
+  auto image = f.random_channels(s);
+  EXPECT_THROW(f.engine.encrypt_image(image, s, f.encryptor), CheckError);
+}
+
+TEST(Conv2d, RejectsChannelMismatch) {
+  ConvFixture f;
+  ConvShape s{8, 8, 3, 2};
+  auto image = f.random_channels(ConvShape{8, 8, 3, 1});
+  EXPECT_THROW(f.engine.encrypt_image(image, s, f.encryptor), CheckError);
+}
+
+}  // namespace
+}  // namespace cham

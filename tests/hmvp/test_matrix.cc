@@ -1,0 +1,55 @@
+#include "hmvp/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cham {
+namespace {
+
+TEST(Matrix, DenseAtBoundsChecked) {
+  DenseMatrix m(3, 4);
+  m.at(2, 3) = 7;
+  EXPECT_EQ(m.at(2, 3), 7u);
+  EXPECT_THROW(m.at(3, 0), CheckError);
+  EXPECT_THROW(m.at(0, 4), CheckError);
+}
+
+TEST(Matrix, DenseRandomInRange) {
+  Rng rng(1);
+  auto m = DenseMatrix::random(10, 20, 65537, rng);
+  std::uint64_t row[20];
+  for (std::size_t i = 0; i < 10; ++i) {
+    m.row(i, row);
+    for (std::size_t j = 0; j < 20; ++j) EXPECT_LT(row[j], 65537u);
+  }
+  EXPECT_THROW(m.row(10, row), CheckError);
+}
+
+TEST(Matrix, GeneratedIsDeterministicAndSeedSensitive) {
+  GeneratedMatrix a(5, 8, 65537, 42);
+  GeneratedMatrix b(5, 8, 65537, 42);
+  GeneratedMatrix c(5, 8, 65537, 43);
+  std::uint64_t ra[8], rb[8], rc[8];
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    a.row(i, ra);
+    b.row(i, rb);
+    c.row(i, rc);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(ra[j], rb[j]);
+      any_diff |= ra[j] != rc[j];
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Matrix, GeneratedRowsAreIndependentOfAccessOrder) {
+  GeneratedMatrix m(4, 6, 1000, 7);
+  std::uint64_t first[6], again[6];
+  m.row(3, first);
+  m.row(0, again);  // touch another row in between
+  m.row(3, again);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(first[j], again[j]);
+}
+
+}  // namespace
+}  // namespace cham

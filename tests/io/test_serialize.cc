@@ -1,0 +1,265 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "io/channel.h"
+#include "lwe/pack.h"
+
+namespace cham {
+namespace {
+
+struct IoFixture {
+  explicit IoFixture(std::size_t n = 64, u64 seed = 17)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  Ciphertext encrypt_random(std::vector<u64>* msg_out = nullptr) {
+    std::vector<u64> m(ctx->n());
+    for (auto& v : m) v = rng.uniform(ctx->params().t);
+    if (msg_out) *msg_out = m;
+    return encryptor.encrypt(encoder.encode_vector(m));
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+class WireFormatTest : public ::testing::TestWithParam<WireFormat> {};
+
+TEST_P(WireFormatTest, PackedWordsRoundTrip) {
+  Rng rng(1);
+  for (int bits : {1, 7, 16, 35, 39, 63, 64}) {
+    std::vector<u64> vals(257);
+    const u64 mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+    for (auto& v : vals) v = rng.next_u64() & mask;
+    ByteWriter w;
+    w.packed_words(vals.data(), vals.size(), bits);
+    std::vector<u64> back(vals.size());
+    ByteReader r(w.bytes());
+    r.packed_words(back.data(), back.size(), bits);
+    EXPECT_EQ(back, vals) << "bits=" << bits;
+  }
+}
+
+TEST_P(WireFormatTest, CiphertextRoundTripDecrypts) {
+  IoFixture f;
+  std::vector<u64> m;
+  auto ct = f.encrypt_random(&m);
+  ByteWriter w;
+  save_ciphertext(ct, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto back = load_ciphertext(r, f.ctx);
+  EXPECT_EQ(f.decryptor.decrypt(back).coeffs, m);
+  EXPECT_EQ(back.b.raw(), ct.b.raw());
+  EXPECT_EQ(back.a.raw(), ct.a.raw());
+}
+
+TEST_P(WireFormatTest, RescaledCiphertextRoundTrip) {
+  IoFixture f;
+  std::vector<u64> m;
+  auto ct = f.evaluator.rescale(f.encrypt_random(&m));
+  ByteWriter w;
+  save_ciphertext(ct, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto back = load_ciphertext(r, f.ctx);
+  EXPECT_EQ(back.base(), f.ctx->base_q());
+  EXPECT_EQ(f.decryptor.decrypt(back).coeffs, m);
+}
+
+TEST_P(WireFormatTest, NttFormPreserved) {
+  IoFixture f;
+  auto ct = f.encrypt_random();
+  ct.to_ntt();
+  ByteWriter w;
+  save_ciphertext(ct, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto back = load_ciphertext(r, f.ctx);
+  EXPECT_TRUE(back.is_ntt());
+  EXPECT_EQ(back.b.raw(), ct.b.raw());
+}
+
+TEST_P(WireFormatTest, PlaintextRoundTrip) {
+  IoFixture f;
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = f.rng.uniform(f.ctx->params().t);
+  auto pt = f.encoder.encode_vector(m);
+  ByteWriter w;
+  save_plaintext(pt, f.ctx, GetParam(), w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(load_plaintext(r, f.ctx).coeffs, pt.coeffs);
+}
+
+TEST_P(WireFormatTest, LweRoundTrip) {
+  IoFixture f;
+  std::vector<u64> m;
+  auto ct = f.evaluator.rescale(f.encrypt_random(&m));
+  auto lwe = extract_lwe(ct, 3);
+  ByteWriter w;
+  save_lwe(lwe, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto back = load_lwe(r, f.ctx);
+  EXPECT_EQ(decrypt_lwe(back, f.keygen.secret_key().s_coeff,
+                        f.ctx->params().t),
+            m[3]);
+}
+
+TEST_P(WireFormatTest, PublicKeyRoundTripEncrypts) {
+  IoFixture f;
+  ByteWriter w;
+  save_public_key(f.pk, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto pk2 = load_public_key(r, f.ctx);
+  Encryptor enc2(f.ctx, &pk2, nullptr, f.rng);
+  std::vector<u64> m(8, 123);
+  auto ct = enc2.encrypt(f.encoder.encode_vector(m));
+  EXPECT_EQ(f.decryptor.decrypt(ct).coeffs[0], 123u);
+}
+
+TEST_P(WireFormatTest, GaloisKeysRoundTripSwitchKeys) {
+  IoFixture f;
+  auto gk = f.keygen.make_galois_keys(2);
+  ByteWriter w;
+  save_galois_keys(gk, GetParam(), w);
+  ByteReader r(w.bytes());
+  auto gk2 = load_galois_keys(r, f.ctx);
+  EXPECT_EQ(gk2.keys.size(), gk.keys.size());
+  // Use the deserialized keys for a real Galois operation.
+  std::vector<u64> m;
+  auto ct = f.evaluator.rescale(f.encrypt_random(&m));
+  auto rot1 = f.evaluator.apply_galois(ct, 3, gk);
+  auto rot2 = f.evaluator.apply_galois(ct, 3, gk2);
+  EXPECT_EQ(f.decryptor.decrypt(rot1).coeffs, f.decryptor.decrypt(rot2).coeffs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, WireFormatTest,
+                         ::testing::Values(WireFormat::kRaw,
+                                           WireFormat::kPacked));
+
+TEST(Serialize, PackedIsSmallerAndMatchesBitWidths) {
+  IoFixture f;
+  auto ct = f.encrypt_random();
+  const std::size_t raw = ciphertext_wire_bytes(ct, WireFormat::kRaw);
+  const std::size_t packed = ciphertext_wire_bytes(ct, WireFormat::kPacked);
+  EXPECT_LT(packed, raw);
+  // base_qp limbs are 35+35+39 = 109 bits vs 192 raw: ~0.57 ratio.
+  EXPECT_NEAR(static_cast<double>(packed) / raw, 109.0 / 192.0, 0.05);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  IoFixture f;
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ByteReader r(junk);
+  EXPECT_THROW(load_ciphertext(r, f.ctx), CheckError);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  IoFixture f;
+  auto ct = f.encrypt_random();
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kPacked, w);
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_THROW(load_ciphertext(r, f.ctx), CheckError);
+}
+
+TEST(Serialize, RejectsWrongContext) {
+  IoFixture f64(64);
+  IoFixture f128(128, 18);
+  auto ct = f64.encrypt_random();
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kRaw, w);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(load_ciphertext(r, f128.ctx), CheckError);
+}
+
+TEST(Serialize, RejectsOutOfRangeCoefficients) {
+  IoFixture f;
+  auto ct = f.encrypt_random();
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kRaw, w);
+  auto bytes = w.bytes();
+  // Overwrite a coefficient with an oversized value (raw format stores
+  // 64-bit words after the two headers; poke deep into the payload).
+  for (std::size_t i = bytes.size() - 9; i < bytes.size() - 1; ++i) {
+    bytes[i] = 0xFF;
+  }
+  ByteReader r(bytes);
+  EXPECT_THROW(load_ciphertext(r, f.ctx), CheckError);
+}
+
+TEST(Serialize, RejectsWrongBlobType) {
+  IoFixture f;
+  auto ct = f.encrypt_random();
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kRaw, w);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(load_public_key(r, f.ctx), CheckError);
+}
+
+TEST(Channel, TrafficAccounting) {
+  Channel ch;
+  EXPECT_TRUE(ch.empty());
+  ch.send(std::vector<std::uint8_t>{1, 2, 3});
+  ch.send(std::vector<std::uint8_t>{4, 5});
+  EXPECT_EQ(ch.bytes_sent(), 5u);
+  EXPECT_EQ(ch.messages(), 2u);
+  EXPECT_EQ(ch.recv(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(ch.recv(), (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_THROW(ch.recv(), CheckError);
+}
+
+TEST(Channel, EndToEndEncryptedExchange) {
+  // Party A encrypts and sends; party B (holding only pk via the wire)
+  // adds a plaintext and returns; A decrypts.
+  IoFixture f;
+  Duplex link;
+  std::vector<u64> m;
+  {
+    auto ct = f.encrypt_random(&m);
+    ByteWriter w;
+    save_ciphertext(ct, WireFormat::kPacked, w);
+    link.a_to_b.send(w);
+  }
+  {
+    auto blob = link.a_to_b.recv();
+    ByteReader r(blob);
+    auto ct = load_ciphertext(r, f.ctx);
+    std::vector<u64> add(f.ctx->n(), 5);
+    f.evaluator.add_plain_inplace(ct, f.encoder.encode_vector(add));
+    ByteWriter w;
+    save_ciphertext(ct, WireFormat::kPacked, w);
+    link.b_to_a.send(w);
+  }
+  {
+    auto blob = link.b_to_a.recv();
+    ByteReader r(blob);
+    auto ct = load_ciphertext(r, f.ctx);
+    auto pt = f.decryptor.decrypt(ct);
+    const u64 t = f.ctx->params().t;
+    for (std::size_t i = 0; i < f.ctx->n(); ++i) {
+      EXPECT_EQ(pt.coeffs[i], (m[i] + 5) % t);
+    }
+  }
+  EXPECT_GT(link.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,241 @@
+#include "lwe/lwe.h"
+
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "lwe/pack.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+struct LweFixture {
+  explicit LweFixture(std::size_t n = 256, u64 seed = 7)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, &keygen.secret_key(), rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  // Encrypt a message polynomial and bring it to base_q (the level where
+  // extraction/packing happens in the pipeline).
+  Ciphertext encrypt_q(const std::vector<u64>& m) {
+    return evaluator.rescale(encryptor.encrypt(encoder.encode_vector(m)));
+  }
+
+  std::vector<u64> random_message(std::size_t len) {
+    std::vector<u64> m(len);
+    for (auto& v : m) v = rng.uniform(ctx->params().t);
+    return m;
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+TEST(Lwe, ExtractConstantCoefficient) {
+  LweFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encrypt_q(m);
+  auto lwe = extract_lwe(ct, 0);
+  EXPECT_EQ(decrypt_lwe(lwe, f.keygen.secret_key().s_coeff,
+                        f.ctx->params().t),
+            m[0]);
+}
+
+TEST(Lwe, ExtractArbitraryCoefficients) {
+  LweFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encrypt_q(m);
+  for (std::size_t idx : {std::size_t{1}, std::size_t{17}, f.ctx->n() / 2,
+                          f.ctx->n() - 1}) {
+    auto lwe = extract_lwe(ct, idx);
+    EXPECT_EQ(decrypt_lwe(lwe, f.keygen.secret_key().s_coeff,
+                          f.ctx->params().t),
+              m[idx])
+        << "idx=" << idx;
+  }
+}
+
+TEST(Lwe, ExtractFromAugmentedCiphertext) {
+  // Extraction also works pre-rescale (base_qp).
+  LweFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encryptor.encrypt(f.encoder.encode_vector(m));
+  auto lwe = extract_lwe(ct, 3);
+  EXPECT_EQ(decrypt_lwe(lwe, f.keygen.secret_key().s_coeff,
+                        f.ctx->params().t),
+            m[3]);
+}
+
+TEST(Lwe, LweToRlweRoundTrip) {
+  LweFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encrypt_q(m);
+  auto lwe = extract_lwe(ct, 5);
+  auto back = lwe_to_rlwe(lwe);
+  EXPECT_EQ(f.decryptor.decrypt_coeff(back, 0), m[5]);
+}
+
+TEST(Lwe, LweToRlweOfConstantZeroExtractIsInvolution) {
+  // Extracting at index 0 then embedding recovers the original a-poly.
+  LweFixture f;
+  auto m = f.random_message(f.ctx->n());
+  auto ct = f.encrypt_q(m);
+  auto lwe = extract_lwe(ct, 0);
+  auto back = lwe_to_rlwe(lwe);
+  EXPECT_EQ(back.a.raw(), ct.a.raw());
+  EXPECT_EQ(back.b.limb(0)[0], ct.b.limb(0)[0]);
+}
+
+TEST(Lwe, ExtractRejectsNttDomain) {
+  LweFixture f;
+  auto ct = f.encrypt_q(f.random_message(8));
+  ct.to_ntt();
+  EXPECT_THROW(extract_lwe(ct, 0), CheckError);
+}
+
+TEST(Lwe, ExtractRejectsOutOfRangeIndex) {
+  LweFixture f;
+  auto ct = f.encrypt_q(f.random_message(8));
+  EXPECT_THROW(extract_lwe(ct, f.ctx->n()), CheckError);
+}
+
+class PackTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackTest, PackPlacesMessagesAtStride) {
+  const std::size_t count = GetParam();
+  LweFixture f(256, count);
+  const std::size_t n = f.ctx->n();
+  const u64 t = f.ctx->params().t;
+  const int levels = log2_exact(count == 1 ? 1 : count);
+  auto gk = f.keygen.make_galois_keys(levels);
+
+  // Source messages, one per LWE; extract coefficient 0 of `count`
+  // independent ciphertexts.
+  std::vector<LweCiphertext> lwes;
+  std::vector<u64> messages;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto m = f.random_message(n);
+    messages.push_back(m[0]);
+    lwes.push_back(extract_lwe(f.encrypt_q(m), 0));
+  }
+
+  auto packed = pack_lwes(f.evaluator, lwes, gk);
+  auto pt = f.decryptor.decrypt(packed);
+  const std::size_t stride = n / count;
+  Modulus mt(t);
+  const u64 factor = static_cast<u64>(count % t);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(pt.coeffs[i * stride], mt.mul(factor, messages[i]))
+        << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PackTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 256));
+
+TEST(Pack, ScaleCorrectionViaEncoding) {
+  // Fold (2^K)^{-1} into the source messages: decrypted packed values then
+  // equal the raw messages (this is what the HMVP engine does).
+  const std::size_t count = 16;
+  LweFixture f(64, 99);
+  const std::size_t n = f.ctx->n();
+  const u64 t = f.ctx->params().t;
+  Modulus mt(t);
+  const u64 inv_count = mt.inv(count % t);
+  auto gk = f.keygen.make_galois_keys(log2_exact(count));
+
+  std::vector<LweCiphertext> lwes;
+  std::vector<u64> messages;
+  for (std::size_t i = 0; i < count; ++i) {
+    u64 m = f.rng.uniform(t);
+    messages.push_back(m);
+    std::vector<u64> poly(n, 0);
+    poly[0] = mt.mul(m, inv_count);  // pre-scaled message
+    lwes.push_back(extract_lwe(f.encrypt_q(poly), 0));
+  }
+  auto packed = pack_lwes(f.evaluator, lwes, gk);
+  auto pt = f.decryptor.decrypt(packed);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(pt.coeffs[i * (n / count)], messages[i]);
+  }
+}
+
+TEST(Pack, FullRingPack) {
+  // Pack N LWEs into every coefficient of one RLWE ciphertext.
+  LweFixture f(64, 3);
+  const std::size_t n = f.ctx->n();
+  const u64 t = f.ctx->params().t;
+  auto gk = f.keygen.make_galois_keys(log2_exact(n));
+  Modulus mt(t);
+  const u64 inv_n = mt.inv(n % t);
+
+  std::vector<LweCiphertext> lwes;
+  std::vector<u64> messages;
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 m = f.rng.uniform(t);
+    messages.push_back(m);
+    std::vector<u64> poly(n, 0);
+    poly[0] = mt.mul(m, inv_n);
+    lwes.push_back(extract_lwe(f.encrypt_q(poly), 0));
+  }
+  auto packed = pack_lwes(f.evaluator, lwes, gk);
+  auto pt = f.decryptor.decrypt(packed);
+  EXPECT_EQ(pt.coeffs, messages);
+  EXPECT_GT(f.decryptor.noise_budget_bits(packed), 0.0);
+}
+
+TEST(Pack, NoiseBudgetSurvivesDeepTree) {
+  LweFixture f(256, 11);
+  const std::size_t count = 256;
+  auto gk = f.keygen.make_galois_keys(8);
+  std::vector<LweCiphertext> lwes;
+  for (std::size_t i = 0; i < count; ++i) {
+    lwes.push_back(extract_lwe(f.encrypt_q(f.random_message(f.ctx->n())), 0));
+  }
+  auto packed = pack_lwes(f.evaluator, lwes, gk);
+  EXPECT_GT(f.decryptor.noise_budget_bits(packed), 10.0);
+}
+
+TEST(Pack, RejectsNonPowerOfTwo) {
+  LweFixture f(64, 5);
+  auto gk = f.keygen.make_galois_keys(2);
+  std::vector<LweCiphertext> lwes(
+      3, extract_lwe(f.encrypt_q(f.random_message(8)), 0));
+  EXPECT_THROW(pack_lwes(f.evaluator, lwes, gk), CheckError);
+  std::vector<LweCiphertext> empty;
+  EXPECT_THROW(pack_lwes(f.evaluator, empty, gk), CheckError);
+}
+
+TEST(Pack, PackTwoMatchesAlgebra) {
+  // Direct check of Alg. 2 at level 1 with two LWEs.
+  LweFixture f(64, 13);
+  const u64 t = f.ctx->params().t;
+  auto gk = f.keygen.make_galois_keys(1);
+  std::vector<u64> m0(f.ctx->n(), 0), m1(f.ctx->n(), 0);
+  m0[0] = 100;
+  m1[0] = 200;
+  auto even = lwe_to_rlwe(extract_lwe(f.encrypt_q(m0), 0));
+  auto odd = lwe_to_rlwe(extract_lwe(f.encrypt_q(m1), 0));
+  auto merged = pack_two_lwes(f.evaluator, 1, even, odd, gk);
+  auto pt = f.decryptor.decrypt(merged);
+  EXPECT_EQ(pt.coeffs[0], (2 * 100) % t);
+  EXPECT_EQ(pt.coeffs[f.ctx->n() / 2], (2 * 200) % t);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,165 @@
+#include "lwe/lwe_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+
+namespace cham {
+namespace {
+
+struct LweOpsFixture {
+  explicit LweOpsFixture(std::size_t n = 64, u64 seed = 23)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  LweCiphertext encrypt_lwe(u64 message) {
+    std::vector<u64> m(ctx->n(), 0);
+    m[0] = message;
+    auto ct = evaluator.rescale(encryptor.encrypt(encoder.encode_vector(m)));
+    return extract_lwe(ct, 0);
+  }
+
+  u64 decrypt(const LweCiphertext& lwe) {
+    return decrypt_lwe(lwe, keygen.secret_key().s_coeff, ctx->params().t);
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+TEST(LweOps, AddSubScalar) {
+  LweOpsFixture f;
+  const u64 t = f.ctx->params().t;
+  auto c1 = f.encrypt_lwe(1000);
+  auto c2 = f.encrypt_lwe(234);
+  EXPECT_EQ(f.decrypt(lwe_add(c1, c2)), 1234u);
+  EXPECT_EQ(f.decrypt(lwe_sub(c1, c2)), 766u);
+  EXPECT_EQ(f.decrypt(lwe_mul_scalar(c1, 3)), 3000u % t);
+}
+
+TEST(LweOps, ModSwitchPreservesMessage) {
+  LweOpsFixture f;
+  // base_q = {q0, q1} -> {q0}.
+  auto single = RnsBase::create(f.ctx->n(), {f.ctx->params().q_primes[0]});
+  for (u64 m : {0ULL, 1ULL, 1234ULL, 65536ULL}) {
+    auto lwe = f.encrypt_lwe(m);
+    auto switched = modswitch_lwe(lwe, single);
+    EXPECT_EQ(switched.base->size(), 1u);
+    // Decrypt with the secret restricted to one limb.
+    RnsPoly s1(single, false);
+    std::copy(f.keygen.secret_key().s_coeff.limb(0),
+              f.keygen.secret_key().s_coeff.limb(0) + f.ctx->n(),
+              s1.limb(0));
+    EXPECT_EQ(decrypt_lwe(switched, s1, f.ctx->params().t), m) << m;
+  }
+}
+
+TEST(LweOps, ModSwitchRejectsWrongTarget) {
+  LweOpsFixture f;
+  auto wrong = RnsBase::create(f.ctx->n(), {f.ctx->params().q_primes[1]});
+  auto lwe = f.encrypt_lwe(1);
+  EXPECT_THROW(modswitch_lwe(lwe, wrong), CheckError);
+}
+
+TEST(LweOps, DimensionKeySwitchRoundTrip) {
+  LweOpsFixture f;
+  const std::size_t n_out = 32;
+  auto z = make_lwe_secret(f.ctx->base_q(), n_out, f.rng);
+  // Ring secret over base_q (prefix of s_coeff).
+  RnsPoly s_q(f.ctx->base_q(), false);
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::copy(f.keygen.secret_key().s_coeff.limb(l),
+              f.keygen.secret_key().s_coeff.limb(l) + f.ctx->n(),
+              s_q.limb(l));
+  }
+  auto key = make_lwe_switch_key(s_q, z, /*log_base=*/8, f.rng);
+
+  for (u64 m : {0ULL, 7ULL, 40000ULL, 65000ULL}) {
+    auto lwe = f.encrypt_lwe(m);
+    auto switched = keyswitch_lwe(lwe, key);
+    EXPECT_EQ(decrypt_lwe_with(switched, z, f.ctx->params().t), m) << m;
+    // The new ciphertext only uses the first n_out positions.
+    for (std::size_t l = 0; l < 2; ++l) {
+      for (std::size_t i = n_out; i < f.ctx->n(); ++i) {
+        EXPECT_EQ(switched.a.limb(l)[i], 0u);
+      }
+    }
+  }
+}
+
+TEST(LweOps, KeySwitchedCiphertextsStillAdd) {
+  LweOpsFixture f;
+  auto z = make_lwe_secret(f.ctx->base_q(), 16, f.rng);
+  RnsPoly s_q(f.ctx->base_q(), false);
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::copy(f.keygen.secret_key().s_coeff.limb(l),
+              f.keygen.secret_key().s_coeff.limb(l) + f.ctx->n(),
+              s_q.limb(l));
+  }
+  auto key = make_lwe_switch_key(s_q, z, 8, f.rng);
+  auto c1 = keyswitch_lwe(f.encrypt_lwe(100), key);
+  auto c2 = keyswitch_lwe(f.encrypt_lwe(200), key);
+  EXPECT_EQ(decrypt_lwe_with(lwe_add(c1, c2), z, f.ctx->params().t), 300u);
+}
+
+TEST(LweOps, KeySwitchDigitGeometry) {
+  LweOpsFixture f;
+  auto z = make_lwe_secret(f.ctx->base_q(), 8, f.rng);
+  RnsPoly s_q(f.ctx->base_q(), false);
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::copy(f.keygen.secret_key().s_coeff.limb(l),
+              f.keygen.secret_key().s_coeff.limb(l) + f.ctx->n(),
+              s_q.limb(l));
+  }
+  auto key = make_lwe_switch_key(s_q, z, 7, f.rng);
+  // q0, q1 are 35-bit: ceil(35/7) = 5 digits each.
+  EXPECT_EQ(key.digits[0], 5);
+  EXPECT_EQ(key.digits[1], 5);
+  EXPECT_EQ(key.slots_per_coeff, 10u);
+  EXPECT_EQ(key.entries.size(), f.ctx->n() * 10);
+}
+
+TEST(LweOps, SmallerDigitBaseStillCorrect) {
+  LweOpsFixture f(64, 29);
+  auto z = make_lwe_secret(f.ctx->base_q(), 64, f.rng);
+  RnsPoly s_q(f.ctx->base_q(), false);
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::copy(f.keygen.secret_key().s_coeff.limb(l),
+              f.keygen.secret_key().s_coeff.limb(l) + f.ctx->n(),
+              s_q.limb(l));
+  }
+  for (int log_base : {4, 12}) {
+    auto key = make_lwe_switch_key(s_q, z, log_base, f.rng);
+    auto lwe = f.encrypt_lwe(4321);
+    EXPECT_EQ(decrypt_lwe_with(keyswitch_lwe(lwe, key), z,
+                               f.ctx->params().t),
+              4321u)
+        << "log_base=" << log_base;
+  }
+}
+
+TEST(LweOps, SecretValidation) {
+  LweOpsFixture f;
+  EXPECT_THROW(make_lwe_secret(f.ctx->base_q(), 0, f.rng), CheckError);
+  EXPECT_THROW(make_lwe_secret(f.ctx->base_q(), f.ctx->n() + 1, f.rng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace cham

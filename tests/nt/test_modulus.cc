@@ -1,0 +1,154 @@
+#include "nt/modulus.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+// The paper's moduli (Sec. IV-A3).
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+TEST(Modulus, RejectsBadValues) {
+  EXPECT_THROW(Modulus(0), CheckError);
+  EXPECT_THROW(Modulus(1), CheckError);
+  EXPECT_THROW(Modulus(1ULL << 62), CheckError);
+  EXPECT_NO_THROW(Modulus(2));
+  EXPECT_NO_THROW(Modulus((1ULL << 62) - 1));
+}
+
+TEST(Modulus, BitCount) {
+  EXPECT_EQ(Modulus(2).bit_count(), 2);
+  EXPECT_EQ(Modulus(3).bit_count(), 2);
+  EXPECT_EQ(Modulus(4).bit_count(), 3);
+  EXPECT_EQ(Modulus(kQ0).bit_count(), 35);
+  EXPECT_EQ(Modulus(kP).bit_count(), 39);
+}
+
+TEST(Modulus, DetectsLowHammingForm) {
+  for (u64 v : {kQ0, kQ1, kP}) {
+    Modulus m(v);
+    EXPECT_TRUE(m.is_low_hamming()) << v;
+    EXPECT_EQ((1ULL << m.exp_a()) + (1ULL << m.exp_b()) + 1, v);
+  }
+  EXPECT_FALSE(Modulus(65537).is_low_hamming());  // 2^16+1: two set bits
+  EXPECT_FALSE(Modulus(98).is_low_hamming());     // popcount 3, even, not 2^a+2^b+1
+}
+
+TEST(Modulus, LowHammingFormExactness) {
+  // 786433 = 3*2^18+1 = 2^19 + 2^18 + 1 IS of the form.
+  Modulus m(786433);
+  ASSERT_TRUE(m.is_low_hamming());
+  EXPECT_EQ((1ULL << m.exp_a()) + (1ULL << m.exp_b()) + 1, 786433u);
+  EXPECT_EQ(m.exp_a(), 19);
+  EXPECT_EQ(m.exp_b(), 18);
+}
+
+TEST(Modulus, AddSubNegateBasics) {
+  Modulus q(17);
+  EXPECT_EQ(q.add(16, 16), 15u);
+  EXPECT_EQ(q.add(0, 0), 0u);
+  EXPECT_EQ(q.sub(3, 5), 15u);
+  EXPECT_EQ(q.sub(5, 3), 2u);
+  EXPECT_EQ(q.negate(0), 0u);
+  EXPECT_EQ(q.negate(1), 16u);
+}
+
+TEST(Modulus, PowAndInv) {
+  Modulus q(kQ0);
+  EXPECT_EQ(q.pow(2, 0), 1u);
+  EXPECT_EQ(q.pow(2, 10), 1024u);
+  EXPECT_EQ(q.pow(0, 5), 0u);
+  EXPECT_EQ(q.pow(0, 0), 1u);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    u64 x = rng.uniform(q.value() - 1) + 1;
+    u64 xi = q.inv(x);
+    EXPECT_EQ(q.mul(x, xi), 1u);
+    // Fermat check: x^(q-1) = 1 for prime q.
+    EXPECT_EQ(q.pow(x, q.value() - 1), 1u);
+  }
+  EXPECT_THROW(q.inv(0), CheckError);
+}
+
+class ModulusParamTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ModulusParamTest, BarrettMatchesNaive128) {
+  Modulus q(GetParam());
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    u128 z = (static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64();
+    EXPECT_EQ(q.reduce128(z), static_cast<u64>(z % q.value()));
+  }
+  // Edge values.
+  EXPECT_EQ(q.reduce128(0), 0u);
+  EXPECT_EQ(q.reduce128(q.value()), 0u);
+  EXPECT_EQ(q.reduce128(q.value() - 1), q.value() - 1);
+  u128 max = ~static_cast<u128>(0);
+  EXPECT_EQ(q.reduce128(max), static_cast<u64>(max % q.value()));
+}
+
+TEST_P(ModulusParamTest, MulMatchesNaive) {
+  Modulus q(GetParam());
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    u64 a = rng.uniform(q.value());
+    u64 b = rng.uniform(q.value());
+    EXPECT_EQ(q.mul(a, b),
+              static_cast<u64>(static_cast<u128>(a) * b % q.value()));
+  }
+}
+
+TEST_P(ModulusParamTest, ShoupMatchesBarrett) {
+  Modulus q(GetParam());
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    u64 w = rng.uniform(q.value());
+    u64 x = rng.uniform(q.value());
+    EXPECT_EQ(mul_shoup(x, make_shoup(w, q), q.value()), q.mul(x, w));
+  }
+}
+
+TEST_P(ModulusParamTest, CenteredRoundTrip) {
+  Modulus q(GetParam());
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    u64 x = rng.uniform(q.value());
+    EXPECT_EQ(q.from_signed(q.to_centered(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModuli, ModulusParamTest,
+                         ::testing::Values(kQ0, kQ1, kP, 65537ULL, 786433ULL,
+                                           3ULL, (1ULL << 61) - 1,
+                                           1152921504606846577ULL));
+
+class ShiftAddTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShiftAddTest, ShiftAddMatchesBarrett) {
+  Modulus q(GetParam());
+  ASSERT_TRUE(q.is_low_hamming());
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    u128 z = (static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64();
+    EXPECT_EQ(q.reduce128_shift_add(z), q.reduce128(z));
+  }
+  EXPECT_EQ(q.reduce128_shift_add(0), 0u);
+  u128 max = ~static_cast<u128>(0);
+  EXPECT_EQ(q.reduce128_shift_add(max), q.reduce128(max));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModuli, ShiftAddTest,
+                         ::testing::Values(kQ0, kQ1, kP));
+
+TEST(Modulus, ShiftAddRejectsGenericModulus) {
+  Modulus q(65537);
+  EXPECT_THROW(q.reduce128_shift_add(12345), CheckError);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,207 @@
+#include "nt/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "nt/cg_ntt.h"
+#include "ring/poly_ops.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+struct NttCase {
+  std::size_t n;
+  u64 q;
+};
+
+class NttParamTest : public ::testing::TestWithParam<NttCase> {
+ protected:
+  std::vector<u64> random_poly(std::size_t n, u64 q, Rng& rng) {
+    std::vector<u64> a(n);
+    for (auto& c : a) c = rng.uniform(q);
+    return a;
+  }
+};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip) {
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  NttTables t(n, q);
+  Rng rng(17);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto a = random_poly(n, qv, rng);
+    auto b = a;
+    t.forward(b);
+    t.inverse(b);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(NttParamTest, ConvolutionMatchesSchoolbook) {
+  const auto [n, qv] = GetParam();
+  if (n > 512) GTEST_SKIP() << "schoolbook too slow";
+  Modulus q(qv);
+  NttTables t(n, q);
+  Rng rng(19);
+  auto a = random_poly(n, qv, rng);
+  auto b = random_poly(n, qv, rng);
+  std::vector<u64> expected(n);
+  poly_mul_negacyclic_schoolbook(a.data(), b.data(), expected.data(), n, q);
+
+  auto fa = a, fb = b;
+  t.forward(fa);
+  t.forward(fb);
+  std::vector<u64> fc(n);
+  pointwise_multiply(fa.data(), fb.data(), fc.data(), n, q);
+  t.inverse(fc);
+  EXPECT_EQ(fc, expected);
+}
+
+TEST_P(NttParamTest, Linearity) {
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  NttTables t(n, q);
+  Rng rng(23);
+  auto a = random_poly(n, qv, rng);
+  auto b = random_poly(n, qv, rng);
+  std::vector<u64> sum(n);
+  poly_add(a.data(), b.data(), sum.data(), n, q);
+  t.forward(sum);
+  t.forward(a);
+  t.forward(b);
+  std::vector<u64> expect(n);
+  poly_add(a.data(), b.data(), expect.data(), n, q);
+  EXPECT_EQ(sum, expect);
+}
+
+TEST_P(NttParamTest, TransformOfOneIsAllOnes) {
+  // NTT(1) = (1,...,1): the constant polynomial evaluates to 1 everywhere.
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  NttTables t(n, q);
+  std::vector<u64> a(n, 0);
+  a[0] = 1;
+  t.forward(a);
+  for (u64 v : a) EXPECT_EQ(v, 1u);
+}
+
+TEST_P(NttParamTest, ConstantGeometryMatchesRadix2) {
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  NttTables t(n, q);
+  CgNtt cg(n, q);
+  Rng rng(29);
+  auto a = random_poly(n, qv, rng);
+  auto b = a;
+  t.forward(a);
+  cg.forward(b);
+  EXPECT_EQ(a, b) << "CG forward must match radix-2 bit-reversed output";
+}
+
+TEST_P(NttParamTest, ConstantGeometryRoundTrip) {
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  CgNtt cg(n, q);
+  Rng rng(31);
+  auto a = random_poly(n, qv, rng);
+  auto b = a;
+  cg.forward(b);
+  cg.inverse(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParamTest, MixedEngineRoundTrip) {
+  // CG forward + radix-2 inverse (and vice versa) must round-trip: both
+  // use the same bit-reversed intermediate order.
+  const auto [n, qv] = GetParam();
+  Modulus q(qv);
+  NttTables t(n, q);
+  CgNtt cg(n, q);
+  Rng rng(37);
+  auto a = random_poly(n, qv, rng);
+  auto b = a;
+  cg.forward(b);
+  t.inverse(b);
+  EXPECT_EQ(a, b);
+  b = a;
+  t.forward(b);
+  cg.inverse(b);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModuli, NttParamTest,
+    ::testing::Values(NttCase{8, kQ0}, NttCase{8, kQ1}, NttCase{8, kP},
+                      NttCase{64, kQ0}, NttCase{256, kQ0}, NttCase{256, kQ1},
+                      NttCase{256, kP}, NttCase{1024, kQ0},
+                      NttCase{4096, kQ0}, NttCase{4096, kQ1},
+                      NttCase{4096, kP}, NttCase{256, 65537},
+                      NttCase{2048, 786433}));
+
+TEST(Ntt, RejectsNonNttFriendlyModulus) {
+  // 17 ≡ 1 (mod 16) works for n=8 but not n=16.
+  EXPECT_NO_THROW(NttTables(8, Modulus(17)));
+  EXPECT_THROW(NttTables(16, Modulus(17)), CheckError);
+  EXPECT_THROW(NttTables(12, Modulus(13)), CheckError);  // non-power-of-two
+}
+
+TEST(Ntt, TableCacheReturnsSameInstance) {
+  Modulus q(kQ0);
+  auto a = get_ntt_tables(256, q);
+  auto b = get_ntt_tables(256, q);
+  EXPECT_EQ(a.get(), b.get());
+  auto c = get_ntt_tables(512, q);
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(CgNtt, CycleModelMatchesPaper) {
+  // Paper Table III: N=4096, 4 BFUs -> 6144 cycles.
+  EXPECT_EQ(CgNtt::cycles(4096, 4), 6144u);
+  EXPECT_EQ(CgNtt::cycles(4096, 8), 3072u);
+  EXPECT_EQ(CgNtt::cycles(4096, 1), 24576u);
+  EXPECT_EQ(CgNtt::cycles(8, 1), 12u);
+}
+
+TEST(CgNtt, BankScheduleIsConflictFree) {
+  // Paper Sec. IV-A1: 8 round-robin banks, up-and-down read order — each
+  // beat must touch all 8 banks exactly once.
+  const std::size_t n = 64;
+  const int banks = 8;
+  auto beats = CgNtt::stage_read_schedule(n, banks);
+  EXPECT_EQ(beats.size(), n / banks);  // N coefficients / banks per beat...
+  std::size_t total_reads = 0;
+  for (const auto& beat : beats) {
+    std::set<int> seen;
+    for (auto [bank, addr] : beat.reads) {
+      EXPECT_TRUE(seen.insert(bank).second) << "bank conflict";
+      EXPECT_LT(addr, n / banks);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(banks));
+    total_reads += beat.reads.size();
+  }
+  EXPECT_EQ(total_reads, n);  // every coefficient read once per stage
+}
+
+TEST(CgNtt, BankScheduleCoversUpAndDownOrder) {
+  auto beats = CgNtt::stage_read_schedule(32, 8);
+  ASSERT_GE(beats.size(), 2u);
+  // First beat: coefficients [0..7] => banks 0..7 at address 0.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(beats[0].reads[k].first, k);
+    EXPECT_EQ(beats[0].reads[k].second, 0u);
+  }
+  // Second beat: [N/2 .. N/2+7] = [16..23] => addresses 2.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(beats[1].reads[k].second, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cham

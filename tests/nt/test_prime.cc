@@ -1,0 +1,88 @@
+#include "nt/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace cham {
+namespace {
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(561));    // Carmichael
+  EXPECT_FALSE(is_prime(41041));  // Carmichael
+}
+
+TEST(Prime, PaperModuliArePrime) {
+  EXPECT_TRUE(is_prime((1ULL << 34) + (1ULL << 27) + 1));
+  EXPECT_TRUE(is_prime((1ULL << 34) + (1ULL << 19) + 1));
+  EXPECT_TRUE(is_prime((1ULL << 38) + (1ULL << 23) + 1));
+}
+
+TEST(Prime, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime((1ULL << 61) - 1));  // Mersenne
+  EXPECT_FALSE(is_prime((1ULL << 61) - 3));
+  EXPECT_TRUE(is_prime(65537));
+  EXPECT_FALSE(is_prime(1ULL << 40));
+}
+
+TEST(Prime, GenerateNttPrimes) {
+  auto primes = generate_ntt_primes(30, 4096, 3);
+  ASSERT_EQ(primes.size(), 3u);
+  for (u64 p : primes) {
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_EQ((p - 1) % 8192, 0u);
+    EXPECT_LT(p, 1ULL << 30);
+    EXPECT_GT(p, 1ULL << 29);
+  }
+  EXPECT_NE(primes[0], primes[1]);
+  EXPECT_NE(primes[1], primes[2]);
+}
+
+TEST(Prime, PrimeFactors) {
+  EXPECT_EQ(prime_factors(12), (std::vector<u64>{2, 3}));
+  EXPECT_EQ(prime_factors(97), (std::vector<u64>{97}));
+  EXPECT_EQ(prime_factors(2 * 3 * 5 * 7 * 11), (std::vector<u64>{2, 3, 5, 7, 11}));
+  // q0 - 1 = 2^27 * 129 = 2^27 * 3 * 43
+  auto f = prime_factors((1ULL << 34) + (1ULL << 27));
+  EXPECT_EQ(f, (std::vector<u64>{2, 3, 43}));
+}
+
+TEST(Prime, Generator) {
+  Modulus q(65537);
+  u64 g = find_generator(q);
+  // Order of g must be exactly q-1 = 2^16.
+  EXPECT_EQ(q.pow(g, 65536), 1u);
+  EXPECT_NE(q.pow(g, 32768), 1u);
+}
+
+TEST(Prime, RootsOfUnity) {
+  for (u64 qv : {(1ULL << 34) + (1ULL << 27) + 1, 65537ULL}) {
+    Modulus q(qv);
+    for (u64 m : {2ULL, 8ULL, 8192ULL}) {
+      u64 w = primitive_root_of_unity(q, m);
+      EXPECT_EQ(q.pow(w, m), 1u);
+      EXPECT_EQ(q.pow(w, m / 2), q.value() - 1) << "w^{m/2} must be -1";
+    }
+  }
+}
+
+TEST(Prime, RootOfUnityRequiresDivisibility) {
+  Modulus q(65537);
+  EXPECT_THROW(primitive_root_of_unity(q, 3), CheckError);
+}
+
+TEST(Prime, NextPrimeCongruentOne) {
+  u64 p = next_prime_congruent_one(1000, 8);
+  EXPECT_TRUE(is_prime(p));
+  EXPECT_EQ(p % 8, 1u);
+  EXPECT_GE(p, 1000u);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,86 @@
+#include "paillier/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace cham {
+namespace {
+
+struct PaillierFixture {
+  explicit PaillierFixture(int bits = 256, std::uint64_t seed = 7)
+      : rng(seed), kp(paillier_keygen(bits, rng)), enc(kp.pk),
+        dec(kp.pk, kp.sk) {}
+
+  Rng rng;
+  PaillierKeyPair kp;
+  PaillierEncryptor enc;
+  PaillierDecryptor dec;
+};
+
+TEST(Paillier, EncryptDecryptRoundTrip) {
+  PaillierFixture f;
+  for (int i = 0; i < 10; ++i) {
+    auto m = BigUInt::random_below(f.kp.pk.n, f.rng);
+    EXPECT_EQ(f.dec.decrypt(f.enc.encrypt(m, f.rng)), m);
+  }
+}
+
+TEST(Paillier, ZeroAndEdgeMessages) {
+  PaillierFixture f;
+  EXPECT_EQ(f.dec.decrypt(f.enc.encrypt(BigUInt(0), f.rng)), BigUInt(0));
+  EXPECT_EQ(f.dec.decrypt(f.enc.encrypt(BigUInt(1), f.rng)), BigUInt(1));
+  auto nm1 = f.kp.pk.n - BigUInt(1);
+  EXPECT_EQ(f.dec.decrypt(f.enc.encrypt(nm1, f.rng)), nm1);
+  EXPECT_THROW(f.enc.encrypt(f.kp.pk.n, f.rng), CheckError);
+}
+
+TEST(Paillier, AdditiveHomomorphism) {
+  PaillierFixture f;
+  for (int i = 0; i < 5; ++i) {
+    auto m1 = BigUInt::random_below(f.kp.pk.n >> 1, f.rng);
+    auto m2 = BigUInt::random_below(f.kp.pk.n >> 1, f.rng);
+    auto c = f.enc.add(f.enc.encrypt(m1, f.rng), f.enc.encrypt(m2, f.rng));
+    EXPECT_EQ(f.dec.decrypt(c), m1 + m2);
+  }
+}
+
+TEST(Paillier, ScalarMultiplication) {
+  PaillierFixture f;
+  auto m = BigUInt::random_below(f.kp.pk.n >> 8, f.rng);
+  auto c = f.enc.scalar_mul(f.enc.encrypt(m, f.rng), BigUInt(123));
+  EXPECT_EQ(f.dec.decrypt(c), (m * BigUInt(123)) % f.kp.pk.n);
+}
+
+TEST(Paillier, DotProductLikeFate) {
+  // The HeteroLR workload: Σ A_j * Enc(v_j) via scalar_mul + add.
+  PaillierFixture f;
+  const int n = 8;
+  std::vector<BigUInt> v(n), a(n), cts(n);
+  BigUInt expect(0);
+  for (int j = 0; j < n; ++j) {
+    v[j] = BigUInt(f.rng.uniform(1000));
+    a[j] = BigUInt(f.rng.uniform(1000));
+    cts[j] = f.enc.encrypt(v[j], f.rng);
+    expect = expect + a[j] * v[j];
+  }
+  BigUInt acc = f.enc.encrypt(BigUInt(0), f.rng);
+  for (int j = 0; j < n; ++j) {
+    acc = f.enc.add(acc, f.enc.scalar_mul(cts[j], a[j]));
+  }
+  EXPECT_EQ(f.dec.decrypt(acc), expect % f.kp.pk.n);
+}
+
+TEST(Paillier, RerandomisedCiphertextsDiffer) {
+  PaillierFixture f;
+  auto m = BigUInt(42);
+  EXPECT_NE(f.enc.encrypt(m, f.rng), f.enc.encrypt(m, f.rng));
+}
+
+TEST(Paillier, LargerKey) {
+  PaillierFixture f(512, 9);
+  auto m = BigUInt::random_below(f.kp.pk.n, f.rng);
+  EXPECT_EQ(f.dec.decrypt(f.enc.encrypt(m, f.rng)), m);
+  EXPECT_GE(f.kp.pk.n.bit_length(), 511);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ring/rns.h"
+#include "ring/sampling.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+TEST(Lift, CenteredLiftPreservesSmallValues) {
+  auto small = RnsBase::create(32, {kQ0, kQ1});
+  auto big = RnsBase::create(32, {kQ0, kQ1, kP});
+  auto x = from_signed_coeffs(small, {5, -7, 0, 1000000, -123456789});
+  auto lifted = lift_centered(x, big);
+  EXPECT_TRUE(lifted.compose_coeff(0) == 5);
+  EXPECT_TRUE(lifted.compose_coeff(1) == big->total_modulus() - 7);
+  EXPECT_TRUE(lifted.compose_coeff(2) == 0);
+  EXPECT_TRUE(lifted.compose_coeff(3) == 1000000);
+  EXPECT_TRUE(lifted.compose_coeff(4) == big->total_modulus() - 123456789);
+}
+
+TEST(Lift, RoundTripThroughRescale) {
+  // Lift small values up, divide-and-round by p brings them back (values
+  // become round(v/p) = 0 for |v| < p/2... use multiples of p instead).
+  auto small = RnsBase::create(16, {kQ0, kQ1});
+  auto big = RnsBase::create(16, {kQ0, kQ1, kP});
+  Rng rng(3);
+  RnsPoly x(big, false);
+  std::vector<std::int64_t> vals(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    vals[i] = static_cast<std::int64_t>(rng.uniform(1000)) - 500;
+    const u128 v = vals[i] >= 0
+                       ? static_cast<u128>(vals[i]) * kP
+                       : big->total_modulus() -
+                             static_cast<u128>(-vals[i]) * kP;
+    u64 r[3];
+    big->decompose(v, r);
+    for (int l = 0; l < 3; ++l) x.limb(l)[i] = r[l];
+  }
+  auto down = divide_round_by_last(x, small);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const u128 got = down.compose_coeff(i);
+    const u128 expect = vals[i] >= 0
+                            ? static_cast<u128>(vals[i])
+                            : small->total_modulus() -
+                                  static_cast<u128>(-vals[i]);
+    EXPECT_TRUE(got == expect) << i;
+  }
+}
+
+TEST(Lift, RejectsNttDomain) {
+  auto small = RnsBase::create(16, {kQ0});
+  auto big = RnsBase::create(16, {kQ0, kP});
+  RnsPoly x(small, true);
+  EXPECT_THROW(lift_centered(x, big), CheckError);
+}
+
+}  // namespace
+}  // namespace cham

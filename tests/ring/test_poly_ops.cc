@@ -1,0 +1,163 @@
+#include "ring/poly_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ = (1ULL << 34) + (1ULL << 27) + 1;
+
+std::vector<u64> random_poly(std::size_t n, const Modulus& q, Rng& rng) {
+  std::vector<u64> a(n);
+  for (auto& c : a) c = rng.uniform(q.value());
+  return a;
+}
+
+TEST(PolyOps, AddSubNegateIdentities) {
+  Modulus q(kQ);
+  Rng rng(1);
+  const std::size_t n = 64;
+  auto a = random_poly(n, q, rng);
+  auto b = random_poly(n, q, rng);
+  std::vector<u64> s(n), d(n), back(n);
+  poly_add(a.data(), b.data(), s.data(), n, q);
+  poly_sub(s.data(), b.data(), back.data(), n, q);
+  EXPECT_EQ(back, a);
+  poly_negate(a.data(), d.data(), n, q);
+  poly_add(a.data(), d.data(), s.data(), n, q);
+  EXPECT_EQ(s, std::vector<u64>(n, 0));
+}
+
+TEST(PolyOps, RevIsInvolution) {
+  Modulus q(kQ);
+  Rng rng(2);
+  const std::size_t n = 32;
+  auto a = random_poly(n, q, rng);
+  std::vector<u64> r(n), rr(n);
+  poly_rev(a.data(), r.data(), n);
+  EXPECT_EQ(r[0], a[n - 1]);
+  EXPECT_EQ(r[n - 1], a[0]);
+  poly_rev(r.data(), rr.data(), n);
+  EXPECT_EQ(rr, a);
+  // In-place
+  poly_rev(r.data(), r.data(), n);
+  EXPECT_EQ(r, a);
+}
+
+TEST(PolyOps, ShiftNegMatchesSchoolbookMonomialProduct) {
+  Modulus q(kQ);
+  Rng rng(3);
+  const std::size_t n = 32;
+  auto a = random_poly(n, q, rng);
+  for (std::size_t s : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{31}, std::size_t{32}, std::size_t{47},
+                        std::size_t{63}}) {
+    std::vector<u64> mono(n, 0);
+    std::vector<u64> expect(n);
+    if (s < n) {
+      mono[s] = 1;
+      poly_mul_negacyclic_schoolbook(a.data(), mono.data(), expect.data(), n,
+                                     q);
+    } else {
+      // X^s = -X^{s-n}
+      mono[s - n] = q.negate(1);
+      poly_mul_negacyclic_schoolbook(a.data(), mono.data(), expect.data(), n,
+                                     q);
+    }
+    std::vector<u64> out(n);
+    poly_shiftneg(a.data(), out.data(), n, s, q);
+    EXPECT_EQ(out, expect) << "s=" << s;
+  }
+}
+
+TEST(PolyOps, ShiftNegFullRotationNegates) {
+  Modulus q(kQ);
+  Rng rng(4);
+  const std::size_t n = 16;
+  auto a = random_poly(n, q, rng);
+  std::vector<u64> out(n);
+  poly_shiftneg(a.data(), out.data(), n, n, q);  // *X^N = -1
+  std::vector<u64> neg(n);
+  poly_negate(a.data(), neg.data(), n, q);
+  EXPECT_EQ(out, neg);
+}
+
+TEST(PolyOps, AutomorphIdentityAtK1) {
+  Modulus q(kQ);
+  Rng rng(5);
+  const std::size_t n = 32;
+  auto a = random_poly(n, q, rng);
+  std::vector<u64> out(n);
+  poly_automorph(a.data(), out.data(), n, 1, q);
+  EXPECT_EQ(out, a);
+}
+
+TEST(PolyOps, AutomorphComposition) {
+  // automorph(automorph(a, k1), k2) == automorph(a, k1*k2 mod 2N)
+  Modulus q(kQ);
+  Rng rng(6);
+  const std::size_t n = 32;
+  auto a = random_poly(n, q, rng);
+  for (u64 k1 : {3ULL, 5ULL, 17ULL}) {
+    for (u64 k2 : {3ULL, 9ULL, 63ULL}) {
+      std::vector<u64> t1(n), t2(n), direct(n);
+      poly_automorph(a.data(), t1.data(), n, k1, q);
+      poly_automorph(t1.data(), t2.data(), n, k2, q);
+      poly_automorph(a.data(), direct.data(), n, (k1 * k2) % (2 * n), q);
+      EXPECT_EQ(t2, direct) << k1 << "," << k2;
+    }
+  }
+}
+
+TEST(PolyOps, AutomorphIsRingHomomorphism) {
+  // automorph(a*b) == automorph(a) * automorph(b)
+  Modulus q(kQ);
+  Rng rng(7);
+  const std::size_t n = 32;
+  auto a = random_poly(n, q, rng);
+  auto b = random_poly(n, q, rng);
+  const u64 k = 2 * 8 + 1;  // odd
+  std::vector<u64> ab(n), ab_auto(n), aa(n), ba(n), prod(n);
+  poly_mul_negacyclic_schoolbook(a.data(), b.data(), ab.data(), n, q);
+  poly_automorph(ab.data(), ab_auto.data(), n, k, q);
+  poly_automorph(a.data(), aa.data(), n, k, q);
+  poly_automorph(b.data(), ba.data(), n, k, q);
+  poly_mul_negacyclic_schoolbook(aa.data(), ba.data(), prod.data(), n, q);
+  EXPECT_EQ(ab_auto, prod);
+}
+
+TEST(PolyOps, AutomorphRejectsEvenIndex) {
+  Modulus q(kQ);
+  std::vector<u64> a(16, 1), out(16);
+  EXPECT_THROW(poly_automorph(a.data(), out.data(), 16, 2, q), CheckError);
+  EXPECT_THROW(poly_automorph(a.data(), out.data(), 16, 32, q), CheckError);
+}
+
+TEST(PolyOps, PointwiseAccumulate) {
+  Modulus q(kQ);
+  Rng rng(8);
+  const std::size_t n = 16;
+  auto a = random_poly(n, q, rng);
+  auto b = random_poly(n, q, rng);
+  std::vector<u64> acc(n, 0), once(n);
+  poly_mul_pointwise(a.data(), b.data(), once.data(), n, q);
+  poly_mul_pointwise_acc(a.data(), b.data(), acc.data(), n, q);
+  EXPECT_EQ(acc, once);
+  poly_mul_pointwise_acc(a.data(), b.data(), acc.data(), n, q);
+  std::vector<u64> twice(n);
+  poly_add(once.data(), once.data(), twice.data(), n, q);
+  EXPECT_EQ(acc, twice);
+}
+
+TEST(PolyOps, ScalarMultiply) {
+  Modulus q(17);
+  std::vector<u64> a{1, 2, 3, 4};
+  std::vector<u64> out(4);
+  poly_mul_scalar(a.data(), 5, out.data(), 4, q);
+  EXPECT_EQ(out, (std::vector<u64>{5, 10, 15, 3}));
+}
+
+}  // namespace
+}  // namespace cham

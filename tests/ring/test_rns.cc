@@ -1,0 +1,251 @@
+#include "ring/rns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ring/sampling.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+RnsBasePtr paper_base(std::size_t n = 64) {
+  return RnsBase::create(n, {kQ0, kQ1, kP});
+}
+
+TEST(RnsBase, CreateValidation) {
+  EXPECT_THROW(RnsBase::create(64, {}), CheckError);
+  EXPECT_THROW(RnsBase::create(64, {kQ0, kQ0}), CheckError);
+  auto base = paper_base();
+  EXPECT_EQ(base->size(), 3u);
+  EXPECT_EQ(base->n(), 64u);
+  EXPECT_NEAR(base->total_modulus_log2(), 35.0 + 34.0 + 38.0, 1.0);
+}
+
+TEST(RnsBase, ComposeDecomposeRoundTrip) {
+  auto base = paper_base();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    // Random value below Q.
+    u128 v = (static_cast<u128>(rng.uniform(1ULL << 44)) << 64) |
+             rng.next_u64();
+    v %= base->total_modulus();
+    u64 residues[3];
+    base->decompose(v, residues);
+    EXPECT_TRUE(base->compose(residues) == v);
+  }
+}
+
+TEST(RnsBase, ComposeEdgeValues) {
+  auto base = paper_base();
+  u64 residues[3];
+  base->decompose(0, residues);
+  EXPECT_TRUE(base->compose(residues) == 0);
+  u128 qm1 = base->total_modulus() - 1;
+  base->decompose(qm1, residues);
+  EXPECT_TRUE(base->compose(residues) == qm1);
+}
+
+TEST(RnsPoly, AddSubRoundTrip) {
+  auto base = paper_base();
+  Rng rng(2);
+  auto a = sample_uniform(base, rng);
+  auto b = sample_uniform(base, rng);
+  auto s = add(a, b);
+  auto back = sub(s, b);
+  EXPECT_EQ(back.raw(), a.raw());
+}
+
+TEST(RnsPoly, NttRoundTrip) {
+  auto base = paper_base(256);
+  Rng rng(3);
+  auto a = sample_uniform(base, rng);
+  auto b = a;
+  b.to_ntt();
+  EXPECT_TRUE(b.is_ntt());
+  b.from_ntt();
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(RnsPoly, DomainMismatchThrows) {
+  auto base = paper_base();
+  Rng rng(4);
+  auto a = sample_uniform(base, rng);
+  auto b = sample_uniform(base, rng);
+  b.to_ntt();
+  EXPECT_THROW(a.add_inplace(b), CheckError);
+  EXPECT_THROW(a.mul_pointwise_inplace(b), CheckError);
+  EXPECT_THROW(b.to_ntt(), CheckError);
+  b.from_ntt();
+  EXPECT_THROW(b.from_ntt(), CheckError);
+}
+
+TEST(RnsPoly, BaseMismatchThrows) {
+  auto base_a = paper_base();
+  auto base_b = RnsBase::create(64, {kQ0, kQ1});
+  RnsPoly a(base_a), b(base_b);
+  EXPECT_THROW(a.add_inplace(b), CheckError);
+}
+
+TEST(RnsPoly, NttMultiplicationMatchesSchoolbookPerLimb) {
+  auto base = paper_base(128);
+  Rng rng(5);
+  auto a = sample_uniform(base, rng);
+  auto b = sample_uniform(base, rng);
+  std::vector<std::vector<u64>> expect(base->size(),
+                                       std::vector<u64>(base->n()));
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    poly_mul_negacyclic_schoolbook(a.limb(l), b.limb(l), expect[l].data(),
+                                   base->n(), base->modulus(l));
+  }
+  a.to_ntt();
+  b.to_ntt();
+  a.mul_pointwise_inplace(b);
+  a.from_ntt();
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    EXPECT_EQ(std::vector<u64>(a.limb(l), a.limb(l) + base->n()), expect[l]);
+  }
+}
+
+TEST(RnsPoly, ComposeCoeffOfSignedValue) {
+  auto base = paper_base();
+  auto p = from_signed_coeffs(base, {5, -7, 0});
+  EXPECT_TRUE(p.compose_coeff(0) == 5);
+  EXPECT_TRUE(p.compose_coeff(1) == base->total_modulus() - 7);
+  EXPECT_TRUE(p.compose_coeff(2) == 0);
+}
+
+TEST(RnsPoly, DivideRoundByLast) {
+  // x over {q0,q1,p}; round(x/p) over {q0,q1} for known values.
+  auto full = paper_base();
+  auto target = RnsBase::create(64, {kQ0, kQ1});
+  RnsPoly x(full, false);
+  // Coefficient 0: value p*123 + small -> rounds to 123.
+  // Coefficient 1: value p*77 + (p/2 + 1) -> rounds to 78.
+  // Coefficient 2: value p*55 - 3 -> rounds to 55.
+  u128 pv = kP;
+  u128 v0 = pv * 123 + 5;
+  u128 v1 = pv * 77 + (pv / 2 + 1);
+  u128 v2 = pv * 55 - 3;
+  u64 r[3];
+  full->decompose(v0, r);
+  for (int l = 0; l < 3; ++l) x.limb(l)[0] = r[l];
+  full->decompose(v1, r);
+  for (int l = 0; l < 3; ++l) x.limb(l)[1] = r[l];
+  full->decompose(v2, r);
+  for (int l = 0; l < 3; ++l) x.limb(l)[2] = r[l];
+
+  auto y = divide_round_by_last(x, target);
+  EXPECT_TRUE(y.compose_coeff(0) == 123);
+  EXPECT_TRUE(y.compose_coeff(1) == 78);
+  EXPECT_TRUE(y.compose_coeff(2) == 55);
+}
+
+TEST(RnsPoly, DivideRoundRandomProperty) {
+  auto full = paper_base();
+  auto target = RnsBase::create(64, {kQ0, kQ1});
+  Rng rng(6);
+  RnsPoly x(full, false);
+  std::vector<u128> values(full->n());
+  const u128 q01 = static_cast<u128>(kQ0) * kQ1;
+  for (std::size_t i = 0; i < full->n(); ++i) {
+    // Keep round(x/p) below q0*q1 so the result is exact.
+    u128 v = (static_cast<u128>(rng.uniform(1ULL << 40)) << 64) |
+             rng.next_u64();
+    v %= (q01 / 2) * static_cast<u128>(kP);
+    values[i] = v;
+    u64 r[3];
+    full->decompose(v, r);
+    for (int l = 0; l < 3; ++l) x.limb(l)[i] = r[l];
+  }
+  auto y = divide_round_by_last(x, target);
+  for (std::size_t i = 0; i < full->n(); ++i) {
+    const u128 expect = (values[i] + kP / 2) / kP;
+    EXPECT_TRUE(y.compose_coeff(i) == expect) << "i=" << i;
+  }
+}
+
+TEST(RnsPoly, DivideRoundRejectsWrongTarget) {
+  auto full = paper_base();
+  auto bad = RnsBase::create(64, {kQ0, kP});
+  RnsPoly x(full, false);
+  EXPECT_THROW(divide_round_by_last(x, bad), CheckError);
+  RnsPoly y(full, true);
+  auto ok = RnsBase::create(64, {kQ0, kQ1});
+  EXPECT_THROW(divide_round_by_last(y, ok), CheckError);
+}
+
+TEST(RnsPoly, AutomorphAndShiftMatchPolyOps) {
+  auto base = paper_base(32);
+  Rng rng(7);
+  auto a = sample_uniform(base, rng);
+  auto au = a.automorph(5);
+  auto sh = a.shiftneg(3);
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    std::vector<u64> expect(base->n());
+    poly_automorph(a.limb(l), expect.data(), base->n(), 5, base->modulus(l));
+    EXPECT_EQ(std::vector<u64>(au.limb(l), au.limb(l) + base->n()), expect);
+    poly_shiftneg(a.limb(l), expect.data(), base->n(), 3, base->modulus(l));
+    EXPECT_EQ(std::vector<u64>(sh.limb(l), sh.limb(l) + base->n()), expect);
+  }
+}
+
+TEST(Sampling, TernaryInRange) {
+  auto base = paper_base(256);
+  Rng rng(8);
+  auto s = sample_ternary(base, rng);
+  int count[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < base->n(); ++i) {
+    u128 v = s.compose_coeff(i);
+    if (v == 0) {
+      ++count[1];
+    } else if (v == 1) {
+      ++count[2];
+    } else {
+      EXPECT_TRUE(v == base->total_modulus() - 1);
+      ++count[0];
+    }
+  }
+  // All three values should appear in 256 draws.
+  EXPECT_GT(count[0], 0);
+  EXPECT_GT(count[1], 0);
+  EXPECT_GT(count[2], 0);
+}
+
+TEST(Sampling, NoiseIsSmallAndCentered) {
+  auto base = paper_base(4096);
+  Rng rng(9);
+  auto e = sample_noise(base, rng);
+  double sum = 0, sumsq = 0;
+  for (std::size_t i = 0; i < base->n(); ++i) {
+    u128 v = e.compose_coeff(i);
+    double x = (v > base->total_modulus() / 2)
+                   ? -static_cast<double>(base->total_modulus() - v)
+                   : static_cast<double>(v);
+    EXPECT_LE(std::abs(x), 21.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / 4096;
+  const double var = sumsq / 4096 - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(var, 10.5, 2.0);  // CBD(21) variance = 21/2
+}
+
+TEST(Sampling, UniformLooksUniform) {
+  auto base = RnsBase::create(1024, {kQ0});
+  Rng rng(10);
+  auto u = sample_uniform(base, rng);
+  // Mean of uniform [0,q) should be near q/2 (loose bound).
+  double sum = 0;
+  for (std::size_t i = 0; i < base->n(); ++i)
+    sum += static_cast<double>(u.limb(0)[i]);
+  double mean = sum / base->n();
+  EXPECT_NEAR(mean / kQ0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,60 @@
+// Integration test of the hybrid B/FV -> LWE -> TFHE pipeline (the
+// CHIMERA/PEGASUS-style flow from examples/hybrid_demo.cpp): encrypted
+// dot products under B/FV, converted through mod-switch + key-switch, and
+// finished with a bootstrapped sign under TFHE.
+#include <gtest/gtest.h>
+
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "lwe/lwe_ops.h"
+#include "tfhe/tfhe.h"
+
+namespace cham {
+namespace {
+
+TEST(Hybrid, BfvDotProductSignUnderTfhe) {
+  const std::size_t n = 256;
+  auto bfv_ctx = BfvContext::create(BfvParams::test(n));
+  const u64 t = bfv_ctx->params().t;
+  Modulus mt(t);
+  Rng rng(77);
+
+  KeyGenerator keygen(bfv_ctx, rng);
+  auto pk = keygen.make_public_key();
+  Encryptor enc(bfv_ctx, &pk, nullptr, rng);
+  Evaluator eval(bfv_ctx);
+  CoeffEncoder encoder(bfv_ctx);
+
+  tfhe::TfheParams tp;
+  tp.ring_n = n;
+  tp.lwe_n = 64;
+  auto tfhe_ctx = tfhe::TfheContext::create(tp, rng);
+
+  const auto& single = tfhe_ctx->ring_base();
+  RnsPoly s_single(single, false);
+  std::copy(keygen.secret_key().s_coeff.limb(0),
+            keygen.secret_key().s_coeff.limb(0) + n, s_single.limb(0));
+  auto bridge = make_lwe_switch_key(s_single, tfhe_ctx->user_secret(), 8, rng);
+
+  // Construct rows with known, comfortably-signed dot products.
+  std::vector<u64> v(n, 10);
+  auto ct_v = enc.encrypt(encoder.encode_vector(v));
+  for (std::int64_t target : {+2560, -2560, +7680, -7680}) {
+    // Row of all (target / (10 * n)) -> dot = target.
+    const std::int64_t entry = target / (10 * static_cast<std::int64_t>(n));
+    std::vector<u64> row(n, mt.from_signed(entry));
+    auto prod = eval.multiply_plain(ct_v, encoder.encode_matrix_row(row, 1));
+    auto low = eval.rescale(prod);
+    auto lwe = extract_lwe(low, 0);
+    auto lwe_q0 = modswitch_lwe(lwe, single);
+    auto lwe_tfhe = keyswitch_lwe(lwe_q0, bridge);
+    auto bit = tfhe_ctx->bootstrap_msb(lwe_tfhe);
+    EXPECT_EQ(tfhe_ctx->decrypt_bit(bit), target > 0 ? 1 : 0)
+        << "target " << target;
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,145 @@
+#include "tfhe/tfhe.h"
+
+#include <gtest/gtest.h>
+
+namespace cham {
+namespace tfhe {
+namespace {
+
+TfheParams small_params() {
+  TfheParams p;
+  p.ring_n = 512;
+  p.lwe_n = 64;
+  return p;
+}
+
+TEST(Tfhe, EncryptDecryptBits) {
+  Rng rng(1);
+  auto ctx = TfheContext::create(small_params(), rng);
+  for (int rep = 0; rep < 20; ++rep) {
+    const int bit = rep & 1;
+    EXPECT_EQ(ctx->decrypt_bit(ctx->encrypt_bit(bit, rng)), bit);
+  }
+}
+
+TEST(Tfhe, ExternalProductScalesPlaintext) {
+  Rng rng(2);
+  auto ctx = TfheContext::create(small_params(), rng);
+  // Trivial RLWE of a known polynomial; RGSW(1) ⊡ ct must preserve it,
+  // RGSW(0) ⊡ ct must kill it (up to noise).
+  const u64 q = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus mq(q);
+  RnsPoly b(ctx->ring_base(), false), a(ctx->ring_base(), false);
+  const u64 big = q / 4;
+  b.limb(0)[3] = big;
+
+  auto g1 = ctx->rgsw_encrypt(1, rng);
+  RnsPoly b1 = b, a1 = a;
+  ctx->external_product(g1, b1, a1);
+  // Phase must still be ~big at coefficient 3. Decrypt manually: we don't
+  // have direct ring decryption here, but for a trivial input (a = 0) the
+  // output's phase equals the plaintext; use the b-part plus a*s via the
+  // bootstrap path instead: simpler — check RGSW(0) output is small and
+  // RGSW(1) output differs from it by ~the input.
+  auto g0 = ctx->rgsw_encrypt(0, rng);
+  RnsPoly b0 = b, a0 = a;
+  ctx->external_product(g0, b0, a0);
+  // RGSW(0) external product of anything decrypts to ~0; with the same
+  // randomness-free comparison we at least require the two results to be
+  // very different in the b-component at the payload position relative to
+  // noise scale.
+  const u64 diff = mq.sub(b1.limb(0)[3], b0.limb(0)[3]);
+  // This is a ciphertext-level smoke check; full semantic checks happen
+  // through bootstrapping below.
+  EXPECT_NE(diff, 0u);
+}
+
+TEST(Tfhe, BootstrapRefreshesBothBits) {
+  Rng rng(3);
+  auto ctx = TfheContext::create(small_params(), rng);
+  const u64 q = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus mq(q);
+  for (int bit : {0, 1}) {
+    auto ct = ctx->encrypt_bit(bit, rng);
+    auto fresh = ctx->bootstrap_msb(ct);
+    EXPECT_EQ(ctx->decrypt_bit(fresh), bit) << "bit=" << bit;
+    // The refreshed phase must sit near ±q/8.
+    const auto centered = mq.to_centered(ctx->phase(fresh));
+    const double expected = (bit ? 1.0 : -1.0) * static_cast<double>(q) / 8;
+    EXPECT_NEAR(static_cast<double>(centered), expected,
+                static_cast<double>(q) / 64.0);
+  }
+}
+
+TEST(Tfhe, NandGateTruthTable) {
+  Rng rng(4);
+  auto ctx = TfheContext::create(small_params(), rng);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      auto ca = ctx->encrypt_bit(a, rng);
+      auto cb = ctx->encrypt_bit(b, rng);
+      EXPECT_EQ(ctx->decrypt_bit(ctx->gate_nand(ca, cb)), !(a && b))
+          << a << " NAND " << b;
+    }
+  }
+}
+
+TEST(Tfhe, AndOrNotTruthTables) {
+  Rng rng(5);
+  auto ctx = TfheContext::create(small_params(), rng);
+  for (int a = 0; a < 2; ++a) {
+    auto ca = ctx->encrypt_bit(a, rng);
+    EXPECT_EQ(ctx->decrypt_bit(ctx->gate_not(ca)), 1 - a);
+    for (int b = 0; b < 2; ++b) {
+      auto cb = ctx->encrypt_bit(b, rng);
+      EXPECT_EQ(ctx->decrypt_bit(ctx->gate_and(ca, cb)), a && b)
+          << a << " AND " << b;
+      EXPECT_EQ(ctx->decrypt_bit(ctx->gate_or(ca, cb)), a || b)
+          << a << " OR " << b;
+    }
+  }
+}
+
+TEST(Tfhe, GateComposition) {
+  // A full adder's carry: maj(a, b, c) built from fresh gate outputs —
+  // exercises bootstrapped outputs as inputs to further gates.
+  Rng rng(6);
+  auto ctx = TfheContext::create(small_params(), rng);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        auto ca = ctx->encrypt_bit(a, rng);
+        auto cb = ctx->encrypt_bit(b, rng);
+        auto cc = ctx->encrypt_bit(c, rng);
+        auto ab = ctx->gate_and(ca, cb);
+        auto ac = ctx->gate_and(ca, cc);
+        auto bc = ctx->gate_and(cb, cc);
+        auto carry = ctx->gate_or(ctx->gate_or(ab, ac), bc);
+        EXPECT_EQ(ctx->decrypt_bit(carry), (a + b + c) >= 2)
+            << a << b << c;
+      }
+    }
+  }
+}
+
+TEST(Tfhe, ParamValidation) {
+  Rng rng(7);
+  TfheParams p = small_params();
+  p.ring_n = 100;  // not a power of two
+  EXPECT_THROW(TfheContext::create(p, rng), CheckError);
+  p = small_params();
+  p.lwe_n = p.ring_n + 1;
+  EXPECT_THROW(TfheContext::create(p, rng), CheckError);
+}
+
+TEST(Tfhe, DefaultParamsBootstrap) {
+  // One bootstrap at the full default parameters (N=1024, n=256).
+  Rng rng(8);
+  auto ctx = TfheContext::create(TfheParams{}, rng);
+  auto ct = ctx->encrypt_bit(1, rng);
+  EXPECT_EQ(ctx->decrypt_bit(ctx->bootstrap_msb(ct)), 1);
+}
+
+}  // namespace
+}  // namespace tfhe
+}  // namespace cham
