@@ -18,6 +18,15 @@ int main() {
 
   TablePrinter table({"Benchmark", "Shape", "Baseline", "CHAM", "Speed-up",
                       "Paper"});
+  // Machine-readable mirror of each row, scraped by CI ("CHAM-BENCH {...}").
+  auto emit_json = [](const char* benchmark, const char* shape,
+                      double baseline_s, double cham_s) {
+    std::cout << "CHAM-BENCH {\"benchmark\":\"" << benchmark << "\""
+              << ",\"shape\":\"" << shape << "\""
+              << ",\"baseline_s\":" << baseline_s
+              << ",\"cham_s\":" << cham_s
+              << ",\"speedup\":" << baseline_s / cham_s << "}\n";
+  };
 
   // 1. HMVP vs software CPU baseline, largest LR shape.
   {
@@ -26,6 +35,7 @@ int main() {
     table.add_row({"HMVP (matvec)", "8192x8192", fmt_seconds(cpu_s),
                    fmt_seconds(dev_s), fmt_speedup(cpu_s / dev_s),
                    "30x-1800x"});
+    emit_json("hmvp", "8192x8192", cpu_s, dev_s);
   }
 
   // 2. HeteroLR end-to-end (all four steps) on the largest dataset.
@@ -43,6 +53,7 @@ int main() {
     table.add_row({"HeteroLR (end-to-end)", "8192x8192",
                    fmt_seconds(cpu_total), fmt_seconds(dev_total),
                    fmt_speedup(cpu_total / dev_total), "2x-36x"});
+    emit_json("heterolr", "8192x8192", cpu_total, dev_total);
   }
 
   // 3. Beaver triples vs a batch-encoded (diagonal/BSGS) Delphi-style
@@ -77,6 +88,7 @@ int main() {
     table.add_row({"Beaver triples", "4096x4096", fmt_seconds(base_s),
                    fmt_seconds(dev_s), fmt_speedup(base_s / dev_s),
                    "49x-144x"});
+    emit_json("beaver", "4096x4096", base_s, dev_s);
   }
   (void)t;
 

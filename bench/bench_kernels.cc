@@ -1,0 +1,229 @@
+// Per-kernel runtime benchmark for the fused parallel kernel runtime:
+//   * lazy-reduction NTT vs the seed full-reduction butterflies (ns/coeff)
+//   * Shoup-cached vs Barrett pointwise limb products
+//   * HMVP wall time vs pool lane count (thread scaling)
+// Every result is also emitted as one machine-readable JSON line
+// ("CHAM-BENCH {...}") so CI and scripts can scrape regressions.
+//
+// Usage: bench_kernels [rows] [max_threads]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "nt/bitops.h"
+#include "nt/prime.h"
+#include "ring/poly_ops.h"
+
+namespace cham {
+namespace bench {
+namespace {
+
+void emit_json(const std::string& kernel, double ns_per_coeff,
+               int threads, double speedup) {
+  std::cout << "CHAM-BENCH {\"kernel\":\"" << kernel << "\""
+            << ",\"ns_per_coeff\":" << ns_per_coeff
+            << ",\"threads\":" << threads << ",\"speedup\":" << speedup
+            << "}\n";
+}
+
+// The pre-rewrite NTT: Cooley-Tukey / Gentleman-Sande with a full modular
+// reduction per butterfly, kept here as the fixed comparison baseline.
+class FullReductionNtt {
+ public:
+  FullReductionNtt(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+    const int logn = log2_exact(n);
+    const u64 psi = primitive_root_of_unity(q, 2 * n);
+    const u64 psi_inv = q.inv(psi);
+    n_inv_ = make_shoup(q.inv(static_cast<u64>(n % q.value())), q);
+    root_powers_.resize(n);
+    inv_root_powers_.resize(n);
+    std::vector<u64> fwd(n), inv(n);
+    u64 w = 1, wi = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      fwd[i] = w;
+      inv[i] = wi;
+      w = q.mul(w, psi);
+      wi = q.mul(wi, psi_inv);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = bit_reverse(static_cast<std::uint32_t>(i), logn);
+      root_powers_[i] = make_shoup(fwd[r], q);
+      inv_root_powers_[i] = make_shoup(inv[r], q);
+    }
+  }
+
+  void forward(std::vector<u64>& a) const {
+    std::size_t t = n_ >> 1;
+    for (std::size_t m = 1; m < n_; m <<= 1, t >>= 1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const ShoupMul w = root_powers_[m + i];
+        u64* x = a.data() + 2 * i * t;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < t; ++j) {
+          const u64 u = x[j];
+          const u64 v = mul_shoup(y[j], w, q_.value());
+          x[j] = q_.add(u, v);
+          y[j] = q_.sub(u, v);
+        }
+      }
+    }
+  }
+
+  void inverse(std::vector<u64>& a) const {
+    std::size_t t = 1;
+    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1, t <<= 1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const ShoupMul w = inv_root_powers_[m + i];
+        u64* x = a.data() + 2 * i * t;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < t; ++j) {
+          const u64 u = x[j];
+          const u64 v = y[j];
+          x[j] = q_.add(u, v);
+          y[j] = mul_shoup(q_.sub(u, v), w, q_.value());
+        }
+      }
+    }
+    for (auto& c : a) c = mul_shoup(c, n_inv_, q_.value());
+  }
+
+ private:
+  std::size_t n_;
+  Modulus q_;
+  ShoupMul n_inv_;
+  std::vector<ShoupMul> root_powers_;
+  std::vector<ShoupMul> inv_root_powers_;
+};
+
+// Best-of-batches: the minimum over several timed batches discards
+// scheduler noise (this box is a single shared core).
+template <typename F>
+double ns_per_coeff(std::size_t n, int reps, F&& body) {
+  const int batches = 8;
+  double best = 1e100;
+  for (int b = 0; b < batches; ++b) {
+    Timer timer;
+    for (int i = 0; i < reps / batches; ++i) body();
+    best = std::min(best, timer.seconds());
+  }
+  return best * 1e9 / (static_cast<double>(reps / batches) * n);
+}
+
+void bench_ntt(TablePrinter& table) {
+  const std::size_t n = 4096;
+  const u64 q0 = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus q(q0);
+  NttTables lazy(n, q);
+  FullReductionNtt seed(n, q);
+  Rng rng(1);
+  std::vector<u64> a(n);
+  for (auto& c : a) c = rng.uniform(q0);
+  const int reps = 400;
+
+  auto buf = a;
+  const double fwd_seed =
+      ns_per_coeff(n, reps, [&] { seed.forward(buf); });
+  const double fwd_lazy =
+      ns_per_coeff(n, reps, [&] { lazy.forward(buf); });
+  const double inv_seed =
+      ns_per_coeff(n, reps, [&] { seed.inverse(buf); });
+  const double inv_lazy =
+      ns_per_coeff(n, reps, [&] { lazy.inverse(buf); });
+
+  table.add_row({"NTT fwd (full red.)", TablePrinter::num(fwd_seed, 2), "1",
+                 "1.00x"});
+  table.add_row({"NTT fwd (lazy)", TablePrinter::num(fwd_lazy, 2), "1",
+                 TablePrinter::num(fwd_seed / fwd_lazy, 2) + "x"});
+  table.add_row({"NTT inv (full red.)", TablePrinter::num(inv_seed, 2), "1",
+                 "1.00x"});
+  table.add_row({"NTT inv (lazy)", TablePrinter::num(inv_lazy, 2), "1",
+                 TablePrinter::num(inv_seed / inv_lazy, 2) + "x"});
+  emit_json("ntt_forward_seed", fwd_seed, 1, 1.0);
+  emit_json("ntt_forward_lazy", fwd_lazy, 1, fwd_seed / fwd_lazy);
+  emit_json("ntt_inverse_seed", inv_seed, 1, 1.0);
+  emit_json("ntt_inverse_lazy", inv_lazy, 1, inv_seed / inv_lazy);
+}
+
+void bench_pointwise(TablePrinter& table) {
+  const std::size_t n = 4096;
+  const u64 q0 = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus q(q0);
+  Rng rng(2);
+  std::vector<u64> w(n), x(n), out(n);
+  for (auto& c : w) c = rng.uniform(q0);
+  for (auto& c : x) c = rng.uniform(q0);
+  std::vector<u64> quo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    quo[i] = static_cast<u64>((static_cast<u128>(w[i]) << 64) / q0);
+  }
+  const int reps = 4000;
+  const double barrett = ns_per_coeff(n, reps, [&] {
+    poly_mul_pointwise(x.data(), w.data(), out.data(), n, q);
+  });
+  const double shoup = ns_per_coeff(n, reps, [&] {
+    poly_mul_shoup(x.data(), w.data(), quo.data(), out.data(), n, q0);
+  });
+  table.add_row({"pointwise (Barrett)", TablePrinter::num(barrett, 2), "1",
+                 "1.00x"});
+  table.add_row({"pointwise (Shoup)", TablePrinter::num(shoup, 2), "1",
+                 TablePrinter::num(barrett / shoup, 2) + "x"});
+  emit_json("pointwise_barrett", barrett, 1, 1.0);
+  emit_json("pointwise_shoup", shoup, 1, barrett / shoup);
+}
+
+void bench_hmvp_scaling(std::size_t rows, int max_threads) {
+  // Small context: the scaling shape, not absolute time, is the point.
+  Rng rng(3);
+  auto ctx = BfvContext::create(BfvParams::test(256));
+  KeyGenerator keygen(ctx, rng);
+  PublicKey pk = keygen.make_public_key();
+  GaloisKeys gk = keygen.make_galois_keys(8);
+  Encryptor enc(ctx, &pk, nullptr, rng);
+  HmvpEngine engine(ctx, &gk);
+  const u64 t = ctx->params().t;
+  GeneratedMatrix a(rows, ctx->n(), t, 11);
+  std::vector<u64> v(ctx->n());
+  for (auto& c : v) c = rng.uniform(t);
+  auto ct_v = engine.encrypt_vector(v, enc);
+
+  std::cout << "\nHMVP thread scaling (" << rows << "x" << ctx->n()
+            << ", N=" << ctx->n() << ", pool lanes "
+            << ThreadPool::global().max_lanes() << "):\n";
+  TablePrinter table({"Threads", "Seconds", "Speed-up"});
+  double base = 0;
+  for (int th = 1; th <= max_threads; th *= 2) {
+    Timer timer;
+    auto res = engine.multiply(a, ct_v, th);
+    const double sec = timer.seconds();
+    if (th == 1) base = sec;
+    table.add_row({TablePrinter::num(th, 0), TablePrinter::num(sec, 4),
+                   TablePrinter::num(base / sec, 2) + "x"});
+    const double per_coeff =
+        sec * 1e9 / (static_cast<double>(rows) * ctx->n());
+    emit_json("hmvp_row_loop", per_coeff, th, base / sec);
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cham
+
+int main(int argc, char** argv) {
+  using namespace cham;
+  using namespace cham::bench;
+  const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const int max_threads = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::cout << "=== Kernel runtimes (lazy NTT, Shoup pointwise, pool "
+               "scaling) ===\n\n";
+  TablePrinter table({"Kernel", "ns/coeff", "Threads", "Speed-up"});
+  bench_ntt(table);
+  bench_pointwise(table);
+  table.print();
+  bench_hmvp_scaling(rows, max_threads);
+  return 0;
+}

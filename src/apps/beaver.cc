@@ -54,7 +54,7 @@ BeaverTriple BeaverGenerator::generate(const RowSource& w,
 
   // Server: HMVP, then subtract the random mask s from the packed result.
   timer.reset();
-  HmvpResult res = engine_.multiply(w, ct_r);
+  HmvpResult res = engine_.multiply(w, ct_r, threads_);
   triple.s.resize(w.rows());
   for (auto& v : triple.s) v = rng_.uniform(t);
   // Mask: the packed layout scales messages by pack_count with stride

@@ -42,6 +42,9 @@ class BeaverGenerator {
 
   BfvContextPtr context() const { return ctx_; }
 
+  // Pool lanes used for the server-side HMVP (bit-exact for any count).
+  void set_threads(int threads) { threads_ = threads; }
+
   // Generate one triple for W (entries mod t).
   BeaverTriple generate(const RowSource& w, BeaverTimings* timings = nullptr);
 
@@ -56,6 +59,7 @@ class BeaverGenerator {
   std::unique_ptr<Evaluator> eval_;
   HmvpEngine engine_;
   std::unique_ptr<sim::ChamAccelerator> accel_;
+  int threads_ = 1;
 };
 
 }  // namespace cham

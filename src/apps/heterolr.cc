@@ -200,7 +200,7 @@ std::vector<u64> BfvLrBackend::gradient(
 
   // 3. Encrypted gradient Xᵀ·d.
   timer.reset();
-  HmvpResult res = engine_.multiply(x_t, ct_d);
+  HmvpResult res = engine_.multiply(x_t, ct_d, threads_);
   if (accel_) {
     // Offloaded: the device-model latency replaces software wall time.
     local.matvec = accel_->time_hmvp(x_t.rows(), x_t.cols()).seconds;

@@ -76,6 +76,9 @@ class BfvLrBackend {
     return accel_ ? "BFV+CHAM" : "BFV(CPU)";
   }
 
+  // Pool lanes used for the Xᵀ·d HMVP (bit-exact for any count).
+  void set_threads(int threads) { threads_ = threads; }
+
   // One full secure gradient evaluation: returns the fixed-point gradient
   // of the batch (levels = 3 scale) and accumulates phase timings.
   // x_t is the transposed feature block (features x batch, mod t).
@@ -98,6 +101,7 @@ class BfvLrBackend {
   std::unique_ptr<Evaluator> eval_;
   HmvpEngine engine_;
   std::unique_ptr<sim::ChamAccelerator> accel_;
+  int threads_ = 1;
 };
 
 // Paillier backend (FATE baseline). Exact but O(rows*cols) modular

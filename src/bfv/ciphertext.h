@@ -26,14 +26,28 @@ struct Ciphertext {
   bool is_ntt() const { return b.is_ntt(); }
   std::size_t n() const { return b.n(); }
 
-  void to_ntt() {
-    b.to_ntt();
-    a.to_ntt();
+  // threads > 1 transforms the 2·limbs limb polynomials in parallel on
+  // the global pool (CHAM's limb-parallel NTT datapath).
+  void to_ntt(int threads = 1) {
+    b.to_ntt(threads);
+    a.to_ntt(threads);
   }
-  void from_ntt() {
-    b.from_ntt();
-    a.from_ntt();
+  void from_ntt(int threads = 1) {
+    b.from_ntt(threads);
+    a.from_ntt(threads);
   }
+};
+
+// Shoup-frozen form of an NTT-domain ciphertext: the reusable operand of
+// repeated plaintext products. HMVP freezes each ct(v) chunk once and
+// reuses it across up to N matrix rows, so every pointwise product in the
+// row loop becomes a mul_shoup instead of a Barrett multiply.
+struct ShoupCiphertext {
+  ShoupPoly b;
+  ShoupPoly a;
+
+  ShoupCiphertext() = default;
+  explicit ShoupCiphertext(const Ciphertext& ct) : b(ct.b), a(ct.a) {}
 };
 
 }  // namespace cham

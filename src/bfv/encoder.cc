@@ -17,17 +17,22 @@ Plaintext CoeffEncoder::encode_vector(const std::vector<u64>& v) const {
 
 Plaintext CoeffEncoder::encode_matrix_row(const std::vector<u64>& row,
                                           u64 scale) const {
-  CHAM_CHECK_MSG(!row.empty(), "empty matrix row");
-  CHAM_CHECK_MSG(row.size() <= ctx_->n(), "row longer than ring dimension");
+  Plaintext pt;
+  encode_matrix_row_into(row.data(), row.size(), scale, pt);
+  return pt;
+}
+
+void CoeffEncoder::encode_matrix_row_into(const u64* row, std::size_t len,
+                                          u64 scale, Plaintext& pt) const {
+  CHAM_CHECK_MSG(len > 0, "empty matrix row");
+  CHAM_CHECK_MSG(len <= ctx_->n(), "row longer than ring dimension");
   const Modulus& t = ctx_->plain_modulus();
   const u64 s = scale % t.value();
-  Plaintext pt;
   pt.coeffs.assign(ctx_->n(), 0);
   pt.coeffs[0] = t.mul(row[0] % t.value(), s);
-  for (std::size_t j = 1; j < row.size(); ++j) {
+  for (std::size_t j = 1; j < len; ++j) {
     pt.coeffs[ctx_->n() - j] = t.negate(t.mul(row[j] % t.value(), s));
   }
-  return pt;
 }
 
 u64 CoeffEncoder::decode_coeff(const Plaintext& pt, std::size_t index) const {

@@ -28,6 +28,10 @@ class CoeffEncoder {
   // first multiplied by `scale` mod t (used to fold in the 2^{-K} packing
   // correction). Row may be shorter than N.
   Plaintext encode_matrix_row(const std::vector<u64>& row, u64 scale) const;
+  // In-place variant for scratch-arena hot loops: overwrites pt (resized
+  // to N) with the Eq. 1 encoding of row[0..len).
+  void encode_matrix_row_into(const u64* row, std::size_t len, u64 scale,
+                              Plaintext& pt) const;
 
   // Read coefficient `index` from a decrypted message polynomial.
   u64 decode_coeff(const Plaintext& pt, std::size_t index) const;

@@ -49,9 +49,18 @@ void Evaluator::add_plain_inplace(Ciphertext& x, const Plaintext& pt) const {
 
 RnsPoly Evaluator::transform_plain_ntt(const Plaintext& pt,
                                        const RnsBasePtr& base) const {
-  CHAM_CHECK(pt.n() <= base->n());
-  const Modulus& t = ctx_->plain_modulus();
   RnsPoly out(base, false);
+  transform_plain_ntt_into(pt, out);
+  return out;
+}
+
+void Evaluator::transform_plain_ntt_into(const Plaintext& pt,
+                                         RnsPoly& out) const {
+  const RnsBasePtr& base = out.base();
+  CHAM_CHECK(pt.n() <= base->n());
+  if (out.is_ntt()) out.set_ntt_form(false);
+  out.set_zero();
+  const Modulus& t = ctx_->plain_modulus();
   for (std::size_t i = 0; i < pt.n(); ++i) {
     const std::int64_t centered = t.to_centered(pt.coeffs[i] % t.value());
     for (std::size_t l = 0; l < base->size(); ++l) {
@@ -59,7 +68,6 @@ RnsPoly Evaluator::transform_plain_ntt(const Plaintext& pt,
     }
   }
   out.to_ntt();
-  return out;
 }
 
 void Evaluator::multiply_plain_ntt_inplace(Ciphertext& x,
@@ -67,6 +75,20 @@ void Evaluator::multiply_plain_ntt_inplace(Ciphertext& x,
   CHAM_CHECK_MSG(x.is_ntt(), "ciphertext must be in NTT form");
   x.b.mul_pointwise_inplace(pt_ntt);
   x.a.mul_pointwise_inplace(pt_ntt);
+}
+
+void Evaluator::multiply_plain_ntt(const ShoupCiphertext& ct,
+                                   const RnsPoly& pt_ntt,
+                                   Ciphertext& out) const {
+  ct.b.mul_pointwise(pt_ntt, out.b);
+  ct.a.mul_pointwise(pt_ntt, out.a);
+}
+
+void Evaluator::multiply_plain_ntt_acc(const ShoupCiphertext& ct,
+                                       const RnsPoly& pt_ntt,
+                                       Ciphertext& acc) const {
+  ct.b.mul_pointwise_acc(pt_ntt, acc.b);
+  ct.a.mul_pointwise_acc(pt_ntt, acc.a);
 }
 
 Ciphertext Evaluator::multiply_plain(const Ciphertext& x,
@@ -101,13 +123,19 @@ Ciphertext Evaluator::multiply_monomial(const Ciphertext& x,
 }
 
 Ciphertext Evaluator::rescale(const Ciphertext& x) const {
+  Ciphertext out;
+  out.b = RnsPoly(ctx_->base_q(), false);
+  out.a = RnsPoly(ctx_->base_q(), false);
+  rescale_into(x, out);
+  return out;
+}
+
+void Evaluator::rescale_into(const Ciphertext& x, Ciphertext& out) const {
   CHAM_CHECK_MSG(x.base() == ctx_->base_qp(),
                  "rescale applies to augmented (base_qp) ciphertexts");
   CHAM_CHECK_MSG(!x.is_ntt(), "rescale expects coefficient domain");
-  Ciphertext out;
-  out.b = divide_round_by_last(x.b, ctx_->base_q());
-  out.a = divide_round_by_last(x.a, ctx_->base_q());
-  return out;
+  divide_round_by_last_into(x.b, out.b);
+  divide_round_by_last_into(x.a, out.a);
 }
 
 std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(

@@ -25,9 +25,20 @@ class Evaluator {
   // Centered lift of a plaintext onto `base`, NTT form — the reusable
   // operand for multiply_plain (HMVP precomputes these for matrix rows).
   RnsPoly transform_plain_ntt(const Plaintext& pt, const RnsBasePtr& base) const;
+  // Allocation-free variant: out must be bound to the target base; left
+  // in NTT form. pt may be shorter than the ring dimension.
+  void transform_plain_ntt_into(const Plaintext& pt, RnsPoly& out) const;
 
   // x := x ∘ pt (both polys; x must be in NTT form).
   void multiply_plain_ntt_inplace(Ciphertext& x, const RnsPoly& pt_ntt) const;
+
+  // out := ct ∘ pt for a Shoup-frozen ciphertext (out-of-place, writes
+  // into caller-owned scratch; bit-exact with multiply_plain_ntt_inplace).
+  void multiply_plain_ntt(const ShoupCiphertext& ct, const RnsPoly& pt_ntt,
+                          Ciphertext& out) const;
+  // acc += ct ∘ pt (fused multiply-accumulate for dot-product chunks).
+  void multiply_plain_ntt_acc(const ShoupCiphertext& ct,
+                              const RnsPoly& pt_ntt, Ciphertext& acc) const;
   // Convenience: coefficient-domain ct times plaintext, returns
   // coefficient-domain result (3 NTTs internally — the DotProduct stage).
   Ciphertext multiply_plain(const Ciphertext& x, const Plaintext& pt) const;
@@ -41,6 +52,8 @@ class Evaluator {
   // Rescale from base_qp to base_q: divide-and-round both polynomials by
   // the special modulus (pipeline stage 4).
   Ciphertext rescale(const Ciphertext& x) const;
+  // Allocation-free variant: out's polynomials must be bound to base_q.
+  void rescale_into(const Ciphertext& x, Ciphertext& out) const;
 
   // Apply the automorphism X -> X^k and switch back to the original key.
   // Requires a base_q, coefficient-domain ciphertext and gk.has(k).

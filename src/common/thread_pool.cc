@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cham {
+
+namespace {
+thread_local bool t_in_lane = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+bool ThreadPool::in_lane() { return t_in_lane; }
+
+void ThreadPool::worker_loop() {
+  t_in_lane = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* job = job_;
+    const int lanes = job_lanes_;
+    ++active_workers_;
+    lock.unlock();
+
+    int done = 0;
+    for (;;) {
+      const int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+      if (lane >= lanes) break;
+      (*job)(lane);
+      ++done;
+    }
+
+    lock.lock();
+    lanes_done_ += done;
+    --active_workers_;
+    if (active_workers_ == 0 && lanes_done_ == job_lanes_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
+  if (lanes <= 0) return;
+  if (lanes == 1 || workers_.empty() || t_in_lane) {
+    for (int l = 0; l < lanes; ++l) fn(l);
+    return;
+  }
+
+  // One job at a time; holding submit_mu_ until the job drains ensures no
+  // later submitter resets next_lane_ while a worker's claim loop is live.
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_lanes_ = lanes;
+    lanes_done_ = 0;
+    next_lane_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  // The submitter participates as an ordinary lane (nested regions it
+  // encounters run inline, like in a worker).
+  t_in_lane = true;
+  int done = 0;
+  for (;;) {
+    const int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+    if (lane >= lanes) break;
+    fn(lane);
+    ++done;
+  }
+  t_in_lane = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  lanes_done_ += done;
+  done_cv_.wait(lock, [&] {
+    return lanes_done_ == job_lanes_ && active_workers_ == 0;
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              int max_threads,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  std::size_t lanes = max_lanes();
+  if (max_threads > 0) {
+    lanes = std::min(lanes, static_cast<std::size_t>(max_threads));
+  }
+  lanes = std::min(lanes, count);
+  if (lanes <= 1 || t_in_lane) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  run(static_cast<int>(lanes), [&](int lane) {
+    for (std::size_t i = begin + static_cast<std::size_t>(lane); i < end;
+         i += lanes) {
+      fn(i);
+    }
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    std::size_t lanes = 0;
+    if (const char* env = std::getenv("CHAM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) lanes = static_cast<std::size_t>(v);
+    }
+    if (lanes == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      lanes = std::max<std::size_t>(hw == 0 ? 1 : hw, 8);
+    }
+    return lanes - 1;  // the submitting thread is the extra lane
+  }());
+  return pool;
+}
+
+}  // namespace cham

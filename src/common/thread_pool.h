@@ -1,0 +1,84 @@
+// Persistent worker-thread pool — the software analogue of CHAM's two
+// always-on compute engines (paper Sec. III-C). Threads are spawned once
+// and parked on a condition variable; each parallel region (a "job") is
+// claimed lane-by-lane through an atomic ticket, so dispatch cost is a
+// wake-up instead of a std::thread spawn+join per row group.
+//
+// Nesting policy: a parallel region entered from inside a pool lane runs
+// entirely on the calling lane (no re-submission, no deadlock). This makes
+// it safe for parallel row loops to call limb-parallel to_ntt/from_ntt
+// unconditionally.
+//
+// Job functions must not throw: an exception escaping a worker lane
+// terminates the process (as with any detached std::thread body).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cham {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` persistent threads; total parallelism is workers + 1
+  // because the submitting thread always participates.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Maximum concurrent lanes a single job can use (workers + caller).
+  std::size_t max_lanes() const { return workers_.size() + 1; }
+
+  // Invoke fn(lane) once for each lane in [0, lanes); the calling thread
+  // participates and the call returns after every lane has finished.
+  // Lanes beyond max_lanes() are still executed (a free thread picks up
+  // the next unclaimed lane), so correctness never depends on pool size.
+  void run(int lanes, const std::function<void(int)>& fn);
+
+  // fn(i) for every i in [begin, end), statically strided over
+  // min(max_threads, max_lanes(), count) lanes. max_threads <= 0 means
+  // "all lanes". The static stride keeps the index->lane mapping
+  // deterministic for any fixed lane count.
+  void parallel_for(std::size_t begin, std::size_t end, int max_threads,
+                    const std::function<void(std::size_t)>& fn);
+
+  // True when the calling thread is currently executing inside a pool
+  // lane (nested regions run inline).
+  static bool in_lane();
+
+  // Process-wide shared pool. Sized from the CHAM_THREADS environment
+  // variable (total lanes) when set, otherwise
+  // max(hardware_concurrency, 8) — the floor keeps multi-lane code paths
+  // genuinely exercised (and race-checkable) on small CI hosts.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  // Serializes whole jobs from concurrent external submitters; held by a
+  // submitter for the full duration of its job, which also guarantees the
+  // atomic lane ticket is never reset while a claim loop is in flight.
+  std::mutex submit_mu_;
+
+  std::mutex mu_;                 // guards the fields below
+  std::condition_variable cv_;    // workers: "a new job is available"
+  std::condition_variable done_cv_;  // submitter: "job fully drained"
+  const std::function<void(int)>* job_ = nullptr;
+  int job_lanes_ = 0;
+  int lanes_done_ = 0;    // lanes whose fn() has returned
+  int active_workers_ = 0;  // workers inside a claim loop
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::atomic<int> next_lane_{0};  // lane ticket for the current job
+};
+
+}  // namespace cham

@@ -1,17 +1,146 @@
 #include "hmvp/hmvp.h"
 
-#include <thread>
+#include <functional>
 
+#include "common/thread_pool.h"
 #include "nt/bitops.h"
 
 namespace cham {
 
 namespace {
+
 std::size_t next_pow2(std::size_t v) {
   std::size_t p = 1;
   while (p < v) p <<= 1;
   return p;
 }
+
+// Per-lane scratch arena: every buffer one row evaluation touches,
+// allocated once per group so the row loop does zero steady-state heap
+// allocation (the product lands out-of-place in `acc` instead of copying
+// a ciphertext per chunk).
+struct RowScratch {
+  std::vector<u64> row_buf;  // streaming path: one decoded matrix row
+  Plaintext pt;              // streaming path: Eq. 1 chunk encoding
+  RnsPoly pt_ntt;            // streaming path: its NTT-domain lift
+  Ciphertext acc;            // dot-product accumulator (NTT, base_qp)
+  Ciphertext rescaled;       // post-rescale row result (coeff, base_q)
+  HmvpStats stats;           // per-lane counters, merged after the group
+};
+
+void init_scratch(RowScratch& s, const BfvContextPtr& ctx,
+                  std::size_t streaming_cols) {
+  if (streaming_cols > 0) {
+    s.row_buf.assign(streaming_cols, 0);
+    s.pt.coeffs.assign(ctx->n(), 0);
+    s.pt_ntt = RnsPoly(ctx->base_qp(), true);
+  }
+  s.acc.b = RnsPoly(ctx->base_qp(), true);
+  s.acc.a = RnsPoly(ctx->base_qp(), true);
+  s.rescaled.b = RnsPoly(ctx->base_q(), false);
+  s.rescaled.a = RnsPoly(ctx->base_q(), false);
+}
+
+// Supplies the NTT-domain Eq.-1 plaintext of (row, chunk); chunk 0 is
+// always requested first for a given row.
+using PtProvider =
+    std::function<const RnsPoly&(std::size_t, std::size_t, RowScratch&)>;
+
+// One row's dot product -> extracted LWE, entirely within the lane's
+// scratch arena. Thread-safe: all shared state (ct_shoup, the provider's
+// sources) is read-only.
+LweCiphertext process_row(const Evaluator& eval, std::size_t row,
+                          const std::vector<ShoupCiphertext>& ct_shoup,
+                          const PtProvider& pt_at, RowScratch& s) {
+  s.acc.b.set_ntt_form(true);  // from_ntt flipped these last row
+  s.acc.a.set_ntt_form(true);
+  for (std::size_t c = 0; c < ct_shoup.size(); ++c) {
+    const RnsPoly& pt_ntt = pt_at(row, c, s);
+    if (c == 0) {
+      eval.multiply_plain_ntt(ct_shoup[c], pt_ntt, s.acc);
+    } else {
+      eval.multiply_plain_ntt_acc(ct_shoup[c], pt_ntt, s.acc);
+    }
+    s.stats.pointwise_mults += 2 * s.acc.b.limbs();
+  }
+  s.acc.from_ntt();
+  s.stats.inverse_ntts += 2 * s.acc.b.limbs();
+  eval.rescale_into(s.acc, s.rescaled);
+  s.stats.rescales += 1;
+  s.stats.extracts += 1;
+  return extract_lwe(s.rescaled, 0);
+}
+
+// Shared driver for multiply / multiply_encoded: freeze ct(v) into Shoup
+// form once, run each group's rows on pool lanes with per-lane scratch,
+// then pack. streaming_cols > 0 sizes the per-lane row buffer (streaming
+// path); 0 means the provider indexes precomputed chunks.
+HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
+                    const GaloisKeys* gk, std::size_t rows,
+                    std::size_t pack_count,
+                    const std::vector<Ciphertext>& ct_v, int threads,
+                    std::size_t streaming_cols, const PtProvider& pt_at) {
+  const std::size_t n = ctx->n();
+  HmvpResult res;
+  res.rows = rows;
+  res.pack_count = pack_count;
+  CHAM_CHECK_MSG(gk != nullptr || pack_count == 1,
+                 "Galois keys required to pack more than one row");
+
+  // Stage 1 for the ciphertext side happens once: transform every chunk
+  // of ct(v) to the NTT domain (limb-parallel) and freeze it into Shoup
+  // form — the per-coefficient quotients are amortized over every row.
+  std::vector<ShoupCiphertext> ct_shoup(ct_v.size());
+  for (std::size_t c = 0; c < ct_v.size(); ++c) {
+    Ciphertext ct = ct_v[c];
+    ct.to_ntt(threads);
+    res.stats.forward_ntts += 2 * ct.b.limbs();
+    ct_shoup[c] = ShoupCiphertext(ct);
+  }
+
+  auto& pool = ThreadPool::global();
+  const std::size_t groups = (rows + n - 1) / n;
+  res.packed.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t group_rows = std::min(n, rows - g * n);
+    std::vector<LweCiphertext> lwes(group_rows);
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(std::max(threads, 1), group_rows));
+    std::vector<RowScratch> scratch(lanes);
+    for (auto& s : scratch) init_scratch(s, ctx, streaming_cols);
+    pool.run(lanes, [&](int lane) {
+      RowScratch& s = scratch[lane];
+      for (std::size_t r = static_cast<std::size_t>(lane); r < group_rows;
+           r += static_cast<std::size_t>(lanes)) {
+        lwes[r] = process_row(eval, g * n + r, ct_shoup, pt_at, s);
+      }
+    });
+    for (const auto& s : scratch) {
+      res.stats.forward_ntts += s.stats.forward_ntts;
+      res.stats.inverse_ntts += s.stats.inverse_ntts;
+      res.stats.pointwise_mults += s.stats.pointwise_mults;
+      res.stats.rescales += s.stats.rescales;
+      res.stats.extracts += s.stats.extracts;
+    }
+    // Pad to the pack geometry with zero LWEs (trivial encryptions of 0).
+    lwes.reserve(pack_count);
+    while (lwes.size() < pack_count) {
+      LweCiphertext zero;
+      zero.base = ctx->base_q();
+      zero.b.assign(ctx->base_q()->size(), 0);
+      zero.a = RnsPoly(ctx->base_q(), false);
+      lwes.push_back(std::move(zero));
+    }
+    Ciphertext packed = (pack_count == 1)
+                            ? lwe_to_rlwe(lwes[0])
+                            : pack_lwes(eval, lwes, *gk, threads);
+    res.stats.pack_merges += pack_count - 1;
+    res.stats.keyswitches += pack_count - 1;
+    res.packed.push_back(std::move(packed));
+  }
+  return res;
+}
+
 }  // namespace
 
 HmvpEngine::HmvpEngine(BfvContextPtr context, const GaloisKeys* gk)
@@ -32,12 +161,19 @@ std::vector<Ciphertext> HmvpEngine::encrypt_vector(
 
 Plaintext HmvpEngine::encode_row_chunk(const u64* row, std::size_t cols,
                                        std::size_t chunk, u64 scale) const {
+  Plaintext pt;
+  encode_row_chunk_into(row, cols, chunk, scale, pt);
+  return pt;
+}
+
+void HmvpEngine::encode_row_chunk_into(const u64* row, std::size_t cols,
+                                       std::size_t chunk, u64 scale,
+                                       Plaintext& pt) const {
   const std::size_t n = ctx_->n();
   const std::size_t start = chunk * n;
   CHAM_CHECK(start < cols);
   const std::size_t len = std::min(n, cols - start);
-  std::vector<u64> part(row + start, row + start + len);
-  return encoder_.encode_matrix_row(part, scale);
+  encoder_.encode_matrix_row_into(row + start, len, scale, pt);
 }
 
 HmvpResult HmvpEngine::multiply(const RowSource& a,
@@ -56,109 +192,30 @@ HmvpResult HmvpEngine::multiply(const RowSource& a,
                    "vector ciphertexts must be augmented, coefficient form");
   }
 
-  HmvpResult res;
-  res.rows = rows;
   const std::size_t groups = (rows + n - 1) / n;
   const std::size_t rows_last = rows - (groups - 1) * n;
   // All groups share one pack geometry (that of a full group; the last,
   // possibly smaller, group is padded to the same shape for a uniform
   // output layout).
-  res.pack_count = next_pow2(groups > 1 ? n : rows_last);
-  CHAM_CHECK_MSG(gk_ != nullptr || res.pack_count == 1,
-                 "Galois keys required to pack more than one row");
-
+  const std::size_t pack_count = next_pow2(groups > 1 ? n : rows_last);
   const Modulus& t = ctx_->plain_modulus();
-  const u64 scale = t.inv(static_cast<u64>(res.pack_count % t.value()));
+  const u64 scale = t.inv(static_cast<u64>(pack_count % t.value()));
 
-  // Stage 1 for the ciphertext side happens once: transform every chunk of
-  // ct(v) to the NTT domain and reuse it for all rows.
-  std::vector<Ciphertext> ct_ntt = ct_v;
-  for (auto& ct : ct_ntt) {
-    ct.to_ntt();
-    res.stats.forward_ntts += 2 * ct.b.limbs();
-  }
-
-  // One row's dot product -> extracted LWE; thread-safe (all shared state
-  // is read-only), stats accumulate into the caller-provided struct.
-  auto process_row = [&](std::size_t row_index, std::vector<u64>& row_buf,
-                         HmvpStats& stats) {
-    a.row(row_index, row_buf.data());
-    // Dot product: accumulate chunk products in the NTT domain.
-    Ciphertext acc;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      Plaintext pt = encode_row_chunk(row_buf.data(), cols, c, scale);
-      RnsPoly pt_ntt = eval_.transform_plain_ntt(pt, ctx_->base_qp());
-      stats.forward_ntts += pt_ntt.limbs();
-      Ciphertext prod = ct_ntt[c];
-      eval_.multiply_plain_ntt_inplace(prod, pt_ntt);
-      stats.pointwise_mults += 2 * prod.b.limbs();
-      if (c == 0) {
-        acc = std::move(prod);
-      } else {
-        eval_.add_inplace(acc, prod);
-      }
-    }
-    acc.from_ntt();
-    stats.inverse_ntts += 2 * acc.b.limbs();
-    Ciphertext rescaled = eval_.rescale(acc);
-    stats.rescales += 1;
-    stats.extracts += 1;
-    return extract_lwe(rescaled, 0);
+  const PtProvider pt_at = [&](std::size_t row, std::size_t c,
+                               RowScratch& s) -> const RnsPoly& {
+    if (c == 0) a.row(row, s.row_buf.data());
+    encode_row_chunk_into(s.row_buf.data(), cols, c, scale, s.pt);
+    eval_.transform_plain_ntt_into(s.pt, s.pt_ntt);
+    s.stats.forward_ntts += s.pt_ntt.limbs();
+    return s.pt_ntt;
   };
-
-  for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t group_rows = std::min(n, rows - g * n);
-    std::vector<LweCiphertext> lwes(group_rows);
-    if (threads == 1 || group_rows < 2) {
-      std::vector<u64> row_buf(cols);
-      for (std::size_t r = 0; r < group_rows; ++r) {
-        lwes[r] = process_row(g * n + r, row_buf, res.stats);
-      }
-    } else {
-      const int nthreads =
-          static_cast<int>(std::min<std::size_t>(threads, group_rows));
-      std::vector<HmvpStats> local(nthreads);
-      std::vector<std::thread> pool;
-      pool.reserve(nthreads);
-      for (int tid = 0; tid < nthreads; ++tid) {
-        pool.emplace_back([&, tid] {
-          std::vector<u64> row_buf(cols);
-          for (std::size_t r = tid; r < group_rows;
-               r += static_cast<std::size_t>(nthreads)) {
-            lwes[r] = process_row(g * n + r, row_buf, local[tid]);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
-      for (const auto& s : local) {
-        res.stats.forward_ntts += s.forward_ntts;
-        res.stats.inverse_ntts += s.inverse_ntts;
-        res.stats.pointwise_mults += s.pointwise_mults;
-        res.stats.rescales += s.rescales;
-        res.stats.extracts += s.extracts;
-      }
-    }
-    // Pad to the pack geometry with zero LWEs (trivial encryptions of 0).
-    lwes.reserve(res.pack_count);
-    while (lwes.size() < res.pack_count) {
-      LweCiphertext zero;
-      zero.base = ctx_->base_q();
-      zero.b.assign(ctx_->base_q()->size(), 0);
-      zero.a = RnsPoly(ctx_->base_q(), false);
-      lwes.push_back(std::move(zero));
-    }
-    Ciphertext packed =
-        (res.pack_count == 1)
-            ? lwe_to_rlwe(lwes[0])
-            : pack_lwes(eval_, lwes, *gk_);
-    res.stats.pack_merges += res.pack_count - 1;
-    res.stats.keyswitches += res.pack_count - 1;
-    res.packed.push_back(std::move(packed));
-  }
-  return res;
+  return hmvp_run(ctx_, eval_, gk_, rows, pack_count, ct_v, threads, cols,
+                  pt_at);
 }
 
-EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a) const {
+EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a,
+                                        int threads) const {
+  CHAM_CHECK_MSG(threads >= 1, "thread count must be positive");
   const std::size_t n = ctx_->n();
   EncodedMatrix enc;
   enc.rows_ = a.rows();
@@ -170,77 +227,42 @@ EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a) const {
   const Modulus& t = ctx_->plain_modulus();
   const u64 scale = t.inv(static_cast<u64>(enc.pack_count_ % t.value()));
 
-  enc.row_chunks_.reserve(a.rows() * enc.chunks_);
-  std::vector<u64> row_buf(a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    a.row(r, row_buf.data());
-    for (std::size_t c = 0; c < enc.chunks_; ++c) {
-      Plaintext pt = encode_row_chunk(row_buf.data(), a.cols(), c, scale);
-      enc.row_chunks_.push_back(
-          eval_.transform_plain_ntt(pt, ctx_->base_qp()));
+  enc.row_chunks_.resize(a.rows() * enc.chunks_);
+  const int lanes = static_cast<int>(
+      std::min<std::size_t>(std::max(threads, 1), std::max<std::size_t>(a.rows(), 1)));
+  ThreadPool::global().run(lanes, [&](int lane) {
+    std::vector<u64> row_buf(a.cols());
+    Plaintext pt;
+    for (std::size_t r = static_cast<std::size_t>(lane); r < a.rows();
+         r += static_cast<std::size_t>(lanes)) {
+      a.row(r, row_buf.data());
+      for (std::size_t c = 0; c < enc.chunks_; ++c) {
+        encode_row_chunk_into(row_buf.data(), a.cols(), c, scale, pt);
+        enc.row_chunks_[r * enc.chunks_ + c] =
+            eval_.transform_plain_ntt(pt, ctx_->base_qp());
+      }
     }
-  }
+  });
   return enc;
 }
 
-HmvpResult HmvpEngine::multiply_encoded(
-    const EncodedMatrix& a, const std::vector<Ciphertext>& ct_v) const {
-  const std::size_t n = ctx_->n();
+HmvpResult HmvpEngine::multiply_encoded(const EncodedMatrix& a,
+                                        const std::vector<Ciphertext>& ct_v,
+                                        int threads) const {
+  CHAM_CHECK_MSG(threads >= 1, "thread count must be positive");
   CHAM_CHECK_MSG(ct_v.size() == a.chunks_,
                  "vector ciphertext count must match ceil(cols/N)");
-  HmvpResult res;
-  res.rows = a.rows_;
-  res.pack_count = a.pack_count_;
-  CHAM_CHECK_MSG(gk_ != nullptr || res.pack_count == 1,
-                 "Galois keys required to pack more than one row");
-
-  std::vector<Ciphertext> ct_ntt = ct_v;
-  for (auto& ct : ct_ntt) {
+  for (const auto& ct : ct_v) {
     CHAM_CHECK_MSG(ct.base() == ctx_->base_qp() && !ct.is_ntt(),
                    "vector ciphertexts must be augmented, coefficient form");
-    ct.to_ntt();
-    res.stats.forward_ntts += 2 * ct.b.limbs();
   }
-
-  const std::size_t groups = (a.rows_ + n - 1) / n;
-  for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t group_rows = std::min(n, a.rows_ - g * n);
-    std::vector<LweCiphertext> lwes;
-    lwes.reserve(res.pack_count);
-    for (std::size_t r = 0; r < group_rows; ++r) {
-      Ciphertext acc;
-      for (std::size_t c = 0; c < a.chunks_; ++c) {
-        const RnsPoly& pt_ntt =
-            a.row_chunks_[(g * n + r) * a.chunks_ + c];
-        Ciphertext prod = ct_ntt[c];
-        eval_.multiply_plain_ntt_inplace(prod, pt_ntt);
-        res.stats.pointwise_mults += 2 * prod.b.limbs();
-        if (c == 0) {
-          acc = std::move(prod);
-        } else {
-          eval_.add_inplace(acc, prod);
-        }
-      }
-      acc.from_ntt();
-      res.stats.inverse_ntts += 2 * acc.b.limbs();
-      Ciphertext rescaled = eval_.rescale(acc);
-      res.stats.rescales += 1;
-      res.stats.extracts += 1;
-      lwes.push_back(extract_lwe(rescaled, 0));
-    }
-    while (lwes.size() < res.pack_count) {
-      LweCiphertext zero;
-      zero.base = ctx_->base_q();
-      zero.b.assign(ctx_->base_q()->size(), 0);
-      zero.a = RnsPoly(ctx_->base_q(), false);
-      lwes.push_back(std::move(zero));
-    }
-    res.packed.push_back(res.pack_count == 1 ? lwe_to_rlwe(lwes[0])
-                                             : pack_lwes(eval_, lwes, *gk_));
-    res.stats.pack_merges += res.pack_count - 1;
-    res.stats.keyswitches += res.pack_count - 1;
-  }
-  return res;
+  const std::size_t chunks = a.chunks_;
+  const PtProvider pt_at = [&](std::size_t row, std::size_t c,
+                               RowScratch&) -> const RnsPoly& {
+    return a.row_chunks_[row * chunks + c];
+  };
+  return hmvp_run(ctx_, eval_, gk_, a.rows_, a.pack_count_, ct_v, threads,
+                  /*streaming_cols=*/0, pt_at);
 }
 
 std::vector<u64> HmvpEngine::decrypt_result(const HmvpResult& res,

@@ -73,17 +73,24 @@ class HmvpEngine {
                                          const Encryptor& enc) const;
 
   // Alg. 1: A · v homomorphically. ct_v are the chunk ciphertexts of v
-  // (augmented level, coefficient domain). `threads` parallelises the
-  // per-row dot products across host threads (Sec. III-C's multi-threaded
-  // host); the packing tree itself stays sequential per group.
+  // (augmented level, coefficient domain). `threads` caps the pool lanes
+  // used for the per-row dot products, the initial ct(v) NTTs, and each
+  // level of the packing tree (Sec. III-C's multi-threaded host). The
+  // ct(v) chunks are frozen into Shoup form once and reused across all
+  // rows; each lane works out of a preallocated scratch arena, so the row
+  // loop performs no steady-state heap allocation. Results are bit-exact
+  // for every thread count.
   HmvpResult multiply(const RowSource& a, const std::vector<Ciphertext>& ct_v,
                       int threads = 1) const;
 
-  // Pre-encode a matrix for repeated products (see EncodedMatrix).
-  EncodedMatrix encode_matrix(const RowSource& a) const;
+  // Pre-encode a matrix for repeated products (see EncodedMatrix); rows
+  // encode in parallel on up to `threads` pool lanes.
+  EncodedMatrix encode_matrix(const RowSource& a, int threads = 1) const;
   // Alg. 1 against a pre-encoded matrix: skips the per-row encode+NTT.
+  // Same threading and bit-exactness contract as multiply().
   HmvpResult multiply_encoded(const EncodedMatrix& a,
-                              const std::vector<Ciphertext>& ct_v) const;
+                              const std::vector<Ciphertext>& ct_v,
+                              int threads = 1) const;
 
   // Decrypt + decode the result vector (length a.rows()).
   std::vector<u64> decrypt_result(const HmvpResult& res,
@@ -98,6 +105,10 @@ class HmvpEngine {
   // factor folded in.
   Plaintext encode_row_chunk(const u64* row, std::size_t cols,
                              std::size_t chunk, u64 scale) const;
+  // Allocation-free variant (pt is overwritten, resized to N).
+  void encode_row_chunk_into(const u64* row, std::size_t cols,
+                             std::size_t chunk, u64 scale,
+                             Plaintext& pt) const;
 
   const BfvContextPtr& context() const { return ctx_; }
 

@@ -1,5 +1,6 @@
 #include "lwe/pack.h"
 
+#include "common/thread_pool.h"
 #include "nt/bitops.h"
 
 namespace cham {
@@ -21,34 +22,38 @@ Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
   return ct_plus;
 }
 
-namespace {
-
-// Recursive Alg. 3 over a strided view: packs lwes[offset + i*stride] for
-// i in [0, count).
-Ciphertext pack_recursive(const Evaluator& eval,
-                          const std::vector<LweCiphertext>& lwes,
-                          std::size_t offset, std::size_t stride,
-                          std::size_t count, const GaloisKeys& gk) {
-  if (count == 1) return lwe_to_rlwe(lwes[offset]);
-  const std::size_t half = count / 2;
-  Ciphertext even =
-      pack_recursive(eval, lwes, offset, stride * 2, half, gk);
-  Ciphertext odd =
-      pack_recursive(eval, lwes, offset + stride, stride * 2, half, gk);
-  return pack_two_lwes(eval, log2_exact(count), even, odd, gk);
-}
-
-}  // namespace
-
+// Alg. 3, iterated bottom-up. The recursive formulation
+//   pack(o, s, c) = P2L(log2 c, pack(o, 2s, c/2), pack(o+s, 2s, c/2))
+// becomes: seed nodes[o] = lwe_to_rlwe(lwes[o]) for o in [0, C), then for
+// each level with subtree size c (stride s = C/c) merge
+//   nodes[o] = P2L(log2 c, nodes[o], nodes[o+s])   for o in [0, s).
+// All merges at a level touch disjoint nodes, so a level runs in parallel
+// — the software analogue of the paper's pipelined PackTwoLWEs stages.
 Ciphertext pack_lwes(const Evaluator& eval,
                      const std::vector<LweCiphertext>& lwes,
-                     const GaloisKeys& gk) {
+                     const GaloisKeys& gk, int threads) {
   CHAM_CHECK_MSG(!lwes.empty(), "nothing to pack");
   CHAM_CHECK_MSG(is_power_of_two(lwes.size()),
                  "pack_lwes needs a power-of-two count (pad with zero LWEs)");
   CHAM_CHECK_MSG(lwes.size() <= lwes[0].n(),
                  "cannot pack more LWEs than ring coefficients");
-  return pack_recursive(eval, lwes, 0, 1, lwes.size(), gk);
+  const std::size_t count = lwes.size();
+  auto& pool = ThreadPool::global();
+
+  std::vector<Ciphertext> nodes(count);
+  pool.parallel_for(0, count, threads, [&](std::size_t i) {
+    nodes[i] = lwe_to_rlwe(lwes[i]);
+  });
+
+  std::size_t c = 2;
+  for (std::size_t s = count / 2; s >= 1; s >>= 1, c <<= 1) {
+    const int level_log = log2_exact(c);
+    pool.parallel_for(0, s, threads, [&](std::size_t o) {
+      nodes[o] = pack_two_lwes(eval, level_log, nodes[o], nodes[o + s], gk);
+    });
+    nodes.resize(s);  // drop the consumed odd half
+  }
+  return std::move(nodes[0]);
 }
 
 }  // namespace cham

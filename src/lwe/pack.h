@@ -28,10 +28,14 @@ Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
                          const GaloisKeys& gk);
 
 // Alg. 3. lwes.size() must be a power of two <= N. Returns the packed
-// RLWE ciphertext (base_q, coefficient domain).
+// RLWE ciphertext (base_q, coefficient domain). The binary reduction tree
+// is walked level by level; all merges within a level are independent and
+// run on up to `threads` pool lanes (mirroring the paper's multiple
+// PackTwoLWEs units, pipeline stages 5–9). The tree shape — and therefore
+// the result — is bit-identical for every thread count.
 Ciphertext pack_lwes(const Evaluator& eval,
                      const std::vector<LweCiphertext>& lwes,
-                     const GaloisKeys& gk);
+                     const GaloisKeys& gk, int threads = 1);
 
 // Statistics of the last pack_lwes call are intentionally not kept here;
 // the accelerator model (src/sim) accounts for the reduction tree itself.

@@ -113,10 +113,21 @@ inline ShoupMul make_shoup(u64 operand, const Modulus& q) {
 }
 
 // x * w mod q with precomputed Shoup quotient. Requires q < 2^63.
+// Valid for any 64-bit x (not just x < q); the intermediate before the
+// conditional correction is always < 2q.
 inline u64 mul_shoup(u64 x, const ShoupMul& w, u64 q) {
   u64 hi = static_cast<u64>((static_cast<u128>(x) * w.quotient) >> 64);
   u64 r = x * w.operand - hi * q;
   return r >= q ? r - q : r;
+}
+
+// Lazy variant: returns x * w mod q in [0, 2q) — skips the final
+// conditional subtraction. The workhorse of the Harvey-style NTT
+// butterflies, where operands are kept in [0, 4q) between stages and only
+// corrected once at the end. Valid for any 64-bit x; requires q < 2^63.
+inline u64 mul_shoup_lazy(u64 x, const ShoupMul& w, u64 q) {
+  u64 hi = static_cast<u64>((static_cast<u128>(x) * w.quotient) >> 64);
+  return x * w.operand - hi * q;
 }
 
 }  // namespace cham

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 
 #include "nt/bitops.h"
 #include "nt/prime.h"
@@ -12,6 +13,8 @@ NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
   CHAM_CHECK_MSG(is_power_of_two(n) && n >= 2, "ring dimension must be 2^k");
   CHAM_CHECK_MSG((q.value() - 1) % (2 * n) == 0,
                  "modulus must be ≡ 1 (mod 2n) for the negacyclic NTT");
+  CHAM_CHECK_MSG(q.value() < (1ULL << 62),
+                 "lazy butterflies keep values in [0, 4q); need q < 2^62");
   log_n_ = log2_exact(n);
   psi_ = primitive_root_of_unity(q, 2 * n);
   psi_inv_ = q.inv(psi_);
@@ -33,48 +36,221 @@ NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
     root_powers_[i] = make_shoup(fwd_pow[r], q);
     inv_root_powers_[i] = make_shoup(inv_pow[r], q);
   }
+  // The inverse transform fuses the n^{-1} scaling into its last stage:
+  // the upper half is multiplied by w·n^{-1} instead of w.
+  inv_n_w_ = make_shoup(q.mul(n_inv_.operand, inv_root_powers_[1].operand), q);
 }
 
+// Forward Cooley–Tukey with Harvey lazy reduction: coefficients live in
+// [0, 4q) between stages — each butterfly does one conditional -2q on the
+// top input and one lazy Shoup multiply ([0, 2q) output) on the bottom,
+// deferring full reduction to a single correction pass at the end.
 void NttTables::forward(u64* a) const {
   const u64 q = q_.value();
-  std::size_t t = n_;
-  for (std::size_t m = 1; m < n_; m <<= 1) {
+  const u64 two_q = q << 1;
+  if (n_ == 2) {
+    const ShoupMul w = root_powers_[1];
+    u64 u = a[0];
+    u = u >= two_q ? u - two_q : u;
+    const u64 v = mul_shoup_lazy(a[1], w, q);
+    u64 lo = u + v;
+    u64 hi = u + two_q - v;
+    lo = lo >= two_q ? lo - two_q : lo;
+    lo = lo >= q ? lo - q : lo;
+    hi = hi >= two_q ? hi - two_q : hi;
+    hi = hi >= q ? hi - q : hi;
+    a[0] = lo;
+    a[1] = hi;
+    return;
+  }
+
+  std::size_t m = 1;
+  std::size_t t = n_ >> 1;
+  // Odd stage count: peel the first radix-2 stage so the remaining count
+  // is even and the fused double-stage passes line up with the end.
+  if (log_n_ & 1) {
+    const ShoupMul w = root_powers_[1];
+    u64* x = a;
+    u64* y = a + t;
+    for (std::size_t j = 0; j < t; ++j) {
+      u64 u = x[j];
+      u = u >= two_q ? u - two_q : u;
+      const u64 v = mul_shoup_lazy(y[j], w, q);
+      x[j] = u + v;
+      y[j] = u + two_q - v;
+    }
+    m = 2;
     t >>= 1;
+  }
+
+  // Fused double stages: each pass applies stage (m, t) and stage
+  // (2m, t/2) while the four coefficients of a radix-4 block are in
+  // registers — half the loads/stores and loop iterations of two
+  // radix-2 sweeps. Values stay in [0, 4q); every stage-A/B input gets
+  // one conditional -2q before use (Harvey lazy reduction).
+  for (; t >= 4; m <<= 2, t >>= 2) {
+    const std::size_t half = t >> 1;
     for (std::size_t i = 0; i < m; ++i) {
-      const ShoupMul& w = root_powers_[m + i];
-      const std::size_t j1 = 2 * i * t;
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        const u64 u = a[j];
-        const u64 v = mul_shoup(a[j + t], w, q);
-        u64 s = u + v;
-        a[j] = s >= q ? s - q : s;
-        a[j + t] = u >= v ? u - v : u + q - v;
+      const ShoupMul wa = root_powers_[m + i];
+      const ShoupMul wb0 = root_powers_[2 * m + 2 * i];
+      const ShoupMul wb1 = root_powers_[2 * m + 2 * i + 1];
+      u64* x0 = a + 2 * i * t;
+      u64* x1 = x0 + half;
+      u64* x2 = x0 + t;
+      u64* x3 = x2 + half;
+      for (std::size_t j = 0; j < half; ++j) {
+        u64 a0 = x0[j];
+        u64 a1 = x1[j];
+        a0 = a0 >= two_q ? a0 - two_q : a0;
+        a1 = a1 >= two_q ? a1 - two_q : a1;
+        const u64 m2 = mul_shoup_lazy(x2[j], wa, q);
+        const u64 m3 = mul_shoup_lazy(x3[j], wa, q);
+        u64 b0 = a0 + m2;
+        const u64 b1 = a1 + m3;
+        u64 b2 = a0 + two_q - m2;
+        const u64 b3 = a1 + two_q - m3;
+        b0 = b0 >= two_q ? b0 - two_q : b0;
+        b2 = b2 >= two_q ? b2 - two_q : b2;
+        const u64 c1 = mul_shoup_lazy(b1, wb0, q);
+        const u64 c3 = mul_shoup_lazy(b3, wb1, q);
+        x0[j] = b0 + c1;
+        x1[j] = b0 + two_q - c1;
+        x2[j] = b2 + c3;
+        x3[j] = b2 + two_q - c3;
       }
     }
   }
+
+  // Final fused pass (t == 2): stages (m, 2) and (2m, 1). The full
+  // correction to [0, q) happens here instead of a separate sweep.
+  for (std::size_t i = 0; i < m; ++i) {
+    const ShoupMul wa = root_powers_[m + i];
+    const ShoupMul wb0 = root_powers_[2 * m + 2 * i];
+    const ShoupMul wb1 = root_powers_[2 * m + 2 * i + 1];
+    u64* x = a + 4 * i;
+    u64 a0 = x[0];
+    u64 a1 = x[1];
+    a0 = a0 >= two_q ? a0 - two_q : a0;
+    a1 = a1 >= two_q ? a1 - two_q : a1;
+    const u64 m2 = mul_shoup_lazy(x[2], wa, q);
+    const u64 m3 = mul_shoup_lazy(x[3], wa, q);
+    u64 b0 = a0 + m2;
+    const u64 b1 = a1 + m3;
+    u64 b2 = a0 + two_q - m2;
+    const u64 b3 = a1 + two_q - m3;
+    b0 = b0 >= two_q ? b0 - two_q : b0;
+    b2 = b2 >= two_q ? b2 - two_q : b2;
+    const u64 c1 = mul_shoup_lazy(b1, wb0, q);
+    const u64 c3 = mul_shoup_lazy(b3, wb1, q);
+    u64 o0 = b0 + c1;
+    u64 o1 = b0 + two_q - c1;
+    u64 o2 = b2 + c3;
+    u64 o3 = b2 + two_q - c3;
+    o0 = o0 >= two_q ? o0 - two_q : o0;
+    o1 = o1 >= two_q ? o1 - two_q : o1;
+    o2 = o2 >= two_q ? o2 - two_q : o2;
+    o3 = o3 >= two_q ? o3 - two_q : o3;
+    o0 = o0 >= q ? o0 - q : o0;
+    o1 = o1 >= q ? o1 - q : o1;
+    o2 = o2 >= q ? o2 - q : o2;
+    o3 = o3 >= q ? o3 - q : o3;
+    x[0] = o0;
+    x[1] = o1;
+    x[2] = o2;
+    x[3] = o3;
+  }
 }
 
+// Inverse Gentleman–Sande, lazily reduced: values stay in [0, 2q) between
+// stages (sums get one conditional -2q, differences go through the lazy
+// Shoup multiply). The final stage is fused with the n^{-1} scaling, so
+// outputs come out fully reduced without a separate scaling pass.
+// Accepts inputs in [0, 2q).
 void NttTables::inverse(u64* a) const {
   const u64 q = q_.value();
+  const u64 two_q = q << 1;
   std::size_t t = 1;
-  for (std::size_t m = n_; m > 1; m >>= 1) {
+  for (std::size_t m = n_; m > 2; m >>= 1) {
     const std::size_t h = m >> 1;
     std::size_t j1 = 0;
-    for (std::size_t i = 0; i < h; ++i) {
-      const ShoupMul& w = inv_root_powers_[h + i];
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        const u64 u = a[j];
-        const u64 v = a[j + t];
+    if (t == 1) {
+      for (std::size_t i = 0; i < h; ++i) {
+        const ShoupMul w = inv_root_powers_[h + i];
+        u64* x = a + j1;
+        const u64 u = x[0];
+        const u64 v = x[1];
         u64 s = u + v;
-        a[j] = s >= q ? s - q : s;
-        a[j + t] = mul_shoup(u >= v ? u - v : u + q - v, w, q);
+        s = s >= two_q ? s - two_q : s;
+        x[0] = s;
+        x[1] = mul_shoup_lazy(u + two_q - v, w, q);
+        j1 += 2;
       }
-      j1 += 2 * t;
+    } else if (t == 2) {
+      for (std::size_t i = 0; i < h; ++i) {
+        const ShoupMul w = inv_root_powers_[h + i];
+        u64* x = a + j1;
+        u64* y = x + 2;
+        const u64 u0 = x[0];
+        const u64 u1 = x[1];
+        const u64 v0 = y[0];
+        const u64 v1 = y[1];
+        u64 s0 = u0 + v0;
+        u64 s1 = u1 + v1;
+        s0 = s0 >= two_q ? s0 - two_q : s0;
+        s1 = s1 >= two_q ? s1 - two_q : s1;
+        x[0] = s0;
+        x[1] = s1;
+        y[0] = mul_shoup_lazy(u0 + two_q - v0, w, q);
+        y[1] = mul_shoup_lazy(u1 + two_q - v1, w, q);
+        j1 += 4;
+      }
+    } else {
+      for (std::size_t i = 0; i < h; ++i) {
+        const ShoupMul w = inv_root_powers_[h + i];
+        u64* x = a + j1;
+        u64* y = x + t;
+        // t >= 4 here; same 4x unroll rationale as the forward transform.
+        for (std::size_t j = 0; j < t; j += 4) {
+          const u64 u0 = x[j];
+          const u64 u1 = x[j + 1];
+          const u64 u2 = x[j + 2];
+          const u64 u3 = x[j + 3];
+          const u64 v0 = y[j];
+          const u64 v1 = y[j + 1];
+          const u64 v2 = y[j + 2];
+          const u64 v3 = y[j + 3];
+          u64 s0 = u0 + v0;
+          u64 s1 = u1 + v1;
+          u64 s2 = u2 + v2;
+          u64 s3 = u3 + v3;
+          s0 = s0 >= two_q ? s0 - two_q : s0;
+          s1 = s1 >= two_q ? s1 - two_q : s1;
+          s2 = s2 >= two_q ? s2 - two_q : s2;
+          s3 = s3 >= two_q ? s3 - two_q : s3;
+          x[j] = s0;
+          x[j + 1] = s1;
+          x[j + 2] = s2;
+          x[j + 3] = s3;
+          y[j] = mul_shoup_lazy(u0 + two_q - v0, w, q);
+          y[j + 1] = mul_shoup_lazy(u1 + two_q - v1, w, q);
+          y[j + 2] = mul_shoup_lazy(u2 + two_q - v2, w, q);
+          y[j + 3] = mul_shoup_lazy(u3 + two_q - v3, w, q);
+        }
+        j1 += 2 * t;
+      }
     }
     t <<= 1;
   }
-  for (std::size_t j = 0; j < n_; ++j) {
-    a[j] = mul_shoup(a[j], n_inv_, q);
+  // Last stage (m == 2) fused with the n^{-1} scaling: lower half gets
+  // (u+v)·n^{-1}, upper half (u-v)·(w·n^{-1}); both fully reduced.
+  const std::size_t h = n_ >> 1;
+  u64* x = a;
+  u64* y = a + h;
+  for (std::size_t j = 0; j < h; ++j) {
+    const u64 u = x[j];
+    const u64 v = y[j];
+    x[j] = mul_shoup(u + v, n_inv_, q);
+    y[j] = mul_shoup(u + two_q - v, inv_n_w_, q);
   }
 }
 
@@ -90,17 +266,24 @@ void pointwise_multiply_accumulate(const u64* a, const u64* b, u64* c,
 
 std::shared_ptr<const NttTables> get_ntt_tables(std::size_t n,
                                                 const Modulus& q) {
-  static std::mutex mu;
+  // Reader/writer cache: the per-limb lookup is on the hot path of every
+  // RNS transform, so concurrent pool lanes must not serialize on a
+  // mutex. Shared lock on the hit path; exclusive only to insert. A race
+  // between two creators builds the tables twice but the first insert
+  // wins, keeping instance identity stable.
+  static std::shared_mutex mu;
   static std::map<std::pair<std::size_t, u64>,
                   std::shared_ptr<const NttTables>>
       cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto key = std::make_pair(n, q.value());
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  const auto key = std::make_pair(n, q.value());
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
   auto tables = std::make_shared<const NttTables>(n, q);
-  cache.emplace(key, tables);
-  return tables;
+  std::unique_lock<std::shared_mutex> lock(mu);
+  return cache.emplace(key, std::move(tables)).first->second;
 }
 
 }  // namespace cham

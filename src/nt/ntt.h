@@ -2,7 +2,10 @@
 //
 // This is the library's fast software path: an in-place radix-2 transform
 // (Cooley–Tukey forward producing bit-reversed order, Gentleman–Sande
-// inverse consuming it) with Shoup-precomputed twiddles. The paper's
+// inverse consuming it) with Shoup-precomputed twiddles and Harvey-style
+// lazy reduction — butterfly operands stay in [0, 4q) (forward) / [0, 2q)
+// (inverse) with a single correction pass at the end, and the inverse
+// fuses the n^{-1} scaling into its last stage. The paper's
 // constant-geometry hardware dataflow lives in nt/cg_ntt.h and is verified
 // against this implementation.
 #pragma once
@@ -40,6 +43,7 @@ class NttTables {
   u64 psi_;      // primitive 2n-th root of unity
   u64 psi_inv_;  // psi^{-1}
   ShoupMul n_inv_;
+  ShoupMul inv_n_w_;  // inv_root_powers_[1] * n^{-1} (fused last stage)
   // root_powers_[i] = psi^{bitrev(i, log n)}, inv_root_powers_[i] =
   // psi^{-bitrev(i, log n)}; both as Shoup pairs.
   std::vector<ShoupMul> root_powers_;

@@ -34,6 +34,28 @@ void poly_mul_scalar(const u64* a, u64 c, u64* out, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) out[i] = q.mul(a[i], c);
 }
 
+void poly_mul_shoup(const u64* x, const u64* w_op, const u64* w_quo,
+                    u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 hi =
+        static_cast<u64>((static_cast<u128>(x[i]) * w_quo[i]) >> 64);
+    const u64 r = x[i] * w_op[i] - hi * q;
+    out[i] = r >= q ? r - q : r;
+  }
+}
+
+void poly_mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                        u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 hi =
+        static_cast<u64>((static_cast<u128>(x[i]) * w_quo[i]) >> 64);
+    u64 r = x[i] * w_op[i] - hi * q;
+    if (r >= q) r -= q;
+    const u64 s = out[i] + r;
+    out[i] = s >= q ? s - q : s;
+  }
+}
+
 void poly_rev(const u64* a, u64* out, std::size_t n) {
   if (a == out) {
     std::reverse(out, out + n);

@@ -29,6 +29,16 @@ void poly_mul_pointwise_acc(const u64* a, const u64* b, u64* out,
 void poly_mul_scalar(const u64* a, u64 c, u64* out, std::size_t n,
                      const Modulus& q);
 
+// out = x ∘ w with per-coefficient Shoup pairs (w_op[i], w_quo[i]) for the
+// fixed operand w: one high-half multiply + one low multiply per
+// coefficient instead of a full Barrett reduction. Bit-exact with
+// poly_mul_pointwise. Supports out aliasing x.
+void poly_mul_shoup(const u64* x, const u64* w_op, const u64* w_quo,
+                    u64* out, std::size_t n, u64 q);
+// out += x ∘ w (same Shoup form; fused multiply-accumulate).
+void poly_mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                        u64* out, std::size_t n, u64 q);
+
 // Rev (Table I): out = [a_{N-1}, ..., a_1, a_0]. Supports in-place.
 void poly_rev(const u64* a, u64* out, std::size_t n);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace cham {
 
 RnsBasePtr RnsBase::create(std::size_t n, const std::vector<u64>& primes) {
@@ -99,15 +101,27 @@ bool RnsPoly::is_zero() const {
   return true;
 }
 
-void RnsPoly::to_ntt() {
+void RnsPoly::to_ntt(int threads) {
   CHAM_CHECK_MSG(!ntt_form_, "already in NTT form");
-  for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).forward(limb(l));
+  if (threads <= 1) {
+    for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).forward(limb(l));
+  } else {
+    ThreadPool::global().parallel_for(
+        0, limbs(), threads,
+        [&](std::size_t l) { base_->ntt(l).forward(limb(l)); });
+  }
   ntt_form_ = true;
 }
 
-void RnsPoly::from_ntt() {
+void RnsPoly::from_ntt(int threads) {
   CHAM_CHECK_MSG(ntt_form_, "not in NTT form");
-  for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).inverse(limb(l));
+  if (threads <= 1) {
+    for (std::size_t l = 0; l < limbs(); ++l) base_->ntt(l).inverse(limb(l));
+  } else {
+    ThreadPool::global().parallel_for(
+        0, limbs(), threads,
+        [&](std::size_t l) { base_->ntt(l).inverse(limb(l)); });
+  }
   ntt_form_ = false;
 }
 
@@ -202,8 +216,55 @@ RnsPoly sub(const RnsPoly& a, const RnsPoly& b) {
   return out;
 }
 
+ShoupPoly::ShoupPoly(const RnsPoly& src) : base_(src.base()) {
+  CHAM_CHECK_MSG(src.is_ntt(), "ShoupPoly freezes an NTT-form polynomial");
+  const std::size_t n = src.n();
+  operand_ = src.raw();
+  quotient_.resize(operand_.size());
+  for (std::size_t l = 0; l < src.limbs(); ++l) {
+    const u64 q = base_->modulus(l).value();
+    const u64* w = operand_.data() + l * n;
+    u64* quo = quotient_.data() + l * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      quo[i] = static_cast<u64>((static_cast<u128>(w[i]) << 64) / q);
+    }
+  }
+}
+
+void ShoupPoly::mul_pointwise(const RnsPoly& x, RnsPoly& out) const {
+  CHAM_CHECK(base_ == x.base() && base_ == out.base());
+  CHAM_CHECK_MSG(x.is_ntt() && out.is_ntt(),
+                 "Shoup pointwise product requires NTT form");
+  const std::size_t n = base_->n();
+  for (std::size_t l = 0; l < base_->size(); ++l) {
+    poly_mul_shoup(x.limb(l), operand_.data() + l * n,
+                   quotient_.data() + l * n, out.limb(l), n,
+                   base_->modulus(l).value());
+  }
+}
+
+void ShoupPoly::mul_pointwise_acc(const RnsPoly& x, RnsPoly& acc) const {
+  CHAM_CHECK(base_ == x.base() && base_ == acc.base());
+  CHAM_CHECK_MSG(x.is_ntt() && acc.is_ntt(),
+                 "Shoup pointwise product requires NTT form");
+  const std::size_t n = base_->n();
+  for (std::size_t l = 0; l < base_->size(); ++l) {
+    poly_mul_shoup_acc(x.limb(l), operand_.data() + l * n,
+                       quotient_.data() + l * n, acc.limb(l), n,
+                       base_->modulus(l).value());
+  }
+}
+
 RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target) {
+  RnsPoly out(std::move(target), false);
+  divide_round_by_last_into(x, out);
+  return out;
+}
+
+void divide_round_by_last_into(const RnsPoly& x, RnsPoly& out) {
   CHAM_CHECK_MSG(!x.is_ntt(), "rescale requires coefficient domain");
+  CHAM_CHECK_MSG(!out.is_ntt(), "rescale output is coefficient domain");
+  const RnsBasePtr& target = out.base();
   CHAM_CHECK_MSG(target->is_prefix_of(*x.base()),
                  "target base must be the source base minus its last limb");
   const std::size_t k = target->size();
@@ -211,7 +272,6 @@ RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target) {
   const u64 pv = p.value();
   const u64 half = pv >> 1;
 
-  RnsPoly out(target, false);
   const u64* xp = x.limb(k);
   for (std::size_t l = 0; l < k; ++l) {
     const Modulus& ql = target->modulus(l);
@@ -231,7 +291,6 @@ RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target) {
       ol[i] = ql.mul(diff, p_inv);
     }
   }
-  return out;
 }
 
 RnsPoly lift_centered(const RnsPoly& x, RnsBasePtr target) {

@@ -76,9 +76,11 @@ class RnsPoly {
   void set_zero();
   bool is_zero() const;
 
-  // Domain conversion (in place).
-  void to_ntt();
-  void from_ntt();
+  // Domain conversion (in place). threads > 1 transforms limbs in
+  // parallel on the global ThreadPool (CHAM's limb-parallel NTT engines);
+  // nested calls from inside a pool lane run inline.
+  void to_ntt(int threads = 1);
+  void from_ntt(int threads = 1);
 
   // Arithmetic (element-wise per limb; operands must share base & domain).
   void add_inplace(const RnsPoly& o);
@@ -108,10 +110,40 @@ class RnsPoly {
   std::vector<u64> data_;
 };
 
+// An NTT-domain polynomial frozen into Shoup form: every coefficient
+// carries its precomputed quotient floor(w·2^64/q), so repeated pointwise
+// products against *varying* operands cost one high-half multiply + one
+// low multiply per coefficient instead of a Barrett reduction. This is
+// the natural form for HMVP's ct(v) chunks, which are reused across up to
+// N matrix rows. Results are bit-exact with the Barrett path.
+class ShoupPoly {
+ public:
+  ShoupPoly() = default;
+  // src must be in NTT form; the precompute costs one division per
+  // coefficient and is amortized over every later product.
+  explicit ShoupPoly(const RnsPoly& src);
+
+  const RnsBasePtr& base() const { return base_; }
+  bool empty() const { return base_ == nullptr; }
+
+  // out = this ∘ x (out must share the base; fully reduced).
+  void mul_pointwise(const RnsPoly& x, RnsPoly& out) const;
+  // acc += this ∘ x.
+  void mul_pointwise_acc(const RnsPoly& x, RnsPoly& acc) const;
+
+ private:
+  RnsBasePtr base_;
+  std::vector<u64> operand_;   // limb-major, same layout as RnsPoly
+  std::vector<u64> quotient_;  // floor(operand << 64 / q_l)
+};
+
 // Divide-and-round by the base's last prime: maps a coefficient-domain
 // polynomial over {q_0..q_{k-1}, p} to round(x / p) over {q_0..q_{k-1}}
 // (the paper's Rescale, pipeline stage 4; also BFV modulus switching).
 RnsPoly divide_round_by_last(const RnsPoly& x, RnsBasePtr target);
+// Allocation-free variant: out must already be bound to the target base
+// (coefficient domain); used by scratch-arena hot loops.
+void divide_round_by_last_into(const RnsPoly& x, RnsPoly& out);
 
 // Exact lift of a coefficient-domain polynomial onto a larger base whose
 // first limbs match. New limbs get the centered representative reduced mod

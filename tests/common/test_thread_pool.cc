@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace cham {
+namespace {
+
+TEST(ThreadPool, GlobalHasLanes) {
+  EXPECT_GE(ThreadPool::global().max_lanes(), 1);
+}
+
+TEST(ThreadPool, RunCoversEveryLaneExactlyOnce) {
+  auto& pool = ThreadPool::global();
+  const int lanes = static_cast<int>(pool.max_lanes());
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::atomic<int>> hits(lanes);
+    for (auto& h : hits) h.store(0);
+    pool.run(lanes, [&](int lane) {
+      ASSERT_GE(lane, 0);
+      ASSERT_LT(lane, lanes);
+      hits[lane].fetch_add(1);
+    });
+    for (int l = 0; l < lanes; ++l) EXPECT_EQ(hits[l].load(), 1) << l;
+  }
+}
+
+TEST(ThreadPool, RunWithFewerLanesThanWorkers) {
+  auto& pool = ThreadPool::global();
+  for (int lanes = 1; lanes <= static_cast<int>(pool.max_lanes()); ++lanes) {
+    std::atomic<int> count{0};
+    pool.run(lanes, [&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), lanes);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  auto& pool = ThreadPool::global();
+  const std::size_t n = 10007;  // prime, not a multiple of any lane count
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, n, static_cast<int>(pool.max_lanes()),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  auto& pool = ThreadPool::global();
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, 4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(7, 8, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelRunsInline) {
+  auto& pool = ThreadPool::global();
+  const int lanes = static_cast<int>(pool.max_lanes());
+  std::vector<std::atomic<int>> inner(lanes);
+  for (auto& h : inner) h.store(0);
+  pool.run(lanes, [&](int lane) {
+    EXPECT_TRUE(ThreadPool::in_lane());
+    // A nested region must not deadlock waiting for occupied workers;
+    // it collapses to inline execution on the calling lane.
+    pool.parallel_for(0, 4, lanes,
+                      [&](std::size_t) { inner[lane].fetch_add(1); });
+  });
+  for (int l = 0; l < lanes; ++l) EXPECT_EQ(inner[l].load(), 4) << l;
+  EXPECT_FALSE(ThreadPool::in_lane());
+}
+
+TEST(ThreadPool, SequentialJobsDoNotInterfere) {
+  auto& pool = ThreadPool::global();
+  const std::size_t n = 1000;
+  std::vector<std::uint64_t> out(n, 0);
+  for (int rep = 0; rep < 20; ++rep) {
+    pool.parallel_for(0, n, static_cast<int>(pool.max_lanes()),
+                      [&](std::size_t i) { out[i] = i + rep; });
+    const std::uint64_t want = (n * (n - 1)) / 2 + n * static_cast<std::uint64_t>(rep);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), want);
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -167,6 +167,47 @@ TEST(Hmvp, MultithreadedMatchesSequentialBitExact) {
   EXPECT_EQ(seq.stats.extracts, par.stats.extracts);
 }
 
+TEST(Hmvp, EightThreadsBitExactWithIdenticalStats) {
+  HmvpFixture f(64);
+  auto a = DenseMatrix::random(50, 3 * 64 + 5, f.ctx->params().t, f.rng);
+  auto v = f.random_vector(a.cols());
+  auto ct_v = f.engine.encrypt_vector(v, f.encryptor);
+  auto seq = f.engine.multiply(a, ct_v, 1);
+  auto par = f.engine.multiply(a, ct_v, 8);
+  ASSERT_EQ(seq.packed.size(), par.packed.size());
+  for (std::size_t g = 0; g < seq.packed.size(); ++g) {
+    EXPECT_EQ(seq.packed[g].b.raw(), par.packed[g].b.raw());
+    EXPECT_EQ(seq.packed[g].a.raw(), par.packed[g].a.raw());
+  }
+  // Per-lane stats merge by summation, so every total is thread-invariant.
+  EXPECT_EQ(seq.stats.forward_ntts, par.stats.forward_ntts);
+  EXPECT_EQ(seq.stats.inverse_ntts, par.stats.inverse_ntts);
+  EXPECT_EQ(seq.stats.pointwise_mults, par.stats.pointwise_mults);
+  EXPECT_EQ(seq.stats.rescales, par.stats.rescales);
+  EXPECT_EQ(seq.stats.extracts, par.stats.extracts);
+  EXPECT_EQ(seq.stats.pack_merges, par.stats.pack_merges);
+  EXPECT_EQ(seq.stats.keyswitches, par.stats.keyswitches);
+}
+
+TEST(Hmvp, ThreadedEncodedPathBitExact) {
+  HmvpFixture f(64);
+  auto a = DenseMatrix::random(40, 2 * 64 + 3, f.ctx->params().t, f.rng);
+  auto v = f.random_vector(a.cols());
+  auto ct_v = f.engine.encrypt_vector(v, f.encryptor);
+  auto enc_seq = f.engine.encode_matrix(a, 1);
+  auto enc_par = f.engine.encode_matrix(a, 8);
+  auto seq = f.engine.multiply_encoded(enc_seq, ct_v, 1);
+  auto par = f.engine.multiply_encoded(enc_par, ct_v, 8);
+  ASSERT_EQ(seq.packed.size(), par.packed.size());
+  for (std::size_t g = 0; g < seq.packed.size(); ++g) {
+    EXPECT_EQ(seq.packed[g].b.raw(), par.packed[g].b.raw());
+    EXPECT_EQ(seq.packed[g].a.raw(), par.packed[g].a.raw());
+  }
+  EXPECT_EQ(seq.stats.inverse_ntts, par.stats.inverse_ntts);
+  EXPECT_EQ(f.engine.decrypt_result(par, f.decryptor),
+            HmvpEngine::reference(a, v, f.ctx->params().t));
+}
+
 TEST(Hmvp, MoreThreadsThanRows) {
   HmvpFixture f(64);
   auto a = DenseMatrix::random(3, 64, f.ctx->params().t, f.rng);

@@ -211,6 +211,25 @@ TEST(Pack, NoiseBudgetSurvivesDeepTree) {
   EXPECT_GT(f.decryptor.noise_budget_bits(packed), 10.0);
 }
 
+TEST(Pack, LevelParallelTreeBitExact) {
+  // The bottom-up tree must produce the identical ciphertext for every
+  // thread count (each level's merges are disjoint, tree shape is fixed).
+  LweFixture f(64, 7);
+  const std::size_t count = 32;
+  auto gk = f.keygen.make_galois_keys(log2_exact(count));
+  std::vector<LweCiphertext> lwes;
+  for (std::size_t i = 0; i < count; ++i) {
+    lwes.push_back(extract_lwe(f.encrypt_q(f.random_message(f.ctx->n())), 0));
+  }
+  auto seq = pack_lwes(f.evaluator, lwes, gk, 1);
+  auto par4 = pack_lwes(f.evaluator, lwes, gk, 4);
+  auto par8 = pack_lwes(f.evaluator, lwes, gk, 8);
+  EXPECT_EQ(seq.b.raw(), par4.b.raw());
+  EXPECT_EQ(seq.a.raw(), par4.a.raw());
+  EXPECT_EQ(seq.b.raw(), par8.b.raw());
+  EXPECT_EQ(seq.a.raw(), par8.a.raw());
+}
+
 TEST(Pack, RejectsNonPowerOfTwo) {
   LweFixture f(64, 5);
   auto gk = f.keygen.make_galois_keys(2);

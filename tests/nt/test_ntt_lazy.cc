@@ -1,0 +1,152 @@
+// Fuzz validation of the lazy-reduction (Harvey) NTT rewrite: the new
+// forward/inverse must be bit-identical to (a) the constant-geometry
+// reference CgNtt and (b) the pre-rewrite full-reduction butterflies,
+// reconstructed here from the same psi/bit-reversed twiddle convention.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "nt/bitops.h"
+#include "nt/cg_ntt.h"
+#include "nt/ntt.h"
+#include "nt/prime.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+// The seed implementation: Cooley-Tukey / Gentleman-Sande butterflies with
+// a full modular reduction after every operation. Twiddle layout matches
+// NttTables (psi^{bitrev(i)} forward, psi^{-bitrev(i)} inverse).
+class FullReductionNtt {
+ public:
+  FullReductionNtt(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+    const int logn = log2_exact(n);
+    const u64 psi = primitive_root_of_unity(q, 2 * n);
+    const u64 psi_inv = q.inv(psi);
+    n_inv_ = make_shoup(q.inv(static_cast<u64>(n % q.value())), q);
+    root_powers_.resize(n);
+    inv_root_powers_.resize(n);
+    u64 w = 1, wi = 1;
+    std::vector<u64> fwd(n), inv(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fwd[i] = w;
+      inv[i] = wi;
+      w = q.mul(w, psi);
+      wi = q.mul(wi, psi_inv);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r =
+          bit_reverse(static_cast<std::uint32_t>(i), logn);
+      root_powers_[i] = make_shoup(fwd[r], q);
+      inv_root_powers_[i] = make_shoup(inv[r], q);
+    }
+  }
+
+  void forward(std::vector<u64>& a) const {
+    std::size_t t = n_ >> 1;
+    for (std::size_t m = 1; m < n_; m <<= 1, t >>= 1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const ShoupMul w = root_powers_[m + i];
+        u64* x = a.data() + 2 * i * t;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < t; ++j) {
+          const u64 u = x[j];
+          const u64 v = mul_shoup(y[j], w, q_.value());
+          x[j] = q_.add(u, v);
+          y[j] = q_.sub(u, v);
+        }
+      }
+    }
+  }
+
+  void inverse(std::vector<u64>& a) const {
+    std::size_t t = 1;
+    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1, t <<= 1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const ShoupMul w = inv_root_powers_[m + i];
+        u64* x = a.data() + 2 * i * t;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < t; ++j) {
+          const u64 u = x[j];
+          const u64 v = y[j];
+          x[j] = q_.add(u, v);
+          y[j] = mul_shoup(q_.sub(u, v), w, q_.value());
+        }
+      }
+    }
+    for (auto& c : a) c = mul_shoup(c, n_inv_, q_.value());
+  }
+
+ private:
+  std::size_t n_;
+  Modulus q_;
+  ShoupMul n_inv_;
+  std::vector<ShoupMul> root_powers_;
+  std::vector<ShoupMul> inv_root_powers_;
+};
+
+class LazyNttFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(LazyNttFuzz, MatchesSeedAndCgOn10kRandomPolys) {
+  const std::size_t n = 64;
+  Modulus q(GetParam());
+  NttTables lazy(n, q);
+  FullReductionNtt seed(n, q);
+  CgNtt cg(n, q);
+  Rng rng(0xC0FFEE ^ GetParam());
+  std::vector<u64> a(n);
+  for (int rep = 0; rep < 10000; ++rep) {
+    for (auto& c : a) c = rng.uniform(q.value());
+    auto f_lazy = a, f_seed = a, f_cg = a;
+    lazy.forward(f_lazy);
+    seed.forward(f_seed);
+    cg.forward(f_cg);
+    ASSERT_EQ(f_lazy, f_seed) << "forward diverged at rep " << rep;
+    ASSERT_EQ(f_lazy, f_cg) << "forward vs CG diverged at rep " << rep;
+
+    auto i_lazy = f_lazy, i_seed = f_lazy, i_cg = f_lazy;
+    lazy.inverse(i_lazy);
+    seed.inverse(i_seed);
+    cg.inverse(i_cg);
+    ASSERT_EQ(i_lazy, i_seed) << "inverse diverged at rep " << rep;
+    ASSERT_EQ(i_lazy, i_cg) << "inverse vs CG diverged at rep " << rep;
+    ASSERT_EQ(i_lazy, a) << "roundtrip broke at rep " << rep;
+  }
+}
+
+// Boundary inputs: all-zero, all-(q-1), single spikes — the values that
+// stress the [0, 4q) lazy invariant hardest.
+TEST_P(LazyNttFuzz, BoundaryInputs) {
+  const std::size_t n = 256;
+  Modulus q(GetParam());
+  NttTables lazy(n, q);
+  FullReductionNtt seed(n, q);
+  std::vector<std::vector<u64>> cases;
+  cases.emplace_back(n, 0);
+  cases.emplace_back(n, q.value() - 1);
+  for (std::size_t spike : {std::size_t{0}, n / 2, n - 1}) {
+    std::vector<u64> v(n, 0);
+    v[spike] = q.value() - 1;
+    cases.push_back(std::move(v));
+  }
+  for (const auto& c : cases) {
+    auto f_lazy = c, f_seed = c;
+    lazy.forward(f_lazy);
+    seed.forward(f_seed);
+    EXPECT_EQ(f_lazy, f_seed);
+    auto i_lazy = f_lazy;
+    lazy.inverse(i_lazy);
+    EXPECT_EQ(i_lazy, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModuli, LazyNttFuzz,
+                         ::testing::Values(kQ0, kQ1, kP));
+
+}  // namespace
+}  // namespace cham

@@ -235,6 +235,52 @@ TEST(Sampling, NoiseIsSmallAndCentered) {
   EXPECT_NEAR(var, 10.5, 2.0);  // CBD(21) variance = 21/2
 }
 
+TEST(ShoupPoly, MatchesBarrettPointwiseBitExact) {
+  auto base = paper_base();
+  Rng rng(33);
+  for (int rep = 0; rep < 20; ++rep) {
+    RnsPoly w = sample_uniform(base, rng);
+    RnsPoly x = sample_uniform(base, rng);
+    w.set_ntt_form(true);  // frozen operands live in the NTT domain
+    x.set_ntt_form(true);
+
+    RnsPoly barrett = x;
+    barrett.mul_pointwise_inplace(w);
+
+    ShoupPoly frozen(w);
+    RnsPoly shoup(base, true);
+    frozen.mul_pointwise(x, shoup);
+    EXPECT_EQ(shoup.raw(), barrett.raw());
+
+    // Accumulating variant: acc += w*x must equal barrett + barrett.
+    RnsPoly acc = shoup;
+    frozen.mul_pointwise_acc(x, acc);
+    RnsPoly doubled = barrett;
+    doubled.add_inplace(barrett);
+    EXPECT_EQ(acc.raw(), doubled.raw());
+  }
+}
+
+TEST(ShoupPoly, RequiresNttForm) {
+  auto base = paper_base();
+  Rng rng(34);
+  RnsPoly w = sample_uniform(base, rng);  // coefficient form
+  EXPECT_THROW(ShoupPoly frozen(w), CheckError);
+}
+
+TEST(RnsPoly, ThreadedNttMatchesSerial) {
+  auto base = paper_base();
+  Rng rng(35);
+  RnsPoly a = sample_uniform(base, rng);
+  RnsPoly b = a;
+  a.to_ntt(1);
+  b.to_ntt(8);
+  EXPECT_EQ(a.raw(), b.raw());
+  a.from_ntt(1);
+  b.from_ntt(8);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
 TEST(Sampling, UniformLooksUniform) {
   auto base = RnsBase::create(1024, {kQ0});
   Rng rng(10);
