@@ -65,6 +65,20 @@ void ablate_hoisting(PaperFixture& f) {
   auto pt = encoder.encode_matrix_row(row, 1);
   constexpr int kRows = 32;
 
+  // Self-check: the hoisted product must be bit-exact with the naive one.
+  {
+    Ciphertext ct_ntt = ct;
+    ct_ntt.to_ntt();
+    auto pt_ntt = f.evaluator.transform_plain_ntt(pt, f.ctx->base_qp());
+    Ciphertext hoisted_prod = ct_ntt;
+    f.evaluator.multiply_plain_ntt_inplace(hoisted_prod, pt_ntt);
+    hoisted_prod.from_ntt();
+    auto naive_prod = f.evaluator.multiply_plain(ct, pt);
+    bench_check(hoisted_prod.b.raw() == naive_prod.b.raw() &&
+                    hoisted_prod.a.raw() == naive_prod.a.raw(),
+                "hoisted plaintext product == naive plaintext product");
+  }
+
   // Hoisted: transform ct once, per row only the plaintext transforms.
   Timer t;
   {
@@ -201,5 +215,5 @@ int main() {
   ablate_packing(f);
   ablate_ntt_engines();
   ablate_threads(f);
-  return 0;
+  return bench_exit_code();
 }

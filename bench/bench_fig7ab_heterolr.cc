@@ -95,8 +95,12 @@ int main() {
         BfvLrBackend cpu_backend(4096, false, 21);
         auto in = make_batch_inputs(data, model, 0, s.samples,
                                     cpu_backend.fx(), true);
-        cpu_backend.gradient(in.x_t, in.ua_fixed, in.ub_minus_y_fixed,
-                             &bfv_cpu);
+        auto grad = cpu_backend.gradient(in.x_t, in.ua_fixed,
+                                         in.ub_minus_y_fixed, &bfv_cpu);
+        bench_check(grad == reference_gradient(in.x_t, in.ua_fixed,
+                                               in.ub_minus_y_fixed,
+                                               cpu_backend.fx()),
+                    "HeteroLR encrypted gradient == plaintext reference");
       }
       {
         BfvLrBackend dev_backend(4096, true, 21);
@@ -147,5 +151,5 @@ int main() {
               << "; end-to-end B/FV speed-up from CHAM: "
               << fmt_speedup(bfv_cpu.total() / bfv_cham.total()) << "\n\n";
   }
-  return 0;
+  return bench_exit_code();
 }

@@ -30,12 +30,18 @@ int main() {
       double cpu_s;
       std::string source;
       if (m <= 256) {
-        // Full software run.
+        // Full software run, self-checked against the plaintext product.
         GeneratedMatrix a(m, n, f.ctx->params().t, m * 31 + n);
-        auto ct = f.engine.encrypt_vector(f.random_vector(n), f.encryptor);
+        auto v = f.random_vector(n);
+        auto ct = f.engine.encrypt_vector(v, f.encryptor);
         Timer timer;
-        f.engine.multiply(a, ct);
+        auto res = f.engine.multiply(a, ct);
         cpu_s = timer.seconds();
+        bench_check(
+            f.engine.decrypt_result(res, f.decryptor) ==
+                HmvpEngine::reference(a, v, f.ctx->params().t),
+            "measured HMVP (" + std::to_string(m) + "x" + std::to_string(n) +
+                ") == plaintext reference");
         source = "measured";
       } else {
         cpu_s = cpu_cost.estimate(m, n, n_ring);
@@ -69,5 +75,5 @@ int main() {
   const double dev_e2e = sched.makespan_seconds / jobs.size();
   std::cout << "End-to-end speed-up vs software (4096x4096 batch): "
             << fmt_speedup(cpu_e2e / dev_e2e) << " (paper: >10x)\n";
-  return 0;
+  return bench_exit_code();
 }

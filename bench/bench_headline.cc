@@ -21,12 +21,26 @@ int main() {
   // Machine-readable mirror of each row, scraped by CI ("CHAM-BENCH {...}").
   auto emit_json = [](const char* benchmark, const char* shape,
                       double baseline_s, double cham_s) {
-    std::cout << "CHAM-BENCH {\"benchmark\":\"" << benchmark << "\""
-              << ",\"shape\":\"" << shape << "\""
-              << ",\"baseline_s\":" << baseline_s
-              << ",\"cham_s\":" << cham_s
-              << ",\"speedup\":" << baseline_s / cham_s << "}\n";
+    emit_cham_bench(obs::JsonWriter()
+                        .field("benchmark", benchmark)
+                        .field("shape", shape)
+                        .field("baseline_s", baseline_s)
+                        .field("cham_s", cham_s)
+                        .field("speedup", baseline_s / cham_s));
   };
+
+  // Self-check: the software pipeline every baseline below is derived
+  // from must produce correct results at a spot-check shape.
+  {
+    const std::size_t m = 32;
+    GeneratedMatrix a(m, n_ring, t, 2023);
+    auto v = f.random_vector(n_ring);
+    auto ct_v = f.engine.encrypt_vector(v, f.encryptor);
+    auto res = f.engine.multiply(a, ct_v);
+    bench_check(f.engine.decrypt_result(res, f.decryptor) ==
+                    HmvpEngine::reference(a, v, t),
+                "HMVP spot-check == plaintext reference");
+  }
 
   // 1. HMVP vs software CPU baseline, largest LR shape.
   {
@@ -99,5 +113,6 @@ int main() {
                "backends) reproduce the paper; absolute ratios depend on "
                "the CPU baseline's implementation quality (see "
                "EXPERIMENTS.md).\n";
-  return 0;
+  emit_cham_metrics();
+  return bench_exit_code();
 }

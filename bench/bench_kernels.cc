@@ -23,10 +23,11 @@ namespace {
 
 void emit_json(const std::string& kernel, double ns_per_coeff,
                int threads, double speedup) {
-  std::cout << "CHAM-BENCH {\"kernel\":\"" << kernel << "\""
-            << ",\"ns_per_coeff\":" << ns_per_coeff
-            << ",\"threads\":" << threads << ",\"speedup\":" << speedup
-            << "}\n";
+  emit_cham_bench(obs::JsonWriter()
+                      .field("kernel", kernel)
+                      .field("ns_per_coeff", ns_per_coeff)
+                      .field("threads", threads)
+                      .field("speedup", speedup));
 }
 
 // The pre-rewrite NTT: Cooley-Tukey / Gentleman-Sande with a full modular
@@ -123,6 +124,20 @@ void bench_ntt(TablePrinter& table) {
   for (auto& c : a) c = rng.uniform(q0);
   const int reps = 400;
 
+  // Self-check: the lazy rewrite must stay bit-identical to the seed
+  // butterflies in both directions before its timings mean anything.
+  {
+    auto seed_buf = a;
+    auto lazy_buf = a;
+    seed.forward(seed_buf);
+    lazy.forward(lazy_buf.data());
+    bench_check(seed_buf == lazy_buf, "lazy forward NTT == seed forward NTT");
+    seed.inverse(seed_buf);
+    lazy.inverse(lazy_buf.data());
+    bench_check(seed_buf == lazy_buf, "lazy inverse NTT == seed inverse NTT");
+    bench_check(seed_buf == a, "NTT round-trip restores input");
+  }
+
   auto buf = a;
   const double fwd_seed =
       ns_per_coeff(n, reps, [&] { seed.forward(buf); });
@@ -159,6 +174,14 @@ void bench_pointwise(TablePrinter& table) {
   for (std::size_t i = 0; i < n; ++i) {
     quo[i] = static_cast<u64>((static_cast<u128>(w[i]) << 64) / q0);
   }
+  // Self-check: Shoup and Barrett pointwise products must agree.
+  {
+    std::vector<u64> barrett_out(n), shoup_out(n);
+    poly_mul_pointwise(x.data(), w.data(), barrett_out.data(), n, q);
+    poly_mul_shoup(x.data(), w.data(), quo.data(), shoup_out.data(), n, q0);
+    bench_check(barrett_out == shoup_out,
+                "Shoup pointwise product == Barrett pointwise product");
+  }
   const int reps = 4000;
   const double barrett = ns_per_coeff(n, reps, [&] {
     poly_mul_pointwise(x.data(), w.data(), out.data(), n, q);
@@ -182,12 +205,21 @@ void bench_hmvp_scaling(std::size_t rows, int max_threads) {
   PublicKey pk = keygen.make_public_key();
   GaloisKeys gk = keygen.make_galois_keys(8);
   Encryptor enc(ctx, &pk, nullptr, rng);
+  Decryptor dec(ctx, keygen.secret_key());
   HmvpEngine engine(ctx, &gk);
   const u64 t = ctx->params().t;
   GeneratedMatrix a(rows, ctx->n(), t, 11);
   std::vector<u64> v(ctx->n());
   for (auto& c : v) c = rng.uniform(t);
   auto ct_v = engine.encrypt_vector(v, enc);
+
+  // Self-check: the timed pipeline must decrypt to the plaintext A·v.
+  {
+    auto res = engine.multiply(a, ct_v, max_threads);
+    bench_check(engine.decrypt_result(res, dec) ==
+                    HmvpEngine::reference(a, v, t),
+                "HMVP result == plaintext reference");
+  }
 
   std::cout << "\nHMVP thread scaling (" << rows << "x" << ctx->n()
             << ", N=" << ctx->n() << ", pool lanes "
@@ -225,5 +257,6 @@ int main(int argc, char** argv) {
   bench_pointwise(table);
   table.print();
   bench_hmvp_scaling(rows, max_threads);
-  return 0;
+  emit_cham_metrics();
+  return bench_exit_code();
 }

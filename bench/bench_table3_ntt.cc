@@ -53,6 +53,18 @@ int main() {
   std::vector<u64> a(4096);
   for (auto& c : a) c = rng.uniform(q.value());
 
+  // Self-check: both engines must agree bit-for-bit and round-trip.
+  {
+    auto r2_buf = a;
+    auto cg_buf = a;
+    radix2.forward(r2_buf.data());
+    cg.forward(cg_buf);
+    bench_check(r2_buf == cg_buf,
+                "radix-2 forward NTT == constant-geometry forward NTT");
+    radix2.inverse(r2_buf.data());
+    bench_check(r2_buf == a, "radix-2 NTT round-trip restores input");
+  }
+
   constexpr int kReps = 2000;
   Timer t;
   for (int i = 0; i < kReps; ++i) radix2.forward(a.data());
@@ -94,5 +106,5 @@ int main() {
   ks.add_row({"CHAM (model, 2 engines)", TablePrinter::num(cham_ks, 0),
               fmt_speedup(cham_ks / cpu_ks)});
   ks.print();
-  return 0;
+  return bench_exit_code();
 }

@@ -17,6 +17,8 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "hmvp/baseline.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "sim/accelerator.h"
 #include "sim/dse.h"
 #include "sim/gpu_model.h"
@@ -25,6 +27,48 @@
 
 namespace cham {
 namespace bench {
+
+// --- self-check reporting -------------------------------------------------
+// Every bench validates its own results (CHECK/verify paths) and its main
+// returns bench_exit_code(), so the CI smoke steps gate correctness
+// instead of only checking that the binary ran.
+
+inline int& bench_failures() {
+  static int failures = 0;
+  return failures;
+}
+
+// Record one validation result; failures are printed immediately and turn
+// the process exit code nonzero.
+inline bool bench_check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++bench_failures();
+    std::cout << "BENCH-CHECK FAILED: " << what << "\n";
+  }
+  return ok;
+}
+
+inline int bench_exit_code() {
+  if (bench_failures() > 0) {
+    std::cout << "\n" << bench_failures()
+              << " self-check(s) FAILED — results above are not trustworthy\n";
+    return 1;
+  }
+  return 0;
+}
+
+// One machine-readable result line in the shared CHAM-BENCH format
+// (tools/check_bench.py and the CI regression gate parse these).
+inline void emit_cham_bench(const obs::JsonWriter& fields) {
+  std::cout << "CHAM-BENCH " << fields.str() << "\n";
+}
+
+// Final metrics snapshot line: the obs::MetricsRegistry state accumulated
+// over the bench run, in the registry's stable JSON format.
+inline void emit_cham_metrics() {
+  std::cout << "CHAM-METRICS " << obs::MetricsRegistry::global().snapshot_json()
+            << "\n";
+}
 
 // Paper-parameter fixture: N=4096 context, keys, engines.
 struct PaperFixture {

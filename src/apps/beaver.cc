@@ -2,6 +2,7 @@
 
 #include "common/timer.h"
 #include "nt/bitops.h"
+#include "obs/trace.h"
 
 namespace cham {
 
@@ -41,6 +42,7 @@ BeaverGenerator::BeaverGenerator(std::size_t n, bool use_accelerator,
 
 BeaverTriple BeaverGenerator::generate(const RowSource& w,
                                        BeaverTimings* timings) {
+  CHAM_SPAN_ARG("beaver.generate", w.rows());
   const u64 t = ctx_->params().t;
   BeaverTriple triple;
   BeaverTimings local;
@@ -49,12 +51,19 @@ BeaverTriple BeaverGenerator::generate(const RowSource& w,
   triple.r.resize(w.cols());
   for (auto& v : triple.r) v = rng_.uniform(t);
   Timer timer;
-  auto ct_r = engine_.encrypt_vector(triple.r, *enc_);
+  std::vector<Ciphertext> ct_r;
+  {
+    CHAM_SPAN("beaver.client_encrypt");
+    ct_r = engine_.encrypt_vector(triple.r, *enc_);
+  }
   local.client_encrypt = timer.seconds();
 
   // Server: HMVP, then subtract the random mask s from the packed result.
   timer.reset();
-  HmvpResult res = engine_.multiply(w, ct_r, threads_);
+  HmvpResult res = [&] {
+    CHAM_SPAN("beaver.server_hmvp");
+    return engine_.multiply(w, ct_r, threads_);
+  }();
   triple.s.resize(w.rows());
   for (auto& v : triple.s) v = rng_.uniform(t);
   // Mask: the packed layout scales messages by pack_count with stride
@@ -62,18 +71,21 @@ BeaverTriple BeaverGenerator::generate(const RowSource& w,
   const std::size_t n = ctx_->n();
   const std::size_t stride = n / res.pack_count;
   CoeffEncoder encoder(ctx_);
-  for (std::size_t g = 0; g < res.packed.size(); ++g) {
-    Plaintext mask;
-    mask.coeffs.assign(n, 0);
-    const std::size_t group_rows = std::min(n, w.rows() - g * n);
-    for (std::size_t r = 0; r < group_rows; ++r) {
-      mask.coeffs[r * stride] = triple.s[g * n + r];
+  {
+    CHAM_SPAN("beaver.server_mask");
+    for (std::size_t g = 0; g < res.packed.size(); ++g) {
+      Plaintext mask;
+      mask.coeffs.assign(n, 0);
+      const std::size_t group_rows = std::min(n, w.rows() - g * n);
+      for (std::size_t r = 0; r < group_rows; ++r) {
+        mask.coeffs[r * stride] = triple.s[g * n + r];
+      }
+      Ciphertext neg = res.packed[g];
+      eval_->negate_inplace(neg);
+      eval_->add_plain_inplace(neg, mask);
+      eval_->negate_inplace(neg);  // result - Δ·mask
+      res.packed[g] = std::move(neg);
     }
-    Ciphertext neg = res.packed[g];
-    eval_->negate_inplace(neg);
-    eval_->add_plain_inplace(neg, mask);
-    eval_->negate_inplace(neg);  // result - Δ·mask
-    res.packed[g] = std::move(neg);
   }
   if (accel_) {
     local.server_compute = accel_->time_hmvp(w.rows(), w.cols()).seconds;
@@ -83,7 +95,10 @@ BeaverTriple BeaverGenerator::generate(const RowSource& w,
 
   // Client: decrypt W·r - s.
   timer.reset();
-  triple.wr_minus_s = engine_.decrypt_result(res, *dec_);
+  {
+    CHAM_SPAN("beaver.client_decrypt");
+    triple.wr_minus_s = engine_.decrypt_result(res, *dec_);
+  }
   local.client_decrypt = timer.seconds();
 
   if (timings != nullptr) {

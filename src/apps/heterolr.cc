@@ -5,6 +5,7 @@
 #include "common/timer.h"
 #include "nt/bitops.h"
 #include "nt/prime.h"
+#include "obs/trace.h"
 
 namespace cham {
 
@@ -181,26 +182,37 @@ BfvLrBackend::BfvLrBackend(std::size_t n, bool use_accelerator, u64 seed)
 std::vector<u64> BfvLrBackend::gradient(
     const DenseMatrix& x_t, const std::vector<u64>& ua_fixed,
     const std::vector<u64>& ub_minus_y_fixed, LrStepTimings* timings) {
+  CHAM_SPAN_ARG("lr.gradient", x_t.rows());
   LrStepTimings local;
   Timer timer;
 
   // 1. Party A encrypts its residual share.
-  auto ct_ua = engine_.encrypt_vector(ua_fixed, *enc_);
+  std::vector<Ciphertext> ct_ua;
+  {
+    CHAM_SPAN("lr.encrypt");
+    ct_ua = engine_.encrypt_vector(ua_fixed, *enc_);
+  }
   local.encrypt = timer.seconds();
 
   // 2. Party B adds its plaintext share under encryption (add_vec).
   timer.reset();
-  auto ct_p = engine_.encrypt_vector(ub_minus_y_fixed, *enc_);
   std::vector<Ciphertext> ct_d;
-  ct_d.reserve(ct_ua.size());
-  for (std::size_t c = 0; c < ct_ua.size(); ++c) {
-    ct_d.push_back(eval_->add(ct_ua[c], ct_p[c]));
+  {
+    CHAM_SPAN("lr.add_vec");
+    auto ct_p = engine_.encrypt_vector(ub_minus_y_fixed, *enc_);
+    ct_d.reserve(ct_ua.size());
+    for (std::size_t c = 0; c < ct_ua.size(); ++c) {
+      ct_d.push_back(eval_->add(ct_ua[c], ct_p[c]));
+    }
   }
   local.add_vec = timer.seconds();
 
   // 3. Encrypted gradient Xᵀ·d.
   timer.reset();
-  HmvpResult res = engine_.multiply(x_t, ct_d, threads_);
+  HmvpResult res = [&] {
+    CHAM_SPAN("lr.matvec");
+    return engine_.multiply(x_t, ct_d, threads_);
+  }();
   if (accel_) {
     // Offloaded: the device-model latency replaces software wall time.
     local.matvec = accel_->time_hmvp(x_t.rows(), x_t.cols()).seconds;
@@ -210,7 +222,11 @@ std::vector<u64> BfvLrBackend::gradient(
 
   // 4. Arbiter decrypts.
   timer.reset();
-  auto grad = engine_.decrypt_result(res, *dec_);
+  std::vector<u64> grad;
+  {
+    CHAM_SPAN("lr.decrypt");
+    grad = engine_.decrypt_result(res, *dec_);
+  }
   local.decrypt = timer.seconds();
 
   if (timings != nullptr) {

@@ -1,5 +1,7 @@
 #include "bfv/evaluator.h"
 
+#include "obs/trace.h"
+
 namespace cham {
 
 Evaluator::Evaluator(BfvContextPtr context) : ctx_(std::move(context)) {}
@@ -172,6 +174,8 @@ std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(
 
 Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
                                    const GaloisKeys& gk) const {
+  // The dominant cost of every PackTwoLWEs merge (arg = Galois element).
+  CHAM_SPAN_ARG("eval.keyswitch", k);
   CHAM_CHECK_MSG(x.base() == ctx_->base_q(),
                  "apply_galois expects a rescaled (base_q) ciphertext");
   CHAM_CHECK_MSG(!x.is_ntt(), "apply_galois expects coefficient domain");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace cham {
 
 namespace {
@@ -32,7 +34,12 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    {
+      // Queue-wait span: how long this worker sat parked between jobs
+      // ("lane idle" in the trace timeline).
+      CHAM_SPAN("pool.wait");
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    }
     if (stop_) return;
     seen = generation_;
     const auto* job = job_;
@@ -44,7 +51,10 @@ void ThreadPool::worker_loop() {
     for (;;) {
       const int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
       if (lane >= lanes) break;
-      (*job)(lane);
+      {
+        CHAM_SPAN_ARG("pool.lane", lane);
+        (*job)(lane);
+      }
       ++done;
     }
 
@@ -66,6 +76,9 @@ void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
 
   // One job at a time; holding submit_mu_ until the job drains ensures no
   // later submitter resets next_lane_ while a worker's claim loop is live.
+  // The dispatch span covers submission queueing, the job body and the
+  // drain wait, with the lane count as its argument.
+  CHAM_SPAN_ARG("pool.job", lanes);
   std::lock_guard<std::mutex> submit(submit_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,7 +97,10 @@ void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
   for (;;) {
     const int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
     if (lane >= lanes) break;
-    fn(lane);
+    {
+      CHAM_SPAN_ARG("pool.lane", lane);
+      fn(lane);
+    }
     ++done;
   }
   t_in_lane = false;

@@ -4,6 +4,8 @@
 
 #include "common/thread_pool.h"
 #include "nt/bitops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cham {
 
@@ -54,17 +56,27 @@ LweCiphertext process_row(const Evaluator& eval, std::size_t row,
                           const PtProvider& pt_at, RowScratch& s) {
   s.acc.b.set_ntt_form(true);  // from_ntt flipped these last row
   s.acc.a.set_ntt_form(true);
-  for (std::size_t c = 0; c < ct_shoup.size(); ++c) {
-    const RnsPoly& pt_ntt = pt_at(row, c, s);
-    if (c == 0) {
-      eval.multiply_plain_ntt(ct_shoup[c], pt_ntt, s.acc);
-    } else {
-      eval.multiply_plain_ntt_acc(ct_shoup[c], pt_ntt, s.acc);
+  {
+    // Stage 2 (MultPoly): one Shoup pointwise product per ct(v) chunk.
+    CHAM_SPAN_ARG("hmvp.multiply_plain_ntt", ct_shoup.size());
+    for (std::size_t c = 0; c < ct_shoup.size(); ++c) {
+      const RnsPoly& pt_ntt = pt_at(row, c, s);
+      if (c == 0) {
+        eval.multiply_plain_ntt(ct_shoup[c], pt_ntt, s.acc);
+      } else {
+        eval.multiply_plain_ntt_acc(ct_shoup[c], pt_ntt, s.acc);
+      }
+      s.stats.pointwise_mults += 2 * s.acc.b.limbs();
     }
-    s.stats.pointwise_mults += 2 * s.acc.b.limbs();
   }
-  s.acc.from_ntt();
+  {
+    // Stage 3 (INTT): product back to coefficient form.
+    CHAM_SPAN("hmvp.from_ntt");
+    s.acc.from_ntt();
+  }
   s.stats.inverse_ntts += 2 * s.acc.b.limbs();
+  // Stage 4 (Rescale + ExtractLWEs).
+  CHAM_SPAN("hmvp.rescale_extract");
   eval.rescale_into(s.acc, s.rescaled);
   s.stats.rescales += 1;
   s.stats.extracts += 1;
@@ -75,11 +87,27 @@ LweCiphertext process_row(const Evaluator& eval, std::size_t row,
 // form once, run each group's rows on pool lanes with per-lane scratch,
 // then pack. streaming_cols > 0 sizes the per-lane row buffer (streaming
 // path); 0 means the provider indexes precomputed chunks.
+// Publish one finished run's counters to the process-wide registry (the
+// CHAM-BENCH snapshot side of the observability layer).
+void publish_stats(const HmvpStats& st, std::size_t rows) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("hmvp.runs").add(1);
+  reg.counter("hmvp.rows").add(rows);
+  reg.counter("hmvp.forward_ntts").add(st.forward_ntts);
+  reg.counter("hmvp.inverse_ntts").add(st.inverse_ntts);
+  reg.counter("hmvp.pointwise_mults").add(st.pointwise_mults);
+  reg.counter("hmvp.rescales").add(st.rescales);
+  reg.counter("hmvp.extracts").add(st.extracts);
+  reg.counter("hmvp.pack_merges").add(st.pack_merges);
+  reg.counter("hmvp.keyswitches").add(st.keyswitches);
+}
+
 HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
                     const GaloisKeys* gk, std::size_t rows,
                     std::size_t pack_count,
                     const std::vector<Ciphertext>& ct_v, int threads,
                     std::size_t streaming_cols, const PtProvider& pt_at) {
+  CHAM_SPAN_ARG("hmvp.run", rows);
   const std::size_t n = ctx->n();
   HmvpResult res;
   res.rows = rows;
@@ -91,17 +119,23 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
   // of ct(v) to the NTT domain (limb-parallel) and freeze it into Shoup
   // form — the per-coefficient quotients are amortized over every row.
   std::vector<ShoupCiphertext> ct_shoup(ct_v.size());
-  for (std::size_t c = 0; c < ct_v.size(); ++c) {
-    Ciphertext ct = ct_v[c];
-    ct.to_ntt(threads);
-    res.stats.forward_ntts += 2 * ct.b.limbs();
-    ct_shoup[c] = ShoupCiphertext(ct);
+  {
+    CHAM_SPAN_ARG("hmvp.to_ntt", ct_v.size());
+    for (std::size_t c = 0; c < ct_v.size(); ++c) {
+      Ciphertext ct = ct_v[c];
+      ct.to_ntt(threads);
+      res.stats.forward_ntts += 2 * ct.b.limbs();
+      ct_shoup[c] = ShoupCiphertext(ct);
+    }
   }
 
+  obs::Histogram& row_hist =
+      obs::MetricsRegistry::global().histogram("hmvp.row_ns");
   auto& pool = ThreadPool::global();
   const std::size_t groups = (rows + n - 1) / n;
   res.packed.reserve(groups);
   for (std::size_t g = 0; g < groups; ++g) {
+    CHAM_SPAN_ARG("hmvp.group", g);
     const std::size_t group_rows = std::min(n, rows - g * n);
     std::vector<LweCiphertext> lwes(group_rows);
     const int lanes = static_cast<int>(
@@ -112,16 +146,13 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
       RowScratch& s = scratch[lane];
       for (std::size_t r = static_cast<std::size_t>(lane); r < group_rows;
            r += static_cast<std::size_t>(lanes)) {
+        CHAM_SPAN_ARG("hmvp.row", g * n + r);
+        const std::uint64_t t0 = obs::TraceRecorder::now_ns();
         lwes[r] = process_row(eval, g * n + r, ct_shoup, pt_at, s);
+        row_hist.record(obs::TraceRecorder::now_ns() - t0);
       }
     });
-    for (const auto& s : scratch) {
-      res.stats.forward_ntts += s.stats.forward_ntts;
-      res.stats.inverse_ntts += s.stats.inverse_ntts;
-      res.stats.pointwise_mults += s.stats.pointwise_mults;
-      res.stats.rescales += s.stats.rescales;
-      res.stats.extracts += s.stats.extracts;
-    }
+    for (const auto& s : scratch) res.stats.merge(s.stats);
     // Pad to the pack geometry with zero LWEs (trivial encryptions of 0).
     lwes.reserve(pack_count);
     while (lwes.size() < pack_count) {
@@ -131,6 +162,7 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
       zero.a = RnsPoly(ctx->base_q(), false);
       lwes.push_back(std::move(zero));
     }
+    CHAM_SPAN_ARG("hmvp.pack", pack_count);
     Ciphertext packed = (pack_count == 1)
                             ? lwe_to_rlwe(lwes[0])
                             : pack_lwes(eval, lwes, *gk, threads);
@@ -138,6 +170,7 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
     res.stats.keyswitches += pack_count - 1;
     res.packed.push_back(std::move(packed));
   }
+  publish_stats(res.stats, rows);
   return res;
 }
 
@@ -203,6 +236,8 @@ HmvpResult HmvpEngine::multiply(const RowSource& a,
 
   const PtProvider pt_at = [&](std::size_t row, std::size_t c,
                                RowScratch& s) -> const RnsPoly& {
+    // Streaming stage 1 (plaintext side): Eq. 1 encode + forward NTT.
+    CHAM_SPAN_ARG("hmvp.encode_row", row);
     if (c == 0) a.row(row, s.row_buf.data());
     encode_row_chunk_into(s.row_buf.data(), cols, c, scale, s.pt);
     eval_.transform_plain_ntt_into(s.pt, s.pt_ntt);

@@ -21,7 +21,8 @@
 namespace cham {
 
 // Operation counts for one HMVP evaluation, cross-checked against the
-// accelerator model.
+// accelerator model. The engine also publishes them to the process-wide
+// obs::MetricsRegistry (counters "hmvp.*") after every run.
 struct HmvpStats {
   std::uint64_t forward_ntts = 0;   // plaintext-side NTTs (stage 1)
   std::uint64_t inverse_ntts = 0;   // product INTTs (stage 3), per limb
@@ -30,6 +31,17 @@ struct HmvpStats {
   std::uint64_t extracts = 0;
   std::uint64_t pack_merges = 0;  // PackTwoLWEs invocations
   std::uint64_t keyswitches = 0;
+
+  // Field-wise accumulation (per-lane partial stats into the run total).
+  void merge(const HmvpStats& o) {
+    forward_ntts += o.forward_ntts;
+    inverse_ntts += o.inverse_ntts;
+    pointwise_mults += o.pointwise_mults;
+    rescales += o.rescales;
+    extracts += o.extracts;
+    pack_merges += o.pack_merges;
+    keyswitches += o.keyswitches;
+  }
 };
 
 // Result: one packed ciphertext per group of up to N rows, plus the layout

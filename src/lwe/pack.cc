@@ -2,6 +2,7 @@
 
 #include "common/thread_pool.h"
 #include "nt/bitops.h"
+#include "obs/trace.h"
 
 namespace cham {
 
@@ -41,13 +42,18 @@ Ciphertext pack_lwes(const Evaluator& eval,
   auto& pool = ThreadPool::global();
 
   std::vector<Ciphertext> nodes(count);
-  pool.parallel_for(0, count, threads, [&](std::size_t i) {
-    nodes[i] = lwe_to_rlwe(lwes[i]);
-  });
+  {
+    CHAM_SPAN_ARG("pack.seed", count);
+    pool.parallel_for(0, count, threads, [&](std::size_t i) {
+      nodes[i] = lwe_to_rlwe(lwes[i]);
+    });
+  }
 
   std::size_t c = 2;
   for (std::size_t s = count / 2; s >= 1; s >>= 1, c <<= 1) {
     const int level_log = log2_exact(c);
+    // One span per tree level (arg = level_log, paper Alg. 3's l).
+    CHAM_SPAN_ARG("pack.level", level_log);
     pool.parallel_for(0, s, threads, [&](std::size_t o) {
       nodes[o] = pack_two_lwes(eval, level_log, nodes[o], nodes[o + s], gk);
     });

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace cham {
+namespace obs {
+
+// Contiguous layout: one exact bucket per integer below 2*kSub, then kSub
+// linear sub-buckets per power-of-two octave. Edges are strictly
+// increasing with no gaps, so index and lower_edge are exact inverses on
+// bucket boundaries.
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v < 2 * kSub) return static_cast<int>(v);  // exact small-value buckets
+  const int exp = std::bit_width(v) - 1;         // v in [2^exp, 2^(exp+1))
+  const int sub =
+      static_cast<int>((v >> (exp - kSubBits)) & (kSub - 1));
+  return (exp - kSubBits) * kSub + kSub + sub;
+}
+
+std::uint64_t Histogram::bucket_lower_edge(int index) {
+  if (index < 2 * kSub) return static_cast<std::uint64_t>(index);
+  const int exp = (index - kSub) / kSub + kSubBits;
+  const int sub = (index - kSub) % kSub;
+  const std::uint64_t base = static_cast<std::uint64_t>(kSub) + sub;
+  const int shift = exp - kSubBits;
+  // Edges past the top representable octave saturate (2^64 and beyond).
+  if (shift > 64 - static_cast<int>(std::bit_width(base))) {
+    return ~std::uint64_t{0};
+  }
+  return base << shift;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target sample, 1-based.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_lower_edge(i);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked like the trace recorder: pool lanes may publish metrics while
+  // static destructors run.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter counters;
+  for (const auto& [name, c] : counters_) counters.field(name, c->value());
+  JsonWriter gauges;
+  for (const auto& [name, g] : gauges_) gauges.field(name, g->value());
+  JsonWriter hists;
+  for (const auto& [name, h] : histograms_) {
+    JsonWriter one;
+    one.field("count", h->count())
+        .field("sum", h->sum())
+        .field("max", h->max())
+        .field("p50", h->percentile(0.50))
+        .field("p95", h->percentile(0.95))
+        .field("p99", h->percentile(0.99));
+    hists.raw(name, one.str());
+  }
+  JsonWriter snap;
+  snap.raw("counters", counters.str())
+      .raw("gauges", gauges.str())
+      .raw("histograms", hists.str());
+  return snap.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace obs
+}  // namespace cham

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace cham {
+namespace obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Set when CHAM_TRACE is present; read by the atexit dump hook.
+std::string* g_trace_path = nullptr;
+
+void dump_at_exit() {
+  if (g_trace_path == nullptr) return;
+  const std::size_t n = TraceRecorder::instance().write_file(*g_trace_path);
+  std::cerr << "CHAM-TRACE wrote " << n << " events to " << *g_trace_path;
+  if (const std::uint64_t d = TraceRecorder::instance().dropped()) {
+    std::cerr << " (" << d << " dropped after ring wrap)";
+  }
+  std::cerr << "\n";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Intentionally leaked: pool workers may still run spans while static
+  // destructors execute, so the recorder must outlive everything.
+  static TraceRecorder* rec = [] {
+    auto* r = new TraceRecorder();
+    if (const char* env = std::getenv("CHAM_TRACE")) {
+      if (env[0] != '\0') {
+        g_trace_path = new std::string(env);
+        r->enable();
+        std::atexit(dump_at_exit);
+      }
+    }
+    return r;
+  }();
+  return *rec;
+}
+
+std::uint64_t TraceRecorder::now_ns() {
+  return static_cast<std::uint64_t>(steady_ns() - instance().epoch_ns_);
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One buffer per (thread, recorder-lifetime); buffers are owned by the
+  // (leaked) recorder so late appends from exiting threads stay valid.
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    auto* b = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(register_mu_);
+    b->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(b);
+    buf = b;
+  }
+  return *buf;
+}
+
+void TraceRecorder::append(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, std::uint64_t arg) {
+  ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg = arg;
+  ev.tid = buf.tid;
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(ev);
+  } else {
+    buf.ring[buf.next % kRingCapacity] = ev;
+    ++buf.dropped;
+  }
+  ++buf.next;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* buf : buffers_) {
+    out.insert(out.end(), buf->ring.begin(), buf->ring.end());
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  std::uint64_t d = 0;
+  for (const ThreadBuffer* buf : buffers_) d += buf->dropped;
+  return d;
+}
+
+std::size_t TraceRecorder::write_json(std::ostream& os) const {
+  const auto evs = events();
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome trace ts/dur are microseconds; fractional values keep the
+    // nanosecond resolution.
+    os << "\n{\"name\":\"" << ev.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << ev.tid << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+    if (ev.arg != kNoArg) {
+      os << ",\"args\":{\"v\":" << ev.arg << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return evs.size();
+}
+
+std::size_t TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "CHAM-TRACE cannot open " << path << " for writing\n";
+    return 0;
+  }
+  return write_json(os);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  for (ThreadBuffer* buf : buffers_) {
+    buf->ring.clear();
+    buf->next = 0;
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace cham

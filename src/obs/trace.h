@@ -1,0 +1,141 @@
+// Low-overhead stage tracing for the macro-pipeline (paper Fig. 2 /
+// Sec. IV): RAII spans append (name, start, duration, lane, arg) records
+// to thread-local ring buffers and the recorder serialises them as Chrome
+// `trace_event` JSON (load the file in chrome://tracing or Perfetto).
+//
+// Cost model: when tracing is disabled a span is one relaxed atomic load;
+// when enabled it is two steady_clock reads plus one bump of a
+// thread-local ring buffer — no locks, no allocation on the hot path.
+// Setting CHAM_TRACE=out.json in the environment enables capture for the
+// whole process and writes the trace at exit, so any bench or test can be
+// profiled without code changes. Configuring with -DCHAM_OBS=OFF compiles
+// every CHAM_SPAN site away entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cham {
+namespace obs {
+
+// One completed span. `name` must be a string literal (or otherwise
+// outlive the recorder): events store the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  // since TraceRecorder construction
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;  // kNoArg when the span carries no argument
+  int tid = 0;            // recorder-assigned thread id (0 = first seen)
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::uint64_t kNoArg = ~std::uint64_t{0};
+
+  // Process-wide recorder. First call reads CHAM_TRACE: when set, capture
+  // starts immediately and the trace is written to that path at exit.
+  static TraceRecorder& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Monotonic nanoseconds since recorder construction.
+  static std::uint64_t now_ns();
+
+  // Append one completed event to the calling thread's ring buffer.
+  // Thread-safe and lock-free except for the first call per thread.
+  void append(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t arg = kNoArg);
+
+  // All captured events (any thread order). Must not race with active
+  // spans: call after parallel regions have joined.
+  std::vector<TraceEvent> events() const;
+
+  // Events dropped because a thread's ring buffer wrapped.
+  std::uint64_t dropped() const;
+
+  // Chrome trace_event JSON ("traceEvents" array of ph:"X" slices, ts/dur
+  // in microseconds). Returns the number of events written. Same
+  // quiescence requirement as events().
+  std::size_t write_json(std::ostream& os) const;
+  std::size_t write_file(const std::string& path) const;
+
+  // Reset captured events (buffers stay registered with their threads).
+  void clear();
+
+  // Ring capacity per thread; the newest events win once it wraps.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+ private:
+  TraceRecorder();
+
+  struct ThreadBuffer {
+    int tid = 0;
+    std::uint64_t next = 0;    // monotonically increasing write cursor
+    std::uint64_t dropped = 0; // events overwritten after wrap
+    std::vector<TraceEvent> ring;  // capacity kRingCapacity, lazily grown
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  // steady_clock at construction
+
+  // Guards registration and snapshotting of the per-thread buffers; the
+  // append fast path never takes it.
+  mutable std::mutex register_mu_;
+  std::vector<ThreadBuffer*> buffers_;  // leaked with the singleton
+};
+
+// RAII span. Captures the start timestamp on construction when tracing is
+// enabled and appends the completed event on destruction.
+class Span {
+ public:
+  explicit Span(const char* name,
+                std::uint64_t arg = TraceRecorder::kNoArg) {
+    TraceRecorder& rec = TraceRecorder::instance();
+    if (rec.enabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_ns_ = TraceRecorder::now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      TraceRecorder::instance().append(
+          name_, start_ns_, TraceRecorder::now_ns() - start_ns_, arg_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cham
+
+// Span macros — the only instrumentation API hot paths should use. With
+// -DCHAM_OBS=OFF (compile definition CHAM_OBS_DISABLED) they expand to
+// nothing, so instrumented code carries zero cost.
+#ifdef CHAM_OBS_DISABLED
+#define CHAM_SPAN(name) static_cast<void>(0)
+// sizeof keeps `arg` referenced (no unused warnings) without evaluating.
+#define CHAM_SPAN_ARG(name, arg) static_cast<void>(sizeof(arg))
+#else
+#define CHAM_OBS_CONCAT_INNER(a, b) a##b
+#define CHAM_OBS_CONCAT(a, b) CHAM_OBS_CONCAT_INNER(a, b)
+#define CHAM_SPAN(name) \
+  ::cham::obs::Span CHAM_OBS_CONCAT(cham_span_, __LINE__)(name)
+#define CHAM_SPAN_ARG(name, arg)                          \
+  ::cham::obs::Span CHAM_OBS_CONCAT(cham_span_, __LINE__)( \
+      (name), static_cast<std::uint64_t>(arg))
+#endif

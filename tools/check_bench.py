@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""CHAM-BENCH regression gate.
+
+Parses the machine-readable lines the bench binaries print --
+
+    CHAM-BENCH  {"kernel": ..., "ns_per_coeff": ..., ...}
+    CHAM-BENCH  {"benchmark": ..., "shape": ..., "cham_s": ..., ...}
+    CHAM-METRICS {"counters": {...}, "gauges": {...}, "histograms": {...}}
+
+-- flattens them into named metrics, and compares against a checked-in
+baseline (bench/baseline.json) with per-metric tolerances. Exits nonzero
+on any regression so CI can gate merges on the perf trajectory.
+
+Usage:
+    check_bench.py compare --baseline bench/baseline.json OUT [OUT...]
+    check_bench.py update  --baseline bench/baseline.json OUT [OUT...]
+    check_bench.py selftest
+
+`compare` fails when a baseline metric is missing from the measured set
+(coverage loss) or regresses beyond its tolerance; improvements and new
+metrics never fail. `update` rewrites the baseline from fresh bench
+output (run it on the reference machine after an intentional perf
+change). `selftest` proves the gate works by injecting a synthetic 2x
+slowdown and checking the comparison fails.
+
+Baseline format:
+    {"default_tolerance": 0.25,
+     "metrics": {"<name>": {"value": v, "tolerance": t,
+                            "direction": "lower"|"higher"|"exact"}, ...}}
+
+direction "lower" means lower-is-better (latencies): measured may not
+exceed value*(1+tolerance). "higher" means higher-is-better (speed-ups):
+measured may not drop below value*(1-tolerance). "exact" must match
+bit-for-bit (deterministic operation counts).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+# Flattening + baseline-generation rules, keyed by metric-name prefix or
+# field. Wall-clock fields get wide tolerances (CI runners are noisy and
+# heterogeneous); model-derived and ratio fields get tight ones; operation
+# counters are deterministic and must match exactly.
+KERNEL_TIME_TOLERANCE = 0.75  # absolute ns/coeff: gates a 2x slowdown
+KERNEL_RATIO_TOLERANCE = 0.6  # kernel-vs-kernel speed-ups
+MODEL_TIME_TOLERANCE = 0.10   # device-model seconds: deterministic
+HEADLINE_SPEEDUP_TOLERANCE = 0.9  # order-of-magnitude sanity floor
+
+
+def parse_lines(text):
+    """Yield (tag, obj) for every CHAM-BENCH / CHAM-METRICS line."""
+    for line in text.splitlines():
+        line = line.strip()
+        for tag in ("CHAM-BENCH", "CHAM-METRICS"):
+            if line.startswith(tag + " "):
+                payload = line[len(tag) + 1:]
+                try:
+                    yield tag, json.loads(payload)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"unparseable {tag} line: {payload!r}: {e}")
+
+
+def flatten(records, source="sample"):
+    """Flatten parsed records into {metric_name: (value, rule)}.
+
+    rule is (tolerance, direction) used when generating a baseline.
+    `source` namespaces the CHAM-METRICS counters, which use the same
+    registry names (hmvp.runs, ...) in every bench binary.
+    """
+    metrics = {}
+
+    def put(name, value, tolerance, direction):
+        metrics[name] = (float(value), (tolerance, direction))
+
+    for tag, obj in records:
+        if tag == "CHAM-BENCH" and "kernel" in obj:
+            key = f"kernels/{obj['kernel']}@t{obj.get('threads', 1)}"
+            if "ns_per_coeff" in obj:
+                put(key + "/ns_per_coeff", obj["ns_per_coeff"],
+                    KERNEL_TIME_TOLERANCE, "lower")
+            if "speedup" in obj and obj.get("speedup", 1) != 1:
+                put(key + "/speedup", obj["speedup"],
+                    KERNEL_RATIO_TOLERANCE, "higher")
+        elif tag == "CHAM-BENCH" and "benchmark" in obj:
+            key = f"headline/{obj['benchmark']}/{obj.get('shape', '')}"
+            if "cham_s" in obj:
+                put(key + "/cham_s", obj["cham_s"],
+                    MODEL_TIME_TOLERANCE, "lower")
+            if "speedup" in obj:
+                put(key + "/speedup", obj["speedup"],
+                    HEADLINE_SPEEDUP_TOLERANCE, "higher")
+        elif tag == "CHAM-METRICS":
+            for name, value in obj.get("counters", {}).items():
+                put(f"counters/{source}/{name}", value, 0.0, "exact")
+    return metrics
+
+
+def load_outputs(paths):
+    metrics = {}
+    for path in paths:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        with open(path) as f:
+            metrics.update(flatten(parse_lines(f.read()), source=stem))
+    return metrics
+
+
+def compare(baseline, measured):
+    """Return a list of human-readable failure strings."""
+    failures = []
+    default_tol = baseline.get("default_tolerance", DEFAULT_TOLERANCE)
+    for name, spec in sorted(baseline.get("metrics", {}).items()):
+        base_value = spec["value"]
+        tol = spec.get("tolerance", default_tol)
+        direction = spec.get("direction", "lower")
+        if name not in measured:
+            failures.append(f"{name}: missing from bench output "
+                            f"(baseline {base_value:g})")
+            continue
+        value = measured[name][0]
+        if direction == "exact":
+            if value != base_value:
+                failures.append(f"{name}: {value:g} != baseline "
+                                f"{base_value:g} (exact match required)")
+        elif direction == "lower":
+            limit = base_value * (1.0 + tol)
+            if value > limit:
+                failures.append(
+                    f"{name}: {value:g} exceeds baseline {base_value:g} "
+                    f"+{tol:.0%} (limit {limit:g})")
+        elif direction == "higher":
+            limit = base_value * (1.0 - tol)
+            if value < limit:
+                failures.append(
+                    f"{name}: {value:g} below baseline {base_value:g} "
+                    f"-{tol:.0%} (limit {limit:g})")
+        else:
+            failures.append(f"{name}: unknown direction {direction!r}")
+    return failures
+
+
+def cmd_compare(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    measured = load_outputs(args.outputs)
+    failures = compare(baseline, measured)
+    known = set(baseline.get("metrics", {}))
+    new = sorted(set(measured) - known)
+    ok = len(baseline.get("metrics", {})) - len(failures)
+    print(f"check_bench: {ok}/{len(baseline.get('metrics', {}))} baseline "
+          f"metrics within tolerance, {len(new)} unbaselined metric(s)")
+    for name in new:
+        print(f"  note: new metric {name} = {measured[name][0]:g} "
+              f"(run `update` to baseline it)")
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} REGRESSION(S):")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("check_bench: no regressions")
+    return 0
+
+
+def cmd_update(args):
+    measured = load_outputs(args.outputs)
+    if not measured:
+        print("check_bench: no CHAM-BENCH/CHAM-METRICS lines found",
+              file=sys.stderr)
+        return 1
+    baseline = {
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "metrics": {
+            name: {"value": value, "tolerance": tol, "direction": direction}
+            for name, (value, (tol, direction)) in sorted(measured.items())
+        },
+    }
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"check_bench: wrote {len(measured)} metrics to {args.baseline}")
+    return 0
+
+
+def cmd_selftest(_args):
+    """Prove the gate trips: inject a synthetic 2x slowdown and a counter
+    drift into sample output and require the comparison to fail."""
+    sample = "\n".join([
+        'CHAM-BENCH {"kernel":"ntt_forward_lazy","ns_per_coeff":10.0,'
+        '"threads":1,"speedup":1.5}',
+        'CHAM-BENCH {"benchmark":"hmvp","shape":"8192x8192",'
+        '"baseline_s":100.0,"cham_s":0.125,"speedup":800.0}',
+        'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216},"gauges":{},'
+        '"histograms":{}}',
+    ])
+    baseline = {
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "metrics": {
+            name: {"value": value, "tolerance": tol, "direction": direction}
+            for name, (value, (tol, direction))
+            in flatten(parse_lines(sample)).items()
+        },
+    }
+
+    clean = compare(baseline, flatten(parse_lines(sample)))
+    if clean:
+        print(f"selftest FAILED: clean run reported regressions: {clean}")
+        return 1
+
+    slow = sample.replace('"ns_per_coeff":10.0', '"ns_per_coeff":20.0')
+    failures = compare(baseline, flatten(parse_lines(slow)))
+    if not any("ntt_forward_lazy" in f for f in failures):
+        print("selftest FAILED: synthetic 2x slowdown passed the gate")
+        return 1
+
+    drift = sample.replace('"hmvp.forward_ntts":216', '"hmvp.forward_ntts":217')
+    failures = compare(baseline, flatten(parse_lines(drift)))
+    if not any("hmvp.forward_ntts" in f for f in failures):
+        print("selftest FAILED: operation-count drift passed the gate")
+        return 1
+
+    missing = "\n".join(l for l in sample.splitlines() if "benchmark" not in l)
+    failures = compare(baseline, flatten(parse_lines(missing)))
+    if not any("missing" in f for f in failures):
+        print("selftest FAILED: dropped metric passed the gate")
+        return 1
+
+    print("selftest OK: 2x slowdown, counter drift and metric loss all "
+          "trip the gate; clean run passes")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="gate bench output against a baseline")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("outputs", nargs="+")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("update", help="rewrite the baseline from bench output")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("outputs", nargs="+")
+    p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser("selftest", help="verify the gate trips on slowdowns")
+    p.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
