@@ -1,6 +1,7 @@
 // Per-kernel runtime benchmark for the fused parallel kernel runtime:
 //   * lazy-reduction NTT vs the seed full-reduction butterflies (ns/coeff)
 //   * Shoup-cached vs Barrett pointwise limb products
+//   * vectorized (runtime-dispatched AVX2/AVX-512) vs scalar kernel tables
 //   * HMVP wall time vs pool lane count (thread scaling)
 // Every result is also emitted as one machine-readable JSON line
 // ("CHAM-BENCH {...}") so CI and scripts can scrape regressions.
@@ -113,6 +114,30 @@ double ns_per_coeff(std::size_t n, int reps, F&& body) {
   return best * 1e9 / (static_cast<double>(reps / batches) * n);
 }
 
+// Paired best-of-batches for A/B comparisons: alternating the two bodies
+// batch by batch exposes both sides to the same scheduler / frequency
+// drift, so the ratio stays meaningful even when absolute times wander.
+template <typename FA, typename FB>
+std::pair<double, double> paired_ns_per_coeff(std::size_t n, int reps,
+                                              FA&& body_a, FB&& body_b) {
+  const int batches = 16;
+  double best_a = 1e100, best_b = 1e100;
+  for (int b = 0; b < batches; ++b) {
+    {
+      Timer timer;
+      for (int i = 0; i < reps / batches; ++i) body_a();
+      best_a = std::min(best_a, timer.seconds());
+    }
+    {
+      Timer timer;
+      for (int i = 0; i < reps / batches; ++i) body_b();
+      best_b = std::min(best_b, timer.seconds());
+    }
+  }
+  const double scale = 1e9 / (static_cast<double>(reps / batches) * n);
+  return {best_a * scale, best_b * scale};
+}
+
 void bench_ntt(TablePrinter& table) {
   const std::size_t n = 4096;
   const u64 q0 = (1ULL << 34) + (1ULL << 27) + 1;
@@ -197,6 +222,84 @@ void bench_pointwise(TablePrinter& table) {
   emit_json("pointwise_shoup", shoup, 1, barrett / shoup);
 }
 
+// Vectorized kernel table vs the scalar table on the same lazy NTT /
+// Shoup pointwise / negacyclic-extract paths. On a scalar-only dispatch
+// (CHAM_SIMD_LEVEL=scalar or non-x86 builds) both sides run the same
+// code and the speed-up column reads 1.0x.
+void bench_simd(TablePrinter& table) {
+  const std::size_t n = 4096;
+  const u64 q0 = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus q(q0);
+  NttTables lazy(n, q);
+  const simd::Kernels& scalar_k = *simd::table_for(simd::Level::kScalar);
+  const simd::Kernels& vec_k = simd::active();
+  const std::string label =
+      std::string("simd:") + simd::level_name();
+  Rng rng(4);
+  std::vector<u64> a(n), w(n), quo(n), out(n);
+  for (auto& c : a) c = rng.uniform(q0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.uniform(q0);
+    quo[i] = static_cast<u64>((static_cast<u128>(w[i]) << 64) / q0);
+  }
+
+  // Self-check: the dispatched table must be bit-identical to scalar on
+  // every benched path before its timings mean anything.
+  {
+    auto sc = a, ve = a;
+    lazy.forward_with(scalar_k, sc.data());
+    lazy.forward_with(vec_k, ve.data());
+    bench_check(sc == ve, label + " forward NTT == scalar forward NTT");
+    lazy.inverse_with(scalar_k, sc.data());
+    lazy.inverse_with(vec_k, ve.data());
+    bench_check(sc == ve, label + " inverse NTT == scalar inverse NTT");
+    bench_check(sc == a, label + " NTT round-trip restores input");
+    std::vector<u64> so(n), vo(n);
+    scalar_k.mul_shoup(a.data(), w.data(), quo.data(), so.data(), n, q0);
+    vec_k.mul_shoup(a.data(), w.data(), quo.data(), vo.data(), n, q0);
+    bench_check(so == vo, label + " Shoup pointwise == scalar");
+    scalar_k.neg_rev(a.data(), so.data(), n, q0);
+    vec_k.neg_rev(a.data(), vo.data(), n, q0);
+    bench_check(so == vo, label + " negacyclic extract == scalar");
+  }
+
+  auto buf = a;
+  const int reps = 800;
+  const auto [fwd_sc, fwd_ve] = paired_ns_per_coeff(
+      n, reps, [&] { lazy.forward_with(scalar_k, buf.data()); },
+      [&] { lazy.forward_with(vec_k, buf.data()); });
+  const auto [inv_sc, inv_ve] = paired_ns_per_coeff(
+      n, reps, [&] { lazy.inverse_with(scalar_k, buf.data()); },
+      [&] { lazy.inverse_with(vec_k, buf.data()); });
+  const int preps = 8000;
+  const auto [pw_sc, pw_ve] = paired_ns_per_coeff(
+      n, preps,
+      [&] {
+        scalar_k.mul_shoup(a.data(), w.data(), quo.data(), out.data(), n,
+                           q0);
+      },
+      [&] {
+        vec_k.mul_shoup(a.data(), w.data(), quo.data(), out.data(), n, q0);
+      });
+  const auto [nr_sc, nr_ve] = paired_ns_per_coeff(
+      n, preps, [&] { scalar_k.neg_rev(a.data(), out.data(), n, q0); },
+      [&] { vec_k.neg_rev(a.data(), out.data(), n, q0); });
+
+  table.add_row({"NTT fwd (" + label + ")", TablePrinter::num(fwd_ve, 2),
+                 "1", TablePrinter::num(fwd_sc / fwd_ve, 2) + "x"});
+  table.add_row({"NTT inv (" + label + ")", TablePrinter::num(inv_ve, 2),
+                 "1", TablePrinter::num(inv_sc / inv_ve, 2) + "x"});
+  table.add_row({"pointwise (" + label + ")", TablePrinter::num(pw_ve, 2),
+                 "1", TablePrinter::num(pw_sc / pw_ve, 2) + "x"});
+  table.add_row({"neg-rev extract (" + label + ")",
+                 TablePrinter::num(nr_ve, 2), "1",
+                 TablePrinter::num(nr_sc / nr_ve, 2) + "x"});
+  emit_json("ntt_forward_simd", fwd_ve, 1, fwd_sc / fwd_ve);
+  emit_json("ntt_inverse_simd", inv_ve, 1, inv_sc / inv_ve);
+  emit_json("pointwise_shoup_simd", pw_ve, 1, pw_sc / pw_ve);
+  emit_json("extract_negrev_simd", nr_ve, 1, nr_sc / nr_ve);
+}
+
 void bench_hmvp_scaling(std::size_t rows, int max_threads) {
   // Small context: the scaling shape, not absolute time, is the point.
   Rng rng(3);
@@ -250,11 +353,13 @@ int main(int argc, char** argv) {
   const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
   const int max_threads = argc > 2 ? std::atoi(argv[2]) : 8;
 
-  std::cout << "=== Kernel runtimes (lazy NTT, Shoup pointwise, pool "
-               "scaling) ===\n\n";
+  std::cout << "=== Kernel runtimes (lazy NTT, Shoup pointwise, SIMD "
+               "dispatch, pool scaling) ===\n";
+  std::cout << "SIMD dispatch level: " << simd::level_name() << "\n\n";
   TablePrinter table({"Kernel", "ns/coeff", "Threads", "Speed-up"});
   bench_ntt(table);
   bench_pointwise(table);
+  bench_simd(table);
   table.print();
   bench_hmvp_scaling(rows, max_threads);
   emit_cham_metrics();

@@ -19,6 +19,7 @@
 #include "hmvp/baseline.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "simd/kernels.h"
 #include "sim/accelerator.h"
 #include "sim/dse.h"
 #include "sim/gpu_model.h"
@@ -58,8 +59,11 @@ inline int bench_exit_code() {
 }
 
 // One machine-readable result line in the shared CHAM-BENCH format
-// (tools/check_bench.py and the CI regression gate parse these).
-inline void emit_cham_bench(const obs::JsonWriter& fields) {
+// (tools/check_bench.py and the CI regression gate parse these). Every
+// line is stamped with the active SIMD dispatch level so the regression
+// gate can refuse to compare runs measured at different vector widths.
+inline void emit_cham_bench(obs::JsonWriter fields) {
+  fields.field("simd_level", simd::level_name());
   std::cout << "CHAM-BENCH " << fields.str() << "\n";
 }
 

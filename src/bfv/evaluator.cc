@@ -172,6 +172,19 @@ std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(
           divide_round_by_last(acc_a, ctx_->base_q())};
 }
 
+std::shared_ptr<const AutomorphTable> Evaluator::galois_table(u64 k) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(galois_mu_);
+    auto it = galois_tables_.find(k);
+    if (it != galois_tables_.end()) return it->second;
+  }
+  auto table =
+      std::make_shared<const AutomorphTable>(make_automorph_table(ctx_->n(), k));
+  std::unique_lock<std::shared_mutex> lock(galois_mu_);
+  // A racing creator may have inserted first; keep that instance.
+  return galois_tables_.emplace(k, std::move(table)).first->second;
+}
+
 Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
                                    const GaloisKeys& gk) const {
   // The dominant cost of every PackTwoLWEs merge (arg = Galois element).
@@ -179,8 +192,9 @@ Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
   CHAM_CHECK_MSG(x.base() == ctx_->base_q(),
                  "apply_galois expects a rescaled (base_q) ciphertext");
   CHAM_CHECK_MSG(!x.is_ntt(), "apply_galois expects coefficient domain");
-  RnsPoly b_auto = x.b.automorph(k);
-  RnsPoly a_auto = x.a.automorph(k);
+  const auto table = galois_table(k);
+  RnsPoly b_auto = x.b.automorph(*table);
+  RnsPoly a_auto = x.a.automorph(*table);
   auto [ks_b, ks_a] = keyswitch_poly(a_auto, gk.get(k));
   Ciphertext out;
   b_auto.add_inplace(ks_b);

@@ -3,6 +3,10 @@
 // key-switching — exactly the primitive set CHAM's pipeline implements.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
 #include "bfv/ciphertext.h"
 #include "bfv/keys.h"
 
@@ -71,7 +75,16 @@ class Evaluator {
                                              const KeySwitchKey& ksk) const;
 
  private:
+  // Automorph routing tables keyed by Galois element. PackTwoLWEs reuses
+  // a handful of elements across thousands of merges, so the inverse
+  // permutation is computed once per element. Shared lock on the hit
+  // path (pack trees apply Galois ops from parallel pool lanes).
+  std::shared_ptr<const AutomorphTable> galois_table(u64 k) const;
+
   BfvContextPtr ctx_;
+  mutable std::shared_mutex galois_mu_;
+  mutable std::map<u64, std::shared_ptr<const AutomorphTable>>
+      galois_tables_;
 };
 
 }  // namespace cham

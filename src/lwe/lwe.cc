@@ -1,11 +1,15 @@
 #include "lwe/lwe.h"
 
+#include "obs/metrics.h"
+
 namespace cham {
 
 LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index) {
   CHAM_CHECK_MSG(!ct.is_ntt(), "extraction needs coefficient domain");
   CHAM_CHECK(index < ct.n());
   const std::size_t n = ct.n();
+  static obs::Counter& neg_rev_calls =
+      obs::MetricsRegistry::global().counter("simd.neg_rev");
   LweCiphertext lwe;
   lwe.base = ct.base();
   lwe.b.resize(ct.base()->size());
@@ -15,6 +19,13 @@ LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index) {
     lwe.b[l] = ct.b.limb(l)[index];
     const u64* a = ct.a.limb(l);
     u64* out = lwe.a.limb(l);
+    if (index == 0) {
+      // a'_0 = a_0, a'_k = -a_{N-k}: the negacyclic-reverse kernel. HMVP
+      // always extracts slot 0, so this is the hot case.
+      neg_rev_calls.add();
+      simd::active().neg_rev(a, out, n, q.value());
+      continue;
+    }
     // (a*s)_i = sum_k a'_k s_k with a'_k = a_{i-k} for k <= i,
     //                                    -a_{N+i-k} for k > i.
     for (std::size_t k = 0; k <= index; ++k) out[k] = a[index - k];
@@ -26,17 +37,18 @@ LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index) {
 
 Ciphertext lwe_to_rlwe(const LweCiphertext& lwe) {
   const std::size_t n = lwe.n();
+  static obs::Counter& neg_rev_calls =
+      obs::MetricsRegistry::global().counter("simd.neg_rev");
   Ciphertext ct;
   ct.b = RnsPoly(lwe.base, false);
   ct.a = RnsPoly(lwe.base, false);
   for (std::size_t l = 0; l < lwe.base->size(); ++l) {
     const Modulus& q = lwe.base->modulus(l);
     ct.b.limb(l)[0] = lwe.b[l];
-    const u64* a = lwe.a.limb(l);
-    u64* out = ct.a.limb(l);
-    // Involution of the extraction transform: ã_0 = a'_0, ã_j = -a'_{N-j}.
-    out[0] = a[0];
-    for (std::size_t j = 1; j < n; ++j) out[j] = q.negate(a[n - j]);
+    // Involution of the extraction transform: ã_0 = a'_0, ã_j = -a'_{N-j} —
+    // the same negacyclic reverse as index-0 extraction.
+    neg_rev_calls.add();
+    simd::active().neg_rev(lwe.a.limb(l), ct.a.limb(l), n, q.value());
   }
   return ct;
 }

@@ -1,5 +1,7 @@
 #include "lwe/lwe_ops.h"
 
+#include "obs/metrics.h"
+
 namespace cham {
 
 namespace {
@@ -181,6 +183,8 @@ LweCiphertext keyswitch_lwe(const LweCiphertext& x, const LweSwitchKey& key) {
   out.b = x.b;
   out.a = RnsPoly(base, false);
 
+  static obs::Counter& acc_calls =
+      obs::MetricsRegistry::global().counter("simd.keyswitch_acc");
   for (std::size_t i = 0; i < key.n_in; ++i) {
     std::size_t slot = 0;
     for (std::size_t l = 0; l < base->size(); ++l) {
@@ -194,11 +198,15 @@ LweCiphertext keyswitch_lwe(const LweCiphertext& x, const LweSwitchKey& key) {
           const Modulus& q = base->modulus(lp);
           const u64 dl = d % q.value();
           out.b[lp] = q.add(out.b[lp], q.mul(entry.b[lp], dl));
-          const u64* ea = entry.a.limb(lp);
-          u64* oa = out.a.limb(lp);
-          for (std::size_t k2 = 0; k2 < key.n_out; ++k2) {
-            oa[k2] = q.add(oa[k2], q.mul(ea[k2], dl));
-          }
+          // out.a += entry.a · dl over the first n_out positions — the
+          // accumulation that dominates keyswitching. One Shoup pair per
+          // (entry, limb) amortised over n_out lanes; exact products, so
+          // bit-identical to the former Barrett loop.
+          const ShoupMul ds = make_shoup(dl, q);
+          acc_calls.add();
+          simd::active().mul_scalar_shoup_acc(entry.a.limb(lp), ds.operand,
+                                              ds.quotient, out.a.limb(lp),
+                                              key.n_out, q.value());
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include "nt/bitops.h"
 #include "nt/prime.h"
+#include "obs/metrics.h"
 
 namespace cham {
 
@@ -23,8 +24,10 @@ CgNtt::CgNtt(std::size_t n, const Modulus& q) : n_(n), q_(q) {
   inv_twiddles_.resize(log_n_);
   for (int s = 0; s < log_n_; ++s) {
     const std::size_t groups = std::size_t{1} << s;
-    twiddles_[s].resize(groups);
-    inv_twiddles_[s].resize(groups);
+    twiddles_[s].op.resize(groups);
+    twiddles_[s].quo.resize(groups);
+    inv_twiddles_[s].op.resize(groups);
+    inv_twiddles_[s].quo.resize(groups);
     for (std::size_t u = 0; u < groups; ++u) {
       u64 e = static_cast<u64>(n_);
       for (int i = 0; i < s; ++i) {
@@ -32,13 +35,31 @@ CgNtt::CgNtt(std::size_t n, const Modulus& q) : n_(n), q_(q) {
         e = e / 2 + branch * static_cast<u64>(n_);
       }
       const u64 w = q.pow(psi_, e / 2);
-      twiddles_[s][u] = make_shoup(w, q);
-      inv_twiddles_[s][u] = make_shoup(q.inv(w), q);
+      const ShoupMul fwd = make_shoup(w, q);
+      const ShoupMul inv = make_shoup(q.inv(w), q);
+      twiddles_[s].op[u] = fwd.operand;
+      twiddles_[s].quo[u] = fwd.quotient;
+      inv_twiddles_[s].op[u] = inv.operand;
+      inv_twiddles_[s].quo[u] = inv.quotient;
     }
   }
 }
 
 void CgNtt::forward(std::vector<u64>& a) const {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("simd.cg_fwd");
+  calls.add();
+  forward_with(simd::active(), a);
+}
+
+void CgNtt::inverse(std::vector<u64>& a) const {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("simd.cg_inv");
+  calls.add();
+  inverse_with(simd::active(), a);
+}
+
+void CgNtt::forward_with(const simd::Kernels& k, std::vector<u64>& a) const {
   CHAM_CHECK(a.size() == n_);
   const u64 q = q_.value();
   std::vector<u64> ping(a), pong(n_);
@@ -47,21 +68,15 @@ void CgNtt::forward(std::vector<u64>& a) const {
   const std::size_t half = n_ / 2;
   for (int s = 0; s < log_n_; ++s) {
     const std::size_t mask = (std::size_t{1} << s) - 1;
-    for (std::size_t j = 0; j < half; ++j) {
-      const ShoupMul& w = twiddles_[s][j & mask];
-      const u64 x = src[j];
-      const u64 y = mul_shoup(src[j + half], w, q);
-      u64 sum = x + y;
-      dst[2 * j] = sum >= q ? sum - q : sum;
-      dst[2 * j + 1] = x >= y ? x - y : x + q - y;
-    }
+    const StageTwiddles& tw = twiddles_[s];
+    k.cg_fwd_stage(src, dst, half, tw.op.data(), tw.quo.data(), mask, q);
     std::swap(src, dst);
   }
   // After the last swap `src` points at the result buffer.
   std::copy(src, src + n_, a.begin());
 }
 
-void CgNtt::inverse(std::vector<u64>& a) const {
+void CgNtt::inverse_with(const simd::Kernels& k, std::vector<u64>& a) const {
   CHAM_CHECK(a.size() == n_);
   const u64 q = q_.value();
   std::vector<u64> ping(a), pong(n_);
@@ -70,19 +85,11 @@ void CgNtt::inverse(std::vector<u64>& a) const {
   const std::size_t half = n_ / 2;
   for (int s = log_n_ - 1; s >= 0; --s) {
     const std::size_t mask = (std::size_t{1} << s) - 1;
-    for (std::size_t j = 0; j < half; ++j) {
-      const ShoupMul& winv = inv_twiddles_[s][j & mask];
-      const u64 u = src[2 * j];
-      const u64 v = src[2 * j + 1];
-      u64 sum = u + v;
-      dst[j] = sum >= q ? sum - q : sum;
-      dst[j + half] = mul_shoup(u >= v ? u - v : u + q - v, winv, q);
-    }
+    const StageTwiddles& tw = inv_twiddles_[s];
+    k.cg_inv_stage(src, dst, half, tw.op.data(), tw.quo.data(), mask, q);
     std::swap(src, dst);
   }
-  for (std::size_t i = 0; i < n_; ++i) {
-    a[i] = mul_shoup(src[i], n_inv_, q);
-  }
+  k.mul_scalar_shoup(src, n_inv_.operand, n_inv_.quotient, a.data(), n_, q);
 }
 
 std::uint64_t CgNtt::cycles(std::size_t n, int n_bf) {

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "nt/modulus.h"
+#include "simd/aligned.h"
+#include "simd/kernels.h"
 
 namespace cham {
 
@@ -34,6 +36,11 @@ class CgNtt {
   void forward(std::vector<u64>& a) const;
   // Inverse: bit-reversed in, normal order out (scaled by 1/n).
   void inverse(std::vector<u64>& a) const;
+
+  // Same transforms on an explicit kernel table (bit-identical across
+  // tables; used by the benches and the SIMD fuzz suite).
+  void forward_with(const simd::Kernels& k, std::vector<u64>& a) const;
+  void inverse_with(const simd::Kernels& k, std::vector<u64>& a) const;
 
   // --- hardware model ---------------------------------------------------
 
@@ -60,10 +67,16 @@ class CgNtt {
   Modulus q_;
   u64 psi_;
   ShoupMul n_inv_;
-  // twiddles_[s][u]: stage-s factor for branch id u = j & (2^s - 1);
+  // twiddles_[s] holds the stage-s factors for branch ids u = j & (2^s -
+  // 1), stored structure-of-arrays (operand / quotient planes) so the
+  // vector cg stages can load twiddles with plain contiguous loads;
   // inv_twiddles_ holds the inverses for the mirrored network.
-  std::vector<std::vector<ShoupMul>> twiddles_;
-  std::vector<std::vector<ShoupMul>> inv_twiddles_;
+  struct StageTwiddles {
+    simd::AlignedU64Vec op;
+    simd::AlignedU64Vec quo;
+  };
+  std::vector<StageTwiddles> twiddles_;
+  std::vector<StageTwiddles> inv_twiddles_;
 };
 
 }  // namespace cham

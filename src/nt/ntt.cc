@@ -6,6 +6,7 @@
 
 #include "nt/bitops.h"
 #include "nt/prime.h"
+#include "obs/metrics.h"
 
 namespace cham {
 
@@ -45,7 +46,24 @@ NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
 // [0, 4q) between stages — each butterfly does one conditional -2q on the
 // top input and one lazy Shoup multiply ([0, 2q) output) on the bottom,
 // deferring full reduction to a single correction pass at the end.
+// The contiguous butterfly sweeps run on the kernel table `k`; blocks
+// shorter than a vector fall back to the table's scalar tails, so the
+// transform is bit-identical across tables.
 void NttTables::forward(u64* a) const {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("simd.ntt_fwd");
+  calls.add();
+  forward_with(simd::active(), a);
+}
+
+void NttTables::inverse(u64* a) const {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("simd.ntt_inv");
+  calls.add();
+  inverse_with(simd::active(), a);
+}
+
+void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
   const u64 q = q_.value();
   const u64 two_q = q << 1;
   if (n_ == 2) {
@@ -70,15 +88,7 @@ void NttTables::forward(u64* a) const {
   // is even and the fused double-stage passes line up with the end.
   if (log_n_ & 1) {
     const ShoupMul w = root_powers_[1];
-    u64* x = a;
-    u64* y = a + t;
-    for (std::size_t j = 0; j < t; ++j) {
-      u64 u = x[j];
-      u = u >= two_q ? u - two_q : u;
-      const u64 v = mul_shoup_lazy(y[j], w, q);
-      x[j] = u + v;
-      y[j] = u + two_q - v;
-    }
+    k.ntt_fwd_bfly(a, a + t, t, w.operand, w.quotient, q);
     m = 2;
     t >>= 1;
   }
@@ -98,26 +108,9 @@ void NttTables::forward(u64* a) const {
       u64* x1 = x0 + half;
       u64* x2 = x0 + t;
       u64* x3 = x2 + half;
-      for (std::size_t j = 0; j < half; ++j) {
-        u64 a0 = x0[j];
-        u64 a1 = x1[j];
-        a0 = a0 >= two_q ? a0 - two_q : a0;
-        a1 = a1 >= two_q ? a1 - two_q : a1;
-        const u64 m2 = mul_shoup_lazy(x2[j], wa, q);
-        const u64 m3 = mul_shoup_lazy(x3[j], wa, q);
-        u64 b0 = a0 + m2;
-        const u64 b1 = a1 + m3;
-        u64 b2 = a0 + two_q - m2;
-        const u64 b3 = a1 + two_q - m3;
-        b0 = b0 >= two_q ? b0 - two_q : b0;
-        b2 = b2 >= two_q ? b2 - two_q : b2;
-        const u64 c1 = mul_shoup_lazy(b1, wb0, q);
-        const u64 c3 = mul_shoup_lazy(b3, wb1, q);
-        x0[j] = b0 + c1;
-        x1[j] = b0 + two_q - c1;
-        x2[j] = b2 + c3;
-        x3[j] = b2 + two_q - c3;
-      }
+      k.ntt_fwd_dit4(x0, x1, x2, x3, half, wa.operand, wa.quotient,
+                     wb0.operand, wb0.quotient, wb1.operand, wb1.quotient,
+                     q);
     }
   }
 
@@ -166,7 +159,7 @@ void NttTables::forward(u64* a) const {
 // Shoup multiply). The final stage is fused with the n^{-1} scaling, so
 // outputs come out fully reduced without a separate scaling pass.
 // Accepts inputs in [0, 2q).
-void NttTables::inverse(u64* a) const {
+void NttTables::inverse_with(const simd::Kernels& k, u64* a) const {
   const u64 q = q_.value();
   const u64 two_q = q << 1;
   std::size_t t = 1;
@@ -207,35 +200,8 @@ void NttTables::inverse(u64* a) const {
     } else {
       for (std::size_t i = 0; i < h; ++i) {
         const ShoupMul w = inv_root_powers_[h + i];
-        u64* x = a + j1;
-        u64* y = x + t;
-        // t >= 4 here; same 4x unroll rationale as the forward transform.
-        for (std::size_t j = 0; j < t; j += 4) {
-          const u64 u0 = x[j];
-          const u64 u1 = x[j + 1];
-          const u64 u2 = x[j + 2];
-          const u64 u3 = x[j + 3];
-          const u64 v0 = y[j];
-          const u64 v1 = y[j + 1];
-          const u64 v2 = y[j + 2];
-          const u64 v3 = y[j + 3];
-          u64 s0 = u0 + v0;
-          u64 s1 = u1 + v1;
-          u64 s2 = u2 + v2;
-          u64 s3 = u3 + v3;
-          s0 = s0 >= two_q ? s0 - two_q : s0;
-          s1 = s1 >= two_q ? s1 - two_q : s1;
-          s2 = s2 >= two_q ? s2 - two_q : s2;
-          s3 = s3 >= two_q ? s3 - two_q : s3;
-          x[j] = s0;
-          x[j + 1] = s1;
-          x[j + 2] = s2;
-          x[j + 3] = s3;
-          y[j] = mul_shoup_lazy(u0 + two_q - v0, w, q);
-          y[j + 1] = mul_shoup_lazy(u1 + two_q - v1, w, q);
-          y[j + 2] = mul_shoup_lazy(u2 + two_q - v2, w, q);
-          y[j + 3] = mul_shoup_lazy(u3 + two_q - v3, w, q);
-        }
+        // t >= 4 here: a contiguous sweep for the kernel table.
+        k.ntt_inv_bfly(a + j1, a + j1 + t, t, w.operand, w.quotient, q);
         j1 += 2 * t;
       }
     }
@@ -244,14 +210,8 @@ void NttTables::inverse(u64* a) const {
   // Last stage (m == 2) fused with the n^{-1} scaling: lower half gets
   // (u+v)·n^{-1}, upper half (u-v)·(w·n^{-1}); both fully reduced.
   const std::size_t h = n_ >> 1;
-  u64* x = a;
-  u64* y = a + h;
-  for (std::size_t j = 0; j < h; ++j) {
-    const u64 u = x[j];
-    const u64 v = y[j];
-    x[j] = mul_shoup(u + v, n_inv_, q);
-    y[j] = mul_shoup(u + two_q - v, inv_n_w_, q);
-  }
+  k.ntt_inv_last(a, a + h, h, n_inv_.operand, n_inv_.quotient,
+                 inv_n_w_.operand, inv_n_w_.quotient, q);
 }
 
 void pointwise_multiply(const u64* a, const u64* b, u64* c, std::size_t n,

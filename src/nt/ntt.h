@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nt/modulus.h"
+#include "simd/kernels.h"
 
 namespace cham {
 
@@ -29,9 +30,16 @@ class NttTables {
   u64 psi() const { return psi_; }
 
   // In-place forward NTT: normal coefficient order in, bit-reversed out.
+  // Runs on the dispatched kernel table (simd::active()).
   void forward(u64* a) const;
   // In-place inverse NTT: bit-reversed in, normal order out (scaled by 1/n).
   void inverse(u64* a) const;
+
+  // Same transforms on an explicit kernel table. The benches and the
+  // SIMD fuzz suite use these to pit backends against each other in one
+  // process; every table produces bit-identical results.
+  void forward_with(const simd::Kernels& k, u64* a) const;
+  void inverse_with(const simd::Kernels& k, u64* a) const;
 
   void forward(std::vector<u64>& a) const { forward(a.data()); }
   void inverse(std::vector<u64>& a) const { inverse(a.data()); }

@@ -2,20 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace cham {
+
+namespace {
+
+// One dispatch counter per kernel family, resolved once (the registry
+// lookup takes a mutex; the handles themselves are relaxed atomics).
+obs::Counter& simd_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
 
 void poly_add(const u64* a, const u64* b, u64* out, std::size_t n,
               const Modulus& q) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = q.add(a[i], b[i]);
+  static obs::Counter& calls = simd_counter("simd.poly_add");
+  calls.add();
+  simd::active().add(a, b, out, n, q.value());
 }
 
 void poly_sub(const u64* a, const u64* b, u64* out, std::size_t n,
               const Modulus& q) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = q.sub(a[i], b[i]);
+  static obs::Counter& calls = simd_counter("simd.poly_sub");
+  calls.add();
+  simd::active().sub(a, b, out, n, q.value());
 }
 
 void poly_negate(const u64* a, u64* out, std::size_t n, const Modulus& q) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = q.negate(a[i]);
+  static obs::Counter& calls = simd_counter("simd.poly_negate");
+  calls.add();
+  simd::active().negate(a, out, n, q.value());
 }
 
 void poly_mul_pointwise(const u64* a, const u64* b, u64* out, std::size_t n,
@@ -31,29 +49,27 @@ void poly_mul_pointwise_acc(const u64* a, const u64* b, u64* out,
 
 void poly_mul_scalar(const u64* a, u64 c, u64* out, std::size_t n,
                      const Modulus& q) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = q.mul(a[i], c);
+  // One Shoup precompute amortised over the whole span; exact x·c mod q,
+  // so bit-identical to the former per-coefficient Barrett multiply.
+  static obs::Counter& calls = simd_counter("simd.mul_scalar");
+  calls.add();
+  const ShoupMul w = make_shoup(c, q);
+  simd::active().mul_scalar_shoup(a, w.operand, w.quotient, out, n,
+                                  q.value());
 }
 
 void poly_mul_shoup(const u64* x, const u64* w_op, const u64* w_quo,
                     u64* out, std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 hi =
-        static_cast<u64>((static_cast<u128>(x[i]) * w_quo[i]) >> 64);
-    const u64 r = x[i] * w_op[i] - hi * q;
-    out[i] = r >= q ? r - q : r;
-  }
+  static obs::Counter& calls = simd_counter("simd.mul_shoup");
+  calls.add();
+  simd::active().mul_shoup(x, w_op, w_quo, out, n, q);
 }
 
 void poly_mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
                         u64* out, std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 hi =
-        static_cast<u64>((static_cast<u128>(x[i]) * w_quo[i]) >> 64);
-    u64 r = x[i] * w_op[i] - hi * q;
-    if (r >= q) r -= q;
-    const u64 s = out[i] + r;
-    out[i] = s >= q ? s - q : s;
-  }
+  static obs::Counter& calls = simd_counter("simd.mul_shoup_acc");
+  calls.add();
+  simd::active().mul_shoup_acc(x, w_op, w_quo, out, n, q);
 }
 
 void poly_rev(const u64* a, u64* out, std::size_t n) {
@@ -89,6 +105,34 @@ void poly_automorph(const u64* a, u64* out, std::size_t n, u64 k,
       out[j - n] = q.negate(a[i]);
     }
   }
+}
+
+AutomorphTable make_automorph_table(std::size_t n, u64 k) {
+  CHAM_CHECK_MSG(k % 2 == 1 && k < 2 * n,
+                 "automorphism index must be odd and < 2N");
+  AutomorphTable table;
+  table.n = n;
+  table.k = k;
+  table.src_idx.resize(n);
+  table.flip.resize(n);
+  // Invert i -> ik mod N so the apply step is destination-ordered (a
+  // gather); k odd makes the map a bijection, so every slot is filled.
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 j = (static_cast<u64>(i) * k) % (2 * n);
+    const std::size_t dst = j < n ? j : j - n;
+    table.src_idx[dst] = static_cast<u64>(i);
+    table.flip[dst] = j < n ? 0 : ~u64{0};
+  }
+  return table;
+}
+
+void poly_automorph(const u64* a, u64* out, const AutomorphTable& table,
+                    const Modulus& q) {
+  CHAM_CHECK(a != out);
+  static obs::Counter& calls = simd_counter("simd.automorph");
+  calls.add();
+  simd::active().permute(a, table.src_idx.data(), table.flip.data(), out,
+                         table.n, q.value());
 }
 
 void poly_mul_negacyclic_schoolbook(const u64* a, const u64* b, u64* out,

@@ -7,6 +7,8 @@
 #include <cstdint>
 
 #include "nt/modulus.h"
+#include "simd/aligned.h"
+#include "simd/kernels.h"
 
 namespace cham {
 
@@ -51,6 +53,24 @@ void poly_shiftneg(const u64* a, u64* out, std::size_t n, std::size_t s,
 // out = a(X^k) for odd k in [1, 2N) (Automorph in Table I):
 // a_i -> (-1)^{floor(ik/N)} a at index ik mod N. Does NOT support aliasing.
 void poly_automorph(const u64* a, u64* out, std::size_t n, u64 k,
+                    const Modulus& q);
+
+// Precomputed Automorph routing, inverted to destination order so the
+// permutation becomes a gather: out[d] = ±a[src_idx[d]], negated mod q
+// where flip[d] == ~0. Tables depend only on (n, k) — not the modulus —
+// so one table serves every RNS limb; Evaluator::apply_galois caches
+// them per Galois element.
+struct AutomorphTable {
+  std::size_t n = 0;
+  u64 k = 0;
+  simd::AlignedU64Vec src_idx;
+  simd::AlignedU64Vec flip;
+};
+AutomorphTable make_automorph_table(std::size_t n, u64 k);
+
+// Table-driven Automorph via the dispatched permute kernel. Bit-exact
+// with the modular-index form above. Does NOT support aliasing.
+void poly_automorph(const u64* a, u64* out, const AutomorphTable& table,
                     const Modulus& q);
 
 // Schoolbook negacyclic convolution out = a * b mod (X^N + 1); O(N^2)

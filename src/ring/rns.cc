@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace cham {
 
@@ -182,6 +183,15 @@ RnsPoly RnsPoly::automorph(u64 k) const {
   return out;
 }
 
+RnsPoly RnsPoly::automorph(const AutomorphTable& table) const {
+  CHAM_CHECK_MSG(!ntt_form_, "automorphism implemented in coefficient domain");
+  CHAM_CHECK(table.n == n());
+  RnsPoly out(base_, false);
+  for (std::size_t l = 0; l < limbs(); ++l)
+    poly_automorph(limb(l), out.limb(l), table, base_->modulus(l));
+  return out;
+}
+
 RnsPoly RnsPoly::shiftneg(std::size_t s) const {
   CHAM_CHECK_MSG(!ntt_form_, "ShiftNeg implemented in coefficient domain");
   RnsPoly out(base_, false);
@@ -270,26 +280,24 @@ void divide_round_by_last_into(const RnsPoly& x, RnsPoly& out) {
   const std::size_t k = target->size();
   const Modulus& p = x.base()->modulus(k);
   const u64 pv = p.value();
-  const u64 half = pv >> 1;
 
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("simd.rescale");
+  calls.add();
+
+  // Per limb: centered remainder r' of x mod p, so (x - r')/p =
+  // round(x/p). The fused kernel reduces r (or p - r) mod q_l with the
+  // precomputed floor(2^64/q_l), folds it into x_l, and multiplies by
+  // p^{-1} as a Shoup pair — bit-exact with the former Barrett loop.
   const u64* xp = x.limb(k);
   for (std::size_t l = 0; l < k; ++l) {
     const Modulus& ql = target->modulus(l);
-    const u64 p_inv = ql.inv(pv % ql.value());
-    const u64* xl = x.limb(l);
-    u64* ol = out.limb(l);
-    for (std::size_t i = 0; i < x.n(); ++i) {
-      // Centered remainder r' of x mod p, so (x - r')/p = round(x/p).
-      const u64 r = xp[i];
-      u64 diff;
-      if (r > half) {
-        // r' = r - p (negative): x_l - r' = x_l + (p - r)
-        diff = ql.add(xl[i], (pv - r) % ql.value());
-      } else {
-        diff = ql.sub(xl[i], r % ql.value());
-      }
-      ol[i] = ql.mul(diff, p_inv);
-    }
+    const u64 qv = ql.value();
+    const u64 q_barrett = static_cast<u64>(
+        (static_cast<u128>(1) << 64) / qv);
+    const ShoupMul p_inv = make_shoup(ql.inv(pv % qv), ql);
+    simd::active().rescale_round(x.limb(l), xp, out.limb(l), x.n(), pv, qv,
+                                 q_barrett, p_inv.operand, p_inv.quotient);
   }
 }
 

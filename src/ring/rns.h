@@ -14,6 +14,7 @@
 #include "nt/modulus.h"
 #include "nt/ntt.h"
 #include "ring/poly_ops.h"
+#include "simd/aligned.h"
 
 namespace cham {
 
@@ -70,8 +71,8 @@ class RnsPoly {
 
   u64* limb(std::size_t l) { return data_.data() + l * n(); }
   const u64* limb(std::size_t l) const { return data_.data() + l * n(); }
-  std::vector<u64>& raw() { return data_; }
-  const std::vector<u64>& raw() const { return data_; }
+  simd::AlignedU64Vec& raw() { return data_; }
+  const simd::AlignedU64Vec& raw() const { return data_; }
 
   void set_zero();
   bool is_zero() const;
@@ -94,6 +95,10 @@ class RnsPoly {
 
   // Table-I structural ops (coefficient domain only).
   RnsPoly automorph(u64 k) const;
+  // Table-driven Automorph: one (n, k) table serves every limb (the
+  // permutation is modulus-independent). Used by the Evaluator's cached
+  // Galois path.
+  RnsPoly automorph(const AutomorphTable& table) const;
   RnsPoly shiftneg(std::size_t s) const;  // *X^s
   RnsPoly rev() const;
 
@@ -107,7 +112,9 @@ class RnsPoly {
   void check_compatible(const RnsPoly& o) const;
   RnsBasePtr base_;
   bool ntt_form_ = false;
-  std::vector<u64> data_;
+  // 64-byte-aligned limb-major storage: every limb starts on a vector
+  // register boundary (n is a power of two ≥ 8 in practice).
+  simd::AlignedU64Vec data_;
 };
 
 // An NTT-domain polynomial frozen into Shoup form: every coefficient
@@ -133,8 +140,8 @@ class ShoupPoly {
 
  private:
   RnsBasePtr base_;
-  std::vector<u64> operand_;   // limb-major, same layout as RnsPoly
-  std::vector<u64> quotient_;  // floor(operand << 64 / q_l)
+  simd::AlignedU64Vec operand_;   // limb-major, same layout as RnsPoly
+  simd::AlignedU64Vec quotient_;  // floor(operand << 64 / q_l)
 };
 
 // Divide-and-round by the base's last prime: maps a coefficient-domain

@@ -1,0 +1,52 @@
+// 64-byte-aligned storage for polynomial limbs.
+//
+// Every RnsPoly/ShoupPoly buffer is allocated on a cache-line (and
+// AVX-512 register) boundary so the vector kernels can issue aligned
+// loads/stores and limbs never straddle lines shared with other data.
+// The allocator is stateless, so AlignedVec converts freely between
+// instantiations and compares equal everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace cham {
+namespace simd {
+
+inline constexpr std::size_t kAlignment = 64;
+
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+using AlignedU64Vec = AlignedVec<std::uint64_t>;
+
+}  // namespace simd
+}  // namespace cham

@@ -1,0 +1,114 @@
+#include "simd/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "simd/tables.h"
+
+namespace cham {
+namespace simd {
+
+namespace {
+
+struct Dispatch {
+  const Kernels* table;
+  Level level;
+};
+
+bool cpu_has(Level level) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Level::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+  }
+  return false;
+#else
+  return level == Level::kScalar;
+#endif
+}
+
+// Table for `level` iff both the backend was compiled in and the CPU can
+// run it.
+const Kernels* usable(Level level) {
+  if (!cpu_has(level)) return nullptr;
+  switch (level) {
+    case Level::kScalar:
+      return scalar_table();
+    case Level::kAvx2:
+      return avx2_table();
+    case Level::kAvx512:
+      return avx512_table();
+  }
+  return nullptr;
+}
+
+Dispatch detect() {
+  // Explicit override first: an unknown or unusable CHAM_SIMD_LEVEL falls
+  // through to auto-detection rather than crashing mid-startup.
+  if (const char* env = std::getenv("CHAM_SIMD_LEVEL")) {
+    Level want;
+    if (parse_level(env, &want)) {
+      if (const Kernels* t = usable(want)) return {t, want};
+    }
+  }
+  for (Level level : {Level::kAvx512, Level::kAvx2}) {
+    if (const Kernels* t = usable(level)) return {t, level};
+  }
+  return {scalar_table(), Level::kScalar};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = [] {
+    Dispatch picked = detect();
+    obs::MetricsRegistry::global()
+        .gauge("simd.level")
+        .set(static_cast<double>(static_cast<int>(picked.level)));
+    return picked;
+  }();
+  return d;
+}
+
+}  // namespace
+
+const Kernels& active() { return *dispatch().table; }
+
+Level active_level() { return dispatch().level; }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const Kernels* table_for(Level level) { return usable(level); }
+
+bool cpu_supports(Level level) { return cpu_has(level); }
+
+bool parse_level(const char* s, Level* out) {
+  if (s == nullptr || out == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Level::kScalar;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Level::kAvx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    *out = Level::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simd
+}  // namespace cham

@@ -1,0 +1,131 @@
+// Runtime-dispatched vectorized modular-arithmetic kernels.
+//
+// The software analogue of CHAM's data-parallel processing units: where
+// the hardware runs 4 butterfly units per constant-geometry NTT core and
+// one shift-add reducer per lane (paper Sec. IV, Table I), the CPU
+// runtime runs 4 (AVX2) or 8 (AVX-512) 64-bit lanes per instruction.
+// Three implementations of the same kernel set coexist — a portable
+// scalar baseline, AVX2, and AVX-512 — and one of them is selected once
+// at startup via CPUID (overridable with CHAM_SIMD_LEVEL=scalar|avx2|
+// avx512). Dispatch is a plain function-pointer table, no vtables; every
+// vector kernel is bit-exact with the scalar baseline for all inputs in
+// its documented domain.
+//
+// Domain conventions (q is always an odd prime < 2^62):
+//   * "reduced" operands are < q, outputs are < q;
+//   * Shoup pairs are (w, floor(w·2^64/q)); mul-by-Shoup accepts ANY
+//     64-bit x and returns exactly x·w mod q;
+//   * the Harvey-lazy NTT primitives keep values in [0, 4q) (forward) /
+//     [0, 2q) (inverse) exactly like the scalar transform in nt/ntt.cc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cham {
+namespace simd {
+
+using u64 = std::uint64_t;
+
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+struct Kernels {
+  // --- element-wise mod-q ops (operands < q) ---
+  void (*add)(const u64* a, const u64* b, u64* out, std::size_t n, u64 q);
+  void (*sub)(const u64* a, const u64* b, u64* out, std::size_t n, u64 q);
+  void (*negate)(const u64* a, u64* out, std::size_t n, u64 q);
+
+  // --- Shoup pointwise products (per-coefficient operand/quotient) ---
+  // out = x ∘ w, fully reduced; supports out aliasing x.
+  void (*mul_shoup)(const u64* x, const u64* w_op, const u64* w_quo,
+                    u64* out, std::size_t n, u64 q);
+  // out += x ∘ w (mod q); out entries must be < q.
+  void (*mul_shoup_acc)(const u64* x, const u64* w_op, const u64* w_quo,
+                        u64* out, std::size_t n, u64 q);
+
+  // --- Shoup product by one fixed scalar (op, quo) ---
+  void (*mul_scalar_shoup)(const u64* x, u64 op, u64 quo, u64* out,
+                           std::size_t n, u64 q);
+  void (*mul_scalar_shoup_acc)(const u64* x, u64 op, u64 quo, u64* out,
+                               std::size_t n, u64 q);
+
+  // --- Harvey-lazy NTT butterfly sweeps (contiguous spans) ---
+  // Forward CT radix-2: inputs in [0, 4q);
+  //   u = x[j] corrected once by -2q, v = lazy(y[j]·w) in [0, 2q),
+  //   x[j] = u + v, y[j] = u + 2q - v  (both < 4q).
+  void (*ntt_fwd_bfly)(u64* x, u64* y, std::size_t count, u64 w_op,
+                       u64 w_quo, u64 q);
+  // Forward fused radix-4 double stage: applies stage (m, t) with twiddle
+  // wa and stage (2m, t/2) with twiddles wb0/wb1 while the four
+  // coefficients are in registers (the inner loop of nt/ntt.cc's fused
+  // passes). Inputs in [0, 4q), outputs in [0, 4q).
+  void (*ntt_fwd_dit4)(u64* x0, u64* x1, u64* x2, u64* x3,
+                       std::size_t count, u64 wa_op, u64 wa_quo, u64 wb0_op,
+                       u64 wb0_quo, u64 wb1_op, u64 wb1_quo, u64 q);
+  // Inverse GS radix-2: inputs in [0, 2q);
+  //   x[j] = (u + v) corrected once by -2q, y[j] = lazy((u + 2q - v)·w).
+  void (*ntt_inv_bfly)(u64* x, u64* y, std::size_t count, u64 w_op,
+                       u64 w_quo, u64 q);
+  // Inverse last stage fused with the n^{-1} scaling: x[j] = (u+v)·ninv,
+  // y[j] = (u + 2q - v)·nw, both fully reduced (< q).
+  void (*ntt_inv_last)(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                       u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q);
+
+  // --- constant-geometry NTT stages (full reduction, nt/cg_ntt.cc) ---
+  // One forward stage: for j in [0, half), with w = table[j & mask]:
+  //   y = src[j+half]·w mod q, dst[2j] = src[j]+y, dst[2j+1] = src[j]-y.
+  // mask+1 is a power of two (the stage's twiddle period).
+  void (*cg_fwd_stage)(const u64* src, u64* dst, std::size_t half,
+                       const u64* w_op, const u64* w_quo, std::size_t mask,
+                       u64 q);
+  // One inverse stage: u = src[2j], v = src[2j+1];
+  //   dst[j] = u+v mod q, dst[j+half] = (u-v)·table[j & mask] mod q.
+  void (*cg_inv_stage)(const u64* src, u64* dst, std::size_t half,
+                       const u64* w_op, const u64* w_quo, std::size_t mask,
+                       u64 q);
+
+  // --- structural ops ---
+  // Gathered signed permutation (Automorph): out[i] = a[src_idx[i]],
+  // negated mod q where flip[i] == ~0 (flip entries are 0 or all-ones).
+  void (*permute)(const u64* a, const u64* src_idx, const u64* flip,
+                  u64* out, std::size_t n, u64 q);
+  // Negacyclic reverse (ExtractLWE at index 0 and its LWE->RLWE
+  // involution): out[0] = a[0], out[j] = -a[n-j] mod q for j in [1, n).
+  // a and out must not alias.
+  void (*neg_rev)(const u64* a, u64* out, std::size_t n, u64 q);
+
+  // --- fused divide-and-round by the special modulus (Rescale) ---
+  // For each i, with r = xp[i] (< pv) the residue mod the dropped prime:
+  //   t    = (r > pv/2) ? pv - r : r, reduced mod q
+  //   diff = (r > pv/2) ? xl[i] + t : xl[i] - t   (mod q)
+  //   out[i] = diff · p_inv mod q                  (Shoup pair pinv)
+  // q_barrett = floor(2^64 / q) drives the in-register reduction of t.
+  void (*rescale_round)(const u64* xl, const u64* xp, u64* out,
+                        std::size_t n, u64 pv, u64 q, u64 q_barrett,
+                        u64 pinv_op, u64 pinv_quo);
+};
+
+// The table selected at startup (CPUID best, CHAM_SIMD_LEVEL override).
+const Kernels& active();
+Level active_level();
+
+// Stable lowercase name ("scalar", "avx2", "avx512") — recorded in the
+// CHAM-BENCH lines so baselines are never compared across levels.
+const char* level_name(Level level);
+inline const char* level_name() { return level_name(active_level()); }
+
+// Table for one specific level, or nullptr when that backend was not
+// compiled in (CHAM_SIMD=OFF / unsupported compiler) or the CPU lacks
+// the ISA. Scalar is always available. Benches and the fuzz tests use
+// this to pit every compiled backend against the scalar baseline inside
+// one process, regardless of the dispatched level.
+const Kernels* table_for(Level level);
+
+// True when the running CPU can execute `level` (compile support aside).
+bool cpu_supports(Level level);
+
+// Parse a CHAM_SIMD_LEVEL value; returns false on unknown names.
+bool parse_level(const char* s, Level* out);
+
+}  // namespace simd
+}  // namespace cham

@@ -1,0 +1,232 @@
+#include "simd/kernels_scalar.h"
+
+#include "simd/tables.h"
+
+namespace cham {
+namespace simd {
+namespace scalar {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// x·w mod q, fully reduced, valid for any 64-bit x (q < 2^63).
+inline u64 shoup_mul(u64 x, u64 op, u64 quo, u64 q) {
+  const u64 hi = static_cast<u64>((static_cast<u128>(x) * quo) >> 64);
+  const u64 r = x * op - hi * q;
+  return r >= q ? r - q : r;
+}
+
+// Lazy variant: result in [0, 2q).
+inline u64 shoup_mul_lazy(u64 x, u64 op, u64 quo, u64 q) {
+  const u64 hi = static_cast<u64>((static_cast<u128>(x) * quo) >> 64);
+  return x * op - hi * q;
+}
+
+}  // namespace
+
+void add(const u64* a, const u64* b, u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 s = a[i] + b[i];
+    out[i] = s >= q ? s - q : s;
+  }
+}
+
+void sub(const u64* a, const u64* b, u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + q - b[i];
+  }
+}
+
+void negate(const u64* a, u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] == 0 ? 0 : q - a[i];
+  }
+}
+
+void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
+               std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = shoup_mul(x[i], w_op[i], w_quo[i], q);
+  }
+}
+
+void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                   u64* out, std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 r = shoup_mul(x[i], w_op[i], w_quo[i], q);
+    const u64 s = out[i] + r;
+    out[i] = s >= q ? s - q : s;
+  }
+}
+
+void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                      std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = shoup_mul(x[i], op, quo, q);
+  }
+}
+
+void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                          std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 r = shoup_mul(x[i], op, quo, q);
+    const u64 s = out[i] + r;
+    out[i] = s >= q ? s - q : s;
+  }
+}
+
+void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q) {
+  const u64 two_q = q << 1;
+  for (std::size_t j = 0; j < count; ++j) {
+    u64 u = x[j];
+    u = u >= two_q ? u - two_q : u;
+    const u64 v = shoup_mul_lazy(y[j], w_op, w_quo, q);
+    x[j] = u + v;
+    y[j] = u + two_q - v;
+  }
+}
+
+void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
+                  u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
+                  u64 wb1_op, u64 wb1_quo, u64 q) {
+  const u64 two_q = q << 1;
+  for (std::size_t j = 0; j < count; ++j) {
+    u64 a0 = x0[j];
+    u64 a1 = x1[j];
+    a0 = a0 >= two_q ? a0 - two_q : a0;
+    a1 = a1 >= two_q ? a1 - two_q : a1;
+    const u64 m2 = shoup_mul_lazy(x2[j], wa_op, wa_quo, q);
+    const u64 m3 = shoup_mul_lazy(x3[j], wa_op, wa_quo, q);
+    u64 b0 = a0 + m2;
+    const u64 b1 = a1 + m3;
+    u64 b2 = a0 + two_q - m2;
+    const u64 b3 = a1 + two_q - m3;
+    b0 = b0 >= two_q ? b0 - two_q : b0;
+    b2 = b2 >= two_q ? b2 - two_q : b2;
+    const u64 c1 = shoup_mul_lazy(b1, wb0_op, wb0_quo, q);
+    const u64 c3 = shoup_mul_lazy(b3, wb1_op, wb1_quo, q);
+    x0[j] = b0 + c1;
+    x1[j] = b0 + two_q - c1;
+    x2[j] = b2 + c3;
+    x3[j] = b2 + two_q - c3;
+  }
+}
+
+void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q) {
+  const u64 two_q = q << 1;
+  for (std::size_t j = 0; j < count; ++j) {
+    const u64 u = x[j];
+    const u64 v = y[j];
+    u64 s = u + v;
+    s = s >= two_q ? s - two_q : s;
+    x[j] = s;
+    y[j] = shoup_mul_lazy(u + two_q - v, w_op, w_quo, q);
+  }
+}
+
+void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                  u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q) {
+  const u64 two_q = q << 1;
+  for (std::size_t j = 0; j < count; ++j) {
+    const u64 u = x[j];
+    const u64 v = y[j];
+    x[j] = shoup_mul(u + v, ninv_op, ninv_quo, q);
+    y[j] = shoup_mul(u + two_q - v, nw_op, nw_quo, q);
+  }
+}
+
+void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const std::size_t w = j & mask;
+    const u64 x = src[j];
+    const u64 y = shoup_mul(src[j + half], w_op[w], w_quo[w], q);
+    const u64 sum = x + y;
+    dst[2 * j] = sum >= q ? sum - q : sum;
+    dst[2 * j + 1] = x >= y ? x - y : x + q - y;
+  }
+}
+
+void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const std::size_t w = j & mask;
+    const u64 u = src[2 * j];
+    const u64 v = src[2 * j + 1];
+    const u64 sum = u + v;
+    dst[j] = sum >= q ? sum - q : sum;
+    dst[j + half] = shoup_mul(u + q - v, w_op[w], w_quo[w], q);
+  }
+}
+
+void permute(const u64* a, const u64* src_idx, const u64* flip, u64* out,
+             std::size_t n, u64 q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 v = a[src_idx[i]];
+    out[i] = flip[i] ? (v == 0 ? 0 : q - v) : v;
+  }
+}
+
+void neg_rev(const u64* a, u64* out, std::size_t n, u64 q) {
+  out[0] = a[0];
+  for (std::size_t j = 1; j < n; ++j) {
+    const u64 v = a[n - j];
+    out[j] = v == 0 ? 0 : q - v;
+  }
+}
+
+void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
+                   u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo) {
+  const u64 half = pv >> 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 r = xp[i];
+    const bool up = r > half;
+    u64 t = up ? pv - r : r;
+    // t mod q via the precomputed floor(2^64/q): the approximate quotient
+    // undershoots by < 2, so two conditional subtractions fully reduce.
+    const u64 qhat = static_cast<u64>((static_cast<u128>(t) * q_barrett) >> 64);
+    t -= qhat * q;
+    if (t >= q) t -= q;
+    if (t >= q) t -= q;
+    u64 diff;
+    if (up) {
+      const u64 s = xl[i] + t;
+      diff = s >= q ? s - q : s;
+    } else {
+      diff = xl[i] >= t ? xl[i] - t : xl[i] + q - t;
+    }
+    out[i] = shoup_mul(diff, pinv_op, pinv_quo, q);
+  }
+}
+
+}  // namespace scalar
+
+const Kernels* scalar_table() {
+  static const Kernels table = {
+      scalar::add,
+      scalar::sub,
+      scalar::negate,
+      scalar::mul_shoup,
+      scalar::mul_shoup_acc,
+      scalar::mul_scalar_shoup,
+      scalar::mul_scalar_shoup_acc,
+      scalar::ntt_fwd_bfly,
+      scalar::ntt_fwd_dit4,
+      scalar::ntt_inv_bfly,
+      scalar::ntt_inv_last,
+      scalar::cg_fwd_stage,
+      scalar::cg_inv_stage,
+      scalar::permute,
+      scalar::neg_rev,
+      scalar::rescale_round,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cham

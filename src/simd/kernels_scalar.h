@@ -1,0 +1,47 @@
+// Internal: the portable scalar kernels, exported individually so the
+// vector backends can reuse them for loop tails (count % lane-width).
+// These are the reference semantics every vector kernel must match
+// bit-for-bit; the fuzz suite (tests/simd) enforces that.
+#pragma once
+
+#include "simd/kernels.h"
+
+namespace cham {
+namespace simd {
+namespace scalar {
+
+void add(const u64* a, const u64* b, u64* out, std::size_t n, u64 q);
+void sub(const u64* a, const u64* b, u64* out, std::size_t n, u64 q);
+void negate(const u64* a, u64* out, std::size_t n, u64 q);
+void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
+               std::size_t n, u64 q);
+void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                   u64* out, std::size_t n, u64 q);
+void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                      std::size_t n, u64 q);
+void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                          std::size_t n, u64 q);
+void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
+                  u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
+                  u64 wb1_op, u64 wb1_quo, u64 q);
+void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                  u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q);
+void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void permute(const u64* a, const u64* src_idx, const u64* flip, u64* out,
+             std::size_t n, u64 q);
+void neg_rev(const u64* a, u64* out, std::size_t n, u64 q);
+void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
+                   u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo);
+
+}  // namespace scalar
+}  // namespace simd
+}  // namespace cham

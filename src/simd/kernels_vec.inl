@@ -1,0 +1,398 @@
+// Width-generic vector kernel bodies, shared by the AVX2 and AVX-512
+// translation units. Each backend defines a traits type V (register,
+// lane count W, and the primitive ops below) and instantiates
+// VecKernels<V>; everything algorithmic lives here exactly once so the
+// two ISAs cannot drift apart.
+//
+// Required traits (all on vectors of W u64 lanes):
+//   reg  load(const u64*), void store(u64*, reg)   — unaligned ok
+//   reg  set1(u64)
+//   reg  add(reg, reg), sub(reg, reg)              — wraparound mod 2^64
+//   reg  mullo(reg, reg)                           — low 64 bits of product
+//   reg  mulhi(reg, reg)                           — high 64 bits of product
+//   reg  umin(reg, reg)                            — unsigned 64-bit min
+//   mask gt(reg a, reg b)                          — unsigned a > b
+//   mask eq0(reg)
+//   reg  blend(mask, reg t, reg f)                 — m ? t : f
+//   reg  band(reg, reg), bor(reg, reg), bandn(reg m, reg v)  — bitwise,
+//        bandn = (~m) & v
+//   reg  gather(const u64* base, reg idx)
+//   reg  reverse(reg)                              — lane order reversal
+//   void interleave_store(u64* dst, reg lo, reg hi)
+//        — dst[0..2W) = lo0, hi0, lo1, hi1, ...
+//   void deinterleave_load(const u64* src, reg* even, reg* odd)
+//
+// Loop tails (count % W) always fall through to the scalar kernels, so
+// every kernel accepts arbitrary lengths.
+//
+// This file is internal to src/simd; it is an .inl on purpose (it is not
+// a standalone header and must only be included after kernels_scalar.h).
+
+namespace cham {
+namespace simd {
+
+template <typename V>
+struct VecKernels {
+  using reg = typename V::reg;
+  static constexpr std::size_t W = V::W;
+
+  // a (mod-2^64) conditionally reduced by m: a >= m ? a - m : a.
+  // umin picks the subtracted value exactly when it did not wrap.
+  static inline reg csub(reg a, reg m) { return V::umin(a, V::sub(a, m)); }
+
+  // x·w mod q in [0, 2q) (Harvey lazy Shoup product).
+  static inline reg shoup_lazy(reg x, reg op, reg quo, reg q) {
+    return V::sub(V::mullo(x, op), V::mullo(V::mulhi(x, quo), q));
+  }
+
+  // x·w mod q fully reduced, any 64-bit x.
+  static inline reg shoup_full(reg x, reg op, reg quo, reg q) {
+    return csub(shoup_lazy(x, op, quo, q), q);
+  }
+
+  // a - b mod q for reduced operands: a + q - b, folded once.
+  static inline reg submod(reg a, reg b, reg q) {
+    return csub(V::add(a, V::sub(q, b)), q);
+  }
+
+  static void add(const u64* a, const u64* b, u64* out, std::size_t n,
+                  u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      V::store(out + i, csub(V::add(V::load(a + i), V::load(b + i)), vq));
+    }
+    scalar::add(a + i, b + i, out + i, n - i, q);
+  }
+
+  static void sub(const u64* a, const u64* b, u64* out, std::size_t n,
+                  u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      V::store(out + i, submod(V::load(a + i), V::load(b + i), vq));
+    }
+    scalar::sub(a + i, b + i, out + i, n - i, q);
+  }
+
+  static void negate(const u64* a, u64* out, std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const reg v = V::load(a + i);
+      V::store(out + i, V::blend(V::eq0(v), V::set1(0), V::sub(vq, v)));
+    }
+    scalar::negate(a + i, out + i, n - i, q);
+  }
+
+  static void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo,
+                        u64* out, std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    // 2x unroll: two independent Shoup chains in flight hide the long
+    // mulhi/mullo latency on cores with a single wide-multiply port.
+    for (; i + 2 * W <= n; i += 2 * W) {
+      const reg r0 = shoup_full(V::load(x + i), V::load(w_op + i),
+                                V::load(w_quo + i), vq);
+      const reg r1 = shoup_full(V::load(x + i + W), V::load(w_op + i + W),
+                                V::load(w_quo + i + W), vq);
+      V::store(out + i, r0);
+      V::store(out + i + W, r1);
+    }
+    for (; i + W <= n; i += W) {
+      V::store(out + i, shoup_full(V::load(x + i), V::load(w_op + i),
+                                   V::load(w_quo + i), vq));
+    }
+    scalar::mul_shoup(x + i, w_op + i, w_quo + i, out + i, n - i, q);
+  }
+
+  static void mul_shoup_acc(const u64* x, const u64* w_op,
+                            const u64* w_quo, u64* out, std::size_t n,
+                            u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const reg r = shoup_full(V::load(x + i), V::load(w_op + i),
+                               V::load(w_quo + i), vq);
+      V::store(out + i, csub(V::add(V::load(out + i), r), vq));
+    }
+    scalar::mul_shoup_acc(x + i, w_op + i, w_quo + i, out + i, n - i, q);
+  }
+
+  static void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                               std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    const reg vop = V::set1(op);
+    const reg vquo = V::set1(quo);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      V::store(out + i, shoup_full(V::load(x + i), vop, vquo, vq));
+    }
+    scalar::mul_scalar_shoup(x + i, op, quo, out + i, n - i, q);
+  }
+
+  static void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                                   std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    const reg vop = V::set1(op);
+    const reg vquo = V::set1(quo);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const reg r = shoup_full(V::load(x + i), vop, vquo, vq);
+      V::store(out + i, csub(V::add(V::load(out + i), r), vq));
+    }
+    scalar::mul_scalar_shoup_acc(x + i, op, quo, out + i, n - i, q);
+  }
+
+  static void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op,
+                           u64 w_quo, u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const reg vop = V::set1(w_op);
+    const reg vquo = V::set1(w_quo);
+    std::size_t j = 0;
+    // 2x unroll: two independent butterfly chains hide the Shoup
+    // multiply latency (see mul_shoup).
+    for (; j + 2 * W <= count; j += 2 * W) {
+      const reg u0 = csub(V::load(x + j), v2q);
+      const reg u1 = csub(V::load(x + j + W), v2q);
+      const reg v0 = shoup_lazy(V::load(y + j), vop, vquo, vq);
+      const reg v1 = shoup_lazy(V::load(y + j + W), vop, vquo, vq);
+      V::store(x + j, V::add(u0, v0));
+      V::store(y + j, V::add(u0, V::sub(v2q, v0)));
+      V::store(x + j + W, V::add(u1, v1));
+      V::store(y + j + W, V::add(u1, V::sub(v2q, v1)));
+    }
+    for (; j + W <= count; j += W) {
+      const reg u = csub(V::load(x + j), v2q);
+      const reg v = shoup_lazy(V::load(y + j), vop, vquo, vq);
+      V::store(x + j, V::add(u, v));
+      V::store(y + j, V::add(u, V::sub(v2q, v)));
+    }
+    scalar::ntt_fwd_bfly(x + j, y + j, count - j, w_op, w_quo, q);
+  }
+
+  static void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3,
+                           std::size_t count, u64 wa_op, u64 wa_quo,
+                           u64 wb0_op, u64 wb0_quo, u64 wb1_op, u64 wb1_quo,
+                           u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const reg va_op = V::set1(wa_op);
+    const reg va_quo = V::set1(wa_quo);
+    const reg vb0_op = V::set1(wb0_op);
+    const reg vb0_quo = V::set1(wb0_quo);
+    const reg vb1_op = V::set1(wb1_op);
+    const reg vb1_quo = V::set1(wb1_quo);
+    std::size_t j = 0;
+    for (; j + W <= count; j += W) {
+      const reg a0 = csub(V::load(x0 + j), v2q);
+      const reg a1 = csub(V::load(x1 + j), v2q);
+      const reg m2 = shoup_lazy(V::load(x2 + j), va_op, va_quo, vq);
+      const reg m3 = shoup_lazy(V::load(x3 + j), va_op, va_quo, vq);
+      const reg b0 = csub(V::add(a0, m2), v2q);
+      const reg b1 = V::add(a1, m3);
+      const reg b2 = csub(V::add(a0, V::sub(v2q, m2)), v2q);
+      const reg b3 = V::add(a1, V::sub(v2q, m3));
+      const reg c1 = shoup_lazy(b1, vb0_op, vb0_quo, vq);
+      const reg c3 = shoup_lazy(b3, vb1_op, vb1_quo, vq);
+      V::store(x0 + j, V::add(b0, c1));
+      V::store(x1 + j, V::add(b0, V::sub(v2q, c1)));
+      V::store(x2 + j, V::add(b2, c3));
+      V::store(x3 + j, V::add(b2, V::sub(v2q, c3)));
+    }
+    scalar::ntt_fwd_dit4(x0 + j, x1 + j, x2 + j, x3 + j, count - j, wa_op,
+                         wa_quo, wb0_op, wb0_quo, wb1_op, wb1_quo, q);
+  }
+
+  static void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op,
+                           u64 w_quo, u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const reg vop = V::set1(w_op);
+    const reg vquo = V::set1(w_quo);
+    std::size_t j = 0;
+    // 2x unroll: two independent butterfly chains hide the Shoup
+    // multiply latency (see mul_shoup).
+    for (; j + 2 * W <= count; j += 2 * W) {
+      const reg u0 = V::load(x + j);
+      const reg v0 = V::load(y + j);
+      const reg u1 = V::load(x + j + W);
+      const reg v1 = V::load(y + j + W);
+      V::store(x + j, csub(V::add(u0, v0), v2q));
+      V::store(y + j,
+               shoup_lazy(V::add(u0, V::sub(v2q, v0)), vop, vquo, vq));
+      V::store(x + j + W, csub(V::add(u1, v1), v2q));
+      V::store(y + j + W,
+               shoup_lazy(V::add(u1, V::sub(v2q, v1)), vop, vquo, vq));
+    }
+    for (; j + W <= count; j += W) {
+      const reg u = V::load(x + j);
+      const reg v = V::load(y + j);
+      V::store(x + j, csub(V::add(u, v), v2q));
+      V::store(y + j,
+               shoup_lazy(V::add(u, V::sub(v2q, v)), vop, vquo, vq));
+    }
+    scalar::ntt_inv_bfly(x + j, y + j, count - j, w_op, w_quo, q);
+  }
+
+  static void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                           u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const reg vn_op = V::set1(ninv_op);
+    const reg vn_quo = V::set1(ninv_quo);
+    const reg vw_op = V::set1(nw_op);
+    const reg vw_quo = V::set1(nw_quo);
+    std::size_t j = 0;
+    for (; j + W <= count; j += W) {
+      const reg u = V::load(x + j);
+      const reg v = V::load(y + j);
+      V::store(x + j, shoup_full(V::add(u, v), vn_op, vn_quo, vq));
+      V::store(y + j,
+               shoup_full(V::add(u, V::sub(v2q, v)), vw_op, vw_quo, vq));
+    }
+    scalar::ntt_inv_last(x + j, y + j, count - j, ninv_op, ninv_quo, nw_op,
+                         nw_quo, q);
+  }
+
+  // Twiddle vector for the constant-geometry stages: table index is
+  // j & mask with mask+1 a power of two. When the period covers a whole
+  // vector, aligned chunks never straddle the wrap, so a plain unaligned
+  // load works; shorter periods repeat within the vector and are
+  // materialised once before the loop.
+  static void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                           const u64* w_op, const u64* w_quo,
+                           std::size_t mask, u64 q) {
+    const reg vq = V::set1(q);
+    const std::size_t period = mask + 1;
+    u64 pat_op[W], pat_quo[W];
+    if (period < W) {
+      for (std::size_t i = 0; i < W; ++i) {
+        pat_op[i] = w_op[i & mask];
+        pat_quo[i] = w_quo[i & mask];
+      }
+    }
+    const reg rep_op = V::load(period < W ? pat_op : w_op);
+    const reg rep_quo = V::load(period < W ? pat_quo : w_quo);
+    std::size_t j = 0;
+    for (; j + W <= half; j += W) {
+      const reg op = period < W ? rep_op : V::load(w_op + (j & mask));
+      const reg quo = period < W ? rep_quo : V::load(w_quo + (j & mask));
+      const reg x = V::load(src + j);
+      const reg y = shoup_full(V::load(src + j + half), op, quo, vq);
+      const reg sum = csub(V::add(x, y), vq);
+      const reg diff = submod(x, y, vq);
+      V::interleave_store(dst + 2 * j, sum, diff);
+    }
+    for (; j < half; ++j) {
+      const std::size_t w = j & mask;
+      const u64 x = src[j];
+      const u64 y = src[j + half];
+      const u64 hi =
+          static_cast<u64>((static_cast<unsigned __int128>(y) * w_quo[w]) >> 64);
+      u64 m = y * w_op[w] - hi * q;
+      m = m >= q ? m - q : m;
+      const u64 sum = x + m;
+      dst[2 * j] = sum >= q ? sum - q : sum;
+      dst[2 * j + 1] = x >= m ? x - m : x + q - m;
+    }
+  }
+
+  static void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                           const u64* w_op, const u64* w_quo,
+                           std::size_t mask, u64 q) {
+    const reg vq = V::set1(q);
+    const std::size_t period = mask + 1;
+    u64 pat_op[W], pat_quo[W];
+    if (period < W) {
+      for (std::size_t i = 0; i < W; ++i) {
+        pat_op[i] = w_op[i & mask];
+        pat_quo[i] = w_quo[i & mask];
+      }
+    }
+    const reg rep_op = V::load(period < W ? pat_op : w_op);
+    const reg rep_quo = V::load(period < W ? pat_quo : w_quo);
+    std::size_t j = 0;
+    for (; j + W <= half; j += W) {
+      const reg op = period < W ? rep_op : V::load(w_op + (j & mask));
+      const reg quo = period < W ? rep_quo : V::load(w_quo + (j & mask));
+      reg u, v;
+      V::deinterleave_load(src + 2 * j, &u, &v);
+      V::store(dst + j, csub(V::add(u, v), vq));
+      V::store(dst + j + half,
+               shoup_full(V::add(u, V::sub(vq, v)), op, quo, vq));
+    }
+    for (; j < half; ++j) {
+      const std::size_t w = j & mask;
+      const u64 u = src[2 * j];
+      const u64 v = src[2 * j + 1];
+      const u64 sum = u + v;
+      dst[j] = sum >= q ? sum - q : sum;
+      const u64 d = u + q - v;
+      const u64 hi =
+          static_cast<u64>((static_cast<unsigned __int128>(d) * w_quo[w]) >> 64);
+      u64 r = d * w_op[w] - hi * q;
+      dst[j + half] = r >= q ? r - q : r;
+    }
+  }
+
+  static void permute(const u64* a, const u64* src_idx, const u64* flip,
+                      u64* out, std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const reg v = V::gather(a, V::load(src_idx + i));
+      const reg f = V::load(flip + i);
+      const reg neg = V::blend(V::eq0(v), V::set1(0), V::sub(vq, v));
+      V::store(out + i, V::bor(V::band(f, neg), V::bandn(f, v)));
+    }
+    scalar::permute(a, src_idx + i, flip + i, out + i, n - i, q);
+  }
+
+  static void neg_rev(const u64* a, u64* out, std::size_t n, u64 q) {
+    const reg vq = V::set1(q);
+    out[0] = a[0];
+    std::size_t j = 1;
+    // out[j..j+W) = negate(a[n-j-W+1..n-j]) reversed; stop while the
+    // source window stays within [1, n).
+    for (; j + W <= n; j += W) {
+      const reg v = V::reverse(V::load(a + n - j - (W - 1)));
+      V::store(out + j, V::blend(V::eq0(v), V::set1(0), V::sub(vq, v)));
+    }
+    for (; j < n; ++j) {
+      const u64 v = a[n - j];
+      out[j] = v == 0 ? 0 : q - v;
+    }
+  }
+
+  static void rescale_round(const u64* xl, const u64* xp, u64* out,
+                            std::size_t n, u64 pv, u64 q, u64 q_barrett,
+                            u64 pinv_op, u64 pinv_quo) {
+    const reg vq = V::set1(q);
+    const reg vpv = V::set1(pv);
+    const reg vhalf = V::set1(pv >> 1);
+    const reg vbar = V::set1(q_barrett);
+    const reg vp_op = V::set1(pinv_op);
+    const reg vp_quo = V::set1(pinv_quo);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const reg r = V::load(xp + i);
+      const auto up = V::gt(r, vhalf);
+      reg t = V::blend(up, V::sub(vpv, r), r);
+      // t mod q: approximate quotient undershoots by < 2.
+      t = V::sub(t, V::mullo(V::mulhi(t, vbar), vq));
+      t = csub(csub(t, vq), vq);
+      const reg x = V::load(xl + i);
+      const reg sum = csub(V::add(x, t), vq);
+      const reg dif = submod(x, t, vq);
+      const reg diff = V::blend(up, sum, dif);
+      V::store(out + i, shoup_full(diff, vp_op, vp_quo, vq));
+    }
+    scalar::rescale_round(xl + i, xp + i, out + i, n - i, pv, q, q_barrett,
+                          pinv_op, pinv_quo);
+  }
+};
+
+}  // namespace simd
+}  // namespace cham

@@ -1,0 +1,17 @@
+// Internal: per-backend kernel tables. Each TU returns its table, or
+// nullptr when the backend is compiled out (CHAM_SIMD=OFF or the
+// toolchain lacks the ISA flags). Only dispatch.cc and the backends
+// include this.
+#pragma once
+
+#include "simd/kernels.h"
+
+namespace cham {
+namespace simd {
+
+const Kernels* scalar_table();
+const Kernels* avx2_table();
+const Kernels* avx512_table();
+
+}  // namespace simd
+}  // namespace cham

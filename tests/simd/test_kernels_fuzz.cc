@@ -1,0 +1,380 @@
+// Differential fuzz of the vector kernel backends against the portable
+// scalar table: every kernel, every compiled-and-runnable level, the
+// paper's three moduli plus a 61-bit prime that stresses the AVX2
+// sign-bias compares, and span lengths chosen to exercise both the
+// vector body and the scalar tail (lengths not divisible by any lane
+// width). Also checks the Harvey lazy-reduction range invariants the NTT
+// sweeps rely on, and that full transforms are bit-identical across
+// tables.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "nt/cg_ntt.h"
+#include "nt/modulus.h"
+#include "nt/ntt.h"
+#include "ring/poly_ops.h"
+#include "simd/kernels.h"
+
+namespace cham {
+namespace {
+
+using simd::Kernels;
+using simd::Level;
+
+// Paper working moduli (Table II) + a 61-bit prime: values with the top
+// bit of the 62-bit budget set catch backends that compare or reduce
+// with signed arithmetic.
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+constexpr u64 kQbig = 2305843009213693951ULL;  // 2^61 - 1 (Mersenne)
+
+const u64 kModuli[] = {kQ0, kQ1, kP, kQbig};
+
+// 1 and W-1/W/W+1 neighbours for both lane widths, plus lengths with a
+// nonzero tail for every width, plus a pow2 transform size.
+const std::size_t kLengths[] = {1, 3, 4, 5, 7, 8, 9, 15, 30, 256, 1001};
+
+std::vector<Level> compiled_levels() {
+  std::vector<Level> levels;
+  for (Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    if (simd::table_for(l) != nullptr) levels.push_back(l);
+  }
+  return levels;
+}
+
+u64 shoup_quotient(u64 w, u64 q) {
+  return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+
+std::vector<u64> random_below(Rng& rng, std::size_t n, u64 bound) {
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.uniform(bound);
+  return v;
+}
+
+class KernelsFuzzTest : public ::testing::TestWithParam<Level> {
+ protected:
+  const Kernels& k() const { return *simd::table_for(GetParam()); }
+  const Kernels& ref() const { return *simd::table_for(Level::kScalar); }
+};
+
+TEST_P(KernelsFuzzTest, ElementwiseOpsMatchScalar) {
+  Rng rng(0x51D0001);
+  for (u64 q : kModuli) {
+    for (std::size_t n : kLengths) {
+      const auto a = random_below(rng, n, q);
+      const auto b = random_below(rng, n, q);
+      std::vector<u64> got(n), want(n);
+
+      k().add(a.data(), b.data(), got.data(), n, q);
+      ref().add(a.data(), b.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "add n=" << n << " q=" << q;
+
+      k().sub(a.data(), b.data(), got.data(), n, q);
+      ref().sub(a.data(), b.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "sub n=" << n << " q=" << q;
+
+      k().negate(a.data(), got.data(), n, q);
+      ref().negate(a.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "negate n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, ShoupProductsMatchScalar) {
+  Rng rng(0x51D0002);
+  for (u64 q : kModuli) {
+    for (std::size_t n : kLengths) {
+      // The Shoup product contract covers ANY 64-bit x, not just x < q:
+      // feed full-range values on top of reduced ones.
+      auto x = random_below(rng, n, q);
+      for (std::size_t i = 0; i < n; i += 3) x[i] = rng.next_u64();
+      const auto w = random_below(rng, n, q);
+      std::vector<u64> quo(n);
+      for (std::size_t i = 0; i < n; ++i) quo[i] = shoup_quotient(w[i], q);
+      const auto acc0 = random_below(rng, n, q);
+
+      std::vector<u64> got(n), want(n);
+      k().mul_shoup(x.data(), w.data(), quo.data(), got.data(), n, q);
+      ref().mul_shoup(x.data(), w.data(), quo.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "mul_shoup n=" << n << " q=" << q;
+
+      got = acc0;
+      want = acc0;
+      k().mul_shoup_acc(x.data(), w.data(), quo.data(), got.data(), n, q);
+      ref().mul_shoup_acc(x.data(), w.data(), quo.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "mul_shoup_acc n=" << n << " q=" << q;
+
+      const u64 c = rng.uniform(q);
+      const u64 cq = shoup_quotient(c, q);
+      k().mul_scalar_shoup(x.data(), c, cq, got.data(), n, q);
+      ref().mul_scalar_shoup(x.data(), c, cq, want.data(), n, q);
+      EXPECT_EQ(got, want) << "mul_scalar_shoup n=" << n << " q=" << q;
+
+      got = acc0;
+      want = acc0;
+      k().mul_scalar_shoup_acc(x.data(), c, cq, got.data(), n, q);
+      ref().mul_scalar_shoup_acc(x.data(), c, cq, want.data(), n, q);
+      EXPECT_EQ(got, want) << "mul_scalar_shoup_acc n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, ForwardButterfliesMatchScalarAndStayLazy) {
+  Rng rng(0x51D0003);
+  for (u64 q : kModuli) {
+    const u64 four_q = q << 2;
+    for (std::size_t n : kLengths) {
+      const u64 w = rng.uniform(q);
+      const u64 wq = shoup_quotient(w, q);
+      auto x = random_below(rng, n, four_q);
+      auto y = random_below(rng, n, four_q);
+      auto xs = x, ys = y;
+      k().ntt_fwd_bfly(x.data(), y.data(), n, w, wq, q);
+      ref().ntt_fwd_bfly(xs.data(), ys.data(), n, w, wq, q);
+      EXPECT_EQ(x, xs) << "ntt_fwd_bfly x n=" << n << " q=" << q;
+      EXPECT_EQ(y, ys) << "ntt_fwd_bfly y n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(x[j], four_q) << "forward butterfly left [0, 4q)";
+        ASSERT_LT(y[j], four_q) << "forward butterfly left [0, 4q)";
+      }
+
+      const u64 wb0 = rng.uniform(q), wb1 = rng.uniform(q);
+      auto x0 = random_below(rng, n, four_q);
+      auto x1 = random_below(rng, n, four_q);
+      auto x2 = random_below(rng, n, four_q);
+      auto x3 = random_below(rng, n, four_q);
+      auto s0 = x0, s1 = x1, s2 = x2, s3 = x3;
+      k().ntt_fwd_dit4(x0.data(), x1.data(), x2.data(), x3.data(), n, w, wq,
+                       wb0, shoup_quotient(wb0, q), wb1,
+                       shoup_quotient(wb1, q), q);
+      ref().ntt_fwd_dit4(s0.data(), s1.data(), s2.data(), s3.data(), n, w,
+                         wq, wb0, shoup_quotient(wb0, q), wb1,
+                         shoup_quotient(wb1, q), q);
+      EXPECT_EQ(x0, s0) << "ntt_fwd_dit4 n=" << n << " q=" << q;
+      EXPECT_EQ(x1, s1);
+      EXPECT_EQ(x2, s2);
+      EXPECT_EQ(x3, s3);
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(x0[j], four_q);
+        ASSERT_LT(x1[j], four_q);
+        ASSERT_LT(x2[j], four_q);
+        ASSERT_LT(x3[j], four_q);
+      }
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, InverseButterfliesMatchScalarAndStayLazy) {
+  Rng rng(0x51D0004);
+  for (u64 q : kModuli) {
+    const u64 two_q = q << 1;
+    for (std::size_t n : kLengths) {
+      const u64 w = rng.uniform(q);
+      const u64 wq = shoup_quotient(w, q);
+      auto x = random_below(rng, n, two_q);
+      auto y = random_below(rng, n, two_q);
+      auto xs = x, ys = y;
+      k().ntt_inv_bfly(x.data(), y.data(), n, w, wq, q);
+      ref().ntt_inv_bfly(xs.data(), ys.data(), n, w, wq, q);
+      EXPECT_EQ(x, xs) << "ntt_inv_bfly x n=" << n << " q=" << q;
+      EXPECT_EQ(y, ys) << "ntt_inv_bfly y n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(x[j], two_q) << "inverse butterfly left [0, 2q)";
+        ASSERT_LT(y[j], two_q) << "inverse butterfly left [0, 2q)";
+      }
+
+      const u64 ninv = rng.uniform(q), nw = rng.uniform(q);
+      x = random_below(rng, n, two_q);
+      y = random_below(rng, n, two_q);
+      xs = x;
+      ys = y;
+      k().ntt_inv_last(x.data(), y.data(), n, ninv, shoup_quotient(ninv, q),
+                       nw, shoup_quotient(nw, q), q);
+      ref().ntt_inv_last(xs.data(), ys.data(), n, ninv,
+                         shoup_quotient(ninv, q), nw, shoup_quotient(nw, q),
+                         q);
+      EXPECT_EQ(x, xs) << "ntt_inv_last x n=" << n << " q=" << q;
+      EXPECT_EQ(y, ys) << "ntt_inv_last y n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(x[j], q) << "fused last stage must fully reduce";
+        ASSERT_LT(y[j], q) << "fused last stage must fully reduce";
+      }
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, ConstantGeometryStagesMatchScalar) {
+  Rng rng(0x51D0005);
+  for (u64 q : kModuli) {
+    // Every twiddle period from 1 to half: periods below the lane width
+    // take the broadcast-pattern path, larger ones the contiguous loads.
+    for (std::size_t half : {1u, 2u, 4u, 8u, 16u, 128u}) {
+      for (std::size_t period = 1; period <= half; period <<= 1) {
+        const std::size_t mask = period - 1;
+        const auto w = random_below(rng, period, q);
+        std::vector<u64> quo(period);
+        for (std::size_t i = 0; i < period; ++i)
+          quo[i] = shoup_quotient(w[i], q);
+        const auto src = random_below(rng, 2 * half, q);
+        std::vector<u64> got(2 * half), want(2 * half);
+
+        k().cg_fwd_stage(src.data(), got.data(), half, w.data(), quo.data(),
+                         mask, q);
+        ref().cg_fwd_stage(src.data(), want.data(), half, w.data(),
+                           quo.data(), mask, q);
+        EXPECT_EQ(got, want)
+            << "cg_fwd_stage half=" << half << " period=" << period;
+
+        k().cg_inv_stage(src.data(), got.data(), half, w.data(), quo.data(),
+                         mask, q);
+        ref().cg_inv_stage(src.data(), want.data(), half, w.data(),
+                           quo.data(), mask, q);
+        EXPECT_EQ(got, want)
+            << "cg_inv_stage half=" << half << " period=" << period;
+      }
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, PermuteAndNegRevMatchScalar) {
+  Rng rng(0x51D0006);
+  for (u64 q : kModuli) {
+    for (std::size_t n : kLengths) {
+      auto a = random_below(rng, n, q);
+      // Sprinkle zeros: negation of 0 must stay 0, not become q.
+      for (std::size_t i = 0; i < n; i += 5) a[i] = 0;
+      std::vector<u64> idx(n), flip(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        idx[i] = rng.uniform(static_cast<u64>(n));
+        flip[i] = rng.uniform(2) ? ~u64{0} : 0;
+      }
+      std::vector<u64> got(n), want(n);
+      k().permute(a.data(), idx.data(), flip.data(), got.data(), n, q);
+      ref().permute(a.data(), idx.data(), flip.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "permute n=" << n << " q=" << q;
+
+      k().neg_rev(a.data(), got.data(), n, q);
+      ref().neg_rev(a.data(), want.data(), n, q);
+      EXPECT_EQ(got, want) << "neg_rev n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, RescaleRoundMatchesScalar) {
+  Rng rng(0x51D0007);
+  // Dropped modulus p above and below the limb modulus, matching both
+  // BFV modulus switching directions.
+  for (u64 q : {kQ0, kQ1, kQbig}) {
+    const u64 pv = kP;
+    const u64 q_barrett =
+        static_cast<u64>((static_cast<u128>(1) << 64) / q);
+    const u64 pinv = rng.uniform(q);
+    const u64 pinv_quo = shoup_quotient(pinv, q);
+    for (std::size_t n : kLengths) {
+      const auto xl = random_below(rng, n, q);
+      auto xp = random_below(rng, n, pv);
+      // Force boundary residues: 0, p/2 (round-down edge), p-1.
+      if (n >= 3) {
+        xp[0] = 0;
+        xp[1] = pv >> 1;
+        xp[2] = pv - 1;
+      }
+      std::vector<u64> got(n), want(n);
+      k().rescale_round(xl.data(), xp.data(), got.data(), n, pv, q,
+                        q_barrett, pinv, pinv_quo);
+      ref().rescale_round(xl.data(), xp.data(), want.data(), n, pv, q,
+                          q_barrett, pinv, pinv_quo);
+      EXPECT_EQ(got, want) << "rescale_round n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, FullTransformsBitExactWithScalarTable) {
+  Rng rng(0x51D0008);
+  for (u64 qv : {kQ0, kQ1, kP}) {
+    const Modulus q(qv);
+    for (std::size_t n : {8u, 64u, 256u}) {
+      const NttTables tables(n, q);
+      auto a = random_below(rng, n, qv);
+      auto b = a;
+      tables.forward_with(k(), a.data());
+      tables.forward_with(ref(), b.data());
+      EXPECT_EQ(a, b) << "forward NTT diverged n=" << n << " q=" << qv;
+      tables.inverse_with(k(), a.data());
+      tables.inverse_with(ref(), b.data());
+      EXPECT_EQ(a, b) << "inverse NTT diverged n=" << n << " q=" << qv;
+
+      const CgNtt cg(n, q);
+      auto c = random_below(rng, n, qv);
+      auto d = c;
+      const auto orig = c;
+      cg.forward_with(k(), c);
+      cg.forward_with(ref(), d);
+      EXPECT_EQ(c, d) << "CG forward diverged n=" << n << " q=" << qv;
+      cg.inverse_with(k(), c);
+      cg.inverse_with(ref(), d);
+      EXPECT_EQ(c, d) << "CG inverse diverged n=" << n << " q=" << qv;
+      EXPECT_EQ(c, orig) << "CG round trip failed n=" << n << " q=" << qv;
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, AutomorphTableMatchesModularIndexForm) {
+  Rng rng(0x51D0009);
+  const Modulus q(kQ0);
+  for (std::size_t n : {8u, 256u}) {
+    for (u64 kk = 1; kk < 2 * n; kk += 2 * n / 4 + 1) {
+      if (kk % 2 == 0) continue;
+      const AutomorphTable table = make_automorph_table(n, kk);
+      const auto a = random_below(rng, n, q.value());
+      std::vector<u64> want(n), got(n);
+      poly_automorph(a.data(), want.data(), n, kk, q);
+      k().permute(a.data(), table.src_idx.data(), table.flip.data(),
+                  got.data(), n, q.value());
+      EXPECT_EQ(got, want) << "automorph table n=" << n << " k=" << kk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, KernelsFuzzTest, ::testing::ValuesIn(compiled_levels()),
+    [](const ::testing::TestParamInfo<Level>& info) {
+      return simd::level_name(info.param);
+    });
+
+TEST(SimdDispatchTest, ScalarTableAlwaysAvailable) {
+  ASSERT_NE(simd::table_for(Level::kScalar), nullptr);
+  EXPECT_TRUE(simd::cpu_supports(Level::kScalar));
+}
+
+TEST(SimdDispatchTest, ActiveTableIsUsable) {
+  const Level level = simd::active_level();
+  EXPECT_EQ(simd::table_for(level), &simd::active());
+  EXPECT_TRUE(simd::cpu_supports(level));
+}
+
+TEST(SimdDispatchTest, ParseLevelRoundTrips) {
+  Level l;
+  ASSERT_TRUE(simd::parse_level("scalar", &l));
+  EXPECT_EQ(l, Level::kScalar);
+  ASSERT_TRUE(simd::parse_level("avx2", &l));
+  EXPECT_EQ(l, Level::kAvx2);
+  ASSERT_TRUE(simd::parse_level("avx512", &l));
+  EXPECT_EQ(l, Level::kAvx512);
+  EXPECT_FALSE(simd::parse_level("sse9", &l));
+  EXPECT_FALSE(simd::parse_level("", &l));
+  EXPECT_FALSE(simd::parse_level(nullptr, &l));
+  for (Level lvl : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    Level back;
+    ASSERT_TRUE(simd::parse_level(simd::level_name(lvl), &back));
+    EXPECT_EQ(back, lvl);
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -31,7 +31,11 @@ Baseline format:
 direction "lower" means lower-is-better (latencies): measured may not
 exceed value*(1+tolerance). "higher" means higher-is-better (speed-ups):
 measured may not drop below value*(1-tolerance). "exact" must match
-bit-for-bit (deterministic operation counts).
+bit-for-bit (deterministic operation counts). "level" is the SIMD
+dispatch level stamped on every CHAM-BENCH line: a baseline recorded at
+one level (e.g. avx2) refuses comparison against output measured at
+another (e.g. avx512) — the numbers are from different code paths, so
+pin CHAM_SIMD_LEVEL or regenerate the baseline instead.
 """
 
 import argparse
@@ -72,11 +76,14 @@ def flatten(records, source="sample"):
     registry names (hmvp.runs, ...) in every bench binary.
     """
     metrics = {}
+    levels = set()
 
     def put(name, value, tolerance, direction):
         metrics[name] = (float(value), (tolerance, direction))
 
     for tag, obj in records:
+        if tag == "CHAM-BENCH" and "simd_level" in obj:
+            levels.add(obj["simd_level"])
         if tag == "CHAM-BENCH" and "kernel" in obj:
             key = f"kernels/{obj['kernel']}@t{obj.get('threads', 1)}"
             if "ns_per_coeff" in obj:
@@ -96,16 +103,39 @@ def flatten(records, source="sample"):
         elif tag == "CHAM-METRICS":
             for name, value in obj.get("counters", {}).items():
                 put(f"counters/{source}/{name}", value, 0.0, "exact")
+    if len(levels) > 1:
+        raise SystemExit(
+            f"bench output mixes SIMD dispatch levels {sorted(levels)}: "
+            "every compared run must be measured at one level "
+            "(pin CHAM_SIMD_LEVEL)")
+    if levels:
+        # Stored as a string metric; direction "level" refuses any
+        # baseline/measured mismatch instead of comparing numerically.
+        metrics["meta/simd_level"] = (levels.pop(), (0.0, "level"))
     return metrics
 
 
 def load_outputs(paths):
     metrics = {}
+    levels = {}
     for path in paths:
         stem = os.path.splitext(os.path.basename(path))[0]
         with open(path) as f:
-            metrics.update(flatten(parse_lines(f.read()), source=stem))
+            flat = flatten(parse_lines(f.read()), source=stem)
+        if "meta/simd_level" in flat:
+            levels[path] = flat["meta/simd_level"][0]
+        metrics.update(flat)
+    if len(set(levels.values())) > 1:
+        raise SystemExit(
+            "bench outputs mix SIMD dispatch levels: "
+            + ", ".join(f"{p}={l}" for p, l in sorted(levels.items()))
+            + " (pin CHAM_SIMD_LEVEL so all outputs share one level)")
     return metrics
+
+
+def fmt(value):
+    """Format a metric value that may be a float or a string level name."""
+    return f"{value:g}" if isinstance(value, float) else str(value)
 
 
 def compare(baseline, measured):
@@ -118,10 +148,18 @@ def compare(baseline, measured):
         direction = spec.get("direction", "lower")
         if name not in measured:
             failures.append(f"{name}: missing from bench output "
-                            f"(baseline {base_value:g})")
+                            f"(baseline {fmt(base_value)})")
             continue
         value = measured[name][0]
-        if direction == "exact":
+        if direction == "level":
+            if value != base_value:
+                failures.append(
+                    f"{name}: bench output measured at SIMD level "
+                    f"{fmt(value)} but baseline was recorded at "
+                    f"{fmt(base_value)} — refusing cross-level comparison "
+                    f"(pin CHAM_SIMD_LEVEL={fmt(base_value)} or regenerate "
+                    f"the baseline with `update`)")
+        elif direction == "exact":
             if value != base_value:
                 failures.append(f"{name}: {value:g} != baseline "
                                 f"{base_value:g} (exact match required)")
@@ -153,7 +191,7 @@ def cmd_compare(args):
     print(f"check_bench: {ok}/{len(baseline.get('metrics', {}))} baseline "
           f"metrics within tolerance, {len(new)} unbaselined metric(s)")
     for name in new:
-        print(f"  note: new metric {name} = {measured[name][0]:g} "
+        print(f"  note: new metric {name} = {fmt(measured[name][0])} "
               f"(run `update` to baseline it)")
     if failures:
         print(f"\ncheck_bench: {len(failures)} REGRESSION(S):")
@@ -185,13 +223,15 @@ def cmd_update(args):
 
 
 def cmd_selftest(_args):
-    """Prove the gate trips: inject a synthetic 2x slowdown and a counter
-    drift into sample output and require the comparison to fail."""
+    """Prove the gate trips: inject a synthetic 2x slowdown, a counter
+    drift and a SIMD-level switch into sample output and require the
+    comparison to fail."""
     sample = "\n".join([
         'CHAM-BENCH {"kernel":"ntt_forward_lazy","ns_per_coeff":10.0,'
-        '"threads":1,"speedup":1.5}',
+        '"threads":1,"speedup":1.5,"simd_level":"avx2"}',
         'CHAM-BENCH {"benchmark":"hmvp","shape":"8192x8192",'
-        '"baseline_s":100.0,"cham_s":0.125,"speedup":800.0}',
+        '"baseline_s":100.0,"cham_s":0.125,"speedup":800.0,'
+        '"simd_level":"avx2"}',
         'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216},"gauges":{},'
         '"histograms":{}}',
     ])
@@ -227,8 +267,23 @@ def cmd_selftest(_args):
         print("selftest FAILED: dropped metric passed the gate")
         return 1
 
-    print("selftest OK: 2x slowdown, counter drift and metric loss all "
-          "trip the gate; clean run passes")
+    relevel = sample.replace('"simd_level":"avx2"', '"simd_level":"scalar"')
+    failures = compare(baseline, flatten(parse_lines(relevel)))
+    if not any("cross-level" in f for f in failures):
+        print("selftest FAILED: SIMD dispatch-level switch passed the gate")
+        return 1
+
+    mixed = sample.replace('"simd_level":"avx2"', '"simd_level":"avx512"', 1)
+    try:
+        flatten(parse_lines(mixed))
+    except SystemExit:
+        pass
+    else:
+        print("selftest FAILED: mixed-level output was not rejected")
+        return 1
+
+    print("selftest OK: 2x slowdown, counter drift, metric loss and "
+          "SIMD-level switches all trip the gate; clean run passes")
     return 0
 
 
