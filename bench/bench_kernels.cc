@@ -7,6 +7,7 @@
 // ("CHAM-BENCH {...}") so CI and scripts can scrape regressions.
 //
 // Usage: bench_kernels [rows] [max_threads]
+#include <array>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -136,6 +137,28 @@ std::pair<double, double> paired_ns_per_coeff(std::size_t n, int reps,
   }
   const double scale = 1e9 / (static_cast<double>(reps / batches) * n);
   return {best_a * scale, best_b * scale};
+}
+
+// Three-way interleaved variant for the scalar / avx512 / avx512ifma
+// comparison: all three bodies rotate through every batch window so the
+// two ratios come from the same frequency/scheduler conditions.
+template <typename FA, typename FB, typename FC>
+std::array<double, 3> triple_ns_per_coeff(std::size_t n, int reps, FA&& body_a,
+                                          FB&& body_b, FC&& body_c) {
+  const int batches = 16;
+  std::array<double, 3> best = {1e100, 1e100, 1e100};
+  const auto run = [&](auto&& body, double& slot) {
+    Timer timer;
+    for (int i = 0; i < reps / batches; ++i) body();
+    slot = std::min(slot, timer.seconds());
+  };
+  for (int b = 0; b < batches; ++b) {
+    run(body_a, best[0]);
+    run(body_b, best[1]);
+    run(body_c, best[2]);
+  }
+  const double scale = 1e9 / (static_cast<double>(reps / batches) * n);
+  return {best[0] * scale, best[1] * scale, best[2] * scale};
 }
 
 void bench_ntt(TablePrinter& table) {
@@ -300,6 +323,92 @@ void bench_simd(TablePrinter& table) {
   emit_json("extract_negrev_simd", nr_ve, 1, nr_sc / nr_ve);
 }
 
+// Three-way scalar / avx512 / avx512ifma comparison of the 52-bit-limb
+// backend on the NTT and pointwise paths. Only runs when dispatch picked
+// avx512ifma (native support), so the avx2-pinned CI bench baseline never
+// sees these metrics and stays level-stable.
+void bench_ifma(TablePrinter& table) {
+  if (simd::active_level() != simd::Level::kAvx512Ifma) return;
+  const simd::Kernels* k512p = simd::table_for(simd::Level::kAvx512);
+  if (k512p == nullptr) return;
+  const simd::Kernels& k_sc = *simd::table_for(simd::Level::kScalar);
+  const simd::Kernels& k_512 = *k512p;
+  const simd::Kernels& k_ifma = *simd::table_for(simd::Level::kAvx512Ifma);
+
+  const std::size_t n = 4096;
+  // q < 2^50: the IFMA table runs its 52-bit-limb kernels rather than
+  // delegating back to the 64-bit avx512 bodies.
+  const u64 q0 = (1ULL << 34) + (1ULL << 27) + 1;
+  Modulus q(q0);
+  NttTables lazy(n, q);
+  Rng rng(5);
+  std::vector<u64> a(n), w(n), quo(n), out(n);
+  for (auto& c : a) c = rng.uniform(q0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.uniform(q0);
+    quo[i] = static_cast<u64>((static_cast<u128>(w[i]) << 64) / q0);
+  }
+
+  // Self-check: all three tables must agree on the fully-reduced
+  // transform outputs and the canonical Shoup pointwise product.
+  {
+    auto sc = a, ve = a, ifma = a;
+    lazy.forward_with(k_sc, sc.data());
+    lazy.forward_with(k_512, ve.data());
+    lazy.forward_with(k_ifma, ifma.data());
+    bench_check(sc == ve && sc == ifma,
+                "ifma forward NTT == avx512 == scalar");
+    lazy.inverse_with(k_sc, sc.data());
+    lazy.inverse_with(k_512, ve.data());
+    lazy.inverse_with(k_ifma, ifma.data());
+    bench_check(sc == ve && sc == ifma,
+                "ifma inverse NTT == avx512 == scalar");
+    bench_check(sc == a, "ifma NTT round-trip restores input");
+    std::vector<u64> so(n), vo(n), io(n);
+    k_sc.mul_shoup(a.data(), w.data(), quo.data(), so.data(), n, q0);
+    k_512.mul_shoup(a.data(), w.data(), quo.data(), vo.data(), n, q0);
+    k_ifma.mul_shoup(a.data(), w.data(), quo.data(), io.data(), n, q0);
+    bench_check(so == vo && so == io,
+                "ifma Shoup pointwise == avx512 == scalar");
+  }
+
+  auto buf = a;
+  const int reps = 800;
+  const auto fwd = triple_ns_per_coeff(
+      n, reps, [&] { lazy.forward_with(k_sc, buf.data()); },
+      [&] { lazy.forward_with(k_512, buf.data()); },
+      [&] { lazy.forward_with(k_ifma, buf.data()); });
+  const auto inv = triple_ns_per_coeff(
+      n, reps, [&] { lazy.inverse_with(k_sc, buf.data()); },
+      [&] { lazy.inverse_with(k_512, buf.data()); },
+      [&] { lazy.inverse_with(k_ifma, buf.data()); });
+  const int preps = 8000;
+  const auto pw = triple_ns_per_coeff(
+      n, preps,
+      [&] { k_sc.mul_shoup(a.data(), w.data(), quo.data(), out.data(), n, q0); },
+      [&] { k_512.mul_shoup(a.data(), w.data(), quo.data(), out.data(), n, q0); },
+      [&] {
+        k_ifma.mul_shoup(a.data(), w.data(), quo.data(), out.data(), n, q0);
+      });
+
+  const auto add_rows = [&](const char* name, const std::array<double, 3>& r) {
+    table.add_row({std::string(name) + " (avx512, 64-bit)",
+                   TablePrinter::num(r[1], 2), "1",
+                   TablePrinter::num(r[0] / r[1], 2) + "x"});
+    table.add_row({std::string(name) + " (ifma, 52-bit)",
+                   TablePrinter::num(r[2], 2), "1",
+                   TablePrinter::num(r[0] / r[2], 2) + "x"});
+  };
+  add_rows("NTT fwd", fwd);
+  add_rows("NTT inv", inv);
+  add_rows("pointwise", pw);
+  // speedup = avx512-vs-ifma ratio: the marginal win of the 52-bit limbs
+  // over the emulated 64-bit mulhi at the same vector width.
+  emit_json("ntt_forward_ifma", fwd[2], 1, fwd[1] / fwd[2]);
+  emit_json("ntt_inverse_ifma", inv[2], 1, inv[1] / inv[2]);
+  emit_json("pointwise_shoup_ifma", pw[2], 1, pw[1] / pw[2]);
+}
+
 void bench_hmvp_scaling(std::size_t rows, int max_threads) {
   // Small context: the scaling shape, not absolute time, is the point.
   Rng rng(3);
@@ -360,6 +469,7 @@ int main(int argc, char** argv) {
   bench_ntt(table);
   bench_pointwise(table);
   bench_simd(table);
+  bench_ifma(table);
   table.print();
   bench_hmvp_scaling(rows, max_threads);
   emit_cham_metrics();

@@ -60,10 +60,14 @@ inline int bench_exit_code() {
 
 // One machine-readable result line in the shared CHAM-BENCH format
 // (tools/check_bench.py and the CI regression gate parse these). Every
-// line is stamped with the active SIMD dispatch level so the regression
-// gate can refuse to compare runs measured at different vector widths.
+// line is stamped with the active SIMD dispatch level and its limb width
+// (52-bit on the IFMA backend, 64-bit elsewhere) so the regression gate
+// can refuse to compare runs measured at different vector widths or
+// multiplier shapes.
 inline void emit_cham_bench(obs::JsonWriter fields) {
   fields.field("simd_level", simd::level_name());
+  fields.field("limb_bits",
+               simd::active_level() == simd::Level::kAvx512Ifma ? 52 : 64);
   std::cout << "CHAM-BENCH " << fields.str() << "\n";
 }
 

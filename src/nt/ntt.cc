@@ -21,8 +21,10 @@ NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
   psi_inv_ = q.inv(psi_);
   n_inv_ = make_shoup(q.inv(static_cast<u64>(n % q.value())), q);
 
-  root_powers_.resize(n);
-  inv_root_powers_.resize(n);
+  root_op_.resize(n);
+  root_quo_.resize(n);
+  inv_root_op_.resize(n);
+  inv_root_quo_.resize(n);
   u64 fwd = 1, inv = 1;
   std::vector<u64> fwd_pow(n), inv_pow(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -34,12 +36,16 @@ NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t r =
         bit_reverse(static_cast<std::uint32_t>(i), log_n_);
-    root_powers_[i] = make_shoup(fwd_pow[r], q);
-    inv_root_powers_[i] = make_shoup(inv_pow[r], q);
+    const ShoupMul f = make_shoup(fwd_pow[r], q);
+    const ShoupMul b = make_shoup(inv_pow[r], q);
+    root_op_[i] = f.operand;
+    root_quo_[i] = f.quotient;
+    inv_root_op_[i] = b.operand;
+    inv_root_quo_[i] = b.quotient;
   }
   // The inverse transform fuses the n^{-1} scaling into its last stage:
   // the upper half is multiplied by w·n^{-1} instead of w.
-  inv_n_w_ = make_shoup(q.mul(n_inv_.operand, inv_root_powers_[1].operand), q);
+  inv_n_w_ = make_shoup(q.mul(n_inv_.operand, inv_root_op_[1]), q);
 }
 
 // Forward Cooley–Tukey with Harvey lazy reduction: coefficients live in
@@ -67,7 +73,7 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
   const u64 q = q_.value();
   const u64 two_q = q << 1;
   if (n_ == 2) {
-    const ShoupMul w = root_powers_[1];
+    const ShoupMul w = root(1);
     u64 u = a[0];
     u = u >= two_q ? u - two_q : u;
     const u64 v = mul_shoup_lazy(a[1], w, q);
@@ -87,7 +93,7 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
   // Odd stage count: peel the first radix-2 stage so the remaining count
   // is even and the fused double-stage passes line up with the end.
   if (log_n_ & 1) {
-    const ShoupMul w = root_powers_[1];
+    const ShoupMul w = root(1);
     k.ntt_fwd_bfly(a, a + t, t, w.operand, w.quotient, q);
     m = 2;
     t >>= 1;
@@ -101,9 +107,9 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
   for (; t >= 4; m <<= 2, t >>= 2) {
     const std::size_t half = t >> 1;
     for (std::size_t i = 0; i < m; ++i) {
-      const ShoupMul wa = root_powers_[m + i];
-      const ShoupMul wb0 = root_powers_[2 * m + 2 * i];
-      const ShoupMul wb1 = root_powers_[2 * m + 2 * i + 1];
+      const ShoupMul wa = root(m + i);
+      const ShoupMul wb0 = root(2 * m + 2 * i);
+      const ShoupMul wb1 = root(2 * m + 2 * i + 1);
       u64* x0 = a + 2 * i * t;
       u64* x1 = x0 + half;
       u64* x2 = x0 + t;
@@ -114,44 +120,13 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
     }
   }
 
-  // Final fused pass (t == 2): stages (m, 2) and (2m, 1). The full
-  // correction to [0, q) happens here instead of a separate sweep.
-  for (std::size_t i = 0; i < m; ++i) {
-    const ShoupMul wa = root_powers_[m + i];
-    const ShoupMul wb0 = root_powers_[2 * m + 2 * i];
-    const ShoupMul wb1 = root_powers_[2 * m + 2 * i + 1];
-    u64* x = a + 4 * i;
-    u64 a0 = x[0];
-    u64 a1 = x[1];
-    a0 = a0 >= two_q ? a0 - two_q : a0;
-    a1 = a1 >= two_q ? a1 - two_q : a1;
-    const u64 m2 = mul_shoup_lazy(x[2], wa, q);
-    const u64 m3 = mul_shoup_lazy(x[3], wa, q);
-    u64 b0 = a0 + m2;
-    const u64 b1 = a1 + m3;
-    u64 b2 = a0 + two_q - m2;
-    const u64 b3 = a1 + two_q - m3;
-    b0 = b0 >= two_q ? b0 - two_q : b0;
-    b2 = b2 >= two_q ? b2 - two_q : b2;
-    const u64 c1 = mul_shoup_lazy(b1, wb0, q);
-    const u64 c3 = mul_shoup_lazy(b3, wb1, q);
-    u64 o0 = b0 + c1;
-    u64 o1 = b0 + two_q - c1;
-    u64 o2 = b2 + c3;
-    u64 o3 = b2 + two_q - c3;
-    o0 = o0 >= two_q ? o0 - two_q : o0;
-    o1 = o1 >= two_q ? o1 - two_q : o1;
-    o2 = o2 >= two_q ? o2 - two_q : o2;
-    o3 = o3 >= two_q ? o3 - two_q : o3;
-    o0 = o0 >= q ? o0 - q : o0;
-    o1 = o1 >= q ? o1 - q : o1;
-    o2 = o2 >= q ? o2 - q : o2;
-    o3 = o3 >= q ? o3 - q : o3;
-    x[0] = o0;
-    x[1] = o1;
-    x[2] = o2;
-    x[3] = o3;
-  }
+  // Final fused pass (t == 2): stages (m, 2) and (2m, 1), with the full
+  // correction to [0, q) folded in. At this point m == n/4, so the pass
+  // covers the whole array with per-block twiddles — a contiguous sweep
+  // for the kernel table, which vectorizes it with in-register lane
+  // swaps (strides 2 and 1 are below the vector width).
+  k.ntt_fwd_tail(a, n_, root_op_.data() + m, root_quo_.data() + m,
+                 root_op_.data() + 2 * m, root_quo_.data() + 2 * m, q);
 }
 
 // Inverse Gentleman–Sande, lazily reduced: values stay in [0, 2q) between
@@ -161,49 +136,34 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
 // Accepts inputs in [0, 2q).
 void NttTables::inverse_with(const simd::Kernels& k, u64* a) const {
   const u64 q = q_.value();
-  const u64 two_q = q << 1;
   std::size_t t = 1;
-  for (std::size_t m = n_; m > 2; m >>= 1) {
+  std::size_t m = n_;
+  if (n_ >= 8) {
+    // Fused first two passes (strides 1 and 2): one contiguous sweep for
+    // the kernel table, which vectorizes both with in-register lane
+    // swaps. Twiddle runs are inv_root(n/2 + i) and inv_root(n/4 + i).
+    k.ntt_inv_tail(a, n_, inv_root_op_.data() + n_ / 2,
+                   inv_root_quo_.data() + n_ / 2,
+                   inv_root_op_.data() + n_ / 4,
+                   inv_root_quo_.data() + n_ / 4, q);
+    t = 4;
+    m = n_ >> 2;
+  } else if (n_ == 4) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      const ShoupMul w = inv_root(2 + i);
+      k.ntt_inv_bfly(a + 2 * i, a + 2 * i + 1, 1, w.operand, w.quotient, q);
+    }
+    t = 2;
+    m = 2;
+  }
+  for (; m > 2; m >>= 1) {
     const std::size_t h = m >> 1;
     std::size_t j1 = 0;
-    if (t == 1) {
-      for (std::size_t i = 0; i < h; ++i) {
-        const ShoupMul w = inv_root_powers_[h + i];
-        u64* x = a + j1;
-        const u64 u = x[0];
-        const u64 v = x[1];
-        u64 s = u + v;
-        s = s >= two_q ? s - two_q : s;
-        x[0] = s;
-        x[1] = mul_shoup_lazy(u + two_q - v, w, q);
-        j1 += 2;
-      }
-    } else if (t == 2) {
-      for (std::size_t i = 0; i < h; ++i) {
-        const ShoupMul w = inv_root_powers_[h + i];
-        u64* x = a + j1;
-        u64* y = x + 2;
-        const u64 u0 = x[0];
-        const u64 u1 = x[1];
-        const u64 v0 = y[0];
-        const u64 v1 = y[1];
-        u64 s0 = u0 + v0;
-        u64 s1 = u1 + v1;
-        s0 = s0 >= two_q ? s0 - two_q : s0;
-        s1 = s1 >= two_q ? s1 - two_q : s1;
-        x[0] = s0;
-        x[1] = s1;
-        y[0] = mul_shoup_lazy(u0 + two_q - v0, w, q);
-        y[1] = mul_shoup_lazy(u1 + two_q - v1, w, q);
-        j1 += 4;
-      }
-    } else {
-      for (std::size_t i = 0; i < h; ++i) {
-        const ShoupMul w = inv_root_powers_[h + i];
-        // t >= 4 here: a contiguous sweep for the kernel table.
-        k.ntt_inv_bfly(a + j1, a + j1 + t, t, w.operand, w.quotient, q);
-        j1 += 2 * t;
-      }
+    for (std::size_t i = 0; i < h; ++i) {
+      const ShoupMul w = inv_root(h + i);
+      // t >= 4 here: a contiguous sweep for the kernel table.
+      k.ntt_inv_bfly(a + j1, a + j1 + t, t, w.operand, w.quotient, q);
+      j1 += 2 * t;
     }
     t <<= 1;
   }

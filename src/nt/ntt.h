@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nt/modulus.h"
+#include "simd/aligned.h"
 #include "simd/kernels.h"
 
 namespace cham {
@@ -51,11 +52,26 @@ class NttTables {
   u64 psi_;      // primitive 2n-th root of unity
   u64 psi_inv_;  // psi^{-1}
   ShoupMul n_inv_;
-  ShoupMul inv_n_w_;  // inv_root_powers_[1] * n^{-1} (fused last stage)
-  // root_powers_[i] = psi^{bitrev(i, log n)}, inv_root_powers_[i] =
-  // psi^{-bitrev(i, log n)}; both as Shoup pairs.
-  std::vector<ShoupMul> root_powers_;
-  std::vector<ShoupMul> inv_root_powers_;
+  ShoupMul inv_n_w_;  // inv_root(1) * n^{-1} (fused last stage)
+
+  // Twiddle tables in structure-of-arrays layout: root(i).operand =
+  // psi^{bitrev(i, log n)} and inv_root(i).operand the same for psi^{-1},
+  // with the Shoup quotients in parallel planes. SoA lets the fused tail
+  // kernels broadcast runs of consecutive twiddles straight from memory
+  // (rep2/rep4 vector loads) instead of gathering through an
+  // array-of-pairs stride; planes are 64-byte aligned like every other
+  // kernel operand.
+  ShoupMul root(std::size_t i) const {
+    return ShoupMul{root_op_[i], root_quo_[i]};
+  }
+  ShoupMul inv_root(std::size_t i) const {
+    return ShoupMul{inv_root_op_[i], inv_root_quo_[i]};
+  }
+
+  simd::AlignedU64Vec root_op_;
+  simd::AlignedU64Vec root_quo_;
+  simd::AlignedU64Vec inv_root_op_;
+  simd::AlignedU64Vec inv_root_quo_;
 };
 
 // Coefficient-wise c = a ∘ b (all length n, values < q).

@@ -1,5 +1,6 @@
 #include "simd/kernels.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,6 +27,10 @@ bool cpu_has(Level level) {
     case Level::kAvx512:
       return __builtin_cpu_supports("avx512f") &&
              __builtin_cpu_supports("avx512dq");
+    case Level::kAvx512Ifma:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512ifma");
   }
   return false;
 #else
@@ -44,23 +49,31 @@ const Kernels* usable(Level level) {
       return avx2_table();
     case Level::kAvx512:
       return avx512_table();
+    case Level::kAvx512Ifma:
+      return avx512ifma_table();
   }
   return nullptr;
 }
 
+Level autodetect() {
+  for (Level level : {Level::kAvx512Ifma, Level::kAvx512, Level::kAvx2}) {
+    if (usable(level) != nullptr) return level;
+  }
+  return Level::kScalar;
+}
+
 Dispatch detect() {
-  // Explicit override first: an unknown or unusable CHAM_SIMD_LEVEL falls
-  // through to auto-detection rather than crashing mid-startup.
-  if (const char* env = std::getenv("CHAM_SIMD_LEVEL")) {
-    Level want;
-    if (parse_level(env, &want)) {
-      if (const Kernels* t = usable(want)) return {t, want};
-    }
+  std::string warning;
+  const Level level =
+      resolve_level(std::getenv("CHAM_SIMD_LEVEL"), &warning);
+  if (!warning.empty()) {
+    // Once per process: detect() only runs from the dispatch() static
+    // initializer. A misspelt or unusable override silently running a
+    // different level has burnt enough benchmarking time to warrant a
+    // visible note; the fallback itself stays non-fatal.
+    std::fprintf(stderr, "cham: %s\n", warning.c_str());
   }
-  for (Level level : {Level::kAvx512, Level::kAvx2}) {
-    if (const Kernels* t = usable(level)) return {t, level};
-  }
-  return {scalar_table(), Level::kScalar};
+  return {usable(level), level};
 }
 
 const Dispatch& dispatch() {
@@ -76,6 +89,33 @@ const Dispatch& dispatch() {
 
 }  // namespace
 
+Level resolve_level(const char* env, std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (env == nullptr || env[0] == '\0') return autodetect();
+  Level want;
+  if (!parse_level(env, &want)) {
+    const Level fallback = autodetect();
+    if (warning != nullptr) {
+      *warning = std::string("CHAM_SIMD_LEVEL=") + env +
+                 " names no known dispatch level "
+                 "(scalar, avx2, avx512, avx512ifma); using " +
+                 level_name(fallback);
+    }
+    return fallback;
+  }
+  if (usable(want) == nullptr) {
+    const Level fallback = autodetect();
+    if (warning != nullptr) {
+      *warning = std::string("CHAM_SIMD_LEVEL=") + env + " is " +
+                 (cpu_has(want) ? "not compiled into this binary"
+                                : "not supported by this CPU") +
+                 "; using " + level_name(fallback);
+    }
+    return fallback;
+  }
+  return want;
+}
+
 const Kernels& active() { return *dispatch().table; }
 
 Level active_level() { return dispatch().level; }
@@ -88,6 +128,8 @@ const char* level_name(Level level) {
       return "avx2";
     case Level::kAvx512:
       return "avx512";
+    case Level::kAvx512Ifma:
+      return "avx512ifma";
   }
   return "unknown";
 }
@@ -104,6 +146,8 @@ bool parse_level(const char* s, Level* out) {
     *out = Level::kAvx2;
   } else if (std::strcmp(s, "avx512") == 0) {
     *out = Level::kAvx512;
+  } else if (std::strcmp(s, "avx512ifma") == 0) {
+    *out = Level::kAvx512Ifma;
   } else {
     return false;
   }

@@ -4,30 +4,54 @@
 // the hardware runs 4 butterfly units per constant-geometry NTT core and
 // one shift-add reducer per lane (paper Sec. IV, Table I), the CPU
 // runtime runs 4 (AVX2) or 8 (AVX-512) 64-bit lanes per instruction.
-// Three implementations of the same kernel set coexist — a portable
-// scalar baseline, AVX2, and AVX-512 — and one of them is selected once
-// at startup via CPUID (overridable with CHAM_SIMD_LEVEL=scalar|avx2|
-// avx512). Dispatch is a plain function-pointer table, no vtables; every
-// vector kernel is bit-exact with the scalar baseline for all inputs in
-// its documented domain.
+// Four implementations of the same kernel set coexist — a portable
+// scalar baseline, AVX2, AVX-512, and AVX-512-IFMA (52-bit-limb Shoup
+// arithmetic on vpmadd52) — and one of them is selected once at startup
+// via CPUID (overridable with CHAM_SIMD_LEVEL=scalar|avx2|avx512|
+// avx512ifma). Dispatch is a plain function-pointer table, no vtables;
+// every vector kernel is bit-exact with the scalar baseline for all
+// inputs in its documented domain.
 //
 // Domain conventions (q is always an odd prime < 2^62):
 //   * "reduced" operands are < q, outputs are < q;
 //   * Shoup pairs are (w, floor(w·2^64/q)); mul-by-Shoup accepts ANY
-//     64-bit x and returns exactly x·w mod q;
+//     64-bit x and returns exactly x·w mod q — except at the avx512ifma
+//     level with q < kIfmaQBound, where the 52-bit product window
+//     narrows the x domain to x < 2^52 (every in-tree call site passes
+//     x < 4q < 2^52; for q >= kIfmaQBound the IFMA table delegates to
+//     the 64-bit AVX-512 path and the full-range contract holds);
 //   * the Harvey-lazy NTT primitives keep values in [0, 4q) (forward) /
 //     [0, 2q) (inverse) exactly like the scalar transform in nt/ntt.cc.
+//     The 52-bit path produces lazy representatives that may differ from
+//     the 64-bit ones by q (its quotient estimate floor(x·quo52/2^52)
+//     can differ by 1), but always agrees modulo q and stays inside the
+//     same lazy ranges; kernels_scalar52.h is the bit-exact reference
+//     for those intermediates, and every fully-reduced output is
+//     bit-exact across all tables.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace cham {
 namespace simd {
 
 using u64 = std::uint64_t;
 
-enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kAvx512Ifma = 3,
+};
+
+// The 52-bit-limb path needs every lazy intermediate (< 4q) below the
+// vpmadd52 product window (2^52), i.e. q < 2^50. The IFMA kernels check
+// q against this bound at runtime and delegate to the 64-bit AVX-512
+// bodies above it, so the table stays correct for the full q < 2^62
+// domain. CHAM's working moduli (34/34/38 bits) sit far below the bound.
+inline constexpr u64 kIfmaQBound = 1ULL << 50;
 
 struct Kernels {
   // --- element-wise mod-q ops (operands < q) ---
@@ -70,6 +94,24 @@ struct Kernels {
   // y[j] = (u + 2q - v)·nw, both fully reduced (< q).
   void (*ntt_inv_last)(u64* x, u64* y, std::size_t count, u64 ninv_op,
                        u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q);
+  // Fused final forward double pass: stage (n/4, t=2) then stage
+  // (n/2, t=1), followed by the full correction to [0, q). Block b of
+  // four coefficients a[4b..4b+4) uses twiddle wa[b] for the stride-2
+  // stage and wb[2b], wb[2b+1] for the stride-1 stage; wa/wb are SoA
+  // planes of the bit-reversed root powers offset by n/4 and n/2.
+  // Strides here are below the vector width, so the vector backends use
+  // in-register lane shuffles instead of scalar fallback. n must be a
+  // multiple of 4; inputs in [0, 4q), outputs fully reduced.
+  void (*ntt_fwd_tail)(u64* a, std::size_t n, const u64* wa_op,
+                       const u64* wa_quo, const u64* wb_op,
+                       const u64* wb_quo, u64 q);
+  // Fused first two inverse passes: stage t=1 (pair j uses w1[j]) then
+  // stage t=2 (quad b uses w2[b]); w1/w2 are the inverse twiddle planes
+  // offset by n/2 and n/4. n must be a multiple of 4; inputs and outputs
+  // in [0, 2q).
+  void (*ntt_inv_tail)(u64* a, std::size_t n, const u64* w1_op,
+                       const u64* w1_quo, const u64* w2_op,
+                       const u64* w2_quo, u64 q);
 
   // --- constant-geometry NTT stages (full reduction, nt/cg_ntt.cc) ---
   // One forward stage: for j in [0, half), with w = table[j & mask]:
@@ -109,8 +151,9 @@ struct Kernels {
 const Kernels& active();
 Level active_level();
 
-// Stable lowercase name ("scalar", "avx2", "avx512") — recorded in the
-// CHAM-BENCH lines so baselines are never compared across levels.
+// Stable lowercase name ("scalar", "avx2", "avx512", "avx512ifma") —
+// recorded in the CHAM-BENCH lines so baselines are never compared
+// across levels.
 const char* level_name(Level level);
 inline const char* level_name() { return level_name(active_level()); }
 
@@ -126,6 +169,16 @@ bool cpu_supports(Level level);
 
 // Parse a CHAM_SIMD_LEVEL value; returns false on unknown names.
 bool parse_level(const char* s, Level* out);
+
+// Resolve an explicit CHAM_SIMD_LEVEL request (`env`, may be null)
+// against what this build and CPU can run: returns the level to
+// dispatch. An unknown name or a level this CPU/build cannot execute
+// falls back to auto-detection; when that happens and `warning` is
+// non-null, it receives a one-line explanation (cleared when the request
+// was honoured or absent). Pure — reads no process state besides CPUID —
+// so tests can exercise the fallback paths without re-execing; dispatch
+// applies it once at startup and prints the warning to stderr.
+Level resolve_level(const char* env, std::string* warning);
 
 }  // namespace simd
 }  // namespace cham

@@ -19,6 +19,7 @@ namespace {
 struct Avx2 {
   using reg = __m256i;
   using mask = __m256i;  // lane-wide 0 / ~0
+  using ScalarRef = ScalarRef64;
   static constexpr std::size_t W = 4;
 
   static inline reg load(const u64* p) {
@@ -59,6 +60,15 @@ struct Avx2 {
                          _mm256_srli_epi64(mid, 32)));
   }
 
+  // 64-bit limbs: the loaded Shoup quotient is used as-is.
+  static inline reg prep_quo(reg quo) { return quo; }
+
+  // x·w mod q in [0, 2q): Harvey lazy product on the 64-bit quotient
+  // estimate. Valid for any 64-bit x (q < 2^62).
+  static inline reg shoup_lazy(reg x, reg op, reg quo, reg q) {
+    return sub(mullo(x, op), mullo(mulhi(x, quo), q));
+  }
+
   // Unsigned a > b via sign-bias: valid for the full 64-bit range.
   static inline mask gt(reg a, reg b) {
     const reg bias = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
@@ -83,6 +93,26 @@ struct Avx2 {
                                   idx, 8);
   }
   static inline reg reverse(reg v) { return _mm256_permute4x64_epi64(v, 0x1B); }
+
+  // Lane i <-> lane i^1: swap the u64 halves of each 128-bit lane.
+  static inline reg swap1(reg v) { return _mm256_shuffle_epi32(v, 0x4E); }
+  // Lane i <-> lane i^2: swap the two 128-bit halves.
+  static inline reg swap2(reg v) {
+    return _mm256_permute4x64_epi64(v, 0x4E);
+  }
+  // [p0,p0,p1,p1] from two contiguous values.
+  static inline reg rep2_load(const u64* p) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm256_permute4x64_epi64(_mm256_zextsi128_si256(v), 0x50);
+  }
+  // [p0,p0,p0,p0] from one value.
+  static inline reg rep4_load(const u64* p) { return set1(p[0]); }
+  static inline mask odd_mask() {
+    return _mm256_set_epi64x(-1, 0, -1, 0);
+  }
+  static inline mask hi2_mask() {
+    return _mm256_set_epi64x(-1, -1, 0, 0);
+  }
 
   static inline void interleave_store(u64* dst, reg lo, reg hi) {
     const reg ab = _mm256_unpacklo_epi64(lo, hi);  // l0 h0 l2 h2
@@ -125,6 +155,8 @@ const Kernels* avx2_table() {
       K::ntt_fwd_dit4,
       K::ntt_inv_bfly,
       K::ntt_inv_last,
+      K::ntt_fwd_tail,
+      K::ntt_inv_tail,
       K::cg_fwd_stage,
       K::cg_inv_stage,
       K::permute,

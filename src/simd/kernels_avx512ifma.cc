@@ -1,0 +1,194 @@
+// AVX-512-IFMA backend: 8 u64 lanes, 52-bit limbs. vpmadd52luq /
+// vpmadd52huq give a single-instruction 52x52-bit multiply-add, so the
+// Shoup product drops the four-instruction emulated 64-bit mulhi for
+// one madd52hi (quotient estimate) plus two madd52lo (low products).
+//
+// The Ifma traits inherit everything structural from the shared Avx512
+// body and override only the limb-width seam: prep_quo shifts the
+// loaded 64-bit Shoup quotients right by 12 (the identity
+// floor(quo64 / 2^12) = floor(w·2^52 / q) means no separate tables),
+// shoup_lazy runs on the 52-bit window, and loop tails route through
+// ScalarRef52 so tails stay bit-exact with the vector body.
+//
+// Domain: the 52-bit path needs q < kIfmaQBound (2^50) so that lazy
+// values < 4q fit the hardware's 52-bit operand mask. Every exported
+// kernel checks q once and falls back to the 64-bit VecKernels<Avx512>
+// instantiation in this TU otherwise, preserving the full q < 2^62
+// contract of the dispatch table.
+#include "simd/tables.h"
+
+#ifdef CHAM_SIMD_AVX512IFMA
+
+#include <immintrin.h>
+
+#include "simd/kernels_scalar.h"
+#include "simd/kernels_scalar52.h"
+
+namespace cham {
+namespace simd {
+
+namespace {
+
+#include "simd/traits_avx512.inl"
+
+struct Ifma : Avx512 {
+  using ScalarRef = ScalarRef52;
+
+  // quo52 = floor(w·2^52 / q) derived in-register from the 64-bit table.
+  static inline reg prep_quo(reg quo) { return _mm512_srli_epi64(quo, 12); }
+
+  // x·w mod q in [0, 2q) on 52-bit limbs: hi = floor(x·quo52 / 2^52),
+  // r = (x·w - hi·q) mod 2^52. Requires x < 2^52 and q < 2^50 (so
+  // r < 2q < 2^51 survives the mod-2^52 subtraction intact). The
+  // madd52 operands are hardware-masked to 52 bits.
+  static inline reg shoup_lazy(reg x, reg op, reg quo52, reg q) {
+    const reg zero = _mm512_setzero_si512();
+    const reg hi = _mm512_madd52hi_epu64(zero, x, quo52);
+    const reg r = _mm512_sub_epi64(_mm512_madd52lo_epu64(zero, x, op),
+                                   _mm512_madd52lo_epu64(zero, hi, q));
+    return _mm512_and_si512(r, set1((1ULL << 52) - 1));
+  }
+};
+
+}  // namespace
+
+}  // namespace simd
+}  // namespace cham
+
+#include "simd/kernels_vec.inl"
+
+namespace cham {
+namespace simd {
+
+namespace {
+
+using K52 = VecKernels<Ifma>;
+using K64 = VecKernels<Avx512>;
+
+// q-gate wrappers: 52-bit path when 4q fits the IFMA operand window,
+// 64-bit AVX-512 path (same TU, internal instantiation) otherwise.
+void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
+               std::size_t n, u64 q) {
+  (q < kIfmaQBound ? K52::mul_shoup : K64::mul_shoup)(x, w_op, w_quo, out,
+                                                      n, q);
+}
+
+void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                   u64* out, std::size_t n, u64 q) {
+  (q < kIfmaQBound ? K52::mul_shoup_acc : K64::mul_shoup_acc)(
+      x, w_op, w_quo, out, n, q);
+}
+
+void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                      std::size_t n, u64 q) {
+  (q < kIfmaQBound ? K52::mul_scalar_shoup : K64::mul_scalar_shoup)(
+      x, op, quo, out, n, q);
+}
+
+void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                          std::size_t n, u64 q) {
+  (q < kIfmaQBound ? K52::mul_scalar_shoup_acc : K64::mul_scalar_shoup_acc)(
+      x, op, quo, out, n, q);
+}
+
+void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::ntt_fwd_bfly : K64::ntt_fwd_bfly)(x, y, count,
+                                                            w_op, w_quo, q);
+}
+
+void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
+                  u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
+                  u64 wb1_op, u64 wb1_quo, u64 q) {
+  (q < kIfmaQBound ? K52::ntt_fwd_dit4 : K64::ntt_fwd_dit4)(
+      x0, x1, x2, x3, count, wa_op, wa_quo, wb0_op, wb0_quo, wb1_op,
+      wb1_quo, q);
+}
+
+void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::ntt_inv_bfly : K64::ntt_inv_bfly)(x, y, count,
+                                                            w_op, w_quo, q);
+}
+
+void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                  u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q) {
+  (q < kIfmaQBound ? K52::ntt_inv_last : K64::ntt_inv_last)(
+      x, y, count, ninv_op, ninv_quo, nw_op, nw_quo, q);
+}
+
+void ntt_fwd_tail(u64* a, std::size_t n, const u64* wa_op,
+                  const u64* wa_quo, const u64* wb_op, const u64* wb_quo,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::ntt_fwd_tail : K64::ntt_fwd_tail)(
+      a, n, wa_op, wa_quo, wb_op, wb_quo, q);
+}
+
+void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
+                  const u64* w1_quo, const u64* w2_op, const u64* w2_quo,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::ntt_inv_tail : K64::ntt_inv_tail)(
+      a, n, w1_op, w1_quo, w2_op, w2_quo, q);
+}
+
+void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::cg_fwd_stage : K64::cg_fwd_stage)(
+      src, dst, half, w_op, w_quo, mask, q);
+}
+
+void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q) {
+  (q < kIfmaQBound ? K52::cg_inv_stage : K64::cg_inv_stage)(
+      src, dst, half, w_op, w_quo, mask, q);
+}
+
+void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
+                   u64 pv, u64 q, u64 q_barrett, u64 pinv_op,
+                   u64 pinv_quo) {
+  (q < kIfmaQBound ? K52::rescale_round : K64::rescale_round)(
+      xl, xp, out, n, pv, q, q_barrett, pinv_op, pinv_quo);
+}
+
+}  // namespace
+
+const Kernels* avx512ifma_table() {
+  static const Kernels table = {
+      K64::add,
+      K64::sub,
+      K64::negate,
+      mul_shoup,
+      mul_shoup_acc,
+      mul_scalar_shoup,
+      mul_scalar_shoup_acc,
+      ntt_fwd_bfly,
+      ntt_fwd_dit4,
+      ntt_inv_bfly,
+      ntt_inv_last,
+      ntt_fwd_tail,
+      ntt_inv_tail,
+      cg_fwd_stage,
+      cg_inv_stage,
+      K64::permute,
+      K64::neg_rev,
+      rescale_round,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cham
+
+#else  // !CHAM_SIMD_AVX512IFMA
+
+namespace cham {
+namespace simd {
+
+const Kernels* avx512ifma_table() { return nullptr; }
+
+}  // namespace simd
+}  // namespace cham
+
+#endif

@@ -1,35 +1,15 @@
-#include "simd/kernels_scalar.h"
-
-#include "simd/tables.h"
+// 52-bit-limb scalar reference kernels (see kernels_scalar52.h).
+//
+// Each body is structurally identical to its 64-bit sibling in
+// kernels_scalar.cc — same correction points, same lazy ranges — with
+// every Shoup product routed through the 52-bit quotient estimate. Keep
+// the two files in lockstep: a structural divergence here silently
+// weakens the IFMA fuzz oracle.
+#include "simd/kernels_scalar52.h"
 
 namespace cham {
 namespace simd {
-namespace scalar {
-
-namespace {
-
-using u128 = unsigned __int128;
-
-}  // namespace
-
-void add(const u64* a, const u64* b, u64* out, std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 s = a[i] + b[i];
-    out[i] = s >= q ? s - q : s;
-  }
-}
-
-void sub(const u64* a, const u64* b, u64* out, std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + q - b[i];
-  }
-}
-
-void negate(const u64* a, u64* out, std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = a[i] == 0 ? 0 : q - a[i];
-  }
-}
+namespace scalar52 {
 
 void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
                std::size_t n, u64 q) {
@@ -168,7 +148,6 @@ void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
                   const u64* w1_quo, const u64* w2_op, const u64* w2_quo,
                   u64 q) {
   const u64 two_q = q << 1;
-  // Stage t == 1: adjacent pairs.
   for (std::size_t i = 0; i < n / 2; ++i) {
     u64* x = a + 2 * i;
     const u64 u = x[0];
@@ -178,7 +157,6 @@ void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
     x[0] = s;
     x[1] = shoup_mul_lazy(u + two_q - v, w1_op[i], w1_quo[i], q);
   }
-  // Stage t == 2: pairs at stride 2 within each quad.
   for (std::size_t i = 0; i < n / 4; ++i) {
     u64* x = a + 4 * i;
     const u64 u0 = x[0];
@@ -222,22 +200,6 @@ void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
   }
 }
 
-void permute(const u64* a, const u64* src_idx, const u64* flip, u64* out,
-             std::size_t n, u64 q) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 v = a[src_idx[i]];
-    out[i] = flip[i] ? (v == 0 ? 0 : q - v) : v;
-  }
-}
-
-void neg_rev(const u64* a, u64* out, std::size_t n, u64 q) {
-  out[0] = a[0];
-  for (std::size_t j = 1; j < n; ++j) {
-    const u64 v = a[n - j];
-    out[j] = v == 0 ? 0 : q - v;
-  }
-}
-
 void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
                    u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo) {
   const u64 half = pv >> 1;
@@ -245,9 +207,11 @@ void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
     const u64 r = xp[i];
     const bool up = r > half;
     u64 t = up ? pv - r : r;
-    // t mod q via the precomputed floor(2^64/q): the approximate quotient
-    // undershoots by < 2, so two conditional subtractions fully reduce.
-    const u64 qhat = static_cast<u64>((static_cast<u128>(t) * q_barrett) >> 64);
+    // Barrett reduction of t stays on the 64-bit path (it predates the
+    // Shoup multiply and doesn't touch the 52-bit window); only the
+    // final p^{-1} product changes limb semantics.
+    const u64 qhat = static_cast<u64>(
+        (static_cast<unsigned __int128>(t) * q_barrett) >> 64);
     t -= qhat * q;
     if (t >= q) t -= q;
     if (t >= q) t -= q;
@@ -262,28 +226,28 @@ void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
   }
 }
 
-}  // namespace scalar
+}  // namespace scalar52
 
-const Kernels* scalar_table() {
+const Kernels* scalar52_table() {
   static const Kernels table = {
       scalar::add,
       scalar::sub,
       scalar::negate,
-      scalar::mul_shoup,
-      scalar::mul_shoup_acc,
-      scalar::mul_scalar_shoup,
-      scalar::mul_scalar_shoup_acc,
-      scalar::ntt_fwd_bfly,
-      scalar::ntt_fwd_dit4,
-      scalar::ntt_inv_bfly,
-      scalar::ntt_inv_last,
-      scalar::ntt_fwd_tail,
-      scalar::ntt_inv_tail,
-      scalar::cg_fwd_stage,
-      scalar::cg_inv_stage,
+      scalar52::mul_shoup,
+      scalar52::mul_shoup_acc,
+      scalar52::mul_scalar_shoup,
+      scalar52::mul_scalar_shoup_acc,
+      scalar52::ntt_fwd_bfly,
+      scalar52::ntt_fwd_dit4,
+      scalar52::ntt_inv_bfly,
+      scalar52::ntt_inv_last,
+      scalar52::ntt_fwd_tail,
+      scalar52::ntt_inv_tail,
+      scalar52::cg_fwd_stage,
+      scalar52::cg_inv_stage,
       scalar::permute,
       scalar::neg_rev,
-      scalar::rescale_round,
+      scalar52::rescale_round,
   };
   return &table;
 }

@@ -1,0 +1,122 @@
+// Internal: the 52-bit-limb scalar reference for the AVX-512-IFMA
+// backend.
+//
+// vpmadd52luq/vpmadd52huq compute acc + low/high 52 bits of a 52x52-bit
+// product, so the IFMA Shoup multiply replaces the 64-bit quotient
+// estimate hi = floor(x·quo64 / 2^64) with hi52 = floor(x·quo52 / 2^52)
+// where quo52 = floor(w·2^52 / q). The two estimates can differ by one,
+// which shifts every Harvey-lazy intermediate by ±q — still inside the
+// documented lazy ranges and always congruent mod q, but no longer
+// bit-identical to the 64-bit scalar reference. This translation unit
+// reimplements every multiply-carrying kernel with the exact 52-bit limb
+// semantics (all products masked to 52 bits, quotient derived as
+// quo64 >> 12 — the identity floor(floor(w·2^64/q) / 2^12) =
+// floor(w·2^52/q) means no separate tables are needed), so the fuzz
+// suite can require the IFMA vector kernels to be bit-exact with THIS
+// reference, and the vector loop tails can run on it without breaking
+// that bit-exactness.
+//
+// Domain: q < kIfmaQBound (2^50) so lazy values < 4q < 2^52, and every
+// multiplicand x < 2^52 (the hardware masks operands to 52 bits).
+#pragma once
+
+#include "simd/kernels.h"
+#include "simd/kernels_scalar.h"
+
+namespace cham {
+namespace simd {
+namespace scalar52 {
+
+inline constexpr u64 kMask52 = (1ULL << 52) - 1;
+
+// acc + low/high 52 bits of (a mod 2^52)·(b mod 2^52): the scalar
+// mirrors of vpmadd52luq / vpmadd52huq (64-bit wraparound add).
+inline u64 madd52lo(u64 acc, u64 a, u64 b) {
+  return acc + (static_cast<u64>(static_cast<unsigned __int128>(a & kMask52) *
+                                 (b & kMask52)) &
+                kMask52);
+}
+inline u64 madd52hi(u64 acc, u64 a, u64 b) {
+  return acc + static_cast<u64>(
+                   (static_cast<unsigned __int128>(a & kMask52) *
+                    (b & kMask52)) >>
+                   52);
+}
+
+// x·w mod q in [0, 2q) via the 52-bit quotient estimate. Takes the
+// standard 64-bit Shoup quotient and derives quo52 = quo >> 12, exactly
+// like the vector backend's register-level prep. Requires x < 2^52 and
+// q < 2^50; the result r = x·w - hi52·q satisfies r < 2q < 2^51, so the
+// mod-2^52 subtraction recovers it exactly.
+inline u64 shoup_mul_lazy(u64 x, u64 op, u64 quo, u64 q) {
+  const u64 hi = madd52hi(0, x, quo >> 12);
+  return (madd52lo(0, x, op) - madd52lo(0, hi, q)) & kMask52;
+}
+
+inline u64 shoup_mul(u64 x, u64 op, u64 quo, u64 q) {
+  const u64 r = shoup_mul_lazy(x, op, quo, q);
+  return r >= q ? r - q : r;
+}
+
+void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
+               std::size_t n, u64 q);
+void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                   u64* out, std::size_t n, u64 q);
+void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                      std::size_t n, u64 q);
+void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                          std::size_t n, u64 q);
+void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
+                  u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
+                  u64 wb1_op, u64 wb1_quo, u64 q);
+void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                  u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q);
+void ntt_fwd_tail(u64* a, std::size_t n, const u64* wa_op,
+                  const u64* wa_quo, const u64* wb_op, const u64* wb_quo,
+                  u64 q);
+void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
+                  const u64* w1_quo, const u64* w2_op, const u64* w2_quo,
+                  u64 q);
+void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
+                   u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo);
+
+}  // namespace scalar52
+
+// Reference bundle for the IFMA traits (see ScalarRef64 in
+// kernels_scalar.h): multiply-free kernels keep the canonical scalar
+// implementations — their semantics don't depend on the limb width.
+struct ScalarRef52 {
+  static inline u64 shoup_mul(u64 x, u64 op, u64 quo, u64 q) {
+    return scalar52::shoup_mul(x, op, quo, q);
+  }
+  static constexpr auto mul_shoup = scalar52::mul_shoup;
+  static constexpr auto mul_shoup_acc = scalar52::mul_shoup_acc;
+  static constexpr auto mul_scalar_shoup = scalar52::mul_scalar_shoup;
+  static constexpr auto mul_scalar_shoup_acc = scalar52::mul_scalar_shoup_acc;
+  static constexpr auto ntt_fwd_bfly = scalar52::ntt_fwd_bfly;
+  static constexpr auto ntt_fwd_dit4 = scalar52::ntt_fwd_dit4;
+  static constexpr auto ntt_inv_bfly = scalar52::ntt_inv_bfly;
+  static constexpr auto ntt_inv_last = scalar52::ntt_inv_last;
+  static constexpr auto ntt_fwd_tail = scalar52::ntt_fwd_tail;
+  static constexpr auto ntt_inv_tail = scalar52::ntt_inv_tail;
+  static constexpr auto rescale_round = scalar52::rescale_round;
+};
+
+// Full kernel table over the 52-bit reference (multiply-free entries are
+// the canonical scalar ones). Not a dispatch level — the fuzz suite uses
+// it as the bit-exact oracle for the IFMA vector kernels, and as a
+// standalone subject for the 52-bit lazy-range invariant tests.
+const Kernels* scalar52_table();
+
+}  // namespace simd
+}  // namespace cham

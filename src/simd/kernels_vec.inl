@@ -1,8 +1,8 @@
-// Width-generic vector kernel bodies, shared by the AVX2 and AVX-512
-// translation units. Each backend defines a traits type V (register,
-// lane count W, and the primitive ops below) and instantiates
+// Width-generic vector kernel bodies, shared by the AVX2, AVX-512 and
+// AVX-512-IFMA translation units. Each backend defines a traits type V
+// (register, lane count W, and the primitive ops below) and instantiates
 // VecKernels<V>; everything algorithmic lives here exactly once so the
-// two ISAs cannot drift apart.
+// ISAs cannot drift apart.
 //
 // Required traits (all on vectors of W u64 lanes):
 //   reg  load(const u64*), void store(u64*, reg)   — unaligned ok
@@ -22,11 +22,33 @@
 //        — dst[0..2W) = lo0, hi0, lo1, hi1, ...
 //   void deinterleave_load(const u64* src, reg* even, reg* odd)
 //
-// Loop tails (count % W) always fall through to the scalar kernels, so
-// every kernel accepts arbitrary lengths.
+// Modular-multiply traits (the limb-width seam — the IFMA backend
+// overrides these three and inherits everything else):
+//   ScalarRef                — reference bundle whose limb semantics
+//        match the vector arithmetic (ScalarRef64 / ScalarRef52); all
+//        multiply-carrying loop tails run on it so tails stay bit-exact
+//        with the vector body
+//   reg  prep_quo(reg quo64) — per-register prep of the loaded 64-bit
+//        Shoup quotients (identity for 64-bit limbs, >> 12 for the
+//        52-bit path); applied once per load/broadcast
+//   reg  shoup_lazy(reg x, reg op, reg quo, reg q)
+//        — x·w mod q in [0, 2q) (Harvey lazy), quo already prepped
+//
+// Lane-shuffle traits (NTT tail stages, strides below the vector width):
+//   reg  swap1(reg), swap2(reg)   — exchange lane i with lane i^1 / i^2
+//   reg  rep2_load(const u64* p)  — [p0,p0,p1,p1,...]   (W/2 values x2)
+//   reg  rep4_load(const u64* p)  — [p0,p0,p0,p0,p1,...] (W/4 values x4)
+//   mask odd_mask(), hi2_mask()   — lanes with (i & 1) / (i & 2) set
+//
+// Loop tails (count % W) always fall through to the traits' ScalarRef,
+// so every kernel accepts arbitrary lengths.
 //
 // This file is internal to src/simd; it is an .inl on purpose (it is not
 // a standalone header and must only be included after kernels_scalar.h).
+// The traits types live in each TU's anonymous namespace, which gives
+// the VecKernels instantiations internal linkage — important because the
+// TUs are compiled with different -m flags, and a vague-linkage merge
+// across them could hand a non-IFMA CPU code compiled with -mavx512ifma.
 
 namespace cham {
 namespace simd {
@@ -34,18 +56,19 @@ namespace simd {
 template <typename V>
 struct VecKernels {
   using reg = typename V::reg;
+  using S = typename V::ScalarRef;
   static constexpr std::size_t W = V::W;
 
   // a (mod-2^64) conditionally reduced by m: a >= m ? a - m : a.
   // umin picks the subtracted value exactly when it did not wrap.
   static inline reg csub(reg a, reg m) { return V::umin(a, V::sub(a, m)); }
 
-  // x·w mod q in [0, 2q) (Harvey lazy Shoup product).
+  // x·w mod q in [0, 2q) (Harvey lazy Shoup product); quo prepped.
   static inline reg shoup_lazy(reg x, reg op, reg quo, reg q) {
-    return V::sub(V::mullo(x, op), V::mullo(V::mulhi(x, quo), q));
+    return V::shoup_lazy(x, op, quo, q);
   }
 
-  // x·w mod q fully reduced, any 64-bit x.
+  // x·w mod q fully reduced.
   static inline reg shoup_full(reg x, reg op, reg quo, reg q) {
     return csub(shoup_lazy(x, op, quo, q), q);
   }
@@ -93,17 +116,17 @@ struct VecKernels {
     // mulhi/mullo latency on cores with a single wide-multiply port.
     for (; i + 2 * W <= n; i += 2 * W) {
       const reg r0 = shoup_full(V::load(x + i), V::load(w_op + i),
-                                V::load(w_quo + i), vq);
+                                V::prep_quo(V::load(w_quo + i)), vq);
       const reg r1 = shoup_full(V::load(x + i + W), V::load(w_op + i + W),
-                                V::load(w_quo + i + W), vq);
+                                V::prep_quo(V::load(w_quo + i + W)), vq);
       V::store(out + i, r0);
       V::store(out + i + W, r1);
     }
     for (; i + W <= n; i += W) {
       V::store(out + i, shoup_full(V::load(x + i), V::load(w_op + i),
-                                   V::load(w_quo + i), vq));
+                                   V::prep_quo(V::load(w_quo + i)), vq));
     }
-    scalar::mul_shoup(x + i, w_op + i, w_quo + i, out + i, n - i, q);
+    S::mul_shoup(x + i, w_op + i, w_quo + i, out + i, n - i, q);
   }
 
   static void mul_shoup_acc(const u64* x, const u64* w_op,
@@ -113,35 +136,35 @@ struct VecKernels {
     std::size_t i = 0;
     for (; i + W <= n; i += W) {
       const reg r = shoup_full(V::load(x + i), V::load(w_op + i),
-                               V::load(w_quo + i), vq);
+                               V::prep_quo(V::load(w_quo + i)), vq);
       V::store(out + i, csub(V::add(V::load(out + i), r), vq));
     }
-    scalar::mul_shoup_acc(x + i, w_op + i, w_quo + i, out + i, n - i, q);
+    S::mul_shoup_acc(x + i, w_op + i, w_quo + i, out + i, n - i, q);
   }
 
   static void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
                                std::size_t n, u64 q) {
     const reg vq = V::set1(q);
     const reg vop = V::set1(op);
-    const reg vquo = V::set1(quo);
+    const reg vquo = V::prep_quo(V::set1(quo));
     std::size_t i = 0;
     for (; i + W <= n; i += W) {
       V::store(out + i, shoup_full(V::load(x + i), vop, vquo, vq));
     }
-    scalar::mul_scalar_shoup(x + i, op, quo, out + i, n - i, q);
+    S::mul_scalar_shoup(x + i, op, quo, out + i, n - i, q);
   }
 
   static void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
                                    std::size_t n, u64 q) {
     const reg vq = V::set1(q);
     const reg vop = V::set1(op);
-    const reg vquo = V::set1(quo);
+    const reg vquo = V::prep_quo(V::set1(quo));
     std::size_t i = 0;
     for (; i + W <= n; i += W) {
       const reg r = shoup_full(V::load(x + i), vop, vquo, vq);
       V::store(out + i, csub(V::add(V::load(out + i), r), vq));
     }
-    scalar::mul_scalar_shoup_acc(x + i, op, quo, out + i, n - i, q);
+    S::mul_scalar_shoup_acc(x + i, op, quo, out + i, n - i, q);
   }
 
   static void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op,
@@ -149,7 +172,7 @@ struct VecKernels {
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg vop = V::set1(w_op);
-    const reg vquo = V::set1(w_quo);
+    const reg vquo = V::prep_quo(V::set1(w_quo));
     std::size_t j = 0;
     // 2x unroll: two independent butterfly chains hide the Shoup
     // multiply latency (see mul_shoup).
@@ -169,7 +192,7 @@ struct VecKernels {
       V::store(x + j, V::add(u, v));
       V::store(y + j, V::add(u, V::sub(v2q, v)));
     }
-    scalar::ntt_fwd_bfly(x + j, y + j, count - j, w_op, w_quo, q);
+    S::ntt_fwd_bfly(x + j, y + j, count - j, w_op, w_quo, q);
   }
 
   static void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3,
@@ -179,11 +202,11 @@ struct VecKernels {
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg va_op = V::set1(wa_op);
-    const reg va_quo = V::set1(wa_quo);
+    const reg va_quo = V::prep_quo(V::set1(wa_quo));
     const reg vb0_op = V::set1(wb0_op);
-    const reg vb0_quo = V::set1(wb0_quo);
+    const reg vb0_quo = V::prep_quo(V::set1(wb0_quo));
     const reg vb1_op = V::set1(wb1_op);
-    const reg vb1_quo = V::set1(wb1_quo);
+    const reg vb1_quo = V::prep_quo(V::set1(wb1_quo));
     std::size_t j = 0;
     for (; j + W <= count; j += W) {
       const reg a0 = csub(V::load(x0 + j), v2q);
@@ -201,8 +224,8 @@ struct VecKernels {
       V::store(x2 + j, V::add(b2, c3));
       V::store(x3 + j, V::add(b2, V::sub(v2q, c3)));
     }
-    scalar::ntt_fwd_dit4(x0 + j, x1 + j, x2 + j, x3 + j, count - j, wa_op,
-                         wa_quo, wb0_op, wb0_quo, wb1_op, wb1_quo, q);
+    S::ntt_fwd_dit4(x0 + j, x1 + j, x2 + j, x3 + j, count - j, wa_op,
+                    wa_quo, wb0_op, wb0_quo, wb1_op, wb1_quo, q);
   }
 
   static void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op,
@@ -210,7 +233,7 @@ struct VecKernels {
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg vop = V::set1(w_op);
-    const reg vquo = V::set1(w_quo);
+    const reg vquo = V::prep_quo(V::set1(w_quo));
     std::size_t j = 0;
     // 2x unroll: two independent butterfly chains hide the Shoup
     // multiply latency (see mul_shoup).
@@ -233,7 +256,7 @@ struct VecKernels {
       V::store(y + j,
                shoup_lazy(V::add(u, V::sub(v2q, v)), vop, vquo, vq));
     }
-    scalar::ntt_inv_bfly(x + j, y + j, count - j, w_op, w_quo, q);
+    S::ntt_inv_bfly(x + j, y + j, count - j, w_op, w_quo, q);
   }
 
   static void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
@@ -241,9 +264,9 @@ struct VecKernels {
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg vn_op = V::set1(ninv_op);
-    const reg vn_quo = V::set1(ninv_quo);
+    const reg vn_quo = V::prep_quo(V::set1(ninv_quo));
     const reg vw_op = V::set1(nw_op);
-    const reg vw_quo = V::set1(nw_quo);
+    const reg vw_quo = V::prep_quo(V::set1(nw_quo));
     std::size_t j = 0;
     for (; j + W <= count; j += W) {
       const reg u = V::load(x + j);
@@ -252,8 +275,83 @@ struct VecKernels {
       V::store(y + j,
                shoup_full(V::add(u, V::sub(v2q, v)), vw_op, vw_quo, vq));
     }
-    scalar::ntt_inv_last(x + j, y + j, count - j, ninv_op, ninv_quo, nw_op,
-                         nw_quo, q);
+    S::ntt_inv_last(x + j, y + j, count - j, ninv_op, ninv_quo, nw_op,
+                    nw_quo, q);
+  }
+
+  // Fused final forward double pass (strides 2 then 1, full correction):
+  // every butterfly partner sits inside the same register, so the stage
+  // runs on lane swaps and masked blends instead of scalar fallback.
+  // Redundant lanes of the lazy products (a multiply is only meaningful
+  // on half the lanes) are computed and discarded; their operands stay
+  // inside the documented [0, 4q) domain, so no spurious overflow.
+  static void ntt_fwd_tail(u64* a, std::size_t n, const u64* wa_op,
+                           const u64* wa_quo, const u64* wb_op,
+                           const u64* wb_quo, u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const auto modd = V::odd_mask();
+    const auto mhi2 = V::hi2_mask();
+    std::size_t j = 0;
+    for (; j + W <= n; j += W) {
+      const reg x = V::load(a + j);
+      const reg va_op = V::rep4_load(wa_op + j / 4);
+      const reg va_quo = V::prep_quo(V::rep4_load(wa_quo + j / 4));
+      const reg vb_op = V::rep2_load(wb_op + j / 2);
+      const reg vb_quo = V::prep_quo(V::rep2_load(wb_quo + j / 2));
+      // Stage A (stride 2): partners are lanes i and i^2. Per quad
+      // [x0,x1,x2,x3]: u = [a0,a1,a0,a1], m = [m2,m3,m2,m3], and the
+      // lower/upper halves add m / 2q-m respectively.
+      const reg corr = csub(x, v2q);
+      const reg mla = shoup_lazy(x, va_op, va_quo, vq);
+      const reg u = V::blend(mhi2, V::swap2(corr), corr);
+      const reg mv = V::blend(mhi2, mla, V::swap2(mla));
+      reg b = V::add(u, V::blend(mhi2, V::sub(v2q, mv), mv));
+      // The scalar reference corrects b0/b2 (even lanes) only.
+      b = V::blend(modd, b, csub(b, v2q));
+      // Stage B (stride 1): partners are lanes i and i^1.
+      const reg c = shoup_lazy(b, vb_op, vb_quo, vq);
+      const reg u2 = V::blend(modd, V::swap1(b), b);
+      const reg cv = V::blend(modd, c, V::swap1(c));
+      reg o = V::add(u2, V::blend(modd, V::sub(v2q, cv), cv));
+      o = csub(csub(o, v2q), vq);
+      V::store(a + j, o);
+    }
+    S::ntt_fwd_tail(a + j, n - j, wa_op + j / 4, wa_quo + j / 4,
+                    wb_op + j / 2, wb_quo + j / 2, q);
+  }
+
+  // Fused first two inverse passes (strides 1 then 2), in-register.
+  static void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
+                           const u64* w1_quo, const u64* w2_op,
+                           const u64* w2_quo, u64 q) {
+    const reg vq = V::set1(q);
+    const reg v2q = V::set1(q << 1);
+    const auto modd = V::odd_mask();
+    const auto mhi2 = V::hi2_mask();
+    std::size_t j = 0;
+    for (; j + W <= n; j += W) {
+      const reg x = V::load(a + j);
+      const reg v1_op = V::rep2_load(w1_op + j / 2);
+      const reg v1_quo = V::prep_quo(V::rep2_load(w1_quo + j / 2));
+      const reg v2_op = V::rep4_load(w2_op + j / 4);
+      const reg v2_quo = V::prep_quo(V::rep4_load(w2_quo + j / 4));
+      // Stage t == 1: pair (2i, 2i+1) — sum lands on the even lane, the
+      // lazy twiddled difference on the odd lane.
+      reg sw = V::swap1(x);
+      reg s = csub(V::add(x, sw), v2q);
+      reg d = V::add(V::blend(modd, sw, x),
+                     V::sub(v2q, V::blend(modd, x, sw)));
+      reg r = V::blend(modd, shoup_lazy(d, v1_op, v1_quo, vq), s);
+      // Stage t == 2: partners are lanes i and i^2 within each quad.
+      sw = V::swap2(r);
+      s = csub(V::add(r, sw), v2q);
+      d = V::add(V::blend(mhi2, sw, r), V::sub(v2q, V::blend(mhi2, r, sw)));
+      r = V::blend(mhi2, shoup_lazy(d, v2_op, v2_quo, vq), s);
+      V::store(a + j, r);
+    }
+    S::ntt_inv_tail(a + j, n - j, w1_op + j / 2, w1_quo + j / 2,
+                    w2_op + j / 4, w2_quo + j / 4, q);
   }
 
   // Twiddle vector for the constant-geometry stages: table index is
@@ -274,11 +372,13 @@ struct VecKernels {
       }
     }
     const reg rep_op = V::load(period < W ? pat_op : w_op);
-    const reg rep_quo = V::load(period < W ? pat_quo : w_quo);
+    const reg rep_quo = V::prep_quo(V::load(period < W ? pat_quo : w_quo));
     std::size_t j = 0;
     for (; j + W <= half; j += W) {
       const reg op = period < W ? rep_op : V::load(w_op + (j & mask));
-      const reg quo = period < W ? rep_quo : V::load(w_quo + (j & mask));
+      const reg quo = period < W
+                          ? rep_quo
+                          : V::prep_quo(V::load(w_quo + (j & mask)));
       const reg x = V::load(src + j);
       const reg y = shoup_full(V::load(src + j + half), op, quo, vq);
       const reg sum = csub(V::add(x, y), vq);
@@ -288,14 +388,10 @@ struct VecKernels {
     for (; j < half; ++j) {
       const std::size_t w = j & mask;
       const u64 x = src[j];
-      const u64 y = src[j + half];
-      const u64 hi =
-          static_cast<u64>((static_cast<unsigned __int128>(y) * w_quo[w]) >> 64);
-      u64 m = y * w_op[w] - hi * q;
-      m = m >= q ? m - q : m;
-      const u64 sum = x + m;
+      const u64 y = S::shoup_mul(src[j + half], w_op[w], w_quo[w], q);
+      const u64 sum = x + y;
       dst[2 * j] = sum >= q ? sum - q : sum;
-      dst[2 * j + 1] = x >= m ? x - m : x + q - m;
+      dst[2 * j + 1] = x >= y ? x - y : x + q - y;
     }
   }
 
@@ -312,11 +408,13 @@ struct VecKernels {
       }
     }
     const reg rep_op = V::load(period < W ? pat_op : w_op);
-    const reg rep_quo = V::load(period < W ? pat_quo : w_quo);
+    const reg rep_quo = V::prep_quo(V::load(period < W ? pat_quo : w_quo));
     std::size_t j = 0;
     for (; j + W <= half; j += W) {
       const reg op = period < W ? rep_op : V::load(w_op + (j & mask));
-      const reg quo = period < W ? rep_quo : V::load(w_quo + (j & mask));
+      const reg quo = period < W
+                          ? rep_quo
+                          : V::prep_quo(V::load(w_quo + (j & mask)));
       reg u, v;
       V::deinterleave_load(src + 2 * j, &u, &v);
       V::store(dst + j, csub(V::add(u, v), vq));
@@ -329,11 +427,7 @@ struct VecKernels {
       const u64 v = src[2 * j + 1];
       const u64 sum = u + v;
       dst[j] = sum >= q ? sum - q : sum;
-      const u64 d = u + q - v;
-      const u64 hi =
-          static_cast<u64>((static_cast<unsigned __int128>(d) * w_quo[w]) >> 64);
-      u64 r = d * w_op[w] - hi * q;
-      dst[j + half] = r >= q ? r - q : r;
+      dst[j + half] = S::shoup_mul(u + q - v, w_op[w], w_quo[w], q);
     }
   }
 
@@ -374,13 +468,14 @@ struct VecKernels {
     const reg vhalf = V::set1(pv >> 1);
     const reg vbar = V::set1(q_barrett);
     const reg vp_op = V::set1(pinv_op);
-    const reg vp_quo = V::set1(pinv_quo);
+    const reg vp_quo = V::prep_quo(V::set1(pinv_quo));
     std::size_t i = 0;
     for (; i + W <= n; i += W) {
       const reg r = V::load(xp + i);
       const auto up = V::gt(r, vhalf);
       reg t = V::blend(up, V::sub(vpv, r), r);
-      // t mod q: approximate quotient undershoots by < 2.
+      // t mod q: approximate quotient undershoots by < 2. This Barrett
+      // step always runs on the 64-bit mulhi, regardless of limb width.
       t = V::sub(t, V::mullo(V::mulhi(t, vbar), vq));
       t = csub(csub(t, vq), vq);
       const reg x = V::load(xl + i);
@@ -389,8 +484,8 @@ struct VecKernels {
       const reg diff = V::blend(up, sum, dif);
       V::store(out + i, shoup_full(diff, vp_op, vp_quo, vq));
     }
-    scalar::rescale_round(xl + i, xp + i, out + i, n - i, pv, q, q_barrett,
-                          pinv_op, pinv_quo);
+    S::rescale_round(xl + i, xp + i, out + i, n - i, pv, q, q_barrett,
+                     pinv_op, pinv_quo);
   }
 };
 

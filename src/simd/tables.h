@@ -12,6 +12,7 @@ namespace simd {
 const Kernels* scalar_table();
 const Kernels* avx2_table();
 const Kernels* avx512_table();
+const Kernels* avx512ifma_table();
 
 }  // namespace simd
 }  // namespace cham

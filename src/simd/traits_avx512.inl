@@ -1,0 +1,116 @@
+// AVX-512 traits body, shared by the avx512 and avx512ifma translation
+// units. Include this INSIDE an anonymous namespace in cham::simd — the
+// two TUs are compiled with different -m flags, and internal linkage is
+// what keeps their VecKernels instantiations from being merged by the
+// linker (a merge could hand a non-IFMA CPU code compiled with
+// -mavx512ifma).
+//
+// 8 u64 lanes. Requires F (512-bit integer ops, gathers, mask registers)
+// and DQ (native 64-bit mullo). Unsigned compares, min, and lane
+// permutes are native, so unlike AVX2 nothing is emulated except mulhi,
+// which still composes four 32x32 products.
+
+struct Avx512 {
+  using reg = __m512i;
+  using mask = __mmask8;
+  using ScalarRef = ScalarRef64;
+  static constexpr std::size_t W = 8;
+
+  static inline reg load(const u64* p) { return _mm512_loadu_si512(p); }
+  static inline void store(u64* p, reg v) { _mm512_storeu_si512(p, v); }
+  static inline reg set1(u64 x) {
+    return _mm512_set1_epi64(static_cast<long long>(x));
+  }
+  static inline reg add(reg a, reg b) { return _mm512_add_epi64(a, b); }
+  static inline reg sub(reg a, reg b) { return _mm512_sub_epi64(a, b); }
+  static inline reg mullo(reg a, reg b) { return _mm512_mullo_epi64(a, b); }
+
+  static inline reg mulhi(reg a, reg b) {
+    const reg a_hi = _mm512_srli_epi64(a, 32);
+    const reg b_hi = _mm512_srli_epi64(b, 32);
+    const reg ll = _mm512_mul_epu32(a, b);
+    const reg lh = _mm512_mul_epu32(a, b_hi);
+    const reg hl = _mm512_mul_epu32(a_hi, b);
+    const reg hh = _mm512_mul_epu32(a_hi, b_hi);
+    const reg m32 = _mm512_set1_epi64(0xFFFFFFFFll);
+    const reg mid = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32), _mm512_and_si512(lh, m32)),
+        _mm512_and_si512(hl, m32));
+    return _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(hl, 32),
+                         _mm512_srli_epi64(mid, 32)));
+  }
+
+  // 64-bit limbs: the loaded Shoup quotient is used as-is.
+  static inline reg prep_quo(reg quo) { return quo; }
+
+  // x·w mod q in [0, 2q): Harvey lazy product on the 64-bit quotient
+  // estimate. Valid for any 64-bit x (q < 2^62).
+  static inline reg shoup_lazy(reg x, reg op, reg quo, reg q) {
+    return sub(mullo(x, op), mullo(mulhi(x, quo), q));
+  }
+
+  static inline mask gt(reg a, reg b) {
+    return _mm512_cmpgt_epu64_mask(a, b);
+  }
+  static inline reg umin(reg a, reg b) { return _mm512_min_epu64(a, b); }
+  static inline mask eq0(reg v) {
+    return _mm512_cmpeq_epi64_mask(v, _mm512_setzero_si512());
+  }
+  static inline reg blend(mask m, reg t, reg f) {
+    return _mm512_mask_blend_epi64(m, f, t);
+  }
+  static inline reg band(reg a, reg b) { return _mm512_and_si512(a, b); }
+  static inline reg bor(reg a, reg b) { return _mm512_or_si512(a, b); }
+  static inline reg bandn(reg m, reg v) { return _mm512_andnot_si512(m, v); }
+
+  static inline reg gather(const u64* base, reg idx) {
+    return _mm512_i64gather_epi64(idx, base, 8);
+  }
+  static inline reg reverse(reg v) {
+    const reg rev = _mm512_set_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+    return _mm512_permutexvar_epi64(rev, v);
+  }
+
+  // Lane i <-> lane i^1: the two u64 halves of each 128-bit lane swap,
+  // expressed as a 32-bit in-lane shuffle (cheap, port-5 only).
+  static inline reg swap1(reg v) {
+    return _mm512_shuffle_epi32(v, _MM_PERM_BADC);
+  }
+  // Lane i <-> lane i^2: swap the u64 pairs within each 256-bit half.
+  static inline reg swap2(reg v) {
+    return _mm512_permutex_epi64(v, 0x4E);
+  }
+  // [p0,p0,p1,p1,p2,p2,p3,p3] from four contiguous values.
+  static inline reg rep2_load(const u64* p) {
+    const reg idx = _mm512_set_epi64(3, 3, 2, 2, 1, 1, 0, 0);
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    return _mm512_permutexvar_epi64(idx, _mm512_zextsi256_si512(v));
+  }
+  // [p0,p0,p0,p0,p1,p1,p1,p1] from two contiguous values.
+  static inline reg rep4_load(const u64* p) {
+    const reg idx = _mm512_set_epi64(1, 1, 1, 1, 0, 0, 0, 0);
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm512_permutexvar_epi64(idx, _mm512_zextsi128_si512(v));
+  }
+  static inline mask odd_mask() { return 0xAA; }
+  static inline mask hi2_mask() { return 0xCC; }
+
+  static inline void interleave_store(u64* dst, reg lo, reg hi) {
+    const reg idx_lo = _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);
+    const reg idx_hi = _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);
+    store(dst, _mm512_permutex2var_epi64(lo, idx_lo, hi));
+    store(dst + 8, _mm512_permutex2var_epi64(lo, idx_hi, hi));
+  }
+
+  static inline void deinterleave_load(const u64* src, reg* even, reg* odd) {
+    const reg v0 = load(src);
+    const reg v1 = load(src + 8);
+    const reg idx_e = _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+    const reg idx_o = _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+    *even = _mm512_permutex2var_epi64(v0, idx_e, v1);
+    *odd = _mm512_permutex2var_epi64(v0, idx_o, v1);
+  }
+};

@@ -1,0 +1,141 @@
+// Tests for the 64-byte-aligned polynomial storage and for concurrent
+// first-touch of the Evaluator's AutomorphTable cache. The TSan CI job
+// builds this binary, so the cache test doubles as a data-race check on
+// the shared_mutex-guarded lazy initialisation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "common/random.h"
+#include "simd/aligned.h"
+
+namespace cham {
+namespace {
+
+bool is_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % simd::kAlignment == 0;
+}
+
+TEST(AlignedVecTest, AllocationsAreCacheLineAligned) {
+  // Sizes around the alignment granule (64 bytes = 8 u64) — small
+  // allocations must not fall back to a less-aligned fast path.
+  for (std::size_t n : {1u, 7u, 8u, 9u, 64u, 1000u, 4096u}) {
+    simd::AlignedU64Vec v(n, 42);
+    EXPECT_TRUE(is_aligned(v.data())) << "n=" << n;
+    EXPECT_EQ(v.size(), n);
+  }
+}
+
+TEST(AlignedVecTest, GrowthReallocatesAligned) {
+  simd::AlignedU64Vec v;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    v.push_back(i);
+    ASSERT_TRUE(is_aligned(v.data())) << "after push " << i;
+  }
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  v.resize(5000, 7);
+  EXPECT_TRUE(is_aligned(v.data()));
+  EXPECT_EQ(v[999], 999u);
+  EXPECT_EQ(v[4999], 7u);
+}
+
+TEST(AlignedVecTest, CopyIsDeepAndAligned) {
+  simd::AlignedU64Vec a(257);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i * 3;
+  simd::AlignedU64Vec b = a;
+  EXPECT_TRUE(is_aligned(b.data()));
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a, b);
+  b[0] = 99;
+  EXPECT_EQ(a[0], 0u) << "copy must not alias";
+}
+
+TEST(AlignedVecTest, MoveStealsStorage) {
+  simd::AlignedU64Vec a(257, 5);
+  const u64* p = a.data();
+  simd::AlignedU64Vec b = std::move(a);
+  // The allocator is stateless, so vector move must transfer the buffer
+  // rather than reallocate — pointer identity is part of the contract
+  // RnsPoly relies on for cheap moves.
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 257u);
+  EXPECT_EQ(b[0], 5u);
+  a = std::move(b);
+  EXPECT_EQ(a.data(), p);
+}
+
+TEST(AlignedVecTest, ConvertsBetweenInstantiations) {
+  // The allocator is stateless: all instances compare equal, so
+  // container swaps and cross-instantiation rebinding are safe.
+  EXPECT_TRUE(simd::AlignedAllocator<u64>{} == simd::AlignedAllocator<u64>{});
+  simd::AlignedVec<double> d(16, 1.5);
+  EXPECT_TRUE(is_aligned(d.data()));
+}
+
+// Hammer the Evaluator's lazily-populated AutomorphTable cache from
+// several threads whose first touches of each Galois element race: every
+// thread must see a table equivalent to the serial result (shared_ptr
+// identity may differ only until the first insert wins), and TSan must
+// see no race on the map or the published tables.
+TEST(AutomorphCacheTest, ConcurrentFirstTouchIsRaceFreeAndCorrect) {
+  const std::size_t n = 64;
+  Rng rng(2024);
+  auto ctx = BfvContext::create(BfvParams::test(n));
+  KeyGenerator keygen(ctx, rng);
+  auto pk = keygen.make_public_key();
+  const std::vector<u64> elems = {3, 5, 9, 2 * n - 1};
+  auto gk = keygen.make_galois_keys(0, elems);
+  Encryptor enc(ctx, &pk, nullptr, rng);
+  Decryptor dec(ctx, keygen.secret_key());
+  CoeffEncoder encoder(ctx);
+
+  std::vector<u64> m(n);
+  for (std::size_t i = 0; i < n; ++i) m[i] = (i * 31 + 7) % ctx->params().t;
+  const Ciphertext ct =
+      Evaluator(ctx).rescale(enc.encrypt(encoder.encode_vector(m)));
+
+  // Serial reference on a private evaluator (its own cold cache).
+  std::vector<std::vector<u64>> want;
+  {
+    Evaluator serial(ctx);
+    for (u64 k : elems) {
+      want.push_back(dec.decrypt(serial.apply_galois(ct, k, gk)).coeffs);
+    }
+  }
+
+  // Shared evaluator: all threads start cold and race the first touch of
+  // every element, in different orders so no element has a fixed winner.
+  Evaluator shared(ctx);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::vector<u64>>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      got[t].resize(elems.size());
+      for (std::size_t i = 0; i < elems.size(); ++i) {
+        const std::size_t idx = (i + static_cast<std::size_t>(t)) % elems.size();
+        got[t][idx] =
+            dec.decrypt(shared.apply_galois(ct, elems[idx], gk)).coeffs;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      EXPECT_EQ(got[t][i], want[i])
+          << "thread " << t << " element " << elems[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,22 +1,34 @@
 // Differential fuzz of the vector kernel backends against the portable
 // scalar table: every kernel, every compiled-and-runnable level, the
 // paper's three moduli plus a 61-bit prime that stresses the AVX2
-// sign-bias compares, and span lengths chosen to exercise both the
-// vector body and the scalar tail (lengths not divisible by any lane
-// width). Also checks the Harvey lazy-reduction range invariants the NTT
-// sweeps rely on, and that full transforms are bit-identical across
-// tables.
+// sign-bias compares (and the IFMA q-gate), and span lengths chosen to
+// exercise both the vector body and the scalar tail (lengths not
+// divisible by any lane width). Also checks the Harvey lazy-reduction
+// range invariants the NTT sweeps rely on, and that full transforms are
+// bit-identical across tables.
+//
+// Oracle selection: kernels whose outputs are fully reduced produce the
+// canonical representative and must be bit-exact with the 64-bit scalar
+// table at EVERY level. Kernels that return Harvey-lazy values are
+// bit-exact with the reference sharing their limb semantics — the
+// 64-bit scalar table for scalar/avx2/avx512, the 52-bit scalar52 table
+// for avx512ifma below the q-gate (whose quotient estimate can differ by
+// one, shifting lazy representatives by q) — and additionally must agree
+// with the 64-bit scalar table modulo q.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "nt/cg_ntt.h"
 #include "nt/modulus.h"
 #include "nt/ntt.h"
+#include "obs/metrics.h"
 #include "ring/poly_ops.h"
 #include "simd/kernels.h"
+#include "simd/kernels_scalar52.h"
 
 namespace cham {
 namespace {
@@ -26,7 +38,8 @@ using simd::Level;
 
 // Paper working moduli (Table II) + a 61-bit prime: values with the top
 // bit of the 62-bit budget set catch backends that compare or reduce
-// with signed arithmetic.
+// with signed arithmetic, and sit above kIfmaQBound so they exercise the
+// IFMA table's 64-bit delegation path.
 constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
 constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
 constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
@@ -38,9 +51,14 @@ const u64 kModuli[] = {kQ0, kQ1, kP, kQbig};
 // nonzero tail for every width, plus a pow2 transform size.
 const std::size_t kLengths[] = {1, 3, 4, 5, 7, 8, 9, 15, 30, 256, 1001};
 
+// Tail-kernel spans: multiples of 4 (the radix-4 block size), straddling
+// the 4- and 8-lane widths and leaving every possible vector-loop tail.
+const std::size_t kQuadLengths[] = {4, 8, 12, 16, 20, 36, 64, 100, 256};
+
 std::vector<Level> compiled_levels() {
   std::vector<Level> levels;
-  for (Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+  for (Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512,
+                  Level::kAvx512Ifma}) {
     if (simd::table_for(l) != nullptr) levels.push_back(l);
   }
   return levels;
@@ -60,6 +78,33 @@ class KernelsFuzzTest : public ::testing::TestWithParam<Level> {
  protected:
   const Kernels& k() const { return *simd::table_for(GetParam()); }
   const Kernels& ref() const { return *simd::table_for(Level::kScalar); }
+
+  // True when the level under test runs 52-bit limbs for this modulus.
+  bool ifma52(u64 q) const {
+    return GetParam() == Level::kAvx512Ifma && q < simd::kIfmaQBound;
+  }
+  // Reference with the same limb semantics as the level under test:
+  // lazy (not fully reduced) outputs are bit-exact only against this.
+  const Kernels& lazy_ref(u64 q) const {
+    return ifma52(q) ? *simd::scalar52_table() : ref();
+  }
+  // Largest admissible Shoup multiplicand: the 52-bit product window
+  // narrows the "any 64-bit x" contract at the IFMA level.
+  u64 max_x(u64 q) const {
+    return ifma52(q) ? (1ULL << 52) - 1 : ~u64{0};
+  }
+
+  // got must equal want64 modulo q (lazy representatives may differ by a
+  // multiple of q across limb widths).
+  static void ExpectCongruent(const std::vector<u64>& got,
+                              const std::vector<u64>& want64, u64 q,
+                              const char* what) {
+    ASSERT_EQ(got.size(), want64.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(got[j] % q, want64[j] % q)
+          << what << " diverged mod q at j=" << j << " q=" << q;
+    }
+  }
 };
 
 TEST_P(KernelsFuzzTest, ElementwiseOpsMatchScalar) {
@@ -89,10 +134,14 @@ TEST_P(KernelsFuzzTest, ShoupProductsMatchScalar) {
   Rng rng(0x51D0002);
   for (u64 q : kModuli) {
     for (std::size_t n : kLengths) {
-      // The Shoup product contract covers ANY 64-bit x, not just x < q:
-      // feed full-range values on top of reduced ones.
+      // The Shoup product contract covers ANY x up to the level's domain
+      // bound (full 64-bit range, or 2^52 on the IFMA 52-bit path), not
+      // just x < q: feed extreme values on top of reduced ones. Outputs
+      // are fully reduced, so every level must match the canonical
+      // scalar table bit-for-bit.
       auto x = random_below(rng, n, q);
-      for (std::size_t i = 0; i < n; i += 3) x[i] = rng.next_u64();
+      for (std::size_t i = 0; i < n; i += 3) x[i] = rng.next_u64() & max_x(q);
+      if (n > 1) x[n - 1] = max_x(q);
       const auto w = random_below(rng, n, q);
       std::vector<u64> quo(n);
       for (std::size_t i = 0; i < n; ++i) quo[i] = shoup_quotient(w[i], q);
@@ -134,10 +183,16 @@ TEST_P(KernelsFuzzTest, ForwardButterfliesMatchScalarAndStayLazy) {
       auto x = random_below(rng, n, four_q);
       auto y = random_below(rng, n, four_q);
       auto xs = x, ys = y;
+      auto x64 = x, y64 = y;
       k().ntt_fwd_bfly(x.data(), y.data(), n, w, wq, q);
-      ref().ntt_fwd_bfly(xs.data(), ys.data(), n, w, wq, q);
+      lazy_ref(q).ntt_fwd_bfly(xs.data(), ys.data(), n, w, wq, q);
       EXPECT_EQ(x, xs) << "ntt_fwd_bfly x n=" << n << " q=" << q;
       EXPECT_EQ(y, ys) << "ntt_fwd_bfly y n=" << n << " q=" << q;
+      if (ifma52(q)) {
+        ref().ntt_fwd_bfly(x64.data(), y64.data(), n, w, wq, q);
+        ExpectCongruent(x, x64, q, "ntt_fwd_bfly x");
+        ExpectCongruent(y, y64, q, "ntt_fwd_bfly y");
+      }
       for (std::size_t j = 0; j < n; ++j) {
         ASSERT_LT(x[j], four_q) << "forward butterfly left [0, 4q)";
         ASSERT_LT(y[j], four_q) << "forward butterfly left [0, 4q)";
@@ -152,9 +207,9 @@ TEST_P(KernelsFuzzTest, ForwardButterfliesMatchScalarAndStayLazy) {
       k().ntt_fwd_dit4(x0.data(), x1.data(), x2.data(), x3.data(), n, w, wq,
                        wb0, shoup_quotient(wb0, q), wb1,
                        shoup_quotient(wb1, q), q);
-      ref().ntt_fwd_dit4(s0.data(), s1.data(), s2.data(), s3.data(), n, w,
-                         wq, wb0, shoup_quotient(wb0, q), wb1,
-                         shoup_quotient(wb1, q), q);
+      lazy_ref(q).ntt_fwd_dit4(s0.data(), s1.data(), s2.data(), s3.data(),
+                               n, w, wq, wb0, shoup_quotient(wb0, q), wb1,
+                               shoup_quotient(wb1, q), q);
       EXPECT_EQ(x0, s0) << "ntt_fwd_dit4 n=" << n << " q=" << q;
       EXPECT_EQ(x1, s1);
       EXPECT_EQ(x2, s2);
@@ -179,10 +234,16 @@ TEST_P(KernelsFuzzTest, InverseButterfliesMatchScalarAndStayLazy) {
       auto x = random_below(rng, n, two_q);
       auto y = random_below(rng, n, two_q);
       auto xs = x, ys = y;
+      auto x64 = x, y64 = y;
       k().ntt_inv_bfly(x.data(), y.data(), n, w, wq, q);
-      ref().ntt_inv_bfly(xs.data(), ys.data(), n, w, wq, q);
+      lazy_ref(q).ntt_inv_bfly(xs.data(), ys.data(), n, w, wq, q);
       EXPECT_EQ(x, xs) << "ntt_inv_bfly x n=" << n << " q=" << q;
       EXPECT_EQ(y, ys) << "ntt_inv_bfly y n=" << n << " q=" << q;
+      if (ifma52(q)) {
+        ref().ntt_inv_bfly(x64.data(), y64.data(), n, w, wq, q);
+        ExpectCongruent(x, x64, q, "ntt_inv_bfly x");
+        ExpectCongruent(y, y64, q, "ntt_inv_bfly y");
+      }
       for (std::size_t j = 0; j < n; ++j) {
         ASSERT_LT(x[j], two_q) << "inverse butterfly left [0, 2q)";
         ASSERT_LT(y[j], two_q) << "inverse butterfly left [0, 2q)";
@@ -203,6 +264,66 @@ TEST_P(KernelsFuzzTest, InverseButterfliesMatchScalarAndStayLazy) {
       for (std::size_t j = 0; j < n; ++j) {
         ASSERT_LT(x[j], q) << "fused last stage must fully reduce";
         ASSERT_LT(y[j], q) << "fused last stage must fully reduce";
+      }
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, NttFwdTailMatchesScalarAndFullyReduces) {
+  Rng rng(0x51D000A);
+  for (u64 q : kModuli) {
+    const u64 four_q = q << 2;
+    for (std::size_t n : kQuadLengths) {
+      const auto wa = random_below(rng, n / 4, q);
+      const auto wb = random_below(rng, n / 2, q);
+      std::vector<u64> wa_quo(n / 4), wb_quo(n / 2);
+      for (std::size_t i = 0; i < n / 4; ++i)
+        wa_quo[i] = shoup_quotient(wa[i], q);
+      for (std::size_t i = 0; i < n / 2; ++i)
+        wb_quo[i] = shoup_quotient(wb[i], q);
+      auto a = random_below(rng, n, four_q);
+      auto want = a;
+      k().ntt_fwd_tail(a.data(), n, wa.data(), wa_quo.data(), wb.data(),
+                       wb_quo.data(), q);
+      // Outputs are fully reduced (canonical), so every level — 52-bit
+      // limbs included — must match the 64-bit scalar table exactly.
+      ref().ntt_fwd_tail(want.data(), n, wa.data(), wa_quo.data(), wb.data(),
+                         wb_quo.data(), q);
+      EXPECT_EQ(a, want) << "ntt_fwd_tail n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(a[j], q) << "tail pass must fully reduce";
+      }
+    }
+  }
+}
+
+TEST_P(KernelsFuzzTest, NttInvTailMatchesScalarAndStaysLazy) {
+  Rng rng(0x51D000B);
+  for (u64 q : kModuli) {
+    const u64 two_q = q << 1;
+    for (std::size_t n : kQuadLengths) {
+      const auto w1 = random_below(rng, n / 2, q);
+      const auto w2 = random_below(rng, n / 4, q);
+      std::vector<u64> w1_quo(n / 2), w2_quo(n / 4);
+      for (std::size_t i = 0; i < n / 2; ++i)
+        w1_quo[i] = shoup_quotient(w1[i], q);
+      for (std::size_t i = 0; i < n / 4; ++i)
+        w2_quo[i] = shoup_quotient(w2[i], q);
+      auto a = random_below(rng, n, two_q);
+      auto want = a;
+      auto want64 = a;
+      k().ntt_inv_tail(a.data(), n, w1.data(), w1_quo.data(), w2.data(),
+                       w2_quo.data(), q);
+      lazy_ref(q).ntt_inv_tail(want.data(), n, w1.data(), w1_quo.data(),
+                               w2.data(), w2_quo.data(), q);
+      EXPECT_EQ(a, want) << "ntt_inv_tail n=" << n << " q=" << q;
+      if (ifma52(q)) {
+        ref().ntt_inv_tail(want64.data(), n, w1.data(), w1_quo.data(),
+                           w2.data(), w2_quo.data(), q);
+        ExpectCongruent(a, want64, q, "ntt_inv_tail");
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(a[j], two_q) << "inverse tail left [0, 2q)";
       }
     }
   }
@@ -347,6 +468,52 @@ INSTANTIATE_TEST_SUITE_P(
       return simd::level_name(info.param);
     });
 
+// The 52-bit scalar reference itself must satisfy the lazy-range
+// invariants the IFMA vector kernels inherit from it: for q < 2^50 and
+// x < 2^52, the lazy product lands in [0, 2q) (hence < 2^51, safely
+// inside the mod-2^52 window) and always agrees with the true product
+// modulo q — even though its quotient estimate can differ from the
+// 64-bit one.
+TEST(Scalar52Test, LazyShoupStaysInRangeAndCongruent) {
+  Rng rng(0x51D000C);
+  for (u64 q : {kQ0, kQ1, kP, u64{(1ULL << 50) - 27}}) {
+    ASSERT_LT(q, simd::kIfmaQBound);
+    for (int iter = 0; iter < 2000; ++iter) {
+      const u64 w = rng.uniform(q);
+      const u64 quo = shoup_quotient(w, q);
+      // Cover the whole admissible domain, including the extremes.
+      u64 x = rng.next_u64() & ((1ULL << 52) - 1);
+      if (iter == 0) x = (1ULL << 52) - 1;
+      if (iter == 1) x = 0;
+      const u64 r = simd::scalar52::shoup_mul_lazy(x, w, quo, q);
+      ASSERT_LT(r, 2 * q) << "lazy range x=" << x << " w=" << w;
+      ASSERT_LT(r, 1ULL << 52) << "must fit the 52-bit window";
+      const u64 true_mod =
+          static_cast<u64>(static_cast<u128>(x) * w % q);
+      ASSERT_EQ(r % q, true_mod) << "congruence x=" << x << " w=" << w;
+      // The corrected product is canonical, so it must equal the 64-bit
+      // reference exactly.
+      ASSERT_EQ(simd::scalar52::shoup_mul(x, w, quo, q),
+                simd::scalar::shoup_mul(x, w, quo, q));
+    }
+  }
+}
+
+// quo52 = quo64 >> 12 must be exactly floor(w·2^52/q) — the identity the
+// in-register quotient prep relies on.
+TEST(Scalar52Test, QuotientShiftIdentity) {
+  Rng rng(0x51D000D);
+  for (u64 q : {kQ0, kQ1, kP}) {
+    for (int iter = 0; iter < 1000; ++iter) {
+      const u64 w = rng.uniform(q);
+      const u64 quo64 = shoup_quotient(w, q);
+      const u64 quo52 =
+          static_cast<u64>((static_cast<u128>(w) << 52) / q);
+      ASSERT_EQ(quo64 >> 12, quo52) << "w=" << w << " q=" << q;
+    }
+  }
+}
+
 TEST(SimdDispatchTest, ScalarTableAlwaysAvailable) {
   ASSERT_NE(simd::table_for(Level::kScalar), nullptr);
   EXPECT_TRUE(simd::cpu_supports(Level::kScalar));
@@ -358,6 +525,17 @@ TEST(SimdDispatchTest, ActiveTableIsUsable) {
   EXPECT_TRUE(simd::cpu_supports(level));
 }
 
+// The simd.level gauge mirrors the dispatched level: observability must
+// report exactly what dispatch picked (including after CHAM_SIMD_LEVEL
+// overrides or fallbacks — the gauge is set from the same Dispatch).
+TEST(SimdDispatchTest, MetricsGaugeReportsActiveLevel) {
+  (void)simd::active();  // force dispatch
+  const double v =
+      obs::MetricsRegistry::global().gauge("simd.level").value();
+  EXPECT_EQ(static_cast<int>(v),
+            static_cast<int>(simd::active_level()));
+}
+
 TEST(SimdDispatchTest, ParseLevelRoundTrips) {
   Level l;
   ASSERT_TRUE(simd::parse_level("scalar", &l));
@@ -366,13 +544,62 @@ TEST(SimdDispatchTest, ParseLevelRoundTrips) {
   EXPECT_EQ(l, Level::kAvx2);
   ASSERT_TRUE(simd::parse_level("avx512", &l));
   EXPECT_EQ(l, Level::kAvx512);
+  ASSERT_TRUE(simd::parse_level("avx512ifma", &l));
+  EXPECT_EQ(l, Level::kAvx512Ifma);
   EXPECT_FALSE(simd::parse_level("sse9", &l));
   EXPECT_FALSE(simd::parse_level("", &l));
   EXPECT_FALSE(simd::parse_level(nullptr, &l));
-  for (Level lvl : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+  for (Level lvl : {Level::kScalar, Level::kAvx2, Level::kAvx512,
+                    Level::kAvx512Ifma}) {
     Level back;
     ASSERT_TRUE(simd::parse_level(simd::level_name(lvl), &back));
     EXPECT_EQ(back, lvl);
+  }
+}
+
+TEST(SimdDispatchTest, ResolveLevelHonoursUsableRequest) {
+  std::string warning = "sentinel";
+  // Scalar is always compiled and runnable, so the request is honoured
+  // and any previous warning text is cleared.
+  EXPECT_EQ(simd::resolve_level("scalar", &warning), Level::kScalar);
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(SimdDispatchTest, ResolveLevelNoOverrideAutodetectsSilently) {
+  std::string warning = "sentinel";
+  const Level l = simd::resolve_level(nullptr, &warning);
+  EXPECT_TRUE(warning.empty()) << warning;
+  EXPECT_NE(simd::table_for(l), nullptr);
+  std::string warning2 = "sentinel";
+  EXPECT_EQ(simd::resolve_level("", &warning2), l);
+  EXPECT_TRUE(warning2.empty()) << warning2;
+}
+
+TEST(SimdDispatchTest, ResolveLevelWarnsOnUnknownName) {
+  std::string warning;
+  const Level l = simd::resolve_level("avx9000", &warning);
+  EXPECT_NE(simd::table_for(l), nullptr) << "fallback must be runnable";
+  ASSERT_FALSE(warning.empty());
+  // The message must name the bad value so a typo is diagnosable from
+  // the one stderr line.
+  EXPECT_NE(warning.find("avx9000"), std::string::npos) << warning;
+  EXPECT_NE(warning.find(simd::level_name(l)), std::string::npos) << warning;
+  // A null warning sink is allowed (fire-and-forget callers).
+  EXPECT_EQ(simd::resolve_level("avx9000", nullptr), l);
+}
+
+TEST(SimdDispatchTest, ResolveLevelWarnsOnUnusableLevel) {
+  // Find a known level this build/CPU can't run (compiled out or no CPU
+  // support). On machines where every level is usable there is nothing
+  // to exercise.
+  for (Level lvl : {Level::kAvx2, Level::kAvx512, Level::kAvx512Ifma}) {
+    if (simd::table_for(lvl) != nullptr) continue;
+    std::string warning;
+    const Level got = simd::resolve_level(simd::level_name(lvl), &warning);
+    EXPECT_NE(simd::table_for(got), nullptr);
+    EXPECT_FALSE(warning.empty());
+    EXPECT_NE(warning.find(simd::level_name(lvl)), std::string::npos)
+        << warning;
   }
 }
 

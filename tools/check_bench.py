@@ -45,6 +45,13 @@ import sys
 
 DEFAULT_TOLERANCE = 0.25
 
+# Registry of SIMD dispatch levels the current tree can emit. A baseline
+# whose meta/simd_level is not in this set was recorded at a retired (or
+# never-existing) level: its numbers come from a code path the tree no
+# longer has, so the gate refuses the comparison outright instead of
+# failing metric-by-metric.
+KNOWN_LEVELS = ("scalar", "avx2", "avx512", "avx512ifma")
+
 # Flattening + baseline-generation rules, keyed by metric-name prefix or
 # field. Wall-clock fields get wide tolerances (CI runners are noisy and
 # heterogeneous); model-derived and ratio fields get tight ones; operation
@@ -152,7 +159,13 @@ def compare(baseline, measured):
             continue
         value = measured[name][0]
         if direction == "level":
-            if value != base_value:
+            if base_value not in KNOWN_LEVELS:
+                failures.append(
+                    f"{name}: baseline was recorded at retired SIMD level "
+                    f"{fmt(base_value)} (known levels: "
+                    f"{', '.join(KNOWN_LEVELS)}) — regenerate the baseline "
+                    f"with `update` on a current build")
+            elif value != base_value:
                 failures.append(
                     f"{name}: bench output measured at SIMD level "
                     f"{fmt(value)} but baseline was recorded at "
@@ -202,6 +215,20 @@ def cmd_compare(args):
     return 0
 
 
+def cpu_model():
+    """Best-effort CPU model string, for baseline provenance: kernel-time
+    tolerances only mean something relative to the machine that recorded
+    them."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
 def cmd_update(args):
     measured = load_outputs(args.outputs)
     if not measured:
@@ -210,6 +237,7 @@ def cmd_update(args):
         return 1
     baseline = {
         "default_tolerance": DEFAULT_TOLERANCE,
+        "cpu_model": cpu_model(),
         "metrics": {
             name: {"value": value, "tolerance": tol, "direction": direction}
             for name, (value, (tol, direction)) in sorted(measured.items())
@@ -282,8 +310,44 @@ def cmd_selftest(_args):
         print("selftest FAILED: mixed-level output was not rejected")
         return 1
 
-    print("selftest OK: 2x slowdown, counter drift, metric loss and "
-          "SIMD-level switches all trip the gate; clean run passes")
+    # avx512ifma is a first-class registry level: a baseline recorded at
+    # it round-trips cleanly, and a cross-level run against it is refused
+    # like any other level switch.
+    ifma_sample = sample.replace('"simd_level":"avx2"',
+                                 '"simd_level":"avx512ifma"')
+    ifma_sample = ifma_sample.replace('"threads":1,',
+                                      '"threads":1,"limb_bits":52,')
+    ifma_baseline = {
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "metrics": {
+            name: {"value": value, "tolerance": tol, "direction": direction}
+            for name, (value, (tol, direction))
+            in flatten(parse_lines(ifma_sample)).items()
+        },
+    }
+    clean = compare(ifma_baseline, flatten(parse_lines(ifma_sample)))
+    if clean:
+        print(f"selftest FAILED: clean avx512ifma run reported "
+              f"regressions: {clean}")
+        return 1
+    failures = compare(ifma_baseline, flatten(parse_lines(sample)))
+    if not any("cross-level" in f and "avx512ifma" in f for f in failures):
+        print("selftest FAILED: avx2 run passed against an avx512ifma "
+              "baseline")
+        return 1
+
+    # A baseline recorded at a retired level must be refused outright —
+    # its numbers come from a code path the tree no longer has.
+    retired_baseline = json.loads(json.dumps(baseline))
+    retired_baseline["metrics"]["meta/simd_level"]["value"] = "avx512vnni"
+    failures = compare(retired_baseline, flatten(parse_lines(sample)))
+    if not any("retired" in f for f in failures):
+        print("selftest FAILED: retired-level baseline passed the gate")
+        return 1
+
+    print("selftest OK: 2x slowdown, counter drift, metric loss, "
+          "SIMD-level switches (incl. avx512ifma) and retired-level "
+          "baselines all trip the gate; clean runs pass")
     return 0
 
 
