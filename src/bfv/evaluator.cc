@@ -1,5 +1,7 @@
 #include "bfv/evaluator.h"
 
+#include "nt/bitops.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cham {
@@ -152,15 +154,13 @@ std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(
   RnsPoly acc_a(ctx_->base_qp(), true);
   for (std::size_t j = 0; j < dnum; ++j) {
     // Digit j: the j-th residue limb of c, lifted to every prime of
-    // base_qp (digits are < q_j, so plain reduction is exact).
+    // base_qp (digits are < q_j, so plain reduction is exact). The lift
+    // runs on the dispatched Barrett kernel instead of a scalar `%`.
     RnsPoly digit(ctx_->base_qp(), false);
     const u64* src = c.limb(j);
     for (std::size_t l = 0; l < digit.limbs(); ++l) {
-      const u64 ql = ctx_->base_qp()->modulus(l).value();
-      u64* dst = digit.limb(l);
-      for (std::size_t i = 0; i < digit.n(); ++i) {
-        dst[i] = src[i] % ql;
-      }
+      poly_barrett_reduce(src, digit.limb(l), digit.n(),
+                          ctx_->base_qp()->modulus(l));
     }
     digit.to_ntt();
     acc_b.mul_pointwise_acc(digit, ksk.b[j]);
@@ -170,6 +170,37 @@ std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch_poly(
   acc_a.from_ntt();
   return {divide_round_by_last(acc_b, ctx_->base_q()),
           divide_round_by_last(acc_a, ctx_->base_q())};
+}
+
+Evaluator::FrozenKsk Evaluator::freeze_ksk(const KeySwitchKey& ksk) const {
+  FrozenKsk out;
+  out.b.reserve(ksk.b.size());
+  out.a.reserve(ksk.a.size());
+  for (const RnsPoly& poly : ksk.b) out.b.emplace_back(poly);
+  for (const RnsPoly& poly : ksk.a) out.a.emplace_back(poly);
+  return out;
+}
+
+void Evaluator::decompose_ntt_digits(const RnsPoly& c,
+                                     std::vector<RnsPoly>& digits) const {
+  CHAM_CHECK_MSG(c.base() == ctx_->base_q(),
+                 "keyswitch operates on base_q polynomials");
+  CHAM_CHECK_MSG(!c.is_ntt(), "decompose expects coefficient domain");
+  CHAM_CHECK(digits.size() == ctx_->dnum());
+  static obs::Counter& hoisted =
+      obs::MetricsRegistry::global().counter("keyswitch.hoisted");
+  hoisted.add();
+  for (std::size_t j = 0; j < digits.size(); ++j) {
+    RnsPoly& digit = digits[j];
+    CHAM_CHECK(digit.base() == ctx_->base_qp());
+    digit.set_ntt_form(false);
+    const u64* src = c.limb(j);
+    for (std::size_t l = 0; l < digit.limbs(); ++l) {
+      poly_barrett_reduce(src, digit.limb(l), digit.n(),
+                          ctx_->base_qp()->modulus(l));
+    }
+    digit.to_ntt();
+  }
 }
 
 std::shared_ptr<const AutomorphTable> Evaluator::galois_table(u64 k) const {
@@ -183,6 +214,53 @@ std::shared_ptr<const AutomorphTable> Evaluator::galois_table(u64 k) const {
   std::unique_lock<std::shared_mutex> lock(galois_mu_);
   // A racing creator may have inserted first; keep that instance.
   return galois_tables_.emplace(k, std::move(table)).first->second;
+}
+
+std::shared_ptr<const AutomorphTable> Evaluator::galois_table_ntt(
+    u64 k) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(galois_mu_);
+    auto it = galois_tables_ntt_.find(k);
+    if (it != galois_tables_ntt_.end()) return it->second;
+  }
+  auto table = std::make_shared<const AutomorphTable>(
+      make_automorph_table_ntt(ctx_->n(), k));
+  std::unique_lock<std::shared_mutex> lock(galois_mu_);
+  return galois_tables_ntt_.emplace(k, std::move(table)).first->second;
+}
+
+std::shared_ptr<const ShoupPoly> Evaluator::monomial_ntt_qp(
+    std::size_t s) const {
+  const u64 key = static_cast<u64>(s);
+  {
+    std::shared_lock<std::shared_mutex> lock(galois_mu_);
+    auto it = monomials_qp_.find(key);
+    if (it != monomials_qp_.end()) return it->second;
+  }
+  const RnsBasePtr& base = ctx_->base_qp();
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK_MSG(s < 2 * n, "monomial exponent must be in [0, 2N)");
+  const int log_n = log2_exact(n);
+  const u64 mask = 2 * static_cast<u64>(n) - 1;
+  RnsPoly tw(base, true);
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    const Modulus& ql = base->modulus(l);
+    // psipow[e] = ψ_l^e for e in [0, 2N); slot i of the evaluation form
+    // of X^s·a(X) is a(ψ^{2·rev(i)+1}) scaled by ψ^{s·(2·rev(i)+1)}.
+    std::vector<u64> psipow(2 * n);
+    const u64 psi = base->ntt(l).psi();
+    psipow[0] = 1;
+    for (std::size_t e = 1; e < 2 * n; ++e)
+      psipow[e] = ql.mul(psipow[e - 1], psi);
+    u64* limb = tw.limb(l);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 rev_i = bit_reverse(static_cast<std::uint32_t>(i), log_n);
+      limb[i] = psipow[(static_cast<u64>(s) * (2 * rev_i + 1)) & mask];
+    }
+  }
+  auto frozen = std::make_shared<const ShoupPoly>(tw);
+  std::unique_lock<std::shared_mutex> lock(galois_mu_);
+  return monomials_qp_.emplace(key, std::move(frozen)).first->second;
 }
 
 Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
@@ -205,9 +283,19 @@ Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
 
 Ciphertext Evaluator::rotate_rows(const Ciphertext& x, std::size_t r,
                                   const GaloisKeys& gk) const {
+  // Galois element 3^r mod 2N by square-and-multiply — O(log r) instead
+  // of r sequential multiplies. 2N is a power of two (not prime), so
+  // Modulus::pow does not apply; operands stay < 2N < 2^32, keeping the
+  // u64 products exact.
   const u64 two_n = 2 * ctx_->n();
+  u64 e = r % (ctx_->n() / 2);
   u64 k = 1;
-  for (std::size_t i = 0; i < r % (ctx_->n() / 2); ++i) k = (k * 3) % two_n;
+  u64 base = 3 % two_n;
+  while (e != 0) {
+    if (e & 1) k = (k * base) % two_n;
+    base = (base * base) % two_n;
+    e >>= 1;
+  }
   if (k == 1) return x;
   return apply_galois(x, k, gk);
 }

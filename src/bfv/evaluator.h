@@ -16,6 +16,8 @@ class Evaluator {
  public:
   explicit Evaluator(BfvContextPtr context);
 
+  const BfvContextPtr& context() const { return ctx_; }
+
   // --- linear ops (any base, matching domains) ---
   Ciphertext add(const Ciphertext& x, const Ciphertext& y) const;
   Ciphertext sub(const Ciphertext& x, const Ciphertext& y) const;
@@ -74,17 +76,50 @@ class Evaluator {
   std::pair<RnsPoly, RnsPoly> keyswitch_poly(const RnsPoly& c,
                                              const KeySwitchKey& ksk) const;
 
- private:
-  // Automorph routing tables keyed by Galois element. PackTwoLWEs reuses
-  // a handful of elements across thousands of merges, so the inverse
-  // permutation is computed once per element. Shared lock on the hit
-  // path (pack trees apply Galois ops from parallel pool lanes).
-  std::shared_ptr<const AutomorphTable> galois_table(u64 k) const;
+  // --- hoisted key-switching (the NTT-resident pack tree's primitives) ---
 
+  // A key-switch key with both digit planes frozen into Shoup form, so
+  // the per-merge inner products run on mul_shoup instead of Barrett.
+  // Freezing costs one division per coefficient; callers freeze once per
+  // pack invocation and amortize over every merge of the tree.
+  struct FrozenKsk {
+    std::vector<ShoupPoly> b, a;
+  };
+  FrozenKsk freeze_ksk(const KeySwitchKey& ksk) const;
+
+  // Halevi–Shoup-style hoisted decomposition: digit j is the j-th base_q
+  // residue limb of c lifted onto every prime of base_qp (SIMD Barrett
+  // digit lift) and NTT'd once. The resulting evaluation-form digits are
+  // shared between the b and a inner products — the forward NTTs are
+  // paid once per node instead of once per product. digits must hold
+  // dnum() polynomials bound to base_qp (contents overwritten).
+  // Bit-exact with the digit pipeline inside keyswitch_poly.
+  void decompose_ntt_digits(const RnsPoly& c,
+                            std::vector<RnsPoly>& digits) const;
+
+  // Automorph routing tables keyed by Galois element, cached behind a
+  // shared lock (pack trees apply Galois ops from parallel pool lanes).
+  // Coefficient-domain table (gather + sign flips).
+  std::shared_ptr<const AutomorphTable> galois_table(u64 k) const;
+  // NTT-domain table: the same automorphism as a pure evaluation-slot
+  // permutation (make_automorph_table_ntt), letting NTT-resident
+  // operands skip the inverse/forward transform pair entirely.
+  std::shared_ptr<const AutomorphTable> galois_table_ntt(u64 k) const;
+
+  // Evaluation-form multiplier for X^s over base_qp: slot i of limb l
+  // carries ψ_l^{s·(2·rev(i)+1) mod 2N} in Shoup form, so a negacyclic
+  // monomial shift of an NTT-resident polynomial is one pointwise
+  // product. Cached per shift (the pack tree uses log C distinct s).
+  std::shared_ptr<const ShoupPoly> monomial_ntt_qp(std::size_t s) const;
+
+ private:
   BfvContextPtr ctx_;
   mutable std::shared_mutex galois_mu_;
   mutable std::map<u64, std::shared_ptr<const AutomorphTable>>
       galois_tables_;
+  mutable std::map<u64, std::shared_ptr<const AutomorphTable>>
+      galois_tables_ntt_;
+  mutable std::map<u64, std::shared_ptr<const ShoupPoly>> monomials_qp_;
 };
 
 }  // namespace cham

@@ -129,6 +129,13 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
     }
   }
 
+  // Per-level pack operands (Shoup-frozen Galois keys, automorph tables,
+  // evaluation-domain monomial twiddles) are shared by every group's
+  // reduction tree — freeze them once per run, not once per pack.
+  PackKeys pack_keys;
+  if (pack_count > 1)
+    pack_keys = make_pack_keys(eval, *gk, log2_exact(pack_count));
+
   obs::Histogram& row_hist =
       obs::MetricsRegistry::global().histogram("hmvp.row_ns");
   auto& pool = ThreadPool::global();
@@ -165,7 +172,7 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
     CHAM_SPAN_ARG("hmvp.pack", pack_count);
     Ciphertext packed = (pack_count == 1)
                             ? lwe_to_rlwe(lwes[0])
-                            : pack_lwes(eval, lwes, *gk, threads);
+                            : pack_lwes(eval, lwes, pack_keys, threads);
     res.stats.pack_merges += pack_count - 1;
     res.stats.keyswitches += pack_count - 1;
     res.packed.push_back(std::move(packed));

@@ -12,8 +12,33 @@
 // ones — giving the even/odd cancellation of the reduction tree. (The
 // paper's Alg. 2 prints the exponent as "2l+1"; 2^l + 1 is the element
 // that makes the tree correct, and our tests verify the round trip.)
+//
+// Two tree implementations live here:
+//
+//   pack_lwes           The NTT-resident tree. The b polynomial of every
+//                       node stays in the evaluation domain over base_qp
+//                       for the whole tree, scaled by the special prime p
+//                       (lazy mod-down): monomial multiplication is a
+//                       cached pointwise twiddle product, the Galois map
+//                       is a pure slot permutation, and the raw b-side
+//                       key-switch accumulator folds straight into the
+//                       node without a per-merge rescale. Only the a
+//                       polynomial is rounded back to base_q each merge —
+//                       the next level's digit decomposition needs it —
+//                       so a merge costs 16 limb NTTs instead of the
+//                       reference tree's 20, with Shoup-frozen key-switch
+//                       keys replacing scalar Barrett inner products.
+//                       The a output is bit-exact with the reference; b
+//                       differs by the deferred rounding terms, i.e. by
+//                       at most one unit of p per merge level — far below
+//                       the encryption noise (tests assert the budget).
+//
+//   pack_lwes_reference The coefficient-domain tree (one pack_two_lwes
+//                       per merge), kept as the semantic baseline for
+//                       equivalence tests and before/after benchmarks.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "bfv/evaluator.h"
@@ -22,20 +47,57 @@
 namespace cham {
 
 // Alg. 2. `level_log` = l: inputs are packs of 2^{l-1} LWEs each; output
-// packs 2^l. Requires gk.has(2^l + 1).
+// packs 2^l. Requires gk.has(2^l + 1). Coefficient-domain path.
 Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
                          const Ciphertext& ct_even, const Ciphertext& ct_odd,
                          const GaloisKeys& gk);
 
-// Alg. 3. lwes.size() must be a power of two <= N. Returns the packed
-// RLWE ciphertext (base_q, coefficient domain). The binary reduction tree
-// is walked level by level; all merges within a level are independent and
-// run on up to `threads` pool lanes (mirroring the paper's multiple
-// PackTwoLWEs units, pipeline stages 5–9). The tree shape — and therefore
-// the result — is bit-identical for every thread count.
+// Per-level operands of the NTT-resident tree, precomputed once and
+// shared by every merge (and every pack_lwes call — HMVP builds one set
+// per run): the evaluation-domain monomial twiddles for X^{N/2^l}, both
+// automorphism routing tables for X -> X^{2^l+1}, and the Galois key
+// frozen into Shoup form. Building a level costs one division per KSK
+// coefficient; reuse amortizes it to noise.
+struct PackKeys {
+  struct Level {
+    std::size_t shift = 0;                        // N / 2^l
+    std::shared_ptr<const ShoupPoly> mono;        // X^shift, eval domain
+    std::shared_ptr<const AutomorphTable> coeff;  // automorph, coeff domain
+    std::shared_ptr<const AutomorphTable> ntt;    // automorph, eval domain
+    Evaluator::FrozenKsk ksk;                     // frozen gk(2^l + 1)
+  };
+  std::vector<Level> levels;  // indexed by level_log; [0] unused
+};
+
+// Requires gk.has(2^l + 1) for every l in [1, max_level_log].
+PackKeys make_pack_keys(const Evaluator& eval, const GaloisKeys& gk,
+                        int max_level_log);
+
+// Alg. 3, NTT-resident tree. lwes.size() must be a power of two <= N.
+// Returns the packed RLWE ciphertext (base_q, coefficient domain). The
+// binary reduction tree is walked level by level; all merges within a
+// level are independent and run on up to `threads` pool lanes with
+// per-lane scratch arenas (mirroring the paper's multiple PackTwoLWEs
+// units, pipeline stages 5–9). The tree shape — and therefore the result
+// — is bit-identical for every thread count. keys must cover levels up
+// to log2(lwes.size()).
+Ciphertext pack_lwes(const Evaluator& eval,
+                     const std::vector<LweCiphertext>& lwes,
+                     const PackKeys& keys, int threads = 1);
+
+// Convenience overload: builds the PackKeys internally (one KSK freeze
+// per tree level). Callers packing repeatedly should precompute.
 Ciphertext pack_lwes(const Evaluator& eval,
                      const std::vector<LweCiphertext>& lwes,
                      const GaloisKeys& gk, int threads = 1);
+
+// The coefficient-domain reference tree (the pre-NTT-resident
+// implementation, bit for bit). Semantically equivalent to pack_lwes up
+// to the deferred mod-down rounding noise; used by equivalence tests and
+// the bench_pack before/after comparison.
+Ciphertext pack_lwes_reference(const Evaluator& eval,
+                               const std::vector<LweCiphertext>& lwes,
+                               const GaloisKeys& gk, int threads = 1);
 
 // Statistics of the last pack_lwes call are intentionally not kept here;
 // the accelerator model (src/sim) accounts for the reduction tree itself.

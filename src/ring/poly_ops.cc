@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nt/bitops.h"
 #include "obs/metrics.h"
 
 namespace cham {
@@ -113,6 +114,7 @@ AutomorphTable make_automorph_table(std::size_t n, u64 k) {
   AutomorphTable table;
   table.n = n;
   table.k = k;
+  table.ntt = false;
   table.src_idx.resize(n);
   table.flip.resize(n);
   // Invert i -> ik mod N so the apply step is destination-ordered (a
@@ -126,6 +128,33 @@ AutomorphTable make_automorph_table(std::size_t n, u64 k) {
   return table;
 }
 
+AutomorphTable make_automorph_table_ntt(std::size_t n, u64 k) {
+  CHAM_CHECK_MSG(k % 2 == 1 && k < 2 * n,
+                 "automorphism index must be odd and < 2N");
+  AutomorphTable table;
+  table.n = n;
+  table.k = k;
+  table.ntt = true;
+  table.src_idx.resize(n);
+  table.flip.resize(n);
+  const int log_n = log2_exact(n);
+  const u64 mask = 2 * static_cast<u64>(n) - 1;
+  // Slot i holds a(ψ^{2·rev(i)+1}); a(X^k) puts the evaluation at the
+  // odd power k·(2·rev(i)+1) mod 2N there, which is slot
+  // rev((that power - 1) / 2). Destination-ordered already — permute
+  // gathers out[i] = a[src_idx[i]] with no sign flips (odd powers of ψ
+  // permute among themselves; no ψ^N = -1 factor ever splits off).
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 rev_i =
+        bit_reverse(static_cast<std::uint32_t>(i), log_n);
+    const u64 pow = (k * (2 * rev_i + 1)) & mask;
+    table.src_idx[i] =
+        bit_reverse(static_cast<std::uint32_t>(pow >> 1), log_n);
+    table.flip[i] = 0;
+  }
+  return table;
+}
+
 void poly_automorph(const u64* a, u64* out, const AutomorphTable& table,
                     const Modulus& q) {
   CHAM_CHECK(a != out);
@@ -133,6 +162,16 @@ void poly_automorph(const u64* a, u64* out, const AutomorphTable& table,
   calls.add();
   simd::active().permute(a, table.src_idx.data(), table.flip.data(), out,
                          table.n, q.value());
+}
+
+void poly_barrett_reduce(const u64* x, u64* out, std::size_t n,
+                         const Modulus& q) {
+  static obs::Counter& calls = simd_counter("simd.barrett_reduce");
+  calls.add();
+  const u64 qv = q.value();
+  const u64 q_barrett =
+      static_cast<u64>((static_cast<unsigned __int128>(1) << 64) / qv);
+  simd::active().barrett_reduce(x, out, n, qv, q_barrett);
 }
 
 void poly_mul_negacyclic_schoolbook(const u64* a, const u64* b, u64* out,

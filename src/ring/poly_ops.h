@@ -59,19 +59,41 @@ void poly_automorph(const u64* a, u64* out, std::size_t n, u64 k,
 // permutation becomes a gather: out[d] = ±a[src_idx[d]], negated mod q
 // where flip[d] == ~0. Tables depend only on (n, k) — not the modulus —
 // so one table serves every RNS limb; Evaluator::apply_galois caches
-// them per Galois element.
+// them per Galois element. `ntt` records which domain the routing is
+// for: coefficient order (make_automorph_table) or the bit-reversed
+// negacyclic evaluation order (make_automorph_table_ntt).
 struct AutomorphTable {
   std::size_t n = 0;
   u64 k = 0;
+  bool ntt = false;
   simd::AlignedU64Vec src_idx;
   simd::AlignedU64Vec flip;
 };
 AutomorphTable make_automorph_table(std::size_t n, u64 k);
 
+// Automorph routing in the NTT (evaluation) domain. Slot i of the
+// bit-reversed negacyclic NTT holds a(ψ^{2·rev(i)+1}), so a(X^k)
+// evaluates there to a(ψ^{k·(2·rev(i)+1) mod 2N}) — still an odd root
+// power, i.e. some other slot of the same transform. The automorphism is
+// therefore a pure slot gather with no sign flips:
+//   src_idx[i] = rev(((k·(2·rev(i)+1)) mod 2N) >> 1),  flip[i] = 0.
+// This is what keeps the pack tree NTT-resident: applying Galois maps in
+// evaluation form costs one permute instead of an NTT round-trip.
+AutomorphTable make_automorph_table_ntt(std::size_t n, u64 k);
+
 // Table-driven Automorph via the dispatched permute kernel. Bit-exact
-// with the modular-index form above. Does NOT support aliasing.
+// with the modular-index form above (for coefficient-domain tables).
+// Does NOT support aliasing.
 void poly_automorph(const u64* a, u64* out, const AutomorphTable& table,
                     const Modulus& q);
+
+// out[i] = x[i] mod q for arbitrary 64-bit x, via the dispatched
+// Barrett-reduction kernel (q_barrett = floor(2^64/q), computed once and
+// amortised over the span). The key-switch digit-lift primitive:
+// replaces the scalar `%` loop when spreading a base-q residue limb
+// across base_qp.
+void poly_barrett_reduce(const u64* x, u64* out, std::size_t n,
+                         const Modulus& q);
 
 // Schoolbook negacyclic convolution out = a * b mod (X^N + 1); O(N^2)
 // reference used by tests to validate the NTT path.

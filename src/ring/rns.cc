@@ -184,12 +184,20 @@ RnsPoly RnsPoly::automorph(u64 k) const {
 }
 
 RnsPoly RnsPoly::automorph(const AutomorphTable& table) const {
-  CHAM_CHECK_MSG(!ntt_form_, "automorphism implemented in coefficient domain");
+  RnsPoly out(base_, ntt_form_);
+  automorph_into(table, out);
+  return out;
+}
+
+void RnsPoly::automorph_into(const AutomorphTable& table,
+                             RnsPoly& out) const {
+  CHAM_CHECK_MSG(table.ntt == ntt_form_,
+                 "automorph table domain must match the polynomial domain");
   CHAM_CHECK(table.n == n());
-  RnsPoly out(base_, false);
+  CHAM_CHECK(out.base_ == base_ && &out != this);
+  out.ntt_form_ = ntt_form_;
   for (std::size_t l = 0; l < limbs(); ++l)
     poly_automorph(limb(l), out.limb(l), table, base_->modulus(l));
-  return out;
 }
 
 RnsPoly RnsPoly::shiftneg(std::size_t s) const {

@@ -93,12 +93,17 @@ class RnsPoly {
   void mul_scalar_inplace(const std::vector<u64>& residues);
   void mul_scalar_inplace(u64 c);  // c reduced per limb
 
-  // Table-I structural ops (coefficient domain only).
+  // Table-I structural ops (modular-index form: coefficient domain only).
   RnsPoly automorph(u64 k) const;
   // Table-driven Automorph: one (n, k) table serves every limb (the
-  // permutation is modulus-independent). Used by the Evaluator's cached
-  // Galois path.
+  // permutation is modulus-independent). The table's domain must match
+  // the polynomial's — coefficient tables (make_automorph_table) apply
+  // to coefficient form, NTT tables (make_automorph_table_ntt) apply to
+  // evaluation form without leaving it. Used by the Evaluator's cached
+  // Galois path and the NTT-resident pack tree.
   RnsPoly automorph(const AutomorphTable& table) const;
+  // Allocation-free variant: out must share the base and not alias this.
+  void automorph_into(const AutomorphTable& table, RnsPoly& out) const;
   RnsPoly shiftneg(std::size_t s) const;  // *X^s
   RnsPoly rev() const;
 

@@ -145,6 +145,17 @@ struct Kernels {
   void (*rescale_round)(const u64* xl, const u64* xp, u64* out,
                         std::size_t n, u64 pv, u64 q, u64 q_barrett,
                         u64 pinv_op, u64 pinv_quo);
+
+  // --- Barrett reduction of arbitrary 64-bit values (digit lifting) ---
+  // out[i] = x[i] mod q for ANY 64-bit x[i]; q_barrett = floor(2^64/q).
+  // The approximate quotient floor(mulhi(x, q_barrett)) undershoots
+  // floor(x/q) by at most 1, so the remainder lands in [0, 2q) and two
+  // conditional subtractions fully reduce it. Always runs on the 64-bit
+  // mulhi regardless of limb width, so the output is bit-exact across
+  // every table. This is the hybrid key-switch decomposition primitive:
+  // lifting a base-q residue limb onto every modulus of base_qp.
+  void (*barrett_reduce)(const u64* x, u64* out, std::size_t n, u64 q,
+                         u64 q_barrett);
 };
 
 // The table selected at startup (CPUID best, CHAM_SIMD_LEVEL override).

@@ -162,6 +162,7 @@ const Kernels* avx2_table() {
       K::permute,
       K::neg_rev,
       K::rescale_round,
+      K::barrett_reduce,
   };
   return &table;
 }

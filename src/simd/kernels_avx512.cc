@@ -47,6 +47,7 @@ const Kernels* avx512_table() {
       K::permute,
       K::neg_rev,
       K::rescale_round,
+      K::barrett_reduce,
   };
   return &table;
 }

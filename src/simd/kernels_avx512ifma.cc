@@ -174,6 +174,9 @@ const Kernels* avx512ifma_table() {
       K64::permute,
       K64::neg_rev,
       rescale_round,
+      // No Shoup multiply inside: the Barrett step always runs on the
+      // 64-bit mulhi, so the 64-bit instantiation is exact at any q.
+      K64::barrett_reduce,
   };
   return &table;
 }

@@ -262,6 +262,20 @@ void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
   }
 }
 
+void barrett_reduce(const u64* x, u64* out, std::size_t n, u64 q,
+                    u64 q_barrett) {
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 t = x[i];
+    // floor(t·floor(2^64/q)/2^64) undershoots floor(t/q) by < 2, so two
+    // conditional subtractions fully reduce (same step as rescale_round).
+    const u64 qhat = static_cast<u64>((static_cast<u128>(t) * q_barrett) >> 64);
+    t -= qhat * q;
+    if (t >= q) t -= q;
+    if (t >= q) t -= q;
+    out[i] = t;
+  }
+}
+
 }  // namespace scalar
 
 const Kernels* scalar_table() {
@@ -284,6 +298,7 @@ const Kernels* scalar_table() {
       scalar::permute,
       scalar::neg_rev,
       scalar::rescale_round,
+      scalar::barrett_reduce,
   };
   return &table;
 }

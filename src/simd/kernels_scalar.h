@@ -64,6 +64,8 @@ void permute(const u64* a, const u64* src_idx, const u64* flip, u64* out,
 void neg_rev(const u64* a, u64* out, std::size_t n, u64 q);
 void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
                    u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo);
+void barrett_reduce(const u64* x, u64* out, std::size_t n, u64 q,
+                    u64 q_barrett);
 
 }  // namespace scalar
 

@@ -248,6 +248,7 @@ const Kernels* scalar52_table() {
       scalar::permute,
       scalar::neg_rev,
       scalar52::rescale_round,
+      scalar::barrett_reduce,
   };
   return &table;
 }

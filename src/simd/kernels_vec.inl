@@ -487,6 +487,33 @@ struct VecKernels {
     S::rescale_round(xl + i, xp + i, out + i, n - i, pv, q, q_barrett,
                      pinv_op, pinv_quo);
   }
+
+  // Barrett reduction of arbitrary 64-bit values: the same quotient
+  // estimate as the rescale_round body, always on the 64-bit mulhi (no
+  // Shoup multiply, so the IFMA table reuses the 64-bit instantiation
+  // directly and the tail can call the plain scalar body).
+  static void barrett_reduce(const u64* x, u64* out, std::size_t n, u64 q,
+                             u64 q_barrett) {
+    const reg vq = V::set1(q);
+    const reg vbar = V::set1(q_barrett);
+    std::size_t i = 0;
+    // 2x unroll: two independent mulhi/mullo chains in flight (see
+    // mul_shoup).
+    for (; i + 2 * W <= n; i += 2 * W) {
+      reg t0 = V::load(x + i);
+      reg t1 = V::load(x + i + W);
+      t0 = V::sub(t0, V::mullo(V::mulhi(t0, vbar), vq));
+      t1 = V::sub(t1, V::mullo(V::mulhi(t1, vbar), vq));
+      V::store(out + i, csub(csub(t0, vq), vq));
+      V::store(out + i + W, csub(csub(t1, vq), vq));
+    }
+    for (; i + W <= n; i += W) {
+      reg t = V::load(x + i);
+      t = V::sub(t, V::mullo(V::mulhi(t, vbar), vq));
+      V::store(out + i, csub(csub(t, vq), vq));
+    }
+    scalar::barrett_reduce(x + i, out + i, n - i, q, q_barrett);
+  }
 };
 
 }  // namespace simd

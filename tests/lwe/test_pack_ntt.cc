@@ -1,0 +1,234 @@
+// Equivalence and primitive tests for the NTT-resident pack tree.
+//
+// The new pack_lwes keeps b evaluation-resident over base_qp with the
+// mod-down deferred to the tree root, so its b differs from the
+// coefficient-domain reference by the deferred rounding terms (bounded
+// by one unit of p per merge — far below the encryption noise). Its a
+// polynomial takes the exact same arithmetic path (SIMD digit lift +
+// Shoup inner products are bit-exact with the Barrett reference), so a
+// must match bit for bit. These tests pin both properties, the hoisted
+// key-switch identity, and the two new evaluation-domain primitives
+// (NTT automorph tables, cached monomial twiddles).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "lwe/pack.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+struct PackNttFixture {
+  explicit PackNttFixture(std::size_t n = 256, u64 seed = 7)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        encryptor(ctx, &pk, &keygen.secret_key(), rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx) {}
+
+  Ciphertext encrypt_q(const std::vector<u64>& m) {
+    return evaluator.rescale(encryptor.encrypt(encoder.encode_vector(m)));
+  }
+
+  std::vector<u64> random_message(std::size_t len) {
+    std::vector<u64> m(len);
+    for (auto& v : m) v = rng.uniform(ctx->params().t);
+    return m;
+  }
+
+  std::vector<LweCiphertext> random_lwes(std::size_t count) {
+    std::vector<LweCiphertext> lwes;
+    lwes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      lwes.push_back(extract_lwe(encrypt_q(random_message(ctx->n())), 0));
+    return lwes;
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+};
+
+class PackNttEquivTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackNttEquivTest, MatchesReferenceTree) {
+  const std::size_t count = GetParam();
+  PackNttFixture f(256, 17 + count);
+  const int levels = count == 1 ? 1 : log2_exact(count);
+  auto gk = f.keygen.make_galois_keys(levels);
+  auto lwes = f.random_lwes(count);
+  const PackKeys keys = make_pack_keys(f.evaluator, gk, levels);
+
+  for (int threads : {1, 8}) {
+    auto ref = pack_lwes_reference(f.evaluator, lwes, gk, threads);
+    auto got = pack_lwes(f.evaluator, lwes, keys, threads);
+
+    // a rides the identical arithmetic path (the SIMD lift and the Shoup
+    // inner products are bit-exact with the Barrett reference).
+    EXPECT_EQ(got.a.raw(), ref.a.raw()) << "threads=" << threads;
+
+    // b carries the deferred mod-down rounding; semantics must agree.
+    auto pt_ref = f.decryptor.decrypt(ref);
+    auto pt_got = f.decryptor.decrypt(got);
+    EXPECT_EQ(pt_got.coeffs, pt_ref.coeffs) << "threads=" << threads;
+
+    // The deferral adds < count units of p against a noise term many
+    // orders larger: allow one bit of budget slack and assert it.
+    const double budget_ref = f.decryptor.noise_budget_bits(ref);
+    const double budget_got = f.decryptor.noise_budget_bits(got);
+    EXPECT_GE(budget_got, budget_ref - 1.0)
+        << "threads=" << threads << " ref=" << budget_ref
+        << " got=" << budget_got;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PackNttEquivTest,
+                         ::testing::Values(1, 2, 8, 32));
+
+TEST(PackNtt, ThreadCountBitExact) {
+  // Per-lane scratch arenas must not leak lane identity into results.
+  PackNttFixture f(64, 23);
+  const std::size_t count = 32;
+  auto gk = f.keygen.make_galois_keys(log2_exact(count));
+  auto lwes = f.random_lwes(count);
+  const PackKeys keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
+  auto seq = pack_lwes(f.evaluator, lwes, keys, 1);
+  for (int threads : {3, 4, 8}) {
+    auto par = pack_lwes(f.evaluator, lwes, keys, threads);
+    EXPECT_EQ(seq.b.raw(), par.b.raw()) << "threads=" << threads;
+    EXPECT_EQ(seq.a.raw(), par.a.raw()) << "threads=" << threads;
+  }
+}
+
+TEST(PackNtt, ReferenceTreeThreadCountBitExact) {
+  PackNttFixture f(64, 29);
+  const std::size_t count = 16;
+  auto gk = f.keygen.make_galois_keys(log2_exact(count));
+  auto lwes = f.random_lwes(count);
+  auto seq = pack_lwes_reference(f.evaluator, lwes, gk, 1);
+  auto par = pack_lwes_reference(f.evaluator, lwes, gk, 8);
+  EXPECT_EQ(seq.b.raw(), par.b.raw());
+  EXPECT_EQ(seq.a.raw(), par.a.raw());
+}
+
+TEST(PackNtt, ConvenienceOverloadMatchesPrecomputedKeys) {
+  PackNttFixture f(64, 31);
+  const std::size_t count = 8;
+  auto gk = f.keygen.make_galois_keys(log2_exact(count));
+  auto lwes = f.random_lwes(count);
+  const PackKeys keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
+  auto a = pack_lwes(f.evaluator, lwes, keys, 2);
+  auto b = pack_lwes(f.evaluator, lwes, gk, 2);
+  EXPECT_EQ(a.b.raw(), b.b.raw());
+  EXPECT_EQ(a.a.raw(), b.a.raw());
+}
+
+TEST(PackNtt, HoistedKeyswitchMatchesKeyswitchPoly) {
+  // decompose_ntt_digits + FrozenKsk inner products + rescale must
+  // reproduce keyswitch_poly bit for bit — that identity is what lets
+  // the tree share one digit set between the b and a products.
+  PackNttFixture f(256, 37);
+  auto gk = f.keygen.make_galois_keys(2);
+  const RnsPoly c = f.encrypt_q(f.random_message(f.ctx->n())).a;
+
+  for (u64 k : {u64{3}, u64{5}}) {
+    const KeySwitchKey& ksk = gk.get(k);
+    auto [b_ref, a_ref] = f.evaluator.keyswitch_poly(c, ksk);
+
+    const Evaluator::FrozenKsk fksk = f.evaluator.freeze_ksk(ksk);
+    std::vector<RnsPoly> digits(f.ctx->dnum(),
+                                RnsPoly(f.ctx->base_qp(), false));
+    f.evaluator.decompose_ntt_digits(c, digits);
+    RnsPoly acc_b(f.ctx->base_qp(), true);
+    RnsPoly acc_a(f.ctx->base_qp(), true);
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+      fksk.b[j].mul_pointwise_acc(digits[j], acc_b);
+      fksk.a[j].mul_pointwise_acc(digits[j], acc_a);
+    }
+    acc_b.from_ntt();
+    acc_a.from_ntt();
+    const RnsPoly b_got = divide_round_by_last(acc_b, f.ctx->base_q());
+    const RnsPoly a_got = divide_round_by_last(acc_a, f.ctx->base_q());
+    EXPECT_EQ(b_got.raw(), b_ref.raw()) << "k=" << k;
+    EXPECT_EQ(a_got.raw(), a_ref.raw()) << "k=" << k;
+  }
+}
+
+TEST(PackNtt, NttAutomorphTableMatchesCoefficientDomain) {
+  // The evaluation-domain permutation must compute the same ring
+  // automorphism as the coefficient-domain gather + sign flips.
+  PackNttFixture f(256, 41);
+  const std::size_t n = f.ctx->n();
+  RnsPoly x(f.ctx->base_qp(), false);
+  for (std::size_t l = 0; l < x.limbs(); ++l) {
+    const u64 q = f.ctx->base_qp()->modulus(l).value();
+    for (std::size_t i = 0; i < n; ++i) x.limb(l)[i] = f.rng.uniform(q);
+  }
+  for (u64 k : {u64{3}, u64{5}, u64{2 * n - 1}}) {
+    const AutomorphTable coeff = make_automorph_table(n, k);
+    const AutomorphTable ntt = make_automorph_table_ntt(n, k);
+    RnsPoly want = x.automorph(coeff);
+    RnsPoly y = x;
+    y.to_ntt();
+    RnsPoly z = y.automorph(ntt);
+    EXPECT_TRUE(z.is_ntt());
+    z.from_ntt();
+    EXPECT_EQ(z.raw(), want.raw()) << "k=" << k;
+  }
+}
+
+TEST(PackNtt, MonomialNttMatchesShiftNeg) {
+  // X^s as a cached pointwise twiddle product == the coefficient-domain
+  // negacyclic shift, for shifts on both sides of the X^N wrap.
+  PackNttFixture f(64, 43);
+  const std::size_t n = f.ctx->n();
+  RnsPoly x(f.ctx->base_qp(), false);
+  for (std::size_t l = 0; l < x.limbs(); ++l) {
+    const u64 q = f.ctx->base_qp()->modulus(l).value();
+    for (std::size_t i = 0; i < n; ++i) x.limb(l)[i] = f.rng.uniform(q);
+  }
+  for (std::size_t s : {std::size_t{1}, n / 2, n - 1, n, n + 3, 2 * n - 1}) {
+    RnsPoly want = x.shiftneg(s);
+    auto mono = f.evaluator.monomial_ntt_qp(s);
+    RnsPoly y = x;
+    y.to_ntt();
+    RnsPoly z(f.ctx->base_qp(), true);
+    mono->mul_pointwise(y, z);
+    z.from_ntt();
+    EXPECT_EQ(z.raw(), want.raw()) << "s=" << s;
+  }
+}
+
+TEST(PackNtt, RejectsMismatchedInputs) {
+  PackNttFixture f(64, 47);
+  auto gk = f.keygen.make_galois_keys(2);
+  auto lwes = f.random_lwes(4);
+  // Keys that do not cover the tree depth.
+  const PackKeys shallow = make_pack_keys(f.evaluator, gk, 1);
+  EXPECT_THROW(pack_lwes(f.evaluator, lwes, shallow, 1), CheckError);
+  // Non-power-of-two and empty inputs.
+  const PackKeys keys = make_pack_keys(f.evaluator, gk, 2);
+  lwes.pop_back();
+  EXPECT_THROW(pack_lwes(f.evaluator, lwes, keys, 1), CheckError);
+  std::vector<LweCiphertext> empty;
+  EXPECT_THROW(pack_lwes(f.evaluator, empty, keys, 1), CheckError);
+  EXPECT_THROW(pack_lwes_reference(f.evaluator, empty, gk, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace cham

@@ -173,6 +173,40 @@ TEST_P(KernelsFuzzTest, ShoupProductsMatchScalar) {
   }
 }
 
+TEST_P(KernelsFuzzTest, BarrettReduceMatchesScalarForAnyInput) {
+  Rng rng(0x51D000E);
+  // Every tail length from 1 to 17 (past both lane widths and the 2x
+  // unroll) on top of the standard lengths: the digit-lift spans in
+  // key-switching are powers of two, but the kernel contract is any n.
+  std::vector<std::size_t> lengths(std::begin(kLengths),
+                                   std::end(kLengths));
+  for (std::size_t n = 1; n <= 17; ++n) lengths.push_back(n);
+  for (u64 q : kModuli) {
+    const u64 q_barrett =
+        static_cast<u64>((static_cast<u128>(1) << 64) / q);
+    for (std::size_t n : lengths) {
+      // The contract covers ANY 64-bit x at every level (the reduction
+      // always runs on the 64-bit mulhi, even on the 52-bit IFMA table):
+      // feed the full range plus the boundary cases.
+      std::vector<u64> x(n);
+      for (auto& v : x) v = rng.next_u64();
+      if (n >= 1) x[0] = ~u64{0};
+      if (n >= 2) x[1] = 0;
+      if (n >= 3) x[2] = q;
+      if (n >= 4) x[3] = q - 1;
+      if (n >= 5) x[4] = 2 * q - 1;
+      std::vector<u64> got(n), want(n);
+      k().barrett_reduce(x.data(), got.data(), n, q, q_barrett);
+      ref().barrett_reduce(x.data(), want.data(), n, q, q_barrett);
+      EXPECT_EQ(got, want) << "barrett_reduce n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_LT(got[j], q) << "must fully reduce, j=" << j;
+        ASSERT_EQ(got[j], x[j] % q) << "wrong residue at j=" << j;
+      }
+    }
+  }
+}
+
 TEST_P(KernelsFuzzTest, ForwardButterfliesMatchScalarAndStayLazy) {
   Rng rng(0x51D0003);
   for (u64 q : kModuli) {
