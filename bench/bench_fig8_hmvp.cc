@@ -75,5 +75,30 @@ int main() {
   const double dev_e2e = sched.makespan_seconds / jobs.size();
   std::cout << "End-to-end speed-up vs software (4096x4096 batch): "
             << fmt_speedup(cpu_e2e / dev_e2e) << " (paper: >10x)\n";
+
+  // Steady-state allocation and RSS stamp at a Fig. 8 measured shape:
+  // the same pool invariant bench_headline gates, checked on the
+  // software pipeline this figure's CPU rows are measured on.
+  {
+    GeneratedMatrix a(64, n_ring, f.ctx->params().t, 91);
+    const auto enc = f.engine.encode_matrix(a);
+    const auto ct =
+        f.engine.encrypt_vector(f.random_vector(n_ring), f.encryptor);
+    const u64 delta = steady_state_alloc_delta(
+        [&] { f.engine.multiply_encoded(enc, ct); });
+    if (mem::pool_enabled()) {
+      bench_check(delta == 0,
+                  "steady-state HMVP makes zero system allocations");
+    }
+    std::cout << "\nSteady-state HMVP (64x" << n_ring
+              << "): " << delta << " system allocation(s)/run, peak RSS "
+              << TablePrinter::num(peak_rss_mb(), 1) << " MiB\n";
+    emit_cham_bench(obs::JsonWriter()
+                        .field("benchmark", "steady_state_hmvp")
+                        .field("shape", "64x4096")
+                        .field("alloc_count", delta)
+                        .field("pool", mem::pool_enabled() ? 1 : 0)
+                        .field("peak_rss_mb", peak_rss_mb()));
+  }
   return bench_exit_code();
 }

@@ -104,7 +104,32 @@ int main() {
                    "49x-144x"});
     emit_json("beaver", "4096x4096", base_s, dev_s);
   }
-  (void)t;
+  // 4. Zero-allocation steady state: after warmup, a full HMVP runs
+  // entirely out of the slab pool — the software analogue of CHAM
+  // streaming every operand through fixed on-chip buffers. alloc_count
+  // is the system-allocation delta of one post-warmup multiply (exact-
+  // gated at 0); peak_rss_mb pins the process memory high-water mark.
+  {
+    GeneratedMatrix a(32, n_ring, t, 77);
+    const auto enc = f.engine.encode_matrix(a);
+    const auto ct =
+        f.engine.encrypt_vector(f.random_vector(n_ring), f.encryptor);
+    const u64 delta = steady_state_alloc_delta(
+        [&] { f.engine.multiply_encoded(enc, ct); });
+    if (mem::pool_enabled()) {
+      bench_check(delta == 0,
+                  "steady-state HMVP makes zero system allocations");
+    }
+    std::cout << "Steady-state HMVP (32x" << n_ring
+              << "): " << delta << " system allocation(s)/run, peak RSS "
+              << TablePrinter::num(peak_rss_mb(), 1) << " MiB\n";
+    emit_cham_bench(obs::JsonWriter()
+                        .field("benchmark", "steady_state_hmvp")
+                        .field("shape", "32x4096")
+                        .field("alloc_count", delta)
+                        .field("pool", mem::pool_enabled() ? 1 : 0)
+                        .field("peak_rss_mb", peak_rss_mb()));
+  }
 
   table.print();
   std::cout << "\nBaselines run on this machine's software implementation; "

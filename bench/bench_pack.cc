@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     lwes.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
       lwes.push_back(extract_lwe(ct_q, i));
-    const PackKeys keys =
+    const auto keys =
         make_pack_keys(f.evaluator, f.gk, log2_exact(count));
 
     Timer timer;
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
                                                threads);
     const double ref_s = timer.seconds();
     timer.reset();
-    const Ciphertext got = pack_lwes(f.evaluator, lwes, keys, threads);
+    const Ciphertext got = pack_lwes(f.evaluator, lwes, *keys, threads);
     const double new_s = timer.seconds();
 
     // Semantics: both trees decrypt to count·msg[i] at stride N/count,

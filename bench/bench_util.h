@@ -8,12 +8,15 @@
 // extrapolated. Device-side numbers always come from the cycle model.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <iostream>
 #include <memory>
 
 #include "apps/beaver.h"
 #include "apps/heterolr.h"
+#include "common/mem_pool.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "hmvp/baseline.h"
@@ -76,6 +79,38 @@ inline void emit_cham_bench(obs::JsonWriter fields) {
 inline void emit_cham_metrics() {
   std::cout << "CHAM-METRICS " << obs::MetricsRegistry::global().snapshot_json()
             << "\n";
+}
+
+// High-water resident set size of this process, in MiB (Linux ru_maxrss
+// is in KiB). Stamped on steady-state bench lines so the regression gate
+// catches memory blow-ups alongside slowdowns.
+inline double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+// Drive `iteration` to the slab pool's zero-allocation steady state:
+// run it until `confirm` consecutive runs make no system allocation
+// (slab carve or oversize bypass), then return 0. Which pool worker
+// claims which lane is a race, so a cold thread cache can join late —
+// everything before the confirmed streak counts as warmup. Returns the
+// last iteration's allocation delta if the budget runs out (i.e. the
+// steady state was never reached — nonzero exactly when something still
+// allocates per call).
+template <typename Fn>
+inline u64 steady_state_alloc_delta(Fn&& iteration, int max_iters = 20,
+                                    int confirm = 3) {
+  u64 last = 0;
+  int streak = 0;
+  for (int i = 0; i < max_iters; ++i) {
+    const u64 before = mem::pool_stats().alloc_count;
+    iteration();
+    last = mem::pool_stats().alloc_count - before;
+    streak = last == 0 ? streak + 1 : 0;
+    if (streak >= confirm) return 0;
+  }
+  return last;
 }
 
 // Paper-parameter fixture: N=4096 context, keys, engines.

@@ -6,7 +6,8 @@
 
 namespace cham {
 
-Evaluator::Evaluator(BfvContextPtr context) : ctx_(std::move(context)) {}
+Evaluator::Evaluator(BfvContextPtr context)
+    : ctx_(std::move(context)), evk_(EvkManager::shared(ctx_)) {}
 
 Ciphertext Evaluator::add(const Ciphertext& x, const Ciphertext& y) const {
   Ciphertext out = x;
@@ -204,63 +205,17 @@ void Evaluator::decompose_ntt_digits(const RnsPoly& c,
 }
 
 std::shared_ptr<const AutomorphTable> Evaluator::galois_table(u64 k) const {
-  {
-    std::shared_lock<std::shared_mutex> lock(galois_mu_);
-    auto it = galois_tables_.find(k);
-    if (it != galois_tables_.end()) return it->second;
-  }
-  auto table =
-      std::make_shared<const AutomorphTable>(make_automorph_table(ctx_->n(), k));
-  std::unique_lock<std::shared_mutex> lock(galois_mu_);
-  // A racing creator may have inserted first; keep that instance.
-  return galois_tables_.emplace(k, std::move(table)).first->second;
+  return evk_->automorph_table(k);
 }
 
 std::shared_ptr<const AutomorphTable> Evaluator::galois_table_ntt(
     u64 k) const {
-  {
-    std::shared_lock<std::shared_mutex> lock(galois_mu_);
-    auto it = galois_tables_ntt_.find(k);
-    if (it != galois_tables_ntt_.end()) return it->second;
-  }
-  auto table = std::make_shared<const AutomorphTable>(
-      make_automorph_table_ntt(ctx_->n(), k));
-  std::unique_lock<std::shared_mutex> lock(galois_mu_);
-  return galois_tables_ntt_.emplace(k, std::move(table)).first->second;
+  return evk_->automorph_table_ntt(k);
 }
 
 std::shared_ptr<const ShoupPoly> Evaluator::monomial_ntt_qp(
     std::size_t s) const {
-  const u64 key = static_cast<u64>(s);
-  {
-    std::shared_lock<std::shared_mutex> lock(galois_mu_);
-    auto it = monomials_qp_.find(key);
-    if (it != monomials_qp_.end()) return it->second;
-  }
-  const RnsBasePtr& base = ctx_->base_qp();
-  const std::size_t n = ctx_->n();
-  CHAM_CHECK_MSG(s < 2 * n, "monomial exponent must be in [0, 2N)");
-  const int log_n = log2_exact(n);
-  const u64 mask = 2 * static_cast<u64>(n) - 1;
-  RnsPoly tw(base, true);
-  for (std::size_t l = 0; l < base->size(); ++l) {
-    const Modulus& ql = base->modulus(l);
-    // psipow[e] = ψ_l^e for e in [0, 2N); slot i of the evaluation form
-    // of X^s·a(X) is a(ψ^{2·rev(i)+1}) scaled by ψ^{s·(2·rev(i)+1)}.
-    std::vector<u64> psipow(2 * n);
-    const u64 psi = base->ntt(l).psi();
-    psipow[0] = 1;
-    for (std::size_t e = 1; e < 2 * n; ++e)
-      psipow[e] = ql.mul(psipow[e - 1], psi);
-    u64* limb = tw.limb(l);
-    for (std::size_t i = 0; i < n; ++i) {
-      const u64 rev_i = bit_reverse(static_cast<std::uint32_t>(i), log_n);
-      limb[i] = psipow[(static_cast<u64>(s) * (2 * rev_i + 1)) & mask];
-    }
-  }
-  auto frozen = std::make_shared<const ShoupPoly>(tw);
-  std::unique_lock<std::shared_mutex> lock(galois_mu_);
-  return monomials_qp_.emplace(key, std::move(frozen)).first->second;
+  return evk_->monomial_ntt_qp(s);
 }
 
 Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
@@ -270,14 +225,27 @@ Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
   CHAM_CHECK_MSG(x.base() == ctx_->base_q(),
                  "apply_galois expects a rescaled (base_q) ciphertext");
   CHAM_CHECK_MSG(!x.is_ntt(), "apply_galois expects coefficient domain");
-  const auto table = galois_table(k);
+  const auto table = evk_->automorph_table(k);
+  const auto fksk = evk_->frozen(gk.get(k));
   RnsPoly b_auto = x.b.automorph(*table);
   RnsPoly a_auto = x.a.automorph(*table);
-  auto [ks_b, ks_a] = keyswitch_poly(a_auto, gk.get(k));
+  // Hoisted digits against the manager-frozen key: the forward NTTs are
+  // shared between the b and a inner products and the pointwise work
+  // runs on mul_shoup — bit-exact with the keyswitch_poly pipeline.
+  std::vector<RnsPoly> digits(ctx_->dnum(), RnsPoly(ctx_->base_qp(), false));
+  decompose_ntt_digits(a_auto, digits);
+  RnsPoly acc_b(ctx_->base_qp(), true);
+  RnsPoly acc_a(ctx_->base_qp(), true);
+  for (std::size_t j = 0; j < digits.size(); ++j) {
+    fksk->b[j].mul_pointwise_acc(digits[j], acc_b);
+    fksk->a[j].mul_pointwise_acc(digits[j], acc_a);
+  }
+  acc_b.from_ntt();
+  acc_a.from_ntt();
   Ciphertext out;
-  b_auto.add_inplace(ks_b);
-  out.b = std::move(b_auto);
-  out.a = std::move(ks_a);
+  out.b = divide_round_by_last(acc_b, ctx_->base_q());
+  out.a = divide_round_by_last(acc_a, ctx_->base_q());
+  out.b.add_inplace(b_auto);
   return out;
 }
 

@@ -3,11 +3,10 @@
 // key-switching — exactly the primitive set CHAM's pipeline implements.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <shared_mutex>
 
 #include "bfv/ciphertext.h"
+#include "bfv/evk_manager.h"
 #include "bfv/keys.h"
 
 namespace cham {
@@ -78,13 +77,11 @@ class Evaluator {
 
   // --- hoisted key-switching (the NTT-resident pack tree's primitives) ---
 
-  // A key-switch key with both digit planes frozen into Shoup form, so
-  // the per-merge inner products run on mul_shoup instead of Barrett.
-  // Freezing costs one division per coefficient; callers freeze once per
-  // pack invocation and amortize over every merge of the tree.
-  struct FrozenKsk {
-    std::vector<ShoupPoly> b, a;
-  };
+  // The frozen key-switch key type now lives in bfv/evk_manager.h; the
+  // alias and the one-shot freeze entry point are kept for callers that
+  // want an unmanaged copy (benches comparing freeze cost). Hot paths go
+  // through evk().frozen(), which freezes once per key and shares.
+  using FrozenKsk = cham::FrozenKsk;
   FrozenKsk freeze_ksk(const KeySwitchKey& ksk) const;
 
   // Halevi–Shoup-style hoisted decomposition: digit j is the j-th base_q
@@ -97,8 +94,14 @@ class Evaluator {
   void decompose_ntt_digits(const RnsPoly& c,
                             std::vector<RnsPoly>& digits) const;
 
-  // Automorph routing tables keyed by Galois element, cached behind a
-  // shared lock (pack trees apply Galois ops from parallel pool lanes).
+  // The evaluation-key manager shared by every Evaluator on this context
+  // (keyed registry, see bfv/evk_manager.h). Automorph tables, monomial
+  // twiddles, frozen key-switch keys and pack operand sets all live
+  // there; the delegating accessors below are kept for existing callers.
+  EvkManager& evk() const { return *evk_; }
+
+  // Automorph routing tables keyed by Galois element (delegates to the
+  // shared manager; safe from parallel pool lanes).
   // Coefficient-domain table (gather + sign flips).
   std::shared_ptr<const AutomorphTable> galois_table(u64 k) const;
   // NTT-domain table: the same automorphism as a pure evaluation-slot
@@ -106,20 +109,13 @@ class Evaluator {
   // operands skip the inverse/forward transform pair entirely.
   std::shared_ptr<const AutomorphTable> galois_table_ntt(u64 k) const;
 
-  // Evaluation-form multiplier for X^s over base_qp: slot i of limb l
-  // carries ψ_l^{s·(2·rev(i)+1) mod 2N} in Shoup form, so a negacyclic
-  // monomial shift of an NTT-resident polynomial is one pointwise
-  // product. Cached per shift (the pack tree uses log C distinct s).
+  // Evaluation-form multiplier for X^s over base_qp (delegates to the
+  // shared manager; see EvkManager::monomial_ntt_qp).
   std::shared_ptr<const ShoupPoly> monomial_ntt_qp(std::size_t s) const;
 
  private:
   BfvContextPtr ctx_;
-  mutable std::shared_mutex galois_mu_;
-  mutable std::map<u64, std::shared_ptr<const AutomorphTable>>
-      galois_tables_;
-  mutable std::map<u64, std::shared_ptr<const AutomorphTable>>
-      galois_tables_ntt_;
-  mutable std::map<u64, std::shared_ptr<const ShoupPoly>> monomials_qp_;
+  std::shared_ptr<EvkManager> evk_;
 };
 
 }  // namespace cham

@@ -1,0 +1,185 @@
+#include "bfv/evk_manager.h"
+
+#include <mutex>
+#include <utility>
+
+#include "nt/bitops.h"
+#include "obs/metrics.h"
+
+namespace cham {
+
+namespace {
+
+obs::Counter& freeze_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("evk.freezes");
+  return c;
+}
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("evk.hits");
+  return c;
+}
+
+}  // namespace
+
+EvkManager::EvkManager(BfvContextPtr context) : ctx_(std::move(context)) {}
+
+std::shared_ptr<EvkManager> EvkManager::shared(const BfvContextPtr& context,
+                                               const std::string& session) {
+  CHAM_CHECK(context != nullptr);
+  using Key = std::pair<const BfvContext*, std::string>;
+  // Leaked registry of weak references: managers (and through them the
+  // key material) live exactly as long as their consumers, and a context
+  // address reused after full teardown can never alias a live entry (an
+  // entry is live only while its manager pins the context).
+  static std::mutex* reg_mu = new std::mutex;
+  static auto* reg = new std::map<Key, std::weak_ptr<EvkManager>>;
+  std::lock_guard<std::mutex> lock(*reg_mu);
+  std::weak_ptr<EvkManager>& slot = (*reg)[Key{context.get(), session}];
+  if (auto existing = slot.lock()) return existing;
+  auto made = std::make_shared<EvkManager>(context);
+  slot = made;
+  // Sweep expired entries so long-running processes that churn contexts
+  // (tests, sessions) keep the registry at its live size.
+  for (auto it = reg->begin(); it != reg->end();) {
+    it = it->second.expired() ? reg->erase(it) : std::next(it);
+  }
+  return made;
+}
+
+std::shared_ptr<const AutomorphTable> EvkManager::automorph_table(u64 k) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_coeff_.find(k);
+    if (it != tables_coeff_.end()) return it->second;
+  }
+  auto table = std::make_shared<const AutomorphTable>(
+      make_automorph_table(ctx_->n(), k));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // A racing creator may have inserted first; keep that instance.
+  return tables_coeff_.emplace(k, std::move(table)).first->second;
+}
+
+std::shared_ptr<const AutomorphTable> EvkManager::automorph_table_ntt(u64 k) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_ntt_.find(k);
+    if (it != tables_ntt_.end()) return it->second;
+  }
+  auto table = std::make_shared<const AutomorphTable>(
+      make_automorph_table_ntt(ctx_->n(), k));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return tables_ntt_.emplace(k, std::move(table)).first->second;
+}
+
+std::shared_ptr<const ShoupPoly> EvkManager::monomial_ntt_qp(std::size_t s) {
+  const u64 key = static_cast<u64>(s);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = monomials_qp_.find(key);
+    if (it != monomials_qp_.end()) return it->second;
+  }
+  const RnsBasePtr& base = ctx_->base_qp();
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK_MSG(s < 2 * n, "monomial exponent must be in [0, 2N)");
+  const int log_n = log2_exact(n);
+  const u64 mask = 2 * static_cast<u64>(n) - 1;
+  RnsPoly tw(base, true);
+  for (std::size_t l = 0; l < base->size(); ++l) {
+    const Modulus& ql = base->modulus(l);
+    // psipow[e] = ψ_l^e for e in [0, 2N); slot i of the evaluation form
+    // of X^s·a(X) is a(ψ^{2·rev(i)+1}) scaled by ψ^{s·(2·rev(i)+1)}.
+    std::vector<u64> psipow(2 * n);
+    const u64 psi = base->ntt(l).psi();
+    psipow[0] = 1;
+    for (std::size_t e = 1; e < 2 * n; ++e)
+      psipow[e] = ql.mul(psipow[e - 1], psi);
+    u64* limb = tw.limb(l);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 rev_i = bit_reverse(static_cast<std::uint32_t>(i), log_n);
+      limb[i] = psipow[(static_cast<u64>(s) * (2 * rev_i + 1)) & mask];
+    }
+  }
+  auto frozen = std::make_shared<const ShoupPoly>(tw);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return monomials_qp_.emplace(key, std::move(frozen)).first->second;
+}
+
+std::shared_ptr<const FrozenKsk> EvkManager::frozen(const KeySwitchKey& ksk) {
+  CHAM_CHECK_MSG(ksk.context == ctx_,
+                 "key-switch key belongs to a different context");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = frozen_.find(ksk.uid);
+    if (it != frozen_.end()) {
+      hit_counter().add(1);
+      return it->second;
+    }
+  }
+  // Build under the unique lock: concurrent first access serializes and
+  // the second arrival finds the entry, so the per-coefficient freeze
+  // division runs exactly once per key uid.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = frozen_.find(ksk.uid);
+  if (it != frozen_.end()) {
+    hit_counter().add(1);
+    return it->second;
+  }
+  auto out = std::make_shared<FrozenKsk>();
+  out->b.reserve(ksk.b.size());
+  out->a.reserve(ksk.a.size());
+  for (const RnsPoly& poly : ksk.b) out->b.emplace_back(poly);
+  for (const RnsPoly& poly : ksk.a) out->a.emplace_back(poly);
+  freeze_counter().add(1);
+  return frozen_.emplace(ksk.uid, std::move(out)).first->second;
+}
+
+std::shared_ptr<const PackKeys> EvkManager::pack_keys(const GaloisKeys& gk,
+                                                      int max_level_log) {
+  const std::size_t n = ctx_->n();
+  CHAM_CHECK(max_level_log >= 1 &&
+             (std::size_t{1} << max_level_log) <= n);
+  const std::size_t want = static_cast<std::size_t>(max_level_log) + 1;
+  std::shared_ptr<const PackKeys> have;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = pack_.find(gk.uid);
+    if (it != pack_.end()) {
+      if (it->second->levels.size() >= want) {
+        hit_counter().add(1);
+        return it->second;
+      }
+      have = it->second;  // extend below, sharing the built levels
+    }
+  }
+  // Assembly happens outside the lock: each part is itself cached (and
+  // the KSK freeze is exactly-once), so a racing assembly duplicates only
+  // cheap shared_ptr plumbing.
+  auto keys = std::make_shared<PackKeys>();
+  keys->levels.resize(want);
+  for (int l = 1; l <= max_level_log; ++l) {
+    const std::size_t idx = static_cast<std::size_t>(l);
+    if (have != nullptr && idx < have->levels.size()) {
+      keys->levels[idx] = have->levels[idx];
+      continue;
+    }
+    const u64 k = (1ULL << l) + 1;
+    PackKeys::Level& lvl = keys->levels[idx];
+    lvl.shift = n >> l;
+    lvl.mono = monomial_ntt_qp(lvl.shift);
+    lvl.coeff = automorph_table(k);
+    lvl.ntt = automorph_table_ntt(k);
+    lvl.ksk = frozen(gk.get(k));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = pack_.emplace(gk.uid, keys);
+  if (!inserted) {
+    // First writer wins unless we assembled a deeper set.
+    if (it->second->levels.size() >= want) return it->second;
+    it->second = keys;
+  }
+  return keys;
+}
+
+}  // namespace cham

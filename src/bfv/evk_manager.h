@@ -1,0 +1,100 @@
+// Central evaluation-key manager — the software analogue of CHAM's key
+// SRAM (paper Fig. 1b): every piece of derived key material (Shoup-frozen
+// key-switch keys, automorph routing tables, evaluation-domain monomial
+// twiddles, assembled pack-tree operand sets) is built exactly once per
+// (params, session) and then shared, read-only, by every consumer — the
+// HMVP row loop, the pack tree, baseline rotations and the HeteroLR /
+// Beaver apps.
+//
+// Identity: KeySwitchKey and GaloisKeys carry a process-unique `uid`
+// assigned at construction (copies share it; a deserialized key gets a
+// fresh one), so the frozen caches are keyed by key material rather than
+// by object address — no ABA hazard when keys are destroyed and the
+// address reused.
+//
+// Concurrency: lookups take a shared lock. A FrozenKsk is built under the
+// unique lock, so concurrent first access freezes exactly once (the
+// `evk.freezes` counter counts builds, `evk.hits` counts cache hits —
+// CHAM-METRICS observability for key residency). Pack-key assembly runs
+// outside the lock (its parts are themselves freeze-once), then the
+// assembled set is published with first-writer-wins semantics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "bfv/keys.h"
+
+namespace cham {
+
+// A key-switch key with both digit planes frozen into Shoup form, so the
+// per-merge inner products run on mul_shoup instead of Barrett. Freezing
+// costs one division per coefficient; the manager amortizes it over every
+// key-switch of the process.
+struct FrozenKsk {
+  std::vector<ShoupPoly> b, a;
+};
+
+// Per-level operands of the NTT-resident pack tree, shared by every merge
+// of every pack call: the evaluation-domain monomial twiddles for
+// X^{N/2^l}, both automorphism routing tables for X -> X^{2^l+1}, and the
+// Galois key frozen into Shoup form.
+struct PackKeys {
+  struct Level {
+    std::size_t shift = 0;                        // N / 2^l
+    std::shared_ptr<const ShoupPoly> mono;        // X^shift, eval domain
+    std::shared_ptr<const AutomorphTable> coeff;  // automorph, coeff domain
+    std::shared_ptr<const AutomorphTable> ntt;    // automorph, eval domain
+    std::shared_ptr<const FrozenKsk> ksk;         // frozen gk(2^l + 1)
+  };
+  std::vector<Level> levels;  // indexed by level_log; [0] unused
+};
+
+class EvkManager {
+ public:
+  explicit EvkManager(BfvContextPtr context);
+
+  // Process-wide manager registry: same (context, session) -> same
+  // manager, for as long as anyone holds it (the registry keeps weak
+  // references, so dropping every Evaluator releases the key material).
+  static std::shared_ptr<EvkManager> shared(const BfvContextPtr& context,
+                                            const std::string& session = "");
+
+  const BfvContextPtr& context() const { return ctx_; }
+
+  // Automorph routing tables keyed by Galois element. Coefficient-domain
+  // (gather + sign flips) and NTT-domain (pure evaluation-slot
+  // permutation) variants.
+  std::shared_ptr<const AutomorphTable> automorph_table(u64 k);
+  std::shared_ptr<const AutomorphTable> automorph_table_ntt(u64 k);
+
+  // Evaluation-form multiplier for X^s over base_qp: slot i of limb l
+  // carries ψ_l^{s·(2·rev(i)+1) mod 2N} in Shoup form, so a negacyclic
+  // monomial shift of an NTT-resident polynomial is one pointwise
+  // product. Cached per shift (the pack tree uses log C distinct s).
+  std::shared_ptr<const ShoupPoly> monomial_ntt_qp(std::size_t s);
+
+  // The Shoup-frozen form of `ksk`, built exactly once per key uid.
+  std::shared_ptr<const FrozenKsk> frozen(const KeySwitchKey& ksk);
+
+  // The pack-tree operand set for gk covering levels 1..max_level_log,
+  // cached per GaloisKeys uid; a deeper request extends the cached set
+  // (shallower levels are shared, not rebuilt). Requires gk.has(2^l + 1)
+  // for every level.
+  std::shared_ptr<const PackKeys> pack_keys(const GaloisKeys& gk,
+                                            int max_level_log);
+
+ private:
+  BfvContextPtr ctx_;
+  mutable std::shared_mutex mu_;
+  std::map<u64, std::shared_ptr<const AutomorphTable>> tables_coeff_;
+  std::map<u64, std::shared_ptr<const AutomorphTable>> tables_ntt_;
+  std::map<u64, std::shared_ptr<const ShoupPoly>> monomials_qp_;
+  std::map<u64, std::shared_ptr<const FrozenKsk>> frozen_;     // KSK uid
+  std::map<u64, std::shared_ptr<const PackKeys>> pack_;        // GK uid
+};
+
+}  // namespace cham

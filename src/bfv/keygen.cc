@@ -1,5 +1,7 @@
 #include "bfv/keygen.h"
 
+#include <set>
+
 #include "ring/sampling.h"
 
 namespace cham {
@@ -66,15 +68,15 @@ GaloisKeys KeyGenerator::make_galois_keys(int levels,
                                           const std::vector<u64>& extra) {
   CHAM_CHECK(levels >= 0 &&
              (std::size_t{1} << levels) <= ctx_->n());
+  // Union of the pack-tree elements (2^l + 1) and the caller's extras:
+  // one key per distinct element, regardless of overlap or duplicates in
+  // `extra` (rotation sets often collide with the low tree levels).
+  std::set<u64> elements;
+  for (int l = 1; l <= levels; ++l) elements.insert((1ULL << l) + 1);
+  elements.insert(extra.begin(), extra.end());
   GaloisKeys gk;
   gk.context = ctx_;
-  for (int l = 1; l <= levels; ++l) {
-    const u64 k = (1ULL << l) + 1;
-    gk.keys.emplace(k, make_galois_key(k));
-  }
-  for (u64 k : extra) {
-    if (!gk.has(k)) gk.keys.emplace(k, make_galois_key(k));
-  }
+  for (u64 k : elements) gk.keys.emplace(k, make_galois_key(k));
   return gk;
 }
 

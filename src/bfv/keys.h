@@ -1,12 +1,24 @@
 // Key material: secret key, public key, key-switch keys and Galois keys.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <vector>
 
 #include "bfv/context.h"
 
 namespace cham {
+
+namespace detail {
+// Process-unique identity for key material. Assigned at construction and
+// shared by copies, so registries (EvkManager) can key derived material
+// by the key itself rather than by object address — destroying a key and
+// reusing its address can never alias a cache entry. Never zero.
+inline u64 next_key_uid() {
+  static std::atomic<u64> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace detail
 
 // Ternary secret s, stored over base_qp in NTT form (the form every
 // consumer needs), plus the coefficient-domain copy for extraction into
@@ -32,6 +44,7 @@ struct KeySwitchKey {
   BfvContextPtr context;
   std::vector<RnsPoly> b;  // dnum entries
   std::vector<RnsPoly> a;
+  u64 uid = detail::next_key_uid();  // registry identity (see above)
 };
 
 // Key-switch keys for the automorphisms X -> X^k used by PackLWEs
@@ -39,6 +52,7 @@ struct KeySwitchKey {
 struct GaloisKeys {
   BfvContextPtr context;
   std::map<u64, KeySwitchKey> keys;  // automorphism index -> KSK
+  u64 uid = detail::next_key_uid();  // registry identity (see above)
 
   bool has(u64 k) const { return keys.count(k) != 0; }
   const KeySwitchKey& get(u64 k) const {

@@ -1,0 +1,275 @@
+#include "common/mem_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CHAM_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CHAM_POOL_ASAN 1
+#endif
+#endif
+#ifdef CHAM_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#define CHAM_POISON(p, n) ASAN_POISON_MEMORY_REGION(p, n)
+#define CHAM_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION(p, n)
+#else
+#define CHAM_POISON(p, n) ((void)0)
+#define CHAM_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace cham {
+namespace mem {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+// Handles onto the registry counters, bound once. The registry singleton
+// is intentionally leaked, so these references stay valid through static
+// destruction (pool_free runs from destructors of static AlignedVecs).
+struct Counters {
+  obs::Counter& alloc_count;
+  obs::Counter& alloc_bytes;
+  obs::Counter& hit;
+  obs::Counter& miss;
+};
+
+Counters& counters() {
+  static Counters& c = *new Counters{
+      obs::MetricsRegistry::global().counter("alloc.count"),
+      obs::MetricsRegistry::global().counter("alloc.bytes"),
+      obs::MetricsRegistry::global().counter("pool.hit"),
+      obs::MetricsRegistry::global().counter("pool.miss"),
+  };
+  return c;
+}
+
+void* system_alloc(std::size_t bytes) {
+  counters().alloc_count.add(1);
+  counters().alloc_bytes.add(bytes);
+  return ::operator new(bytes, std::align_val_t(kAlign));
+}
+
+void system_free(void* p) noexcept {
+  ::operator delete(p, std::align_val_t(kAlign));
+}
+
+}  // namespace
+
+#ifndef CHAM_POOL_DISABLED
+
+namespace {
+
+// Power-of-two size classes from 64 B to 16 MiB; larger requests bypass
+// the pool entirely (nothing in the steady-state working set is that
+// big — matrices are encoded row-by-row).
+constexpr int kMinClassLog = 6;
+constexpr int kMaxClassLog = 24;
+constexpr int kNumClasses = kMaxClassLog - kMinClassLog + 1;
+
+// Slabs are carved at this granularity (or one block, when the class is
+// bigger), so small classes amortize one system allocation over many
+// blocks.
+constexpr std::size_t kSlabBytes = std::size_t{1} << 18;  // 256 KiB
+
+// Per-thread free-list capacity: up to 8 blocks per class, shrinking for
+// big classes so one idle thread can strand at most ~1 MiB per class.
+constexpr std::size_t kTlsCapBytes = std::size_t{1} << 20;
+constexpr int kTlsMaxBlocks = 8;
+
+int class_index(std::size_t bytes) {
+  if (bytes <= (std::size_t{1} << kMinClassLog)) return 0;
+  return std::bit_width(bytes - 1) - kMinClassLog;
+}
+
+constexpr std::size_t class_bytes(int cls) {
+  return std::size_t{1} << (cls + kMinClassLog);
+}
+
+int tls_cap(int cls) {
+  const std::size_t by_budget = kTlsCapBytes / class_bytes(cls);
+  if (by_budget == 0) return 1;
+  if (by_budget > static_cast<std::size_t>(kTlsMaxBlocks)) {
+    return kTlsMaxBlocks;
+  }
+  return static_cast<int>(by_budget);
+}
+
+// Global back end: one locked free list per class plus the slab spine.
+// Heap-allocated and reachable from a static pointer for the whole
+// process lifetime — never destroyed, so frees racing static teardown
+// stay safe and LeakSanitizer sees every slab as reachable.
+struct Arena {
+  struct ClassList {
+    std::mutex mu;
+    std::vector<void*> free;
+  };
+  ClassList lists[kNumClasses];
+  std::mutex slab_mu;
+  std::vector<void*> slabs;
+};
+
+Arena& arena() {
+  static Arena* a = new Arena;
+  return *a;
+}
+
+// Thread-local front end. A trivially-destructible thread_local pointer
+// tracks liveness: once the owner is torn down at thread exit the pointer
+// is null again and alloc/free fall through to the global lists, so late
+// TLS destructors that still free AlignedVecs never touch a dead cache.
+struct ThreadCache {
+  void* blocks[kNumClasses][kTlsMaxBlocks];
+  int count[kNumClasses] = {};
+};
+
+thread_local ThreadCache* t_cache = nullptr;
+thread_local bool t_cache_dead = false;
+
+struct ThreadCacheOwner {
+  ThreadCache cache;
+  ThreadCacheOwner() { t_cache = &cache; }
+  ~ThreadCacheOwner() {
+    t_cache = nullptr;
+    t_cache_dead = true;
+    Arena& a = arena();
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+      if (cache.count[cls] == 0) continue;
+      std::lock_guard<std::mutex> lock(a.lists[cls].mu);
+      for (int i = 0; i < cache.count[cls]; ++i) {
+        a.lists[cls].free.push_back(cache.blocks[cls][i]);
+      }
+    }
+  }
+};
+
+ThreadCache* cache() {
+  if (t_cache != nullptr || t_cache_dead) return t_cache;
+  static thread_local ThreadCacheOwner owner;
+  return t_cache;
+}
+
+// Carve a fresh slab for `cls`, stocking the global free list with every
+// block but the returned one.
+void* carve(int cls) {
+  const std::size_t block = class_bytes(cls);
+  // Blocks up to 1 MiB are carved at least four at a time: the spares
+  // stock the global list, so a pool worker joining a steady-state
+  // workload late (thread->lane assignment is a race) finds a block
+  // instead of carving. Bigger classes stay one-block carves — they are
+  // cold-path and quadrupling them would be pure RSS.
+  const std::size_t slab = block <= (std::size_t{1} << 20)
+                               ? std::max(kSlabBytes, 4 * block)
+                               : block;
+  char* base = static_cast<char*>(system_alloc(slab));
+  Arena& a = arena();
+  {
+    std::lock_guard<std::mutex> lock(a.slab_mu);
+    a.slabs.push_back(base);
+  }
+  const std::size_t blocks = slab / block;
+  if (blocks > 1) {
+    std::lock_guard<std::mutex> lock(a.lists[cls].mu);
+    for (std::size_t i = 1; i < blocks; ++i) {
+      char* p = base + i * block;
+      CHAM_POISON(p, block);
+      a.lists[cls].free.push_back(p);
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+void* pool_alloc(std::size_t bytes) {
+  if (bytes > (std::size_t{1} << kMaxClassLog)) {
+    counters().miss.add(1);
+    return system_alloc(bytes);
+  }
+  const int cls = class_index(bytes);
+  ThreadCache* tc = cache();
+  if (tc != nullptr && tc->count[cls] > 0) {
+    void* p = tc->blocks[cls][--tc->count[cls]];
+    counters().hit.add(1);
+    CHAM_UNPOISON(p, class_bytes(cls));
+    return p;
+  }
+  {
+    Arena::ClassList& gl = arena().lists[cls];
+    std::lock_guard<std::mutex> lock(gl.mu);
+    if (!gl.free.empty()) {
+      void* p = gl.free.back();
+      gl.free.pop_back();
+      // Refill the thread cache to half capacity while the lock is held,
+      // so a lane that just went cold doesn't take the lock per request.
+      if (tc != nullptr) {
+        const int want = tls_cap(cls) / 2;
+        while (tc->count[cls] < want && !gl.free.empty()) {
+          tc->blocks[cls][tc->count[cls]++] = gl.free.back();
+          gl.free.pop_back();
+        }
+      }
+      counters().hit.add(1);
+      CHAM_UNPOISON(p, class_bytes(cls));
+      return p;
+    }
+  }
+  counters().miss.add(1);
+  return carve(cls);
+}
+
+void pool_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes > (std::size_t{1} << kMaxClassLog)) {
+    system_free(p);
+    return;
+  }
+  const int cls = class_index(bytes);
+  CHAM_POISON(p, class_bytes(cls));
+  ThreadCache* tc = cache();
+  if (tc != nullptr && tc->count[cls] < tls_cap(cls)) {
+    tc->blocks[cls][tc->count[cls]++] = p;
+    return;
+  }
+  Arena::ClassList& gl = arena().lists[cls];
+  std::lock_guard<std::mutex> lock(gl.mu);
+  gl.free.push_back(p);
+}
+
+bool pool_enabled() noexcept { return true; }
+
+#else  // CHAM_POOL_DISABLED
+
+// Compile-out: the stateless aligned allocator the pool replaced, with
+// the alloc.* counters kept live so the CHAM-METRICS signal survives the
+// configuration (every request is a system allocation and a pool miss).
+void* pool_alloc(std::size_t bytes) {
+  counters().miss.add(1);
+  return system_alloc(bytes);
+}
+
+void pool_free(void* p, std::size_t) noexcept {
+  if (p == nullptr) return;
+  system_free(p);
+}
+
+bool pool_enabled() noexcept { return false; }
+
+#endif  // CHAM_POOL_DISABLED
+
+PoolStats pool_stats() noexcept {
+  const Counters& c = counters();
+  return PoolStats{c.alloc_count.value(), c.alloc_bytes.value(),
+                   c.hit.value(), c.miss.value()};
+}
+
+}  // namespace mem
+}  // namespace cham

@@ -1,0 +1,56 @@
+// Size-class slab pool backing AlignedVec limb storage — the software
+// analogue of CHAM's fixed on-chip polynomial buffers (paper Fig. 1b):
+// once the working set has been touched, steady-state evaluation never
+// asks the system allocator for memory again.
+//
+// Layout: requests round up to a power-of-two size class (64 B .. 16 MiB;
+// larger requests bypass the pool). Each class has a bounded thread-local
+// free-list front end over a mutex-protected global list; new memory is
+// carved from 64-byte-aligned slabs owned by a process-lifetime arena.
+// Blocks freed on one thread are reusable from any other: the bounded
+// thread caches overflow into the global list, so producer/consumer
+// thread patterns (pool lanes allocate, the submitter frees) reach a
+// fixed-point working set after a couple of iterations.
+//
+// Observability: the pool publishes four counters through
+// obs::MetricsRegistry — `alloc.count`/`alloc.bytes` (system allocations:
+// slab carves plus oversize bypasses) and `pool.hit`/`pool.miss`
+// (requests served from a free list vs. requests that needed new system
+// memory). A steady-state loop is allocation-free exactly when its
+// `alloc.count` delta is zero.
+//
+// Configured out with -DCHAM_POOL=OFF (CHAM_POOL_DISABLED): pool_alloc/
+// pool_free degrade to plain aligned operator new/delete, with
+// `alloc.count`/`alloc.bytes` still counting so the metric stays live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cham {
+namespace mem {
+
+// Returns a 64-byte-aligned block of at least `bytes` bytes (a unique
+// non-null pointer when bytes == 0). Throws std::bad_alloc on exhaustion.
+void* pool_alloc(std::size_t bytes);
+
+// Releases a block from pool_alloc back to its free list. `bytes` must be
+// the value passed to the matching pool_alloc call (the std::allocator
+// contract AlignedAllocator already obeys). Null is ignored.
+void pool_free(void* p, std::size_t bytes) noexcept;
+
+// True when the slab pool is compiled in (CHAM_POOL=ON).
+bool pool_enabled() noexcept;
+
+// Point-in-time reading of the pool's registry counters, for tests and
+// steady-state bench gates that difference two snapshots.
+struct PoolStats {
+  std::uint64_t alloc_count;  // system allocations (carves + bypasses)
+  std::uint64_t alloc_bytes;  // bytes obtained from the system
+  std::uint64_t pool_hit;     // requests served from a free list
+  std::uint64_t pool_miss;    // requests that carved new memory
+};
+PoolStats pool_stats() noexcept;
+
+}  // namespace mem
+}  // namespace cham

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/trace.h"
@@ -8,8 +9,34 @@
 namespace cham {
 
 namespace {
+
 thread_local bool t_in_lane = false;
+
+std::size_t default_lanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // The floor keeps multi-lane code paths genuinely exercised (and
+  // race-checkable) on small CI hosts.
+  return std::max<std::size_t>(hw == 0 ? 1 : hw, 8);
+}
+
 }  // namespace
+
+std::size_t resolve_thread_count(const char* env, std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (env == nullptr || env[0] == '\0') return default_lanes();
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) {
+    const std::size_t fallback = default_lanes();
+    if (warning != nullptr) {
+      *warning = std::string("CHAM_THREADS=") + env +
+                 " is not a positive lane count; using " +
+                 std::to_string(fallback);
+    }
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
@@ -136,14 +163,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    std::size_t lanes = 0;
-    if (const char* env = std::getenv("CHAM_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) lanes = static_cast<std::size_t>(v);
-    }
-    if (lanes == 0) {
-      const unsigned hw = std::thread::hardware_concurrency();
-      lanes = std::max<std::size_t>(hw == 0 ? 1 : hw, 8);
+    std::string warning;
+    const std::size_t lanes =
+        resolve_thread_count(std::getenv("CHAM_THREADS"), &warning);
+    if (!warning.empty()) {
+      // Once per process: this lambda only runs from the static
+      // initializer. A typo'd override silently running a different lane
+      // count distorts every benchmark, so make the fallback visible
+      // (but non-fatal), mirroring the CHAM_SIMD_LEVEL diagnostics.
+      std::fprintf(stderr, "cham: %s\n", warning.c_str());
     }
     return lanes - 1;  // the submitting thread is the extra lane
   }());

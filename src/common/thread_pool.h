@@ -18,10 +18,19 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace cham {
+
+// Resolve a CHAM_THREADS-style override (total lane count) the way
+// simd::resolve_level handles CHAM_SIMD_LEVEL: nullptr/empty means "no
+// override" (returns the autodetected default), a positive integer wins,
+// and anything unparsable falls back to the default with a one-line
+// explanation in *warning (cleared otherwise). Exposed for tests;
+// ThreadPool::global() prints the warning to stderr once per process.
+std::size_t resolve_thread_count(const char* env, std::string* warning);
 
 class ThreadPool {
  public:

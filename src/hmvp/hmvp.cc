@@ -22,7 +22,7 @@ std::size_t next_pow2(std::size_t v) {
 // allocation (the product lands out-of-place in `acc` instead of copying
 // a ciphertext per chunk).
 struct RowScratch {
-  std::vector<u64> row_buf;  // streaming path: one decoded matrix row
+  simd::AlignedU64Vec row_buf;  // streaming path: one decoded matrix row
   Plaintext pt;              // streaming path: Eq. 1 chunk encoding
   RnsPoly pt_ntt;            // streaming path: its NTT-domain lift
   Ciphertext acc;            // dot-product accumulator (NTT, base_qp)
@@ -49,11 +49,12 @@ using PtProvider =
     std::function<const RnsPoly&(std::size_t, std::size_t, RowScratch&)>;
 
 // One row's dot product -> extracted LWE, entirely within the lane's
-// scratch arena. Thread-safe: all shared state (ct_shoup, the provider's
-// sources) is read-only.
-LweCiphertext process_row(const Evaluator& eval, std::size_t row,
-                          const std::vector<ShoupCiphertext>& ct_shoup,
-                          const PtProvider& pt_at, RowScratch& s) {
+// scratch arena and the caller's preallocated output slot. Thread-safe:
+// all shared state (ct_shoup, the provider's sources) is read-only.
+void process_row(const Evaluator& eval, std::size_t row,
+                 const std::vector<ShoupCiphertext>& ct_shoup,
+                 const PtProvider& pt_at, RowScratch& s,
+                 LweCiphertext& out) {
   s.acc.b.set_ntt_form(true);  // from_ntt flipped these last row
   s.acc.a.set_ntt_form(true);
   {
@@ -80,7 +81,7 @@ LweCiphertext process_row(const Evaluator& eval, std::size_t row,
   eval.rescale_into(s.acc, s.rescaled);
   s.stats.rescales += 1;
   s.stats.extracts += 1;
-  return extract_lwe(s.rescaled, 0);
+  extract_lwe_into(s.rescaled, 0, out);
 }
 
 // Shared driver for multiply / multiply_encoded: freeze ct(v) into Shoup
@@ -130,11 +131,12 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
   }
 
   // Per-level pack operands (Shoup-frozen Galois keys, automorph tables,
-  // evaluation-domain monomial twiddles) are shared by every group's
-  // reduction tree — freeze them once per run, not once per pack.
-  PackKeys pack_keys;
+  // evaluation-domain monomial twiddles) come from the evaluation-key
+  // manager: frozen once per GaloisKeys and shared by every group's
+  // reduction tree of every run — repeated products pay a cache lookup.
+  std::shared_ptr<const PackKeys> pack_keys;
   if (pack_count > 1)
-    pack_keys = make_pack_keys(eval, *gk, log2_exact(pack_count));
+    pack_keys = eval.evk().pack_keys(*gk, log2_exact(pack_count));
 
   obs::Histogram& row_hist =
       obs::MetricsRegistry::global().histogram("hmvp.row_ns");
@@ -144,7 +146,16 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
   for (std::size_t g = 0; g < groups; ++g) {
     CHAM_SPAN_ARG("hmvp.group", g);
     const std::size_t group_rows = std::min(n, rows - g * n);
-    std::vector<LweCiphertext> lwes(group_rows);
+    // Preallocate (and bind) every LWE slot on the submitting thread
+    // before the lanes start: rows extract in place, and the slots past
+    // group_rows stay zero — the pack-geometry padding (trivial
+    // encryptions of 0) with no per-slot allocation inside the row loop.
+    std::vector<LweCiphertext> lwes(pack_count);
+    for (auto& lwe : lwes) {
+      lwe.base = ctx->base_q();
+      lwe.b.assign(ctx->base_q()->size(), 0);
+      lwe.a = RnsPoly(ctx->base_q(), false);  // zero-initialized
+    }
     const int lanes = static_cast<int>(
         std::min<std::size_t>(std::max(threads, 1), group_rows));
     std::vector<RowScratch> scratch(lanes);
@@ -155,24 +166,15 @@ HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
            r += static_cast<std::size_t>(lanes)) {
         CHAM_SPAN_ARG("hmvp.row", g * n + r);
         const std::uint64_t t0 = obs::TraceRecorder::now_ns();
-        lwes[r] = process_row(eval, g * n + r, ct_shoup, pt_at, s);
+        process_row(eval, g * n + r, ct_shoup, pt_at, s, lwes[r]);
         row_hist.record(obs::TraceRecorder::now_ns() - t0);
       }
     });
     for (const auto& s : scratch) res.stats.merge(s.stats);
-    // Pad to the pack geometry with zero LWEs (trivial encryptions of 0).
-    lwes.reserve(pack_count);
-    while (lwes.size() < pack_count) {
-      LweCiphertext zero;
-      zero.base = ctx->base_q();
-      zero.b.assign(ctx->base_q()->size(), 0);
-      zero.a = RnsPoly(ctx->base_q(), false);
-      lwes.push_back(std::move(zero));
-    }
     CHAM_SPAN_ARG("hmvp.pack", pack_count);
     Ciphertext packed = (pack_count == 1)
                             ? lwe_to_rlwe(lwes[0])
-                            : pack_lwes(eval, lwes, pack_keys, threads);
+                            : pack_lwes(eval, lwes, *pack_keys, threads);
     res.stats.pack_merges += pack_count - 1;
     res.stats.keyswitches += pack_count - 1;
     res.packed.push_back(std::move(packed));
@@ -273,7 +275,7 @@ EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a,
   const int lanes = static_cast<int>(
       std::min<std::size_t>(std::max(threads, 1), std::max<std::size_t>(a.rows(), 1)));
   ThreadPool::global().run(lanes, [&](int lane) {
-    std::vector<u64> row_buf(a.cols());
+    simd::AlignedU64Vec row_buf(a.cols());
     Plaintext pt;
     for (std::size_t r = static_cast<std::size_t>(lane); r < a.rows();
          r += static_cast<std::size_t>(lanes)) {

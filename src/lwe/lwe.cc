@@ -5,15 +5,23 @@
 namespace cham {
 
 LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index) {
+  LweCiphertext lwe;
+  extract_lwe_into(ct, index, lwe);
+  return lwe;
+}
+
+void extract_lwe_into(const Ciphertext& ct, std::size_t index,
+                      LweCiphertext& lwe) {
   CHAM_CHECK_MSG(!ct.is_ntt(), "extraction needs coefficient domain");
   CHAM_CHECK(index < ct.n());
   const std::size_t n = ct.n();
   static obs::Counter& neg_rev_calls =
       obs::MetricsRegistry::global().counter("simd.neg_rev");
-  LweCiphertext lwe;
-  lwe.base = ct.base();
+  if (lwe.base != ct.base()) {
+    lwe.base = ct.base();
+    lwe.a = RnsPoly(ct.base(), false);
+  }
   lwe.b.resize(ct.base()->size());
-  lwe.a = RnsPoly(ct.base(), false);
   for (std::size_t l = 0; l < ct.base()->size(); ++l) {
     const Modulus& q = ct.base()->modulus(l);
     lwe.b[l] = ct.b.limb(l)[index];
@@ -32,7 +40,6 @@ LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index) {
     for (std::size_t k = index + 1; k < n; ++k)
       out[k] = q.negate(a[n + index - k]);
   }
-  return lwe;
 }
 
 Ciphertext lwe_to_rlwe(const LweCiphertext& lwe) {

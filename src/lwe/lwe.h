@@ -28,6 +28,12 @@ struct LweCiphertext {
 // extraction is coefficient-wise, fused with Rescale).
 LweCiphertext extract_lwe(const Ciphertext& ct, std::size_t index);
 
+// Allocation-free variant: writes into `out`, reusing its storage when
+// already bound to ct's base (the HMVP row loop preallocates one
+// LweCiphertext per row and extracts in place).
+void extract_lwe_into(const Ciphertext& ct, std::size_t index,
+                      LweCiphertext& out);
+
 // Embed an LWE ciphertext as an RLWE ciphertext whose phase's constant
 // coefficient equals the LWE message (other coefficients are garbage).
 Ciphertext lwe_to_rlwe(const LweCiphertext& lwe);

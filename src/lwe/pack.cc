@@ -26,23 +26,10 @@ Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
   return ct_plus;
 }
 
-PackKeys make_pack_keys(const Evaluator& eval, const GaloisKeys& gk,
-                        int max_level_log) {
-  const std::size_t n = eval.context()->n();
-  CHAM_CHECK(max_level_log >= 1 &&
-             (std::size_t{1} << max_level_log) <= n);
-  PackKeys keys;
-  keys.levels.resize(static_cast<std::size_t>(max_level_log) + 1);
-  for (int l = 1; l <= max_level_log; ++l) {
-    const u64 k = (1ULL << l) + 1;
-    PackKeys::Level& lvl = keys.levels[static_cast<std::size_t>(l)];
-    lvl.shift = n >> l;
-    lvl.mono = eval.monomial_ntt_qp(lvl.shift);
-    lvl.coeff = eval.galois_table(k);
-    lvl.ntt = eval.galois_table_ntt(k);
-    lvl.ksk = eval.freeze_ksk(gk.get(k));
-  }
-  return keys;
+std::shared_ptr<const PackKeys> make_pack_keys(const Evaluator& eval,
+                                               const GaloisKeys& gk,
+                                               int max_level_log) {
+  return eval.evk().pack_keys(gk, max_level_log);
 }
 
 namespace {
@@ -158,8 +145,8 @@ void merge_nodes(const Evaluator& eval, const PackKeys::Level& lvl,
   s.acc_a.set_zero();
   s.acc_a.set_ntt_form(true);
   for (std::size_t j = 0; j < s.digits.size(); ++j) {
-    lvl.ksk.b[j].mul_pointwise_acc(s.digits[j], even.b_qp);
-    lvl.ksk.a[j].mul_pointwise_acc(s.digits[j], s.acc_a);
+    lvl.ksk->b[j].mul_pointwise_acc(s.digits[j], even.b_qp);
+    lvl.ksk->a[j].mul_pointwise_acc(s.digits[j], s.acc_a);
   }
   s.acc_a.from_ntt();
   divide_round_by_last_into(s.acc_a, s.a_ks);
@@ -253,9 +240,8 @@ Ciphertext pack_lwes(const Evaluator& eval,
   if (lwes.size() == 1) return lwe_to_rlwe(lwes[0]);
   CHAM_CHECK_MSG(is_power_of_two(lwes.size()),
                  "pack_lwes needs a power-of-two count (pad with zero LWEs)");
-  const PackKeys keys =
-      make_pack_keys(eval, gk, log2_exact(lwes.size()));
-  return pack_lwes(eval, lwes, keys, threads);
+  const auto keys = eval.evk().pack_keys(gk, log2_exact(lwes.size()));
+  return pack_lwes(eval, lwes, *keys, threads);
 }
 
 Ciphertext pack_lwes_reference(const Evaluator& eval,

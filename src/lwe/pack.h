@@ -52,26 +52,16 @@ Ciphertext pack_two_lwes(const Evaluator& eval, int level_log,
                          const Ciphertext& ct_even, const Ciphertext& ct_odd,
                          const GaloisKeys& gk);
 
-// Per-level operands of the NTT-resident tree, precomputed once and
-// shared by every merge (and every pack_lwes call — HMVP builds one set
-// per run): the evaluation-domain monomial twiddles for X^{N/2^l}, both
-// automorphism routing tables for X -> X^{2^l+1}, and the Galois key
-// frozen into Shoup form. Building a level costs one division per KSK
-// coefficient; reuse amortizes it to noise.
-struct PackKeys {
-  struct Level {
-    std::size_t shift = 0;                        // N / 2^l
-    std::shared_ptr<const ShoupPoly> mono;        // X^shift, eval domain
-    std::shared_ptr<const AutomorphTable> coeff;  // automorph, coeff domain
-    std::shared_ptr<const AutomorphTable> ntt;    // automorph, eval domain
-    Evaluator::FrozenKsk ksk;                     // frozen gk(2^l + 1)
-  };
-  std::vector<Level> levels;  // indexed by level_log; [0] unused
-};
-
-// Requires gk.has(2^l + 1) for every l in [1, max_level_log].
-PackKeys make_pack_keys(const Evaluator& eval, const GaloisKeys& gk,
-                        int max_level_log);
+// The per-level operand set of the NTT-resident tree (struct PackKeys)
+// now lives in bfv/evk_manager.h: the evaluation-key manager owns one
+// set per GaloisKeys and shares it across every pack_lwes call, HMVP
+// run and session — the per-level KSK freeze is paid exactly once per
+// key instead of once per run. This thin wrapper remains for callers
+// holding an Evaluator; requires gk.has(2^l + 1) for every l in
+// [1, max_level_log].
+std::shared_ptr<const PackKeys> make_pack_keys(const Evaluator& eval,
+                                               const GaloisKeys& gk,
+                                               int max_level_log);
 
 // Alg. 3, NTT-resident tree. lwes.size() must be a power of two <= N.
 // Returns the packed RLWE ciphertext (base_q, coefficient domain). The
@@ -85,8 +75,9 @@ Ciphertext pack_lwes(const Evaluator& eval,
                      const std::vector<LweCiphertext>& lwes,
                      const PackKeys& keys, int threads = 1);
 
-// Convenience overload: builds the PackKeys internally (one KSK freeze
-// per tree level). Callers packing repeatedly should precompute.
+// Convenience overload: fetches the PackKeys from the evaluation-key
+// manager (built on first use per GaloisKeys, then shared), so repeated
+// packs pay no per-call key work.
 Ciphertext pack_lwes(const Evaluator& eval,
                      const std::vector<LweCiphertext>& lwes,
                      const GaloisKeys& gk, int threads = 1);

@@ -3,7 +3,10 @@
 // Every RnsPoly/ShoupPoly buffer is allocated on a cache-line (and
 // AVX-512 register) boundary so the vector kernels can issue aligned
 // loads/stores and limbs never straddle lines shared with other data.
-// The allocator is stateless, so AlignedVec converts freely between
+// Storage comes from the slab pool in common/mem_pool.h (plain aligned
+// operator new when CHAM_POOL=OFF), so steady-state loops recycle limb
+// buffers instead of hitting the system allocator. The allocator is
+// stateless either way: AlignedVec converts freely between
 // instantiations and compares equal everywhere.
 #pragma once
 
@@ -12,6 +15,8 @@
 #include <limits>
 #include <new>
 #include <vector>
+
+#include "common/mem_pool.h"
 
 namespace cham {
 namespace simd {
@@ -30,11 +35,10 @@ struct AlignedAllocator {
     if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
       throw std::bad_alloc();
     }
-    return static_cast<T*>(
-        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+    return static_cast<T*>(mem::pool_alloc(n * sizeof(T)));
   }
-  void deallocate(T* p, std::size_t) noexcept {
-    ::operator delete(p, std::align_val_t(kAlignment));
+  void deallocate(T* p, std::size_t n) noexcept {
+    mem::pool_free(p, n * sizeof(T));
   }
 
   friend bool operator==(const AlignedAllocator&,

@@ -1,0 +1,174 @@
+#include "common/mem_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace cham {
+namespace {
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(MemPool, ReturnsSixtyFourByteAlignedStorage) {
+  for (std::size_t bytes : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                            std::size_t{100}, std::size_t{4096},
+                            std::size_t{1} << 20, (std::size_t{1} << 24) + 1}) {
+    void* p = mem::pool_alloc(bytes);
+    ASSERT_NE(p, nullptr) << bytes;
+    EXPECT_TRUE(aligned64(p)) << bytes;
+    // The storage must be writable over the full request.
+    std::memset(p, 0xAB, bytes);
+    mem::pool_free(p, bytes);
+  }
+}
+
+TEST(MemPool, FreeNullptrIsNoop) {
+  mem::pool_free(nullptr, 128);
+  mem::pool_free(nullptr, std::size_t{1} << 25);
+}
+
+TEST(MemPool, SteadyStateReusesBlocksWithoutSystemAllocation) {
+  if (!mem::pool_enabled()) GTEST_SKIP() << "built with CHAM_POOL=OFF";
+  const std::size_t bytes = 8192;
+  // Warm the thread cache for this size class.
+  void* warm = mem::pool_alloc(bytes);
+  mem::pool_free(warm, bytes);
+  const mem::PoolStats before = mem::pool_stats();
+  for (int i = 0; i < 100; ++i) {
+    void* p = mem::pool_alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    mem::pool_free(p, bytes);
+  }
+  const mem::PoolStats after = mem::pool_stats();
+  EXPECT_EQ(after.alloc_count, before.alloc_count)
+      << "alloc/free cycles in one size class must not reach the system";
+  EXPECT_EQ(after.pool_hit, before.pool_hit + 100);
+  EXPECT_EQ(after.pool_miss, before.pool_miss);
+}
+
+TEST(MemPool, DisabledBuildCountsEveryRequestAsMiss) {
+  if (mem::pool_enabled()) GTEST_SKIP() << "pool is enabled";
+  const mem::PoolStats before = mem::pool_stats();
+  void* p = mem::pool_alloc(256);
+  mem::pool_free(p, 256);
+  const mem::PoolStats after = mem::pool_stats();
+  EXPECT_EQ(after.alloc_count, before.alloc_count + 1);
+  EXPECT_EQ(after.pool_miss, before.pool_miss + 1);
+  EXPECT_EQ(after.pool_hit, before.pool_hit);
+}
+
+TEST(MemPool, SmallClassesShareOneSlab) {
+  if (!mem::pool_enabled()) GTEST_SKIP() << "built with CHAM_POOL=OFF";
+  // 64 distinct live 512 B blocks fit inside a single 256 KiB slab: at
+  // most one system allocation regardless of how cold the class is.
+  const std::size_t bytes = 512;
+  const mem::PoolStats before = mem::pool_stats();
+  std::vector<void*> live;
+  for (int i = 0; i < 64; ++i) live.push_back(mem::pool_alloc(bytes));
+  const mem::PoolStats after = mem::pool_stats();
+  EXPECT_LE(after.alloc_count, before.alloc_count + 1);
+  for (void* p : live) mem::pool_free(p, bytes);
+}
+
+TEST(MemPool, OversizeRequestsBypassThePool) {
+  const std::size_t huge = (std::size_t{1} << 24) + 64;  // > largest class
+  const mem::PoolStats before = mem::pool_stats();
+  void* p = mem::pool_alloc(huge);
+  ASSERT_NE(p, nullptr);
+  mem::pool_free(p, huge);
+  void* q = mem::pool_alloc(huge);
+  ASSERT_NE(q, nullptr);
+  mem::pool_free(q, huge);
+  const mem::PoolStats after = mem::pool_stats();
+  // Both rounds hit the system: oversize blocks are never cached.
+  EXPECT_EQ(after.alloc_count, before.alloc_count + 2);
+  EXPECT_EQ(after.pool_miss, before.pool_miss + 2);
+  EXPECT_GE(after.alloc_bytes, before.alloc_bytes + 2 * huge);
+}
+
+TEST(MemPool, DistinctLiveBlocksDoNotOverlap) {
+  const std::size_t bytes = 1024;
+  std::vector<void*> live;
+  for (int i = 0; i < 32; ++i) {
+    void* p = mem::pool_alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i, bytes);
+    live.push_back(p);
+  }
+  for (int i = 0; i < 32; ++i) {
+    const unsigned char* p = static_cast<const unsigned char*>(live[i]);
+    for (std::size_t j = 0; j < bytes; ++j) {
+      ASSERT_EQ(p[j], static_cast<unsigned char>(i)) << i << " " << j;
+    }
+  }
+  for (void* p : live) mem::pool_free(p, bytes);
+}
+
+TEST(MemPool, BlocksMigrateAcrossThreads) {
+  // Allocate on one thread, free on another, reallocate on a third: the
+  // global lists carry blocks between thread caches without corruption.
+  const std::size_t bytes = 2048;
+  void* p = nullptr;
+  std::thread producer([&] {
+    p = mem::pool_alloc(bytes);
+    std::memset(p, 0x5A, bytes);
+  });
+  producer.join();
+  ASSERT_NE(p, nullptr);
+  std::thread consumer([&] { mem::pool_free(p, bytes); });
+  consumer.join();
+  std::thread reuser([&] {
+    void* q = mem::pool_alloc(bytes);
+    ASSERT_NE(q, nullptr);
+    std::memset(q, 0xA5, bytes);
+    mem::pool_free(q, bytes);
+  });
+  reuser.join();
+}
+
+TEST(MemPool, ConcurrentAllocFreeHammer) {
+  // Race detector fodder: many threads churning overlapping size classes
+  // through both the thread caches and the shared global lists.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      std::vector<std::pair<void*, std::size_t>> held;
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t bytes =
+            std::size_t{64} << ((t + i) % 6);  // 64 B .. 2 KiB
+        void* p = mem::pool_alloc(bytes);
+        std::memset(p, t, 64);
+        held.emplace_back(p, bytes);
+        // Free in bursts so blocks overflow into the global lists and
+        // get picked up by other threads.
+        if (held.size() >= 16) {
+          for (auto& [q, n] : held) mem::pool_free(q, n);
+          held.clear();
+        }
+      }
+      for (auto& [q, n] : held) mem::pool_free(q, n);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(MemPool, StatsAreMonotonic) {
+  const mem::PoolStats a = mem::pool_stats();
+  void* p = mem::pool_alloc(512);
+  mem::pool_free(p, 512);
+  const mem::PoolStats b = mem::pool_stats();
+  EXPECT_GE(b.alloc_count, a.alloc_count);
+  EXPECT_GE(b.alloc_bytes, a.alloc_bytes);
+  EXPECT_GE(b.pool_hit + b.pool_miss, a.pool_hit + a.pool_miss + 1);
+}
+
+}  // namespace
+}  // namespace cham

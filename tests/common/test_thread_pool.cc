@@ -87,5 +87,40 @@ TEST(ThreadPool, SequentialJobsDoNotInterfere) {
   }
 }
 
+TEST(ResolveThreadCount, UnsetMeansAutodetectedDefault) {
+  std::string warning = "stale";
+  const std::size_t def = resolve_thread_count(nullptr, &warning);
+  EXPECT_GE(def, 8u);  // floor keeps multi-lane paths exercised on CI
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(resolve_thread_count("", &warning), def);
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(ResolveThreadCount, PositiveIntegerWins) {
+  std::string warning;
+  EXPECT_EQ(resolve_thread_count("1", &warning), 1u);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(resolve_thread_count("12", &warning), 12u);
+  EXPECT_TRUE(warning.empty());
+  // Null warning sink is allowed.
+  EXPECT_EQ(resolve_thread_count("3", nullptr), 3u);
+}
+
+TEST(ResolveThreadCount, GarbageFallsBackWithWarning) {
+  const std::size_t def = resolve_thread_count(nullptr, nullptr);
+  for (const char* bad : {"zero", "4x", "-2", "0", "", "8 "}) {
+    std::string warning;
+    const std::size_t got = resolve_thread_count(bad, &warning);
+    EXPECT_EQ(got, def) << "'" << bad << "'";
+    if (bad[0] == '\0') {
+      EXPECT_TRUE(warning.empty());  // unset, not a typo: stays silent
+    } else {
+      EXPECT_FALSE(warning.empty()) << "'" << bad << "'";
+      EXPECT_NE(warning.find(bad), std::string::npos)
+          << "warning must echo the rejected value: " << warning;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cham

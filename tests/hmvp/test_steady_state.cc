@@ -1,0 +1,122 @@
+// Zero-allocation steady state: after warmup, the HMVP row loop and the
+// NTT-resident pack tree must run entirely out of the slab pool — the
+// software analogue of CHAM streaming every operand through fixed on-chip
+// buffers. `alloc.count` counts system allocations made by the pool
+// (slab carves and oversize bypasses), so a zero delta over a full
+// multiply/pack call means no heap growth at all for limb storage.
+//
+// Which pool worker claims which lane is a race, so a worker can join
+// the workload late with a cold thread cache; the pool absorbs that from
+// the shared free lists, but warmup length is not a fixed constant.
+// These tests therefore assert the real invariant: the workload reaches
+// (and sustains) consecutive allocation-free iterations.
+#include <gtest/gtest.h>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keygen.h"
+#include "common/mem_pool.h"
+#include "hmvp/hmvp.h"
+#include "lwe/pack.h"
+#include "nt/bitops.h"
+
+namespace cham {
+namespace {
+
+u64 allocs() { return mem::pool_stats().alloc_count; }
+
+// Run `iteration` up to kMaxIters times and require kConfirm consecutive
+// allocation-free runs at some point (everything before counts as
+// warmup).
+template <typename Fn>
+void expect_zero_alloc_steady_state(Fn&& iteration, const char* what) {
+  constexpr int kMaxIters = 20;
+  constexpr int kConfirm = 3;
+  int streak = 0;
+  for (int i = 0; i < kMaxIters; ++i) {
+    const u64 before = allocs();
+    iteration();
+    streak = allocs() == before ? streak + 1 : 0;
+    if (streak >= kConfirm) return;
+  }
+  FAIL() << what << ": no " << kConfirm
+         << " consecutive allocation-free iterations within " << kMaxIters
+         << " runs (pool never reached steady state)";
+}
+
+struct SteadyFixture {
+  explicit SteadyFixture(std::size_t n = 64, u64 seed = 99)
+      : rng(seed),
+        ctx(BfvContext::create(BfvParams::test(n))),
+        keygen(ctx, rng),
+        pk(keygen.make_public_key()),
+        gk(keygen.make_galois_keys(log2_exact(n))),
+        encryptor(ctx, &pk, nullptr, rng),
+        decryptor(ctx, keygen.secret_key()),
+        evaluator(ctx),
+        encoder(ctx),
+        engine(ctx, &gk) {}
+
+  std::vector<u64> random_vector(std::size_t len) {
+    std::vector<u64> v(len);
+    for (auto& x : v) x = rng.uniform(ctx->params().t);
+    return v;
+  }
+
+  Rng rng;
+  BfvContextPtr ctx;
+  KeyGenerator keygen;
+  PublicKey pk;
+  GaloisKeys gk;
+  Encryptor encryptor;
+  Decryptor decryptor;
+  Evaluator evaluator;
+  CoeffEncoder encoder;
+  HmvpEngine engine;
+};
+
+class SteadyStateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteadyStateTest, HmvpRowLoopIsAllocationFree) {
+  if (!mem::pool_enabled()) GTEST_SKIP() << "built with CHAM_POOL=OFF";
+  const int threads = GetParam();
+  SteadyFixture f;
+  const std::size_t n = f.ctx->n();
+  auto a = DenseMatrix::random(n, n, f.ctx->params().t, f.rng);
+  const auto enc = f.engine.encode_matrix(a, threads);
+  const auto v = f.random_vector(n);
+  const auto ct_v = f.engine.encrypt_vector(v, f.encryptor);
+  // Pin correctness once, so "allocation-free" can't mean "did nothing".
+  auto res = f.engine.multiply_encoded(enc, ct_v, threads);
+  ASSERT_EQ(f.engine.decrypt_result(res, f.decryptor),
+            HmvpEngine::reference(a, v, f.ctx->params().t));
+  expect_zero_alloc_steady_state(
+      [&] { f.engine.multiply_encoded(enc, ct_v, threads); },
+      "multiply_encoded");
+}
+
+TEST_P(SteadyStateTest, PackTreeIsAllocationFree) {
+  if (!mem::pool_enabled()) GTEST_SKIP() << "built with CHAM_POOL=OFF";
+  const int threads = GetParam();
+  SteadyFixture f;
+  const std::size_t n = f.ctx->n();
+  const auto msg = f.random_vector(n);
+  const Ciphertext ct_q = f.evaluator.rescale(
+      f.encryptor.encrypt(f.encoder.encode_vector(msg)));
+  std::vector<LweCiphertext> lwes;
+  lwes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lwes.push_back(extract_lwe(ct_q, i));
+  const auto keys = make_pack_keys(f.evaluator, f.gk, log2_exact(n));
+  expect_zero_alloc_steady_state(
+      [&] { pack_lwes(f.evaluator, lwes, *keys, threads); }, "pack_lwes");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SteadyStateTest, ::testing::Values(1, 8),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cham

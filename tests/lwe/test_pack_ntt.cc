@@ -72,11 +72,11 @@ TEST_P(PackNttEquivTest, MatchesReferenceTree) {
   const int levels = count == 1 ? 1 : log2_exact(count);
   auto gk = f.keygen.make_galois_keys(levels);
   auto lwes = f.random_lwes(count);
-  const PackKeys keys = make_pack_keys(f.evaluator, gk, levels);
+  const auto keys = make_pack_keys(f.evaluator, gk, levels);
 
   for (int threads : {1, 8}) {
     auto ref = pack_lwes_reference(f.evaluator, lwes, gk, threads);
-    auto got = pack_lwes(f.evaluator, lwes, keys, threads);
+    auto got = pack_lwes(f.evaluator, lwes, *keys, threads);
 
     // a rides the identical arithmetic path (the SIMD lift and the Shoup
     // inner products are bit-exact with the Barrett reference).
@@ -106,10 +106,10 @@ TEST(PackNtt, ThreadCountBitExact) {
   const std::size_t count = 32;
   auto gk = f.keygen.make_galois_keys(log2_exact(count));
   auto lwes = f.random_lwes(count);
-  const PackKeys keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
-  auto seq = pack_lwes(f.evaluator, lwes, keys, 1);
+  const auto keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
+  auto seq = pack_lwes(f.evaluator, lwes, *keys, 1);
   for (int threads : {3, 4, 8}) {
-    auto par = pack_lwes(f.evaluator, lwes, keys, threads);
+    auto par = pack_lwes(f.evaluator, lwes, *keys, threads);
     EXPECT_EQ(seq.b.raw(), par.b.raw()) << "threads=" << threads;
     EXPECT_EQ(seq.a.raw(), par.a.raw()) << "threads=" << threads;
   }
@@ -131,8 +131,8 @@ TEST(PackNtt, ConvenienceOverloadMatchesPrecomputedKeys) {
   const std::size_t count = 8;
   auto gk = f.keygen.make_galois_keys(log2_exact(count));
   auto lwes = f.random_lwes(count);
-  const PackKeys keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
-  auto a = pack_lwes(f.evaluator, lwes, keys, 2);
+  const auto keys = make_pack_keys(f.evaluator, gk, log2_exact(count));
+  auto a = pack_lwes(f.evaluator, lwes, *keys, 2);
   auto b = pack_lwes(f.evaluator, lwes, gk, 2);
   EXPECT_EQ(a.b.raw(), b.b.raw());
   EXPECT_EQ(a.a.raw(), b.a.raw());
@@ -219,14 +219,14 @@ TEST(PackNtt, RejectsMismatchedInputs) {
   auto gk = f.keygen.make_galois_keys(2);
   auto lwes = f.random_lwes(4);
   // Keys that do not cover the tree depth.
-  const PackKeys shallow = make_pack_keys(f.evaluator, gk, 1);
-  EXPECT_THROW(pack_lwes(f.evaluator, lwes, shallow, 1), CheckError);
+  const auto shallow = make_pack_keys(f.evaluator, gk, 1);
+  EXPECT_THROW(pack_lwes(f.evaluator, lwes, *shallow, 1), CheckError);
   // Non-power-of-two and empty inputs.
-  const PackKeys keys = make_pack_keys(f.evaluator, gk, 2);
+  const auto keys = make_pack_keys(f.evaluator, gk, 2);
   lwes.pop_back();
-  EXPECT_THROW(pack_lwes(f.evaluator, lwes, keys, 1), CheckError);
+  EXPECT_THROW(pack_lwes(f.evaluator, lwes, *keys, 1), CheckError);
   std::vector<LweCiphertext> empty;
-  EXPECT_THROW(pack_lwes(f.evaluator, empty, keys, 1), CheckError);
+  EXPECT_THROW(pack_lwes(f.evaluator, empty, *keys, 1), CheckError);
   EXPECT_THROW(pack_lwes_reference(f.evaluator, empty, gk, 1), CheckError);
 }
 

@@ -60,6 +60,8 @@ KERNEL_TIME_TOLERANCE = 0.75  # absolute ns/coeff: gates a 2x slowdown
 KERNEL_RATIO_TOLERANCE = 0.6  # kernel-vs-kernel speed-ups
 MODEL_TIME_TOLERANCE = 0.10   # device-model seconds: deterministic
 HEADLINE_SPEEDUP_TOLERANCE = 0.9  # order-of-magnitude sanity floor
+PEAK_RSS_TOLERANCE = 0.5      # MiB high-water mark: generous, but gates
+                              # a leak or a pool-bypass blow-up
 
 
 def parse_lines(text):
@@ -107,8 +109,28 @@ def flatten(records, source="sample"):
             if "speedup" in obj:
                 put(key + "/speedup", obj["speedup"],
                     HEADLINE_SPEEDUP_TOLERANCE, "higher")
+            # Steady-state allocation discipline: the per-run system
+            # allocation count is deterministic (0 with the pool on) and
+            # any drift means a hot path started allocating again. The
+            # pool flag pins the configuration the baseline was
+            # recorded at; RSS gates memory blow-ups.
+            if "alloc_count" in obj:
+                put(key + "/alloc_count", obj["alloc_count"], 0.0, "exact")
+            if "pool" in obj:
+                put(key + "/pool", obj["pool"], 0.0, "exact")
+            if "peak_rss_mb" in obj:
+                put(key + "/peak_rss_mb", obj["peak_rss_mb"],
+                    PEAK_RSS_TOLERANCE, "lower")
         elif tag == "CHAM-METRICS":
             for name, value in obj.get("counters", {}).items():
+                # Whole-process allocator/pool totals depend on which
+                # pool worker claims which lane (a cold thread cache
+                # carves, a warm one hits), so they are not run-to-run
+                # comparable. Allocation discipline is gated by the
+                # per-bench `alloc_count` CHAM-BENCH field instead,
+                # measured at a controlled post-warmup point.
+                if name.startswith(("alloc.", "pool.")):
+                    continue
                 put(f"counters/{source}/{name}", value, 0.0, "exact")
     if len(levels) > 1:
         raise SystemExit(
@@ -260,8 +282,11 @@ def cmd_selftest(_args):
         'CHAM-BENCH {"benchmark":"hmvp","shape":"8192x8192",'
         '"baseline_s":100.0,"cham_s":0.125,"speedup":800.0,'
         '"simd_level":"avx2"}',
-        'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216},"gauges":{},'
-        '"histograms":{}}',
+        'CHAM-BENCH {"benchmark":"steady_state_hmvp","shape":"32x4096",'
+        '"alloc_count":0,"pool":1,"peak_rss_mb":512.0,'
+        '"simd_level":"avx2"}',
+        'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216,'
+        '"alloc.count":8,"pool.hit":543},"gauges":{},"histograms":{}}',
     ])
     baseline = {
         "default_tolerance": DEFAULT_TOLERANCE,
@@ -277,6 +302,19 @@ def cmd_selftest(_args):
         print(f"selftest FAILED: clean run reported regressions: {clean}")
         return 1
 
+    # Pool/allocator process totals are lane-assignment-dependent, so the
+    # flattener must drop them (and a run whose totals drifted must still
+    # pass — only the controlled CHAM-BENCH alloc_count field gates).
+    if any("alloc." in n or "pool." in n
+           for n in flatten(parse_lines(sample)) if n.startswith("counters/")):
+        print("selftest FAILED: racy pool counters were baselined")
+        return 1
+    churn = sample.replace('"alloc.count":8,"pool.hit":543',
+                           '"alloc.count":11,"pool.hit":540')
+    if compare(baseline, flatten(parse_lines(churn))):
+        print("selftest FAILED: pool-counter churn tripped the gate")
+        return 1
+
     slow = sample.replace('"ns_per_coeff":10.0', '"ns_per_coeff":20.0')
     failures = compare(baseline, flatten(parse_lines(slow)))
     if not any("ntt_forward_lazy" in f for f in failures):
@@ -287,6 +325,20 @@ def cmd_selftest(_args):
     failures = compare(baseline, flatten(parse_lines(drift)))
     if not any("hmvp.forward_ntts" in f for f in failures):
         print("selftest FAILED: operation-count drift passed the gate")
+        return 1
+
+    # A hot path that starts allocating again (alloc_count 0 -> 2) or an
+    # RSS blow-up beyond the tolerance must both trip the gate.
+    realloc = sample.replace('"alloc_count":0', '"alloc_count":2')
+    failures = compare(baseline, flatten(parse_lines(realloc)))
+    if not any("alloc_count" in f for f in failures):
+        print("selftest FAILED: steady-state allocation drift passed the gate")
+        return 1
+
+    bloat = sample.replace('"peak_rss_mb":512.0', '"peak_rss_mb":1024.0')
+    failures = compare(baseline, flatten(parse_lines(bloat)))
+    if not any("peak_rss_mb" in f for f in failures):
+        print("selftest FAILED: 2x RSS blow-up passed the gate")
         return 1
 
     missing = "\n".join(l for l in sample.splitlines() if "benchmark" not in l)
