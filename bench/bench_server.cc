@@ -1,0 +1,206 @@
+// Load test of the HMVP serving runtime: N concurrent synthetic clients
+// fire seed-expanded requests at a batching HmvpServer and the bench
+// publishes sustained req/s, batch occupancy and p50/p95/p99 latency —
+// the CHAM-BENCH line the server-load CI job gates.
+//
+// Usage: bench_server [clients] [requests_per_client] [max_batch]
+//   defaults: 8 clients x 4 requests, batches of up to 8.
+//
+// Self-checks (bench_exit_code gates them):
+//  * every response decrypts to the plaintext reference A·v mod t;
+//  * sampled responses are bit-exact with a local single-shot
+//    evaluation of the same request ciphertexts (batched sweep ==
+//    single-shot path);
+//  * at least one sweep served more than one request (occupancy > 1);
+//  * the seed-expanded request wire format stays under 0.6x the full
+//    ciphertext serialization;
+//  * admission control rejected nothing at this load.
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace cham {
+namespace {
+
+using bench::bench_check;
+using bench::emit_cham_bench;
+
+constexpr std::size_t kRows = 128;
+constexpr std::size_t kCols = 4096;
+constexpr int kPackLevels = 7;  // log2(next_pow2(kRows))
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  int ok = 0;
+  int failed = 0;
+};
+
+}  // namespace
+
+int run(int clients, int per_client, int max_batch) {
+  using namespace serve;
+  std::cout << "CHAM bench: serving runtime load test (" << clients
+            << " clients x " << per_client << " requests, max batch "
+            << max_batch << ")\n\n";
+
+  auto ctx = BfvContext::create(BfvParams::paper());
+  const u64 t = ctx->params().t;
+  Rng rng(2023);
+  GeneratedMatrix mat(kRows, kCols, t, 99);
+
+  ServerConfig cfg;
+  cfg.max_batch = static_cast<std::size_t>(max_batch);
+  cfg.batch_window = std::chrono::milliseconds(1);
+  cfg.threads = static_cast<int>(ThreadPool::global().max_lanes());
+  HmvpServer server(ctx, cfg);
+  const std::uint32_t mid = server.add_matrix(mat);
+  server.start();
+
+  // Wire-format economics, measured on a real request ciphertext.
+  double seeded_ratio = 0.0;
+  {
+    ServeClient probe(ctx, server.connect(), "probe", kPackLevels, 4242);
+    Rng vr(5);
+    std::vector<u64> v(kCols);
+    for (auto& x : v) x = vr.uniform(t);
+    probe.hello();
+    std::vector<Ciphertext> sent;
+    probe.submit(mid, v, &sent);
+    // Ratio of what the wire carried (seed + b) to the full form.
+    std::size_t full = 0, seeded = 0;
+    for (const auto& ct : sent) {
+      full += ciphertext_wire_bytes(ct, WireFormat::kPacked);
+      seeded += ciphertext_seeded_wire_bytes(ct, 0, WireFormat::kPacked);
+    }
+    seeded_ratio = static_cast<double>(seeded) / static_cast<double>(full);
+    Response r = probe.await();
+    bench_check(r.status == Status::kOk, "probe request served");
+    bench_check(probe.decrypt(r) == HmvpEngine::reference(mat, v, t),
+                "probe result matches plaintext reference");
+    // Bit-exactness oracle: the served packed ciphertexts must equal a
+    // local single-shot evaluation of the same request ciphertexts.
+    HmvpResult local = probe.engine().multiply(mat, sent, cfg.threads);
+    bool exact = local.packed.size() == r.packed.size();
+    for (std::size_t g = 0; exact && g < r.packed.size(); ++g) {
+      ByteWriter w1, w2;
+      save_ciphertext(local.packed[g], WireFormat::kRaw, w1);
+      save_ciphertext(r.packed[g], WireFormat::kRaw, w2);
+      exact = w1.bytes() == w2.bytes();
+    }
+    bench_check(exact, "served response bit-exact with single-shot hmvp");
+    probe.goodbye();
+  }
+
+  // The measured load: every client submits its whole window up front
+  // (open loop), so the queue holds cross-session same-matrix requests
+  // and the server can coalesce them into batched sweeps.
+  std::vector<ClientStats> stats(clients);
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < clients; ++ci) {
+    threads.emplace_back([&, ci] {
+      ServeClient c(ctx, server.connect(), "bench-" + std::to_string(ci),
+                    kPackLevels, 10'000 + ci);
+      c.hello();
+      std::vector<std::vector<u64>> vs;
+      std::vector<std::uint64_t> t0(per_client + 1, 0);
+      Rng vr(77 * ci + 1);
+      for (int k = 0; k < per_client; ++k) {
+        std::vector<u64> v(kCols);
+        for (auto& x : v) x = vr.uniform(t);
+        vs.push_back(std::move(v));
+        const u64 rid = c.submit(mid, vs.back());
+        t0[rid] = obs::TraceRecorder::now_ns();
+      }
+      for (int k = 0; k < per_client; ++k) {
+        Response r = c.await();
+        const double ms =
+            static_cast<double>(obs::TraceRecorder::now_ns() -
+                                t0[r.request_id]) /
+            1e6;
+        const std::size_t idx = r.request_id - 1;
+        if (r.status == Status::kOk && idx < vs.size() &&
+            c.decrypt(r) == HmvpEngine::reference(mat, vs[idx], t)) {
+          stats[ci].ok++;
+          stats[ci].latencies_ms.push_back(ms);
+        } else {
+          stats[ci].failed++;
+        }
+      }
+      c.goodbye();
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall_s = wall.seconds();
+  server.stop();
+
+  std::vector<double> lat;
+  int ok = 0, failed = 0;
+  for (const auto& s : stats) {
+    ok += s.ok;
+    failed += s.failed;
+    lat.insert(lat.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+  }
+  const auto counters = server.counters();
+  const double req_s = static_cast<double>(ok) / wall_s;
+  const double p50 = percentile(lat, 0.50);
+  const double p95 = percentile(lat, 0.95);
+  const double p99 = percentile(lat, 0.99);
+
+  bench_check(failed == 0 && ok == clients * per_client,
+              "every load-test response ok and correct");
+  bench_check(counters.batch_occupancy > 1.0,
+              "request coalescing observed (batch occupancy > 1)");
+  bench_check(seeded_ratio < 0.6,
+              "seed-expanded requests under 0.6x full serialization");
+  bench_check(counters.rejected == 0, "no admission rejections at this load");
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"sustained req/s", TablePrinter::num(req_s, 2)});
+  table.add_row({"p50 latency", bench::fmt_seconds(p50 / 1e3)});
+  table.add_row({"p95 latency", bench::fmt_seconds(p95 / 1e3)});
+  table.add_row({"p99 latency", bench::fmt_seconds(p99 / 1e3)});
+  table.add_row({"batch occupancy", TablePrinter::num(counters.batch_occupancy, 2)});
+  table.add_row({"batches", TablePrinter::num(counters.batches, 0)});
+  table.add_row({"seeded wire ratio", TablePrinter::num(seeded_ratio, 3)});
+  table.print(std::cout);
+
+  obs::JsonWriter j;
+  j.field("server", "hmvp_serve");
+  j.field("shape", std::to_string(kRows) + "x" + std::to_string(kCols));
+  j.field("clients", static_cast<u64>(clients));
+  j.field("requests", static_cast<u64>(ok));
+  j.field("req_s", req_s);
+  j.field("p50_ms", p50);
+  j.field("p95_ms", p95);
+  j.field("p99_ms", p99);
+  j.field("batch_occupancy", counters.batch_occupancy);
+  j.field("seeded_wire_ratio", seeded_ratio);
+  j.field("peak_rss_mb", bench::peak_rss_mb());
+  emit_cham_bench(std::move(j));
+  bench::emit_cham_metrics();
+  return bench::bench_exit_code();
+}
+
+}  // namespace cham
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int max_batch = argc > 3 ? std::atoi(argv[3]) : 8;
+  return cham::run(std::max(clients, 1), std::max(per_client, 1),
+                   std::max(max_batch, 1));
+}

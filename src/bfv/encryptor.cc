@@ -83,4 +83,23 @@ Ciphertext Encryptor::encrypt_symmetric(const Plaintext& pt) const {
   return ct;
 }
 
+Ciphertext Encryptor::encrypt_symmetric_seeded(const Plaintext& pt,
+                                               u64* seed_out) const {
+  CHAM_CHECK_MSG(sk_ != nullptr, "secret key not available");
+  CHAM_CHECK_MSG(seed_out != nullptr, "seed output required");
+  *seed_out = rng_.next_u64();
+  RnsPoly a = expand_seeded_a(ctx_->base_qp(), *seed_out, /*ntt_form=*/true);
+  RnsPoly b = a;
+  b.mul_pointwise_inplace(sk_->s_ntt);
+  b.negate_inplace();
+  b.from_ntt();
+  a.from_ntt();
+  b.add_inplace(sample_noise(ctx_->base_qp(), rng_));
+  b.add_inplace(scaled_message(pt));
+  Ciphertext ct;
+  ct.b = std::move(b);
+  ct.a = std::move(a);
+  return ct;
+}
+
 }  // namespace cham

@@ -21,6 +21,14 @@ class Encryptor {
   // Symmetric encryption: ct = (-a*s + e + Δ'·m, a).
   Ciphertext encrypt_symmetric(const Plaintext& pt) const;
 
+  // Symmetric encryption whose `a` component is expanded from a PRNG seed
+  // (drawn from this encryptor's rng and returned via *seed_out):
+  // a = expand_seeded_a(base_qp, seed, false). The wire can then carry
+  // (seed, b) instead of (b, a) — save_ciphertext_seeded — halving
+  // request bandwidth; the receiver regenerates `a` bit-exactly.
+  Ciphertext encrypt_symmetric_seeded(const Plaintext& pt,
+                                      u64* seed_out) const;
+
   // Encryption of zero (used by protocols for re-randomisation).
   Ciphertext encrypt_zero() const;
 

@@ -9,6 +9,9 @@ namespace cham {
 Evaluator::Evaluator(BfvContextPtr context)
     : ctx_(std::move(context)), evk_(EvkManager::shared(ctx_)) {}
 
+Evaluator::Evaluator(BfvContextPtr context, const std::string& evk_session)
+    : ctx_(std::move(context)), evk_(EvkManager::shared(ctx_, evk_session)) {}
+
 Ciphertext Evaluator::add(const Ciphertext& x, const Ciphertext& y) const {
   Ciphertext out = x;
   add_inplace(out, y);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "bfv/ciphertext.h"
 #include "bfv/evk_manager.h"
@@ -14,6 +15,10 @@ namespace cham {
 class Evaluator {
  public:
   explicit Evaluator(BfvContextPtr context);
+  // Bind to a named evaluation-key session: key material frozen through
+  // this evaluator lives in EvkManager::shared(context, session), so a
+  // serving process can hold per-client key caches side by side.
+  Evaluator(BfvContextPtr context, const std::string& evk_session);
 
   const BfvContextPtr& context() const { return ctx_; }
 

@@ -30,6 +30,16 @@ PublicKey KeyGenerator::make_public_key() {
 }
 
 KeySwitchKey KeyGenerator::make_keyswitch_key(const RnsPoly& src_ntt) {
+  return make_keyswitch_key_impl(src_ntt, /*seeded=*/false, 0);
+}
+
+KeySwitchKey KeyGenerator::make_keyswitch_key_seeded(const RnsPoly& src_ntt,
+                                                     u64 seed) {
+  return make_keyswitch_key_impl(src_ntt, /*seeded=*/true, seed);
+}
+
+KeySwitchKey KeyGenerator::make_keyswitch_key_impl(const RnsPoly& src_ntt,
+                                                   bool seeded, u64 seed) {
   CHAM_CHECK(src_ntt.is_ntt() && src_ntt.base() == ctx_->base_qp());
   KeySwitchKey ksk;
   ksk.context = ctx_;
@@ -37,7 +47,12 @@ KeySwitchKey KeyGenerator::make_keyswitch_key(const RnsPoly& src_ntt) {
   ksk.a.reserve(dnum);
   ksk.b.reserve(dnum);
   for (std::size_t j = 0; j < dnum; ++j) {
-    RnsPoly a = sample_uniform(ctx_->base_qp(), rng_);
+    // Seeded keys draw a_j from the deterministic per-digit stream the
+    // wire loader regenerates (load_galois_keys_seeded); unseeded keys
+    // draw from the generator's rng as before.
+    RnsPoly a = seeded ? expand_seeded_a(ctx_->base_qp(), mix_seed(seed, j),
+                                         /*ntt_form=*/true)
+                       : sample_uniform(ctx_->base_qp(), rng_);
     a.set_ntt_form(true);
     RnsPoly e = sample_noise(ctx_->base_qp(), rng_);
     e.to_ntt();
@@ -77,6 +92,24 @@ GaloisKeys KeyGenerator::make_galois_keys(int levels,
   GaloisKeys gk;
   gk.context = ctx_;
   for (u64 k : elements) gk.keys.emplace(k, make_galois_key(k));
+  return gk;
+}
+
+GaloisKeys KeyGenerator::make_galois_keys_seeded(int levels, u64 seed,
+                                                 const std::vector<u64>& extra) {
+  CHAM_CHECK(levels >= 0 && (std::size_t{1} << levels) <= ctx_->n());
+  std::set<u64> elements;
+  for (int l = 1; l <= levels; ++l) elements.insert((1ULL << l) + 1);
+  elements.insert(extra.begin(), extra.end());
+  GaloisKeys gk;
+  gk.context = ctx_;
+  for (u64 k : elements) {
+    RnsPoly s_k = sk_.s_coeff.automorph(k);
+    s_k.to_ntt();
+    // Per-element stream derived from the root seed — the convention
+    // load_galois_keys_seeded re-derives on the receiving side.
+    gk.keys.emplace(k, make_keyswitch_key_seeded(s_k, mix_seed(seed, k)));
+  }
   return gk;
 }
 

@@ -26,7 +26,20 @@ class KeyGenerator {
   // (k = 2^l + 1 for l = 1..levels), plus any extra indices requested.
   GaloisKeys make_galois_keys(int levels, const std::vector<u64>& extra = {});
 
+  // As make_keyswitch_key / make_galois_keys, but every a_j polynomial is
+  // expanded from the deterministic PRNG stream mix_seed(seed, ...) so
+  // the serialized form can carry the root seed plus the b halves only
+  // (save_galois_keys_seeded — half the key-upload bandwidth). Noise
+  // still comes from this generator's rng; the keys are as valid as their
+  // unseeded counterparts.
+  KeySwitchKey make_keyswitch_key_seeded(const RnsPoly& source_secret_ntt,
+                                         u64 seed);
+  GaloisKeys make_galois_keys_seeded(int levels, u64 seed,
+                                     const std::vector<u64>& extra = {});
+
  private:
+  KeySwitchKey make_keyswitch_key_impl(const RnsPoly& source_secret_ntt,
+                                       bool seeded, u64 seed);
   BfvContextPtr ctx_;
   Rng& rng_;
   SecretKey sk_;

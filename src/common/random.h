@@ -65,4 +65,15 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+// Derive a child seed from a root seed and a label (splitmix64 finalizer
+// over the combined words). Used by the seed-expanded wire formats: both
+// endpoints derive the same per-(key, digit) PRNG streams from one root
+// seed, so only the root travels.
+inline std::uint64_t mix_seed(std::uint64_t root, std::uint64_t label) {
+  std::uint64_t z = root + 0x9E3779B97F4A7C15ULL * (label + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace cham

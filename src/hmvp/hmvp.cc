@@ -20,27 +20,34 @@ std::size_t next_pow2(std::size_t v) {
 // Per-lane scratch arena: every buffer one row evaluation touches,
 // allocated once per group so the row loop does zero steady-state heap
 // allocation (the product lands out-of-place in `acc` instead of copying
-// a ciphertext per chunk).
+// a ciphertext per chunk). One accumulator (and one stats block) per
+// in-flight request of the batch; a single-request run is the batch=1
+// case of the same sweep, so the batched path is bit-exact with it by
+// construction.
 struct RowScratch {
   simd::AlignedU64Vec row_buf;  // streaming path: one decoded matrix row
   Plaintext pt;              // streaming path: Eq. 1 chunk encoding
   RnsPoly pt_ntt;            // streaming path: its NTT-domain lift
-  Ciphertext acc;            // dot-product accumulator (NTT, base_qp)
+  std::vector<Ciphertext> acc;  // per-request dot accumulators (NTT, qp)
   Ciphertext rescaled;       // post-rescale row result (coeff, base_q)
-  HmvpStats stats;           // per-lane counters, merged after the group
+  std::vector<HmvpStats> stats;  // per-request counters, merged per group
 };
 
 void init_scratch(RowScratch& s, const BfvContextPtr& ctx,
-                  std::size_t streaming_cols) {
+                  std::size_t streaming_cols, std::size_t batch) {
   if (streaming_cols > 0) {
     s.row_buf.assign(streaming_cols, 0);
     s.pt.coeffs.assign(ctx->n(), 0);
     s.pt_ntt = RnsPoly(ctx->base_qp(), true);
   }
-  s.acc.b = RnsPoly(ctx->base_qp(), true);
-  s.acc.a = RnsPoly(ctx->base_qp(), true);
+  s.acc.resize(batch);
+  for (auto& acc : s.acc) {
+    acc.b = RnsPoly(ctx->base_qp(), true);
+    acc.a = RnsPoly(ctx->base_qp(), true);
+  }
   s.rescaled.b = RnsPoly(ctx->base_q(), false);
   s.rescaled.a = RnsPoly(ctx->base_q(), false);
+  s.stats.assign(batch, HmvpStats{});
 }
 
 // Supplies the NTT-domain Eq.-1 plaintext of (row, chunk); chunk 0 is
@@ -48,40 +55,54 @@ void init_scratch(RowScratch& s, const BfvContextPtr& ctx,
 using PtProvider =
     std::function<const RnsPoly&(std::size_t, std::size_t, RowScratch&)>;
 
-// One row's dot product -> extracted LWE, entirely within the lane's
-// scratch arena and the caller's preallocated output slot. Thread-safe:
-// all shared state (ct_shoup, the provider's sources) is read-only.
+// One row's dot products — the same Eq.-1 plaintext operand multiplied
+// against every request's frozen ct(v) — then per-request INTT, rescale
+// and LWE extraction, entirely within the lane's scratch arena and the
+// caller's preallocated output slots. This is the coalescing core: a
+// batch of B same-matrix requests fetches (or encodes) each row operand
+// once instead of B times. Thread-safe: all shared state (ct_shoup, the
+// provider's sources) is read-only.
 void process_row(const Evaluator& eval, std::size_t row,
-                 const std::vector<ShoupCiphertext>& ct_shoup,
+                 const std::vector<std::vector<ShoupCiphertext>>& cts,
                  const PtProvider& pt_at, RowScratch& s,
-                 LweCiphertext& out) {
-  s.acc.b.set_ntt_form(true);  // from_ntt flipped these last row
-  s.acc.a.set_ntt_form(true);
+                 std::vector<std::vector<LweCiphertext>>& lwes,
+                 std::size_t slot) {
+  const std::size_t batch = cts.size();
+  const std::size_t chunks = cts[0].size();
+  for (std::size_t b = 0; b < batch; ++b) {
+    s.acc[b].b.set_ntt_form(true);  // from_ntt flipped these last row
+    s.acc[b].a.set_ntt_form(true);
+  }
   {
-    // Stage 2 (MultPoly): one Shoup pointwise product per ct(v) chunk.
-    CHAM_SPAN_ARG("hmvp.multiply_plain_ntt", ct_shoup.size());
-    for (std::size_t c = 0; c < ct_shoup.size(); ++c) {
+    // Stage 2 (MultPoly): one Shoup pointwise product per ct(v) chunk per
+    // request, against the chunk operand fetched once for the batch.
+    CHAM_SPAN_ARG("hmvp.multiply_plain_ntt", chunks * batch);
+    for (std::size_t c = 0; c < chunks; ++c) {
       const RnsPoly& pt_ntt = pt_at(row, c, s);
-      if (c == 0) {
-        eval.multiply_plain_ntt(ct_shoup[c], pt_ntt, s.acc);
-      } else {
-        eval.multiply_plain_ntt_acc(ct_shoup[c], pt_ntt, s.acc);
+      for (std::size_t b = 0; b < batch; ++b) {
+        if (c == 0) {
+          eval.multiply_plain_ntt(cts[b][c], pt_ntt, s.acc[b]);
+        } else {
+          eval.multiply_plain_ntt_acc(cts[b][c], pt_ntt, s.acc[b]);
+        }
+        s.stats[b].pointwise_mults += 2 * s.acc[b].b.limbs();
       }
-      s.stats.pointwise_mults += 2 * s.acc.b.limbs();
     }
   }
-  {
-    // Stage 3 (INTT): product back to coefficient form.
-    CHAM_SPAN("hmvp.from_ntt");
-    s.acc.from_ntt();
+  for (std::size_t b = 0; b < batch; ++b) {
+    {
+      // Stage 3 (INTT): product back to coefficient form.
+      CHAM_SPAN("hmvp.from_ntt");
+      s.acc[b].from_ntt();
+    }
+    s.stats[b].inverse_ntts += 2 * s.acc[b].b.limbs();
+    // Stage 4 (Rescale + ExtractLWEs).
+    CHAM_SPAN("hmvp.rescale_extract");
+    eval.rescale_into(s.acc[b], s.rescaled);
+    s.stats[b].rescales += 1;
+    s.stats[b].extracts += 1;
+    extract_lwe_into(s.rescaled, 0, lwes[b][slot]);
   }
-  s.stats.inverse_ntts += 2 * s.acc.b.limbs();
-  // Stage 4 (Rescale + ExtractLWEs).
-  CHAM_SPAN("hmvp.rescale_extract");
-  eval.rescale_into(s.acc, s.rescaled);
-  s.stats.rescales += 1;
-  s.stats.extracts += 1;
-  extract_lwe_into(s.rescaled, 0, out);
 }
 
 // Shared driver for multiply / multiply_encoded: freeze ct(v) into Shoup
@@ -103,84 +124,133 @@ void publish_stats(const HmvpStats& st, std::size_t rows) {
   reg.counter("hmvp.keyswitches").add(st.keyswitches);
 }
 
-HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
-                    const GaloisKeys* gk, std::size_t rows,
-                    std::size_t pack_count,
-                    const std::vector<Ciphertext>& ct_v, int threads,
-                    std::size_t streaming_cols, const PtProvider& pt_at) {
+// Shared sweep for a batch of same-matrix requests: one pass over the
+// rows computes every request's dot products (the serving layer's
+// coalescing primitive), then packs each request's LWEs separately. A
+// single request is the batch=1 case, so both public entry points share
+// one code path and stay bit-exact with each other.
+std::vector<HmvpResult> hmvp_run_batch(
+    const BfvContextPtr& ctx, const Evaluator& eval, const GaloisKeys* gk,
+    std::size_t rows, std::size_t pack_count,
+    const std::vector<HmvpBatchEntry>& entries, int threads,
+    std::size_t streaming_cols, const PtProvider& pt_at) {
   CHAM_SPAN_ARG("hmvp.run", rows);
   const std::size_t n = ctx->n();
-  HmvpResult res;
-  res.rows = rows;
-  res.pack_count = pack_count;
-  CHAM_CHECK_MSG(gk != nullptr || pack_count == 1,
-                 "Galois keys required to pack more than one row");
+  const std::size_t batch = entries.size();
+  CHAM_CHECK_MSG(batch >= 1, "empty request batch");
+  // Resolve each request's pack credentials (engine defaults when null).
+  std::vector<const std::vector<Ciphertext>*> ct_vs(batch);
+  std::vector<const Evaluator*> pack_evals(batch);
+  std::vector<const GaloisKeys*> pack_gks(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ct_vs[b] = entries[b].ct_v;
+    pack_evals[b] = entries[b].eval ? entries[b].eval : &eval;
+    pack_gks[b] = entries[b].gk ? entries[b].gk : gk;
+    CHAM_CHECK_MSG(pack_gks[b] != nullptr || pack_count == 1,
+                   "Galois keys required to pack more than one row");
+  }
+  std::vector<HmvpResult> results(batch);
+  for (auto& res : results) {
+    res.rows = rows;
+    res.pack_count = pack_count;
+  }
 
-  // Stage 1 for the ciphertext side happens once: transform every chunk
-  // of ct(v) to the NTT domain (limb-parallel) and freeze it into Shoup
-  // form — the per-coefficient quotients are amortized over every row.
-  std::vector<ShoupCiphertext> ct_shoup(ct_v.size());
+  // Stage 1 for the ciphertext side happens once per request: transform
+  // every chunk of ct(v) to the NTT domain (limb-parallel) and freeze it
+  // into Shoup form — the per-coefficient quotients are amortized over
+  // every row of the sweep.
+  std::vector<std::vector<ShoupCiphertext>> ct_shoup(batch);
   {
-    CHAM_SPAN_ARG("hmvp.to_ntt", ct_v.size());
-    for (std::size_t c = 0; c < ct_v.size(); ++c) {
-      Ciphertext ct = ct_v[c];
-      ct.to_ntt(threads);
-      res.stats.forward_ntts += 2 * ct.b.limbs();
-      ct_shoup[c] = ShoupCiphertext(ct);
+    CHAM_SPAN_ARG("hmvp.to_ntt", batch * ct_vs[0]->size());
+    for (std::size_t b = 0; b < batch; ++b) {
+      CHAM_CHECK_MSG(ct_vs[b]->size() == ct_vs[0]->size(),
+                     "batched requests must share the chunk count");
+      ct_shoup[b].resize(ct_vs[b]->size());
+      for (std::size_t c = 0; c < ct_vs[b]->size(); ++c) {
+        Ciphertext ct = (*ct_vs[b])[c];
+        ct.to_ntt(threads);
+        results[b].stats.forward_ntts += 2 * ct.b.limbs();
+        ct_shoup[b][c] = ShoupCiphertext(ct);
+      }
     }
   }
 
   // Per-level pack operands (Shoup-frozen Galois keys, automorph tables,
-  // evaluation-domain monomial twiddles) come from the evaluation-key
-  // manager: frozen once per GaloisKeys and shared by every group's
-  // reduction tree of every run — repeated products pay a cache lookup.
-  std::shared_ptr<const PackKeys> pack_keys;
-  if (pack_count > 1)
-    pack_keys = eval.evk().pack_keys(*gk, log2_exact(pack_count));
+  // evaluation-domain monomial twiddles) come from each request's
+  // evaluation-key manager: frozen once per GaloisKeys and shared by
+  // every group's reduction tree of every run — repeated products (and
+  // same-session requests within a batch) pay a cache lookup.
+  std::vector<std::shared_ptr<const PackKeys>> pack_keys(batch);
+  if (pack_count > 1) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      pack_keys[b] =
+          pack_evals[b]->evk().pack_keys(*pack_gks[b], log2_exact(pack_count));
+    }
+  }
 
   obs::Histogram& row_hist =
       obs::MetricsRegistry::global().histogram("hmvp.row_ns");
   auto& pool = ThreadPool::global();
   const std::size_t groups = (rows + n - 1) / n;
-  res.packed.reserve(groups);
+  for (auto& res : results) res.packed.reserve(groups);
   for (std::size_t g = 0; g < groups; ++g) {
     CHAM_SPAN_ARG("hmvp.group", g);
     const std::size_t group_rows = std::min(n, rows - g * n);
-    // Preallocate (and bind) every LWE slot on the submitting thread
-    // before the lanes start: rows extract in place, and the slots past
-    // group_rows stay zero — the pack-geometry padding (trivial
-    // encryptions of 0) with no per-slot allocation inside the row loop.
-    std::vector<LweCiphertext> lwes(pack_count);
-    for (auto& lwe : lwes) {
-      lwe.base = ctx->base_q();
-      lwe.b.assign(ctx->base_q()->size(), 0);
-      lwe.a = RnsPoly(ctx->base_q(), false);  // zero-initialized
+    // Preallocate (and bind) every LWE slot of every request on the
+    // submitting thread before the lanes start: rows extract in place,
+    // and the slots past group_rows stay zero — the pack-geometry
+    // padding (trivial encryptions of 0) with no per-slot allocation
+    // inside the row loop.
+    std::vector<std::vector<LweCiphertext>> lwes(batch);
+    for (auto& req_lwes : lwes) {
+      req_lwes.resize(pack_count);
+      for (auto& lwe : req_lwes) {
+        lwe.base = ctx->base_q();
+        lwe.b.assign(ctx->base_q()->size(), 0);
+        lwe.a = RnsPoly(ctx->base_q(), false);  // zero-initialized
+      }
     }
     const int lanes = static_cast<int>(
         std::min<std::size_t>(std::max(threads, 1), group_rows));
     std::vector<RowScratch> scratch(lanes);
-    for (auto& s : scratch) init_scratch(s, ctx, streaming_cols);
+    for (auto& s : scratch) init_scratch(s, ctx, streaming_cols, batch);
     pool.run(lanes, [&](int lane) {
       RowScratch& s = scratch[lane];
       for (std::size_t r = static_cast<std::size_t>(lane); r < group_rows;
            r += static_cast<std::size_t>(lanes)) {
         CHAM_SPAN_ARG("hmvp.row", g * n + r);
         const std::uint64_t t0 = obs::TraceRecorder::now_ns();
-        process_row(eval, g * n + r, ct_shoup, pt_at, s, lwes[r]);
+        process_row(eval, g * n + r, ct_shoup, pt_at, s, lwes, r);
         row_hist.record(obs::TraceRecorder::now_ns() - t0);
       }
     });
-    for (const auto& s : scratch) res.stats.merge(s.stats);
-    CHAM_SPAN_ARG("hmvp.pack", pack_count);
-    Ciphertext packed = (pack_count == 1)
-                            ? lwe_to_rlwe(lwes[0])
-                            : pack_lwes(eval, lwes, *pack_keys, threads);
-    res.stats.pack_merges += pack_count - 1;
-    res.stats.keyswitches += pack_count - 1;
-    res.packed.push_back(std::move(packed));
+    for (const auto& s : scratch) {
+      for (std::size_t b = 0; b < batch; ++b) results[b].stats.merge(s.stats[b]);
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      CHAM_SPAN_ARG("hmvp.pack", pack_count);
+      Ciphertext packed =
+          (pack_count == 1)
+              ? lwe_to_rlwe(lwes[b][0])
+              : pack_lwes(*pack_evals[b], lwes[b], *pack_keys[b], threads);
+      results[b].stats.pack_merges += pack_count - 1;
+      results[b].stats.keyswitches += pack_count - 1;
+      results[b].packed.push_back(std::move(packed));
+    }
   }
-  publish_stats(res.stats, rows);
-  return res;
+  for (const auto& res : results) publish_stats(res.stats, rows);
+  return results;
+}
+
+HmvpResult hmvp_run(const BfvContextPtr& ctx, const Evaluator& eval,
+                    const GaloisKeys* gk, std::size_t rows,
+                    std::size_t pack_count,
+                    const std::vector<Ciphertext>& ct_v, int threads,
+                    std::size_t streaming_cols, const PtProvider& pt_at) {
+  auto results =
+      hmvp_run_batch(ctx, eval, gk, rows, pack_count, {HmvpBatchEntry{&ct_v}},
+                     threads, streaming_cols, pt_at);
+  return std::move(results[0]);
 }
 
 }  // namespace
@@ -250,7 +320,9 @@ HmvpResult HmvpEngine::multiply(const RowSource& a,
     if (c == 0) a.row(row, s.row_buf.data());
     encode_row_chunk_into(s.row_buf.data(), cols, c, scale, s.pt);
     eval_.transform_plain_ntt_into(s.pt, s.pt_ntt);
-    s.stats.forward_ntts += s.pt_ntt.limbs();
+    // The encode+NTT is paid once per row regardless of batch size;
+    // attribute it to the first request (streaming runs are batch=1).
+    s.stats[0].forward_ntts += s.pt_ntt.limbs();
     return s.pt_ntt;
   };
   return hmvp_run(ctx_, eval_, gk_, rows, pack_count, ct_v, threads, cols,
@@ -293,20 +365,40 @@ EncodedMatrix HmvpEngine::encode_matrix(const RowSource& a,
 HmvpResult HmvpEngine::multiply_encoded(const EncodedMatrix& a,
                                         const std::vector<Ciphertext>& ct_v,
                                         int threads) const {
+  auto results = multiply_encoded_batch(a, {&ct_v}, threads);
+  return std::move(results[0]);
+}
+
+std::vector<HmvpResult> HmvpEngine::multiply_encoded_batch(
+    const EncodedMatrix& a,
+    const std::vector<const std::vector<Ciphertext>*>& ct_vs,
+    int threads) const {
+  std::vector<HmvpBatchEntry> entries(ct_vs.size());
+  for (std::size_t b = 0; b < ct_vs.size(); ++b) entries[b].ct_v = ct_vs[b];
+  return multiply_encoded_batch(a, entries, threads);
+}
+
+std::vector<HmvpResult> HmvpEngine::multiply_encoded_batch(
+    const EncodedMatrix& a, const std::vector<HmvpBatchEntry>& batch,
+    int threads) const {
   CHAM_CHECK_MSG(threads >= 1, "thread count must be positive");
-  CHAM_CHECK_MSG(ct_v.size() == a.chunks_,
-                 "vector ciphertext count must match ceil(cols/N)");
-  for (const auto& ct : ct_v) {
-    CHAM_CHECK_MSG(ct.base() == ctx_->base_qp() && !ct.is_ntt(),
-                   "vector ciphertexts must be augmented, coefficient form");
+  CHAM_CHECK_MSG(!batch.empty(), "empty request batch");
+  for (const auto& entry : batch) {
+    CHAM_CHECK_MSG(entry.ct_v != nullptr, "null request in batch");
+    CHAM_CHECK_MSG(entry.ct_v->size() == a.chunks_,
+                   "vector ciphertext count must match ceil(cols/N)");
+    for (const auto& ct : *entry.ct_v) {
+      CHAM_CHECK_MSG(ct.base() == ctx_->base_qp() && !ct.is_ntt(),
+                     "vector ciphertexts must be augmented, coefficient form");
+    }
   }
   const std::size_t chunks = a.chunks_;
   const PtProvider pt_at = [&](std::size_t row, std::size_t c,
                                RowScratch&) -> const RnsPoly& {
     return a.row_chunks_[row * chunks + c];
   };
-  return hmvp_run(ctx_, eval_, gk_, a.rows_, a.pack_count_, ct_v, threads,
-                  /*streaming_cols=*/0, pt_at);
+  return hmvp_run_batch(ctx_, eval_, gk_, a.rows_, a.pack_count_, batch,
+                        threads, /*streaming_cols=*/0, pt_at);
 }
 
 std::vector<u64> HmvpEngine::decrypt_result(const HmvpResult& res,

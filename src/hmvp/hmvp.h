@@ -75,6 +75,18 @@ class EncodedMatrix {
   std::vector<RnsPoly> row_chunks_;  // [row * chunks + chunk], NTT base_qp
 };
 
+// One request of a coalesced batch. The row sweep (multiply, INTT,
+// rescale, extract) is key-free and shared across the batch; only the
+// final PackLWEs tree consumes key material, so each request may carry
+// its own Galois keys and a session-bound Evaluator (whose EvkManager
+// caches that client's frozen pack operands). Null fields fall back to
+// the engine's own evaluator/keys — the single-tenant case.
+struct HmvpBatchEntry {
+  const std::vector<Ciphertext>* ct_v = nullptr;
+  const Evaluator* eval = nullptr;
+  const GaloisKeys* gk = nullptr;
+};
+
 class HmvpEngine {
  public:
   // gk must hold Galois keys up to level log2(min(N, next_pow2(rows))).
@@ -103,6 +115,24 @@ class HmvpEngine {
   HmvpResult multiply_encoded(const EncodedMatrix& a,
                               const std::vector<Ciphertext>& ct_v,
                               int threads = 1) const;
+
+  // Coalesced same-matrix sweep (the serving layer's batching primitive):
+  // one pass over the pre-encoded matrix computes A·v_i for every request
+  // i, fetching each row operand once for the whole batch instead of once
+  // per request. Every request must have the same chunk count (same
+  // matrix ⇒ trivially true). Result i is bit-exact with
+  // multiply_encoded(a, ct_vs[i], threads) — both run the batch sweep,
+  // the single-shot path being its batch=1 case.
+  std::vector<HmvpResult> multiply_encoded_batch(
+      const EncodedMatrix& a,
+      const std::vector<const std::vector<Ciphertext>*>& ct_vs,
+      int threads = 1) const;
+  // Multi-tenant form: per-request Galois keys / session evaluators (see
+  // HmvpBatchEntry) so one sweep can serve requests from different
+  // client sessions — the pack stage switches keys per request.
+  std::vector<HmvpResult> multiply_encoded_batch(
+      const EncodedMatrix& a, const std::vector<HmvpBatchEntry>& batch,
+      int threads = 1) const;
 
   // Decrypt + decode the result vector (length a.rows()).
   std::vector<u64> decrypt_result(const HmvpResult& res,

@@ -1,13 +1,27 @@
-// In-memory two-party channel with traffic accounting.
+// In-memory two-party channels with traffic accounting.
 //
 // Protocol code pushes serialized blobs; the peer pops them. Byte counts
 // per direction feed the communication tables (packing 4096 dot-product
 // results into one RLWE ciphertext is exactly what keeps CHAM's response
 // traffic flat — the ablation bench quantifies it).
+//
+// Two flavours:
+//  * Channel         — single-threaded (the two parties alternate on one
+//    thread, as in the protocol tests/benches); recv on an empty queue is
+//    a programming error and hard-CHECKs.
+//  * BlockingChannel — thread-safe producer/consumer variant for the
+//    serving runtime: send wakes a blocked recv, try_recv never blocks,
+//    recv_timeout bounds the wait, and close() drains pending blobs then
+//    makes every further recv return nullopt. Byte accounting matches
+//    Channel's exactly.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +66,109 @@ struct Duplex {
   Channel b_to_a;
   std::size_t total_bytes() const {
     return a_to_b.bytes_sent() + b_to_a.bytes_sent();
+  }
+};
+
+// Thread-safe blocking variant: one or more producers send, one or more
+// consumers recv. Used as the transport of the serving runtime, where the
+// client threads and the server's ingest thread live on different sides.
+class BlockingChannel {
+ public:
+  // Returns false (dropping the blob) iff the channel is closed.
+  bool send(std::vector<std::uint8_t> blob) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      bytes_sent_ += blob.size();
+      ++messages_;
+      queue_.push_back(std::move(blob));
+    }
+    cv_.notify_one();
+    return true;
+  }
+  bool send(const ByteWriter& w) { return send(w.bytes()); }
+
+  // Blocks until a blob arrives or the channel is closed and drained;
+  // nullopt means "closed, nothing further will arrive".
+  std::optional<std::vector<std::uint8_t>> recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  // Never blocks: nullopt when the queue is empty right now (or closed).
+  std::optional<std::vector<std::uint8_t>> try_recv() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pop_locked();
+  }
+
+  // Blocks at most `timeout`; nullopt on timeout or close-and-drained.
+  std::optional<std::vector<std::uint8_t>> recv_timeout(
+      std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  // Already-queued blobs stay receivable; new sends are dropped and a
+  // blocked recv wakes with nullopt once the queue drains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+  std::size_t bytes_sent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_sent_;
+  }
+  std::size_t messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return messages_;
+  }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_sent_ = 0;
+    messages_ = 0;
+  }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> pop_locked() {
+    if (queue_.empty()) return std::nullopt;
+    auto blob = std::move(queue_.front());
+    queue_.pop_front();
+    return blob;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  bool closed_ = false;
+  std::size_t bytes_sent_ = 0;
+  std::size_t messages_ = 0;
+};
+
+// A pair of directed blocking channels (client view: `up` towards the
+// server, `down` back).
+struct BlockingDuplex {
+  BlockingChannel up;
+  BlockingChannel down;
+  std::size_t total_bytes() const {
+    return up.bytes_sent() + down.bytes_sent();
+  }
+  void close_both() {
+    up.close();
+    down.close();
   }
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/random.h"
+#include "ring/sampling.h"
+
 namespace cham {
 
 namespace {
@@ -15,6 +18,8 @@ constexpr std::uint8_t kTagLwe = 4;
 constexpr std::uint8_t kTagPublicKey = 5;
 constexpr std::uint8_t kTagGaloisKeys = 6;
 constexpr std::uint8_t kTagKskEntry = 7;
+constexpr std::uint8_t kTagSeededCiphertext = 8;
+constexpr std::uint8_t kTagSeededGaloisKeys = 9;
 
 void write_header(ByteWriter& out, std::uint8_t tag) {
   out.u32(kMagic);
@@ -321,9 +326,82 @@ GaloisKeys load_galois_keys(ByteReader& in, const BfvContextPtr& ctx) {
   return gk;
 }
 
+// ------------------------------------------------------ seed-expanded forms
+
+void save_ciphertext_seeded(const Ciphertext& ct, u64 seed, WireFormat fmt,
+                            ByteWriter& out) {
+  write_header(out, kTagSeededCiphertext);
+  out.u64(seed);
+  save_poly_body(ct.b, fmt, out);
+}
+
+Ciphertext load_ciphertext_seeded(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagSeededCiphertext);
+  const u64 seed = in.u64();
+  Ciphertext ct;
+  auto base = match_base(in, ctx);
+  ct.b = load_poly_body(in, base);
+  ct.a = expand_seeded_a(base, seed, ct.b.is_ntt());
+  return ct;
+}
+
+void save_galois_keys_seeded(const GaloisKeys& gk, u64 root_seed,
+                             WireFormat fmt, ByteWriter& out) {
+  write_header(out, kTagSeededGaloisKeys);
+  out.u64(root_seed);
+  out.u32(static_cast<std::uint32_t>(gk.keys.size()));
+  for (const auto& [k, ksk] : gk.keys) {
+    out.u8(kTagKskEntry);
+    out.u64(k);
+    out.u32(static_cast<std::uint32_t>(ksk.b.size()));
+    for (std::size_t j = 0; j < ksk.b.size(); ++j) {
+      save_poly_body(ksk.b[j], fmt, out);
+    }
+  }
+}
+
+GaloisKeys load_galois_keys_seeded(ByteReader& in, const BfvContextPtr& ctx) {
+  read_header(in, kTagSeededGaloisKeys);
+  const u64 root_seed = in.u64();
+  GaloisKeys gk;
+  gk.context = ctx;
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CHAM_CHECK_MSG(in.u8() == kTagKskEntry, "corrupt Galois key entry");
+    const u64 k = in.u64();
+    CHAM_CHECK_MSG(k % 2 == 1 && k > 1 && k < 2 * ctx->n(),
+                   "invalid Galois element");
+    KeySwitchKey ksk;
+    ksk.context = ctx;
+    const std::uint32_t dnum = in.u32();
+    CHAM_CHECK_MSG(dnum == ctx->dnum(), "KSK digit count mismatch");
+    const u64 key_seed = mix_seed(root_seed, k);
+    for (std::uint32_t j = 0; j < dnum; ++j) {
+      auto base_b = match_base(in, ctx);
+      CHAM_CHECK_MSG(base_b == ctx->base_qp(), "KSK must be over base_qp");
+      RnsPoly b = load_poly_body(in, base_b);
+      CHAM_CHECK_MSG(b.is_ntt(), "seeded KSK b halves must be in NTT form");
+      // Regenerate a_j from the same per-(element, digit) stream the
+      // seeded key generator drew it from.
+      ksk.a.push_back(
+          expand_seeded_a(base_b, mix_seed(key_seed, j), /*ntt_form=*/true));
+      ksk.b.push_back(std::move(b));
+    }
+    gk.keys.emplace(k, std::move(ksk));
+  }
+  return gk;
+}
+
 std::size_t ciphertext_wire_bytes(const Ciphertext& ct, WireFormat fmt) {
   ByteWriter w;
   save_ciphertext(ct, fmt, w);
+  return w.size();
+}
+
+std::size_t ciphertext_seeded_wire_bytes(const Ciphertext& ct, u64 seed,
+                                         WireFormat fmt) {
+  ByteWriter w;
+  save_ciphertext_seeded(ct, seed, fmt, w);
   return w.size();
 }
 

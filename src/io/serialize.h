@@ -77,7 +77,26 @@ PublicKey load_public_key(ByteReader& in, const BfvContextPtr& ctx);
 void save_galois_keys(const GaloisKeys& gk, WireFormat fmt, ByteWriter& out);
 GaloisKeys load_galois_keys(ByteReader& in, const BfvContextPtr& ctx);
 
+// --- seed-expanded forms ---------------------------------------------------
+// The `a` component of a fresh symmetric ciphertext (and the a_j halves of
+// a seeded key-switch key) are uniform polynomials expanded from a PRNG
+// seed, so the wire carries the 8-byte seed plus the b half only — ~2x
+// less request/key-upload bandwidth. The saver must be given a ciphertext
+// produced by Encryptor::encrypt_symmetric_seeded (or keys from
+// KeyGenerator::make_galois_keys_seeded) together with the seed it
+// reported; the loader regenerates the dropped halves bit-exactly via
+// expand_seeded_a / mix_seed.
+void save_ciphertext_seeded(const Ciphertext& ct, u64 seed, WireFormat fmt,
+                            ByteWriter& out);
+Ciphertext load_ciphertext_seeded(ByteReader& in, const BfvContextPtr& ctx);
+
+void save_galois_keys_seeded(const GaloisKeys& gk, u64 root_seed,
+                             WireFormat fmt, ByteWriter& out);
+GaloisKeys load_galois_keys_seeded(ByteReader& in, const BfvContextPtr& ctx);
+
 // Serialized size in bytes without materialising the buffer.
 std::size_t ciphertext_wire_bytes(const Ciphertext& ct, WireFormat fmt);
+std::size_t ciphertext_seeded_wire_bytes(const Ciphertext& ct, u64 seed,
+                                         WireFormat fmt);
 
 }  // namespace cham

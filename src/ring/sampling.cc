@@ -44,6 +44,14 @@ RnsPoly sample_noise(RnsBasePtr base, Rng& rng) {
   return out;
 }
 
+RnsPoly expand_seeded_a(const RnsBasePtr& base, u64 seed, bool ntt_form) {
+  Rng rng(seed);
+  RnsPoly a = sample_uniform(base, rng);
+  a.set_ntt_form(true);
+  if (!ntt_form) a.from_ntt();
+  return a;
+}
+
 RnsPoly from_signed_coeffs(RnsBasePtr base,
                            const std::vector<std::int64_t>& coeffs) {
   CHAM_CHECK(coeffs.size() <= base->n());

@@ -20,4 +20,13 @@ RnsPoly sample_noise(RnsBasePtr base, Rng& rng);
 RnsPoly from_signed_coeffs(RnsBasePtr base,
                            const std::vector<std::int64_t>& coeffs);
 
+// Deterministic seed-expanded uniform polynomial — the shared definition
+// between seeded encryption/keygen (sender side) and the seed-expanded
+// wire loaders (receiver side): uniform over Z_Q drawn from Rng(seed) and
+// tagged as evaluation-domain (uniform either way); ntt_form=false
+// additionally applies the inverse NTT so the result can stand in for the
+// `a` component of a coefficient-domain ciphertext. Bit-exact on both
+// endpoints for any fixed seed.
+RnsPoly expand_seeded_a(const RnsBasePtr& base, u64 seed, bool ntt_form);
+
 }  // namespace cham

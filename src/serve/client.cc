@@ -1,0 +1,87 @@
+#include "serve/client.h"
+
+namespace cham::serve {
+
+ServeClient::ServeClient(BfvContextPtr ctx, ClientLink link,
+                         std::string session, int pack_levels, u64 seed,
+                         WireFormat fmt)
+    : ctx_(std::move(ctx)),
+      link_(link),
+      session_(std::move(session)),
+      fmt_(fmt),
+      rng_(seed),
+      keygen_(ctx_, rng_),
+      gk_seed_(rng_.next_u64()),
+      gk_(keygen_.make_galois_keys_seeded(pack_levels, gk_seed_)),
+      enc_(ctx_, nullptr, &keygen_.secret_key(), rng_),
+      dec_(ctx_, keygen_.secret_key()),
+      encoder_(ctx_),
+      engine_(ctx_, &gk_) {}
+
+void ServeClient::hello() {
+  ByteWriter w;
+  build_hello(link_.client_id, session_, gk_, gk_seed_, fmt_, w);
+  link_.up->send(w);
+}
+
+void ServeClient::goodbye() {
+  ByteWriter w;
+  build_goodbye(link_.client_id, session_, w);
+  link_.up->send(w);
+}
+
+std::uint64_t ServeClient::submit(std::uint32_t matrix_id,
+                                  const std::vector<u64>& v,
+                                  std::vector<Ciphertext>* ct_out) {
+  CHAM_CHECK_MSG(!v.empty(), "empty request vector");
+  const std::size_t n = ctx_->n();
+  std::vector<Ciphertext> ct_v;
+  std::vector<u64> seeds;
+  for (std::size_t start = 0; start < v.size(); start += n) {
+    const std::size_t len = std::min(n, v.size() - start);
+    std::vector<u64> chunk(v.begin() + start, v.begin() + start + len);
+    u64 seed = 0;
+    ct_v.push_back(
+        enc_.encrypt_symmetric_seeded(encoder_.encode_vector(chunk), &seed));
+    seeds.push_back(seed);
+  }
+  const std::uint64_t rid = next_rid_++;
+  ByteWriter w;
+  build_request(link_.client_id, session_, rid, matrix_id, ct_v, seeds, fmt_,
+                w);
+  link_.up->send(w);
+  if (ct_out) *ct_out = std::move(ct_v);
+  return rid;
+}
+
+void ServeClient::request_cancel(std::uint64_t request_id) {
+  ByteWriter w;
+  build_cancel(link_.client_id, session_, request_id, w);
+  link_.up->send(w);
+}
+
+Response ServeClient::await() {
+  auto blob = link_.down->recv();
+  CHAM_CHECK_MSG(blob.has_value(), "server closed the response channel");
+  ByteReader in(*blob);
+  return parse_response(in, ctx_);
+}
+
+std::optional<Response> ServeClient::await_for(
+    std::chrono::nanoseconds timeout) {
+  auto blob = link_.down->recv_timeout(timeout);
+  if (!blob) return std::nullopt;
+  ByteReader in(*blob);
+  return parse_response(in, ctx_);
+}
+
+std::vector<u64> ServeClient::decrypt(const Response& r) const {
+  CHAM_CHECK_MSG(r.status == Status::kOk, "decrypting a non-ok response");
+  HmvpResult res;
+  res.packed = r.packed;
+  res.rows = r.rows;
+  res.pack_count = r.pack_count;
+  return engine_.decrypt_result(res, dec_);
+}
+
+}  // namespace cham::serve

@@ -1,0 +1,77 @@
+// Client endpoint of the HMVP serving runtime: owns a key pair, uploads
+// seed-expanded Galois keys (hello), encrypts request vectors with
+// seed-expanded symmetric ciphertexts, and decrypts packed responses.
+// Used by the load-test bench and the concurrency test suite as the
+// synthetic tenant; a real deployment would run this side remotely —
+// everything it exchanges with the server goes through the wire blobs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bfv/decryptor.h"
+#include "bfv/encoder.h"
+#include "bfv/encryptor.h"
+#include "bfv/keygen.h"
+#include "hmvp/hmvp.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace cham::serve {
+
+class ServeClient {
+ public:
+  // Generates a fresh secret key and pack keys for 2^pack_levels rows
+  // from the deterministic stream of `seed`. hello() must run before the
+  // first submit().
+  ServeClient(BfvContextPtr ctx, ClientLink link, std::string session,
+              int pack_levels, u64 seed,
+              WireFormat fmt = WireFormat::kPacked);
+
+  // Session handshake: uploads the seed-expanded Galois keys.
+  void hello();
+  void goodbye();
+
+  // Encrypt v (chunked into ring-dimension pieces) and send the request;
+  // returns its request id. ct_out, when given, receives the chunk
+  // ciphertexts exactly as the server will see them after seed expansion
+  // — the input for a local single-shot bit-exactness cross-check.
+  std::uint64_t submit(std::uint32_t matrix_id, const std::vector<u64>& v,
+                       std::vector<Ciphertext>* ct_out = nullptr);
+  // Ask the server to drop a queued request. Best-effort: a kCancelled
+  // response arrives only if the request had not entered a batch yet.
+  void request_cancel(std::uint64_t request_id);
+
+  Response await();  // blocks on the down channel
+  std::optional<Response> await_for(std::chrono::nanoseconds timeout);
+
+  // Decrypt + decode a kOk response into the result vector.
+  std::vector<u64> decrypt(const Response& r) const;
+
+  // Local single-shot engine over the same keys — the bit-exactness
+  // cross-check oracle for served responses.
+  const HmvpEngine& engine() const { return engine_; }
+  const Encryptor& encryptor() const { return enc_; }
+  const Decryptor& decryptor() const { return dec_; }
+  const GaloisKeys& galois_keys() const { return gk_; }
+  const std::string& session() const { return session_; }
+
+ private:
+  BfvContextPtr ctx_;
+  ClientLink link_;
+  std::string session_;
+  WireFormat fmt_;
+  Rng rng_;
+  KeyGenerator keygen_;
+  u64 gk_seed_;
+  GaloisKeys gk_;
+  Encryptor enc_;
+  Decryptor dec_;
+  CoeffEncoder encoder_;
+  HmvpEngine engine_;
+  std::uint64_t next_rid_ = 1;
+};
+
+}  // namespace cham::serve

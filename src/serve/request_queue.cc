@@ -1,0 +1,76 @@
+#include "serve/request_queue.h"
+
+namespace cham::serve {
+
+bool RequestQueue::push(QueuedRequest req) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || q_.size() >= max_depth_) return false;
+    q_.push_back(std::move(req));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::vector<QueuedRequest> RequestQueue::pop_batch(
+    std::size_t max_batch, std::chrono::nanoseconds window) {
+  if (max_batch == 0) max_batch = 1;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return {};  // closed and drained
+
+  std::vector<QueuedRequest> batch;
+  batch.push_back(std::move(q_.front()));
+  q_.pop_front();
+  const std::uint32_t mid = batch[0].matrix_id;
+  auto take_matching = [&] {
+    for (auto it = q_.begin(); it != q_.end() && batch.size() < max_batch;) {
+      if (it->matrix_id == mid) {
+        batch.push_back(std::move(*it));
+        it = q_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  take_matching();
+
+  if (batch.size() < max_batch && window.count() > 0 && !closed_) {
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    while (batch.size() < max_batch && !closed_) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        take_matching();
+        break;
+      }
+      take_matching();
+    }
+  }
+  return batch;
+}
+
+bool RequestQueue::cancel(const std::string& session,
+                          std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (it->request_id == request_id && it->session == session) {
+      q_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+}  // namespace cham::serve

@@ -1,0 +1,68 @@
+// Admission-controlled request queue with same-matrix batch coalescing —
+// the serving analogue of the paper's host-side batching: requests that
+// multiply by the same pre-encoded matrix are popped together so the
+// compute stage runs one row sweep for the whole batch
+// (HmvpEngine::multiply_encoded_batch), fetching each row operand once.
+//
+// Admission control is a hard depth cap: push() refuses instead of
+// queueing unboundedly, so an overloaded server degrades by rejecting
+// (client sees Status::kRejected) rather than by latency collapse.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bfv/ciphertext.h"
+
+namespace cham::serve {
+
+struct QueuedRequest {
+  std::uint64_t request_id = 0;
+  std::uint32_t matrix_id = 0;
+  std::string session;
+  std::vector<Ciphertext> ct_v;    // decoded chunk ciphertexts
+  std::uint64_t enqueue_ns = 0;    // ingest-side arrival stamp
+  std::shared_ptr<void> binding;   // keeps the session state alive
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  // False iff the queue is at max depth or closed (admission reject —
+  // the caller answers the client; nothing was enqueued).
+  bool push(QueuedRequest req);
+
+  // Blocks for the next request, then coalesces: the FIFO head fixes the
+  // batch's matrix, and up to max_batch-1 further same-matrix requests
+  // are taken in arrival order, waiting up to `window` for more to
+  // arrive once the queue holds no other candidate. Requests against
+  // other matrices keep their places. Empty result ⇔ closed and drained.
+  std::vector<QueuedRequest> pop_batch(std::size_t max_batch,
+                                       std::chrono::nanoseconds window);
+
+  // Remove a not-yet-popped request. True iff it was found (the caller
+  // then answers Status::kCancelled); false means it already left the
+  // queue — evaluation completes and the normal response stands.
+  bool cancel(const std::string& session, std::uint64_t request_id);
+
+  // Wakes pop_batch; queued requests remain poppable, new pushes refuse.
+  void close();
+
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedRequest> q_;
+  std::size_t max_depth_;
+  bool closed_ = false;
+};
+
+}  // namespace cham::serve

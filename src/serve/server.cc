@@ -1,0 +1,271 @@
+#include "serve/server.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cham::serve {
+
+namespace {
+std::uint64_t now_ns() { return obs::TraceRecorder::now_ns(); }
+}  // namespace
+
+HmvpServer::HmvpServer(BfvContextPtr ctx, ServerConfig cfg)
+    : ctx_(std::move(ctx)),
+      cfg_(cfg),
+      engine_(ctx_, nullptr),
+      queue_(cfg.max_queue_depth) {
+  CHAM_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be positive");
+  CHAM_CHECK_MSG(cfg_.threads >= 1, "thread count must be positive");
+}
+
+HmvpServer::~HmvpServer() { stop(); }
+
+std::uint32_t HmvpServer::add_matrix(const RowSource& a) {
+  CHAM_CHECK_MSG(!running_, "register matrices before start()");
+  matrices_.push_back(MatrixEntry{engine_.encode_matrix(a, cfg_.threads)});
+  return static_cast<std::uint32_t>(matrices_.size() - 1);
+}
+
+const EncodedMatrix& HmvpServer::matrix(std::uint32_t id) const {
+  CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
+  return matrices_[id].enc;
+}
+
+ClientLink HmvpServer::connect() {
+  std::lock_guard<std::mutex> lk(links_mu_);
+  downs_.push_back(std::make_unique<BlockingChannel>());
+  ClientLink link;
+  link.client_id = downs_.size() - 1;
+  link.up = &inbox_;
+  link.down = downs_.back().get();
+  return link;
+}
+
+void HmvpServer::start() {
+  CHAM_CHECK_MSG(!running_ && !stopped_, "server already started");
+  running_ = true;
+  started_ns_ = now_ns();
+  ingest_ = std::thread([this] { ingest_loop(); });
+  compute_ = std::thread([this] { compute_loop(); });
+}
+
+void HmvpServer::stop() {
+  if (!running_ || stopped_) return;
+  stopped_ = true;
+  // Stage shutdown in pipeline order: no new messages, drain ingest, then
+  // drain the queue through compute.
+  inbox_.close();
+  ingest_.join();
+  queue_.close();
+  compute_.join();
+  {
+    std::lock_guard<std::mutex> lk(links_mu_);
+    for (auto& down : downs_) down->close();
+  }
+  const std::uint64_t wall = now_ns() - started_ns_;
+  auto& reg = obs::MetricsRegistry::global();
+  if (wall > 0) {
+    reg.gauge("serve.occupancy.ingest")
+        .set(static_cast<double>(ingest_busy_ns_.load()) /
+             static_cast<double>(wall));
+    reg.gauge("serve.occupancy.compute")
+        .set(static_cast<double>(compute_busy_ns_.load()) /
+             static_cast<double>(wall));
+  }
+  const std::uint64_t b = batches_.load();
+  reg.gauge("serve.batch_occupancy")
+      .set(b ? static_cast<double>(batched_.load()) / static_cast<double>(b)
+             : 0.0);
+}
+
+HmvpServer::Counters HmvpServer::counters() const {
+  Counters c;
+  c.requests = requests_.load();
+  c.responses = responses_.load();
+  c.rejected = rejected_.load();
+  c.cancelled = cancelled_.load();
+  c.errors = errors_.load();
+  c.batches = batches_.load();
+  c.batched = batched_.load();
+  c.sessions = sessions_n_.load();
+  c.batch_occupancy =
+      c.batches ? static_cast<double>(c.batched) / static_cast<double>(c.batches)
+                : 0.0;
+  return c;
+}
+
+void HmvpServer::respond_error(BlockingChannel* down, std::uint64_t rid,
+                               Status status) {
+  if (down == nullptr) return;
+  ByteWriter w;
+  build_response(rid, status, {}, 0, 0, cfg_.wire, w);
+  down->send(w);
+}
+
+void HmvpServer::ingest_loop() {
+  while (auto blob = inbox_.recv()) {
+    const std::uint64_t t0 = now_ns();
+    try {
+      handle_message(*blob);
+    } catch (const CheckError&) {
+      // Malformed frame: nothing routable to answer on — count and drop.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("serve.errors").add(1);
+    }
+    ingest_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  }
+}
+
+void HmvpServer::handle_message(const std::vector<std::uint8_t>& blob) {
+  auto& reg = obs::MetricsRegistry::global();
+  ByteReader in(blob);
+  const auto type = static_cast<MsgType>(in.u8());
+  switch (type) {
+    case MsgType::kHello: {
+      CHAM_SPAN("serve.ingest.hello");
+      const std::uint64_t client_id = in.u64();
+      std::string name = read_string(in);
+      GaloisKeys gk = load_galois_keys_seeded(in, ctx_);
+      BlockingChannel* down = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(links_mu_);
+        CHAM_CHECK_MSG(client_id < downs_.size(), "hello from unknown client");
+        down = downs_[client_id].get();
+      }
+      sessions_[name] =
+          std::make_shared<Session>(ctx_, name, std::move(gk), down);
+      sessions_n_.fetch_add(1, std::memory_order_relaxed);
+      reg.counter("serve.sessions").add(1);
+      return;
+    }
+    case MsgType::kRequest: {
+      CHAM_SPAN("serve.ingest.request");
+      const std::uint64_t t0 = now_ns();
+      const std::uint64_t client_id = in.u64();
+      const std::string name = read_string(in);
+      const std::uint64_t rid = in.u64();
+      const std::uint32_t mid = in.u32();
+      const std::uint32_t chunks = in.u32();
+      BlockingChannel* down = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(links_mu_);
+        CHAM_CHECK_MSG(client_id < downs_.size(),
+                       "request from unknown client");
+        down = downs_[client_id].get();
+      }
+      auto it = sessions_.find(name);
+      if (it == sessions_.end() || it->second->departed) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.errors").add(1);
+        respond_error(down, rid, Status::kUnknownSession);
+        return;
+      }
+      auto session = it->second;
+      if (mid >= matrices_.size()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.errors").add(1);
+        respond_error(down, rid, Status::kUnknownMatrix);
+        return;
+      }
+      const EncodedMatrix& enc = matrices_[mid].enc;
+      const std::size_t want = (enc.cols() + ctx_->n() - 1) / ctx_->n();
+      if (chunks != want) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.errors").add(1);
+        respond_error(down, rid, Status::kBadRequest);
+        return;
+      }
+      QueuedRequest req;
+      req.request_id = rid;
+      req.matrix_id = mid;
+      req.session = name;
+      req.ct_v.reserve(chunks);
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        req.ct_v.push_back(load_ciphertext_seeded(in, ctx_));
+      }
+      req.enqueue_ns = now_ns();
+      req.binding = session;
+      reg.histogram("serve.decode_ns").record(req.enqueue_ns - t0);
+      if (!queue_.push(std::move(req))) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.rejected").add(1);
+        respond_error(session->down, rid, Status::kRejected);
+        return;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      reg.counter("serve.requests").add(1);
+      reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
+      return;
+    }
+    case MsgType::kCancel: {
+      const std::uint64_t client_id = in.u64();
+      const std::string name = read_string(in);
+      const std::uint64_t rid = in.u64();
+      BlockingChannel* down = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(links_mu_);
+        if (client_id < downs_.size()) down = downs_[client_id].get();
+      }
+      if (queue_.cancel(name, rid)) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.cancelled").add(1);
+        respond_error(down, rid, Status::kCancelled);
+      }
+      return;
+    }
+    case MsgType::kGoodbye: {
+      in.u64();  // client id: goodbye needs no response routing
+      const std::string name = read_string(in);
+      auto it = sessions_.find(name);
+      if (it == sessions_.end()) return;
+      // In-flight requests hold the shared_ptr; they complete normally.
+      it->second->departed = true;
+      sessions_.erase(it);
+      return;
+    }
+    default:
+      CHAM_CHECK_MSG(false, "unknown wire message type "
+                                << static_cast<int>(type));
+  }
+}
+
+void HmvpServer::compute_loop() {
+  auto& reg = obs::MetricsRegistry::global();
+  while (true) {
+    auto batch = queue_.pop_batch(cfg_.max_batch, cfg_.batch_window);
+    if (batch.empty()) break;  // closed and drained
+    const std::uint64_t t0 = now_ns();
+    CHAM_SPAN_ARG("serve.batch", batch.size());
+    std::vector<HmvpBatchEntry> entries(batch.size());
+    std::vector<Session*> who(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      who[i] = static_cast<Session*>(batch[i].binding.get());
+      entries[i].ct_v = &batch[i].ct_v;
+      entries[i].eval = &who[i]->eval;
+      entries[i].gk = &who[i]->gk;
+    }
+    const EncodedMatrix& enc = matrices_[batch[0].matrix_id].enc;
+    auto results = engine_.multiply_encoded_batch(enc, entries, cfg_.threads);
+    const std::uint64_t t1 = now_ns();
+    reg.histogram("serve.sweep_ns").record(t1 - t0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      CHAM_SPAN("serve.respond");
+      ByteWriter w;
+      build_response(batch[i].request_id, Status::kOk, results[i].packed,
+                     results[i].rows, results[i].pack_count, cfg_.wire, w);
+      who[i]->down->send(w);
+      responses_.fetch_add(1, std::memory_order_relaxed);
+      reg.counter("serve.responses").add(1);
+      reg.histogram("serve.request_ns").record(now_ns() - batch[i].enqueue_ns);
+    }
+    reg.histogram("serve.respond_ns").record(now_ns() - t1);
+    reg.histogram("serve.batch_size").record(batch.size());
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_.fetch_add(batch.size(), std::memory_order_relaxed);
+    reg.counter("serve.batches").add(1);
+    reg.counter("serve.batched_requests").add(batch.size());
+    compute_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cham::serve

@@ -1,0 +1,142 @@
+// Async multi-session HMVP server — the serving analogue of the paper's
+// Fig. 1b host/accelerator overlap, run on the process thread pool.
+//
+// Two pipelined host stages, each its own thread:
+//  * ingest — drains the shared inbox channel: expands seed-compressed
+//    requests/keys (the decode/encode stage), binds sessions to their
+//    per-session EvkManager, and pushes decoded requests through the
+//    admission-controlled RequestQueue;
+//  * compute — pops coalesced same-matrix batches and runs one batched
+//    row sweep (NTT → multiply → extract → pack) across all pool lanes,
+//    then serializes and sends each response on its client's channel.
+// While compute sweeps batch k, ingest is already decoding batch k+1 —
+// the software version of the paper's overlapped host/FPGA stages. Both
+// stages meter their busy nanoseconds; stop() publishes the busy/wall
+// occupancy of each as gauges, alongside queue/batch counters, to the
+// process MetricsRegistry ("serve.*").
+//
+// Sessions: a client's hello carries its (seed-expanded) Galois keys;
+// the server binds them to Evaluator(ctx, session) so the frozen pack
+// operands live in that session's EvkManager cache. Requests from
+// different sessions still coalesce into one sweep — the row loop is
+// key-free, and the pack stage switches per-request keys
+// (HmvpBatchEntry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bfv/evaluator.h"
+#include "hmvp/hmvp.h"
+#include "io/channel.h"
+#include "serve/request_queue.h"
+#include "serve/wire.h"
+
+namespace cham::serve {
+
+struct ServerConfig {
+  std::size_t max_queue_depth = 64;  // admission cap (push refuses past it)
+  std::size_t max_batch = 8;         // coalescing cap per sweep
+  std::chrono::nanoseconds batch_window =
+      std::chrono::microseconds(200);  // extra wait for same-matrix arrivals
+  int threads = 1;                     // pool lanes for the batched sweep
+  WireFormat wire = WireFormat::kPacked;
+};
+
+// What a connected client holds: `up` is the server's shared inbox (all
+// clients send into it; the messages carry the routing identity), `down`
+// is this client's private response channel.
+struct ClientLink {
+  std::uint64_t client_id = 0;
+  BlockingChannel* up = nullptr;
+  BlockingChannel* down = nullptr;
+};
+
+class HmvpServer {
+ public:
+  explicit HmvpServer(BfvContextPtr ctx, ServerConfig cfg = {});
+  ~HmvpServer();
+
+  // Pre-encode a matrix the server will multiply by (before start()).
+  std::uint32_t add_matrix(const RowSource& a);
+  const EncodedMatrix& matrix(std::uint32_t id) const;
+
+  // Register a client; the returned channels stay valid until the server
+  // is destroyed. Thread-safe; allowed while running.
+  ClientLink connect();
+
+  void start();
+  // Close the inbox, drain both stages, join, then close every client's
+  // down channel (queued responses stay receivable) and publish the
+  // occupancy gauges. Idempotent.
+  void stop();
+
+  struct Counters {
+    std::uint64_t requests = 0;    // well-formed requests admitted
+    std::uint64_t responses = 0;   // kOk responses sent
+    std::uint64_t rejected = 0;    // admission refusals
+    std::uint64_t cancelled = 0;   // requests removed by kCancel
+    std::uint64_t errors = 0;      // unknown session/matrix, bad request
+    std::uint64_t batches = 0;     // sweeps run
+    std::uint64_t batched = 0;     // requests served across those sweeps
+    std::uint64_t sessions = 0;    // hellos processed
+    double batch_occupancy = 0.0;  // batched / batches
+  };
+  Counters counters() const;
+
+  const BfvContextPtr& context() const { return ctx_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Session {
+    std::string name;
+    GaloisKeys gk;
+    Evaluator eval;  // bound to EvkManager::shared(ctx, name)
+    BlockingChannel* down = nullptr;
+    bool departed = false;  // goodbye seen; refuse new requests
+
+    Session(const BfvContextPtr& ctx, std::string n, GaloisKeys keys,
+            BlockingChannel* d)
+        : name(std::move(n)), gk(std::move(keys)), eval(ctx, name), down(d) {}
+  };
+
+  void ingest_loop();
+  void compute_loop();
+  void handle_message(const std::vector<std::uint8_t>& blob);
+  void respond_error(BlockingChannel* down, std::uint64_t rid, Status status);
+
+  BfvContextPtr ctx_;
+  ServerConfig cfg_;
+  HmvpEngine engine_;  // key-free use only (encode + batched sweep)
+
+  struct MatrixEntry {
+    EncodedMatrix enc;
+  };
+  std::vector<MatrixEntry> matrices_;
+
+  BlockingChannel inbox_;
+  std::mutex links_mu_;
+  std::vector<std::unique_ptr<BlockingChannel>> downs_;  // by client_id
+
+  // Touched only by the ingest thread while running.
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+
+  RequestQueue queue_;
+  std::thread ingest_;
+  std::thread compute_;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::uint64_t started_ns_ = 0;
+  std::atomic<std::uint64_t> ingest_busy_ns_{0};
+  std::atomic<std::uint64_t> compute_busy_ns_{0};
+
+  std::atomic<std::uint64_t> requests_{0}, responses_{0}, rejected_{0},
+      cancelled_{0}, errors_{0}, batches_{0}, batched_{0}, sessions_n_{0};
+};
+
+}  // namespace cham::serve

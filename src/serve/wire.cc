@@ -1,0 +1,104 @@
+#include "serve/wire.h"
+
+#include "common/check.h"
+
+namespace cham::serve {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kCancelled: return "cancelled";
+    case Status::kUnknownSession: return "unknown-session";
+    case Status::kUnknownMatrix: return "unknown-matrix";
+    case Status::kBadRequest: return "bad-request";
+  }
+  return "invalid";
+}
+
+void write_string(ByteWriter& out, const std::string& s) {
+  out.u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) out.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string read_string(ByteReader& in) {
+  const std::uint32_t len = in.u32();
+  CHAM_CHECK_MSG(len <= 4096, "wire string too long");
+  std::string s(len, '\0');
+  for (auto& c : s) c = static_cast<char>(in.u8());
+  return s;
+}
+
+void build_hello(std::uint64_t client_id, const std::string& session,
+                 const GaloisKeys& gk, std::uint64_t gk_root_seed,
+                 WireFormat fmt, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(MsgType::kHello));
+  out.u64(client_id);
+  write_string(out, session);
+  save_galois_keys_seeded(gk, gk_root_seed, fmt, out);
+}
+
+void build_request(std::uint64_t client_id, const std::string& session,
+                   std::uint64_t request_id, std::uint32_t matrix_id,
+                   const std::vector<Ciphertext>& ct_v,
+                   const std::vector<std::uint64_t>& seeds, WireFormat fmt,
+                   ByteWriter& out) {
+  CHAM_CHECK_MSG(ct_v.size() == seeds.size(),
+                 "one seed per request chunk ciphertext");
+  out.u8(static_cast<std::uint8_t>(MsgType::kRequest));
+  out.u64(client_id);
+  write_string(out, session);
+  out.u64(request_id);
+  out.u32(matrix_id);
+  out.u32(static_cast<std::uint32_t>(ct_v.size()));
+  for (std::size_t c = 0; c < ct_v.size(); ++c) {
+    save_ciphertext_seeded(ct_v[c], seeds[c], fmt, out);
+  }
+}
+
+void build_cancel(std::uint64_t client_id, const std::string& session,
+                  std::uint64_t request_id, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(MsgType::kCancel));
+  out.u64(client_id);
+  write_string(out, session);
+  out.u64(request_id);
+}
+
+void build_goodbye(std::uint64_t client_id, const std::string& session,
+                   ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(MsgType::kGoodbye));
+  out.u64(client_id);
+  write_string(out, session);
+}
+
+void build_response(std::uint64_t request_id, Status status,
+                    const std::vector<Ciphertext>& packed, std::size_t rows,
+                    std::size_t pack_count, WireFormat fmt, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(MsgType::kResponse));
+  out.u64(request_id);
+  out.u8(static_cast<std::uint8_t>(status));
+  if (status != Status::kOk) return;
+  out.u64(rows);
+  out.u64(pack_count);
+  out.u32(static_cast<std::uint32_t>(packed.size()));
+  for (const auto& ct : packed) save_ciphertext(ct, fmt, out);
+}
+
+Response parse_response(ByteReader& in, const BfvContextPtr& ctx) {
+  Response r;
+  const auto type = static_cast<MsgType>(in.u8());
+  CHAM_CHECK_MSG(type == MsgType::kResponse, "expected a response message");
+  r.request_id = in.u64();
+  r.status = static_cast<Status>(in.u8());
+  if (r.status != Status::kOk) return r;
+  r.rows = in.u64();
+  r.pack_count = in.u64();
+  const std::uint32_t groups = in.u32();
+  r.packed.reserve(groups);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    r.packed.push_back(load_ciphertext(in, ctx));
+  }
+  return r;
+}
+
+}  // namespace cham::serve

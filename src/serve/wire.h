@@ -1,0 +1,81 @@
+// Wire protocol of the HMVP serving runtime.
+//
+// Every message is one framed blob on a BlockingChannel: a one-byte
+// message type followed by the payload, serialized with the io layer's
+// ByteWriter/ByteReader. Client-to-server traffic uses the seed-expanded
+// forms (save_ciphertext_seeded / save_galois_keys_seeded) so a request
+// carries one 8-byte PRNG seed plus the b halves only — about half the
+// bandwidth of the full ciphertext; server-to-client responses are full
+// (packed) ciphertexts, since their `a` parts are not seed-derivable
+// after evaluation.
+//
+// Client→server messages carry the connect()-assigned client id (hello)
+// or the session name (request/cancel/goodbye); all clients share the
+// server's single inbox channel, so the id is how responses find their
+// way back to the right per-client down channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/serialize.h"
+
+namespace cham::serve {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,    // [u64 cid][str session][seeded galois keys]
+  kRequest = 2,  // [u64 cid][str session][u64 rid][u32 matrix_id][u32 chunks][cts]
+  kCancel = 3,   // [u64 cid][str session][u64 rid]
+  kGoodbye = 4,  // [u64 cid][str session]
+  kResponse = 5, // [u64 rid][u8 status][payload iff kOk]
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,        // admission control: queue at max depth
+  kCancelled = 2,       // removed from the queue before evaluation
+  kUnknownSession = 3,  // no hello seen (or session said goodbye)
+  kUnknownMatrix = 4,   // matrix_id not registered
+  kBadRequest = 5,      // malformed (e.g. wrong chunk count)
+};
+
+const char* status_name(Status s);
+
+void write_string(ByteWriter& out, const std::string& s);
+std::string read_string(ByteReader& in);
+
+// --- client-side builders --------------------------------------------------
+void build_hello(std::uint64_t client_id, const std::string& session,
+                 const GaloisKeys& gk, std::uint64_t gk_root_seed,
+                 WireFormat fmt, ByteWriter& out);
+// ct_v: the request's chunk ciphertexts with their per-chunk seeds
+// (from Encryptor::encrypt_symmetric_seeded), in chunk order.
+void build_request(std::uint64_t client_id, const std::string& session,
+                   std::uint64_t request_id, std::uint32_t matrix_id,
+                   const std::vector<Ciphertext>& ct_v,
+                   const std::vector<std::uint64_t>& seeds, WireFormat fmt,
+                   ByteWriter& out);
+void build_cancel(std::uint64_t client_id, const std::string& session,
+                  std::uint64_t request_id, ByteWriter& out);
+void build_goodbye(std::uint64_t client_id, const std::string& session,
+                   ByteWriter& out);
+
+// --- server-side builder ---------------------------------------------------
+// Error responses pass an empty `packed`; rows/pack_count are ignored.
+void build_response(std::uint64_t request_id, Status status,
+                    const std::vector<Ciphertext>& packed, std::size_t rows,
+                    std::size_t pack_count, WireFormat fmt, ByteWriter& out);
+
+// --- parsed client-side view of a response ---------------------------------
+struct Response {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::vector<Ciphertext> packed;  // kOk only
+  std::size_t rows = 0;
+  std::size_t pack_count = 0;
+};
+
+Response parse_response(ByteReader& in, const BfvContextPtr& ctx);
+
+}  // namespace cham::serve

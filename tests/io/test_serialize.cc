@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "bfv/decryptor.h"
 #include "bfv/encoder.h"
 #include "bfv/encryptor.h"
@@ -259,6 +262,156 @@ TEST(Channel, EndToEndEncryptedExchange) {
     }
   }
   EXPECT_GT(link.total_bytes(), 0u);
+}
+
+// --- seed-expanded wire forms ---------------------------------------------
+
+std::vector<std::uint8_t> full_ct_bytes(const Ciphertext& ct) {
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kRaw, w);
+  return w.bytes();
+}
+
+TEST_P(WireFormatTest, SeededCiphertextRoundTripIsBitExact) {
+  IoFixture f;
+  Encryptor senc(f.ctx, nullptr, &f.keygen.secret_key(), f.rng);
+  std::vector<u64> m(f.ctx->n());
+  for (auto& v : m) v = f.rng.uniform(f.ctx->params().t);
+  u64 seed = 0;
+  auto ct = senc.encrypt_symmetric_seeded(f.encoder.encode_vector(m), &seed);
+
+  ByteWriter w;
+  save_ciphertext_seeded(ct, seed, GetParam(), w);
+  EXPECT_EQ(w.size(), ciphertext_seeded_wire_bytes(ct, seed, GetParam()));
+  ByteReader r(w.bytes());
+  auto ct2 = load_ciphertext_seeded(r, f.ctx);
+
+  // The regenerated `a` (and round-tripped b) must match the original
+  // bit for bit — compare the full serializations of both ciphertexts.
+  EXPECT_EQ(full_ct_bytes(ct2), full_ct_bytes(ct));
+  EXPECT_EQ(f.decryptor.decrypt(ct2).coeffs, m);
+}
+
+TEST_P(WireFormatTest, SeededCiphertextHalvesTheWire) {
+  IoFixture f;
+  Encryptor senc(f.ctx, nullptr, &f.keygen.secret_key(), f.rng);
+  std::vector<u64> m(f.ctx->n(), 3);
+  u64 seed = 0;
+  auto ct = senc.encrypt_symmetric_seeded(f.encoder.encode_vector(m), &seed);
+  const auto full = ciphertext_wire_bytes(ct, GetParam());
+  const auto seeded = ciphertext_seeded_wire_bytes(ct, seed, GetParam());
+  // The seeded blob drops the whole `a` polynomial for an 8-byte seed.
+  EXPECT_NEAR(static_cast<double>(seeded) / full, 0.5, 0.05);
+}
+
+TEST(SerializeSeeded, GaloisKeysRoundTripIsBitExact) {
+  IoFixture f;
+  const u64 root_seed = 0xC0FFEE;
+  auto gk = f.keygen.make_galois_keys_seeded(3, root_seed, {3});
+  ByteWriter w;
+  save_galois_keys_seeded(gk, root_seed, WireFormat::kPacked, w);
+  ByteReader r(w.bytes());
+  auto gk2 = load_galois_keys_seeded(r, f.ctx);
+
+  ByteWriter w1, w2;
+  save_galois_keys(gk, WireFormat::kRaw, w1);
+  save_galois_keys(gk2, WireFormat::kRaw, w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+
+  // Seeded upload is about half the full one (headers amortized over
+  // dnum RLWE pairs per automorphism).
+  ByteWriter wf;
+  save_galois_keys(gk, WireFormat::kPacked, wf);
+  EXPECT_NEAR(static_cast<double>(w.size()) / wf.size(), 0.5, 0.07);
+}
+
+TEST(SerializeSeeded, RejectsCorruptBlobs) {
+  IoFixture f;
+  Encryptor senc(f.ctx, nullptr, &f.keygen.secret_key(), f.rng);
+  std::vector<u64> m(f.ctx->n(), 1);
+  u64 seed = 0;
+  auto ct = senc.encrypt_symmetric_seeded(f.encoder.encode_vector(m), &seed);
+  ByteWriter w;
+  save_ciphertext_seeded(ct, seed, WireFormat::kPacked, w);
+
+  {  // corrupt magic
+    auto bytes = w.bytes();
+    bytes[0] ^= 0xFF;
+    ByteReader r(bytes);
+    EXPECT_THROW(load_ciphertext_seeded(r, f.ctx), CheckError);
+  }
+  {  // truncation
+    auto bytes = w.bytes();
+    bytes.resize(bytes.size() / 2);
+    ByteReader r(bytes);
+    EXPECT_THROW(load_ciphertext_seeded(r, f.ctx), CheckError);
+  }
+  {  // seeded blob through the non-seeded loader (tag mismatch)
+    ByteReader r(w.bytes());
+    EXPECT_THROW(load_ciphertext(r, f.ctx), CheckError);
+  }
+  {  // non-seeded blob through the seeded loader
+    ByteWriter wf;
+    save_ciphertext(ct, WireFormat::kPacked, wf);
+    ByteReader r(wf.bytes());
+    EXPECT_THROW(load_ciphertext_seeded(r, f.ctx), CheckError);
+  }
+}
+
+// --- BlockingChannel -------------------------------------------------------
+
+TEST(BlockingChannel, FifoAndAccounting) {
+  BlockingChannel ch;
+  EXPECT_TRUE(ch.empty());
+  EXPECT_TRUE(ch.send(std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(ch.send(std::vector<std::uint8_t>{4, 5}));
+  EXPECT_EQ(ch.bytes_sent(), 5u);
+  EXPECT_EQ(ch.messages(), 2u);
+  EXPECT_EQ(ch.recv(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(ch.recv(), (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(BlockingChannel, TryRecvAndTimeoutNeverBlockForever) {
+  BlockingChannel ch;
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_FALSE(ch.recv_timeout(std::chrono::milliseconds(5)).has_value());
+  ch.send(std::vector<std::uint8_t>{9});
+  EXPECT_TRUE(ch.try_recv().has_value());
+}
+
+TEST(BlockingChannel, CloseKeepsQueuedBlobsReceivable) {
+  BlockingChannel ch;
+  ch.send(std::vector<std::uint8_t>{1});
+  ch.send(std::vector<std::uint8_t>{2});
+  ch.close();
+  EXPECT_FALSE(ch.send(std::vector<std::uint8_t>{3}));  // dropped
+  EXPECT_TRUE(ch.recv().has_value());
+  EXPECT_TRUE(ch.recv().has_value());
+  EXPECT_FALSE(ch.recv().has_value());  // drained + closed -> nullopt
+  EXPECT_EQ(ch.messages(), 2u);
+}
+
+TEST(BlockingChannel, CrossThreadHandoff) {
+  BlockingChannel ch;
+  constexpr int kProducers = 3, kPerProducer = 50;
+  std::atomic<std::uint64_t> sum{0};
+  std::thread consumer([&] {
+    while (auto blob = ch.recv()) sum.fetch_add((*blob)[0]);
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.send(std::vector<std::uint8_t>{static_cast<std::uint8_t>(p + 1)});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ch.close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kPerProducer * (1 + 2 + 3)));
+  EXPECT_EQ(ch.messages(), static_cast<std::uint64_t>(kProducers * kPerProducer));
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Concurrency suite for the HMVP serving runtime: multi-client traffic,
+// batch coalescing, admission control, cancellation races and session
+// churn. Everything here also runs under TSan in CI — the suite is the
+// data-race oracle for the server's two pipelined stages.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "serve/client.h"
+
+namespace cham::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr std::size_t kN = 64;
+
+struct ServeFixture {
+  explicit ServeFixture(ServerConfig cfg = {}, std::size_t rows = 48,
+                        std::size_t cols = 64)
+      : ctx(BfvContext::create(BfvParams::test(kN))),
+        rng(7),
+        mat(DenseMatrix::random(rows, cols, ctx->params().t, rng)),
+        server(ctx, cfg) {
+    matrix_id = server.add_matrix(mat);
+  }
+
+  ServeClient make_client(const std::string& session, u64 seed) {
+    return ServeClient(ctx, server.connect(), session, /*pack_levels=*/6,
+                       seed);
+  }
+
+  std::vector<u64> random_vector(std::size_t cols, u64 seed) {
+    Rng r(seed);
+    std::vector<u64> v(cols);
+    for (auto& x : v) x = r.uniform(ctx->params().t);
+    return v;
+  }
+
+  BfvContextPtr ctx;
+  Rng rng;
+  DenseMatrix mat;
+  HmvpServer server;
+  std::uint32_t matrix_id = 0;
+};
+
+std::vector<std::uint8_t> ct_bytes(const Ciphertext& ct) {
+  ByteWriter w;
+  save_ciphertext(ct, WireFormat::kRaw, w);
+  return w.bytes();
+}
+
+TEST(Serve, SingleClientRoundTrip) {
+  ServeFixture f;
+  f.server.start();
+  ServeClient c = f.make_client("alice", 101);
+  c.hello();
+  const auto v = f.random_vector(f.mat.cols(), 1);
+  std::vector<Ciphertext> sent;
+  const u64 rid = c.submit(f.matrix_id, v, &sent);
+  Response r = c.await();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.request_id, rid);
+  EXPECT_EQ(r.rows, f.mat.rows());
+
+  // Decrypted result matches the plaintext reference...
+  const auto got = c.decrypt(r);
+  EXPECT_EQ(got, HmvpEngine::reference(f.mat, v, f.ctx->params().t));
+
+  // ...and the served packed ciphertexts are bit-exact with a local
+  // single-shot evaluation of the same request ciphertexts (the batched
+  // sweep is the single-shot path at batch 1).
+  HmvpResult local = c.engine().multiply(f.mat, sent, /*threads=*/1);
+  ASSERT_EQ(local.packed.size(), r.packed.size());
+  for (std::size_t g = 0; g < r.packed.size(); ++g) {
+    EXPECT_EQ(ct_bytes(r.packed[g]), ct_bytes(local.packed[g]));
+  }
+  f.server.stop();
+}
+
+TEST(Serve, CoalescesPreQueuedRequestsIntoOneBatch) {
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batch_window = milliseconds(50);
+  ServeFixture f(cfg);
+  ServeClient c = f.make_client("alice", 202);
+  c.hello();
+  std::vector<std::vector<u64>> vs;
+  for (int i = 0; i < 8; ++i) {
+    vs.push_back(f.random_vector(f.mat.cols(), 10 + i));
+    c.submit(f.matrix_id, vs.back());
+  }
+  // Start only after all requests are queued: ingest floods the queue
+  // while the first sweep is still gathering, so at least one batch must
+  // hold more than one request.
+  f.server.start();
+  for (int i = 0; i < 8; ++i) {
+    Response r = c.await();
+    ASSERT_EQ(r.status, Status::kOk);
+    const std::size_t idx = r.request_id - 1;  // rids are 1-based
+    ASSERT_LT(idx, vs.size());
+    EXPECT_EQ(c.decrypt(r),
+              HmvpEngine::reference(f.mat, vs[idx], f.ctx->params().t));
+  }
+  f.server.stop();
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.responses, 8u);
+  EXPECT_LT(counters.batches, 8u);
+  EXPECT_GT(counters.batch_occupancy, 1.0);
+}
+
+TEST(Serve, MultiClientCrossSessionBatches) {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window = milliseconds(5);
+  cfg.threads = 2;
+  ServeFixture f(cfg);
+  f.server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < kClients; ++ci) {
+    threads.emplace_back([&, ci] {
+      ServeClient c =
+          f.make_client("client-" + std::to_string(ci), 1000 + ci);
+      c.hello();
+      for (int k = 0; k < kPerClient; ++k) {
+        const auto v = f.random_vector(f.mat.cols(), ci * 100 + k);
+        c.submit(f.matrix_id, v);
+        Response r = c.await();
+        if (r.status != Status::kOk ||
+            c.decrypt(r) !=
+                HmvpEngine::reference(f.mat, v, f.ctx->params().t)) {
+          failures.fetch_add(1);
+        }
+      }
+      c.goodbye();
+    });
+  }
+  for (auto& t : threads) t.join();
+  f.server.stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(f.server.counters().responses,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(f.server.counters().sessions, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(Serve, SessionChurnReHelloAfterGoodbye) {
+  ServeFixture f;
+  f.server.start();
+  const auto v = f.random_vector(f.mat.cols(), 3);
+  for (int round = 0; round < 3; ++round) {
+    // Same session name, fresh keys every round.
+    ServeClient c = f.make_client("churn", 500 + round);
+    c.hello();
+    c.submit(f.matrix_id, v);
+    Response r = c.await();
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(c.decrypt(r), HmvpEngine::reference(f.mat, v, f.ctx->params().t));
+    c.goodbye();
+  }
+  // After goodbye the session is gone: a submit is refused.
+  ServeClient ghost = f.make_client("churn2", 900);
+  ghost.hello();
+  ghost.goodbye();
+  ghost.submit(f.matrix_id, v);
+  Response r = ghost.await();
+  EXPECT_EQ(r.status, Status::kUnknownSession);
+  f.server.stop();
+}
+
+TEST(Serve, AdmissionControlRejectsWhenFull) {
+  ServerConfig cfg;
+  cfg.max_queue_depth = 0;  // every push refuses: pure rejection path
+  ServeFixture f(cfg);
+  f.server.start();
+  ServeClient c = f.make_client("alice", 42);
+  c.hello();
+  const auto v = f.random_vector(f.mat.cols(), 1);
+  for (int i = 0; i < 3; ++i) c.submit(f.matrix_id, v);
+  for (int i = 0; i < 3; ++i) {
+    Response r = c.await();
+    EXPECT_EQ(r.status, Status::kRejected);
+  }
+  f.server.stop();
+  EXPECT_EQ(f.server.counters().rejected, 3u);
+  EXPECT_EQ(f.server.counters().responses, 0u);
+}
+
+TEST(Serve, UnknownMatrixAndBadChunkCount) {
+  ServeFixture f;
+  f.server.start();
+  ServeClient c = f.make_client("alice", 42);
+  c.hello();
+  c.submit(/*matrix_id=*/99, f.random_vector(f.mat.cols(), 1));
+  EXPECT_EQ(c.await().status, Status::kUnknownMatrix);
+  // Vector of 2 chunks against a 1-chunk matrix.
+  c.submit(f.matrix_id, f.random_vector(2 * kN, 2));
+  EXPECT_EQ(c.await().status, Status::kBadRequest);
+  f.server.stop();
+}
+
+TEST(Serve, CancellationRace) {
+  // Cancel races the compute stage: each request either got swept (kOk)
+  // or was still queued (kCancelled) — never both, never neither.
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_window = std::chrono::nanoseconds(0);
+  ServeFixture f(cfg);
+  f.server.start();
+  ServeClient c = f.make_client("alice", 77);
+  c.hello();
+  const auto v = f.random_vector(f.mat.cols(), 1);
+  constexpr int kReqs = 6;
+  std::vector<u64> rids;
+  for (int i = 0; i < kReqs; ++i) rids.push_back(c.submit(f.matrix_id, v));
+  for (u64 rid : rids) c.request_cancel(rid);
+  int ok = 0, cancelled = 0;
+  for (int i = 0; i < kReqs; ++i) {
+    Response r = c.await();
+    if (r.status == Status::kOk) {
+      ++ok;
+      EXPECT_EQ(c.decrypt(r), HmvpEngine::reference(f.mat, v, f.ctx->params().t));
+    } else {
+      ASSERT_EQ(r.status, Status::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, kReqs);
+  f.server.stop();
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.responses, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(counters.cancelled, static_cast<std::uint64_t>(cancelled));
+}
+
+TEST(Serve, SurvivesGarbageFrames) {
+  ServeFixture f;
+  f.server.start();
+  ServeClient c = f.make_client("alice", 11);
+  c.hello();
+  // Unknown type byte, then a truncated request frame.
+  ClientLink raw = f.server.connect();
+  raw.up->send(std::vector<std::uint8_t>{0xFF, 1, 2, 3});
+  raw.up->send(std::vector<std::uint8_t>{
+      static_cast<std::uint8_t>(MsgType::kRequest), 9});
+  const auto v = f.random_vector(f.mat.cols(), 1);
+  c.submit(f.matrix_id, v);
+  Response r = c.await();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(c.decrypt(r), HmvpEngine::reference(f.mat, v, f.ctx->params().t));
+  f.server.stop();
+  EXPECT_GE(f.server.counters().errors, 2u);
+}
+
+// --- RequestQueue unit coverage -------------------------------------------
+
+QueuedRequest make_req(u64 rid, std::uint32_t mid,
+                       const std::string& session = "s") {
+  QueuedRequest q;
+  q.request_id = rid;
+  q.matrix_id = mid;
+  q.session = session;
+  return q;
+}
+
+TEST(RequestQueue, CoalescesSameMatrixPreservingOtherOrder) {
+  RequestQueue q(16);
+  ASSERT_TRUE(q.push(make_req(1, 7)));
+  ASSERT_TRUE(q.push(make_req(2, 9)));
+  ASSERT_TRUE(q.push(make_req(3, 7)));
+  ASSERT_TRUE(q.push(make_req(4, 7)));
+  auto batch = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].request_id, 1u);
+  EXPECT_EQ(batch[1].request_id, 3u);
+  EXPECT_EQ(batch[2].request_id, 4u);
+  auto rest = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].request_id, 2u);
+}
+
+TEST(RequestQueue, MaxBatchCapsTheSweep) {
+  RequestQueue q(16);
+  for (u64 i = 1; i <= 5; ++i) ASSERT_TRUE(q.push(make_req(i, 1)));
+  EXPECT_EQ(q.pop_batch(2, std::chrono::nanoseconds(0)).size(), 2u);
+  EXPECT_EQ(q.pop_batch(2, std::chrono::nanoseconds(0)).size(), 2u);
+  EXPECT_EQ(q.pop_batch(2, std::chrono::nanoseconds(0)).size(), 1u);
+}
+
+TEST(RequestQueue, AdmissionDepthAndClose) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.push(make_req(1, 1)));
+  EXPECT_TRUE(q.push(make_req(2, 1)));
+  EXPECT_FALSE(q.push(make_req(3, 1)));  // full
+  q.close();
+  EXPECT_FALSE(q.push(make_req(4, 1)));  // closed
+  EXPECT_EQ(q.pop_batch(8, std::chrono::nanoseconds(0)).size(), 2u);
+  EXPECT_TRUE(q.pop_batch(8, std::chrono::nanoseconds(0)).empty());
+}
+
+TEST(RequestQueue, CancelRemovesOnlyQueuedMatch) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_req(1, 1, "a")));
+  ASSERT_TRUE(q.push(make_req(2, 1, "b")));
+  EXPECT_FALSE(q.cancel("a", 2));  // rid 2 belongs to "b"
+  EXPECT_TRUE(q.cancel("b", 2));
+  EXPECT_FALSE(q.cancel("b", 2));  // already gone
+  auto batch = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request_id, 1u);
+}
+
+TEST(RequestQueue, BatchWindowGathersLateArrivals) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_req(1, 1)));
+  std::thread late([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    q.push(make_req(2, 1));
+  });
+  auto batch = q.pop_batch(2, milliseconds(500));
+  late.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cham::serve

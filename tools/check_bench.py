@@ -5,6 +5,7 @@ Parses the machine-readable lines the bench binaries print --
 
     CHAM-BENCH  {"kernel": ..., "ns_per_coeff": ..., ...}
     CHAM-BENCH  {"benchmark": ..., "shape": ..., "cham_s": ..., ...}
+    CHAM-BENCH  {"server": ..., "req_s": ..., "p99_ms": ..., ...}
     CHAM-METRICS {"counters": {...}, "gauges": {...}, "histograms": {...}}
 
 -- flattens them into named metrics, and compares against a checked-in
@@ -62,6 +63,13 @@ MODEL_TIME_TOLERANCE = 0.10   # device-model seconds: deterministic
 HEADLINE_SPEEDUP_TOLERANCE = 0.9  # order-of-magnitude sanity floor
 PEAK_RSS_TOLERANCE = 0.5      # MiB high-water mark: generous, but gates
                               # a leak or a pool-bypass blow-up
+SERVER_THROUGHPUT_TOLERANCE = 0.6  # req/s on shared runners: gates a
+                                   # sustained-throughput collapse
+SERVER_LATENCY_TOLERANCE = 1.0     # p50/p95/p99 ms: scheduler jitter on CI
+                                   # is brutal; gates a >2x tail blow-up
+SERVER_OCCUPANCY_TOLERANCE = 0.6   # batch occupancy under an open loop
+SERVER_RATIO_TOLERANCE = 0.05      # seeded wire ratio: format-determined,
+                                   # so any drift is a serializer change
 
 
 def parse_lines(text):
@@ -84,11 +92,20 @@ def flatten(records, source="sample"):
     `source` namespaces the CHAM-METRICS counters, which use the same
     registry names (hmvp.runs, ...) in every bench binary.
     """
+    records = list(records)
     metrics = {}
     levels = set()
 
     def put(name, value, tolerance, direction):
         metrics[name] = (float(value), (tolerance, direction))
+
+    # Server load tests coalesce requests into batches wherever the race
+    # between clients and the batch window happens to land, so their
+    # operation counters (sweeps, NTTs, key-switches) are not run-to-run
+    # comparable. The load gate lives in the server/ CHAM-BENCH fields;
+    # counters from such a run are informational only.
+    server_run = any(tag == "CHAM-BENCH" and "server" in obj
+                     for tag, obj in records)
 
     for tag, obj in records:
         if tag == "CHAM-BENCH" and "simd_level" in obj:
@@ -121,7 +138,32 @@ def flatten(records, source="sample"):
             if "peak_rss_mb" in obj:
                 put(key + "/peak_rss_mb", obj["peak_rss_mb"],
                     PEAK_RSS_TOLERANCE, "lower")
+        elif tag == "CHAM-BENCH" and "server" in obj:
+            key = (f"server/{obj['server']}/{obj.get('shape', '')}"
+                   f"@c{obj.get('clients', 1)}")
+            # Throughput and occupancy are higher-is-better: the gate
+            # trips when they fall below baseline*(1-tol). Latency
+            # percentiles are lower-is-better: an improvement passes,
+            # only measured > baseline*(1+tol) trips.
+            if "req_s" in obj:
+                put(key + "/req_s", obj["req_s"],
+                    SERVER_THROUGHPUT_TOLERANCE, "higher")
+            for pct in ("p50_ms", "p95_ms", "p99_ms"):
+                if pct in obj:
+                    put(f"{key}/{pct}", obj[pct],
+                        SERVER_LATENCY_TOLERANCE, "lower")
+            if "batch_occupancy" in obj:
+                put(key + "/batch_occupancy", obj["batch_occupancy"],
+                    SERVER_OCCUPANCY_TOLERANCE, "higher")
+            if "seeded_wire_ratio" in obj:
+                put(key + "/seeded_wire_ratio", obj["seeded_wire_ratio"],
+                    SERVER_RATIO_TOLERANCE, "lower")
+            if "peak_rss_mb" in obj:
+                put(key + "/peak_rss_mb", obj["peak_rss_mb"],
+                    PEAK_RSS_TOLERANCE, "lower")
         elif tag == "CHAM-METRICS":
+            if server_run:
+                continue
             for name, value in obj.get("counters", {}).items():
                 # Whole-process allocator/pool totals depend on which
                 # pool worker claims which lane (a cold thread cache
@@ -397,9 +439,81 @@ def cmd_selftest(_args):
         print("selftest FAILED: retired-level baseline passed the gate")
         return 1
 
+    # Server load-test metrics: req/s is higher-is-better (a throughput
+    # collapse trips the gate), latency percentiles are lower-is-better
+    # (a tail blow-up trips, an across-the-board improvement passes),
+    # and the batching sweep's timing-dependent operation counters are
+    # never baselined — where the batch window lands is a race.
+    server_sample = "\n".join([
+        'CHAM-BENCH {"server":"hmvp_serve","shape":"128x4096","clients":8,'
+        '"requests":32,"req_s":5.0,"p50_ms":900.0,"p95_ms":1500.0,'
+        '"p99_ms":1800.0,"batch_occupancy":3.2,"seeded_wire_ratio":0.5,'
+        '"peak_rss_mb":140.0,"simd_level":"avx2"}',
+        'CHAM-METRICS {"counters":{"serve.batches":11,'
+        '"hmvp.forward_ntts":444},"gauges":{},"histograms":{}}',
+    ])
+    server_flat = flatten(parse_lines(server_sample))
+    if any(n.startswith("counters/") for n in server_flat):
+        print("selftest FAILED: server-run operation counters were "
+              "baselined despite batching nondeterminism")
+        return 1
+    server_baseline = {
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "metrics": {
+            name: {"value": value, "tolerance": tol, "direction": direction}
+            for name, (value, (tol, direction)) in server_flat.items()
+        },
+    }
+    clean = compare(server_baseline, server_flat)
+    if clean:
+        print(f"selftest FAILED: clean server run reported "
+              f"regressions: {clean}")
+        return 1
+
+    rebatch = server_sample.replace('"serve.batches":11', '"serve.batches":7')
+    if compare(server_baseline, flatten(parse_lines(rebatch))):
+        print("selftest FAILED: a different batch split tripped the gate")
+        return 1
+
+    collapse = server_sample.replace('"req_s":5.0', '"req_s":1.5')
+    failures = compare(server_baseline, flatten(parse_lines(collapse)))
+    if not any("req_s" in f for f in failures):
+        print("selftest FAILED: throughput collapse passed the gate")
+        return 1
+
+    tail = server_sample.replace('"p99_ms":1800.0', '"p99_ms":4000.0')
+    failures = compare(server_baseline, flatten(parse_lines(tail)))
+    if not any("p99_ms" in f for f in failures):
+        print("selftest FAILED: p99 tail blow-up passed the gate")
+        return 1
+
+    faster = (server_sample
+              .replace('"req_s":5.0', '"req_s":9.0')
+              .replace('"p50_ms":900.0', '"p50_ms":300.0')
+              .replace('"p95_ms":1500.0', '"p95_ms":600.0')
+              .replace('"p99_ms":1800.0', '"p99_ms":700.0'))
+    if compare(server_baseline, flatten(parse_lines(faster))):
+        print("selftest FAILED: a faster server run tripped the gate")
+        return 1
+
+    fat = server_sample.replace('"seeded_wire_ratio":0.5',
+                                '"seeded_wire_ratio":0.7')
+    failures = compare(server_baseline, flatten(parse_lines(fat)))
+    if not any("seeded_wire_ratio" in f for f in failures):
+        print("selftest FAILED: seeded-wire-format bloat passed the gate")
+        return 1
+
+    unbatched = server_sample.replace('"batch_occupancy":3.2',
+                                      '"batch_occupancy":1.0')
+    failures = compare(server_baseline, flatten(parse_lines(unbatched)))
+    if not any("batch_occupancy" in f for f in failures):
+        print("selftest FAILED: loss of request coalescing passed the gate")
+        return 1
+
     print("selftest OK: 2x slowdown, counter drift, metric loss, "
-          "SIMD-level switches (incl. avx512ifma) and retired-level "
-          "baselines all trip the gate; clean runs pass")
+          "SIMD-level switches (incl. avx512ifma), retired-level "
+          "baselines, server throughput/latency/occupancy regressions "
+          "all trip the gate; clean and improved runs pass")
     return 0
 
 
