@@ -91,9 +91,18 @@ std::vector<u64> BatchEncoder::decode(const Plaintext& pt) const {
 }
 
 u64 BatchEncoder::rotation_galois_element(std::size_t r) const {
+  // 3^r mod 2N by square-and-multiply — O(log r), same pipeline as
+  // Evaluator::rotation_galois_element (BSGS plans enumerate thousands
+  // of rotation amounts per shape).
   const u64 two_n = 2 * ctx_->n();
+  u64 e = r % (ctx_->n() / 2);
   u64 k = 1;
-  for (std::size_t i = 0; i < r % (ctx_->n() / 2); ++i) k = (k * 3) % two_n;
+  u64 base = 3 % two_n;
+  while (e != 0) {
+    if (e & 1) k = (k * base) % two_n;
+    base = (base * base) % two_n;
+    e >>= 1;
+  }
   return k;
 }
 

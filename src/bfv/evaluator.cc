@@ -1,5 +1,6 @@
 #include "bfv/evaluator.h"
 
+#include "common/thread_pool.h"
 #include "nt/bitops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -186,7 +187,8 @@ Evaluator::FrozenKsk Evaluator::freeze_ksk(const KeySwitchKey& ksk) const {
 }
 
 void Evaluator::decompose_ntt_digits(const RnsPoly& c,
-                                     std::vector<RnsPoly>& digits) const {
+                                     std::vector<RnsPoly>& digits,
+                                     int threads) const {
   CHAM_CHECK_MSG(c.base() == ctx_->base_q(),
                  "keyswitch operates on base_q polynomials");
   CHAM_CHECK_MSG(!c.is_ntt(), "decompose expects coefficient domain");
@@ -194,7 +196,7 @@ void Evaluator::decompose_ntt_digits(const RnsPoly& c,
   static obs::Counter& hoisted =
       obs::MetricsRegistry::global().counter("keyswitch.hoisted");
   hoisted.add();
-  for (std::size_t j = 0; j < digits.size(); ++j) {
+  auto fill = [&](std::size_t j) {
     RnsPoly& digit = digits[j];
     CHAM_CHECK(digit.base() == ctx_->base_qp());
     digit.set_ntt_form(false);
@@ -204,7 +206,63 @@ void Evaluator::decompose_ntt_digits(const RnsPoly& c,
                           ctx_->base_qp()->modulus(l));
     }
     digit.to_ntt();
+  };
+  if (threads > 1 && digits.size() > 1 && !ThreadPool::in_lane()) {
+    ThreadPool::global().parallel_for(0, digits.size(), threads, fill);
+  } else {
+    for (std::size_t j = 0; j < digits.size(); ++j) fill(j);
   }
+}
+
+Ciphertext Evaluator::rotate_hoisted(const Ciphertext& x,
+                                     const std::vector<RnsPoly>& digits,
+                                     const AutomorphTable& coeff_table,
+                                     const AutomorphTable& ntt_table,
+                                     const FrozenKsk& fksk) const {
+  CHAM_SPAN_ARG("eval.keyswitch_hoisted", ntt_table.k);
+  CHAM_CHECK_MSG(x.base() == ctx_->base_q(),
+                 "rotate_hoisted expects a rescaled (base_q) ciphertext");
+  CHAM_CHECK_MSG(!x.is_ntt(), "rotate_hoisted expects coefficient domain");
+  CHAM_CHECK(digits.size() == ctx_->dnum());
+  CHAM_CHECK(fksk.b.size() == digits.size());
+  // Permute the shared evaluation-form digits — the automorphism as a
+  // pure slot gather, no transforms — and inner-product against the
+  // frozen key. Identical arithmetic to apply_galois's tail, so a fresh
+  // decomposition reproduces it digit-for-digit.
+  RnsPoly perm(ctx_->base_qp(), true);
+  RnsPoly acc_b(ctx_->base_qp(), true);
+  RnsPoly acc_a(ctx_->base_qp(), true);
+  for (std::size_t j = 0; j < digits.size(); ++j) {
+    CHAM_CHECK(digits[j].is_ntt() && digits[j].base() == ctx_->base_qp());
+    digits[j].automorph_into(ntt_table, perm);
+    fksk.b[j].mul_pointwise_acc(perm, acc_b);
+    fksk.a[j].mul_pointwise_acc(perm, acc_a);
+  }
+  acc_b.from_ntt();
+  acc_a.from_ntt();
+  Ciphertext out;
+  out.b = divide_round_by_last(acc_b, ctx_->base_q());
+  out.a = divide_round_by_last(acc_a, ctx_->base_q());
+  out.b.add_inplace(x.b.automorph(coeff_table));
+  return out;
+}
+
+Ciphertext Evaluator::apply_galois_hoisted(const Ciphertext& x,
+                                           const std::vector<RnsPoly>& digits,
+                                           u64 k, const GaloisKeys& gk) const {
+  const auto coeff = evk_->automorph_table(k);
+  const auto ntt = evk_->automorph_table_ntt(k);
+  const auto fksk = evk_->frozen(gk.get(k));
+  return rotate_hoisted(x, digits, *coeff, *ntt, *fksk);
+}
+
+Ciphertext Evaluator::rotate_rows_hoisted(const Ciphertext& x,
+                                          const std::vector<RnsPoly>& digits,
+                                          std::size_t r,
+                                          const GaloisKeys& gk) const {
+  const u64 k = rotation_galois_element(r);
+  if (k == 1) return x;
+  return apply_galois_hoisted(x, digits, k, gk);
 }
 
 std::shared_ptr<const AutomorphTable> Evaluator::galois_table(u64 k) const {
@@ -252,8 +310,7 @@ Ciphertext Evaluator::apply_galois(const Ciphertext& x, u64 k,
   return out;
 }
 
-Ciphertext Evaluator::rotate_rows(const Ciphertext& x, std::size_t r,
-                                  const GaloisKeys& gk) const {
+u64 Evaluator::rotation_galois_element(std::size_t r) const {
   // Galois element 3^r mod 2N by square-and-multiply — O(log r) instead
   // of r sequential multiplies. 2N is a power of two (not prime), so
   // Modulus::pow does not apply; operands stay < 2N < 2^32, keeping the
@@ -267,8 +324,18 @@ Ciphertext Evaluator::rotate_rows(const Ciphertext& x, std::size_t r,
     base = (base * base) % two_n;
     e >>= 1;
   }
+  return k;
+}
+
+Ciphertext Evaluator::rotate_rows(const Ciphertext& x, std::size_t r,
+                                  const GaloisKeys& gk) const {
+  const u64 k = rotation_galois_element(r);
   if (k == 1) return x;
-  return apply_galois(x, k, gk);
+  // Decompose-then-permute, the same pipeline rotate_rows_hoisted runs
+  // over shared digits — so the two are bit-exact for every element.
+  std::vector<RnsPoly> digits(ctx_->dnum(), RnsPoly(ctx_->base_qp(), false));
+  decompose_ntt_digits(x.a, digits);
+  return apply_galois_hoisted(x, digits, k, gk);
 }
 
 }  // namespace cham

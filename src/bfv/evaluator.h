@@ -70,7 +70,14 @@ class Evaluator {
   Ciphertext apply_galois(const Ciphertext& x, u64 k,
                           const GaloisKeys& gk) const;
 
-  // Rotate batch-encoded slots left by r (diagonal-method baseline).
+  // Galois element 3^r mod 2N rotating batch-encoded rows left by r
+  // (square-and-multiply; shared by the encoder and the BSGS planner).
+  u64 rotation_galois_element(std::size_t r) const;
+
+  // Rotate batch-encoded slots left by r. Routed through the hoisted
+  // pipeline (decompose x.a once, permute the evaluation-form digits),
+  // so a fresh-digit rotate_rows and rotate_rows_hoisted over shared
+  // digits are bit-exact by construction.
   Ciphertext rotate_rows(const Ciphertext& x, std::size_t r,
                          const GaloisKeys& gk) const;
 
@@ -95,9 +102,42 @@ class Evaluator {
   // shared between the b and a inner products — the forward NTTs are
   // paid once per node instead of once per product. digits must hold
   // dnum() polynomials bound to base_qp (contents overwritten).
-  // Bit-exact with the digit pipeline inside keyswitch_poly.
-  void decompose_ntt_digits(const RnsPoly& c,
-                            std::vector<RnsPoly>& digits) const;
+  // Bit-exact with the digit pipeline inside keyswitch_poly. threads > 1
+  // runs the per-digit forward NTTs on pool lanes.
+  void decompose_ntt_digits(const RnsPoly& c, std::vector<RnsPoly>& digits,
+                            int threads = 1) const;
+
+  // --- hoisted rotations (Halevi–Shoup, the BSGS engine's primitives) ---
+  //
+  // One decomposition of x.a serves many rotations: each rotation permutes
+  // the shared evaluation-form digits with the NTT-domain automorph table
+  // (a pure slot gather — no transform) and inner-products them against
+  // the frozen Galois KSK. Valid because the gadget identity
+  // Σ_j g_j·D_j(a) ≡ a (mod Q) is preserved by any ring automorphism φ
+  // (the g_j are constants), so Σ_j g_j·φ(D_j(a)) ≡ φ(a) with digit
+  // magnitudes — and hence key-switch noise — unchanged.
+
+  // Core: apply the automorphism described by (coeff_table, ntt_table) to
+  // x via its precomputed digits and key-switch against fksk. x must be
+  // base_q coefficient-domain; digits must be decompose_ntt_digits(x.a).
+  Ciphertext rotate_hoisted(const Ciphertext& x,
+                            const std::vector<RnsPoly>& digits,
+                            const AutomorphTable& coeff_table,
+                            const AutomorphTable& ntt_table,
+                            const FrozenKsk& fksk) const;
+
+  // Galois-element form: resolves tables and the frozen key through the
+  // manager, then runs the core above. Requires gk.has(k).
+  Ciphertext apply_galois_hoisted(const Ciphertext& x,
+                                  const std::vector<RnsPoly>& digits, u64 k,
+                                  const GaloisKeys& gk) const;
+
+  // Slot-rotation form: rotate rows left by r using digits shared with
+  // any number of sibling rotations of the same x. Bit-exact with
+  // rotate_rows(x, r, gk) for every r (same pipeline, same digits).
+  Ciphertext rotate_rows_hoisted(const Ciphertext& x,
+                                 const std::vector<RnsPoly>& digits,
+                                 std::size_t r, const GaloisKeys& gk) const;
 
   // The evaluation-key manager shared by every Evaluator on this context
   // (keyed registry, see bfv/evk_manager.h). Automorph tables, monomial

@@ -135,6 +135,58 @@ std::shared_ptr<const FrozenKsk> EvkManager::frozen(const KeySwitchKey& ksk) {
   return frozen_.emplace(ksk.uid, std::move(out)).first->second;
 }
 
+std::shared_ptr<const BsgsKeys> EvkManager::bsgs_keys(const GaloisKeys& gk,
+                                                      std::size_t n_cols,
+                                                      std::size_t baby) {
+  CHAM_CHECK(baby >= 1 && n_cols >= 1);
+  const std::array<u64, 3> key{gk.uid, static_cast<u64>(n_cols),
+                               static_cast<u64>(baby)};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = bsgs_.find(key);
+    if (it != bsgs_.end()) {
+      hit_counter().add(1);
+      return it->second;
+    }
+  }
+  // 3^r mod 2N by square-and-multiply; 2N is a power of two < 2^32, so
+  // the u64 products never overflow.
+  const u64 two_n = 2 * ctx_->n();
+  auto element_for = [&](std::size_t r) {
+    u64 e = static_cast<u64>(r) % (ctx_->n() / 2);
+    u64 k = 1, b = 3 % two_n;
+    while (e != 0) {
+      if (e & 1) k = (k * b) % two_n;
+      b = (b * b) % two_n;
+      e >>= 1;
+    }
+    return k;
+  };
+  // Assembly outside the lock: tables and KSK freezes are each
+  // exactly-once cached, so a racing assembly only duplicates shared_ptr
+  // plumbing.
+  auto make_rot = [&](std::size_t r) {
+    BsgsKeys::Rot rot;
+    rot.r = r;
+    rot.element = element_for(r);
+    rot.coeff = automorph_table(rot.element);
+    rot.ntt = automorph_table_ntt(rot.element);
+    rot.ksk = frozen(gk.get(rot.element));
+    return rot;
+  };
+  auto keys = std::make_shared<BsgsKeys>();
+  keys->baby = baby;
+  keys->babies.reserve(baby - 1);
+  for (std::size_t i = 1; i < baby; ++i) keys->babies.push_back(make_rot(i));
+  const std::size_t giants = (n_cols + baby - 1) / baby;
+  keys->giants.reserve(giants > 0 ? giants - 1 : 0);
+  for (std::size_t j = 1; j < giants; ++j) {
+    keys->giants.push_back(make_rot(j * baby));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return bsgs_.emplace(key, std::move(keys)).first->second;
+}
+
 std::shared_ptr<const PackKeys> EvkManager::pack_keys(const GaloisKeys& gk,
                                                       int max_level_log) {
   const std::size_t n = ctx_->n();

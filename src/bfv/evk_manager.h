@@ -20,6 +20,7 @@
 // assembled set is published with first-writer-wins semantics.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -36,6 +37,23 @@ namespace cham {
 // key-switch of the process.
 struct FrozenKsk {
   std::vector<ShoupPoly> b, a;
+};
+
+// Frozen rotation operands for one BSGS shape: the baby-step rotations
+// r = 1..b-1 and giant-step rotations r = j·b, each with both automorph
+// routing tables and the Shoup-frozen Galois KSK resolved once — the
+// hoisted BSGS inner loops touch no registry locks and no key freezing.
+struct BsgsKeys {
+  struct Rot {
+    std::size_t r = 0;  // slot rotation amount
+    u64 element = 0;    // Galois element 3^r mod 2N
+    std::shared_ptr<const AutomorphTable> coeff;  // automorph, coeff domain
+    std::shared_ptr<const AutomorphTable> ntt;    // automorph, eval domain
+    std::shared_ptr<const FrozenKsk> ksk;         // frozen gk(element)
+  };
+  std::size_t baby = 0;      // baby-step count b
+  std::vector<Rot> babies;   // r = 1 .. b-1, in order
+  std::vector<Rot> giants;   // r = j·b, j = 1 .. ceil(n/b)-1, in order
 };
 
 // Per-level operands of the NTT-resident pack tree, shared by every merge
@@ -87,6 +105,13 @@ class EvkManager {
   std::shared_ptr<const PackKeys> pack_keys(const GaloisKeys& gk,
                                             int max_level_log);
 
+  // The BSGS rotation operand set for an n_cols-wide matrix with b baby
+  // steps, cached per (GaloisKeys uid, n_cols, b). Requires gk to hold
+  // every element of the shape (DiagonalHmvp::required_galois_elements).
+  std::shared_ptr<const BsgsKeys> bsgs_keys(const GaloisKeys& gk,
+                                            std::size_t n_cols,
+                                            std::size_t baby);
+
  private:
   BfvContextPtr ctx_;
   mutable std::shared_mutex mu_;
@@ -95,6 +120,8 @@ class EvkManager {
   std::map<u64, std::shared_ptr<const ShoupPoly>> monomials_qp_;
   std::map<u64, std::shared_ptr<const FrozenKsk>> frozen_;     // KSK uid
   std::map<u64, std::shared_ptr<const PackKeys>> pack_;        // GK uid
+  // (GK uid, n_cols, baby) -> frozen BSGS rotation operand set
+  std::map<std::array<u64, 3>, std::shared_ptr<const BsgsKeys>> bsgs_;
 };
 
 }  // namespace cham

@@ -1,8 +1,34 @@
 #include "hmvp/baseline.h"
 
+#include <algorithm>
+#include <string>
+
 #include "nt/bitops.h"
+#include "obs/metrics.h"
 
 namespace cham {
+
+void publish_baseline_stats(const char* prefix, const BaselineStats& st) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string p(prefix);
+  reg.counter(p + ".runs").add(1);
+  reg.counter(p + ".rotations").add(st.rotations);
+  reg.counter(p + ".rotations_hoisted").add(st.rotations_hoisted);
+  reg.counter(p + ".plain_mults").add(st.plain_mults);
+}
+
+namespace {
+
+// Key shipping and make_galois_keys iterate these verbatim, so the plan
+// must never carry an element twice (baby/giant collisions are possible
+// for degenerate shapes) and sorted order keeps hello payloads canonical.
+std::vector<u64> sorted_unique(std::vector<u64> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- rotate+sum
 
@@ -14,7 +40,7 @@ std::vector<u64> RotateSumHmvp::required_galois_elements() const {
   for (std::size_t r = 1; r < ctx_->n() / 2; r <<= 1) {
     out.push_back(encoder_.rotation_galois_element(r));
   }
-  return out;
+  return sorted_unique(std::move(out));
 }
 
 Ciphertext RotateSumHmvp::encrypt_vector(const std::vector<u64>& v,
@@ -29,6 +55,7 @@ std::vector<Ciphertext> RotateSumHmvp::multiply(const RowSource& a,
   CHAM_CHECK(gk_ != nullptr);
   CHAM_CHECK_MSG(a.cols() <= ctx_->n() / 2, "cols must fit row-0 slots");
   const std::size_t half = ctx_->n() / 2;
+  BaselineStats st;
   std::vector<Ciphertext> out;
   std::vector<u64> row(a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -38,18 +65,20 @@ std::vector<Ciphertext> RotateSumHmvp::multiply(const RowSource& a,
     eval_.multiply_plain_ntt_inplace(
         prod,
         eval_.transform_plain_ntt(encoder_.encode(row), ct_v.base()));
-    if (stats) stats->plain_mults += 1;
+    st.plain_mults += 1;
     prod.from_ntt();
     Ciphertext acc = eval_.rescale(prod);
     // log2(N/2) rotations: after the tree, slot 0 of row 0 holds the sum
     // of all row-0 slots.
     for (std::size_t r = 1; r < half; r <<= 1) {
       Ciphertext rot = eval_.rotate_rows(acc, r, *gk_);
-      if (stats) stats->rotations += 1;
+      st.rotations += 1;
       eval_.add_inplace(acc, rot);
     }
     out.push_back(std::move(acc));
   }
+  publish_baseline_stats("rotsum", st);
+  if (stats) stats->merge(st);
   return out;
 }
 
@@ -86,7 +115,7 @@ std::vector<u64> DiagonalHmvp::required_galois_elements(
   for (std::size_t j = 1; j < (n_cols + b - 1) / b; ++j) {
     out.push_back(encoder_.rotation_galois_element(j * b));
   }
-  return out;
+  return sorted_unique(std::move(out));
 }
 
 Ciphertext DiagonalHmvp::encrypt_vector(const std::vector<u64>& v,
@@ -124,13 +153,14 @@ Ciphertext DiagonalHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
   const std::size_t giants = (n + b - 1) / b;
 
   // Baby steps: rot(v, i) for i in [0, b).
+  BaselineStats st;
   Ciphertext ct_q = eval_.rescale(ct_v);
   std::vector<Ciphertext> baby;
   baby.reserve(b);
   baby.push_back(ct_q);
   for (std::size_t i = 1; i < b; ++i) {
     baby.push_back(eval_.rotate_rows(ct_q, i, *gk_));
-    if (stats) stats->rotations += 1;
+    st.rotations += 1;
   }
 
   Ciphertext result;
@@ -151,7 +181,7 @@ Ciphertext DiagonalHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
       eval_.multiply_plain_ntt_inplace(
           prod,
           eval_.transform_plain_ntt(encoder_.encode(rotated), prod.base()));
-      if (stats) stats->plain_mults += 1;
+      st.plain_mults += 1;
       prod.from_ntt();
       if (!have_inner) {
         inner = std::move(prod);
@@ -162,7 +192,7 @@ Ciphertext DiagonalHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
     }
     if (j > 0) {
       inner = eval_.rotate_rows(inner, j * b, *gk_);
-      if (stats) stats->rotations += 1;
+      st.rotations += 1;
     }
     if (!have_result) {
       result = std::move(inner);
@@ -171,6 +201,8 @@ Ciphertext DiagonalHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
       eval_.add_inplace(result, inner);
     }
   }
+  publish_baseline_stats("diag", st);
+  if (stats) stats->merge(st);
   return result;
 }
 

@@ -23,8 +23,20 @@ namespace cham {
 
 struct BaselineStats {
   std::uint64_t rotations = 0;   // ciphertext rotations (keyswitches)
+  std::uint64_t rotations_hoisted = 0;  // rotations off a shared decomposition
   std::uint64_t plain_mults = 0;
+
+  void merge(const BaselineStats& o) {
+    rotations += o.rotations;
+    rotations_hoisted += o.rotations_hoisted;
+    plain_mults += o.plain_mults;
+  }
 };
+
+// Publish one finished run's counters to the process-wide registry as
+// "<prefix>.runs/.rotations/.rotations_hoisted/.plain_mults" — the
+// CHAM-METRICS side of every SIMD-method bench line.
+void publish_baseline_stats(const char* prefix, const BaselineStats& st);
 
 class RotateSumHmvp {
  public:

@@ -1,0 +1,199 @@
+#include "hmvp/bsgs.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "nt/bitops.h"
+#include "obs/trace.h"
+
+namespace cham {
+
+const char* mvp_algorithm_name(MvpAlgorithm alg) {
+  switch (alg) {
+    case MvpAlgorithm::kCoefficient: return "coefficient";
+    case MvpAlgorithm::kBsgs: return "bsgs";
+    case MvpAlgorithm::kDiagonal: return "diagonal";
+    case MvpAlgorithm::kRotateSum: return "rotate_sum";
+  }
+  return "unknown";
+}
+
+MvpAlgorithm choose_mvp_algorithm(std::size_t rows, std::size_t cols,
+                                  std::size_t ring_n) {
+  const std::size_t half = ring_n / 2;
+  // Shapes the diagonal decomposition cannot express go to the
+  // coefficient engine (which tiles arbitrary shapes across chunks).
+  if (rows == 0 || cols == 0) return MvpAlgorithm::kCoefficient;
+  if (!is_power_of_two(cols) || cols > half || rows > half) {
+    return MvpAlgorithm::kCoefficient;
+  }
+  // Cost model fitted to the measured avx2 crossover at N=8192
+  // (bench_bsgs, DESIGN.md §6h): the coefficient engine pays ~3.0 ms per
+  // row (chunk product, INTT, rescale, extract, pack merge); BSGS pays
+  // ~0.7 ms per column (diagonal encode + pointwise MAC off the frozen
+  // baby steps) plus ~1.2 ms per rotation. Units below are ~0.1 ms.
+  // Wide-and-short matrices favour the row-linear coefficient method,
+  // tall-or-square ones the column-linear BSGS; near the 1024x4096
+  // boundary the two are within a few percent either way.
+  const std::size_t b = BsgsHmvp::baby_steps(cols);
+  const std::size_t g = (cols + b - 1) / b;
+  const std::size_t coeff_cost = 30 * rows;
+  const std::size_t bsgs_cost = 7 * cols + 12 * (b + g);
+  return bsgs_cost < coeff_cost ? MvpAlgorithm::kBsgs
+                                : MvpAlgorithm::kCoefficient;
+}
+
+BsgsHmvp::BsgsHmvp(BfvContextPtr context, const GaloisKeys* gk)
+    : ctx_(std::move(context)), gk_(gk), encoder_(ctx_), eval_(ctx_) {}
+
+std::size_t BsgsHmvp::baby_steps(std::size_t n_cols) {
+  return DiagonalHmvp::baby_steps(n_cols);
+}
+
+std::vector<u64> BsgsHmvp::required_galois_elements(std::size_t n_cols) const {
+  return DiagonalHmvp(ctx_, gk_).required_galois_elements(n_cols);
+}
+
+Ciphertext BsgsHmvp::encrypt_vector(const std::vector<u64>& v,
+                                    const Encryptor& enc) const {
+  return DiagonalHmvp(ctx_, gk_).encrypt_vector(v, enc);
+}
+
+Ciphertext BsgsHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
+                              BaselineStats* stats, int threads) const {
+  CHAM_SPAN_ARG("bsgs.multiply", a.rows());
+  CHAM_CHECK(gk_ != nullptr);
+  const std::size_t half = ctx_->n() / 2;
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  CHAM_CHECK_MSG(is_power_of_two(n) && n <= half && m <= half,
+                 "diagonal method shape limits");
+  const u64 t = ctx_->plain_modulus().value();
+  if (threads <= 0) threads = 1;
+
+  // Materialise the diagonals: diag_d[i] = A[i mod m][(i+d) mod n], the
+  // same convention as DiagonalHmvp so the two decrypt identically.
+  std::vector<std::vector<u64>> rows(m, std::vector<u64>(n));
+  for (std::size_t i = 0; i < m; ++i) a.row(i, rows[i].data());
+
+  const std::size_t b = baby_steps(n);
+  const std::size_t giants = (n + b - 1) / b;
+  const auto keys = eval_.evk().bsgs_keys(*gk_, n, b);
+
+  BaselineStats st;
+
+  // One shared digit decomposition of ct(v) serves every baby step.
+  Ciphertext ct_q = eval_.rescale(ct_v);
+  std::vector<RnsPoly> digits(ctx_->dnum(), RnsPoly(ctx_->base_qp(), false));
+  eval_.decompose_ntt_digits(ct_q.a, digits, threads);
+
+  // Baby-step fan-out: rot(v, i) stays NTT-resident and Shoup-frozen, so
+  // each of the n diagonal products below is a pointwise
+  // multiply-accumulate (no per-product NTT/INTT round trip).
+  std::vector<ShoupCiphertext> baby(b);
+  {
+    CHAM_SPAN_ARG("bsgs.baby_steps", b);
+    auto make_baby = [&](std::size_t i) {
+      Ciphertext ci;
+      if (i == 0) {
+        ci = ct_q;
+      } else {
+        const BsgsKeys::Rot& rot = keys->babies[i - 1];
+        ci = eval_.rotate_hoisted(ct_q, digits, *rot.coeff, *rot.ntt,
+                                  *rot.ksk);
+      }
+      ci.to_ntt();
+      baby[i] = ShoupCiphertext(ci);
+    };
+    if (threads > 1 && !ThreadPool::in_lane()) {
+      ThreadPool::global().parallel_for(0, b, threads, make_baby);
+    } else {
+      for (std::size_t i = 0; i < b; ++i) make_baby(i);
+    }
+    st.rotations += b - 1;
+    st.rotations_hoisted += b - 1;
+  }
+
+  // Giant-step sweep on pool lanes with per-lane scratch; inner sums are
+  // accumulated in the evaluation domain and land in a fixed slot per j,
+  // so the final (ordered) accumulation is bit-exact for every lane
+  // count.
+  std::vector<Ciphertext> inner(giants);
+  std::vector<BaselineStats> lane_stats;
+  auto& pool = ThreadPool::global();
+  int lanes = static_cast<int>(
+      std::min<std::size_t>({static_cast<std::size_t>(threads),
+                             pool.max_lanes(), giants}));
+  if (ThreadPool::in_lane()) lanes = 1;
+  lane_stats.assign(static_cast<std::size_t>(lanes), BaselineStats{});
+  auto sweep_lane = [&](int lane) {
+    CHAM_SPAN("bsgs.giant_sweep");
+    BaselineStats& ls = lane_stats[static_cast<std::size_t>(lane)];
+    std::vector<u64> rotated(half);
+    RnsPoly pt_ntt(ctx_->base_q(), false);
+    Ciphertext acc;
+    acc.b = RnsPoly(ctx_->base_q(), true);
+    acc.a = RnsPoly(ctx_->base_q(), true);
+    std::vector<RnsPoly> gdigits(ctx_->dnum(),
+                                 RnsPoly(ctx_->base_qp(), false));
+    for (std::size_t j = static_cast<std::size_t>(lane); j < giants;
+         j += static_cast<std::size_t>(lanes)) {
+      acc.b.set_ntt_form(true);  // from_ntt flipped these last iteration
+      acc.a.set_ntt_form(true);
+      bool have = false;
+      for (std::size_t i = 0; i < b && j * b + i < n; ++i) {
+        // diag_{jb+i}, pre-rotated right by j*b slots so the one giant
+        // rotation of the whole inner sum re-aligns every term.
+        const std::size_t d = j * b + i;
+        std::fill(rotated.begin(), rotated.end(), 0);
+        for (std::size_t r = 0; r < m; ++r) {
+          rotated[(r + j * b) % half] = rows[r][(r + d) % n] % t;
+        }
+        eval_.transform_plain_ntt_into(encoder_.encode(rotated), pt_ntt);
+        if (!have) {
+          eval_.multiply_plain_ntt(baby[i], pt_ntt, acc);
+          have = true;
+        } else {
+          eval_.multiply_plain_ntt_acc(baby[i], pt_ntt, acc);
+        }
+        ls.plain_mults += 1;
+      }
+      acc.from_ntt();
+      if (j > 0) {
+        const BsgsKeys::Rot& rot = keys->giants[j - 1];
+        eval_.decompose_ntt_digits(acc.a, gdigits);
+        inner[j] = eval_.rotate_hoisted(acc, gdigits, *rot.coeff, *rot.ntt,
+                                        *rot.ksk);
+        ls.rotations += 1;
+      } else {
+        inner[j] = acc;
+      }
+    }
+  };
+  if (lanes > 1) {
+    pool.run(lanes, sweep_lane);
+  } else {
+    sweep_lane(0);
+  }
+  for (const BaselineStats& ls : lane_stats) {
+    st.rotations += ls.rotations;
+    st.plain_mults += ls.plain_mults;
+  }
+
+  Ciphertext result = std::move(inner[0]);
+  for (std::size_t j = 1; j < giants; ++j) {
+    eval_.add_inplace(result, inner[j]);
+  }
+
+  publish_baseline_stats("bsgs", st);
+  if (stats) stats->merge(st);
+  return result;
+}
+
+std::vector<u64> BsgsHmvp::decrypt_result(const Ciphertext& ct,
+                                          std::size_t rows,
+                                          const Decryptor& dec) const {
+  return DiagonalHmvp(ctx_, gk_).decrypt_result(ct, rows, dec);
+}
+
+}  // namespace cham

@@ -1,0 +1,84 @@
+// Hoisted-rotation BSGS diagonal HMVP — the SIMD method as a contender.
+//
+// Same GAZELLE-style hybrid diagonal decomposition as DiagonalHmvp
+// (src/hmvp/baseline.cc), but the rotation cost is restructured around
+// Halevi–Shoup hoisting:
+//  * ct(v) is decomposed into evaluation-form key-switch digits ONCE;
+//    every baby-step rotation is then a slot gather on the shared digit
+//    vector plus one inner product against a Shoup-frozen Galois KSK
+//    (EvkManager::bsgs_keys) — the ~sqrt(n) baby steps pay one digit
+//    decomposition (dnum·(k+1) forward NTTs) between them instead of one
+//    each.
+//  * Baby-step ciphertexts stay NTT-resident and Shoup-frozen, so every
+//    diagonal product is a pointwise multiply-accumulate — the per-product
+//    NTT/INTT round trip the naive baseline pays n times disappears.
+//  * Giant steps run the same decompose-then-permute pipeline over the
+//    accumulated inner sums (one decomposition each — the sums differ),
+//    parallelized over pool lanes with per-lane scratch; the final
+//    accumulation order is fixed, so results are bit-exact for every
+//    thread count.
+//
+// DESIGN.md §6h maps the shared decomposition onto CHAM's on-chip digit
+// reuse and documents the measured per-shape crossover vs the
+// coefficient-encoding HmvpEngine.
+#pragma once
+
+#include "hmvp/baseline.h"
+
+namespace cham {
+
+// The repo's MVP algorithm surface: apps and the serving layer pick per
+// matrix shape (choose_mvp_algorithm), benches A/B all of them.
+enum class MvpAlgorithm {
+  kCoefficient,  // paper Alg. 1 (HmvpEngine) — coefficient encoding
+  kBsgs,         // hoisted-rotation BSGS diagonal (BsgsHmvp)
+  kDiagonal,     // naive baby-step/giant-step diagonal (DiagonalHmvp)
+  kRotateSum,    // rotate-and-sum baseline (RotateSumHmvp)
+};
+
+const char* mvp_algorithm_name(MvpAlgorithm alg);
+
+// Shape-based selection between the two production engines (the two
+// baselines are strawmen and never chosen). Transform-count model, see
+// DESIGN.md §6h: coefficient-encoding costs ~22 limb transforms per row;
+// BSGS costs ~2 per column plus ~14 per rotation. Shapes the diagonal
+// method cannot express (cols not a power of two or either dimension
+// beyond N/2 slots) fall back to the coefficient engine.
+MvpAlgorithm choose_mvp_algorithm(std::size_t rows, std::size_t cols,
+                                  std::size_t ring_n);
+
+class BsgsHmvp {
+ public:
+  // n_cols must be a power of two <= N/2; rows <= N/2.
+  BsgsHmvp(BfvContextPtr context, const GaloisKeys* gk);
+
+  // Same baby-step policy as DiagonalHmvp (largest power of two <=
+  // sqrt(n)), so the two methods need identical Galois elements and any
+  // A/B comparison reuses one key set.
+  static std::size_t baby_steps(std::size_t n_cols);
+
+  // Sorted, deduplicated Galois elements for the shape.
+  std::vector<u64> required_galois_elements(std::size_t n_cols) const;
+
+  // Encrypt v tiled to fill the N/2 row-0 slots (period n), identical to
+  // DiagonalHmvp::encrypt_vector.
+  Ciphertext encrypt_vector(const std::vector<u64>& v,
+                            const Encryptor& enc) const;
+
+  // A·v with hoisted rotations. `threads` caps the pool lanes used for
+  // the shared decomposition, the baby-step fan-out and the giant-step
+  // sweep. Bit-exact for every thread count.
+  Ciphertext multiply(const RowSource& a, const Ciphertext& ct_v,
+                      BaselineStats* stats = nullptr, int threads = 1) const;
+
+  std::vector<u64> decrypt_result(const Ciphertext& ct, std::size_t rows,
+                                  const Decryptor& dec) const;
+
+ private:
+  BfvContextPtr ctx_;
+  const GaloisKeys* gk_;
+  BatchEncoder encoder_;
+  Evaluator eval_;
+};
+
+}  // namespace cham

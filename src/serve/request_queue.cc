@@ -1,15 +1,26 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+
 namespace cham::serve {
 
 bool RequestQueue::push(QueuedRequest req) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_ || q_.size() >= max_depth_) return false;
+    if (counts_[req.matrix_id]++ == 0) rr_.push_back(req.matrix_id);
     q_.push_back(std::move(req));
   }
   cv_.notify_all();
   return true;
+}
+
+void RequestQueue::note_removed(std::uint32_t matrix_id) {
+  auto it = counts_.find(matrix_id);
+  if (--it->second == 0) {
+    counts_.erase(it);
+    rr_.erase(std::find(rr_.begin(), rr_.end(), matrix_id));
+  }
 }
 
 std::vector<QueuedRequest> RequestQueue::pop_batch(
@@ -19,15 +30,20 @@ std::vector<QueuedRequest> RequestQueue::pop_batch(
   cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
   if (q_.empty()) return {};  // closed and drained
 
+  // Round-robin selection: the least-recently-served matrix key fixes
+  // the batch, and is rotated to the back up front so stragglers taken
+  // during the window don't change the service order.
+  const std::uint32_t mid = rr_.front();
+  rr_.pop_front();
+  rr_.push_back(mid);
+
   std::vector<QueuedRequest> batch;
-  batch.push_back(std::move(q_.front()));
-  q_.pop_front();
-  const std::uint32_t mid = batch[0].matrix_id;
   auto take_matching = [&] {
     for (auto it = q_.begin(); it != q_.end() && batch.size() < max_batch;) {
       if (it->matrix_id == mid) {
         batch.push_back(std::move(*it));
         it = q_.erase(it);
+        note_removed(mid);
       } else {
         ++it;
       }
@@ -53,6 +69,7 @@ bool RequestQueue::cancel(const std::string& session,
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = q_.begin(); it != q_.end(); ++it) {
     if (it->request_id == request_id && it->session == session) {
+      note_removed(it->matrix_id);
       q_.erase(it);
       return true;
     }

@@ -4,6 +4,13 @@
 // compute stage runs one row sweep for the whole batch
 // (HmvpEngine::multiply_encoded_batch), fetching each row operand once.
 //
+// Batch selection round-robins across the distinct matrix keys present
+// in the queue (least-recently-served first) instead of always
+// coalescing behind the FIFO head, so a skewed matrix mix cannot starve
+// the minority matrices: with k distinct keys queued, any request waits
+// at most k-1 batches before its matrix is up. Within the chosen matrix,
+// requests still batch in arrival order.
+//
 // Admission control is a hard depth cap: push() refuses instead of
 // queueing unboundedly, so an overloaded server degrades by rejecting
 // (client sees Status::kRejected) rather than by latency collapse.
@@ -13,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,10 +47,11 @@ class RequestQueue {
   // the caller answers the client; nothing was enqueued).
   bool push(QueuedRequest req);
 
-  // Blocks for the next request, then coalesces: the FIFO head fixes the
-  // batch's matrix, and up to max_batch-1 further same-matrix requests
-  // are taken in arrival order, waiting up to `window` for more to
-  // arrive once the queue holds no other candidate. Requests against
+  // Blocks for the next request, then coalesces: the least-recently-
+  // served matrix key with queued requests fixes the batch's matrix
+  // (round-robin across distinct keys), and up to max_batch same-matrix
+  // requests are taken in arrival order, waiting up to `window` for more
+  // to arrive once the queue holds no other candidate. Requests against
   // other matrices keep their places. Empty result ⇔ closed and drained.
   std::vector<QueuedRequest> pop_batch(std::size_t max_batch,
                                        std::chrono::nanoseconds window);
@@ -58,9 +67,19 @@ class RequestQueue {
   std::size_t depth() const;
 
  private:
+  // Bookkeeping for one request leaving q_ (popped or cancelled): keeps
+  // counts_/rr_ consistent with the queue. Caller holds mu_.
+  void note_removed(std::uint32_t matrix_id);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<QueuedRequest> q_;
+  // Round-robin service order over the distinct matrix ids present in
+  // q_: a key enters at the back on its first queued request, moves to
+  // the back when chosen for a batch, and leaves when its last queued
+  // request does. counts_ tracks queued requests per key.
+  std::deque<std::uint32_t> rr_;
+  std::map<std::uint32_t, std::size_t> counts_;
   std::size_t max_depth_;
   bool closed_ = false;
 };

@@ -22,13 +22,24 @@ HmvpServer::~HmvpServer() { stop(); }
 
 std::uint32_t HmvpServer::add_matrix(const RowSource& a) {
   CHAM_CHECK_MSG(!running_, "register matrices before start()");
-  matrices_.push_back(MatrixEntry{engine_.encode_matrix(a, cfg_.threads)});
+  MatrixEntry entry{engine_.encode_matrix(a, cfg_.threads),
+                    choose_mvp_algorithm(a.rows(), a.cols(), ctx_->n())};
+  obs::MetricsRegistry::global()
+      .counter(std::string("serve.matrix_pref_") +
+               mvp_algorithm_name(entry.preferred))
+      .add(1);
+  matrices_.push_back(std::move(entry));
   return static_cast<std::uint32_t>(matrices_.size() - 1);
 }
 
 const EncodedMatrix& HmvpServer::matrix(std::uint32_t id) const {
   CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
   return matrices_[id].enc;
+}
+
+MvpAlgorithm HmvpServer::matrix_algorithm(std::uint32_t id) const {
+  CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
+  return matrices_[id].preferred;
 }
 
 ClientLink HmvpServer::connect() {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bfv/evaluator.h"
+#include "hmvp/bsgs.h"
 #include "hmvp/hmvp.h"
 #include "io/channel.h"
 #include "serve/request_queue.h"
@@ -65,6 +66,14 @@ class HmvpServer {
   // Pre-encode a matrix the server will multiply by (before start()).
   std::uint32_t add_matrix(const RowSource& a);
   const EncodedMatrix& matrix(std::uint32_t id) const;
+
+  // Which MVP engine choose_mvp_algorithm prefers for this matrix's
+  // shape. Advisory for now: the batched sweep itself stays on the
+  // coefficient engine because its row loop is key-free (legal across
+  // sessions), while BSGS consumes per-session Galois keys mid-sweep —
+  // cross-session coalescing would mix key material. Single-tenant
+  // callers use this to route to BsgsHmvp directly.
+  MvpAlgorithm matrix_algorithm(std::uint32_t id) const;
 
   // Register a client; the returned channels stay valid until the server
   // is destroyed. Thread-safe; allowed while running.
@@ -116,6 +125,7 @@ class HmvpServer {
 
   struct MatrixEntry {
     EncodedMatrix enc;
+    MvpAlgorithm preferred = MvpAlgorithm::kCoefficient;
   };
   std::vector<MatrixEntry> matrices_;
 

@@ -316,6 +316,82 @@ TEST(RequestQueue, CancelRemovesOnlyQueuedMatch) {
   EXPECT_EQ(batch[0].request_id, 1u);
 }
 
+TEST(RequestQueue, RoundRobinServesSkewedMixWithoutStarvation) {
+  // Heavily skewed mix: a flood of matrix-0 requests around single
+  // requests for matrices 1 and 2, with the flood refilled after every
+  // batch. FIFO-head coalescing would serve matrix 0 forever; round-robin
+  // must reach every distinct matrix within one cycle of the keys.
+  RequestQueue q(64);
+  u64 rid = 1;
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.push(make_req(rid++, 0)));
+  ASSERT_TRUE(q.push(make_req(100, 1)));
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.push(make_req(rid++, 0)));
+  ASSERT_TRUE(q.push(make_req(200, 2)));
+
+  std::vector<std::uint32_t> served;
+  for (int round = 0; round < 3; ++round) {
+    auto batch = q.pop_batch(4, std::chrono::nanoseconds(0));
+    ASSERT_FALSE(batch.empty());
+    for (const auto& r : batch) EXPECT_EQ(r.matrix_id, batch[0].matrix_id);
+    served.push_back(batch[0].matrix_id);
+    // Adversary: keep the flood topped up between batches.
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(make_req(rid++, 0)));
+  }
+  // One full cycle over the three distinct keys, flood notwithstanding.
+  EXPECT_EQ(served, (std::vector<std::uint32_t>{0, 1, 2}));
+
+  // The singletons are gone; only the flood remains.
+  for (int i = 0; i < 4; ++i) {
+    auto batch = q.pop_batch(64, std::chrono::nanoseconds(0));
+    ASSERT_FALSE(batch.empty());
+    for (const auto& r : batch) EXPECT_EQ(r.matrix_id, 0u);
+    if (q.depth() == 0) break;
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueue, RoundRobinRotatesEqualMix) {
+  RequestQueue q(16);
+  // Interleaved arrivals across three matrices; batches must cycle
+  // 5 -> 6 -> 7 -> 5, taking same-matrix requests in arrival order.
+  ASSERT_TRUE(q.push(make_req(1, 5)));
+  ASSERT_TRUE(q.push(make_req(2, 6)));
+  ASSERT_TRUE(q.push(make_req(3, 7)));
+  ASSERT_TRUE(q.push(make_req(4, 5)));
+  ASSERT_TRUE(q.push(make_req(5, 6)));
+  auto b1 = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(b1.size(), 2u);
+  EXPECT_EQ(b1[0].request_id, 1u);
+  EXPECT_EQ(b1[1].request_id, 4u);
+  // Matrix 5 re-queues immediately — but 6 and 7 are ahead of it now.
+  ASSERT_TRUE(q.push(make_req(6, 5)));
+  auto b2 = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(b2.size(), 2u);
+  EXPECT_EQ(b2[0].matrix_id, 6u);
+  auto b3 = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(b3.size(), 1u);
+  EXPECT_EQ(b3[0].matrix_id, 7u);
+  auto b4 = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(b4.size(), 1u);
+  EXPECT_EQ(b4[0].request_id, 6u);
+}
+
+TEST(RequestQueue, CancelLastRequestRetiresMatrixFromRotation) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_req(1, 3)));
+  ASSERT_TRUE(q.push(make_req(2, 4)));
+  EXPECT_TRUE(q.cancel("s", 1));  // matrix 3 now has no queued requests
+  auto batch = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].matrix_id, 4u);
+  EXPECT_EQ(q.depth(), 0u);
+  // Matrix 3 re-entering later is served normally.
+  ASSERT_TRUE(q.push(make_req(5, 3)));
+  auto again = q.pop_batch(8, std::chrono::nanoseconds(0));
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].request_id, 5u);
+}
+
 TEST(RequestQueue, BatchWindowGathersLateArrivals) {
   RequestQueue q(8);
   ASSERT_TRUE(q.push(make_req(1, 1)));

@@ -63,6 +63,12 @@ MODEL_TIME_TOLERANCE = 0.10   # device-model seconds: deterministic
 HEADLINE_SPEEDUP_TOLERANCE = 0.9  # order-of-magnitude sanity floor
 PEAK_RSS_TOLERANCE = 0.5      # MiB high-water mark: generous, but gates
                               # a leak or a pool-bypass blow-up
+BSGS_TIME_TOLERANCE = 0.75    # per-algorithm HMVP seconds: wall clock
+BSGS_SPEEDUP_TOLERANCE = 0.4  # hoisted-vs-naive ratio: both sides are
+                              # measured in the same process, so noise
+                              # mostly cancels; gates losing the hoisting
+                              # win (the bench itself enforces the 1.5x
+                              # floor at 1024x4096)
 SERVER_THROUGHPUT_TOLERANCE = 0.6  # req/s on shared runners: gates a
                                    # sustained-throughput collapse
 SERVER_LATENCY_TOLERANCE = 1.0     # p50/p95/p99 ms: scheduler jitter on CI
@@ -135,6 +141,26 @@ def flatten(records, source="sample"):
                 put(key + "/alloc_count", obj["alloc_count"], 0.0, "exact")
             if "pool" in obj:
                 put(key + "/pool", obj["pool"], 0.0, "exact")
+            if "peak_rss_mb" in obj:
+                put(key + "/peak_rss_mb", obj["peak_rss_mb"],
+                    PEAK_RSS_TOLERANCE, "lower")
+        elif tag == "CHAM-BENCH" and "mvp" in obj:
+            # Per-shape HMVP algorithm crossover lines (bench_bsgs).
+            # Wall-clock per algorithm is noisy; the hoisted-vs-naive
+            # ratio is same-process and tighter; rotation/product counts
+            # are deterministic per shape.
+            key = (f"bsgs/{obj['mvp']}/{obj.get('shape', '')}"
+                   f"@t{obj.get('threads', 1)}")
+            for field in ("naive_s", "bsgs_s", "coeff_s"):
+                if field in obj:
+                    put(f"{key}/{field}", obj[field],
+                        BSGS_TIME_TOLERANCE, "lower")
+            if "speedup_vs_naive" in obj:
+                put(key + "/speedup_vs_naive", obj["speedup_vs_naive"],
+                    BSGS_SPEEDUP_TOLERANCE, "higher")
+            for field in ("rotations", "rotations_hoisted", "plain_mults"):
+                if field in obj:
+                    put(f"{key}/{field}", obj[field], 0.0, "exact")
             if "peak_rss_mb" in obj:
                 put(key + "/peak_rss_mb", obj["peak_rss_mb"],
                     PEAK_RSS_TOLERANCE, "lower")
@@ -327,6 +353,10 @@ def cmd_selftest(_args):
         'CHAM-BENCH {"benchmark":"steady_state_hmvp","shape":"32x4096",'
         '"alloc_count":0,"pool":1,"peak_rss_mb":512.0,'
         '"simd_level":"avx2"}',
+        'CHAM-BENCH {"mvp":"bsgs_vs_naive","shape":"1024x4096","threads":1,'
+        '"naive_s":8.0,"bsgs_s":3.2,"coeff_s":2.5,"speedup_vs_naive":2.5,'
+        '"rotations":126,"rotations_hoisted":63,"plain_mults":4096,'
+        '"chosen":"bsgs","simd_level":"avx2"}',
         'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216,'
         '"alloc.count":8,"pool.hit":543},"gauges":{},"histograms":{}}',
     ])
@@ -387,6 +417,27 @@ def cmd_selftest(_args):
     failures = compare(baseline, flatten(parse_lines(missing)))
     if not any("missing" in f for f in failures):
         print("selftest FAILED: dropped metric passed the gate")
+        return 1
+
+    # Hoisted-BSGS crossover lines: losing the hoisting speed-up trips
+    # the ratio gate, a rotation-count drift (e.g. hoisting silently
+    # disabled, so rotations_hoisted drops to 0) trips the exact gate,
+    # and a within-tolerance wall-clock wobble passes.
+    unhoisted = sample.replace('"speedup_vs_naive":2.5',
+                               '"speedup_vs_naive":1.2')
+    failures = compare(baseline, flatten(parse_lines(unhoisted)))
+    if not any("speedup_vs_naive" in f for f in failures):
+        print("selftest FAILED: hoisting speed-up collapse passed the gate")
+        return 1
+    rehoist = sample.replace('"rotations_hoisted":63', '"rotations_hoisted":0')
+    failures = compare(baseline, flatten(parse_lines(rehoist)))
+    if not any("rotations_hoisted" in f for f in failures):
+        print("selftest FAILED: hoisted-rotation count drift passed the gate")
+        return 1
+    wobble = sample.replace('"bsgs_s":3.2', '"bsgs_s":3.9')
+    if compare(baseline, flatten(parse_lines(wobble))):
+        print("selftest FAILED: in-tolerance BSGS wall-clock wobble "
+              "tripped the gate")
         return 1
 
     relevel = sample.replace('"simd_level":"avx2"', '"simd_level":"scalar"')
@@ -512,8 +563,9 @@ def cmd_selftest(_args):
 
     print("selftest OK: 2x slowdown, counter drift, metric loss, "
           "SIMD-level switches (incl. avx512ifma), retired-level "
-          "baselines, server throughput/latency/occupancy regressions "
-          "all trip the gate; clean and improved runs pass")
+          "baselines, BSGS hoisting/ratio regressions, server "
+          "throughput/latency/occupancy regressions all trip the gate; "
+          "clean and improved runs pass")
     return 0
 
 
