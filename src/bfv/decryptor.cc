@@ -57,8 +57,10 @@ Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
   const u128 big_q = ph.base()->total_modulus();
   Plaintext pt;
   pt.coeffs.resize(ctx_->n());
+  std::vector<u128> vals(ctx_->n());
+  ph.compose_all(vals.data());
   for (std::size_t i = 0; i < ctx_->n(); ++i) {
-    pt.coeffs[i] = round_to_message(ph.compose_coeff(i), big_q);
+    pt.coeffs[i] = round_to_message(vals[i], big_q);
   }
   return pt;
 }
@@ -74,8 +76,10 @@ u128 max_noise_magnitude(const RnsPoly& ph, u64 t, std::size_t n) {
   const u128 big_q = ph.base()->total_modulus();
   const u128 delta = big_q / t;
   u128 max_noise = 0;
+  std::vector<u128> vals(n);
+  ph.compose_all(vals.data());
   for (std::size_t i = 0; i < n; ++i) {
-    const u128 x = ph.compose_coeff(i);
+    const u128 x = vals[i];
     const u128 num = static_cast<u128>(t) * x + big_q / 2;
     const u64 m = static_cast<u64>((num / big_q) % t);
     // ν = x - Δ·m (mod Q), centered.

@@ -1,0 +1,152 @@
+#include "bignum/crt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "simd/kernels.h"
+
+namespace cham {
+
+CrtSpans::CrtSpans(std::vector<Modulus> moduli)
+    : moduli_(std::move(moduli)) {
+  const std::size_t k = moduli_.size();
+  CHAM_CHECK_MSG(k > 0, "CRT chain needs at least one modulus");
+  q_barrett_.resize(k);
+  r64_.resize(k);
+  inv_.resize(k);
+  partial_.resize(k);
+  shift_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Modulus& qj = moduli_[j];
+    const u64 qv = qj.value();
+    q_barrett_[j] = static_cast<u64>((static_cast<u128>(1) << 64) / qv);
+    r64_[j] = make_shoup(
+        static_cast<u64>((static_cast<u128>(1) << 64) % qv), qj);
+    u64 prod = 1;  // Π_{l<j} q_l mod q_j
+    partial_[j].resize(j + 1);
+    partial_[j][0] = make_shoup(1 % qv, qj);
+    u128 shift = 1;
+    for (std::size_t l = 0; l < j; ++l) {
+      prod = qj.mul(prod, moduli_[l].value() % qv);
+      partial_[j][l + 1] = make_shoup(prod, qj);
+      shift *= moduli_[l].value();
+    }
+    shift_[j] = shift;
+    inv_[j] = make_shoup(j == 0 ? 1 % qv : qj.inv(prod), qj);
+    total_ *= qv;
+  }
+}
+
+u128 CrtSpans::compose_value(const u64* residues) const {
+  // Garner mixed-radix: x = y_0 + y_1 q_0 + y_2 q_0 q_1 + ...
+  const std::size_t k = moduli_.size();
+  u128 value = 0;
+  u64 y[64];
+  CHAM_CHECK(k <= 64);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Modulus& qj = moduli_[j];
+    const u64 qv = qj.value();
+    // acc = (y_0 P_0 + ... + y_{j-1} P_{j-1}) mod q_j
+    u64 acc = 0;
+    for (std::size_t l = 0; l < j; ++l) {
+      acc = qj.add(acc, mul_shoup(y[l] % qv, partial_[j][l], qv));
+    }
+    const u64 xj = residues[j] % qv;
+    y[j] = mul_shoup(qj.sub(xj, acc), inv_[j], qv);
+    value += static_cast<u128>(y[j]) * shift_[j];
+  }
+  return value;
+}
+
+void CrtSpans::decompose_value(u128 value, u64* residues_out) const {
+  for (std::size_t j = 0; j < moduli_.size(); ++j) {
+    residues_out[j] = static_cast<u64>(value % moduli_[j].value());
+  }
+}
+
+void CrtSpans::compose_spans(const u64* residues, std::size_t stride,
+                             std::size_t n, u128* out) const {
+  compose_spans(simd::active(), residues, stride, n, out);
+}
+
+void CrtSpans::compose_spans(const simd::Kernels& k, const u64* residues,
+                             std::size_t stride, std::size_t n,
+                             u128* out) const {
+  const std::size_t nm = moduli_.size();
+  if (nm == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = residues[i];
+    return;
+  }
+  // Same Garner recursion as compose_value, but each mixed-radix digit
+  // y_j is a whole span: j-1 Barrett-reduce + Shoup-MAC sweeps build the
+  // partial sum, one sub + Shoup-mul sweep finishes the digit. The only
+  // per-coefficient work left is the final shift-and-add into 128 bits.
+  simd::AlignedU64Vec y(nm * n);
+  simd::AlignedU64Vec acc(n);
+  simd::AlignedU64Vec tmp(n);
+  std::copy(residues, residues + n, y.data());
+  for (std::size_t j = 1; j < nm; ++j) {
+    const u64 qv = moduli_[j].value();
+    const u64 qb = q_barrett_[j];
+    std::fill(acc.data(), acc.data() + n, 0);
+    for (std::size_t l = 0; l < j; ++l) {
+      // y_l < q_l may exceed q_j (and the 52-bit product window), so
+      // reduce the span first; the MAC then stays in its documented
+      // domain on every backend.
+      k.barrett_reduce(y.data() + l * n, tmp.data(), n, qv, qb);
+      k.mul_scalar_shoup_acc(tmp.data(), partial_[j][l].operand,
+                             partial_[j][l].quotient, acc.data(), n, qv);
+    }
+    k.sub(residues + j * stride, acc.data(), tmp.data(), n, qv);
+    k.mul_scalar_shoup(tmp.data(), inv_[j].operand, inv_[j].quotient,
+                       y.data() + j * n, n, qv);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 value = y[i];
+    for (std::size_t j = 1; j < nm; ++j) {
+      value += static_cast<u128>(y[j * n + i]) * shift_[j];
+    }
+    out[i] = value;
+  }
+}
+
+void CrtSpans::reduce_words_mod(std::size_t j, const u64* hi, const u64* lo,
+                                u64* out, std::size_t n,
+                                u64* scratch) const {
+  reduce_words_mod(simd::active(), j, hi, lo, out, n, scratch);
+}
+
+void CrtSpans::reduce_words_mod(const simd::Kernels& k, std::size_t j,
+                                const u64* hi, const u64* lo, u64* out,
+                                std::size_t n, u64* scratch) const {
+  const u64 qv = moduli_[j].value();
+  const u64 qb = q_barrett_[j];
+  // (hi·2^64 + lo) mod q = (hi mod q)·(2^64 mod q) + (lo mod q) mod q.
+  k.barrett_reduce(hi, out, n, qv, qb);
+  k.mul_scalar_shoup(out, r64_[j].operand, r64_[j].quotient, out, n, qv);
+  k.barrett_reduce(lo, scratch, n, qv, qb);
+  k.add(out, scratch, out, n, qv);
+}
+
+void CrtSpans::decompose_spans(const u128* values, std::size_t n,
+                               u64* residues_out, std::size_t stride) const {
+  decompose_spans(simd::active(), values, n, residues_out, stride);
+}
+
+void CrtSpans::decompose_spans(const simd::Kernels& k, const u128* values,
+                               std::size_t n, u64* residues_out,
+                               std::size_t stride) const {
+  simd::AlignedU64Vec hi(n);
+  simd::AlignedU64Vec lo(n);
+  simd::AlignedU64Vec scratch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = static_cast<u64>(values[i] >> 64);
+    lo[i] = static_cast<u64>(values[i]);
+  }
+  for (std::size_t j = 0; j < moduli_.size(); ++j) {
+    reduce_words_mod(k, j, hi.data(), lo.data(),
+                     residues_out + j * stride, n, scratch.data());
+  }
+}
+
+}  // namespace cham

@@ -1,0 +1,90 @@
+// Span-wise CRT (Chinese remainder theorem) engine over a fixed chain of
+// word-sized moduli.
+//
+// RnsBase freezes one of these at creation. Every constant the Garner
+// mixed-radix recursion and the 128-bit residue reduction need — Barrett
+// ratios floor(2^64/q_j), 2^64 mod q_j, the partial products
+// Π_{l'<l} q_l' mod q_j and their inverses — is precomputed once as a
+// Shoup pair, so the per-polynomial paths (decryption's compose, CKKS
+// decode, digit lifting, rescale) run as whole-span kernel calls on the
+// dispatched SIMD table instead of per-coefficient u128 divisions. On the
+// AVX-512-IFMA level the spans route through the 52-bit (or, for wide
+// moduli, double-word) datapaths like every other kernel call.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nt/modulus.h"
+#include "simd/aligned.h"
+
+namespace cham {
+namespace simd {
+struct Kernels;
+}  // namespace simd
+
+class CrtSpans {
+ public:
+  CrtSpans() = default;
+  explicit CrtSpans(std::vector<Modulus> moduli);
+
+  std::size_t size() const { return moduli_.size(); }
+  const Modulus& modulus(std::size_t j) const { return moduli_[j]; }
+  // Π q_j (must fit in 128 bits; checked at construction).
+  u128 total() const { return total_; }
+
+  // Frozen floor(2^64 / q_j) — the operand every barrett_reduce kernel
+  // call over modulus j wants.
+  u64 q_barrett(std::size_t j) const { return q_barrett_[j]; }
+  // Frozen 2^64 mod q_j as a Shoup pair (hi-word folding in the 128-bit
+  // reductions below).
+  const ShoupMul& r64(std::size_t j) const { return r64_[j]; }
+
+  // --- single values (scalar Garner; context setup & probes) ---
+  u128 compose_value(const u64* residues) const;
+  void decompose_value(u128 value, u64* residues_out) const;
+
+  // --- whole spans (vectorized; the polynomial-sized paths) ---
+  // Each span method runs on the dispatched kernel table; the overloads
+  // taking an explicit simd::Kernels let the tests and benches pit every
+  // compiled backend in one process (same idiom as NttTables::
+  // forward_with). Results are bit-exact across tables.
+  //
+  // out[i] = compose of column i. residues is limb-major with the given
+  // stride between limbs (limb j starts at residues + j*stride); every
+  // entry of limb j must already be < q_j.
+  void compose_spans(const u64* residues, std::size_t stride, std::size_t n,
+                     u128* out) const;
+  void compose_spans(const simd::Kernels& k, const u64* residues,
+                     std::size_t stride, std::size_t n, u128* out) const;
+  // residues_out[j*stride + i] = values[i] mod q_j for every limb j;
+  // values are arbitrary u128s.
+  void decompose_spans(const u128* values, std::size_t n, u64* residues_out,
+                       std::size_t stride) const;
+  void decompose_spans(const simd::Kernels& k, const u128* values,
+                       std::size_t n, u64* residues_out,
+                       std::size_t stride) const;
+  // One limb of decompose_spans with the 128-bit inputs pre-split into
+  // 64-bit halves: out[i] = (hi[i]·2^64 + lo[i]) mod q_j. scratch must
+  // hold n words and may not alias the inputs; out may not alias hi/lo.
+  // lift_centered uses this directly so the split (and the sign plane)
+  // are computed once for all target limbs.
+  void reduce_words_mod(std::size_t j, const u64* hi, const u64* lo,
+                        u64* out, std::size_t n, u64* scratch) const;
+  void reduce_words_mod(const simd::Kernels& k, std::size_t j,
+                        const u64* hi, const u64* lo, u64* out,
+                        std::size_t n, u64* scratch) const;
+
+ private:
+  std::vector<Modulus> moduli_;
+  u128 total_ = 1;
+  std::vector<u64> q_barrett_;
+  std::vector<ShoupMul> r64_;
+  // Garner: inv_[j] = (Π_{l<j} q_l)^{-1} mod q_j;
+  // partial_[j][l] = (Π_{l'<l} q_l') mod q_j; shift_[j] = Π_{l<j} q_l.
+  std::vector<ShoupMul> inv_;
+  std::vector<std::vector<ShoupMul>> partial_;
+  std::vector<u128> shift_;
+};
+
+}  // namespace cham

@@ -120,8 +120,10 @@ std::vector<cd> CkksEncoder::decode(const RnsPoly& poly, double scale) const {
   const std::size_t n = ctx_->n_;
   const u128 big_q = poly.base()->total_modulus();
   std::vector<cd> evals(n);
+  std::vector<u128> vals(n);
+  poly.compose_all(vals.data());
   for (std::size_t i = 0; i < n; ++i) {
-    const u128 v = poly.compose_coeff(i);
+    const u128 v = vals[i];
     const bool neg = v > big_q / 2;
     const u128 mag = neg ? big_q - v : v;
     const double d = static_cast<double>(mag);

@@ -1,5 +1,6 @@
 #include "nt/ntt.h"
 
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
@@ -9,6 +10,34 @@
 #include "obs/metrics.h"
 
 namespace cham {
+
+namespace {
+
+// 0 stays 0 (blocking off); anything else becomes a power of two >= 64
+// so spans tile the array exactly and stay above the fused-tail minimum.
+std::size_t normalize_block(std::size_t b) {
+  if (b == 0) return 0;
+  if (b < 64) b = 64;
+  while ((b & (b - 1)) != 0) b &= b - 1;
+  return b;
+}
+
+}  // namespace
+
+std::size_t NttTables::block_size() {
+  static const std::size_t cached = [] {
+    std::size_t b = 4096;
+    if (const char* env = std::getenv("CHAM_NTT_BLOCK")) {
+      if (env[0] != '\0') {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0') b = static_cast<std::size_t>(v);
+      }
+    }
+    return normalize_block(b);
+  }();
+  return cached;
+}
 
 NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
   CHAM_CHECK_MSG(is_power_of_two(n) && n >= 2, "ring dimension must be 2^k");
@@ -69,7 +98,8 @@ void NttTables::inverse(u64* a) const {
   inverse_with(simd::active(), a);
 }
 
-void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
+void NttTables::forward_with(const simd::Kernels& k, u64* a,
+                             std::size_t block_hint) const {
   const u64 q = q_.value();
   const u64 two_q = q << 1;
   if (n_ == 2) {
@@ -99,14 +129,57 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
     t >>= 1;
   }
 
-  // Fused double stages: each pass applies stage (m, t) and stage
-  // (2m, t/2) while the four coefficients of a radix-4 block are in
-  // registers — half the loads/stores and loop iterations of two
-  // radix-2 sweeps. Values stay in [0, 4q); every stage-A/B input gets
-  // one conditional -2q before use (Harvey lazy reduction).
+  // Cache blocking for large transforms: the early passes touch the
+  // whole array at long strides and cannot be localized, so they run
+  // breadth-first; once a radix-4 block's span (2t) fits the configured
+  // block, each span runs all of its remaining passes and its slice of
+  // the correction tail back-to-back while it is cache-resident. This
+  // only reorders whole kernel calls between independent index ranges,
+  // so the result is bit-exact with the unblocked schedule.
+  const std::size_t block = normalize_block(block_hint);
+  if (block != 0 && n_ > block) {
+    for (; t >= 4 && 2 * t > block; m <<= 2, t >>= 2) {
+      const std::size_t half = t >> 1;
+      for (std::size_t i = 0; i < m; ++i) {
+        const ShoupMul wa = root(m + i);
+        const ShoupMul wb0 = root(2 * m + 2 * i);
+        const ShoupMul wb1 = root(2 * m + 2 * i + 1);
+        u64* x0 = a + 2 * i * t;
+        u64* x1 = x0 + half;
+        u64* x2 = x0 + t;
+        u64* x3 = x2 + half;
+        k.ntt_fwd_dit4(x0, x1, x2, x3, half, wa.operand, wa.quotient,
+                       wb0.operand, wb0.quotient, wb1.operand, wb1.quotient,
+                       q);
+      }
+    }
+    const std::size_t span = 2 * t;  // block >= 64 keeps t >= 4 here
+    for (std::size_t o = 0; o < n_; o += span) {
+      forward_spans(k, a, o, span, m, t);
+    }
+    return;
+  }
+  forward_spans(k, a, 0, n_, m, t);
+}
+
+// Fused double stages: each pass applies stage (m, t) and stage
+// (2m, t/2) while the four coefficients of a radix-4 block are in
+// registers — half the loads/stores and loop iterations of two radix-2
+// sweeps. Values stay in [0, 4q); every stage-A/B input gets one
+// conditional -2q before use (Harvey lazy reduction). Only the blocks
+// inside [offset, offset + len) run, with their position-determined
+// global twiddles, so calling this per span is the same work in a
+// different order.
+void NttTables::forward_spans(const simd::Kernels& k, u64* a,
+                              std::size_t offset, std::size_t len,
+                              std::size_t m, std::size_t t) const {
+  const u64 q = q_.value();
   for (; t >= 4; m <<= 2, t >>= 2) {
     const std::size_t half = t >> 1;
-    for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t first = offset / (2 * t);
+    const std::size_t blocks = len / (2 * t);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t i = first + b;
       const ShoupMul wa = root(m + i);
       const ShoupMul wb0 = root(2 * m + 2 * i);
       const ShoupMul wb1 = root(2 * m + 2 * i + 1);
@@ -121,12 +194,16 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
   }
 
   // Final fused pass (t == 2): stages (m, 2) and (2m, 1), with the full
-  // correction to [0, q) folded in. At this point m == n/4, so the pass
-  // covers the whole array with per-block twiddles — a contiguous sweep
-  // for the kernel table, which vectorizes it with in-register lane
-  // swaps (strides 2 and 1 are below the vector width).
-  k.ntt_fwd_tail(a, n_, root_op_.data() + m, root_quo_.data() + m,
-                 root_op_.data() + 2 * m, root_quo_.data() + 2 * m, q);
+  // correction to [0, q) folded in. At this point m == n/4, and the
+  // tail consumes one stage-A twiddle per 4 coefficients and two
+  // stage-B twiddles per 4, so the span's slice of the planes starts at
+  // offset/4 and offset/2. A contiguous sweep for the kernel table,
+  // which vectorizes it with in-register lane swaps (strides 2 and 1
+  // are below the vector width).
+  k.ntt_fwd_tail(a + offset, len, root_op_.data() + m + offset / 4,
+                 root_quo_.data() + m + offset / 4,
+                 root_op_.data() + 2 * m + offset / 2,
+                 root_quo_.data() + 2 * m + offset / 2, q);
 }
 
 // Inverse Gentleman–Sande, lazily reduced: values stay in [0, 2q) between
@@ -134,11 +211,44 @@ void NttTables::forward_with(const simd::Kernels& k, u64* a) const {
 // Shoup multiply). The final stage is fused with the n^{-1} scaling, so
 // outputs come out fully reduced without a separate scaling pass.
 // Accepts inputs in [0, 2q).
-void NttTables::inverse_with(const simd::Kernels& k, u64* a) const {
+void NttTables::inverse_with(const simd::Kernels& k, u64* a,
+                             std::size_t block_hint) const {
   const u64 q = q_.value();
   std::size_t t = 1;
   std::size_t m = n_;
-  if (n_ >= 8) {
+  const std::size_t block = normalize_block(block_hint);
+  if (block != 0 && n_ > block) {
+    // Cache blocking, mirroring forward_with: the early short-stride
+    // stages (fused tail plus every stage whose pair span 2t fits the
+    // block) run depth-first per cache-resident span; the long-stride
+    // stages that cross spans continue breadth-first below. Whole
+    // kernel calls over independent index ranges are reordered and
+    // nothing else, so results stay bit-exact with the unblocked
+    // schedule.
+    for (std::size_t o = 0; o < n_; o += block) {
+      k.ntt_inv_tail(a + o, block, inv_root_op_.data() + n_ / 2 + o / 2,
+                     inv_root_quo_.data() + n_ / 2 + o / 2,
+                     inv_root_op_.data() + n_ / 4 + o / 4,
+                     inv_root_quo_.data() + n_ / 4 + o / 4, q);
+      std::size_t ts = 4;
+      std::size_t ms = n_ >> 2;
+      for (; 2 * ts <= block; ms >>= 1, ts <<= 1) {
+        const std::size_t h = ms >> 1;
+        const std::size_t first = o / (2 * ts);
+        const std::size_t cnt = block / (2 * ts);
+        for (std::size_t b = 0; b < cnt; ++b) {
+          const std::size_t i = first + b;
+          const ShoupMul w = inv_root(h + i);
+          k.ntt_inv_bfly(a + 2 * ts * i, a + 2 * ts * i + ts, ts,
+                         w.operand, w.quotient, q);
+        }
+      }
+    }
+    // All stages with 2t <= block are done; resume breadth-first at
+    // stride t = block (m·t == n is the loop invariant).
+    t = block;
+    m = n_ / block;
+  } else if (n_ >= 8) {
     // Fused first two passes (strides 1 and 2): one contiguous sweep for
     // the kernel table, which vectorizes both with in-register lane
     // swaps. Twiddle runs are inv_root(n/2 + i) and inv_root(n/4 + i).

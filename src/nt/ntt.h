@@ -39,13 +39,42 @@ class NttTables {
   // Same transforms on an explicit kernel table. The benches and the
   // SIMD fuzz suite use these to pit backends against each other in one
   // process; every table produces bit-identical results.
-  void forward_with(const simd::Kernels& k, u64* a) const;
-  void inverse_with(const simd::Kernels& k, u64* a) const;
+  void forward_with(const simd::Kernels& k, u64* a) const {
+    forward_with(k, a, block_size());
+  }
+  void inverse_with(const simd::Kernels& k, u64* a) const {
+    inverse_with(k, a, block_size());
+  }
+
+  // Explicit cache-block override (coefficients; 0 disables blocking,
+  // other values as documented on block_size). Tests and benches use
+  // these to compare schedules in one process; results are bit-exact
+  // for every block value.
+  void forward_with(const simd::Kernels& k, u64* a,
+                    std::size_t block) const;
+  void inverse_with(const simd::Kernels& k, u64* a,
+                    std::size_t block) const;
 
   void forward(std::vector<u64>& a) const { forward(a.data()); }
   void inverse(std::vector<u64>& a) const { inverse(a.data()); }
 
+  // Cache block size in coefficients for large transforms, from
+  // CHAM_NTT_BLOCK (parsed once per process): 0 disables blocking, other
+  // values are rounded down to a power of two and clamped to >= 64.
+  // Blocking engages when n exceeds the block size: the strided early
+  // (forward) / late (inverse) passes run breadth-first over the whole
+  // array, and everything below the block size runs depth-first per
+  // cache-resident span. Pure reordering of whole kernel calls, so
+  // results are bit-exact with the unblocked schedule at every level.
+  static std::size_t block_size();
+
  private:
+  // Fused radix-4 passes from (m, t) down plus the final correction
+  // tail, restricted to the span [offset, offset + len) — the forward
+  // depth-first worker; forward_with calls it once with the full range
+  // when blocking is off.
+  void forward_spans(const simd::Kernels& k, u64* a, std::size_t offset,
+                     std::size_t len, std::size_t m, std::size_t t) const;
   std::size_t n_;
   int log_n_;
   Modulus q_;

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "simd/kernels.h"
 
 namespace cham {
 
@@ -24,25 +25,25 @@ RnsBasePtr RnsBase::create(std::size_t n, const std::vector<u64>& primes) {
       CHAM_CHECK_MSG(primes[i] != primes[j], "RNS primes must be distinct");
     }
   }
+  // Every kernel call on this base will take the double-word path when
+  // all primes sit above the single-word IFMA bound; say so once so a
+  // surprising throughput profile is explainable from the logs.
+  simd::note_ifma_wide_context(primes.data(), primes.size());
 
+  // Freeze the span-wise CRT engine (Garner Shoup pairs, Barrett ratios,
+  // 2^64 mod q_j) and the rescale constants once; every compose / lift /
+  // divide-and-round over this base reuses them instead of recomputing
+  // inverses and quotients per call.
+  base->crt_ = CrtSpans(base->moduli_);
+  base->total_ = base->crt_.total();
   const std::size_t k = primes.size();
-  base->inv_.resize(k);
-  base->partial_.resize(k);
-  base->shift_.resize(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    const Modulus& qj = base->moduli_[j];
-    u64 prod = 1;  // Π_{l<j} q_l mod q_j
-    base->partial_[j].resize(j + 1);
-    base->partial_[j][0] = 1 % qj.value();
-    u128 shift = 1;
-    for (std::size_t l = 0; l < j; ++l) {
-      prod = qj.mul(prod, primes[l] % qj.value());
-      base->partial_[j][l + 1] = prod;
-      shift *= primes[l];
+  if (k >= 2) {
+    const u64 pv = primes[k - 1];
+    base->rescale_pinv_.resize(k - 1);
+    for (std::size_t l = 0; l + 1 < k; ++l) {
+      const Modulus& ql = base->moduli_[l];
+      base->rescale_pinv_[l] = make_shoup(ql.inv(pv % ql.value()), ql);
     }
-    base->shift_[j] = shift;
-    base->inv_[j] = (j == 0) ? 1 : qj.inv(prod);
-    base->total_ *= primes[j];
   }
   return base;
 }
@@ -54,28 +55,11 @@ double RnsBase::total_modulus_log2() const {
 }
 
 u128 RnsBase::compose(const u64* residues) const {
-  // Garner mixed-radix: x = y_0 + y_1 q_0 + y_2 q_0 q_1 + ...
-  const std::size_t k = moduli_.size();
-  u128 value = 0;
-  std::vector<u64> y(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    const Modulus& qj = moduli_[j];
-    // acc = (y_0 + y_1 P_1 + ... + y_{j-1} P_{j-1}) mod q_j
-    u64 acc = 0;
-    for (std::size_t l = 0; l < j; ++l) {
-      acc = qj.add(acc, qj.mul(y[l] % qj.value(), partial_[j][l]));
-    }
-    const u64 xj = residues[j] % qj.value();
-    y[j] = qj.mul(qj.sub(xj, acc), inv_[j]);
-    value += static_cast<u128>(y[j]) * shift_[j];
-  }
-  return value;
+  return crt_.compose_value(residues);
 }
 
 void RnsBase::decompose(u128 value, u64* residues_out) const {
-  for (std::size_t i = 0; i < moduli_.size(); ++i) {
-    residues_out[i] = static_cast<u64>(value % moduli_[i].value());
-  }
+  crt_.decompose_value(value, residues_out);
 }
 
 bool RnsBase::is_prefix_of(const RnsBase& other) const {
@@ -222,6 +206,11 @@ u128 RnsPoly::compose_coeff(std::size_t i) const {
   return base_->compose(residues.data());
 }
 
+void RnsPoly::compose_all(u128* out) const {
+  CHAM_CHECK_MSG(!ntt_form_, "compose requires coefficient domain");
+  base_->crt().compose_spans(data_.data(), n(), n(), out);
+}
+
 RnsPoly add(const RnsPoly& a, const RnsPoly& b) {
   RnsPoly out = a;
   out.add_inplace(b);
@@ -297,15 +286,16 @@ void divide_round_by_last_into(const RnsPoly& x, RnsPoly& out) {
   // round(x/p). The fused kernel reduces r (or p - r) mod q_l with the
   // precomputed floor(2^64/q_l), folds it into x_l, and multiplies by
   // p^{-1} as a Shoup pair — bit-exact with the former Barrett loop.
+  // Both constants are frozen on the source base at creation (the target
+  // is its prefix, so modulus l is the same prime on either side).
+  const RnsBase& src = *x.base();
   const u64* xp = x.limb(k);
   for (std::size_t l = 0; l < k; ++l) {
-    const Modulus& ql = target->modulus(l);
-    const u64 qv = ql.value();
-    const u64 q_barrett = static_cast<u64>(
-        (static_cast<u128>(1) << 64) / qv);
-    const ShoupMul p_inv = make_shoup(ql.inv(pv % qv), ql);
+    const u64 qv = src.modulus(l).value();
+    const ShoupMul& p_inv = src.rescale_pinv(l);
     simd::active().rescale_round(x.limb(l), xp, out.limb(l), x.n(), pv, qv,
-                                 q_barrett, p_inv.operand, p_inv.quotient);
+                                 src.crt().q_barrett(l), p_inv.operand,
+                                 p_inv.quotient);
   }
 }
 
@@ -313,15 +303,34 @@ RnsPoly lift_centered(const RnsPoly& x, RnsBasePtr target) {
   CHAM_CHECK_MSG(!x.is_ntt(), "lift requires coefficient domain");
   CHAM_CHECK(target->n() == x.n());
   const u128 q = x.base()->total_modulus();
+  const u128 half = q / 2;
+  const std::size_t n = x.n();
   RnsPoly out(target, false);
-  for (std::size_t i = 0; i < x.n(); ++i) {
-    const u128 v = x.compose_coeff(i);
-    const bool negative = v > q / 2;
+  // Span-wise: one Garner compose for the whole polynomial, one pass to
+  // split the centered magnitudes into 64-bit halves plus a sign plane,
+  // then per target limb a word-wise reduction sweep and a sign fix-up —
+  // no per-coefficient u128 division anywhere.
+  std::vector<u128> vals(n);
+  x.compose_all(vals.data());
+  simd::AlignedU64Vec hi(n);
+  simd::AlignedU64Vec lo(n);
+  simd::AlignedU64Vec scratch(n);
+  std::vector<unsigned char> neg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 v = vals[i];
+    const bool negative = v > half;
     const u128 mag = negative ? q - v : v;
-    for (std::size_t l = 0; l < target->size(); ++l) {
-      const Modulus& m = target->modulus(l);
-      const u64 r = static_cast<u64>(mag % m.value());
-      out.limb(l)[i] = negative ? m.negate(r) : r;
+    neg[i] = negative ? 1 : 0;
+    hi[i] = static_cast<u64>(mag >> 64);
+    lo[i] = static_cast<u64>(mag);
+  }
+  for (std::size_t l = 0; l < target->size(); ++l) {
+    const Modulus& m = target->modulus(l);
+    u64* ol = out.limb(l);
+    target->crt().reduce_words_mod(l, hi.data(), lo.data(), ol, n,
+                                   scratch.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (neg[i]) ol[i] = m.negate(ol[i]);
     }
   }
   return out;

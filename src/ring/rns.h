@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bignum/crt.h"
 #include "nt/modulus.h"
 #include "nt/ntt.h"
 #include "ring/poly_ops.h"
@@ -40,6 +41,18 @@ class RnsBase : public std::enable_shared_from_this<RnsBase> {
   // Residues of an arbitrary u128 value.
   void decompose(u128 value, u64* residues_out) const;
 
+  // The frozen span-wise CRT engine over this chain (Garner Shoup pairs,
+  // per-modulus Barrett ratios, 2^64 mod q_j) — shared by compose_all,
+  // lift_centered, and the rescale constants below.
+  const CrtSpans& crt() const { return crt_; }
+
+  // Frozen rescale constant for divide_round_by_last: the last prime's
+  // inverse mod q_l as a Shoup pair (l < size() - 1; only built when the
+  // chain has at least two limbs).
+  const ShoupMul& rescale_pinv(std::size_t l) const {
+    return rescale_pinv_[l];
+  }
+
   // True if `other` equals this base without its last limb.
   bool is_prefix_of(const RnsBase& other) const;
 
@@ -49,12 +62,8 @@ class RnsBase : public std::enable_shared_from_this<RnsBase> {
   std::vector<Modulus> moduli_;
   std::vector<std::shared_ptr<const NttTables>> ntt_;
   u128 total_ = 1;
-  // Garner: inv_[j] = (Π_{i<j} q_i)^{-1} mod q_j;
-  // partial_[j][i] = (Π_{l<i} q_l) mod q_j (for i <= j);
-  // shift_[j] = Π_{l<j} q_l as u128.
-  std::vector<u64> inv_;
-  std::vector<std::vector<u64>> partial_;
-  std::vector<u128> shift_;
+  CrtSpans crt_;
+  std::vector<ShoupMul> rescale_pinv_;
 };
 
 // An RNS polynomial bound to a base; tracks whether limbs are in NTT form.
@@ -109,6 +118,12 @@ class RnsPoly {
 
   // Centered coefficient i as an integer (coefficient domain).
   u128 compose_coeff(std::size_t i) const;
+  // All n composed coefficients at once (coefficient domain; out holds
+  // n() values). Runs the base's span-wise Garner engine — whole-limb
+  // kernel sweeps instead of n per-coefficient recursions — and is
+  // bit-exact with compose_coeff at every index. Decryption and CKKS
+  // decode use this.
+  void compose_all(u128* out) const;
 
   friend RnsPoly add(const RnsPoly& a, const RnsPoly& b);
   friend RnsPoly sub(const RnsPoly& a, const RnsPoly& b);

@@ -1,5 +1,6 @@
 #include "simd/kernels.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -114,6 +115,27 @@ Level resolve_level(const char* env, std::string* warning) {
     return fallback;
   }
   return want;
+}
+
+bool ifma_context_all_wide(Level level, const u64* moduli,
+                           std::size_t count) {
+  if (level != Level::kAvx512Ifma || count == 0) return false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ifma_eligible(moduli[i])) return false;
+  }
+  return true;
+}
+
+bool note_ifma_wide_context(const u64* moduli, std::size_t count) {
+  if (!ifma_context_all_wide(active_level(), moduli, count)) return false;
+  obs::MetricsRegistry::global().counter("simd.ifma.wide_context").add(1);
+  static std::atomic_flag noted = ATOMIC_FLAG_INIT;
+  if (noted.test_and_set(std::memory_order_relaxed)) return false;
+  std::fprintf(stderr,
+               "cham: avx512ifma selected but every context modulus is >= "
+               "2^50 (kIfmaQBound); the whole context runs on the "
+               "double-word two-limb datapath\n");
+  return true;
 }
 
 const Kernels& active() { return *dispatch().table; }

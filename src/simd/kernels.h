@@ -18,8 +18,9 @@
 //     64-bit x and returns exactly x·w mod q — except at the avx512ifma
 //     level with q < kIfmaQBound, where the 52-bit product window
 //     narrows the x domain to x < 2^52 (every in-tree call site passes
-//     x < 4q < 2^52; for q >= kIfmaQBound the IFMA table delegates to
-//     the 64-bit AVX-512 path and the full-range contract holds);
+//     x < 4q < 2^52; for q >= kIfmaQBound the IFMA table runs the
+//     double-word two-limb path, which recomposes the exact 64-bit
+//     product and keeps the full-range contract);
 //   * the Harvey-lazy NTT primitives keep values in [0, 4q) (forward) /
 //     [0, 2q) (inverse) exactly like the scalar transform in nt/ntt.cc.
 //     The 52-bit path produces lazy representatives that may differ from
@@ -46,12 +47,22 @@ enum class Level : int {
   kAvx512Ifma = 3,
 };
 
-// The 52-bit-limb path needs every lazy intermediate (< 4q) below the
-// vpmadd52 product window (2^52), i.e. q < 2^50. The IFMA kernels check
-// q against this bound at runtime and delegate to the 64-bit AVX-512
-// bodies above it, so the table stays correct for the full q < 2^62
-// domain. CHAM's working moduli (34/34/38 bits) sit far below the bound.
+// The single-word 52-bit-limb path needs every lazy intermediate (< 4q)
+// below the vpmadd52 product window (2^52), i.e. q < 2^50. The IFMA
+// kernels check q against this bound at runtime and switch to the
+// double-word path (two 52-bit limbs per operand, exact 64-bit Shoup
+// arithmetic recomposed from paired vpmadd52 half products — see
+// kernels_scalar104.h) above it, so the table stays correct for the full
+// q < 2^62 domain. CHAM's working moduli (34/34/38 bits) sit far below
+// the bound; the base-conversion/rescale special primes sit above it.
 inline constexpr u64 kIfmaQBound = 1ULL << 50;
+
+// Single predicate for "this modulus runs on the single-word 52-bit IFMA
+// path" — use this instead of spelling q < kIfmaQBound at call sites.
+// Kernel-internal; the IFMA table itself routes per call through
+// ifma_use52() (which also stamps the simd.ifma.delegated counter), but
+// planners/tests asking "which datapath would q take?" go through here.
+inline bool ifma_eligible(u64 q) { return q < kIfmaQBound; }
 
 struct Kernels {
   // --- element-wise mod-q ops (operands < q) ---
@@ -190,6 +201,21 @@ bool parse_level(const char* s, Level* out);
 // so tests can exercise the fallback paths without re-execing; dispatch
 // applies it once at startup and prints the warning to stderr.
 Level resolve_level(const char* env, std::string* warning);
+
+// True when `level` is the IFMA level and NONE of the `count` context
+// moduli fits the single-word 52-bit datapath — i.e. the whole context
+// will run on the double-word limb path under the `avx512ifma` label.
+// Pure companion to resolve_level (which has no modulus knowledge), so
+// tests can probe the predicate without touching process state.
+bool ifma_context_all_wide(Level level, const u64* moduli,
+                           std::size_t count);
+
+// Context-creation hook: when ifma_context_all_wide holds for the
+// dispatched level, print a one-line note to stderr (once per process)
+// and bump the simd.ifma.wide_context counter, so an all-wide modulus
+// chain never runs silently under the avx512ifma label. Returns whether
+// this call fired the note.
+bool note_ifma_wide_context(const u64* moduli, std::size_t count);
 
 }  // namespace simd
 }  // namespace cham

@@ -114,6 +114,19 @@ struct Avx2 {
     return _mm256_set_epi64x(-1, -1, 0, 0);
   }
 
+  // Lane i <-> lane i^(W/2): with W = 4 this is the 128-bit half swap.
+  static inline reg swaph(reg v) { return swap2(v); }
+  // [a0,a1,b0,b1]: the low halves of a and b, concatenated.
+  static inline reg cat_lo(reg a, reg b) {
+    return _mm256_permute2x128_si256(a, b, 0x20);
+  }
+  // [a2,a3,b2,b3]: the high halves of a and b, concatenated.
+  static inline reg cat_hi(reg a, reg b) {
+    return _mm256_permute2x128_si256(a, b, 0x31);
+  }
+  // Lanes W/2..W-1 set: selects the high register half.
+  static inline mask hih_mask() { return hi2_mask(); }
+
   static inline void interleave_store(u64* dst, reg lo, reg hi) {
     const reg ab = _mm256_unpacklo_epi64(lo, hi);  // l0 h0 l2 h2
     const reg cd = _mm256_unpackhi_epi64(lo, hi);  // l1 h1 l3 h3

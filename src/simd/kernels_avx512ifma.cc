@@ -1,27 +1,43 @@
 // AVX-512-IFMA backend: 8 u64 lanes, 52-bit limbs. vpmadd52luq /
-// vpmadd52huq give a single-instruction 52x52-bit multiply-add, so the
-// Shoup product drops the four-instruction emulated 64-bit mulhi for
-// one madd52hi (quotient estimate) plus two madd52lo (low products).
+// vpmadd52huq give a single-instruction 52x52-bit multiply-add, and the
+// backend runs one of two limb disciplines per call depending on q:
 //
-// The Ifma traits inherit everything structural from the shared Avx512
-// body and override only the limb-width seam: prep_quo shifts the
-// loaded 64-bit Shoup quotients right by 12 (the identity
-// floor(quo64 / 2^12) = floor(w·2^52 / q) means no separate tables),
-// shoup_lazy runs on the 52-bit window, and loop tails route through
-// ScalarRef52 so tails stay bit-exact with the vector body.
+//   * q < kIfmaQBound — single-word: operands fit one 52-bit limb, the
+//     Shoup product drops the four-instruction emulated 64-bit mulhi for
+//     one madd52hi (quotient estimate) plus two madd52lo (low products).
+//     The Ifma traits inherit everything structural from the shared
+//     Avx512 body and override only the limb-width seam: prep_quo shifts
+//     the loaded 64-bit Shoup quotients right by 12 (the identity
+//     floor(quo64 / 2^12) = floor(w·2^52 / q) means no separate tables),
+//     shoup_lazy runs on the 52-bit window, and loop tails route through
+//     ScalarRef52.
 //
-// Domain: the 52-bit path needs q < kIfmaQBound (2^50) so that lazy
-// values < 4q fit the hardware's 52-bit operand mask. Every exported
-// kernel checks q once and falls back to the 64-bit VecKernels<Avx512>
-// instantiation in this TU otherwise, preserving the full q < 2^62
-// contract of the dispatch table.
+//   * q >= kIfmaQBound — double-word: each operand is two 52-bit limbs
+//     (x = lo52(x) + (x >> 52)·2^52) and the EXACT 64-bit mulhi is
+//     recomposed from six vpmadd52 half products (see
+//     kernels_scalar104.h for the identity and the carry-freeness
+//     proof). The Ifma104 traits override only mulhi/shoup_lazy on top
+//     of Avx512, so the shared VecKernels bodies — including the
+//     template rescale_round and barrett_reduce, which call V::mulhi
+//     directly — pick up the cheaper recomposition automatically. Loop
+//     tails route through ScalarRef104 (bit-identical to the 64-bit
+//     scalar reference, so the level keeps the dispatch table's exact
+//     output contract at every q < 2^62).
+//
+// Before this double-word path existed the wide-q gates delegated to a
+// VecKernels<Avx512> instantiation in this TU; nothing delegates now,
+// but every wide-q call is still counted (simd.ifma.delegated — the
+// name predates the dw path and now means "left the single-word path")
+// so datapath selection stays observable in CHAM-METRICS.
 #include "simd/tables.h"
 
 #ifdef CHAM_SIMD_AVX512IFMA
 
 #include <immintrin.h>
 
+#include "obs/metrics.h"
 #include "simd/kernels_scalar.h"
+#include "simd/kernels_scalar104.h"
 #include "simd/kernels_scalar52.h"
 
 namespace cham {
@@ -50,6 +66,53 @@ struct Ifma : Avx512 {
   }
 };
 
+// Double-word traits for q >= kIfmaQBound: exact 64-bit arithmetic with
+// the mulhi recomposed from 52-bit half products. Everything else —
+// mullo (vpmullq), csub, the lane shuffles — is the plain Avx512
+// discipline, so overriding mulhi alone upgrades every VecKernels body.
+struct Ifma104 : Avx512 {
+  // Exactness makes the scalar-tail choice free: the 64-bit scalar
+  // reference computes the very same values as the limb recomposition
+  // (kernels_scalar104 proves the identity), and its one u128 multiply
+  // is ~6x cheaper than the recomposed scalar mulhi — the NTT's
+  // small-count stages (t = 4 runs the whole sweep through the tails)
+  // would otherwise be double-word-scalar bound.
+  using ScalarRef = ScalarRef64;
+
+  // Exact high 64 bits of a*b. With a = a0 + a1·2^52 (a1 = a>>52 <
+  // 2^12), b likewise:
+  //   t = hi52(a0b0) + lo52(a1b0) + lo52(a0b1)        (< 2^54)
+  //   c = a1·b1 + hi52(a1b0) + hi52(a0b1)             (< 2^25)
+  //   mulhi64(a,b) = (c << 40) + (t >> 12)            exactly.
+  // The madd52 operands are hardware-masked to their low 52 bits, so
+  // only the two >>52 shifts exposing the high limbs are explicit.
+  // Six madd52 + four shift/adds vs the sixteen-op 32x32 recomposition
+  // in the Avx512 base — see kernels_scalar104.h for the proof that no
+  // carry is dropped. (Splitting the 3-deep madd52 accumulation chains
+  // into 2-deep pairs joined by adds was measured slower: the butterfly
+  // sweeps are throughput-bound on the FMA ports, so the two extra uops
+  // cost more than the shorter critical path saves.)
+  static inline reg mulhi(reg a, reg b) {
+    const reg zero = _mm512_setzero_si512();
+    const reg a1 = _mm512_srli_epi64(a, 52);
+    const reg b1 = _mm512_srli_epi64(b, 52);
+    reg t = _mm512_madd52hi_epu64(zero, a, b);
+    t = _mm512_madd52lo_epu64(t, a1, b);
+    t = _mm512_madd52lo_epu64(t, a, b1);
+    reg c = _mm512_madd52lo_epu64(zero, a1, b1);
+    c = _mm512_madd52hi_epu64(c, a1, b);
+    c = _mm512_madd52hi_epu64(c, a, b1);
+    return _mm512_add_epi64(_mm512_slli_epi64(c, 40), _mm512_srli_epi64(t, 12));
+  }
+
+  // The standard 64-bit Harvey lazy product on the recomposed mulhi —
+  // bit-identical to the Avx512/scalar path in every intermediate
+  // (the quotient estimate is exact, not approximate).
+  static inline reg shoup_lazy(reg x, reg op, reg quo, reg q) {
+    return sub(mullo(x, op), mullo(mulhi(x, quo), q));
+  }
+};
+
 }  // namespace
 
 }  // namespace simd
@@ -63,92 +126,182 @@ namespace simd {
 namespace {
 
 using K52 = VecKernels<Ifma>;
-using K64 = VecKernels<Avx512>;
+using K104 = VecKernels<Ifma104>;
 
-// q-gate wrappers: 52-bit path when 4q fits the IFMA operand window,
-// 64-bit AVX-512 path (same TU, internal instantiation) otherwise.
+// Per-call datapath gate: single-word when 4q fits the IFMA operand
+// window, double-word otherwise. Wide-q traffic is counted so the
+// metrics dump shows how much work left the single-word path — but in
+// thread-local batches: one NTT makes hundreds of small-count kernel
+// calls, and a lock-prefixed add per call (~20 cycles) is measurable
+// against the butterflies themselves. The registry counter therefore
+// lags by up to kFlush-1 calls per thread; it reports traffic volume,
+// not an exact call count.
+inline bool use52(u64 q) {
+  if (ifma_eligible(q)) return true;
+  constexpr u64 kFlush = 64;
+  thread_local u64 pending = 0;
+  if (++pending >= kFlush) {
+    static obs::Counter& delegated =
+        obs::MetricsRegistry::global().counter("simd.ifma.delegated");
+    delegated.add(pending);
+    pending = 0;
+  }
+  return false;
+}
+
 void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
                std::size_t n, u64 q) {
-  (q < kIfmaQBound ? K52::mul_shoup : K64::mul_shoup)(x, w_op, w_quo, out,
-                                                      n, q);
+  (use52(q) ? K52::mul_shoup : K104::mul_shoup)(x, w_op, w_quo, out, n, q);
+}
+
+// Dedicated double-word MAC: folding the lazy product (< 2q) straight
+// into the reduced accumulator and correcting the sum from [0, 3q) with
+// two conditional subtractions saves the separate full reduction of the
+// product that the template body (shoup full + add + csub) pays. Final
+// values are identical — both are fully reduced.
+void dw_mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                      u64* out, std::size_t n, u64 q) {
+  using V = Ifma104;
+  // csub(a, m) = a >= m ? a - m : a (the wrapped difference is huge, so
+  // umin picks the unwrapped value) — same helper VecKernels uses.
+  const auto csub = [](V::reg a, V::reg m) { return V::umin(a, V::sub(a, m)); };
+  const V::reg vq = V::set1(q);
+  const V::reg v2q = V::set1(q << 1);
+  std::size_t i = 0;
+  for (; i + 2 * V::W <= n; i += 2 * V::W) {
+    const V::reg r0 = V::shoup_lazy(V::load(x + i), V::load(w_op + i),
+                                    V::load(w_quo + i), vq);
+    const V::reg r1 =
+        V::shoup_lazy(V::load(x + i + V::W), V::load(w_op + i + V::W),
+                      V::load(w_quo + i + V::W), vq);
+    V::reg s0 = V::add(V::load(out + i), r0);
+    V::reg s1 = V::add(V::load(out + i + V::W), r1);
+    s0 = csub(s0, v2q);
+    s1 = csub(s1, v2q);
+    V::store(out + i, csub(s0, vq));
+    V::store(out + i + V::W, csub(s1, vq));
+  }
+  for (; i + V::W <= n; i += V::W) {
+    const V::reg r = V::shoup_lazy(V::load(x + i), V::load(w_op + i),
+                                   V::load(w_quo + i), vq);
+    V::reg s = V::add(V::load(out + i), r);
+    s = csub(s, v2q);
+    V::store(out + i, csub(s, vq));
+  }
+  if (i < n) {
+    ScalarRef64::mul_shoup_acc(x + i, w_op + i, w_quo + i, out + i, n - i,
+                               q);
+  }
 }
 
 void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
                    u64* out, std::size_t n, u64 q) {
-  (q < kIfmaQBound ? K52::mul_shoup_acc : K64::mul_shoup_acc)(
-      x, w_op, w_quo, out, n, q);
+  (use52(q) ? K52::mul_shoup_acc : dw_mul_shoup_acc)(x, w_op, w_quo, out, n,
+                                                     q);
+}
+
+// Same two-csub accumulation for the fixed-scalar MAC (digit lifting's
+// inner product runs on this shape).
+void dw_mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                             std::size_t n, u64 q) {
+  using V = Ifma104;
+  const auto csub = [](V::reg a, V::reg m) { return V::umin(a, V::sub(a, m)); };
+  const V::reg vq = V::set1(q);
+  const V::reg v2q = V::set1(q << 1);
+  const V::reg vop = V::set1(op);
+  const V::reg vquo = V::set1(quo);
+  std::size_t i = 0;
+  for (; i + 2 * V::W <= n; i += 2 * V::W) {
+    const V::reg r0 = V::shoup_lazy(V::load(x + i), vop, vquo, vq);
+    const V::reg r1 = V::shoup_lazy(V::load(x + i + V::W), vop, vquo, vq);
+    V::reg s0 = V::add(V::load(out + i), r0);
+    V::reg s1 = V::add(V::load(out + i + V::W), r1);
+    s0 = csub(s0, v2q);
+    s1 = csub(s1, v2q);
+    V::store(out + i, csub(s0, vq));
+    V::store(out + i + V::W, csub(s1, vq));
+  }
+  for (; i + V::W <= n; i += V::W) {
+    const V::reg r = V::shoup_lazy(V::load(x + i), vop, vquo, vq);
+    V::reg s = V::add(V::load(out + i), r);
+    s = csub(s, v2q);
+    V::store(out + i, csub(s, vq));
+  }
+  if (i < n) {
+    ScalarRef64::mul_scalar_shoup_acc(x + i, op, quo, out + i, n - i, q);
+  }
 }
 
 void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
                       std::size_t n, u64 q) {
-  (q < kIfmaQBound ? K52::mul_scalar_shoup : K64::mul_scalar_shoup)(
-      x, op, quo, out, n, q);
+  (use52(q) ? K52::mul_scalar_shoup : K104::mul_scalar_shoup)(x, op, quo,
+                                                              out, n, q);
 }
 
 void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
                           std::size_t n, u64 q) {
-  (q < kIfmaQBound ? K52::mul_scalar_shoup_acc : K64::mul_scalar_shoup_acc)(
+  (use52(q) ? K52::mul_scalar_shoup_acc : dw_mul_scalar_shoup_acc)(
       x, op, quo, out, n, q);
 }
 
 void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
                   u64 q) {
-  (q < kIfmaQBound ? K52::ntt_fwd_bfly : K64::ntt_fwd_bfly)(x, y, count,
-                                                            w_op, w_quo, q);
+  (use52(q) ? K52::ntt_fwd_bfly : K104::ntt_fwd_bfly)(x, y, count, w_op,
+                                                      w_quo, q);
 }
 
 void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
                   u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
                   u64 wb1_op, u64 wb1_quo, u64 q) {
-  (q < kIfmaQBound ? K52::ntt_fwd_dit4 : K64::ntt_fwd_dit4)(
+  (use52(q) ? K52::ntt_fwd_dit4 : K104::ntt_fwd_dit4)(
       x0, x1, x2, x3, count, wa_op, wa_quo, wb0_op, wb0_quo, wb1_op,
       wb1_quo, q);
 }
 
 void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
                   u64 q) {
-  (q < kIfmaQBound ? K52::ntt_inv_bfly : K64::ntt_inv_bfly)(x, y, count,
-                                                            w_op, w_quo, q);
+  (use52(q) ? K52::ntt_inv_bfly : K104::ntt_inv_bfly)(x, y, count, w_op,
+                                                      w_quo, q);
 }
 
 void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
                   u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q) {
-  (q < kIfmaQBound ? K52::ntt_inv_last : K64::ntt_inv_last)(
+  (use52(q) ? K52::ntt_inv_last : K104::ntt_inv_last)(
       x, y, count, ninv_op, ninv_quo, nw_op, nw_quo, q);
 }
 
 void ntt_fwd_tail(u64* a, std::size_t n, const u64* wa_op,
                   const u64* wa_quo, const u64* wb_op, const u64* wb_quo,
                   u64 q) {
-  (q < kIfmaQBound ? K52::ntt_fwd_tail : K64::ntt_fwd_tail)(
-      a, n, wa_op, wa_quo, wb_op, wb_quo, q);
+  (use52(q) ? K52::ntt_fwd_tail : K104::ntt_fwd_tail)(a, n, wa_op, wa_quo,
+                                                      wb_op, wb_quo, q);
 }
 
 void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
                   const u64* w1_quo, const u64* w2_op, const u64* w2_quo,
                   u64 q) {
-  (q < kIfmaQBound ? K52::ntt_inv_tail : K64::ntt_inv_tail)(
-      a, n, w1_op, w1_quo, w2_op, w2_quo, q);
+  (use52(q) ? K52::ntt_inv_tail : K104::ntt_inv_tail)(a, n, w1_op, w1_quo,
+                                                      w2_op, w2_quo, q);
 }
 
 void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
                   const u64* w_op, const u64* w_quo, std::size_t mask,
                   u64 q) {
-  (q < kIfmaQBound ? K52::cg_fwd_stage : K64::cg_fwd_stage)(
-      src, dst, half, w_op, w_quo, mask, q);
+  (use52(q) ? K52::cg_fwd_stage : K104::cg_fwd_stage)(src, dst, half, w_op,
+                                                      w_quo, mask, q);
 }
 
 void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
                   const u64* w_op, const u64* w_quo, std::size_t mask,
                   u64 q) {
-  (q < kIfmaQBound ? K52::cg_inv_stage : K64::cg_inv_stage)(
-      src, dst, half, w_op, w_quo, mask, q);
+  (use52(q) ? K52::cg_inv_stage : K104::cg_inv_stage)(src, dst, half, w_op,
+                                                      w_quo, mask, q);
 }
 
 void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
                    u64 pv, u64 q, u64 q_barrett, u64 pinv_op,
                    u64 pinv_quo) {
-  (q < kIfmaQBound ? K52::rescale_round : K64::rescale_round)(
+  (use52(q) ? K52::rescale_round : K104::rescale_round)(
       xl, xp, out, n, pv, q, q_barrett, pinv_op, pinv_quo);
 }
 
@@ -156,9 +309,9 @@ void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
 
 const Kernels* avx512ifma_table() {
   static const Kernels table = {
-      K64::add,
-      K64::sub,
-      K64::negate,
+      K104::add,
+      K104::sub,
+      K104::negate,
       mul_shoup,
       mul_shoup_acc,
       mul_scalar_shoup,
@@ -171,12 +324,13 @@ const Kernels* avx512ifma_table() {
       ntt_inv_tail,
       cg_fwd_stage,
       cg_inv_stage,
-      K64::permute,
-      K64::neg_rev,
+      K104::permute,
+      K104::neg_rev,
       rescale_round,
-      // No Shoup multiply inside: the Barrett step always runs on the
-      // 64-bit mulhi, so the 64-bit instantiation is exact at any q.
-      K64::barrett_reduce,
+      // Exact at any q — the Barrett step runs on the recomposed 64-bit
+      // mulhi, which is both exact and cheaper than the 32x32 emulation,
+      // so no q gate is needed.
+      K104::barrett_reduce,
   };
   return &table;
 }

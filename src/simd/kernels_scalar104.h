@@ -1,0 +1,140 @@
+// Internal: the double-word (two 52-bit limb) scalar reference for the
+// AVX-512-IFMA wide-modulus path.
+//
+// For q >= kIfmaQBound the single-word 52-bit path is unusable (lazy
+// values < 4q no longer fit the vpmadd52 product window), so the IFMA
+// backend represents every 64-bit operand in-register as two 52-bit
+// limbs, x = x0 + x1*2^52 with x1 < 2^12, and recomposes the EXACT
+// 64-bit Shoup arithmetic out of paired vpmadd52luq/vpmadd52huq half
+// products. The pivotal identity, with a = a0 + a1*2^52 and
+// b = b0 + b1*2^52:
+//
+//   a*b = lo52(a0*b0)
+//       + [hi52(a0*b0) + lo52(a1*b0) + lo52(a0*b1)] * 2^52      (= t)
+//       + [a1*b1 + hi52(a1*b0) + hi52(a0*b1)]       * 2^104     (= c)
+//
+// and because t < 2^54 while lo52(a0*b0) + (t mod 2^12)*2^52 < 2^64
+// carries nowhere, the high word is exactly
+//
+//   mulhi64(a, b) = (c << 40) + (t >> 12).
+//
+// (a1*b1 < 2^24 so its low-52 product is already exact; the whole c
+// column fits 25 bits.) Every madd52 operand is hardware-masked to its
+// low 52 bits, so no explicit limb masking is needed — only the two
+// >> 52 shifts that expose a1/b1. Six madd52 + four shifts/adds replace
+// the sixteen-op 32x32 recomposition of the 64-bit AVX-512 mulhi.
+//
+// Because the quotient estimate floor(x*quo64 / 2^64) is recomposed
+// EXACTLY, the double-word kernels are bit-identical to the 64-bit
+// scalar reference (kernels_scalar.h) in every lazy intermediate —
+// unlike the single-word 52-bit path, whose truncated quotient may
+// differ by one. This table therefore pins the limb/carry discipline
+// (the fuzz suite runs the vector kernels against it) while also
+// certifying no-representative-divergence against the canonical scalar
+// table.
+//
+// Domain: any q < 2^62 (the full dispatch-table contract) and any
+// 64-bit x.
+#pragma once
+
+#include "simd/kernels.h"
+#include "simd/kernels_scalar.h"
+#include "simd/kernels_scalar52.h"
+
+namespace cham {
+namespace simd {
+namespace scalar104 {
+
+// Exact high 64 bits of a*b, recomposed from 52-bit half products — the
+// scalar mirror of the vector path's madd52 chain (same association,
+// same carry points).
+inline u64 mulhi64(u64 a, u64 b) {
+  const u64 a1 = a >> 52;
+  const u64 b1 = b >> 52;
+  u64 t = scalar52::madd52hi(0, a, b);
+  t = scalar52::madd52lo(t, a1, b);
+  t = scalar52::madd52lo(t, a, b1);
+  u64 c = scalar52::madd52lo(0, a1, b1);
+  c = scalar52::madd52hi(c, a1, b);
+  c = scalar52::madd52hi(c, a, b1);
+  return (c << 40) + (t >> 12);
+}
+
+// x*w mod q in [0, 2q): the standard 64-bit Harvey lazy product with the
+// quotient estimate on the limb-recomposed mulhi64. Bit-identical to
+// scalar::shoup_mul_lazy for all inputs.
+inline u64 shoup_mul_lazy(u64 x, u64 op, u64 quo, u64 q) {
+  return x * op - mulhi64(x, quo) * q;
+}
+
+inline u64 shoup_mul(u64 x, u64 op, u64 quo, u64 q) {
+  const u64 r = shoup_mul_lazy(x, op, quo, q);
+  return r >= q ? r - q : r;
+}
+
+void mul_shoup(const u64* x, const u64* w_op, const u64* w_quo, u64* out,
+               std::size_t n, u64 q);
+void mul_shoup_acc(const u64* x, const u64* w_op, const u64* w_quo,
+                   u64* out, std::size_t n, u64 q);
+void mul_scalar_shoup(const u64* x, u64 op, u64 quo, u64* out,
+                      std::size_t n, u64 q);
+void mul_scalar_shoup_acc(const u64* x, u64 op, u64 quo, u64* out,
+                          std::size_t n, u64 q);
+void ntt_fwd_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_fwd_dit4(u64* x0, u64* x1, u64* x2, u64* x3, std::size_t count,
+                  u64 wa_op, u64 wa_quo, u64 wb0_op, u64 wb0_quo,
+                  u64 wb1_op, u64 wb1_quo, u64 q);
+void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op, u64 w_quo,
+                  u64 q);
+void ntt_inv_last(u64* x, u64* y, std::size_t count, u64 ninv_op,
+                  u64 ninv_quo, u64 nw_op, u64 nw_quo, u64 q);
+void ntt_fwd_tail(u64* a, std::size_t n, const u64* wa_op,
+                  const u64* wa_quo, const u64* wb_op, const u64* wb_quo,
+                  u64 q);
+void ntt_inv_tail(u64* a, std::size_t n, const u64* w1_op,
+                  const u64* w1_quo, const u64* w2_op, const u64* w2_quo,
+                  u64 q);
+void cg_fwd_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void cg_inv_stage(const u64* src, u64* dst, std::size_t half,
+                  const u64* w_op, const u64* w_quo, std::size_t mask,
+                  u64 q);
+void rescale_round(const u64* xl, const u64* xp, u64* out, std::size_t n,
+                   u64 pv, u64 q, u64 q_barrett, u64 pinv_op, u64 pinv_quo);
+void barrett_reduce(const u64* x, u64* out, std::size_t n, u64 q,
+                    u64 q_barrett);
+
+}  // namespace scalar104
+
+// Reference bundle for the double-word IFMA traits (see ScalarRef64 in
+// kernels_scalar.h): multiply-free kernels keep the canonical scalar
+// implementations — their semantics don't depend on the limb width.
+struct ScalarRef104 {
+  static inline u64 shoup_mul(u64 x, u64 op, u64 quo, u64 q) {
+    return scalar104::shoup_mul(x, op, quo, q);
+  }
+  static constexpr auto mul_shoup = scalar104::mul_shoup;
+  static constexpr auto mul_shoup_acc = scalar104::mul_shoup_acc;
+  static constexpr auto mul_scalar_shoup = scalar104::mul_scalar_shoup;
+  static constexpr auto mul_scalar_shoup_acc =
+      scalar104::mul_scalar_shoup_acc;
+  static constexpr auto ntt_fwd_bfly = scalar104::ntt_fwd_bfly;
+  static constexpr auto ntt_fwd_dit4 = scalar104::ntt_fwd_dit4;
+  static constexpr auto ntt_inv_bfly = scalar104::ntt_inv_bfly;
+  static constexpr auto ntt_inv_last = scalar104::ntt_inv_last;
+  static constexpr auto ntt_fwd_tail = scalar104::ntt_fwd_tail;
+  static constexpr auto ntt_inv_tail = scalar104::ntt_inv_tail;
+  static constexpr auto rescale_round = scalar104::rescale_round;
+};
+
+// Full kernel table over the double-word reference (multiply-free
+// entries are the canonical scalar ones). Not a dispatch level — the
+// fuzz suite uses it as the bit-exact oracle for the wide-modulus IFMA
+// vector kernels, and as a standalone subject for the
+// limbs-reproduce-the-64-bit-quotient identity tests.
+const Kernels* scalar104_table();
+
+}  // namespace simd
+}  // namespace cham

@@ -199,6 +199,40 @@ struct VecKernels {
                            std::size_t count, u64 wa_op, u64 wa_quo,
                            u64 wb0_op, u64 wb0_quo, u64 wb1_op, u64 wb1_quo,
                            u64 q) {
+    // One radix-4 block filling exactly two registers (count == W/2 with
+    // the four quarter-blocks contiguous, as NttTables lays them out in
+    // its last fused pass): both butterfly ranks run in-register. The
+    // arithmetic mirrors the main loop below operation-for-operation —
+    // only the half-concatenations move lanes — so results stay
+    // bit-exact with the scalar body. Without this, the whole pass
+    // (every coefficient once) would fall through to scalar tails on
+    // 512-bit levels.
+    if (count == W / 2 && x1 == x0 + count && x2 == x0 + 2 * count &&
+        x3 == x0 + 3 * count) {
+      const reg vq = V::set1(q);
+      const reg v2q = V::set1(q << 1);
+      const reg va_op = V::set1(wa_op);
+      const reg va_quo = V::prep_quo(V::set1(wa_quo));
+      const reg vb_op = V::cat_lo(V::set1(wb0_op), V::set1(wb1_op));
+      const reg vb_quo =
+          V::prep_quo(V::cat_lo(V::set1(wb0_quo), V::set1(wb1_quo)));
+      const auto hih = V::hih_mask();
+      const reg u = csub(V::load(x0), v2q);                       // [a0|a1]
+      const reg mm = shoup_lazy(V::load(x2), va_op, va_quo, vq);  // [m2|m3]
+      const reg s_raw = V::add(u, mm);
+      const reg d_raw = V::add(u, V::sub(v2q, mm));
+      // b0/b2 get the extra csub, b1/b3 stay lazy (high half).
+      const reg s = V::blend(hih, s_raw, csub(s_raw, v2q));  // [b0|b1]
+      const reg d = V::blend(hih, d_raw, csub(d_raw, v2q));  // [b2|b3]
+      const reg c =
+          shoup_lazy(V::cat_hi(s, d), vb_op, vb_quo, vq);    // [c1|c3]
+      const reg f = V::cat_lo(s, d);                         // [b0|b2]
+      const reg sum = V::add(f, c);
+      const reg diff = V::add(f, V::sub(v2q, c));
+      V::store(x0, V::cat_lo(sum, diff));
+      V::store(x2, V::cat_hi(sum, diff));
+      return;
+    }
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg va_op = V::set1(wa_op);
@@ -208,6 +242,9 @@ struct VecKernels {
     const reg vb1_op = V::set1(wb1_op);
     const reg vb1_quo = V::prep_quo(V::set1(wb1_quo));
     std::size_t j = 0;
+    // No 2x unroll here, unlike ntt_fwd_bfly: one radix-4 block already
+    // holds four independent Shoup chains, and the extra live registers
+    // measurably hurt the double-word backend.
     for (; j + W <= count; j += W) {
       const reg a0 = csub(V::load(x0 + j), v2q);
       const reg a1 = csub(V::load(x1 + j), v2q);
@@ -230,6 +267,23 @@ struct VecKernels {
 
   static void ntt_inv_bfly(u64* x, u64* y, std::size_t count, u64 w_op,
                            u64 w_quo, u64 q) {
+    // A single half-register pair (count == W/2 with y contiguous after
+    // x, the first inverse stage after the fused tail): swap halves and
+    // butterfly in-register instead of falling through to scalar tails.
+    // Mirrors the main loop operation-for-operation, so bit-exact.
+    if (count == W / 2 && y == x + count) {
+      const reg vq = V::set1(q);
+      const reg v2q = V::set1(q << 1);
+      const reg vop = V::set1(w_op);
+      const reg vquo = V::prep_quo(V::set1(w_quo));
+      const reg v = V::load(x);   // [xs|ys]
+      const reg w = V::swaph(v);  // [ys|xs]
+      const reg sum = csub(V::add(v, w), v2q);
+      // High lanes hold (x + 2q - y) = w + 2q - v there.
+      const reg t = shoup_lazy(V::add(w, V::sub(v2q, v)), vop, vquo, vq);
+      V::store(x, V::blend(V::hih_mask(), t, sum));
+      return;
+    }
     const reg vq = V::set1(q);
     const reg v2q = V::set1(q << 1);
     const reg vop = V::set1(w_op);

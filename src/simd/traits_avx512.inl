@@ -98,6 +98,21 @@ struct Avx512 {
   static inline mask odd_mask() { return 0xAA; }
   static inline mask hi2_mask() { return 0xCC; }
 
+  // Lane i <-> lane i^(W/2): swap the two 256-bit register halves.
+  static inline reg swaph(reg v) {
+    return _mm512_shuffle_i64x2(v, v, 0x4E);
+  }
+  // [a0..a3, b0..b3]: the low halves of a and b, concatenated.
+  static inline reg cat_lo(reg a, reg b) {
+    return _mm512_shuffle_i64x2(a, b, 0x44);
+  }
+  // [a4..a7, b4..b7]: the high halves of a and b, concatenated.
+  static inline reg cat_hi(reg a, reg b) {
+    return _mm512_shuffle_i64x2(a, b, 0xEE);
+  }
+  // Lanes W/2..W-1 set: selects the high register half.
+  static inline mask hih_mask() { return 0xF0; }
+
   static inline void interleave_store(u64* dst, reg lo, reg hi) {
     const reg idx_lo = _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);
     const reg idx_hi = _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);

@@ -1,0 +1,152 @@
+// Span-wise CRT engine: round-trips and bit-exactness across SIMD levels.
+//
+// compose_spans / decompose_spans are whole-span rewrites of the scalar
+// Garner recursion, so the contract is exact equality: every compiled
+// backend must reproduce the per-value reference bit for bit, for chains
+// of 1-4 limbs (narrow, wide >= 2^50, and mixed) and for ragged span
+// lengths that exercise the vector kernels' tail handling.
+#include "bignum/crt.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "nt/prime.h"
+#include "simd/kernels.h"
+
+namespace cham {
+namespace {
+
+constexpr u64 kQ0 = (1ULL << 34) + (1ULL << 27) + 1;
+constexpr u64 kQ1 = (1ULL << 34) + (1ULL << 19) + 1;
+constexpr u64 kP = (1ULL << 38) + (1ULL << 23) + 1;
+
+std::vector<std::vector<u64>> test_chains() {
+  std::vector<std::vector<u64>> chains = {
+      {kQ0},
+      {kQ0, kQ1},
+      {kQ0, kQ1, kP},
+  };
+  // Four ~30-bit primes (120-bit total, the 4-limb case).
+  chains.push_back(generate_ntt_primes(30, 64, 4));
+  // Wide primes above the single-word IFMA bound: the whole chain runs
+  // the double-word datapath at the avx512ifma level.
+  chains.push_back(generate_ntt_primes(52, 64, 2));
+  // Mixed narrow/wide chain.
+  const auto wide = generate_ntt_primes(52, 64, 1);
+  chains.push_back({kQ0, wide[0]});
+  return chains;
+}
+
+std::vector<Modulus> to_moduli(const std::vector<u64>& primes) {
+  std::vector<Modulus> m;
+  for (u64 p : primes) m.emplace_back(p);
+  return m;
+}
+
+// Lengths chosen to cover sub-register spans, ragged tails at both
+// vector widths (W=4 and W=8), and a few full blocks.
+const std::size_t kLengths[] = {1, 2, 3, 5, 7, 8, 9, 15, 30, 64, 100, 257};
+
+TEST(CrtSpans, ComposeDecomposeRoundTripAllLevelsAndShapes) {
+  Rng rng(0xC47);
+  for (const auto& primes : test_chains()) {
+    CrtSpans crt(to_moduli(primes));
+    const std::size_t nm = crt.size();
+    for (std::size_t n : kLengths) {
+      // Random values below the chain total, plus the edge values.
+      std::vector<u128> vals(n);
+      for (auto& v : vals) {
+        v = ((static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64()) %
+            crt.total();
+      }
+      vals[0] = 0;
+      if (n > 1) vals[1] = crt.total() - 1;
+
+      // Scalar reference: per-value decompose into limb-major spans.
+      std::vector<u64> ref(nm * n);
+      std::vector<u64> col(nm);
+      for (std::size_t i = 0; i < n; ++i) {
+        crt.decompose_value(vals[i], col.data());
+        for (std::size_t j = 0; j < nm; ++j) ref[j * n + i] = col[j];
+      }
+
+      for (simd::Level lvl :
+           {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512,
+            simd::Level::kAvx512Ifma}) {
+        const simd::Kernels* k = simd::table_for(lvl);
+        if (k == nullptr) continue;
+        std::vector<u64> got(nm * n, ~0ULL);
+        crt.decompose_spans(*k, vals.data(), n, got.data(), n);
+        ASSERT_EQ(got, ref) << "decompose k=" << nm << " n=" << n
+                            << " level=" << simd::level_name(lvl);
+        std::vector<u128> back(n);
+        crt.compose_spans(*k, ref.data(), n, n, back.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(back[i] == vals[i])
+              << "compose i=" << i << " k=" << nm << " n=" << n
+              << " level=" << simd::level_name(lvl);
+        }
+      }
+
+      // The scalar single-value path agrees with itself column-wise.
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < nm; ++j) col[j] = ref[j * n + i];
+        ASSERT_TRUE(crt.compose_value(col.data()) == vals[i]);
+      }
+    }
+  }
+}
+
+TEST(CrtSpans, ReduceWordsMatchesWideDivision) {
+  Rng rng(0xC48);
+  for (const auto& primes : test_chains()) {
+    CrtSpans crt(to_moduli(primes));
+    const std::size_t n = 100;
+    // Arbitrary 128-bit values, not restricted below the chain total.
+    std::vector<u64> hi(n), lo(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      hi[i] = rng.next_u64();
+      lo[i] = rng.next_u64();
+    }
+    hi[0] = 0;
+    lo[0] = 0;
+    hi[1] = ~0ULL;
+    lo[1] = ~0ULL;
+    std::vector<u64> out(n), scratch(n);
+    for (std::size_t j = 0; j < crt.size(); ++j) {
+      const u64 q = crt.modulus(j).value();
+      for (simd::Level lvl :
+           {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512,
+            simd::Level::kAvx512Ifma}) {
+        const simd::Kernels* k = simd::table_for(lvl);
+        if (k == nullptr) continue;
+        crt.reduce_words_mod(*k, j, hi.data(), lo.data(), out.data(), n,
+                             scratch.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          const u128 v = (static_cast<u128>(hi[i]) << 64) | lo[i];
+          ASSERT_EQ(out[i], static_cast<u64>(v % q))
+              << "q=" << q << " i=" << i
+              << " level=" << simd::level_name(lvl);
+        }
+      }
+    }
+  }
+}
+
+TEST(CrtSpans, FrozenConstantsMatchDefinitions) {
+  CrtSpans crt(to_moduli({kQ0, kQ1, kP}));
+  for (std::size_t j = 0; j < crt.size(); ++j) {
+    const u64 q = crt.modulus(j).value();
+    EXPECT_EQ(crt.q_barrett(j),
+              static_cast<u64>((static_cast<u128>(1) << 64) / q));
+    EXPECT_EQ(crt.r64(j).operand,
+              static_cast<u64>((static_cast<u128>(1) << 64) % q));
+  }
+  EXPECT_TRUE(crt.total() ==
+              static_cast<u128>(kQ0) * kQ1 * kP);
+}
+
+}  // namespace
+}  // namespace cham

@@ -145,6 +145,66 @@ INSTANTIATE_TEST_SUITE_P(
                       NttCase{4096, kP}, NttCase{256, 65537},
                       NttCase{2048, 786433}));
 
+// Cache blocking is a pure reordering of whole kernel calls, so blocked
+// and unblocked schedules must be bit-identical — at every compiled
+// level, for every block size (including non-power-of-two hints, which
+// normalize), at sizes where blocking actually engages.
+TEST(NttBlocking, BlockedMatchesUnblockedAtEveryLevelAndBlockSize) {
+  Rng rng(0xB10C);
+  for (std::size_t n : {std::size_t{8192}, std::size_t{16384}}) {
+    Modulus q(kQ0);
+    NttTables t(n, q);
+    std::vector<u64> a(n);
+    for (auto& c : a) c = rng.uniform(kQ0);
+    for (simd::Level lvl :
+         {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512,
+          simd::Level::kAvx512Ifma}) {
+      const simd::Kernels* k = simd::table_for(lvl);
+      if (k == nullptr) continue;
+      auto ref = a;
+      t.forward_with(*k, ref.data(), 0);  // unblocked schedule
+      for (std::size_t block :
+           {std::size_t{64}, std::size_t{100}, std::size_t{256},
+            std::size_t{4096}, std::size_t{8192}, std::size_t{1} << 20}) {
+        auto got = a;
+        t.forward_with(*k, got.data(), block);
+        ASSERT_EQ(got, ref) << "forward n=" << n << " block=" << block
+                            << " level=" << simd::level_name(lvl);
+      }
+      auto inv_ref = ref;
+      t.inverse_with(*k, inv_ref.data(), 0);
+      ASSERT_EQ(inv_ref, a) << "round-trip n=" << n;
+      for (std::size_t block :
+           {std::size_t{64}, std::size_t{100}, std::size_t{256},
+            std::size_t{4096}, std::size_t{8192}, std::size_t{1} << 20}) {
+        auto got = ref;
+        t.inverse_with(*k, got.data(), block);
+        ASSERT_EQ(got, inv_ref) << "inverse n=" << n << " block=" << block
+                                << " level=" << simd::level_name(lvl);
+      }
+    }
+  }
+}
+
+// The dispatched default (CHAM_NTT_BLOCK or the built-in 4096) must be
+// one of the bit-exact schedules too — this covers forward()/inverse()
+// as the library actually calls them.
+TEST(NttBlocking, DispatchedDefaultMatchesUnblocked) {
+  Rng rng(0xB10D);
+  const std::size_t n = 8192;
+  Modulus q(kQ1);
+  NttTables t(n, q);
+  std::vector<u64> a(n);
+  for (auto& c : a) c = rng.uniform(kQ1);
+  auto ref = a;
+  t.forward_with(simd::active(), ref.data(), 0);
+  auto got = a;
+  t.forward(got.data());
+  EXPECT_EQ(got, ref);
+  t.inverse(got.data());
+  EXPECT_EQ(got, a);
+}
+
 TEST(Ntt, RejectsNonNttFriendlyModulus) {
   // 17 ≡ 1 (mod 16) works for n=8 but not n=16.
   EXPECT_NO_THROW(NttTables(8, Modulus(17)));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "nt/prime.h"
 #include "ring/sampling.h"
 
 namespace cham {
@@ -47,6 +48,26 @@ TEST(RnsBase, ComposeEdgeValues) {
   u128 qm1 = base->total_modulus() - 1;
   base->decompose(qm1, residues);
   EXPECT_TRUE(base->compose(residues) == qm1);
+}
+
+TEST(RnsPoly, ComposeAllMatchesComposeCoeff) {
+  // The span-wise Garner engine must agree with the per-coefficient
+  // recursion bit for bit, on narrow chains and on wide (>= 2^50)
+  // chains where the IFMA level runs the double-word datapath.
+  Rng rng(11);
+  std::vector<std::vector<u64>> chains;
+  chains.push_back({kQ0});
+  chains.push_back({kQ0, kQ1, kP});
+  chains.push_back(generate_ntt_primes(52, 32, 2));
+  for (const auto& primes : chains) {
+    auto base = RnsBase::create(32, primes);
+    auto x = sample_uniform(base, rng);
+    std::vector<u128> all(x.n());
+    x.compose_all(all.data());
+    for (std::size_t i = 0; i < x.n(); ++i) {
+      ASSERT_TRUE(all[i] == x.compose_coeff(i)) << i;
+    }
+  }
 }
 
 TEST(RnsPoly, AddSubRoundTrip) {

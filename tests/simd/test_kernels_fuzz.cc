@@ -49,7 +49,7 @@ const u64 kModuli[] = {kQ0, kQ1, kP, kQbig};
 
 // 1 and W-1/W/W+1 neighbours for both lane widths, plus lengths with a
 // nonzero tail for every width, plus a pow2 transform size.
-const std::size_t kLengths[] = {1, 3, 4, 5, 7, 8, 9, 15, 30, 256, 1001};
+const std::size_t kLengths[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 30, 256, 1001};
 
 // Tail-kernel spans: multiples of 4 (the radix-4 block size), straddling
 // the 4- and 8-lane widths and leaving every possible vector-loop tail.
@@ -254,6 +254,25 @@ TEST_P(KernelsFuzzTest, ForwardButterfliesMatchScalarAndStayLazy) {
         ASSERT_LT(x2[j], four_q);
         ASSERT_LT(x3[j], four_q);
       }
+
+      // Contiguous quarter-blocks (x1 = x0 + n, ...), the layout
+      // NttTables uses in its fused passes: at n == W/2 this takes the
+      // in-register half-width path instead of the scalar tail.
+      auto blk = random_below(rng, 4 * n, four_q);
+      auto blk_s = blk;
+      k().ntt_fwd_dit4(blk.data(), blk.data() + n, blk.data() + 2 * n,
+                       blk.data() + 3 * n, n, w, wq, wb0,
+                       shoup_quotient(wb0, q), wb1, shoup_quotient(wb1, q),
+                       q);
+      lazy_ref(q).ntt_fwd_dit4(blk_s.data(), blk_s.data() + n,
+                               blk_s.data() + 2 * n, blk_s.data() + 3 * n,
+                               n, w, wq, wb0, shoup_quotient(wb0, q), wb1,
+                               shoup_quotient(wb1, q), q);
+      EXPECT_EQ(blk, blk_s)
+          << "ntt_fwd_dit4 contiguous n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < 4 * n; ++j) {
+        ASSERT_LT(blk[j], four_q);
+      }
     }
   }
 }
@@ -281,6 +300,19 @@ TEST_P(KernelsFuzzTest, InverseButterfliesMatchScalarAndStayLazy) {
       for (std::size_t j = 0; j < n; ++j) {
         ASSERT_LT(x[j], two_q) << "inverse butterfly left [0, 2q)";
         ASSERT_LT(y[j], two_q) << "inverse butterfly left [0, 2q)";
+      }
+
+      // Contiguous pair (y = x + n), the layout of the first inverse
+      // stage after the fused tail: at n == W/2 this takes the
+      // in-register half-width path instead of the scalar tail.
+      auto blk = random_below(rng, 2 * n, two_q);
+      auto blk_s = blk;
+      k().ntt_inv_bfly(blk.data(), blk.data() + n, n, w, wq, q);
+      lazy_ref(q).ntt_inv_bfly(blk_s.data(), blk_s.data() + n, n, w, wq, q);
+      EXPECT_EQ(blk, blk_s)
+          << "ntt_inv_bfly contiguous n=" << n << " q=" << q;
+      for (std::size_t j = 0; j < 2 * n; ++j) {
+        ASSERT_LT(blk[j], two_q);
       }
 
       const u64 ninv = rng.uniform(q), nw = rng.uniform(q);
@@ -620,6 +652,49 @@ TEST(SimdDispatchTest, ResolveLevelWarnsOnUnknownName) {
   EXPECT_NE(warning.find(simd::level_name(l)), std::string::npos) << warning;
   // A null warning sink is allowed (fire-and-forget callers).
   EXPECT_EQ(simd::resolve_level("avx9000", nullptr), l);
+}
+
+TEST(SimdDispatchTest, IfmaEligibilityTracksQBound) {
+  EXPECT_TRUE(simd::ifma_eligible(2));
+  EXPECT_TRUE(simd::ifma_eligible((1ULL << 34) + (1ULL << 27) + 1));
+  EXPECT_TRUE(simd::ifma_eligible(simd::kIfmaQBound - 1));
+  EXPECT_FALSE(simd::ifma_eligible(simd::kIfmaQBound));
+  EXPECT_FALSE(simd::ifma_eligible((1ULL << 61) - 1));
+}
+
+TEST(SimdDispatchTest, IfmaWideContextPredicate) {
+  const u64 small = (1ULL << 34) + (1ULL << 27) + 1;
+  const u64 wide = (1ULL << 61) - 1;
+  const u64 all_wide[] = {wide, wide - 2};
+  const u64 mixed[] = {wide, small};
+  // Only the IFMA level has a limb-width split to report on.
+  for (Level lvl : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    EXPECT_FALSE(simd::ifma_context_all_wide(lvl, all_wide, 2));
+  }
+  EXPECT_TRUE(simd::ifma_context_all_wide(Level::kAvx512Ifma, all_wide, 2));
+  // One single-word modulus is enough to keep the fast path in play.
+  EXPECT_FALSE(simd::ifma_context_all_wide(Level::kAvx512Ifma, mixed, 2));
+  EXPECT_FALSE(simd::ifma_context_all_wide(Level::kAvx512Ifma, &small, 1));
+  EXPECT_FALSE(simd::ifma_context_all_wide(Level::kAvx512Ifma, nullptr, 0));
+}
+
+TEST(SimdDispatchTest, NoteIfmaWideContextRespectsActiveLevel) {
+  const u64 small = (1ULL << 34) + (1ULL << 27) + 1;
+  const u64 wide = (1ULL << 61) - 1;
+  // Small moduli never trip the note, whatever level dispatch picked.
+  EXPECT_FALSE(simd::note_ifma_wide_context(&small, 1));
+  if (simd::active_level() != Level::kAvx512Ifma) {
+    EXPECT_FALSE(simd::note_ifma_wide_context(&wide, 1));
+  } else {
+    // Counter ticks on every all-wide context; the stderr note is
+    // once-per-process, so a second call must report not-noted.
+    obs::Counter& c =
+        obs::MetricsRegistry::global().counter("simd.ifma.wide_context");
+    const u64 before = c.value();
+    (void)simd::note_ifma_wide_context(&wide, 1);
+    EXPECT_FALSE(simd::note_ifma_wide_context(&wide, 1));
+    EXPECT_EQ(c.value(), before + 2);
+  }
 }
 
 TEST(SimdDispatchTest, ResolveLevelWarnsOnUnusableLevel) {

@@ -124,6 +124,19 @@ def flatten(records, source="sample"):
             if "speedup" in obj and obj.get("speedup", 1) != 1:
                 put(key + "/speedup", obj["speedup"],
                     KERNEL_RATIO_TOLERANCE, "higher")
+        elif tag == "CHAM-BENCH" and "rns" in obj:
+            # Span-wise CRT engine lines (bench_kernels bench_crt): wall
+            # clock per coefficient plus the span-vs-per-coefficient
+            # ratio, which is same-process and so tighter than absolute
+            # time. Losing the ratio means the vectorized compose/lift
+            # fell back to scalar recursion.
+            key = f"rns/{obj['rns']}/{obj.get('shape', '')}"
+            if "ns_per_coeff" in obj:
+                put(key + "/ns_per_coeff", obj["ns_per_coeff"],
+                    KERNEL_TIME_TOLERANCE, "lower")
+            if "speedup" in obj and obj.get("speedup", 1) != 1:
+                put(key + "/speedup", obj["speedup"],
+                    KERNEL_RATIO_TOLERANCE, "higher")
         elif tag == "CHAM-BENCH" and "benchmark" in obj:
             key = f"headline/{obj['benchmark']}/{obj.get('shape', '')}"
             if "cham_s" in obj:
@@ -347,6 +360,10 @@ def cmd_selftest(_args):
     sample = "\n".join([
         'CHAM-BENCH {"kernel":"ntt_forward_lazy","ns_per_coeff":10.0,'
         '"threads":1,"speedup":1.5,"simd_level":"avx2"}',
+        'CHAM-BENCH {"kernel":"dw_pointwise_mac","ns_per_coeff":0.5,'
+        '"threads":1,"speedup":1.44,"simd_level":"avx2"}',
+        'CHAM-BENCH {"rns":"compose_all","shape":"3x4096",'
+        '"ns_per_coeff":8.0,"speedup":6.0,"simd_level":"avx2"}',
         'CHAM-BENCH {"benchmark":"hmvp","shape":"8192x8192",'
         '"baseline_s":100.0,"cham_s":0.125,"speedup":800.0,'
         '"simd_level":"avx2"}',
@@ -391,6 +408,22 @@ def cmd_selftest(_args):
     failures = compare(baseline, flatten(parse_lines(slow)))
     if not any("ntt_forward_lazy" in f for f in failures):
         print("selftest FAILED: synthetic 2x slowdown passed the gate")
+        return 1
+
+    # Double-word kernel ratio: the dw-vs-64-bit speedup collapsing to
+    # parity (dw path delegating again) must trip the ratio gate.
+    undw = sample.replace('"speedup":1.44', '"speedup":0.5')
+    failures = compare(baseline, flatten(parse_lines(undw)))
+    if not any("dw_pointwise_mac" in f for f in failures):
+        print("selftest FAILED: dw speedup collapse passed the gate")
+        return 1
+
+    # Span-wise CRT ratio: compose_all falling back to the
+    # per-coefficient recursion (speedup 6x -> 1x) must trip.
+    unspan = sample.replace('"speedup":6.0', '"speedup":1.1')
+    failures = compare(baseline, flatten(parse_lines(unspan)))
+    if not any("rns/compose_all" in f for f in failures):
+        print("selftest FAILED: CRT span speedup collapse passed the gate")
         return 1
 
     drift = sample.replace('"hmvp.forward_ntts":216', '"hmvp.forward_ntts":217')
@@ -563,7 +596,8 @@ def cmd_selftest(_args):
 
     print("selftest OK: 2x slowdown, counter drift, metric loss, "
           "SIMD-level switches (incl. avx512ifma), retired-level "
-          "baselines, BSGS hoisting/ratio regressions, server "
+          "baselines, dw-kernel and CRT-span ratio collapses, BSGS "
+          "hoisting/ratio regressions, server "
           "throughput/latency/occupancy regressions all trip the gate; "
           "clean and improved runs pass")
     return 0
