@@ -36,9 +36,22 @@ std::shared_ptr<EvkManager> EvkManager::shared(const BfvContextPtr& context,
   static std::mutex* reg_mu = new std::mutex;
   static auto* reg = new std::map<Key, std::weak_ptr<EvkManager>>;
   std::lock_guard<std::mutex> lock(*reg_mu);
+  // Resolve (or create) the base manager first so a session-scoped
+  // manager can delegate its key-independent caches to it; done inline
+  // under the same lock (no recursive shared() call).
+  std::shared_ptr<EvkManager> base;
+  if (!session.empty()) {
+    std::weak_ptr<EvkManager>& base_slot = (*reg)[Key{context.get(), ""}];
+    base = base_slot.lock();
+    if (base == nullptr) {
+      base = std::make_shared<EvkManager>(context);
+      base_slot = base;
+    }
+  }
   std::weak_ptr<EvkManager>& slot = (*reg)[Key{context.get(), session}];
   if (auto existing = slot.lock()) return existing;
   auto made = std::make_shared<EvkManager>(context);
+  made->base_ = std::move(base);
   slot = made;
   // Sweep expired entries so long-running processes that churn contexts
   // (tests, sessions) keep the registry at its live size.
@@ -49,6 +62,7 @@ std::shared_ptr<EvkManager> EvkManager::shared(const BfvContextPtr& context,
 }
 
 std::shared_ptr<const AutomorphTable> EvkManager::automorph_table(u64 k) {
+  if (base_ != nullptr) return base_->automorph_table(k);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = tables_coeff_.find(k);
@@ -62,6 +76,7 @@ std::shared_ptr<const AutomorphTable> EvkManager::automorph_table(u64 k) {
 }
 
 std::shared_ptr<const AutomorphTable> EvkManager::automorph_table_ntt(u64 k) {
+  if (base_ != nullptr) return base_->automorph_table_ntt(k);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = tables_ntt_.find(k);
@@ -74,6 +89,7 @@ std::shared_ptr<const AutomorphTable> EvkManager::automorph_table_ntt(u64 k) {
 }
 
 std::shared_ptr<const ShoupPoly> EvkManager::monomial_ntt_qp(std::size_t s) {
+  if (base_ != nullptr) return base_->monomial_ntt_qp(s);
   const u64 key = static_cast<u64>(s);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);

@@ -78,6 +78,15 @@ class EvkManager {
   // Process-wide manager registry: same (context, session) -> same
   // manager, for as long as anyone holds it (the registry keeps weak
   // references, so dropping every Evaluator releases the key material).
+  //
+  // Key-independent derived material (automorph routing tables, monomial
+  // twiddles) is context geometry, not key material: every session-scoped
+  // manager delegates those caches to the context's base (session "")
+  // manager, so k sessions coalesced into one batched sweep share one
+  // routing-table set instead of building k copies — the software
+  // analogue of CHAM banking per-client keys while sharing the datapath
+  // tables. Shoup-frozen KSKs, pack sets and BSGS sets stay per-session
+  // (they are key material).
   static std::shared_ptr<EvkManager> shared(const BfvContextPtr& context,
                                             const std::string& session = "");
 
@@ -114,6 +123,10 @@ class EvkManager {
 
  private:
   BfvContextPtr ctx_;
+  // Set on session-scoped managers by shared(): the context's base
+  // manager, which owns the key-independent caches (tables, monomials).
+  // Holding it shared keeps the base alive as long as any session does.
+  std::shared_ptr<EvkManager> base_;
   mutable std::shared_mutex mu_;
   std::map<u64, std::shared_ptr<const AutomorphTable>> tables_coeff_;
   std::map<u64, std::shared_ptr<const AutomorphTable>> tables_ntt_;

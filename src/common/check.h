@@ -49,6 +49,10 @@ namespace detail {
 #define CHAM_DCHECK(cond) \
   do {                    \
   } while (0)
+#define CHAM_DCHECK_MSG(cond, msg) \
+  do {                             \
+  } while (0)
 #else
 #define CHAM_DCHECK(cond) CHAM_CHECK(cond)
+#define CHAM_DCHECK_MSG(cond, msg) CHAM_CHECK_MSG(cond, msg)
 #endif

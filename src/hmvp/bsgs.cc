@@ -190,6 +190,217 @@ Ciphertext BsgsHmvp::multiply(const RowSource& a, const Ciphertext& ct_v,
   return result;
 }
 
+BsgsEncodedMatrix BsgsHmvp::encode_matrix(const RowSource& a,
+                                          int threads) const {
+  CHAM_SPAN_ARG("bsgs.encode_matrix", a.cols());
+  const std::size_t half = ctx_->n() / 2;
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  CHAM_CHECK_MSG(is_power_of_two(n) && n <= half && m <= half,
+                 "diagonal method shape limits");
+  const u64 t = ctx_->plain_modulus().value();
+  if (threads <= 0) threads = 1;
+
+  std::vector<std::vector<u64>> rows(m, std::vector<u64>(n));
+  for (std::size_t i = 0; i < m; ++i) a.row(i, rows[i].data());
+
+  BsgsEncodedMatrix out;
+  out.rows_ = m;
+  out.cols_ = n;
+  out.baby_ = baby_steps(n);
+  out.giants_ = (n + out.baby_ - 1) / out.baby_;
+  out.diag_ntt_.assign(n, RnsPoly());
+
+  // Same diagonal construction as multiply()'s giant sweep: diag_{jb+i}
+  // pre-rotated right by j·b slots, encoded and centered-lifted into the
+  // base_q NTT domain — byte-identical operands, so encoded products stay
+  // bit-exact with streaming ones.
+  auto& pool = ThreadPool::global();
+  int lanes = static_cast<int>(
+      std::min<std::size_t>({static_cast<std::size_t>(threads),
+                             pool.max_lanes(), n}));
+  if (ThreadPool::in_lane()) lanes = 1;
+  auto encode_lane = [&](int lane) {
+    std::vector<u64> rotated(half);
+    for (std::size_t d = static_cast<std::size_t>(lane); d < n;
+         d += static_cast<std::size_t>(lanes)) {
+      const std::size_t jb = d - d % out.baby_;  // the giant offset j·b
+      std::fill(rotated.begin(), rotated.end(), 0);
+      for (std::size_t r = 0; r < m; ++r) {
+        rotated[(r + jb) % half] = rows[r][(r + d) % n] % t;
+      }
+      RnsPoly pt_ntt(ctx_->base_q(), false);
+      eval_.transform_plain_ntt_into(encoder_.encode(rotated), pt_ntt);
+      out.diag_ntt_[d] = std::move(pt_ntt);
+    }
+  };
+  if (lanes > 1) {
+    pool.run(lanes, encode_lane);
+  } else {
+    encode_lane(0);
+  }
+  return out;
+}
+
+Ciphertext BsgsHmvp::multiply_encoded(const BsgsEncodedMatrix& a,
+                                      const Ciphertext& ct_v,
+                                      BaselineStats* stats,
+                                      int threads) const {
+  BsgsBatchEntry entry;
+  entry.ct_v = &ct_v;
+  auto out = multiply_encoded_batch(a, {entry}, stats, threads);
+  return std::move(out[0]);
+}
+
+std::vector<Ciphertext> BsgsHmvp::multiply_encoded_batch(
+    const BsgsEncodedMatrix& a, const std::vector<BsgsBatchEntry>& batch,
+    BaselineStats* stats, int threads) const {
+  CHAM_SPAN_ARG("bsgs.multiply_encoded_batch", batch.size());
+  const std::size_t n = a.cols_;
+  const std::size_t m = a.rows_;
+  const std::size_t b = a.baby_;
+  const std::size_t giants = a.giants_;
+  const std::size_t k = batch.size();
+  CHAM_CHECK_MSG(m > 0 && n > 0, "empty encoded matrix");
+  if (threads <= 0) threads = 1;
+  std::vector<Ciphertext> out(k);
+  if (k == 0) return out;
+
+  // Per-session sub-batch state: each request carries its own rescaled
+  // ciphertext, shared digit decomposition, frozen key set and baby-step
+  // fan-out — only the diagonal operands in `a` are shared across the
+  // batch.
+  struct Req {
+    const Evaluator* eval = nullptr;
+    std::shared_ptr<const BsgsKeys> keys;
+    Ciphertext ct_q;
+    std::vector<RnsPoly> digits;
+    std::vector<ShoupCiphertext> baby;
+    std::vector<Ciphertext> inner;
+  };
+  std::vector<Req> reqs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const BsgsBatchEntry& e = batch[r];
+    CHAM_CHECK_MSG(e.ct_v != nullptr, "batch entry without a ciphertext");
+    Req& rq = reqs[r];
+    rq.eval = e.eval != nullptr ? e.eval : &eval_;
+    const GaloisKeys* gk = e.gk != nullptr ? e.gk : gk_;
+    CHAM_CHECK_MSG(gk != nullptr, "batched BSGS needs Galois keys");
+    rq.keys = rq.eval->evk().bsgs_keys(*gk, n, b);
+    rq.ct_q = rq.eval->rescale(*e.ct_v);
+    rq.digits.assign(ctx_->dnum(), RnsPoly(ctx_->base_qp(), false));
+    rq.eval->decompose_ntt_digits(rq.ct_q.a, rq.digits, threads);
+    rq.baby.resize(b);
+    rq.inner.resize(giants);
+  }
+
+  // Baby-step fan-out flattened over (request, baby index): every lane
+  // pulls the digits and keys of the request its item belongs to.
+  {
+    CHAM_SPAN_ARG("bsgs.batch_baby_steps", k * b);
+    auto make_baby = [&](std::size_t idx) {
+      Req& rq = reqs[idx / b];
+      const std::size_t i = idx % b;
+      Ciphertext ci;
+      if (i == 0) {
+        ci = rq.ct_q;
+      } else {
+        const BsgsKeys::Rot& rot = rq.keys->babies[i - 1];
+        ci = rq.eval->rotate_hoisted(rq.ct_q, rq.digits, *rot.coeff, *rot.ntt,
+                                     *rot.ksk);
+      }
+      ci.to_ntt();
+      rq.baby[i] = ShoupCiphertext(ci);
+    };
+    if (threads > 1 && !ThreadPool::in_lane()) {
+      ThreadPool::global().parallel_for(0, k * b, threads, make_baby);
+    } else {
+      for (std::size_t idx = 0; idx < k * b; ++idx) make_baby(idx);
+    }
+  }
+
+  // Giant-step sweep flattened over (request, giant): one fetch of
+  // diag_{jb+i} from the encoded matrix feeds whichever request the lane
+  // is working, and the per-request inner sums land in fixed slots, so
+  // the ordered final accumulation is bit-exact for every lane count and
+  // batch composition.
+  const std::size_t total = k * giants;
+  auto& pool = ThreadPool::global();
+  int lanes = static_cast<int>(
+      std::min<std::size_t>({static_cast<std::size_t>(threads),
+                             pool.max_lanes(), total}));
+  if (ThreadPool::in_lane()) lanes = 1;
+  std::vector<BaselineStats> lane_stats(static_cast<std::size_t>(lanes));
+  auto sweep_lane = [&](int lane) {
+    CHAM_SPAN("bsgs.batch_giant_sweep");
+    BaselineStats& ls = lane_stats[static_cast<std::size_t>(lane)];
+    Ciphertext acc;
+    acc.b = RnsPoly(ctx_->base_q(), true);
+    acc.a = RnsPoly(ctx_->base_q(), true);
+    std::vector<RnsPoly> gdigits(ctx_->dnum(),
+                                 RnsPoly(ctx_->base_qp(), false));
+    for (std::size_t idx = static_cast<std::size_t>(lane); idx < total;
+         idx += static_cast<std::size_t>(lanes)) {
+      Req& rq = reqs[idx / giants];
+      const std::size_t j = idx % giants;
+      acc.b.set_ntt_form(true);  // from_ntt flipped these last iteration
+      acc.a.set_ntt_form(true);
+      bool have = false;
+      for (std::size_t i = 0; i < b && j * b + i < n; ++i) {
+        const RnsPoly& pt_ntt = a.diag_ntt_[j * b + i];
+        if (!have) {
+          rq.eval->multiply_plain_ntt(rq.baby[i], pt_ntt, acc);
+          have = true;
+        } else {
+          rq.eval->multiply_plain_ntt_acc(rq.baby[i], pt_ntt, acc);
+        }
+        ls.plain_mults += 1;
+      }
+      acc.from_ntt();
+      if (j > 0) {
+        const BsgsKeys::Rot& rot = rq.keys->giants[j - 1];
+        rq.eval->decompose_ntt_digits(acc.a, gdigits);
+        rq.inner[j] = rq.eval->rotate_hoisted(acc, gdigits, *rot.coeff,
+                                              *rot.ntt, *rot.ksk);
+        ls.rotations += 1;
+      } else {
+        rq.inner[j] = acc;
+      }
+    }
+  };
+  if (lanes > 1) {
+    pool.run(lanes, sweep_lane);
+  } else {
+    sweep_lane(0);
+  }
+
+  BaselineStats st;
+  st.rotations += k * (b - 1);
+  st.rotations_hoisted += k * (b - 1);
+  for (const BaselineStats& ls : lane_stats) {
+    st.rotations += ls.rotations;
+    st.plain_mults += ls.plain_mults;
+  }
+
+  for (std::size_t r = 0; r < k; ++r) {
+    Req& rq = reqs[r];
+    out[r] = std::move(rq.inner[0]);
+    for (std::size_t j = 1; j < giants; ++j) {
+      rq.eval->add_inplace(out[r], rq.inner[j]);
+    }
+  }
+
+  // One publish per logical product, so "bsgs.runs" counts requests the
+  // same way the streaming path does.
+  BaselineStats per;
+  per.rotations = (b - 1) + (giants - 1);
+  per.rotations_hoisted = b - 1;
+  per.plain_mults = n;
+  for (std::size_t r = 0; r < k; ++r) publish_baseline_stats("bsgs", per);
+  if (stats) stats->merge(st);
+  return out;
+}
+
 std::vector<u64> BsgsHmvp::decrypt_result(const Ciphertext& ct,
                                           std::size_t rows,
                                           const Decryptor& dec) const {

@@ -47,6 +47,40 @@ const char* mvp_algorithm_name(MvpAlgorithm alg);
 MvpAlgorithm choose_mvp_algorithm(std::size_t rows, std::size_t cols,
                                   std::size_t ring_n);
 
+// A matrix pre-encoded into the NTT-domain diagonal plaintexts the BSGS
+// giant-step sweep consumes: diagonal d = j·b+i is pre-rotated right by
+// j·b slots (the single giant rotation of the inner sum re-aligns every
+// term), centered-lifted to base_q and NTT'd exactly as the streaming
+// multiply() builds it — so encoded products are bit-exact with streaming
+// ones. Amortises the n diagonal encode+transform passes across repeated
+// products with the same matrix (the serving layer's cross-request encode
+// cache). Memory: cols polynomials of |base_q|·N words each.
+class BsgsEncodedMatrix {
+ public:
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t baby() const { return baby_; }
+  std::size_t giants() const { return giants_; }
+
+ private:
+  friend class BsgsHmvp;
+  std::size_t rows_ = 0, cols_ = 0, baby_ = 0, giants_ = 0;
+  std::vector<RnsPoly> diag_ntt_;  // [d = j·b + i], NTT domain, base_q
+};
+
+// One request of a coalesced BSGS batch. Unlike the coefficient engine's
+// key-free row sweep, every stage here consumes per-session material: the
+// hoisted digit decomposition of this request's ct(v).a and the rotations
+// against this session's frozen BsgsKeys. The batch therefore runs as
+// per-session sub-batches inside one sweep — only the diagonal operands
+// (BsgsEncodedMatrix) are shared across sessions. Null eval/gk fall back
+// to the engine's own — the single-tenant case.
+struct BsgsBatchEntry {
+  const Ciphertext* ct_v = nullptr;
+  const Evaluator* eval = nullptr;
+  const GaloisKeys* gk = nullptr;
+};
+
 class BsgsHmvp {
  public:
   // n_cols must be a power of two <= N/2; rows <= N/2.
@@ -70,6 +104,29 @@ class BsgsHmvp {
   // sweep. Bit-exact for every thread count.
   Ciphertext multiply(const RowSource& a, const Ciphertext& ct_v,
                       BaselineStats* stats = nullptr, int threads = 1) const;
+
+  // Pre-encode the matrix's diagonals for repeated products (see
+  // BsgsEncodedMatrix); diagonals encode in parallel on up to `threads`
+  // pool lanes.
+  BsgsEncodedMatrix encode_matrix(const RowSource& a, int threads = 1) const;
+
+  // A·v against a pre-encoded diagonal set: skips the per-diagonal
+  // encode + base_q transform. Bit-exact with multiply(a, ct_v) for the
+  // matrix the set was encoded from, for every thread count.
+  Ciphertext multiply_encoded(const BsgsEncodedMatrix& a,
+                              const Ciphertext& ct_v,
+                              BaselineStats* stats = nullptr,
+                              int threads = 1) const;
+
+  // Coalesced same-matrix sweep (the serving layer's batching primitive):
+  // the diagonal operands are fetched once for the whole batch; each
+  // request runs its own per-session sub-batch (digit decomposition, baby
+  // fan-out and rotations against its session's frozen BsgsKeys). Result
+  // i is bit-exact with multiply_encoded(a, *batch[i].ct_v) under that
+  // request's keys, for every thread count and batch composition.
+  std::vector<Ciphertext> multiply_encoded_batch(
+      const BsgsEncodedMatrix& a, const std::vector<BsgsBatchEntry>& batch,
+      BaselineStats* stats = nullptr, int threads = 1) const;
 
   std::vector<u64> decrypt_result(const Ciphertext& ct, std::size_t rows,
                                   const Decryptor& dec) const;

@@ -1,10 +1,12 @@
 #include "serve/client.h"
 
+#include "nt/bitops.h"
+
 namespace cham::serve {
 
 ServeClient::ServeClient(BfvContextPtr ctx, ClientLink link,
                          std::string session, int pack_levels, u64 seed,
-                         WireFormat fmt)
+                         WireFormat fmt, std::vector<u64> extra_galois)
     : ctx_(std::move(ctx)),
       link_(link),
       session_(std::move(session)),
@@ -12,10 +14,12 @@ ServeClient::ServeClient(BfvContextPtr ctx, ClientLink link,
       rng_(seed),
       keygen_(ctx_, rng_),
       gk_seed_(rng_.next_u64()),
-      gk_(keygen_.make_galois_keys_seeded(pack_levels, gk_seed_)),
+      gk_(keygen_.make_galois_keys_seeded(pack_levels, gk_seed_,
+                                          extra_galois)),
       enc_(ctx_, nullptr, &keygen_.secret_key(), rng_),
       dec_(ctx_, keygen_.secret_key()),
       encoder_(ctx_),
+      batch_encoder_(ctx_),
       engine_(ctx_, &gk_) {}
 
 void ServeClient::hello() {
@@ -33,17 +37,40 @@ void ServeClient::goodbye() {
 std::uint64_t ServeClient::submit(std::uint32_t matrix_id,
                                   const std::vector<u64>& v,
                                   std::vector<Ciphertext>* ct_out) {
+  return submit(matrix_id, v, MvpAlgorithm::kCoefficient, ct_out);
+}
+
+std::uint64_t ServeClient::submit(std::uint32_t matrix_id,
+                                  const std::vector<u64>& v,
+                                  MvpAlgorithm algo,
+                                  std::vector<Ciphertext>* ct_out) {
   CHAM_CHECK_MSG(!v.empty(), "empty request vector");
   const std::size_t n = ctx_->n();
   std::vector<Ciphertext> ct_v;
   std::vector<u64> seeds;
-  for (std::size_t start = 0; start < v.size(); start += n) {
-    const std::size_t len = std::min(n, v.size() - start);
-    std::vector<u64> chunk(v.begin() + start, v.begin() + start + len);
+  if (algo == MvpAlgorithm::kBsgs) {
+    // Slot layout, identical to BsgsHmvp::encrypt_vector: tile v with
+    // period |v| so slot rotations act as rotations mod |v|.
+    const std::size_t half = n / 2;
+    CHAM_CHECK_MSG(is_power_of_two(v.size()) && v.size() <= half,
+                   "bsgs request needs power-of-two cols <= N/2");
+    std::vector<u64> slots(half);
+    for (std::size_t i = 0; i < half; ++i) slots[i] = v[i % v.size()];
     u64 seed = 0;
     ct_v.push_back(
-        enc_.encrypt_symmetric_seeded(encoder_.encode_vector(chunk), &seed));
+        enc_.encrypt_symmetric_seeded(batch_encoder_.encode(slots), &seed));
     seeds.push_back(seed);
+  } else {
+    CHAM_CHECK_MSG(algo == MvpAlgorithm::kCoefficient,
+                   "clients submit coefficient or bsgs requests");
+    for (std::size_t start = 0; start < v.size(); start += n) {
+      const std::size_t len = std::min(n, v.size() - start);
+      std::vector<u64> chunk(v.begin() + start, v.begin() + start + len);
+      u64 seed = 0;
+      ct_v.push_back(
+          enc_.encrypt_symmetric_seeded(encoder_.encode_vector(chunk), &seed));
+      seeds.push_back(seed);
+    }
   }
   const std::uint64_t rid = next_rid_++;
   ByteWriter w;
@@ -77,6 +104,13 @@ std::optional<Response> ServeClient::await_for(
 
 std::vector<u64> ServeClient::decrypt(const Response& r) const {
   CHAM_CHECK_MSG(r.status == Status::kOk, "decrypting a non-ok response");
+  if (r.pack_count == 0) {
+    // BSGS slot layout: one ciphertext, result in the first `rows` slots.
+    CHAM_CHECK_MSG(r.packed.size() == 1, "slot-layout response needs one ct");
+    auto slots = batch_encoder_.decode(dec_.decrypt(r.packed[0]));
+    slots.resize(r.rows);
+    return slots;
+  }
   HmvpResult res;
   res.packed = r.packed;
   res.rows = r.rows;

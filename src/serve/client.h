@@ -25,10 +25,13 @@ class ServeClient {
  public:
   // Generates a fresh secret key and pack keys for 2^pack_levels rows
   // from the deterministic stream of `seed`. hello() must run before the
-  // first submit().
+  // first submit(). `extra_galois` adds rotation elements to the uploaded
+  // key set — BsgsHmvp::required_galois_elements(cols) for every
+  // BSGS-stamped matrix the client will query.
   ServeClient(BfvContextPtr ctx, ClientLink link, std::string session,
               int pack_levels, u64 seed,
-              WireFormat fmt = WireFormat::kPacked);
+              WireFormat fmt = WireFormat::kPacked,
+              std::vector<u64> extra_galois = {});
 
   // Session handshake: uploads the seed-expanded Galois keys.
   void hello();
@@ -40,6 +43,13 @@ class ServeClient {
   // — the input for a local single-shot bit-exactness cross-check.
   std::uint64_t submit(std::uint32_t matrix_id, const std::vector<u64>& v,
                        std::vector<Ciphertext>* ct_out = nullptr);
+  // Algorithm-aware submit, matched to the server's stamp for the matrix
+  // (HmvpServer::matrix_algorithm). kCoefficient chunk-encodes as above;
+  // kBsgs slot-tiles v with period |v| across the N/2 slots (identical to
+  // BsgsHmvp::encrypt_vector) into one ciphertext.
+  std::uint64_t submit(std::uint32_t matrix_id, const std::vector<u64>& v,
+                       MvpAlgorithm algo,
+                       std::vector<Ciphertext>* ct_out = nullptr);
   // Ask the server to drop a queued request. Best-effort: a kCancelled
   // response arrives only if the request had not entered a batch yet.
   void request_cancel(std::uint64_t request_id);
@@ -47,7 +57,9 @@ class ServeClient {
   Response await();  // blocks on the down channel
   std::optional<Response> await_for(std::chrono::nanoseconds timeout);
 
-  // Decrypt + decode a kOk response into the result vector.
+  // Decrypt + decode a kOk response into the result vector. Responses
+  // with pack_count == 0 carry the BSGS slot layout (one ciphertext,
+  // first `rows` slots); others the packed-LWE coefficient layout.
   std::vector<u64> decrypt(const Response& r) const;
 
   // Local single-shot engine over the same keys — the bit-exactness
@@ -70,6 +82,7 @@ class ServeClient {
   Encryptor enc_;
   Decryptor dec_;
   CoeffEncoder encoder_;
+  BatchEncoder batch_encoder_;
   HmvpEngine engine_;
   std::uint64_t next_rid_ = 1;
 };

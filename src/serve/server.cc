@@ -1,45 +1,139 @@
 #include "serve/server.h"
 
+#include "nt/bitops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cham::serve {
 
 namespace {
+
 std::uint64_t now_ns() { return obs::TraceRecorder::now_ns(); }
+
+// Snapshot a row source into the dense copy a MatrixEntry keeps as the
+// seed of its lazy (per-version) BSGS diagonal freeze.
+std::shared_ptr<const DenseMatrix> densify(const RowSource& a) {
+  auto m = std::make_shared<DenseMatrix>(a.rows(), a.cols());
+  std::vector<std::uint64_t> row(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    a.row(i, row.data());
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m->at(i, j) = static_cast<std::uint32_t>(row[j]);
+    }
+  }
+  return m;
+}
+
 }  // namespace
 
 HmvpServer::HmvpServer(BfvContextPtr ctx, ServerConfig cfg)
     : ctx_(std::move(ctx)),
       cfg_(cfg),
       engine_(ctx_, nullptr),
+      bsgs_engine_(ctx_, nullptr),
       queue_(cfg.max_queue_depth) {
   CHAM_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be positive");
   CHAM_CHECK_MSG(cfg_.threads >= 1, "thread count must be positive");
+  if (cfg_.force_algorithm.has_value()) {
+    CHAM_CHECK_MSG(*cfg_.force_algorithm == MvpAlgorithm::kCoefficient ||
+                       *cfg_.force_algorithm == MvpAlgorithm::kBsgs,
+                   "server sweeps run coefficient or bsgs only");
+  }
 }
 
 HmvpServer::~HmvpServer() { stop(); }
 
 std::uint32_t HmvpServer::add_matrix(const RowSource& a) {
   CHAM_CHECK_MSG(!running_, "register matrices before start()");
-  MatrixEntry entry{engine_.encode_matrix(a, cfg_.threads),
-                    choose_mvp_algorithm(a.rows(), a.cols(), ctx_->n())};
+  auto entry = std::make_unique<MatrixEntry>();
+  entry->rows = a.rows();
+  entry->cols = a.cols();
+  entry->chunks = (a.cols() + ctx_->n() - 1) / ctx_->n();
+  entry->algo = cfg_.force_algorithm.value_or(
+      choose_mvp_algorithm(a.rows(), a.cols(), ctx_->n()));
+  if (entry->algo == MvpAlgorithm::kBsgs) {
+    const std::size_t half = ctx_->n() / 2;
+    CHAM_CHECK_MSG(is_power_of_two(a.cols()) && a.cols() <= half &&
+                       a.rows() <= half,
+                   "bsgs-stamped matrix violates diagonal shape limits");
+  }
+  entry->raw = densify(a);
+  entry->coeff =
+      std::make_shared<const EncodedMatrix>(engine_.encode_matrix(a, cfg_.threads));
   obs::MetricsRegistry::global()
       .counter(std::string("serve.matrix_pref_") +
-               mvp_algorithm_name(entry.preferred))
+               mvp_algorithm_name(entry->algo))
       .add(1);
   matrices_.push_back(std::move(entry));
   return static_cast<std::uint32_t>(matrices_.size() - 1);
 }
 
-const EncodedMatrix& HmvpServer::matrix(std::uint32_t id) const {
+void HmvpServer::update_matrix(std::uint32_t id, const RowSource& a) {
   CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
-  return matrices_[id].enc;
+  MatrixEntry& entry = *matrices_[id];
+  CHAM_CHECK_MSG(a.rows() == entry.rows && a.cols() == entry.cols,
+                 "update_matrix must keep the registered shape");
+  // Encode outside the lock; in-flight sweeps keep their snapshots and
+  // the swap below only retargets future batches.
+  auto raw = densify(a);
+  auto coeff =
+      std::make_shared<const EncodedMatrix>(engine_.encode_matrix(a, cfg_.threads));
+  {
+    std::unique_lock<std::shared_mutex> lk(entry.mu);
+    entry.raw = std::move(raw);
+    entry.coeff = std::move(coeff);
+    entry.bsgs.reset();  // lazily re-frozen on the next BSGS batch
+    ++entry.version;
+  }
+  reversions_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::global().counter("serve.matrix_reversions").add(1);
+}
+
+std::shared_ptr<const EncodedMatrix> HmvpServer::matrix(
+    std::uint32_t id) const {
+  CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
+  std::shared_lock<std::shared_mutex> lk(matrices_[id]->mu);
+  return matrices_[id]->coeff;
+}
+
+std::uint32_t HmvpServer::matrix_version(std::uint32_t id) const {
+  CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
+  std::shared_lock<std::shared_mutex> lk(matrices_[id]->mu);
+  return matrices_[id]->version;
 }
 
 MvpAlgorithm HmvpServer::matrix_algorithm(std::uint32_t id) const {
   CHAM_CHECK_MSG(id < matrices_.size(), "unknown matrix id " << id);
-  return matrices_[id].preferred;
+  return matrices_[id]->algo;
+}
+
+std::shared_ptr<const BsgsEncodedMatrix> HmvpServer::bsgs_encoding(
+    MatrixEntry& entry) {
+  auto& reg = obs::MetricsRegistry::global();
+  for (;;) {
+    std::uint32_t version;
+    std::shared_ptr<const DenseMatrix> raw;
+    {
+      std::shared_lock<std::shared_mutex> lk(entry.mu);
+      if (entry.bsgs != nullptr) {
+        encode_hits_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.encode_cache.hit").add(1);
+        return entry.bsgs;
+      }
+      version = entry.version;
+      raw = entry.raw;
+    }
+    // Freeze the diagonal set outside the lock (it is the expensive
+    // part); a re-version that lands mid-freeze discards this build.
+    encode_misses_.fetch_add(1, std::memory_order_relaxed);
+    reg.counter("serve.encode_cache.miss").add(1);
+    auto built = std::make_shared<const BsgsEncodedMatrix>(
+        bsgs_engine_.encode_matrix(*raw, cfg_.threads));
+    std::unique_lock<std::shared_mutex> lk(entry.mu);
+    if (entry.version != version) continue;
+    if (entry.bsgs == nullptr) entry.bsgs = std::move(built);
+    return entry.bsgs;
+  }
 }
 
 ClientLink HmvpServer::connect() {
@@ -99,6 +193,11 @@ HmvpServer::Counters HmvpServer::counters() const {
   c.batches = batches_.load();
   c.batched = batched_.load();
   c.sessions = sessions_n_.load();
+  c.batches_bsgs = batches_bsgs_.load();
+  c.batches_coeff = batches_coeff_.load();
+  c.encode_cache_hits = encode_hits_.load();
+  c.encode_cache_misses = encode_misses_.load();
+  c.reversions = reversions_.load();
   c.batch_occupancy =
       c.batches ? static_cast<double>(c.batched) / static_cast<double>(c.batches)
                 : 0.0;
@@ -178,8 +277,11 @@ void HmvpServer::handle_message(const std::vector<std::uint8_t>& blob) {
         respond_error(down, rid, Status::kUnknownMatrix);
         return;
       }
-      const EncodedMatrix& enc = matrices_[mid].enc;
-      const std::size_t want = (enc.cols() + ctx_->n() - 1) / ctx_->n();
+      // A BSGS-stamped matrix expects one slot-tiled ciphertext; its
+      // shape limits (cols <= N/2) make that the chunk count anyway.
+      const std::size_t want = matrices_[mid]->algo == MvpAlgorithm::kBsgs
+                                   ? 1
+                                   : matrices_[mid]->chunks;
       if (chunks != want) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         reg.counter("serve.errors").add(1);
@@ -247,27 +349,80 @@ void HmvpServer::compute_loop() {
     if (batch.empty()) break;  // closed and drained
     const std::uint64_t t0 = now_ns();
     CHAM_SPAN_ARG("serve.batch", batch.size());
-    std::vector<HmvpBatchEntry> entries(batch.size());
+    // The queue only coalesces same-matrix requests; both sweeps below
+    // rely on that invariant.
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      CHAM_DCHECK_MSG(batch[i].matrix_id == batch[0].matrix_id,
+                      "pop_batch mixed matrix ids in one batch");
+    }
+    MatrixEntry& mat = *matrices_[batch[0].matrix_id];
     std::vector<Session*> who(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       who[i] = static_cast<Session*>(batch[i].binding.get());
-      entries[i].ct_v = &batch[i].ct_v;
-      entries[i].eval = &who[i]->eval;
-      entries[i].gk = &who[i]->gk;
     }
-    const EncodedMatrix& enc = matrices_[batch[0].matrix_id].enc;
-    auto results = engine_.multiply_encoded_batch(enc, entries, cfg_.threads);
-    const std::uint64_t t1 = now_ns();
-    reg.histogram("serve.sweep_ns").record(t1 - t0);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      CHAM_SPAN("serve.respond");
-      ByteWriter w;
-      build_response(batch[i].request_id, Status::kOk, results[i].packed,
-                     results[i].rows, results[i].pack_count, cfg_.wire, w);
-      who[i]->down->send(w);
-      responses_.fetch_add(1, std::memory_order_relaxed);
-      reg.counter("serve.responses").add(1);
-      reg.histogram("serve.request_ns").record(now_ns() - batch[i].enqueue_ns);
+    // Responses are assembled per algorithm: the coefficient sweep packs
+    // LWEs (coefficient layout), the BSGS sweep returns one slot-layout
+    // ciphertext per request, marked by pack_count == 0.
+    std::uint64_t t1 = 0;
+    if (mat.algo == MvpAlgorithm::kBsgs) {
+      auto enc = bsgs_encoding(mat);  // in-flight shared_ptr snapshot
+      std::vector<BsgsBatchEntry> entries(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        CHAM_DCHECK_MSG(batch[i].ct_v.size() == 1,
+                        "bsgs request must be one slot-tiled ciphertext");
+        entries[i].ct_v = &batch[i].ct_v[0];
+        entries[i].eval = &who[i]->eval;
+        entries[i].gk = &who[i]->gk;
+      }
+      auto results =
+          bsgs_engine_.multiply_encoded_batch(*enc, entries, nullptr,
+                                              cfg_.threads);
+      t1 = now_ns();
+      reg.histogram("serve.sweep_ns").record(t1 - t0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        CHAM_SPAN("serve.respond");
+        ByteWriter w;
+        std::vector<Ciphertext> one;
+        one.push_back(std::move(results[i]));
+        build_response(batch[i].request_id, Status::kOk, one, mat.rows,
+                       /*pack_count=*/0, cfg_.wire, w);
+        who[i]->down->send(w);
+        responses_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.responses").add(1);
+        reg.histogram("serve.request_ns")
+            .record(now_ns() - batch[i].enqueue_ns);
+      }
+      batches_bsgs_.fetch_add(1, std::memory_order_relaxed);
+      reg.counter("serve.algo.bsgs").add(1);
+    } else {
+      std::shared_ptr<const EncodedMatrix> enc;
+      {
+        std::shared_lock<std::shared_mutex> lk(mat.mu);
+        enc = mat.coeff;
+      }
+      std::vector<HmvpBatchEntry> entries(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        entries[i].ct_v = &batch[i].ct_v;
+        entries[i].eval = &who[i]->eval;
+        entries[i].gk = &who[i]->gk;
+      }
+      auto results = engine_.multiply_encoded_batch(*enc, entries,
+                                                    cfg_.threads);
+      t1 = now_ns();
+      reg.histogram("serve.sweep_ns").record(t1 - t0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        CHAM_SPAN("serve.respond");
+        ByteWriter w;
+        build_response(batch[i].request_id, Status::kOk, results[i].packed,
+                       results[i].rows, results[i].pack_count, cfg_.wire, w);
+        who[i]->down->send(w);
+        responses_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.responses").add(1);
+        reg.histogram("serve.request_ns")
+            .record(now_ns() - batch[i].enqueue_ns);
+      }
+      batches_coeff_.fetch_add(1, std::memory_order_relaxed);
+      reg.counter("serve.algo.coeff").add(1);
     }
     reg.histogram("serve.respond_ns").record(now_ns() - t1);
     reg.histogram("serve.batch_size").record(batch.size());

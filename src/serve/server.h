@@ -17,15 +17,20 @@
 //
 // Sessions: a client's hello carries its (seed-expanded) Galois keys;
 // the server binds them to Evaluator(ctx, session) so the frozen pack
-// operands live in that session's EvkManager cache. Requests from
-// different sessions still coalesce into one sweep — the row loop is
-// key-free, and the pack stage switches per-request keys
-// (HmvpBatchEntry).
+// and rotation operands live in that session's EvkManager cache.
+// Requests from different sessions still coalesce into one sweep: the
+// coefficient row loop is key-free with per-request keys only in the
+// pack stage (HmvpBatchEntry), and a BSGS batch runs per-session
+// sub-batches against one shared diagonal set (BsgsBatchEntry). The
+// compute loop executes whichever algorithm the matrix was stamped with
+// at add_matrix() time (DESIGN.md §6i).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -47,6 +52,11 @@ struct ServerConfig {
       std::chrono::microseconds(200);  // extra wait for same-matrix arrivals
   int threads = 1;                     // pool lanes for the batched sweep
   WireFormat wire = WireFormat::kPacked;
+  // When set, every matrix is stamped with this algorithm instead of the
+  // choose_mvp_algorithm decision (must be kCoefficient or kBsgs; a
+  // forced kBsgs still requires the diagonal shape limits). The A/B
+  // serving bench uses kCoefficient to measure the BSGS win.
+  std::optional<MvpAlgorithm> force_algorithm;
 };
 
 // What a connected client holds: `up` is the server's shared inbox (all
@@ -64,15 +74,28 @@ class HmvpServer {
   ~HmvpServer();
 
   // Pre-encode a matrix the server will multiply by (before start()).
+  // The returned id is stable; update_matrix() re-versions it in place.
   std::uint32_t add_matrix(const RowSource& a);
-  const EncodedMatrix& matrix(std::uint32_t id) const;
 
-  // Which MVP engine choose_mvp_algorithm prefers for this matrix's
-  // shape. Advisory for now: the batched sweep itself stays on the
-  // coefficient engine because its row loop is key-free (legal across
-  // sessions), while BSGS consumes per-session Galois keys mid-sweep —
-  // cross-session coalescing would mix key material. Single-tenant
-  // callers use this to route to BsgsHmvp directly.
+  // Replace matrix `id` with new values of the same shape and bump its
+  // version. Thread-safe; allowed while running: the coefficient
+  // encoding is rebuilt eagerly, the BSGS diagonal set is dropped (and
+  // lazily re-frozen on the next BSGS batch), and any in-flight batch
+  // keeps sweeping the snapshot it already holds — a re-version can never
+  // invalidate a running sweep.
+  void update_matrix(std::uint32_t id, const RowSource& a);
+
+  // Snapshot of the current coefficient encoding / version (in-flight
+  // consumers hold the shared_ptr across re-versions).
+  std::shared_ptr<const EncodedMatrix> matrix(std::uint32_t id) const;
+  std::uint32_t matrix_version(std::uint32_t id) const;
+
+  // The algorithm the compute loop runs for this matrix's batches:
+  // choose_mvp_algorithm's shape decision (or the config override),
+  // stamped at add_matrix time. BSGS batches run as per-session
+  // sub-batches of one sweep (BsgsHmvp::multiply_encoded_batch), so
+  // cross-session coalescing stays legal; responses come back in the
+  // slot layout (pack_count == 0).
   MvpAlgorithm matrix_algorithm(std::uint32_t id) const;
 
   // Register a client; the returned channels stay valid until the server
@@ -94,6 +117,11 @@ class HmvpServer {
     std::uint64_t batches = 0;     // sweeps run
     std::uint64_t batched = 0;     // requests served across those sweeps
     std::uint64_t sessions = 0;    // hellos processed
+    std::uint64_t batches_bsgs = 0;   // sweeps run on the BSGS engine
+    std::uint64_t batches_coeff = 0;  // sweeps run on the coefficient engine
+    std::uint64_t encode_cache_hits = 0;    // BSGS batches reusing a frozen set
+    std::uint64_t encode_cache_misses = 0;  // BSGS diagonal freezes performed
+    std::uint64_t reversions = 0;  // update_matrix() version bumps
     double batch_occupancy = 0.0;  // batched / batches
   };
   Counters counters() const;
@@ -114,20 +142,35 @@ class HmvpServer {
         : name(std::move(n)), gk(std::move(keys)), eval(ctx, name), down(d) {}
   };
 
+  // One registered matrix. Shape and algorithm stamp are immutable after
+  // add_matrix(); the versioned encodings behind `mu` are snapshotted by
+  // shared_ptr, so a concurrent update_matrix() re-version swaps them out
+  // without invalidating the copies an in-flight batch holds.
+  struct MatrixEntry {
+    std::size_t rows = 0, cols = 0, chunks = 0;
+    MvpAlgorithm algo = MvpAlgorithm::kCoefficient;
+    mutable std::shared_mutex mu;  // guards the versioned state below
+    std::uint32_t version = 0;
+    std::shared_ptr<const DenseMatrix> raw;  // source of the lazy encodes
+    std::shared_ptr<const EncodedMatrix> coeff;      // eager per version
+    std::shared_ptr<const BsgsEncodedMatrix> bsgs;   // frozen on first use
+  };
+
   void ingest_loop();
   void compute_loop();
   void handle_message(const std::vector<std::uint8_t>& blob);
   void respond_error(BlockingChannel* down, std::uint64_t rid, Status status);
+  // The entry's frozen BSGS diagonal set — the cross-request encode
+  // cache. Freezes lazily (outside the entry lock) on first use per
+  // version; publishes serve.encode_cache.{hit,miss}.
+  std::shared_ptr<const BsgsEncodedMatrix> bsgs_encoding(MatrixEntry& entry);
 
   BfvContextPtr ctx_;
   ServerConfig cfg_;
   HmvpEngine engine_;  // key-free use only (encode + batched sweep)
+  BsgsHmvp bsgs_engine_;  // encode + batched sweep; keys come per request
 
-  struct MatrixEntry {
-    EncodedMatrix enc;
-    MvpAlgorithm preferred = MvpAlgorithm::kCoefficient;
-  };
-  std::vector<MatrixEntry> matrices_;
+  std::vector<std::unique_ptr<MatrixEntry>> matrices_;
 
   BlockingChannel inbox_;
   std::mutex links_mu_;
@@ -146,7 +189,9 @@ class HmvpServer {
   std::atomic<std::uint64_t> compute_busy_ns_{0};
 
   std::atomic<std::uint64_t> requests_{0}, responses_{0}, rejected_{0},
-      cancelled_{0}, errors_{0}, batches_{0}, batched_{0}, sessions_n_{0};
+      cancelled_{0}, errors_{0}, batches_{0}, batched_{0}, sessions_n_{0},
+      batches_bsgs_{0}, batches_coeff_{0}, encode_hits_{0}, encode_misses_{0},
+      reversions_{0};
 };
 
 }  // namespace cham::serve

@@ -131,6 +131,38 @@ TEST(EvkManager, AutomorphTablesAndMonomialsAreCached) {
   EXPECT_NE(mgr->automorph_table(3).get(), mgr->automorph_table(5).get());
 }
 
+TEST(EvkManager, SessionsShareKeyIndependentCachesWithBase) {
+  // Automorph tables and monomial twiddles are context geometry, not key
+  // material: every session-scoped manager must resolve them to the base
+  // manager's instances, so k coalesced sessions build one routing-table
+  // set (DESIGN.md §6i). Key material stays banked per session.
+  EvkFixture f;
+  auto base = EvkManager::shared(f.ctx);
+  auto s1 = EvkManager::shared(f.ctx, "tenant-1");
+  auto s2 = EvkManager::shared(f.ctx, "tenant-2");
+  ASSERT_NE(s1.get(), s2.get());
+  EXPECT_EQ(s1->automorph_table(3).get(), base->automorph_table(3).get());
+  EXPECT_EQ(s2->automorph_table(3).get(), base->automorph_table(3).get());
+  EXPECT_EQ(s1->automorph_table_ntt(5).get(),
+            s2->automorph_table_ntt(5).get());
+  EXPECT_EQ(s1->monomial_ntt_qp(8).get(), s2->monomial_ntt_qp(8).get());
+  // Frozen KSKs are keyed by uid in each session's own bank.
+  auto gk = f.keygen.make_galois_keys(1);
+  EXPECT_EQ(s1->frozen(gk.get(3)).get(), s1->frozen(gk.get(3)).get());
+}
+
+TEST(EvkManager, SessionManagerKeepsBaseAlive) {
+  // The base manager a session delegates to must outlive the session's
+  // holder even when nothing else references the base session.
+  EvkFixture f(64, 31);
+  auto s = EvkManager::shared(f.ctx, "lonely-tenant");
+  auto table = s->automorph_table(3);
+  // If the delegated base had died, a fresh base would rebuild the table;
+  // the shared base_ reference keeps it identical instead.
+  auto base = EvkManager::shared(f.ctx);
+  EXPECT_EQ(base->automorph_table(3).get(), table.get());
+}
+
 TEST(EvkManager, PackKeysAreCachedAndExtendedInPlace) {
   EvkFixture f;
   auto mgr = EvkManager::shared(f.ctx);

@@ -211,6 +211,99 @@ TEST(Bsgs, RequiredElementsSortedAndUnique) {
   EXPECT_TRUE(std::adjacent_find(rs.begin(), rs.end()) == rs.end());
 }
 
+TEST(Bsgs, EncodedMatchesStreamingBitExact) {
+  // The frozen diagonal set must reproduce the streaming multiply bit for
+  // bit — the serving layer's cross-request encode cache depends on it.
+  BsgsFixture f(128);
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{32, 64},
+                      std::pair<std::size_t, std::size_t>{10, 16},
+                      std::pair<std::size_t, std::size_t>{64, 8}}) {
+    SCOPED_TRACE(m);
+    SCOPED_TRACE(n);
+    BsgsHmvp probe(f.ctx, nullptr);
+    auto gk = f.keys_for(probe.required_galois_elements(n));
+    BsgsHmvp engine(f.ctx, &gk);
+    auto a = DenseMatrix::random(m, n, f.ctx->params().t, f.rng);
+    auto ct_v = engine.encrypt_vector(f.random_vector(n), f.encryptor);
+    BsgsEncodedMatrix enc = engine.encode_matrix(a, 4);
+    EXPECT_EQ(enc.rows(), m);
+    EXPECT_EQ(enc.cols(), n);
+    Ciphertext streaming = engine.multiply(a, ct_v);
+    Ciphertext encoded = engine.multiply_encoded(enc, ct_v);
+    expect_ct_eq(streaming, encoded);
+  }
+}
+
+TEST(Bsgs, BatchedMatchesSingleShotPerSession) {
+  // A cross-session batch must give every request exactly the bits its
+  // own single-shot run produces: per-session sub-batches share only the
+  // diagonal operands, never key material.
+  BsgsFixture f(128);
+  const std::size_t m = 32, n = 64;
+  BsgsHmvp probe(f.ctx, nullptr);
+  auto elements = probe.required_galois_elements(n);
+  auto a = DenseMatrix::random(m, n, f.ctx->params().t, f.rng);
+  BsgsHmvp encode_engine(f.ctx, nullptr);
+  BsgsEncodedMatrix enc = encode_engine.encode_matrix(a);
+
+  const std::size_t k = 4;
+  std::vector<GaloisKeys> gks;
+  std::vector<std::unique_ptr<Evaluator>> evals;
+  std::vector<Ciphertext> cts;
+  std::vector<std::vector<u64>> vs;
+  gks.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    gks.push_back(f.keys_for(elements));
+    evals.push_back(std::make_unique<Evaluator>(
+        f.ctx, "bsgs-batch-session-" + std::to_string(s)));
+    vs.push_back(f.random_vector(n));
+    cts.push_back(probe.encrypt_vector(vs.back(), f.encryptor));
+  }
+  std::vector<BsgsBatchEntry> batch(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    batch[s].ct_v = &cts[s];
+    batch[s].eval = evals[s].get();
+    batch[s].gk = &gks[s];
+  }
+  BaselineStats stats;
+  auto results = encode_engine.multiply_encoded_batch(enc, batch, &stats, 4);
+  ASSERT_EQ(results.size(), k);
+  const std::size_t b = BsgsHmvp::baby_steps(n);
+  const std::size_t g = (n + b - 1) / b;
+  EXPECT_EQ(stats.rotations, k * ((b - 1) + g - 1));
+  EXPECT_EQ(stats.rotations_hoisted, k * (b - 1));
+  EXPECT_EQ(stats.plain_mults, k * n);
+  for (std::size_t s = 0; s < k; ++s) {
+    SCOPED_TRACE(s);
+    BsgsHmvp single(f.ctx, &gks[s]);
+    Ciphertext want = single.multiply(a, cts[s]);
+    expect_ct_eq(want, results[s]);
+    EXPECT_EQ(single.decrypt_result(results[s], m, f.decryptor),
+              HmvpEngine::reference(a, vs[s], f.ctx->params().t));
+  }
+}
+
+TEST(Bsgs, BatchedThreadCountInvariance) {
+  BsgsFixture f(128);
+  const std::size_t m = 24, n = 64;
+  BsgsHmvp probe(f.ctx, nullptr);
+  auto gk = f.keys_for(probe.required_galois_elements(n));
+  BsgsHmvp engine(f.ctx, &gk);
+  auto a = DenseMatrix::random(m, n, f.ctx->params().t, f.rng);
+  BsgsEncodedMatrix enc = engine.encode_matrix(a, 1);
+  BsgsEncodedMatrix enc8 = engine.encode_matrix(a, 8);
+  std::vector<Ciphertext> cts;
+  for (int i = 0; i < 3; ++i) {
+    cts.push_back(engine.encrypt_vector(f.random_vector(n), f.encryptor));
+  }
+  std::vector<BsgsBatchEntry> batch(cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) batch[i].ct_v = &cts[i];
+  auto r1 = engine.multiply_encoded_batch(enc, batch, nullptr, 1);
+  auto r8 = engine.multiply_encoded_batch(enc8, batch, nullptr, 8);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) expect_ct_eq(r1[i], r8[i]);
+}
+
 TEST(Bsgs, AlgorithmChooser) {
   const std::size_t ring = 8192;
   // Tall/square shapes amortise the per-column cost: BSGS wins

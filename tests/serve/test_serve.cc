@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
+#include "hmvp/bsgs.h"
 #include "serve/client.h"
 
 namespace cham::serve {
@@ -29,9 +31,23 @@ struct ServeFixture {
     matrix_id = server.add_matrix(mat);
   }
 
-  ServeClient make_client(const std::string& session, u64 seed) {
+  ServeClient make_client(const std::string& session, u64 seed,
+                          std::vector<u64> extra_galois = {}) {
     return ServeClient(ctx, server.connect(), session, /*pack_levels=*/6,
-                       seed);
+                       seed, WireFormat::kPacked, std::move(extra_galois));
+  }
+
+  // A tall square shape choose_mvp_algorithm stamps kBsgs at kN=64
+  // (32x32: bsgs cost 368 vs coefficient 960). Register before start().
+  std::uint32_t add_bsgs_matrix() {
+    bsgs_mat = std::make_unique<DenseMatrix>(
+        DenseMatrix::random(32, 32, ctx->params().t, rng));
+    return server.add_matrix(*bsgs_mat);
+  }
+
+  // Rotation elements a client needs for the 32-column BSGS matrix.
+  std::vector<u64> bsgs_elements() const {
+    return BsgsHmvp(ctx, nullptr).required_galois_elements(32);
   }
 
   std::vector<u64> random_vector(std::size_t cols, u64 seed) {
@@ -46,6 +62,7 @@ struct ServeFixture {
   DenseMatrix mat;
   HmvpServer server;
   std::uint32_t matrix_id = 0;
+  std::unique_ptr<DenseMatrix> bsgs_mat;
 };
 
 std::vector<std::uint8_t> ct_bytes(const Ciphertext& ct) {
@@ -256,6 +273,221 @@ TEST(Serve, SurvivesGarbageFrames) {
   EXPECT_EQ(c.decrypt(r), HmvpEngine::reference(f.mat, v, f.ctx->params().t));
   f.server.stop();
   EXPECT_GE(f.server.counters().errors, 2u);
+}
+
+// --- Algorithm-aware serving ----------------------------------------------
+
+TEST(Serve, BsgsStampedMatrixServedBitExactVsSingleShot) {
+  // The compute loop must actually run the stamped BSGS sweep, and the
+  // served ciphertext must match a local single-shot BsgsHmvp on the same
+  // request ciphertext bit for bit.
+  ServeFixture f;
+  const std::uint32_t bid = f.add_bsgs_matrix();
+  ASSERT_EQ(f.server.matrix_algorithm(bid), MvpAlgorithm::kBsgs);
+  f.server.start();
+  ServeClient c = f.make_client("alice", 321, f.bsgs_elements());
+  c.hello();
+  const auto v = f.random_vector(f.bsgs_mat->cols(), 5);
+  std::vector<Ciphertext> sent;
+  c.submit(bid, v, MvpAlgorithm::kBsgs, &sent);
+  ASSERT_EQ(sent.size(), 1u);
+  Response r = c.await();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.pack_count, 0u) << "bsgs responses use the slot layout";
+  ASSERT_EQ(r.packed.size(), 1u);
+  EXPECT_EQ(c.decrypt(r),
+            HmvpEngine::reference(*f.bsgs_mat, v, f.ctx->params().t));
+  BsgsHmvp local(f.ctx, &c.galois_keys());
+  Ciphertext want = local.multiply(*f.bsgs_mat, sent[0]);
+  EXPECT_EQ(ct_bytes(r.packed[0]), ct_bytes(want));
+  f.server.stop();
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.batches_bsgs, 1u);
+  EXPECT_EQ(counters.batches_coeff, 0u);
+  EXPECT_EQ(counters.encode_cache_misses, 1u);
+}
+
+TEST(Serve, MixedAlgorithmLoadAcrossSessions) {
+  // Coefficient-stamped and BSGS-stamped matrices interleaved across four
+  // sessions; every response decrypt-checked against the plaintext
+  // reference, and both sweep engines must have run.
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window = milliseconds(5);
+  cfg.threads = 2;
+  ServeFixture f(cfg);
+  const std::uint32_t bid = f.add_bsgs_matrix();
+  ASSERT_EQ(f.server.matrix_algorithm(f.matrix_id),
+            MvpAlgorithm::kCoefficient);
+  ASSERT_EQ(f.server.matrix_algorithm(bid), MvpAlgorithm::kBsgs);
+  f.server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < kClients; ++ci) {
+    threads.emplace_back([&, ci] {
+      ServeClient c = f.make_client("mixed-" + std::to_string(ci), 4000 + ci,
+                                    f.bsgs_elements());
+      c.hello();
+      for (int k = 0; k < kPerClient; ++k) {
+        const bool use_bsgs = (ci + k) % 2 == 0;
+        const DenseMatrix& m = use_bsgs ? *f.bsgs_mat : f.mat;
+        const std::uint32_t mid = use_bsgs ? bid : f.matrix_id;
+        const auto v = f.random_vector(m.cols(), ci * 100 + k);
+        c.submit(mid, v, f.server.matrix_algorithm(mid));
+        Response r = c.await();
+        if (r.status != Status::kOk ||
+            c.decrypt(r) != HmvpEngine::reference(m, v, f.ctx->params().t)) {
+          failures.fetch_add(1);
+        }
+      }
+      c.goodbye();
+    });
+  }
+  for (auto& t : threads) t.join();
+  f.server.stop();
+  EXPECT_EQ(failures.load(), 0);
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.responses,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GT(counters.batches_bsgs, 0u);
+  EXPECT_GT(counters.batches_coeff, 0u);
+  EXPECT_EQ(counters.batches_bsgs + counters.batches_coeff,
+            counters.batches);
+  // One lazy diagonal freeze per (matrix, version); later BSGS batches
+  // hit the cross-request cache.
+  EXPECT_EQ(counters.encode_cache_misses, 1u);
+  EXPECT_EQ(counters.encode_cache_hits, counters.batches_bsgs - 1);
+}
+
+TEST(Serve, MatrixReversionMidFlight) {
+  // update_matrix() while the server is running: earlier batches complete
+  // on the encoding they snapshotted, later batches see the new version,
+  // and the BSGS diagonal cache re-freezes once per version.
+  ServeFixture f;
+  const std::uint32_t bid = f.add_bsgs_matrix();
+  f.server.start();
+  ServeClient c = f.make_client("alice", 808, f.bsgs_elements());
+  c.hello();
+  const u64 t = f.ctx->params().t;
+
+  const auto v1 = f.random_vector(32, 1);
+  c.submit(bid, v1, MvpAlgorithm::kBsgs);
+  Response r1 = c.await();
+  ASSERT_EQ(r1.status, Status::kOk);
+  EXPECT_EQ(c.decrypt(r1), HmvpEngine::reference(*f.bsgs_mat, v1, t));
+  EXPECT_EQ(f.server.matrix_version(bid), 0u);
+
+  // Re-version with fresh values of the same shape.
+  DenseMatrix next = DenseMatrix::random(32, 32, t, f.rng);
+  f.server.update_matrix(bid, next);
+  EXPECT_EQ(f.server.matrix_version(bid), 1u);
+  const auto v2 = f.random_vector(32, 2);
+  c.submit(bid, v2, MvpAlgorithm::kBsgs);
+  Response r2 = c.await();
+  ASSERT_EQ(r2.status, Status::kOk);
+  EXPECT_EQ(c.decrypt(r2), HmvpEngine::reference(next, v2, t));
+
+  // Race a re-version against an in-flight request: the response is
+  // correct for exactly one of the two versions (whichever encoding the
+  // batch snapshotted), never a torn mix.
+  DenseMatrix last = DenseMatrix::random(32, 32, t, f.rng);
+  const auto v3 = f.random_vector(32, 3);
+  c.submit(bid, v3, MvpAlgorithm::kBsgs);
+  f.server.update_matrix(bid, last);
+  Response r3 = c.await();
+  ASSERT_EQ(r3.status, Status::kOk);
+  const auto got = c.decrypt(r3);
+  const bool matches_old = got == HmvpEngine::reference(next, v3, t);
+  const bool matches_new = got == HmvpEngine::reference(last, v3, t);
+  EXPECT_TRUE(matches_old != matches_new);
+  f.server.stop();
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.reversions, 2u);
+  EXPECT_GE(counters.encode_cache_misses, 2u);
+
+  // The coefficient path re-versions too (same API, eager re-encode).
+  // (Server already stopped; snapshot accessors still work.)
+  EXPECT_NE(f.server.matrix(bid), nullptr);
+}
+
+TEST(Serve, UpdateMatrixRejectsShapeChange) {
+  ServeFixture f;
+  DenseMatrix wrong = DenseMatrix::random(16, 32, f.ctx->params().t, f.rng);
+  EXPECT_THROW(f.server.update_matrix(f.matrix_id, wrong), CheckError);
+  EXPECT_THROW(f.server.update_matrix(99, f.mat), CheckError);
+}
+
+TEST(Serve, ForcedCoefficientOverridesBsgsStamp) {
+  // The A/B bench's control arm: force_algorithm pins every matrix to
+  // the coefficient sweep even when the chooser would pick BSGS.
+  ServerConfig cfg;
+  cfg.force_algorithm = MvpAlgorithm::kCoefficient;
+  ServeFixture f(cfg);
+  const std::uint32_t bid = f.add_bsgs_matrix();
+  ASSERT_EQ(f.server.matrix_algorithm(bid), MvpAlgorithm::kCoefficient);
+  f.server.start();
+  ServeClient c = f.make_client("alice", 99);
+  c.hello();
+  const auto v = f.random_vector(32, 4);
+  c.submit(bid, v, MvpAlgorithm::kCoefficient);
+  Response r = c.await();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_GT(r.pack_count, 0u) << "forced run must pack LWEs";
+  EXPECT_EQ(c.decrypt(r),
+            HmvpEngine::reference(*f.bsgs_mat, v, f.ctx->params().t));
+  f.server.stop();
+  EXPECT_EQ(f.server.counters().batches_coeff, 1u);
+  EXPECT_EQ(f.server.counters().batches_bsgs, 0u);
+}
+
+TEST(Serve, RoundRobinAcrossAlgorithmHeterogeneousMatrices) {
+  // Pre-queued requests against one coefficient and one BSGS matrix:
+  // round-robin coalescing must alternate between the two (each batch
+  // stays single-matrix, hence single-algorithm) and serve both fully.
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batch_window = milliseconds(50);
+  ServeFixture f(cfg);
+  const std::uint32_t bid = f.add_bsgs_matrix();
+  ServeClient c = f.make_client("alice", 606, f.bsgs_elements());
+  std::vector<std::vector<u64>> coeff_vs, bsgs_vs;
+  std::vector<u64> coeff_rids, bsgs_rids;
+  for (int i = 0; i < 3; ++i) {
+    coeff_vs.push_back(f.random_vector(f.mat.cols(), 50 + i));
+    bsgs_vs.push_back(f.random_vector(32, 60 + i));
+  }
+  f.server.start();
+  c.hello();
+  for (int i = 0; i < 3; ++i) {
+    coeff_rids.push_back(
+        c.submit(f.matrix_id, coeff_vs[i], MvpAlgorithm::kCoefficient));
+    bsgs_rids.push_back(c.submit(bid, bsgs_vs[i], MvpAlgorithm::kBsgs));
+  }
+  const u64 t = f.ctx->params().t;
+  for (int i = 0; i < 6; ++i) {
+    Response r = c.await();
+    ASSERT_EQ(r.status, Status::kOk);
+    const auto got = c.decrypt(r);
+    bool found = false;
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (r.request_id == coeff_rids[j]) {
+        EXPECT_EQ(got, HmvpEngine::reference(f.mat, coeff_vs[j], t));
+        found = true;
+      } else if (r.request_id == bsgs_rids[j]) {
+        EXPECT_EQ(got, HmvpEngine::reference(*f.bsgs_mat, bsgs_vs[j], t));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "unknown request id " << r.request_id;
+  }
+  f.server.stop();
+  const auto counters = f.server.counters();
+  EXPECT_EQ(counters.responses, 6u);
+  EXPECT_GT(counters.batches_bsgs, 0u);
+  EXPECT_GT(counters.batches_coeff, 0u);
 }
 
 // --- RequestQueue unit coverage -------------------------------------------

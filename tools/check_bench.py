@@ -76,6 +76,11 @@ SERVER_LATENCY_TOLERANCE = 1.0     # p50/p95/p99 ms: scheduler jitter on CI
 SERVER_OCCUPANCY_TOLERANCE = 0.6   # batch occupancy under an open loop
 SERVER_RATIO_TOLERANCE = 0.05      # seeded wire ratio: format-determined,
                                    # so any drift is a serializer change
+SERVER_AB_TOLERANCE = 0.4          # bsgs-vs-coefficient serving ratio:
+                                   # both arms run in the same process so
+                                   # noise mostly cancels; gates losing
+                                   # the algorithm-dispatch win (the bench
+                                   # itself enforces the 1.5x floor)
 
 
 def parse_lines(text):
@@ -164,7 +169,7 @@ def flatten(records, source="sample"):
             # are deterministic per shape.
             key = (f"bsgs/{obj['mvp']}/{obj.get('shape', '')}"
                    f"@t{obj.get('threads', 1)}")
-            for field in ("naive_s", "bsgs_s", "coeff_s"):
+            for field in ("naive_s", "bsgs_s", "bsgs_enc_s", "coeff_s"):
                 if field in obj:
                     put(f"{key}/{field}", obj[field],
                         BSGS_TIME_TOLERANCE, "lower")
@@ -187,6 +192,21 @@ def flatten(records, source="sample"):
             if "req_s" in obj:
                 put(key + "/req_s", obj["req_s"],
                     SERVER_THROUGHPUT_TOLERANCE, "higher")
+            # Algorithm A/B lines (bench_server phase 2): per-arm
+            # throughput plus the same-process bsgs-vs-coefficient ratio.
+            # The encode-cache miss count is deterministic (one diagonal
+            # freeze per matrix version); hit counts depend on where the
+            # batch window lands, so they are never baselined.
+            for arm in ("bsgs_req_s", "coeff_req_s"):
+                if arm in obj:
+                    put(f"{key}/{arm}", obj[arm],
+                        SERVER_THROUGHPUT_TOLERANCE, "higher")
+            if "bsgs_vs_coeff" in obj:
+                put(key + "/bsgs_vs_coeff", obj["bsgs_vs_coeff"],
+                    SERVER_AB_TOLERANCE, "higher")
+            if "encode_cache_miss" in obj:
+                put(key + "/encode_cache_miss", obj["encode_cache_miss"],
+                    0.0, "exact")
             for pct in ("p50_ms", "p95_ms", "p99_ms"):
                 if pct in obj:
                     put(f"{key}/{pct}", obj[pct],
@@ -371,7 +391,8 @@ def cmd_selftest(_args):
         '"alloc_count":0,"pool":1,"peak_rss_mb":512.0,'
         '"simd_level":"avx2"}',
         'CHAM-BENCH {"mvp":"bsgs_vs_naive","shape":"1024x4096","threads":1,'
-        '"naive_s":8.0,"bsgs_s":3.2,"coeff_s":2.5,"speedup_vs_naive":2.5,'
+        '"naive_s":8.0,"bsgs_s":3.2,"bsgs_enc_s":1.6,"coeff_s":2.5,'
+        '"speedup_vs_naive":2.5,'
         '"rotations":126,"rotations_hoisted":63,"plain_mults":4096,'
         '"chosen":"bsgs","simd_level":"avx2"}',
         'CHAM-METRICS {"counters":{"hmvp.forward_ntts":216,'
@@ -472,6 +493,11 @@ def cmd_selftest(_args):
         print("selftest FAILED: in-tolerance BSGS wall-clock wobble "
               "tripped the gate")
         return 1
+    unfrozen = sample.replace('"bsgs_enc_s":1.6', '"bsgs_enc_s":4.0')
+    failures = compare(baseline, flatten(parse_lines(unfrozen)))
+    if not any("bsgs_enc_s" in f for f in failures):
+        print("selftest FAILED: frozen-diagonal 2.5x slowdown passed the gate")
+        return 1
 
     relevel = sample.replace('"simd_level":"avx2"', '"simd_level":"scalar"')
     failures = compare(baseline, flatten(parse_lines(relevel)))
@@ -533,7 +559,12 @@ def cmd_selftest(_args):
         '"requests":32,"req_s":5.0,"p50_ms":900.0,"p95_ms":1500.0,'
         '"p99_ms":1800.0,"batch_occupancy":3.2,"seeded_wire_ratio":0.5,'
         '"peak_rss_mb":140.0,"simd_level":"avx2"}',
+        'CHAM-BENCH {"server":"hmvp_serve_ab","shape":"1024x4096",'
+        '"clients":2,"requests":8,"bsgs_req_s":0.9,"coeff_req_s":0.4,'
+        '"bsgs_vs_coeff":2.25,"encode_cache_miss":1,'
+        '"peak_rss_mb":1500.0,"simd_level":"avx2"}',
         'CHAM-METRICS {"counters":{"serve.batches":11,'
+        '"serve.algo.bsgs":5,"serve.encode_cache.hit":4,'
         '"hmvp.forward_ntts":444},"gauges":{},"histograms":{}}',
     ])
     server_flat = flatten(parse_lines(server_sample))
@@ -594,12 +625,37 @@ def cmd_selftest(_args):
         print("selftest FAILED: loss of request coalescing passed the gate")
         return 1
 
+    # Algorithm A/B lines: the batched-BSGS serving advantage collapsing
+    # toward parity must trip the ratio gate, and an encode-cache miss
+    # drift (the diagonal freeze running per batch instead of once per
+    # matrix version) must trip the exact gate. Batch-timing-dependent
+    # hit counters must never be baselined.
+    undispatched = server_sample.replace('"bsgs_vs_coeff":2.25',
+                                         '"bsgs_vs_coeff":1.1')
+    failures = compare(server_baseline, flatten(parse_lines(undispatched)))
+    if not any("bsgs_vs_coeff" in f for f in failures):
+        print("selftest FAILED: serving-dispatch ratio collapse passed "
+              "the gate")
+        return 1
+    refreeze = server_sample.replace('"encode_cache_miss":1',
+                                     '"encode_cache_miss":5')
+    failures = compare(server_baseline, flatten(parse_lines(refreeze)))
+    if not any("encode_cache_miss" in f for f in failures):
+        print("selftest FAILED: per-batch diagonal refreeze passed the gate")
+        return 1
+    if any("encode_cache.hit" in n or "serve.algo" in n
+           for n in server_flat):
+        print("selftest FAILED: timing-dependent serve counters were "
+              "baselined")
+        return 1
+
     print("selftest OK: 2x slowdown, counter drift, metric loss, "
           "SIMD-level switches (incl. avx512ifma), retired-level "
           "baselines, dw-kernel and CRT-span ratio collapses, BSGS "
-          "hoisting/ratio regressions, server "
-          "throughput/latency/occupancy regressions all trip the gate; "
-          "clean and improved runs pass")
+          "hoisting/ratio/frozen-path regressions, server "
+          "throughput/latency/occupancy regressions and "
+          "A/B dispatch-ratio / encode-cache regressions all trip the "
+          "gate; clean and improved runs pass")
     return 0
 
 
